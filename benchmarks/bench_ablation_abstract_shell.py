@@ -1,0 +1,60 @@
+"""Ablation — abstract shells (Sec. 4.1).
+
+"The abstract shell is essential to achieving fast compilation": without
+it, Vitis loads and legality-checks the entire overlay (every page plus
+the linking network) for each page compile.  This bench re-prices the
+-O1 page compiles with the full-overlay context and reports the
+slowdown the abstract shell avoids.
+"""
+
+import pytest
+
+from repro.fabric import Overlay
+from repro.pnr.compile_model import DEFAULT_MODEL
+from conftest import APP_ORDER, write_result
+
+
+def reprice(build, context_luts):
+    worst = 0.0
+    for art in build.operators.values():
+        if art.stage_times is None:
+            continue
+        impl_work = art.stage_times.pnr - DEFAULT_MODEL.pnr_seconds(
+            0, 0, 500, threads=8) + DEFAULT_MODEL.pnr_base_s
+        # Rebuild the pnr time with the heavier context load.
+        repriced = (impl_work - DEFAULT_MODEL.pnr_base_s
+                    + DEFAULT_MODEL.pnr_base_s
+                    + DEFAULT_MODEL.pnr_per_context_lut_s * context_luts)
+        worst = max(worst, repriced)
+    return worst
+
+
+def test_abstract_shell_ablation(benchmark, builds):
+    overlay = Overlay()
+    full_context = overlay.full_context_luts()
+    shell_context = overlay.abstract_shell(1).context_luts
+
+    def run():
+        rows = {}
+        for name in APP_ORDER:
+            if name not in builds:
+                continue
+            build = builds[name]["PLD -O1"]
+            with_shell = build.compile_times.pnr
+            without = reprice(build, full_context)
+            rows[name] = (with_shell, without)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"abstract shell context: {shell_context} LUTs; "
+             f"full overlay context: {full_context} LUTs",
+             f"{'app':18s} {'p&r w/ shell':>13s} {'w/o shell':>11s} "
+             f"{'slowdown':>9s}"]
+    for name, (with_shell, without) in rows.items():
+        lines.append(f"{name:18s} {with_shell:13.0f} {without:11.0f} "
+                     f"{without / with_shell:8.2f}x")
+    write_result("ablation_abstract_shell.txt", "\n".join(lines))
+
+    for name, (with_shell, without) in rows.items():
+        # Dropping the abstract shell must cost real time (Sec. 4.1).
+        assert without > with_shell * 1.5, name

@@ -1,0 +1,69 @@
+"""Ablation — page size versus compile time and efficiency (Sec. 4.1/9).
+
+"Page sizing is a balance between compilation time, efficiency, and
+convenience."  This bench measures the balance directly: one mid-size
+operator netlist is placed-and-routed into page grids of increasing
+size, recording the *measured* annealer/router work (which grows
+super-linearly with the region), next to the Eq. 1 efficiency of that
+page size.  Small pages compile fast but waste fabric on interfaces;
+big pages amortise interfaces but creep toward monolithic compile
+times — the ~18k-LUT choice sits at the knee.
+"""
+
+import pytest
+
+from repro.fabric import TileGrid, page_efficiency
+from repro.hls.estimate import ResourceEstimate
+from repro.hls.netlist import synthesize_netlist
+from repro.pnr import implement_design
+from conftest import effort, write_result
+
+#: Candidate page sizes (LUTs).
+SIZES = [4_500, 9_000, 18_000, 36_000, 72_000]
+
+#: Operators fill ~75% of their page — the point of bigger pages is to
+#: host bigger operators, which is what drives compile time up.
+FILL = 0.75
+
+
+def run_sweep():
+    rows = []
+    for size in SIZES:
+        luts = int(size * FILL)
+        netlist = synthesize_netlist(
+            f"probe{size}", ResourceEstimate(luts=luts, ffs=2 * luts,
+                                             brams=8, dsps=12),
+            n_ports=2)
+        grid = TileGrid.for_resources(size, 16, 24)
+        result = implement_design(netlist, grid, context_luts=500,
+                                  effort=effort(), seed=3)
+        rows.append((size,
+                     result.placement.stats.moves_evaluated,
+                     result.routing.node_expansions,
+                     result.pnr_seconds,
+                     page_efficiency(size)))
+    return rows
+
+
+def test_page_size_tradeoff(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [f"{'page LUTs':>10s} {'SA moves':>10s} {'route exps':>10s} "
+             f"{'modeled p&r(s)':>14s} {'Eq.1 eff':>9s}"]
+    for size, moves, exps, seconds, eff in rows:
+        lines.append(f"{size:10d} {moves:10d} {exps:10d} "
+                     f"{seconds:14.0f} {eff:9.3f}")
+    write_result("ablation_pagesize.txt", "\n".join(lines))
+
+    sizes = [r[0] for r in rows]
+    seconds = [r[3] for r in rows]
+    effs = [r[4] for r in rows]
+    # Efficiency rises monotonically with page size (Eq. 1)...
+    assert effs == sorted(effs)
+    # ...while compile time grows super-linearly with page (= operator)
+    # size: 16x bigger pages cost far more than 2x the p&r time.
+    assert seconds[-1] > 2 * seconds[0]
+    # The paper's 18k point keeps compile time within ~3x of the
+    # smallest page while reaching ~95% efficiency.
+    knee = dict(zip(sizes, seconds))
+    assert knee[18_000] < 3.0 * knee[4_500]
+    assert dict(zip(sizes, effs))[18_000] > 0.94

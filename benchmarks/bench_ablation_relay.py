@@ -1,0 +1,52 @@
+"""Ablation — relay stations instead of stream FIFOs (Sec. 7.5).
+
+The paper flags the -O3 BRAM bill from inter-operator FIFOs and
+proposes relay stations as future work, "with care to set the buffer
+sizes appropriately to avoid introducing deadlock".  This bench applies
+the relay-station -O3 variant to every Rosetta app: where the token
+pattern drains at relay depth, it reports the BRAM/LUT savings; where
+it does not, the flow's deadlock proof refuses — both outcomes are the
+paper's point, made executable.
+"""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.core import BuildEngine, O3Flow
+from conftest import APP_ORDER, apps, effort, write_result
+
+
+def test_relay_station_ablation(benchmark, builds, apps):
+    engine = BuildEngine()
+
+    def run():
+        rows = {}
+        for name in APP_ORDER:
+            if name not in builds:
+                continue
+            fifo = builds[name]["PLD -O3"]
+            try:
+                relay = O3Flow(effort=effort(),
+                               relay_stations=True).compile(
+                    apps[name].project, engine)
+                rows[name] = ("ok", fifo.area.brams, relay.area.brams,
+                              fifo.area.luts - relay.area.luts)
+            except FlowError as exc:
+                rows[name] = ("deadlock", fifo.area.brams, None, None)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'app':18s} {'outcome':>9s} {'B18 fifo':>9s} "
+             f"{'B18 relay':>10s} {'LUTs saved':>11s}"]
+    for name, (outcome, fifo_b, relay_b, luts) in rows.items():
+        relay_text = str(relay_b) if relay_b is not None else "-"
+        luts_text = str(luts) if luts is not None else "-"
+        lines.append(f"{name:18s} {outcome:>9s} {fifo_b:9d} "
+                     f"{relay_text:>10s} {luts_text:>11s}")
+    write_result("ablation_relay.txt", "\n".join(lines))
+
+    # At least some apps convert, and every conversion saves BRAMs.
+    converted = [r for r in rows.values() if r[0] == "ok"]
+    assert converted
+    for outcome, fifo_b, relay_b, _luts in converted:
+        assert relay_b < fifo_b

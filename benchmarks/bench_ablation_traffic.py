@@ -1,0 +1,57 @@
+"""Ablation — linking-network load-latency characterisation (Sec. 7.4).
+
+Classic NoC methodology applied to the overlay's BFT: sweep injection
+rate under friendly (neighbour), average (uniform random) and
+adversarial (bit-complement: everything crosses the root) patterns, and
+measure delivered throughput and mean latency on the cycle simulator.
+The saturation points quantify the "modest packet-switched network ...
+tuned for mapping speed over performance" trade the paper makes.
+"""
+
+import pytest
+
+from repro.noc.traffic import (
+    bit_complement,
+    characterize,
+    neighbour,
+    saturation_throughput,
+    uniform_random,
+)
+from conftest import write_result
+
+RATES = [0.05, 0.2, 0.5, 1.0]
+LEAVES = 16
+
+
+def run_characterization():
+    return {
+        "neighbour": characterize(neighbour, LEAVES, RATES,
+                                  packets_per_leaf=40),
+        "uniform": characterize(uniform_random(11), LEAVES, RATES,
+                                packets_per_leaf=40),
+        "bit-complement": characterize(bit_complement, LEAVES, RATES,
+                                       packets_per_leaf=40),
+    }
+
+
+def test_noc_load_latency(benchmark):
+    curves = benchmark.pedantic(run_characterization, rounds=1,
+                                iterations=1)
+    lines = [f"{'pattern':16s} {'offered':>8s} {'delivered':>10s} "
+             f"{'latency':>8s} {'deflects':>9s}"]
+    for name, points in curves.items():
+        for p in points:
+            lines.append(f"{name:16s} {p.offered_rate:8.2f} "
+                         f"{p.delivered_rate:10.3f} "
+                         f"{p.mean_latency:8.1f} {p.deflections:9d}")
+    write_result("ablation_noc_traffic.txt", "\n".join(lines))
+
+    # Friendly traffic sustains more than adversarial root-crossing
+    # traffic, whose throughput is bounded by the root's single link.
+    assert saturation_throughput(curves["neighbour"]) > \
+        saturation_throughput(curves["bit-complement"])
+    # Root bound: one word per cycle each way across the bisection.
+    assert saturation_throughput(curves["bit-complement"]) <= 2.2
+    # Latency rises with offered load for the adversarial pattern.
+    adversarial = curves["bit-complement"]
+    assert adversarial[-1].mean_latency >= adversarial[0].mean_latency

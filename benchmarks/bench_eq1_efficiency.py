@@ -1,0 +1,45 @@
+"""Equation 1 — page-size efficiency sweep (Sec. 4.1 ablation).
+
+The paper chooses ~18k-LUT pages because, with ~500-LUT leaf interfaces
+and ~500 LUTs of linking network per endpoint, efficiency reaches ~95%
+before fragmentation.  This bench sweeps page sizes, reproduces the
+95% operating point, and adds the fragmentation view using the actual
+Rosetta operator sizes.
+"""
+
+import pytest
+
+from repro.fabric import page_efficiency
+from repro.hls import estimate_operator
+from conftest import write_result
+
+SIZES = [1_000, 2_000, 4_000, 8_000, 12_000, 18_000, 24_000, 36_000,
+         72_000]
+
+
+def render(apps) -> str:
+    operator_luts = []
+    for app in apps.values():
+        operator_luts += [estimate_operator(op.hls_spec).luts
+                          for op in app.project.graph.operators.values()]
+    lines = [f"{'page LUTs':>10s} {'Eq.1 bound':>11s} "
+             f"{'w/ Rosetta frag.':>17s}"]
+    for size in SIZES:
+        bound = page_efficiency(size)
+        frag = page_efficiency(size, operator_luts=operator_luts)
+        lines.append(f"{size:10d} {bound:11.3f} {frag:17.3f}")
+    return "\n".join(lines)
+
+
+def test_eq1_page_efficiency(benchmark, apps):
+    text = benchmark.pedantic(render, args=(apps,), rounds=1,
+                              iterations=1)
+    write_result("eq1_efficiency.txt", text)
+
+    # The paper's operating point: ~95% at 18k LUTs.
+    assert page_efficiency(18_000) == pytest.approx(0.947, abs=0.01)
+    # Monotone: bigger pages always raise the pre-fragmentation bound.
+    bounds = [page_efficiency(s) for s in SIZES]
+    assert bounds == sorted(bounds)
+    # Small pages pay heavily (the compile-time/efficiency trade).
+    assert page_efficiency(2_000) < 0.70

@@ -1,0 +1,72 @@
+"""Figure 10 — speedup with one softcore (-O0) and the rest on pages.
+
+For every application and every operator choice, map that one operator
+to a softcore (the steady-state debugging workflow of Sec. 7.4) and
+compare throughput against the all-softcore (-O0) baseline.  The paper
+observes a wide distribution: when the *bottleneck* operator is the
+softcore one, performance approaches all--O0; otherwise it lands between
+all--O0 and all--O1 — often hundreds of times faster.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core import BuildEngine, O1Flow
+from conftest import APP_ORDER, effort, write_result
+
+
+def sweep(app_name, app, baseline_seconds, engine):
+    flow = O1Flow(effort=effort())
+    speedups = {}
+    for op_name in app.project.graph.operators:
+        mixed = flow.compile(app.project.one_riscv(op_name), engine)
+        mixed_seconds = mixed.performance.seconds_per_input
+        speedups[op_name] = baseline_seconds / mixed_seconds
+    return speedups
+
+
+def render(all_speedups) -> str:
+    header = (f"{'app':18s} {'ops':>4s} {'min':>8s} {'median':>8s} "
+              f"{'max':>8s}   (speedup vs all--O0)")
+    lines = [header, "-" * len(header)]
+    for app, speedups in all_speedups.items():
+        values = sorted(speedups.values())
+        lines.append(
+            f"{app:18s} {len(values):4d} {values[0]:8.1f} "
+            f"{statistics.median(values):8.1f} {values[-1]:8.1f}")
+        slowest = min(speedups, key=speedups.get)
+        lines.append(f"{'':18s} slowest-when-softcore: {slowest}")
+    return "\n".join(lines)
+
+
+def test_fig10_single_softcore_speedups(benchmark, builds, apps):
+    engine = BuildEngine()
+
+    def run():
+        out = {}
+        for app_name in APP_ORDER:
+            if app_name not in builds:
+                continue
+            baseline = builds[app_name]["PLD -O0"] \
+                .performance.seconds_per_input
+            out[app_name] = sweep(app_name, apps[app_name], baseline,
+                                  engine)
+        return out
+
+    all_speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("fig10_single_softcore.txt", render(all_speedups))
+
+    best_overall = 0.0
+    for app, speedups in all_speedups.items():
+        values = sorted(speedups.values())
+        best_overall = max(best_overall, values[-1])
+        # Never slower than all--O0 (the softcore op bounds both).
+        assert values[0] >= 0.9, (app, values[0])
+        # When the softcore holds the bottleneck operator, performance
+        # approaches all--O0 (speedup ~1), as the paper observes.
+        assert values[0] < 2.0, (app, values[0])
+        # And there is a real spread (the figure's whole point).
+        assert values[-1] > 3 * max(values[0], 1e-9), app
+    # Fig. 10's x-axis reaches into the hundreds for at least one app.
+    assert best_overall > 100

@@ -1,0 +1,65 @@
+"""Figure 11 — performance versus compile time.
+
+The paper's scatter shows the new points PLD adds to the trade space:
+-O0 compiles in seconds at very low performance, -O1 compiles in
+minutes at moderate performance, and -O3/Vitis compile in hours at full
+performance.  This bench prints the scatter points (normalised
+performance on a log scale, as in the figure) and asserts the Pareto
+structure: no flow is dominated — faster compiles always trade away
+performance, and longer compiles always buy it back.
+"""
+
+import math
+
+import pytest
+
+from conftest import APP_ORDER, write_result
+
+
+def points(builds):
+    out = {}
+    for app, flows in builds.items():
+        best = min(f.performance.seconds_per_input
+                   for f in flows.values())
+        rows = {}
+        for flow_name, build in flows.items():
+            compile_s = (build.riscv_seconds
+                         if flow_name == "PLD -O0"
+                         else build.compile_times.total)
+            norm_perf = best / build.performance.seconds_per_input
+            rows[flow_name] = (compile_s, norm_perf)
+        out[app] = rows
+    return out
+
+
+def render(scatter) -> str:
+    header = (f"{'app':18s} {'flow':9s} {'compile(s)':>11s} "
+              f"{'norm perf':>12s} {'log10':>7s}")
+    lines = [header, "-" * len(header)]
+    for app in APP_ORDER:
+        if app not in scatter:
+            continue
+        for flow in ("PLD -O0", "PLD -O1", "PLD -O3", "Vitis"):
+            compile_s, perf = scatter[app][flow]
+            lines.append(f"{app:18s} {flow:9s} {compile_s:11.1f} "
+                         f"{perf:12.2e} {math.log10(perf):7.2f}")
+    return "\n".join(lines)
+
+
+def test_fig11_tradeoff(benchmark, builds):
+    scatter = benchmark.pedantic(points, args=(builds,), rounds=1,
+                                 iterations=1)
+    write_result("fig11_tradeoff.txt", render(scatter))
+
+    for app, rows in scatter.items():
+        o0_c, o0_p = rows["PLD -O0"]
+        o1_c, o1_p = rows["PLD -O1"]
+        o3_c, o3_p = rows["PLD -O3"]
+
+        # Compile-time axis: seconds << minutes << hours.
+        assert o0_c < o1_c / 20, app
+        assert o1_c < o3_c / 2, app
+        # Performance axis: each step up in compile time buys speed.
+        assert o0_p < o1_p <= o3_p, app
+        # The -O0 point sits orders of magnitude down (log scale span).
+        assert math.log10(o3_p / o0_p) >= 2.0, app

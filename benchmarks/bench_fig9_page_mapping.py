@@ -1,0 +1,62 @@
+"""Figure 9 — distribution of per-operator page mapping times (-O1).
+
+The paper plots, per application, the spread of individual page compile
+times (roughly 550-1,100 s end to end, with p&r 300-600 s).  This bench
+prints the five-number summary of per-operator compile times for every
+app and asserts the figure's qualitative content: times spread over a
+wide range, so the *incremental* recompile cost depends on which page
+changed (Sec. 7.3), and the slowest page is what sets the -O1 column of
+Tab. 2.
+"""
+
+import statistics
+
+import pytest
+
+from conftest import APP_ORDER, write_result
+
+
+def per_operator_totals(build):
+    return sorted(
+        art.stage_times.total
+        for art in build.operators.values()
+        if art.stage_times is not None)
+
+
+def render(builds) -> str:
+    header = (f"{'app':18s} {'ops':>4s} {'min':>7s} {'q1':>7s} "
+              f"{'median':>7s} {'q3':>7s} {'max':>7s}")
+    lines = [header, "-" * len(header)]
+    for app in APP_ORDER:
+        if app not in builds:
+            continue
+        totals = per_operator_totals(builds[app]["PLD -O1"])
+        quartiles = statistics.quantiles(totals, n=4)
+        lines.append(
+            f"{app:18s} {len(totals):4d} {totals[0]:7.0f} "
+            f"{quartiles[0]:7.0f} {quartiles[1]:7.0f} "
+            f"{quartiles[2]:7.0f} {totals[-1]:7.0f}")
+    return "\n".join(lines)
+
+
+def test_fig9_page_mapping_distribution(benchmark, builds):
+    text = benchmark.pedantic(render, args=(builds,), rounds=1,
+                              iterations=1)
+    write_result("fig9_page_mapping.txt", text)
+
+    for app, flows in builds.items():
+        totals = per_operator_totals(flows["PLD -O1"])
+        assert len(totals) >= 5, app
+        # Fig. 9: a visible spread — the slowest page takes meaningfully
+        # longer than the fastest.
+        assert totals[-1] > totals[0] * 1.1, app
+        # Every per-page compile is minutes-scale (paper: ~500-1,100 s
+        # end to end per operator).
+        assert 200 < totals[0], (app, totals[0])
+        assert totals[-1] < 2_500, (app, totals[-1])
+        # The -O1 stage maxima equal the slowest page's stages.
+        o1 = flows["PLD -O1"].compile_times
+        slowest_pnr = max(art.stage_times.pnr
+                          for art in flows["PLD -O1"].operators.values()
+                          if art.stage_times)
+        assert o1.pnr == pytest.approx(slowest_pnr), app

@@ -1,0 +1,46 @@
+"""Table 1 — Resource Distribution: the four page types of the overlay.
+
+Regenerates the page-type table (LUTs/FFs/BRAM18s/DSPs and counts) from
+the floorplan model and checks it against the paper's exact values.
+"""
+
+from repro.fabric import FLOORPLAN, PAGE_TYPES
+from repro.fabric.page import PAGE_TYPE_COUNTS
+
+from conftest import write_result
+
+#: Tab. 1 verbatim.
+PAPER_TABLE1 = {
+    "Type-1": (21_240, 43_200, 120, 168, 7),
+    "Type-2": (17_464, 35_520, 72, 120, 7),
+    "Type-3": (18_880, 38_400, 72, 144, 7),
+    "Type-4": (18_560, 37_440, 48, 144, 1),
+}
+
+
+def render_table1() -> str:
+    lines = [f"{'Page Type':10s} {'LUTs':>8s} {'FFs':>8s} {'BRAM18s':>8s} "
+             f"{'DSPs':>6s} {'Number':>7s}"]
+    for name in sorted(PAGE_TYPES):
+        t = PAGE_TYPES[name]
+        count = PAGE_TYPE_COUNTS[name]
+        lines.append(f"{name:10s} {t.luts:8d} {t.ffs:8d} {t.brams:8d} "
+                     f"{t.dsps:6d} {count:7d}")
+    lines.append(f"{'total':10s} {sum(p.luts for p in FLOORPLAN):8d} "
+                 f"{sum(p.ffs for p in FLOORPLAN):8d} "
+                 f"{sum(p.brams for p in FLOORPLAN):8d} "
+                 f"{sum(p.dsps for p in FLOORPLAN):6d} "
+                 f"{len(FLOORPLAN):7d}")
+    return "\n".join(lines)
+
+
+def test_table1_resources(benchmark):
+    text = benchmark.pedantic(render_table1, rounds=1, iterations=1)
+    write_result("table1_resources.txt", text)
+    # Exact reproduction check against the paper.
+    for name, (luts, ffs, brams, dsps, count) in PAPER_TABLE1.items():
+        t = PAGE_TYPES[name]
+        assert (t.luts, t.ffs, t.brams, t.dsps) == (luts, ffs, brams,
+                                                    dsps)
+        assert PAGE_TYPE_COUNTS[name] == count
+    assert len(FLOORPLAN) == 22

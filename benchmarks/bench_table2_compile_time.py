@@ -1,0 +1,74 @@
+"""Table 2 — Rosetta benchmark compile time (seconds, modeled).
+
+Regenerates the per-flow hls/syn/p&r/bit breakdown for every app.  The
+p&r numbers come from the measured work of the real annealer/router
+runs converted through the calibrated model; the assertions check the
+paper's *shape*: monolithic compiles in the hours range, -O1 a
+4-12x speedup, -O0 in seconds.
+"""
+
+import pytest
+
+from conftest import APP_ORDER, write_result
+
+#: Tab. 2 totals (seconds) for reference: (Vitis, -O3, -O1, -O0).
+PAPER_TOTALS = {
+    "3d-rendering": (4_264, 4_363, 578, 1.0),
+    "digit-recognition": (5_173, 5_212, 867, 1.5),
+    "spam-filter": (3_942, 4_355, 925, 3.1),
+    "optical-flow": (4_139, 5_097, 880, 2.4),
+    "face-detection": (6_288, 4_022, 939, 2.1),
+    "bnn": (6_584, 6_490, 1_152, 3.4),
+}
+
+
+def render(builds) -> str:
+    header = (f"{'app':18s} {'flow':9s} {'hls':>6s} {'syn':>6s} "
+              f"{'p&r':>6s} {'bit':>6s} {'total':>7s} {'paper':>7s}")
+    lines = [header, "-" * len(header)]
+    for app in APP_ORDER:
+        if app not in builds:
+            continue
+        paper = PAPER_TOTALS[app]
+        for flow, paper_total in zip(
+                ("Vitis", "PLD -O3", "PLD -O1", "PLD -O0"), paper):
+            build = builds[app][flow]
+            if flow == "PLD -O0":
+                lines.append(
+                    f"{app:18s} {flow:9s} {'-':>6s} {'-':>6s} {'-':>6s} "
+                    f"{'-':>6s} {build.riscv_seconds:7.1f} "
+                    f"{paper_total:7.1f}")
+                continue
+            t = build.compile_times
+            lines.append(
+                f"{app:18s} {flow:9s} {t.hls:6.0f} {t.syn:6.0f} "
+                f"{t.pnr:6.0f} {t.bit:6.0f} {t.total:7.0f} "
+                f"{paper_total:7.0f}")
+    return "\n".join(lines)
+
+
+def test_table2_compile_time(benchmark, builds):
+    text = benchmark.pedantic(render, args=(builds,), rounds=1,
+                              iterations=1)
+    write_result("table2_compile_time.txt", text)
+
+    for app, flows in builds.items():
+        vitis = flows["Vitis"].compile_times.total
+        o3 = flows["PLD -O3"].compile_times.total
+        o1 = flows["PLD -O1"].compile_times.total
+        o0 = flows["PLD -O0"].riscv_seconds
+
+        # Monolithic compiles are hours-scale (Tab. 2: 3,942-6,584 s).
+        assert 2_000 < vitis < 10_000, (app, vitis)
+        assert 2_000 < o3 < 10_000, (app, o3)
+        # -O1 compiles are ~10-20 minutes (Tab. 2: 578-1,152 s).
+        assert 300 < o1 < 2_000, (app, o1)
+        # The headline speedup (paper: 4.2-7.3x).
+        assert 3.0 < vitis / o1 < 14.0, (app, vitis / o1)
+        # -O0 compiles in seconds (Tab. 2: 1.0-3.4 s).
+        assert o0 < 10.0, (app, o0)
+
+    # p&r is roughly half the monolithic total (Sec. 7.3).
+    for app, flows in builds.items():
+        t = flows["Vitis"].compile_times
+        assert 0.25 < t.pnr / t.total < 0.8, (app, t.pnr / t.total)

@@ -1,0 +1,87 @@
+"""Table 4 — Rosetta benchmark area consumption.
+
+Regenerates the LUT / BRAM18 / DSP / page-count rows per flow and checks
+the paper's orderings: the undecomposed Vitis design is smallest, -O3
+adds FIFO area, -O1 adds leaf interfaces on top, and -O0 charges whole
+pages (the one-size-fits-all softcore accounting).
+"""
+
+import pytest
+
+from conftest import APP_ORDER, write_result
+
+#: Tab. 4: app -> flow -> (LUT, B18, DSP, pages).
+PAPER_AREA = {
+    "3d-rendering": {"Vitis": (4_225, 64, 13, 0),
+                     "PLD -O3": (17_696, 128, 26, 0),
+                     "PLD -O1": (22_823, 106, 18, 6),
+                     "PLD -O0": (119_208, 576, 864, 6)},
+    "digit-recognition": {"Vitis": (36_070, 382, 1, 0),
+                          "PLD -O3": (50_595, 406, 0, 0),
+                          "PLD -O1": (63_923, 441, 0, 20),
+                          "PLD -O0": (393_224, 1_680, 2_832, 20)},
+    "spam-filter": {"Vitis": (9_616, 34, 224, 0),
+                    "PLD -O3": (21_011, 126, 256, 0),
+                    "PLD -O1": (50_965, 204, 256, 16),
+                    "PLD -O0": (291_480, 1_176, 2_088, 16)},
+    "optical-flow": {"Vitis": (26_974, 136, 158, 0),
+                     "PLD -O3": (27_278, 192, 312, 0),
+                     "PLD -O1": (43_231, 211, 312, 16),
+                     "PLD -O0": (313_752, 1_296, 2_256, 16)},
+    "face-detection": {"Vitis": (51_549, 156, 97, 0),
+                       "PLD -O3": (127_890, 322, 192, 0),
+                       "PLD -O1": (164_385, 296, 145, 20),
+                       "PLD -O0": (393_224, 1_680, 2_832, 20)},
+    "bnn": {"Vitis": (26_724, 46, 5, 0),
+            "PLD -O3": (44_077, 1_130, 5, 0),
+            "PLD -O1": (64_093, 1_197, 4, 22),
+            "PLD -O0": (437_768, 1_920, 3_168, 22)},
+}
+
+
+def render(builds) -> str:
+    header = (f"{'app':18s} {'flow':9s} {'LUT':>8s} {'B18':>6s} "
+              f"{'DSP':>6s} {'PAGE#':>6s}   paper(LUT/B18/DSP)")
+    lines = [header, "-" * len(header)]
+    for app in APP_ORDER:
+        if app not in builds:
+            continue
+        for flow in ("Vitis", "PLD -O3", "PLD -O1", "PLD -O0"):
+            area = builds[app][flow].area
+            p = PAPER_AREA[app][flow]
+            lines.append(
+                f"{app:18s} {flow:9s} {area.luts:8d} {area.brams:6d} "
+                f"{area.dsps:6d} {area.pages or '-':>6}   "
+                f"{p[0]}/{p[1]}/{p[2]}")
+    return "\n".join(lines)
+
+
+def test_table4_area(benchmark, builds):
+    text = benchmark.pedantic(render, args=(builds,), rounds=1,
+                              iterations=1)
+    write_result("table4_area.txt", text)
+
+    for app, flows in builds.items():
+        vitis = flows["Vitis"].area
+        o3 = flows["PLD -O3"].area
+        o1 = flows["PLD -O1"].area
+        o0 = flows["PLD -O0"].area
+
+        # Orderings the paper reports (Sec. 7.5).
+        assert vitis.luts < o3.luts, app
+        assert o3.luts < o1.luts, app
+        assert o1.luts < o0.luts, app
+        # -O0 charges full pages; totals run to hundreds of kLUTs.
+        assert o0.luts > 100_000, app
+        # Page counts match the paper exactly.
+        assert o1.pages == PAPER_AREA[app]["PLD -O1"][3], app
+        # -O1 LUTs within 2x of the paper row.
+        paper_luts = PAPER_AREA[app]["PLD -O1"][0]
+        assert paper_luts / 2 < o1.luts < paper_luts * 2, (
+            app, o1.luts, paper_luts)
+
+    # DSP character: digit recognition ~0, spam/optical DSP-heavy.
+    if "digit-recognition" in builds:
+        assert builds["digit-recognition"]["PLD -O1"].area.dsps <= 2
+    if "spam-filter" in builds:
+        assert builds["spam-filter"]["PLD -O1"].area.dsps > 100

@@ -1,0 +1,77 @@
+"""Shared fixtures for the benchmark harness.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and
+figure of the paper's evaluation (Sec. 7).  The heavyweight work —
+compiling all six Rosetta applications through all four flows, with the
+annealer and router actually running — happens once in the
+session-scoped ``builds`` fixture and is shared by every bench.
+
+Environment knobs:
+
+* ``REPRO_EFFORT`` — annealing effort (default 0.5; 1.0 for the most
+  faithful work measurements, 0.1 for a quick pass).
+* ``REPRO_APPS`` — comma-separated subset of app names.
+
+Each bench writes its table to ``benchmarks/results/*.txt`` so the
+numbers quoted in EXPERIMENTS.md can be re-checked.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core import BuildEngine, O0Flow, O1Flow, O3Flow, VitisFlow
+from repro.rosetta import all_apps
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Paper ordering of applications in every table.
+APP_ORDER = ["3d-rendering", "digit-recognition", "spam-filter",
+             "optical-flow", "face-detection", "bnn"]
+
+FLOW_ORDER = ["Vitis", "PLD -O3", "PLD -O1", "PLD -O0"]
+
+
+def effort() -> float:
+    return float(os.environ.get("REPRO_EFFORT", "0.5"))
+
+
+def selected_apps():
+    names = os.environ.get("REPRO_APPS")
+    apps = all_apps()
+    if not names:
+        return {name: apps[name] for name in APP_ORDER}
+    chosen = [n.strip() for n in names.split(",")]
+    return {name: apps[name] for name in APP_ORDER if name in chosen}
+
+
+@pytest.fixture(scope="session")
+def builds():
+    """{app: {flow: FlowBuild}} for every selected app and flow."""
+    e = effort()
+    engine = BuildEngine()        # shared: -O3/Vitis reuse -O1 HLS steps
+    out = {}
+    for name, app in selected_apps().items():
+        project = app.project
+        out[name] = {
+            "Vitis": VitisFlow(effort=e).compile(project, engine),
+            "PLD -O3": O3Flow(effort=e).compile(project, engine),
+            "PLD -O1": O1Flow(effort=e).compile(project, engine),
+            "PLD -O0": O0Flow(effort=e).compile(project, engine),
+        }
+    return out
+
+
+@pytest.fixture(scope="session")
+def apps():
+    return selected_apps()
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")

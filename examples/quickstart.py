@@ -1,0 +1,103 @@
+"""Quickstart: write an operator pipeline, compile it three ways, run it.
+
+This walks the PLD workflow end to end on a small image-threshold
+pipeline:
+
+1. describe operators in the IR (the stand-in for HLS C);
+2. wire them into a dataflow graph (the ``top.cpp`` of Fig. 2(b));
+3. compile with -O0 (seconds, softcores), -O1 (minutes, separate page
+   compiles) and -O3 (hours-scale, monolithic);
+4. load each build onto a simulated Alveo U50 and run the same input,
+   getting identical results every time.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import BuildEngine, O0Flow, O1Flow, O3Flow, Project
+from repro.dataflow import DataflowGraph, Operator
+from repro.hls import OperatorBuilder, make_body
+from repro.platform import HostProgram
+
+
+def build_threshold(width):
+    """Stage 1: threshold pixels against a running mean."""
+    b = OperatorBuilder("threshold", inputs=[("pixels", 32)],
+                        outputs=[("bits", 32)])
+    b.variable("mean", 16)
+    with b.loop("PIX", width, pipeline=True):
+        p = b.cast(b.read("pixels", signed=False), 16)
+        updated = b.shr(b.add(b.mul(b.get("mean"), 7), p), 3)
+        b.set("mean", b.cast(updated, 16))
+        b.write("bits", b.cast(b.gt(p, b.get("mean")), 32))
+    return b.build()
+
+
+def build_count(width):
+    """Stage 2: count asserted bits per 16-pixel tile."""
+    b = OperatorBuilder("count", inputs=[("bits", 32)],
+                        outputs=[("tiles", 32)])
+    b.variable("acc", 16)
+    with b.loop("TILE", width // 16):
+        b.set("acc", 0)
+        with b.loop("LANE", 16, pipeline=True):
+            v = b.read("bits", signed=False)
+            b.set("acc", b.cast(b.add(b.get("acc"), v), 16))
+        b.write("tiles", b.cast(b.get("acc"), 32))
+    return b.build()
+
+
+def main():
+    width = 64
+
+    # -- the application graph (single source for every target) --------
+    graph = DataflowGraph("quickstart")
+    for spec in (build_threshold(width), build_count(width)):
+        graph.add(Operator(spec.name, make_body(spec), spec.input_ports,
+                           spec.output_ports, hls_spec=spec))
+    graph.connect("threshold.bits", "count.bits")
+    graph.expose_input("pixels", "threshold.pixels")
+    graph.expose_output("tiles", "count.tiles")
+
+    inputs = {"pixels": [(i * 37) % 256 for i in range(width)]}
+    project = Project("quickstart", graph, inputs, scale_factor=1000.0)
+
+    engine = BuildEngine()        # shared cache across the three flows
+
+    print("== -O0: compile to softcores (seconds) ==")
+    o0 = O0Flow().compile(project, engine)
+    print(f"   riscv compile: {o0.riscv_seconds:.1f} s (modeled)")
+    host = HostProgram(o0)
+    out0 = host.run(inputs)
+    print(f"   result: {out0['tiles']}")
+    print(host.timeline.summarize())
+
+    print("\n== -O1: separate compilation to FPGA pages (minutes) ==")
+    o1 = O1Flow().compile(project, engine)
+    t = o1.compile_times
+    print(f"   stages: hls {t.hls:.0f}s  syn {t.syn:.0f}s  "
+          f"p&r {t.pnr:.0f}s  bit {t.bit:.0f}s  -> total {t.total:.0f}s")
+    print(f"   pages: {o1.page_of}")
+    out1 = HostProgram(o1).run(inputs)
+    print(f"   result: {out1['tiles']}")
+
+    print("\n== -O3: monolithic compile (hours-scale) ==")
+    o3 = O3Flow().compile(project, engine)
+    print(f"   total: {o3.compile_times.total:.0f}s modeled; "
+          f"Fmax {o3.performance.fmax_mhz:.0f} MHz")
+    out3 = HostProgram(o3).run(inputs)
+    print(f"   result: {out3['tiles']}")
+
+    assert out0 == out1 == out3
+    print("\nAll three mappings produced identical results — the "
+          "latency-insensitive stream abstraction at work.")
+    print(f"\nCompile-time ladder: {o0.riscv_seconds:.0f}s -> "
+          f"{o1.compile_times.total:.0f}s -> "
+          f"{o3.compile_times.total:.0f}s")
+    print(f"Performance ladder:  "
+          f"{o0.performance.per_input_text()} -> "
+          f"{o1.performance.per_input_text()} -> "
+          f"{o3.performance.per_input_text()} per input")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: the project is configured in pyproject.toml.
+
+Kept so `python setup.py develop` works on minimal offline environments
+that lack the `wheel` package needed for PEP 660 editable installs.
+"""
+from setuptools import setup
+
+setup()

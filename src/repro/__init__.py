@@ -1,0 +1,33 @@
+"""PLD reproduction: fast FPGA compilation via separate compilation.
+
+A full-system Python reproduction of *PLD: Fast FPGA Compilation to
+Make Reconfigurable Acceleration Compatible with Modern Incremental
+Refinement Software Development* (Xiao et al., ASPLOS 2022).
+
+The public surface mirrors the paper's layering:
+
+* :mod:`repro.hlstypes` — ``ap_int``/``ap_fixed`` value types;
+* :mod:`repro.dataflow` — streaming dataflow graphs and simulators;
+* :mod:`repro.hls` — the operator IR and HLS pass pipeline;
+* :mod:`repro.fabric` — device, pages, shells, bitstreams;
+* :mod:`repro.pnr` — packing, placement, routing, compile-time model;
+* :mod:`repro.noc` — the deflection-routed BFT linking network;
+* :mod:`repro.softcore` — RV32IM softcore and the -O0 compiler;
+* :mod:`repro.platform` — Alveo card, DMA, host runtime;
+* :mod:`repro.core` — the PLD toolflow (-O0/-O1/-O3 + Vitis baseline);
+* :mod:`repro.rosetta` — the six benchmark applications.
+
+Quick start::
+
+    from repro.core import O1Flow
+    from repro.rosetta import get_app
+
+    app = get_app("optical-flow")
+    build = O1Flow().compile(app.project)
+    print(build.compile_times.total, "modeled seconds")
+    print(build.execute(app.project.sample_inputs))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

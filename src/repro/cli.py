@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro.cli``.
+
+A small ``pld``-style driver around the flows, mirroring how the
+paper's Makefile targets are used day to day:
+
+.. code-block:: console
+
+    $ python -m repro.cli apps
+    $ python -m repro.cli compile optical-flow --flow o1 --out build/
+    $ python -m repro.cli run optical-flow --flow o0
+    $ python -m repro.cli tables --apps 3d-rendering,bnn
+    $ python -m repro.cli floorplan
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional
+
+from repro.core import (
+    BuildEngine,
+    O0Flow,
+    O1Flow,
+    O3Flow,
+    VitisFlow,
+    format_area_table,
+    format_compile_table,
+    format_performance_table,
+)
+from repro.platform import HostProgram
+
+FLOWS = {
+    "o0": O0Flow,
+    "o1": O1Flow,
+    "o3": O3Flow,
+    "vitis": VitisFlow,
+}
+
+
+def _flow(name: str, effort: float):
+    try:
+        return FLOWS[name](effort=effort)
+    except KeyError:
+        raise SystemExit(f"unknown flow {name!r}; choose from "
+                         f"{sorted(FLOWS)}")
+
+
+def _app(name: str):
+    from repro.rosetta import get_app
+    return get_app(name)
+
+
+def cmd_apps(_args) -> int:
+    from repro.rosetta import all_apps
+    print(f"{'app':20s} {'ops':>4s} {'description'}")
+    for name, app in all_apps().items():
+        print(f"{name:20s} {len(app.project.graph.operators):4d} "
+              f"{app.description}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    app = _app(args.app)
+    build = _flow(args.flow, args.effort).compile(app.project,
+                                                  BuildEngine())
+    times = build.compile_times
+    if args.flow == "o0":
+        print(f"compiled {args.app} with -O0 in "
+              f"{build.riscv_seconds:.1f} modeled seconds")
+    else:
+        print(f"compiled {args.app} with {build.flow}: "
+              f"hls {times.hls:.0f}s syn {times.syn:.0f}s "
+              f"p&r {times.pnr:.0f}s bit {times.bit:.0f}s "
+              f"-> total {times.total:.0f}s (modeled)")
+    print(f"performance: {build.performance.per_input_text()} per input "
+          f"at {build.performance.fmax_mhz:.0f} MHz "
+          f"(bottleneck {build.performance.bottleneck})")
+    print(f"area: {build.area.luts} LUTs, {build.area.brams} BRAM18, "
+          f"{build.area.dsps} DSPs"
+          + (f", {build.area.pages} pages" if build.area.pages else ""))
+    if args.out:
+        written = build.write_artifacts(args.out)
+        print(f"wrote {len(written)} artefacts to {args.out}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    app = _app(args.app)
+    build = _flow(args.flow, args.effort).compile(app.project,
+                                                  BuildEngine())
+    host = HostProgram(build)
+    outputs = host.run(app.project.sample_inputs)
+    for name, tokens in outputs.items():
+        preview = tokens[:8]
+        suffix = " ..." if len(tokens) > 8 else ""
+        print(f"{name}: {len(tokens)} tokens {preview}{suffix}")
+    if args.timeline:
+        print(host.timeline.summarize())
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from repro.rosetta import all_apps
+    chosen = args.apps.split(",") if args.apps else None
+    engine = BuildEngine()
+    builds: Dict[str, Dict[str, object]] = {}
+    for name, app in all_apps().items():
+        if chosen and name not in chosen:
+            continue
+        builds[name] = {
+            "Vitis": VitisFlow(effort=args.effort).compile(app.project,
+                                                           engine),
+            "PLD -O3": O3Flow(effort=args.effort).compile(app.project,
+                                                          engine),
+            "PLD -O1": O1Flow(effort=args.effort).compile(app.project,
+                                                          engine),
+            "PLD -O0": O0Flow(effort=args.effort).compile(app.project,
+                                                          engine),
+        }
+    print("== compile time (Tab. 2) ==")
+    print(format_compile_table(builds))
+    print("\n== performance (Tab. 3) ==")
+    print(format_performance_table(builds))
+    print("\n== area (Tab. 4) ==")
+    print(format_area_table(builds))
+    return 0
+
+
+def cmd_floorplan(_args) -> int:
+    from repro.fabric import FLOORPLAN, XCU50
+    print(f"device: {XCU50.name}  {XCU50.luts:,} LUTs  "
+          f"{XCU50.brams:,} BRAM18  {XCU50.dsps:,} DSPs  "
+          f"{len(XCU50.slrs)} SLRs")
+    for page in FLOORPLAN:
+        print(f"  page {page.number:2d}  SLR{page.slr}  "
+              f"{page.page_type.name}: {page.luts:6,} LUTs  "
+              f"{page.brams:3d} B18  {page.dsps:3d} DSP")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="PLD reproduction driver (compile/run/report)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list the Rosetta applications")
+
+    compile_p = sub.add_parser("compile", help="compile one app")
+    compile_p.add_argument("app")
+    compile_p.add_argument("--flow", default="o1",
+                           choices=sorted(FLOWS))
+    compile_p.add_argument("--effort", type=float, default=0.3)
+    compile_p.add_argument("--out", default=None,
+                           help="write flow artefacts to this directory")
+
+    run_p = sub.add_parser("run", help="compile + load + execute one app")
+    run_p.add_argument("app")
+    run_p.add_argument("--flow", default="o0", choices=sorted(FLOWS))
+    run_p.add_argument("--effort", type=float, default=0.3)
+    run_p.add_argument("--timeline", action="store_true",
+                       help="print the host configuration/run timeline")
+
+    tables_p = sub.add_parser("tables",
+                              help="regenerate Tab. 2/3/4 for apps")
+    tables_p.add_argument("--apps", default=None,
+                          help="comma-separated subset")
+    tables_p.add_argument("--effort", type=float, default=0.3)
+
+    sub.add_parser("floorplan", help="print the page floorplan")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "apps": cmd_apps,
+        "compile": cmd_compile,
+        "run": cmd_run,
+        "tables": cmd_tables,
+        "floorplan": cmd_floorplan,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""The dfg extractor (Fig. 5-7): ``top.c`` -> ``dfg.ir``.
+
+Every flow shares one dataflow-graph intermediate: the list of
+operators (with their targets and page hints) and the stream links
+between them.  ``pld`` consumes it to generate the driver; the -O3
+kernel generator consumes it to stitch operators with hardware FIFOs.
+Here the graph is already a structured object, so extraction is
+serialisation: a stable dict (and a ``dfg.ir`` text form) that captures
+exactly what the paper's tool writes to disk.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.dataflow.graph import DataflowGraph
+
+
+def extract_dfg(graph: DataflowGraph) -> Dict:
+    """Produce the dfg.ir structure for a validated graph."""
+    graph.validate()
+    return {
+        "name": graph.name,
+        "operators": [
+            {
+                "name": op.name,
+                "inputs": [{"port": p, "width": op.port_widths[p]}
+                           for p in op.inputs],
+                "outputs": [{"port": p, "width": op.port_widths[p]}
+                            for p in op.outputs],
+                "target": op.target,
+                "page": op.page,
+            }
+            for op in graph.operators.values()
+        ],
+        "links": [
+            {
+                "name": link.name,
+                "source": str(link.source),
+                "sink": str(link.sink),
+                "width": link.width,
+            }
+            for link in graph.links.values()
+        ],
+        "external_inputs": [
+            {"name": ext.name, "sink": str(ext.inner)}
+            for ext in graph.external_inputs.values()
+        ],
+        "external_outputs": [
+            {"name": ext.name, "source": str(ext.inner)}
+            for ext in graph.external_outputs.values()
+        ],
+    }
+
+
+def dfg_to_text(graph: DataflowGraph) -> str:
+    """Render the ``dfg.ir`` file content (stable JSON)."""
+    return json.dumps(extract_dfg(graph), indent=2, sort_keys=True)
+
+
+def dfg_from_text(text: str) -> Dict:
+    """Parse a ``dfg.ir`` file back to its structure."""
+    return json.loads(text)

@@ -1,0 +1,93 @@
+"""Mapping pragmas (Fig. 2(a)).
+
+Operators carry one line in their header choosing the target:
+
+.. code-block:: c
+
+    #pragma target=HW    p_num=8
+    //#pragma target=RISCV p_num=8
+
+Changing that single line — exactly as in the paper — flips an operator
+between the -O1 FPGA flow and the -O0 softcore flow.  This module
+parses such headers so the examples can drive the flows from C-like
+text, and pretty-prints pragmas back for generated headers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import FlowError
+from repro.dataflow.graph import TARGET_HW, TARGET_RISCV
+
+_PRAGMA_RE = re.compile(
+    r"^\s*#pragma\s+target\s*=\s*(?P<target>\w+)"
+    r"(?:\s+p_num\s*=\s*(?P<page>\d+))?\s*$",
+    re.MULTILINE,
+)
+
+_NAME_RE = re.compile(r"void\s+(?P<name>\w+)\s*\(")
+
+
+@dataclass(frozen=True)
+class OperatorPragma:
+    """One operator's mapping directive."""
+
+    operator: str
+    target: str
+    page: Optional[int] = None
+
+    def render(self) -> str:
+        page = f" p_num={self.page}" if self.page is not None else ""
+        return f"#pragma target={self.target}{page}"
+
+
+def parse_pragmas(header_text: str,
+                  operator: Optional[str] = None) -> OperatorPragma:
+    """Parse an operator header's active pragma.
+
+    Commented-out pragmas (``//#pragma ...``) are ignored, so the
+    paper's flip-by-uncommenting workflow works as written.
+
+    Args:
+        header_text: the ``.hpp`` content.
+        operator: operator name override; when omitted, taken from the
+            first function declaration in the header.
+    """
+    if operator is None:
+        name_match = _NAME_RE.search(header_text)
+        if not name_match:
+            raise FlowError("header has no function declaration to name "
+                            "the operator")
+        operator = name_match.group("name")
+
+    active = None
+    for line in header_text.splitlines():
+        if line.lstrip().startswith("//"):
+            continue
+        match = _PRAGMA_RE.match(line)
+        if match:
+            if active is not None:
+                raise FlowError(
+                    f"operator {operator!r}: multiple active target "
+                    f"pragmas")
+            active = match
+
+    if active is None:
+        raise FlowError(f"operator {operator!r}: no active target pragma")
+    target = active.group("target").upper()
+    if target not in (TARGET_HW, TARGET_RISCV):
+        raise FlowError(
+            f"operator {operator!r}: unknown target {target!r} "
+            f"(expected HW or RISCV)")
+    page = active.group("page")
+    return OperatorPragma(operator, target,
+                          int(page) if page is not None else None)
+
+
+def parse_header_set(headers: Dict[str, str]) -> Dict[str, OperatorPragma]:
+    """Parse a set of headers: operator name -> pragma."""
+    return {name: parse_pragmas(text, operator=name)
+            for name, text in headers.items()}

@@ -1,0 +1,79 @@
+"""PLD projects: the unit the flows compile.
+
+A project bundles the top-level dataflow graph (whose operators carry
+IR specs and mapping pragmas), the sample workload used for functional
+runs, and the scale factor from the sample workload to the paper-scale
+input (flows report per-input times at paper scale by extrapolating
+linearly in streamed tokens, which is exact for these streaming
+pipelines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import FlowError
+from repro.dataflow.graph import DataflowGraph, TARGET_HW, TARGET_RISCV
+
+
+@dataclass
+class Project:
+    """One application, ready to compile with any flow.
+
+    Args:
+        name: application name.
+        graph: validated dataflow graph; every operator must carry an
+            ``hls_spec`` so all three flows can compile it.
+        sample_inputs: external input name -> token list (small, for
+            functional execution and simulation).
+        scale_factor: paper-scale tokens / sample tokens (>= 1); used
+            to extrapolate per-input wall time to the paper's input
+            sizes.
+        description: one-line summary for reports.
+    """
+
+    name: str
+    graph: DataflowGraph
+    sample_inputs: Dict[str, List[int]] = field(default_factory=dict)
+    scale_factor: float = 1.0
+    description: str = ""
+
+    def __post_init__(self):
+        self.graph.validate()
+        missing = [op.name for op in self.graph.operators.values()
+                   if op.hls_spec is None]
+        if missing:
+            raise FlowError(
+                f"project {self.name!r}: operators without IR specs: "
+                f"{missing}")
+        if self.scale_factor < 1.0:
+            raise FlowError("scale_factor must be >= 1")
+
+    @property
+    def operators(self):
+        return self.graph.operators
+
+    def retargeted(self, targets: Dict[str, str]) -> "Project":
+        """Copy with changed mapping pragmas (the one-line edit)."""
+        return Project(self.name, self.graph.retarget(targets),
+                       dict(self.sample_inputs), self.scale_factor,
+                       self.description)
+
+    def all_hw(self) -> "Project":
+        """Every operator mapped to FPGA pages."""
+        return self.retargeted({name: TARGET_HW
+                                for name in self.graph.operators})
+
+    def all_riscv(self) -> "Project":
+        """Every operator mapped to softcores (the all--O0 case)."""
+        return self.retargeted({name: TARGET_RISCV
+                                for name in self.graph.operators})
+
+    def one_riscv(self, operator: str) -> "Project":
+        """One operator on a softcore, the rest on pages (Fig. 10)."""
+        if operator not in self.graph.operators:
+            raise FlowError(f"no operator {operator!r}")
+        targets = {name: TARGET_HW for name in self.graph.operators}
+        targets[operator] = TARGET_RISCV
+        return self.retargeted(targets)

@@ -1,0 +1,80 @@
+"""Report formatting: the paper's tables from flow builds.
+
+Each formatter takes ``{app name: {flow name: FlowBuild}}`` and renders
+a text table shaped like Tab. 2 (compile time), Tab. 3 (performance) or
+Tab. 4 (area).  The benchmark harness prints these next to the paper's
+numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.flows import FlowBuild
+
+
+def _fmt_row(cells: List[str], widths: List[int]) -> str:
+    return "  ".join(cell.rjust(width)
+                     for cell, width in zip(cells, widths))
+
+
+def format_compile_table(builds: Dict[str, Dict[str, FlowBuild]]) -> str:
+    """Tab. 2: per-flow hls/syn/p&r/bit/total seconds."""
+    header = ["app", "flow", "hls", "syn", "p&r", "bit", "total"]
+    rows: List[List[str]] = []
+    for app, flows in builds.items():
+        for flow_name, build in flows.items():
+            times = build.compile_times
+            if flow_name.endswith("-O0"):
+                rows.append([app, flow_name, "-", "-", "-", "-",
+                             f"{build.riscv_seconds:.1f}"])
+            else:
+                rows.append([app, flow_name,
+                             f"{times.hls:.0f}", f"{times.syn:.0f}",
+                             f"{times.pnr:.0f}", f"{times.bit:.0f}",
+                             f"{times.total:.0f}"])
+    widths = [max(len(header[i]), max((len(r[i]) for r in rows),
+                                      default=0))
+              for i in range(len(header))]
+    lines = [_fmt_row(header, widths),
+             _fmt_row(["-" * w for w in widths], widths)]
+    lines += [_fmt_row(row, widths) for row in rows]
+    return "\n".join(lines)
+
+
+def format_performance_table(builds: Dict[str, Dict[str, FlowBuild]]
+                             ) -> str:
+    """Tab. 3: Fmax and per-input latency per flow."""
+    header = ["app", "flow", "Fmax", "per input", "bottleneck"]
+    rows: List[List[str]] = []
+    for app, flows in builds.items():
+        for flow_name, build in flows.items():
+            perf = build.performance
+            rows.append([app, flow_name, f"{perf.fmax_mhz:.0f}MHz",
+                         perf.per_input_text(), perf.bottleneck])
+    widths = [max(len(header[i]), max((len(r[i]) for r in rows),
+                                      default=0))
+              for i in range(len(header))]
+    lines = [_fmt_row(header, widths),
+             _fmt_row(["-" * w for w in widths], widths)]
+    lines += [_fmt_row(row, widths) for row in rows]
+    return "\n".join(lines)
+
+
+def format_area_table(builds: Dict[str, Dict[str, FlowBuild]]) -> str:
+    """Tab. 4: LUT / BRAM18 / DSP / page counts per flow."""
+    header = ["app", "flow", "LUT", "B18", "DSP", "PAGE#"]
+    rows: List[List[str]] = []
+    for app, flows in builds.items():
+        for flow_name, build in flows.items():
+            area = build.area
+            rows.append([app, flow_name, str(area.luts), str(area.brams),
+                         str(area.dsps),
+                         str(area.pages) if area.pages else "-"])
+    widths = [max(len(header[i]), max((len(r[i]) for r in rows),
+                                      default=0))
+              for i in range(len(header))]
+    lines = [_fmt_row(header, widths),
+             _fmt_row(["-" * w for w in widths], widths)]
+    lines += [_fmt_row(row, widths) for row in rows]
+    return "\n".join(lines)

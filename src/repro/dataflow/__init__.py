@@ -1,0 +1,41 @@
+"""Streaming dataflow compute model (SCORE / Kahn process networks).
+
+This package is the paper's Sec. 3: applications are graphs of *operators*
+connected by *latency-insensitive stream links*.  Operators communicate
+only through blocking FIFO reads and writes, so their functional behaviour
+is independent of where they run (FPGA page, softcore, or host) and of the
+timing of the transport between them — the property that lets PLD swap
+implementations per operator without changing results.
+
+Public surface:
+
+* :class:`Stream` — a latency-insensitive FIFO link.
+* :class:`Operator` / :func:`operator` — kernel processes written as
+  Python generators that ``yield`` on blocking stream access.
+* :class:`DataflowGraph` — the top-level kernel: operators + links.
+* :class:`FunctionalSimulator` — untimed KPN execution (reference
+  semantics for every mapping).
+* :class:`CycleSimulator` — timed execution used for the -O3 performance
+  model (operators annotated with initiation intervals and direct FIFO
+  links, Sec. 6.3).
+"""
+
+from repro.dataflow.stream import Stream, StreamClosed, ReadBlocked, WriteBlocked
+from repro.dataflow.graph import DataflowGraph, Operator, Port, operator
+from repro.dataflow.simulator import FunctionalSimulator, run_graph
+from repro.dataflow.cycle_sim import CycleSimulator, OperatorTiming
+
+__all__ = [
+    "Stream",
+    "StreamClosed",
+    "ReadBlocked",
+    "WriteBlocked",
+    "DataflowGraph",
+    "Operator",
+    "Port",
+    "operator",
+    "FunctionalSimulator",
+    "run_graph",
+    "CycleSimulator",
+    "OperatorTiming",
+]

@@ -1,0 +1,323 @@
+"""Timed (cycle-level) execution of a dataflow graph.
+
+The cycle simulator executes the same operator generators as the
+functional simulator, but with *bounded* FIFOs and per-operator timing
+annotations, producing a completion time in clock cycles.  It models the
+-O3 configuration: operators synthesised by HLS run as pipelines with an
+initiation interval (II), connected by direct hardware FIFO streams with
+a fixed link latency (Sec. 6.3).
+
+Timing model
+------------
+
+Every port moves at most one token per ``interval`` cycles (``interval``
+defaults to the operator's II — a pipelined HLS loop accepts one iteration
+per II cycles, and each port carries at most one token per iteration).
+A token written at producer-local time ``t`` becomes visible to the
+consumer at ``t + latency + link_latency``.  Bounded capacities create
+back pressure: a writer stalls until the consumer has freed a slot, and
+the stall duration falls out of the token timestamps.  Because blocking
+conditions are exactly the functional simulator's (KPN), token *values*
+are identical to the reference semantics; only timestamps are added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import DataflowError, DeadlockError
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.process import (
+    ReadBatchRequest,
+    ReadRequest,
+    WriteBatchRequest,
+    WriteRequest,
+)
+from repro.dataflow.stream import StreamClosed
+
+
+@dataclass(frozen=True)
+class OperatorTiming:
+    """Timing annotation for one operator, from the HLS schedule.
+
+    Args:
+        ii: initiation interval — cycles between successive pipeline
+            iterations (>= 1).
+        latency: cycles from consuming an input to producing the
+            corresponding output (pipeline depth).
+    """
+
+    ii: int = 1
+    latency: int = 1
+
+    def __post_init__(self):
+        if self.ii < 1:
+            raise ValueError(f"II must be >= 1, got {self.ii}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+
+
+@dataclass
+class _TimedFifo:
+    """A bounded FIFO whose tokens carry availability timestamps."""
+
+    name: str
+    capacity: Optional[int]
+    link_latency: int
+    tokens: List[Tuple[Any, int]] = field(default_factory=list)
+    head: int = 0                      # index of next token to read
+    read_times: List[int] = field(default_factory=list)
+    closed: bool = False
+
+    def occupancy(self) -> int:
+        return len(self.tokens) - self.head
+
+    def can_write(self) -> bool:
+        return self.capacity is None or self.occupancy() < self.capacity
+
+    def slot_free_time(self) -> int:
+        """Producer-visible time the next write's slot became free."""
+        if self.capacity is None:
+            return 0
+        idx = len(self.tokens) - self.capacity
+        if idx < 0:
+            return 0
+        return self.read_times[idx]
+
+    def write(self, token: Any, when: int) -> None:
+        self.tokens.append((token, when + self.link_latency))
+
+    def can_read(self) -> bool:
+        return self.head < len(self.tokens)
+
+    def read(self, reader_time: int) -> Tuple[Any, int]:
+        token, available = self.tokens[self.head]
+        when = max(reader_time, available)
+        self.read_times.append(when)
+        self.head += 1
+        return token, when
+
+    @property
+    def drained(self) -> bool:
+        return self.closed and not self.can_read()
+
+
+class _TimedProcess:
+    def __init__(self, name: str, gen, timing: OperatorTiming):
+        self.name = name
+        self.gen = gen
+        self.timing = timing
+        self.request = None
+        self.batch_progress: List[Any] = []
+        self.batch_index = 0
+        self.finished = False
+        self.started = False
+        # Per-port next-allowed-transfer times (one token per II per port).
+        self.port_ready: Dict[str, int] = {}
+        self.last_read = 0            # time of the most recent input token
+        self.last_event = 0           # time of the operator's last transfer
+
+
+class CycleSimulator:
+    """Timed execution with bounded FIFOs and operator IIs.
+
+    Args:
+        graph: validated dataflow graph.
+        timings: operator name -> :class:`OperatorTiming`; missing
+            operators default to ``OperatorTiming(ii=1, latency=1)``.
+        fifo_capacity: default stream depth (hardware FIFO depth); the
+            -O3 flow sizes these from functional-run statistics.
+        link_latency: cycles a token spends in flight on a link
+            (pipelined interconnect between operators).
+        capacities: optional per-link override of ``fifo_capacity``.
+    """
+
+    DEFAULT_TIMING = OperatorTiming(ii=1, latency=1)
+
+    def __init__(self, graph: DataflowGraph,
+                 timings: Optional[Dict[str, OperatorTiming]] = None,
+                 fifo_capacity: int = 16, link_latency: int = 1,
+                 capacities: Optional[Dict[str, int]] = None):
+        graph.validate()
+        if fifo_capacity < 1:
+            raise DataflowError("fifo_capacity must be >= 1")
+        self.graph = graph
+        self.timings = dict(timings or {})
+        self.fifo_capacity = fifo_capacity
+        self.link_latency = link_latency
+        caps = capacities or {}
+        self.fifos: Dict[str, _TimedFifo] = {}
+        self._in_fifo: Dict[Tuple[str, str], _TimedFifo] = {}
+        self._out_fifos: Dict[str, List[_TimedFifo]] = {
+            name: [] for name in graph.operators}
+        for link in graph.links.values():
+            fifo = _TimedFifo(link.name, caps.get(link.name, fifo_capacity),
+                              link_latency)
+            self.fifos[link.name] = fifo
+            self._in_fifo[(link.sink.operator, link.sink.name)] = fifo
+            self._in_fifo[(link.source.operator, "!" + link.source.name)] = fifo
+            self._out_fifos[link.source.operator].append(fifo)
+        # External streams are unbounded: DMA buffers live in card DRAM.
+        for ext in graph.external_inputs.values():
+            fifo = _TimedFifo(f"<in:{ext.name}>", None, 0)
+            self._in_fifo[(ext.inner.operator, ext.inner.name)] = fifo
+            self.fifos[fifo.name] = fifo
+        for ext in graph.external_outputs.values():
+            fifo = _TimedFifo(f"<out:{ext.name}>", None, 0)
+            self._in_fifo[(ext.inner.operator, "!" + ext.inner.name)] = fifo
+            self._out_fifos[ext.inner.operator].append(fifo)
+            self.fifos[fifo.name] = fifo
+        self.makespan = 0
+        self.outputs: Dict[str, List[Any]] = {}
+        self.output_times: Dict[str, List[int]] = {}
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, inputs: Dict[str, Iterable[Any]]) -> Dict[str, List[Any]]:
+        """Feed ``inputs`` at time zero, run to completion.
+
+        Returns the external outputs; :attr:`makespan` holds the cycle
+        count at which the last token was produced.
+        """
+        unknown = set(inputs) - {e for e in self.graph.external_inputs}
+        if unknown:
+            raise DataflowError(f"unknown external inputs: {sorted(unknown)}")
+        for name, ext in self.graph.external_inputs.items():
+            fifo = self._in_fifo[(ext.inner.operator, ext.inner.name)]
+            for token in inputs.get(name, ()):  # available at t=0
+                fifo.write(token, 0)
+            fifo.closed = True
+
+        processes = {
+            name: _TimedProcess(name, op.body(op.make_io()),
+                                self.timings.get(name, self.DEFAULT_TIMING))
+            for name, op in self.graph.operators.items()
+        }
+        order = self.graph.topological_order()
+
+        progress = True
+        while progress:
+            progress = False
+            for name in order:
+                proc = processes[name]
+                if proc.finished:
+                    continue
+                if self._run_until_blocked(proc):
+                    progress = True
+        blocked = sorted(p.name for p in processes.values() if not p.finished)
+        if blocked:
+            raise DeadlockError(
+                f"graph {self.graph.name!r} (timed): blocked: {blocked}; "
+                f"FIFO capacities may be too small for the token pattern",
+                blocked=blocked)
+
+        self.outputs = {}
+        self.output_times = {}
+        for name, ext in self.graph.external_outputs.items():
+            fifo = self._in_fifo[(ext.inner.operator, "!" + ext.inner.name)]
+            self.outputs[name] = [tok for tok, _t in fifo.tokens]
+            self.output_times[name] = [t for _tok, t in fifo.tokens]
+            if fifo.tokens:
+                self.makespan = max(self.makespan, fifo.tokens[-1][1])
+        return self.outputs
+
+    # -- process machinery (mirrors the functional simulator) ---------------
+
+    def _finish(self, proc: _TimedProcess) -> None:
+        proc.finished = True
+        proc.request = None
+        for fifo in self._out_fifos[proc.name]:
+            fifo.closed = True
+
+    def _run_until_blocked(self, proc: _TimedProcess) -> bool:
+        made_progress = False
+        while True:
+            value = None
+            if proc.request is not None:
+                serviced = self._try_service(proc)
+                if serviced is None:
+                    return made_progress
+                made_progress = True
+                if serviced is False:
+                    return made_progress
+                value = self._completed_value(proc)   # clears request
+            try:
+                if proc.started:
+                    request = proc.gen.send(value)
+                else:
+                    proc.started = True
+                    request = next(proc.gen)
+            except StopIteration:
+                self._finish(proc)
+                return made_progress
+            proc.request = request
+            proc.batch_progress = []
+            proc.batch_index = 0
+
+    def _completed_value(self, proc: _TimedProcess) -> Any:
+        request = proc.request
+        proc.request = None
+        if isinstance(request, ReadRequest):
+            return proc.batch_progress[0]
+        if isinstance(request, ReadBatchRequest):
+            return list(proc.batch_progress)
+        return None
+
+    def _advance_port(self, proc: _TimedProcess, port: str) -> int:
+        """Earliest time this port may move its next token."""
+        return proc.port_ready.get(port, 0)
+
+    def _note_transfer(self, proc: _TimedProcess, port: str,
+                       when: int) -> None:
+        proc.port_ready[port] = when + proc.timing.ii
+        proc.last_event = max(proc.last_event, when)
+
+    def _try_service(self, proc: _TimedProcess):
+        request = proc.request
+        if isinstance(request, (ReadRequest, ReadBatchRequest)):
+            want = 1 if isinstance(request, ReadRequest) else request.count
+            fifo = self._in_fifo[(proc.name, request.port)]
+            while len(proc.batch_progress) < want:
+                if fifo.can_read():
+                    ready = self._advance_port(proc, request.port)
+                    token, when = fifo.read(ready)
+                    proc.batch_progress.append(token)
+                    proc.last_read = max(proc.last_read, when)
+                    self._note_transfer(proc, request.port, when)
+                elif fifo.closed:
+                    return self._unwind(proc)
+                else:
+                    return None
+            return True
+        if isinstance(request, (WriteRequest, WriteBatchRequest)):
+            tokens = ([request.token] if isinstance(request, WriteRequest)
+                      else request.tokens)
+            fifo = self._in_fifo[(proc.name, "!" + request.port)]
+            while proc.batch_index < len(tokens):
+                if not fifo.can_write():
+                    return None
+                # A pipelined operator emits the result `latency` cycles
+                # after the input token it derives from; II paces the
+                # port; back pressure delays until a slot frees.
+                ready = max(self._advance_port(proc, request.port),
+                            proc.last_read + proc.timing.latency,
+                            fifo.slot_free_time())
+                fifo.write(tokens[proc.batch_index], ready)
+                self._note_transfer(proc, request.port, ready)
+                proc.batch_index += 1
+            return True
+        raise DataflowError(
+            f"operator {proc.name!r} yielded unknown request {request!r}")
+
+    def _unwind(self, proc: _TimedProcess) -> bool:
+        try:
+            proc.gen.throw(StreamClosed(
+                f"input {proc.request.port!r} of {proc.name!r} ended"))
+        except (StreamClosed, StopIteration):
+            pass
+        else:
+            raise DataflowError(
+                f"operator {proc.name!r} continued past end of input")
+        self._finish(proc)
+        return False

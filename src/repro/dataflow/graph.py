@@ -1,0 +1,322 @@
+"""Operators and the top-level dataflow graph (Sec. 3.3).
+
+A :class:`DataflowGraph` is the paper's ``top.cpp``: a set of named
+:class:`Operator` nodes whose ports are wired together by streams, plus
+graph-level input/output ports that the DMA engine feeds and drains.
+Each operator carries its mapping pragma (``target=HW`` or ``target=RISCV``
+with a page preference, Fig. 2(a)) and optional references to its HLS
+specification so the toolflow can compile it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import DataflowError
+from repro.dataflow.process import OpIO
+
+
+#: Mapping targets understood by the toolflow pragmas.
+TARGET_HW = "HW"
+TARGET_RISCV = "RISCV"
+_VALID_TARGETS = (TARGET_HW, TARGET_RISCV)
+
+
+@dataclass(frozen=True)
+class Port:
+    """A named, directed port on an operator."""
+
+    operator: str
+    name: str
+    direction: str  # "in" | "out"
+    width: int = 32
+
+    def __str__(self) -> str:
+        return f"{self.operator}.{self.name}"
+
+
+class Operator:
+    """A streaming dataflow operator (one C kernel function).
+
+    Args:
+        name: unique operator name within the graph.
+        body: generator function ``body(io)`` following the process
+            protocol in :mod:`repro.dataflow.process`.
+        inputs: input port names, in declaration order.
+        outputs: output port names, in declaration order.
+        target: mapping pragma, ``"HW"`` (FPGA page, -O1/-O3) or
+            ``"RISCV"`` (softcore, -O0).
+        page: preferred physical page number, or None for auto-assign.
+        hls_spec: optional :class:`repro.hls.ir.OperatorSpec` used by the
+            HLS and softcore compilers; functional simulation does not
+            need it.  Benchmarks attach *paper-scale* specs here (full
+            trip counts and array sizes) since scheduling and estimation
+            are static analyses.
+        sample_spec: optional reduced-workload spec (small trip counts)
+            compiled for softcore *execution*; defaults to ``hls_spec``.
+            The static structure (and hence the compile time) of the two
+            is identical — only loop bounds differ.
+        port_widths: optional per-port payload widths (default 32).
+    """
+
+    def __init__(self, name: str, body: Callable, inputs: Iterable[str],
+                 outputs: Iterable[str], target: str = TARGET_HW,
+                 page: Optional[int] = None, hls_spec=None,
+                 port_widths: Optional[Dict[str, int]] = None,
+                 sample_spec=None):
+        if target not in _VALID_TARGETS:
+            raise DataflowError(
+                f"operator {name!r}: unknown target {target!r} "
+                f"(expected one of {_VALID_TARGETS})")
+        self.name = name
+        self.body = body
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        if set(self.inputs) & set(self.outputs):
+            raise DataflowError(
+                f"operator {name!r}: port names must be unique across "
+                f"inputs and outputs")
+        self.target = target
+        self.page = page
+        self.hls_spec = hls_spec
+        self.sample_spec = sample_spec if sample_spec is not None \
+            else hls_spec
+        widths = port_widths or {}
+        self.port_widths = {p: widths.get(p, 32)
+                            for p in self.inputs + self.outputs}
+
+    def make_io(self) -> OpIO:
+        """Build the request-constructing handle passed to the body."""
+        return OpIO(self.inputs, self.outputs)
+
+    def port(self, name: str) -> Port:
+        """Look up a port descriptor by name."""
+        if name in self.inputs:
+            return Port(self.name, name, "in", self.port_widths[name])
+        if name in self.outputs:
+            return Port(self.name, name, "out", self.port_widths[name])
+        raise DataflowError(f"operator {self.name!r} has no port {name!r}")
+
+    def with_target(self, target: str, page: Optional[int] = None
+                    ) -> "Operator":
+        """Copy of this operator with a different mapping pragma.
+
+        This is the paper's one-line pragma edit (Fig. 2(a) lines 3-4):
+        the body, ports and HLS spec are shared, only the target changes.
+        """
+        return Operator(self.name, self.body, self.inputs, self.outputs,
+                        target, self.page if page is None else page,
+                        self.hls_spec, dict(self.port_widths),
+                        self.sample_spec)
+
+    def __repr__(self) -> str:
+        return (f"Operator({self.name!r}, in={list(self.inputs)}, "
+                f"out={list(self.outputs)}, target={self.target})")
+
+
+def operator(name: str, inputs: Iterable[str], outputs: Iterable[str],
+             target: str = TARGET_HW, page: Optional[int] = None,
+             hls_spec=None, port_widths: Optional[Dict[str, int]] = None):
+    """Decorator turning a generator function into an :class:`Operator`.
+
+    .. code-block:: python
+
+        @operator("double", inputs=["a"], outputs=["b"])
+        def double(io):
+            while True:
+                value = yield io.read("a")
+                yield io.write("b", value * 2)
+    """
+
+    def wrap(body: Callable) -> Operator:
+        return Operator(name, body, inputs, outputs, target, page,
+                        hls_spec, port_widths)
+
+    return wrap
+
+
+@dataclass(frozen=True)
+class Link:
+    """A stream edge: producer port -> consumer port."""
+
+    name: str
+    source: Port
+    sink: Port
+    width: int = 32
+
+
+@dataclass
+class ExternalPort:
+    """A graph-level port bound to the DMA engine (host side)."""
+
+    name: str
+    direction: str  # "in" feeds the graph, "out" drains it
+    inner: Port = None
+    width: int = 32
+
+
+class DataflowGraph:
+    """The top-level kernel: operators wired by latency-insensitive links.
+
+    Build with :meth:`add` and :meth:`connect`; bind host-facing streams
+    with :meth:`expose_input` / :meth:`expose_output`; then
+    :meth:`validate` before handing the graph to a simulator or flow.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.operators: Dict[str, Operator] = {}
+        self.links: Dict[str, Link] = {}
+        self.external_inputs: Dict[str, ExternalPort] = {}
+        self.external_outputs: Dict[str, ExternalPort] = {}
+        # port -> link name, for connectivity checks
+        self._bound: Dict[Tuple[str, str], str] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, op: Operator) -> Operator:
+        """Add an operator; names must be unique."""
+        if op.name in self.operators:
+            raise DataflowError(f"duplicate operator name {op.name!r}")
+        self.operators[op.name] = op
+        return op
+
+    def _resolve(self, spec: str, direction: str) -> Port:
+        try:
+            op_name, port_name = spec.split(".", 1)
+        except ValueError:
+            raise DataflowError(
+                f"port spec {spec!r} must be 'operator.port'") from None
+        if op_name not in self.operators:
+            raise DataflowError(f"unknown operator {op_name!r} in {spec!r}")
+        port = self.operators[op_name].port(port_name)
+        if port.direction != direction:
+            raise DataflowError(
+                f"{spec}: expected an {direction}put port, "
+                f"got {port.direction}put")
+        return port
+
+    def _bind(self, port: Port, link_name: str) -> None:
+        key = (port.operator, port.name)
+        if key in self._bound:
+            raise DataflowError(
+                f"port {port} already connected to link "
+                f"{self._bound[key]!r}")
+        self._bound[key] = link_name
+
+    def connect(self, source: str, sink: str,
+                name: Optional[str] = None) -> Link:
+        """Wire ``"producer.port"`` to ``"consumer.port"`` with a stream."""
+        src = self._resolve(source, "out")
+        dst = self._resolve(sink, "in")
+        if src.width != dst.width:
+            raise DataflowError(
+                f"width mismatch on link {source} -> {sink}: "
+                f"{src.width} vs {dst.width}")
+        link_name = name or f"{src.operator}_{src.name}__{dst.operator}_{dst.name}"
+        if link_name in self.links:
+            raise DataflowError(f"duplicate link name {link_name!r}")
+        link = Link(link_name, src, dst, src.width)
+        self._bind(src, link_name)
+        self._bind(dst, link_name)
+        self.links[link_name] = link
+        return link
+
+    def expose_input(self, name: str, sink: str) -> ExternalPort:
+        """Bind a host-fed stream to an operator input port."""
+        if name in self.external_inputs:
+            raise DataflowError(f"duplicate external input {name!r}")
+        port = self._resolve(sink, "in")
+        self._bind(port, f"<ext:{name}>")
+        ext = ExternalPort(name, "in", port, port.width)
+        self.external_inputs[name] = ext
+        return ext
+
+    def expose_output(self, name: str, source: str) -> ExternalPort:
+        """Bind an operator output port to a host-drained stream."""
+        if name in self.external_outputs:
+            raise DataflowError(f"duplicate external output {name!r}")
+        port = self._resolve(source, "out")
+        self._bind(port, f"<ext:{name}>")
+        ext = ExternalPort(name, "out", port, port.width)
+        self.external_outputs[name] = ext
+        return ext
+
+    # -- queries --------------------------------------------------------------
+
+    def links_of(self, op_name: str) -> List[Link]:
+        """All internal links touching an operator."""
+        return [l for l in self.links.values()
+                if l.source.operator == op_name or l.sink.operator == op_name]
+
+    def predecessors(self, op_name: str) -> List[str]:
+        """Operators feeding ``op_name`` through internal links."""
+        return sorted({l.source.operator for l in self.links.values()
+                       if l.sink.operator == op_name})
+
+    def successors(self, op_name: str) -> List[str]:
+        """Operators fed by ``op_name`` through internal links."""
+        return sorted({l.sink.operator for l in self.links.values()
+                       if l.source.operator == op_name})
+
+    def topological_order(self) -> List[str]:
+        """Operators in a feed-forward order (cycles tolerated via DFS).
+
+        The Rosetta graphs are feed-forward; for graphs with feedback the
+        order is a best-effort DFS finish order, which the simulators only
+        use as a scheduling heuristic (correctness never depends on it).
+        """
+        seen: Dict[str, int] = {}
+        order: List[str] = []
+
+        def visit(node: str) -> None:
+            state = seen.get(node, 0)
+            if state:
+                return
+            seen[node] = 1
+            for succ in self.successors(node):
+                visit(succ)
+            seen[node] = 2
+            order.append(node)
+
+        for name in self.operators:
+            visit(name)
+        order.reverse()
+        return order
+
+    def validate(self) -> None:
+        """Check every port is wired exactly once and names resolve."""
+        for op in self.operators.values():
+            for port_name in op.inputs + op.outputs:
+                if (op.name, port_name) not in self._bound:
+                    raise DataflowError(
+                        f"port {op.name}.{port_name} is not connected")
+        if not self.external_inputs and not self.external_outputs:
+            raise DataflowError(
+                f"graph {self.name!r} has no external ports; the host "
+                f"could neither feed nor observe it")
+
+    def retarget(self, targets: Dict[str, str]) -> "DataflowGraph":
+        """Copy of the graph with some operators' pragmas changed.
+
+        ``targets`` maps operator name to ``"HW"`` or ``"RISCV"``.  Used by
+        the flows and by Fig. 10's one-softcore sweep.
+        """
+        out = DataflowGraph(self.name)
+        for op in self.operators.values():
+            new_target = targets.get(op.name, op.target)
+            out.add(op.with_target(new_target))
+        for link in self.links.values():
+            out.connect(f"{link.source.operator}.{link.source.name}",
+                        f"{link.sink.operator}.{link.sink.name}", link.name)
+        for ext in self.external_inputs.values():
+            out.expose_input(ext.name, f"{ext.inner.operator}.{ext.inner.name}")
+        for ext in self.external_outputs.values():
+            out.expose_output(ext.name,
+                              f"{ext.inner.operator}.{ext.inner.name}")
+        return out
+
+    def __repr__(self) -> str:
+        return (f"DataflowGraph({self.name!r}, {len(self.operators)} ops, "
+                f"{len(self.links)} links)")

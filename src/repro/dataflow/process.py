@@ -1,0 +1,113 @@
+"""Operator process protocol.
+
+Operator bodies are Python generator functions.  They interact with their
+streams by *yielding request objects* that the simulator services:
+
+.. code-block:: python
+
+    def body(io):
+        while True:
+            left = yield io.read("a")
+            right = yield io.read("b")
+            yield io.write("out", left + right)
+
+``yield io.read(port)`` suspends the process until a token is available
+and evaluates to that token; ``yield io.write(port, token)`` suspends
+until there is FIFO space.  This cooperative style gives the simulators
+full control over interleaving while keeping kernels single-source: the
+same body runs under the functional simulator, the -O3 cycle simulator
+and (after compilation) corresponds to what the softcore executes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+
+class ReadRequest:
+    """Request one token from an input port (evaluates to the token)."""
+
+    __slots__ = ("port",)
+
+    def __init__(self, port: str):
+        self.port = port
+
+    def __repr__(self) -> str:
+        return f"ReadRequest({self.port!r})"
+
+
+class ReadBatchRequest:
+    """Request ``count`` tokens from a port (evaluates to a list)."""
+
+    __slots__ = ("port", "count")
+
+    def __init__(self, port: str, count: int):
+        if count < 1:
+            raise ValueError("read_n count must be >= 1")
+        self.port = port
+        self.count = count
+
+    def __repr__(self) -> str:
+        return f"ReadBatchRequest({self.port!r}, {self.count})"
+
+
+class WriteRequest:
+    """Write one token to an output port."""
+
+    __slots__ = ("port", "token")
+
+    def __init__(self, port: str, token: Any):
+        self.port = port
+        self.token = token
+
+    def __repr__(self) -> str:
+        return f"WriteRequest({self.port!r}, {self.token!r})"
+
+
+class WriteBatchRequest:
+    """Write a sequence of tokens to an output port, in order."""
+
+    __slots__ = ("port", "tokens")
+
+    def __init__(self, port: str, tokens: List[Any]):
+        self.port = port
+        self.tokens = list(tokens)
+
+    def __repr__(self) -> str:
+        return f"WriteBatchRequest({self.port!r}, {len(self.tokens)} tokens)"
+
+
+class OpIO:
+    """Handle passed to operator bodies for building stream requests.
+
+    The handle only *builds* requests; the executing simulator services
+    them.  Port names are validated so kernels fail fast on typos.
+    """
+
+    def __init__(self, inputs, outputs):
+        self._inputs = frozenset(inputs)
+        self._outputs = frozenset(outputs)
+
+    def read(self, port: str) -> ReadRequest:
+        """One blocking token read from ``port``."""
+        if port not in self._inputs:
+            raise KeyError(f"unknown input port {port!r}")
+        return ReadRequest(port)
+
+    def read_n(self, port: str, count: int) -> ReadBatchRequest:
+        """``count`` blocking token reads from ``port``."""
+        if port not in self._inputs:
+            raise KeyError(f"unknown input port {port!r}")
+        return ReadBatchRequest(port, count)
+
+    def write(self, port: str, token: Any) -> WriteRequest:
+        """One blocking token write to ``port``."""
+        if port not in self._outputs:
+            raise KeyError(f"unknown output port {port!r}")
+        return WriteRequest(port, token)
+
+    def write_n(self, port: str, tokens) -> WriteBatchRequest:
+        """Blocking write of every token in ``tokens`` to ``port``."""
+        if port not in self._outputs:
+            raise KeyError(f"unknown output port {port!r}")
+        return WriteBatchRequest(port, tokens)

@@ -1,0 +1,260 @@
+"""Untimed functional execution of a dataflow graph (reference semantics).
+
+The functional simulator executes the graph as a Kahn process network:
+operators run until they block on an empty input (capacities are
+unbounded, so writes never block), and scheduling order cannot affect the
+results.  This is the semantics every mapping must preserve — the paper's
+central abstraction claim — so the -O0/-O1/-O3 execution models are all
+tested against this simulator's outputs.
+
+End-of-input is modelled by *closing* streams: the host closes external
+inputs after feeding them, and an operator whose read hits a closed, empty
+stream receives :class:`StreamClosed`, unwinding the (typically infinite)
+kernel loop.  When an operator finishes, its output streams close, which
+cascades shutdown through the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import DataflowError, DeadlockError
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.process import (
+    OpIO,
+    ReadBatchRequest,
+    ReadRequest,
+    WriteBatchRequest,
+    WriteRequest,
+)
+from repro.dataflow.stream import Stream, StreamClosed
+
+
+class _Process:
+    """Book-keeping for one running operator."""
+
+    def __init__(self, name: str, gen):
+        self.name = name
+        self.gen = gen
+        self.request = None          # outstanding request, if blocked
+        self.batch_progress: List[Any] = []   # partial batch reads
+        self.batch_index = 0         # partial batch writes
+        self.finished = False
+        self.started = False
+
+
+class FunctionalSimulator:
+    """Executes a :class:`DataflowGraph` with unbounded FIFOs.
+
+    Args:
+        graph: the validated graph to run.
+        max_steps: safety valve on total request-service steps; ``None``
+            disables the guard.  A graph of well-formed operators always
+            terminates once its inputs close, but a buggy source-less
+            producer would otherwise spin forever.
+    """
+
+    def __init__(self, graph: DataflowGraph,
+                 max_steps: Optional[int] = 100_000_000):
+        graph.validate()
+        self.graph = graph
+        self.max_steps = max_steps
+        self.streams: Dict[str, Stream] = {}
+        self._in_stream: Dict[tuple, Stream] = {}
+        self._out_streams: Dict[str, List[Stream]] = {
+            name: [] for name in graph.operators}
+        self.external_in: Dict[str, Stream] = {}
+        self.external_out: Dict[str, Stream] = {}
+        self._build_streams()
+        self.steps = 0
+        self.firings: Dict[str, int] = {name: 0 for name in graph.operators}
+
+    def _build_streams(self) -> None:
+        for link in self.graph.links.values():
+            stream = Stream(link.name, link.width)
+            self.streams[link.name] = stream
+            self._in_stream[(link.sink.operator, link.sink.name)] = stream
+            self._out_streams[link.source.operator].append(stream)
+            # writes address streams by (operator, port) too
+            self._in_stream[(link.source.operator, "!" + link.source.name)] \
+                = stream
+        for ext in self.graph.external_inputs.values():
+            stream = Stream(f"<in:{ext.name}>", ext.width)
+            self.external_in[ext.name] = stream
+            self._in_stream[(ext.inner.operator, ext.inner.name)] = stream
+        for ext in self.graph.external_outputs.values():
+            stream = Stream(f"<out:{ext.name}>", ext.width)
+            self.external_out[ext.name] = stream
+            self._out_streams[ext.inner.operator].append(stream)
+            self._in_stream[(ext.inner.operator, "!" + ext.inner.name)] \
+                = stream
+
+    # -- stream lookup -------------------------------------------------------
+
+    def _read_stream(self, op: str, port: str) -> Stream:
+        return self._in_stream[(op, port)]
+
+    def _write_stream(self, op: str, port: str) -> Stream:
+        return self._in_stream[(op, "!" + port)]
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, inputs: Dict[str, Iterable[Any]],
+            close_inputs: bool = True) -> Dict[str, List[Any]]:
+        """Feed ``inputs``, run to quiescence, return external outputs.
+
+        Args:
+            inputs: external input name -> token sequence.
+            close_inputs: close the fed streams so the graph can drain
+                and terminate (the normal, finite-run case).
+
+        Returns:
+            external output name -> list of produced tokens.
+        """
+        unknown = set(inputs) - set(self.external_in)
+        if unknown:
+            raise DataflowError(f"unknown external inputs: {sorted(unknown)}")
+        for name, tokens in inputs.items():
+            stream = self.external_in[name]
+            for token in tokens:
+                stream.write(token)
+            if close_inputs:
+                stream.close()
+        missing = set(self.external_in) - set(inputs)
+        if close_inputs:
+            for name in missing:
+                self.external_in[name].close()
+
+        processes = {
+            name: _Process(name, op.body(op.make_io()))
+            for name, op in self.graph.operators.items()
+        }
+        order = self.graph.topological_order()
+
+        progress = True
+        while progress:
+            progress = False
+            for name in order:
+                proc = processes[name]
+                if proc.finished:
+                    continue
+                if self._run_until_blocked(proc):
+                    progress = True
+        # At quiescence with unbounded FIFOs, writes never block, and reads
+        # on closed streams unwind their operator — so any process still
+        # alive is waiting on an open stream no runnable producer will
+        # ever feed: a deadlock.
+        blocked = sorted(p.name for p in processes.values() if not p.finished)
+        if blocked:
+            raise DeadlockError(
+                f"graph {self.graph.name!r}: no runnable operator; "
+                f"blocked: {blocked}", blocked=blocked)
+        return {name: stream.drain()
+                for name, stream in self.external_out.items()}
+
+    def _finish(self, proc: _Process) -> None:
+        proc.finished = True
+        proc.request = None
+        for stream in self._out_streams[proc.name]:
+            stream.close()
+
+    def _count_step(self) -> None:
+        self.steps += 1
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise DataflowError(
+                f"functional simulation exceeded {self.max_steps} steps; "
+                f"suspected runaway producer")
+
+    def _run_until_blocked(self, proc: _Process) -> bool:
+        """Resume one operator until it blocks or finishes.
+
+        Returns True when any request was serviced (progress was made).
+        """
+        made_progress = False
+        while True:
+            value = None
+            if proc.request is not None:
+                serviced = self._try_service(proc)
+                if serviced is None:
+                    return made_progress      # blocked
+                made_progress = True
+                if serviced is False:
+                    return made_progress      # finished (unwound)
+                value = self._completed_value(proc)   # clears request
+            try:
+                if proc.started:
+                    request = proc.gen.send(value)
+                else:
+                    proc.started = True
+                    request = next(proc.gen)
+            except StopIteration:
+                self._finish(proc)
+                return made_progress
+            proc.request = request
+            proc.batch_progress = []
+            proc.batch_index = 0
+
+    def _completed_value(self, proc: _Process) -> Any:
+        request = proc.request
+        proc.request = None
+        if isinstance(request, ReadRequest):
+            return proc.batch_progress[0]
+        if isinstance(request, ReadBatchRequest):
+            return list(proc.batch_progress)
+        return None
+
+    def _try_service(self, proc: _Process):
+        """Try to complete the outstanding request.
+
+        Returns True when complete, None when still blocked, False when
+        the operator unwound (end of input) and finished.
+        """
+        request = proc.request
+        if isinstance(request, (ReadRequest, ReadBatchRequest)):
+            want = 1 if isinstance(request, ReadRequest) else request.count
+            stream = self._read_stream(proc.name, request.port)
+            while len(proc.batch_progress) < want:
+                if stream.can_read():
+                    self._count_step()
+                    proc.batch_progress.append(stream.read())
+                elif stream.closed:
+                    return self._unwind(proc)
+                else:
+                    return None
+            self.firings[proc.name] += 1
+            return True
+        if isinstance(request, WriteRequest):
+            stream = self._write_stream(proc.name, request.port)
+            self._count_step()
+            stream.write(request.token)   # unbounded: never blocks
+            return True
+        if isinstance(request, WriteBatchRequest):
+            stream = self._write_stream(proc.name, request.port)
+            while proc.batch_index < len(request.tokens):
+                self._count_step()
+                stream.write(request.tokens[proc.batch_index])
+                proc.batch_index += 1
+            return True
+        raise DataflowError(
+            f"operator {proc.name!r} yielded unknown request {request!r}")
+
+    def _unwind(self, proc: _Process) -> bool:
+        """Throw StreamClosed into the generator (end of its input)."""
+        try:
+            proc.gen.throw(StreamClosed(
+                f"input {proc.request.port!r} of {proc.name!r} ended"))
+        except (StreamClosed, StopIteration):
+            pass
+        else:
+            # The body caught StreamClosed and kept going: illegal, since
+            # the token can never arrive.
+            raise DataflowError(
+                f"operator {proc.name!r} continued past end of input")
+        self._finish(proc)
+        return False
+
+
+def run_graph(graph: DataflowGraph, inputs: Dict[str, Iterable[Any]],
+              max_steps: Optional[int] = 100_000_000) -> Dict[str, List[Any]]:
+    """One-shot functional run: feed ``inputs``, return external outputs."""
+    return FunctionalSimulator(graph, max_steps=max_steps).run(inputs)

@@ -1,0 +1,144 @@
+"""Latency-insensitive stream links (Sec. 3.2).
+
+A :class:`Stream` behaves like the paper's ``hls::stream``: a FIFO with
+data presence.  Reads from an empty stream block; writes to a full stream
+block (back pressure).  In the untimed functional simulator capacities are
+unbounded, so only reads ever block — the Kahn condition that makes
+execution deterministic.  Timed simulators bound the capacity to model
+hardware FIFO depths and back-pressure stalls.
+
+Tokens are raw 32-bit words by default (the linking network payload
+width); HLS types are carried via their ``raw()`` bit patterns, exactly as
+the hardware serialises them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.errors import DataflowError
+
+
+class StreamClosed(DataflowError):
+    """Raised when reading a stream whose producer has finished."""
+
+
+class ReadBlocked(Exception):
+    """Internal: a read found the FIFO empty (scheduler suspends)."""
+
+
+class WriteBlocked(Exception):
+    """Internal: a write found the FIFO full (scheduler suspends)."""
+
+
+class Stream:
+    """A FIFO link between one producer port and one consumer port.
+
+    Args:
+        name: link name (used in graphs, reports and error messages).
+        width: payload bit width; defaults to the 32-bit NoC word.
+        capacity: maximum tokens held; ``None`` means unbounded
+            (functional simulation).
+    """
+
+    def __init__(self, name: str, width: int = 32,
+                 capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"stream {name!r}: capacity must be >= 1")
+        self.name = name
+        self.width = width
+        self.capacity = capacity
+        self._queue: deque = deque()
+        self._closed = False
+        # Statistics used for FIFO sizing (-O3 flow) and area accounting.
+        self.total_writes = 0
+        self.total_reads = 0
+        self.max_occupancy = 0
+
+    # -- state ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def empty(self) -> bool:
+        """True when no tokens are waiting."""
+        return not self._queue
+
+    @property
+    def full(self) -> bool:
+        """True when a bounded FIFO has no free slots."""
+        return self.capacity is not None and len(self._queue) >= self.capacity
+
+    @property
+    def closed(self) -> bool:
+        """True once the producer signalled end-of-stream."""
+        return self._closed
+
+    @property
+    def drained(self) -> bool:
+        """True when closed and every token has been consumed."""
+        return self._closed and not self._queue
+
+    # -- operations ---------------------------------------------------------
+
+    def can_read(self) -> bool:
+        """Whether a read would succeed right now."""
+        return bool(self._queue)
+
+    def can_write(self) -> bool:
+        """Whether a write would succeed right now."""
+        return not self._closed and not self.full
+
+    def write(self, token: Any) -> None:
+        """Append a token; raises :class:`WriteBlocked` when full."""
+        if self._closed:
+            raise DataflowError(
+                f"write to closed stream {self.name!r}")
+        if self.full:
+            raise WriteBlocked(self.name)
+        self._queue.append(token)
+        self.total_writes += 1
+        if len(self._queue) > self.max_occupancy:
+            self.max_occupancy = len(self._queue)
+
+    def read(self) -> Any:
+        """Pop the oldest token; raises :class:`ReadBlocked` when empty."""
+        if not self._queue:
+            if self._closed:
+                raise StreamClosed(
+                    f"read past end of stream {self.name!r}")
+            raise ReadBlocked(self.name)
+        self.total_reads += 1
+        return self._queue.popleft()
+
+    def peek(self) -> Any:
+        """Look at the oldest token without consuming it."""
+        if not self._queue:
+            raise ReadBlocked(self.name)
+        return self._queue[0]
+
+    def close(self) -> None:
+        """Producer signals no more tokens will arrive."""
+        self._closed = True
+
+    def drain(self) -> list:
+        """Consume and return all waiting tokens (host-side helper)."""
+        out = list(self._queue)
+        self.total_reads += len(self._queue)
+        self._queue.clear()
+        return out
+
+    def reset(self) -> None:
+        """Clear contents and statistics (reuse between simulations)."""
+        self._queue.clear()
+        self._closed = False
+        self.total_writes = 0
+        self.total_reads = 0
+        self.max_occupancy = 0
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return (f"Stream({self.name!r}, width={self.width}, "
+                f"{len(self._queue)}/{cap} tokens)")

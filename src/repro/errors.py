@@ -1,0 +1,84 @@
+"""Exception hierarchy shared across the PLD reproduction.
+
+Every package raises subclasses of :class:`PLDError` so callers can catch
+framework failures without also swallowing programming errors such as
+``TypeError``.  The hierarchy mirrors the major subsystems; see DESIGN.md
+for the subsystem inventory.
+"""
+
+from __future__ import annotations
+
+
+class PLDError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class DataflowError(PLDError):
+    """Malformed dataflow graphs or illegal stream usage."""
+
+
+class DeadlockError(DataflowError):
+    """The Kahn-process-network execution cannot make progress.
+
+    Carries the set of blocked operator names so callers (and tests) can
+    report which part of the application stalled.
+    """
+
+    def __init__(self, message: str, blocked: tuple = ()):
+        super().__init__(message)
+        self.blocked = tuple(blocked)
+
+
+class HLSError(PLDError):
+    """Errors in the operator IR or high-level-synthesis pass pipeline."""
+
+
+class ScheduleError(HLSError):
+    """The operation scheduler could not produce a legal schedule."""
+
+
+class FabricError(PLDError):
+    """Device-model or floorplan errors (unknown page, bad region...)."""
+
+
+class CapacityError(FabricError):
+    """An operator does not fit in the page it was assigned to."""
+
+    def __init__(self, message: str, *, resource: str = "", need: int = 0,
+                 have: int = 0):
+        super().__init__(message)
+        self.resource = resource
+        self.need = need
+        self.have = have
+
+
+class PnRError(PLDError):
+    """Placement or routing failed (unroutable, illegal placement...)."""
+
+
+class NoCError(PLDError):
+    """Linking-network configuration or simulation errors."""
+
+
+class SoftcoreError(PLDError):
+    """RISC-V compilation, assembly or instruction-set-simulator errors."""
+
+
+class TrapError(SoftcoreError):
+    """The simulated processor executed an illegal or unaligned access."""
+
+    def __init__(self, message: str, *, pc: int = 0):
+        super().__init__(message)
+        self.pc = pc
+
+
+class PlatformError(PLDError):
+    """Card / host-runtime errors (bad xclbin, DMA misuse...)."""
+
+
+class FlowError(PLDError):
+    """PLD toolflow errors (bad pragma, missing target, link failures)."""
+
+
+class BuildError(FlowError):
+    """The incremental build engine detected an inconsistency."""

@@ -1,0 +1,44 @@
+"""FPGA device and floorplan model (the Alveo U50 / XCU50 substitute).
+
+Models the paper's target hardware (Sec. 2.5, 4.2, 7.1):
+
+* :mod:`repro.fabric.device` — the XCU50 resource totals, two SLRs, and
+  a tile-grid geometry (heterogeneous BRAM/DSP columns) that the placer
+  and router operate on;
+* :mod:`repro.fabric.page` — the four page types of Tab. 1 and the
+  22-page floorplan of Fig. 8, plus the Eq. 1 efficiency model;
+* :mod:`repro.fabric.shell` — static shell, L1/L2 DFX regions and the
+  abstract-shell mechanism that lets page compiles ignore everything
+  outside their region;
+* :mod:`repro.fabric.bitstream` — full/partial bitstream sizing and
+  configuration-load timing.
+"""
+
+from repro.fabric.device import Device, TileGrid, Site, XCU50
+from repro.fabric.page import (
+    FLOORPLAN,
+    Page,
+    PageType,
+    PAGE_TYPES,
+    page_efficiency,
+)
+from repro.fabric.shell import AbstractShell, DFXRegion, StaticShell, Overlay
+from repro.fabric.bitstream import Bitstream, CONFIG_BANDWIDTH_BYTES_PER_S
+
+__all__ = [
+    "Device",
+    "TileGrid",
+    "Site",
+    "XCU50",
+    "FLOORPLAN",
+    "Page",
+    "PageType",
+    "PAGE_TYPES",
+    "page_efficiency",
+    "AbstractShell",
+    "DFXRegion",
+    "StaticShell",
+    "Overlay",
+    "Bitstream",
+    "CONFIG_BANDWIDTH_BYTES_PER_S",
+]

@@ -1,0 +1,71 @@
+"""Bitstream sizing and configuration-load timing (Sec. 2.3).
+
+Bitstream size is proportional to the fabric area it covers: a full
+device image runs to tens–hundreds of megabytes, a single page's partial
+bitstream to tens–hundreds of kilobytes, which is why partial
+reconfiguration loads in milliseconds.  The model uses configuration
+bits per resource plus a fixed header, and the PCIe/ICAP configuration
+bandwidth to turn sizes into load times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import FabricError
+
+#: Configuration bits per LUT (routing + logic config, empirically ~200).
+BITS_PER_LUT = 200
+
+#: Configuration bits per BRAM18 (content + config).
+BITS_PER_BRAM = 18 * 1024 + 2_000
+
+#: Configuration bits per DSP slice.
+BITS_PER_DSP = 4_000
+
+#: Fixed header/footer bytes on any bitstream.
+HEADER_BYTES = 4_096
+
+#: ICAP/PCIe configuration bandwidth (bytes/s), ~400 MB/s.
+CONFIG_BANDWIDTH_BYTES_PER_S = 400_000_000
+
+
+@dataclass(frozen=True)
+class Bitstream:
+    """A (possibly partial) configuration image.
+
+    Args:
+        name: image name (e.g. ``page_7.xclbin``).
+        luts/brams/dsps: fabric area covered by the image.
+        partial: True for page/L1 partial images, False for full-device.
+        payload_bytes: optional extra payload (e.g. a packed ELF for a
+            softcore page rides along with the linking metadata).
+    """
+
+    name: str
+    luts: int
+    brams: int = 0
+    dsps: int = 0
+    partial: bool = True
+    payload_bytes: int = 0
+
+    def __post_init__(self):
+        if self.luts < 0 or self.brams < 0 or self.dsps < 0:
+            raise FabricError(f"bitstream {self.name!r}: negative area")
+
+    @property
+    def size_bytes(self) -> int:
+        bits = (self.luts * BITS_PER_LUT + self.brams * BITS_PER_BRAM
+                + self.dsps * BITS_PER_DSP)
+        return HEADER_BYTES + bits // 8 + self.payload_bytes
+
+    @property
+    def load_seconds(self) -> float:
+        """Time to push the image through the configuration port."""
+        return self.size_bytes / CONFIG_BANDWIDTH_BYTES_PER_S
+
+    def __repr__(self) -> str:
+        kind = "partial" if self.partial else "full"
+        return (f"Bitstream({self.name!r}, {kind}, "
+                f"{self.size_bytes / 1024:.1f} KiB)")

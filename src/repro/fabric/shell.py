@@ -1,0 +1,181 @@
+"""Shells and DFX regions (Sec. 2.3, 2.5, 4.2).
+
+The data-center card keeps a vendor *static shell* (PCIe + configuration
+logic) alive across reconfigurations.  PLD reserves the vendor's user
+region as a level-1 DFX region holding the overlay (linking network, DMA,
+support logic) and subdivides it into level-2 DFX regions — the pages.
+An *abstract shell* is the CAD-side trick (Sec. 4.1): a pre-compiled
+context checkpoint describing only one page's boundary, so a page
+compile never loads the rest of the design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FabricError
+from repro.fabric.device import Device, XCU50
+from repro.fabric.page import FLOORPLAN, Page, PageType
+from repro.hls import tech
+from repro.hls.estimate import ResourceEstimate
+
+
+@dataclass(frozen=True)
+class StaticShell:
+    """The vendor static region: PCIe endpoint, config engine, clocking.
+
+    Its resources are already excluded from the device's post-shell
+    totals; the numbers here only feed bitstream-size accounting.
+    """
+
+    name: str = "xilinx_u50_gen3x16"
+    luts: int = 120_000
+    brams: int = 260
+    dsps: int = 0
+
+
+@dataclass(frozen=True)
+class DFXRegion:
+    """A dynamically reconfigurable region.
+
+    Level 1 is the whole user area (holds the overlay); level 2 regions
+    are pages nested inside it (hierarchical DFX, Sec. 4.2).
+    """
+
+    name: str
+    level: int
+    luts: int
+    brams: int
+    dsps: int
+    parent: Optional[str] = None
+
+    def __post_init__(self):
+        if self.level not in (1, 2):
+            raise FabricError(f"DFX level must be 1 or 2, got {self.level}")
+        if self.level == 2 and not self.parent:
+            raise FabricError(f"L2 region {self.name!r} needs a parent")
+
+
+@dataclass(frozen=True)
+class AbstractShell:
+    """Pre-compiled compile context for one page.
+
+    ``context_luts`` is how much surrounding logic the backend must load
+    and legality-check during a page compile: with the abstract shell it
+    is only the boundary interface; without it, the entire overlay and
+    every other page (which is what slows non-abstract-shell compiles).
+    """
+
+    page_number: int
+    context_luts: int
+    boundary_nets: int
+
+    @classmethod
+    def for_page(cls, page: Page) -> "AbstractShell":
+        # Boundary = the leaf interface: a NoC port of 32b data + control.
+        return cls(page.number,
+                   context_luts=tech.LEAF_INTERFACE_LUTS,
+                   boundary_nets=96)
+
+
+class Overlay:
+    """The PLD infrastructure context: pages + linking network + DMA.
+
+    An overlay is compiled once (a long, monolithic-style compile) and
+    then reused across every application; page compiles only need its
+    abstract shells.  Multiple overlays with different page mixes can
+    coexist as alternate compile targets (Sec. 9).
+    """
+
+    def __init__(self, name: str = "pld-overlay-22p",
+                 device: Device = XCU50,
+                 pages: Tuple[Page, ...] = FLOORPLAN):
+        self.name = name
+        self.device = device
+        self.pages = tuple(pages)
+        if not self.pages:
+            raise FabricError("an overlay needs at least one page")
+        self._by_number = {p.number: p for p in self.pages}
+        if len(self._by_number) != len(self.pages):
+            raise FabricError("duplicate page numbers in overlay")
+        total = self.total_page_resources()
+        if not device.fits(total.luts, total.brams, total.dsps):
+            raise FabricError(
+                f"overlay {name!r} pages exceed device {device.name}")
+        self.l1_region = DFXRegion("pld_l1", 1, total.luts + self.network_luts(),
+                                   total.brams, total.dsps)
+        self.l2_regions = tuple(
+            DFXRegion(f"page_{p.number}", 2, p.luts, p.brams, p.dsps,
+                      parent="pld_l1")
+            for p in self.pages)
+
+    def page(self, number: int) -> Page:
+        try:
+            return self._by_number[number]
+        except KeyError:
+            raise FabricError(
+                f"overlay {self.name!r} has no page {number}") from None
+
+    def page_numbers(self) -> List[int]:
+        return sorted(self._by_number)
+
+    def total_page_resources(self) -> ResourceEstimate:
+        total = ResourceEstimate()
+        for page in self.pages:
+            total = total + ResourceEstimate(page.luts, page.ffs,
+                                             page.brams, page.dsps)
+        return total
+
+    def network_luts(self) -> int:
+        """Linking network cost: ~500 LUTs per endpoint (Sec. 4.1)."""
+        return tech.LINK_NET_LUTS_PER_ENDPOINT * len(self.pages)
+
+    def abstract_shell(self, number: int) -> AbstractShell:
+        return AbstractShell.for_page(self.page(number))
+
+    def full_context_luts(self) -> int:
+        """Logic loaded when compiling *without* abstract shells."""
+        return (self.total_page_resources().luts + self.network_luts())
+
+    def __repr__(self) -> str:
+        return (f"Overlay({self.name!r}, {len(self.pages)} pages on "
+                f"{self.device.name})")
+
+    @classmethod
+    def uniform(cls, page_luts: int, device: Device = XCU50,
+                bram_fraction: float = 0.0031,
+                dsp_fraction: float = 0.0079) -> "Overlay":
+        """Build an alternative overlay with uniform pages (Sec. 9).
+
+        The paper proposes pre-computing multiple infrastructure
+        overlays with different resource mixes as alternate compile
+        targets.  This factory carves the device into as many
+        ``page_luts``-sized pages as fit (keeping the default floorplan's
+        per-LUT BRAM/DSP ratios), enabling the page-size ablation and
+        custom deployments.
+
+        Args:
+            page_luts: LUTs per page.
+            device: target device.
+            bram_fraction: BRAM18s provisioned per page LUT.
+            dsp_fraction: DSPs provisioned per page LUT.
+        """
+        if page_luts < 2 * tech.LEAF_INTERFACE_LUTS:
+            raise FabricError(
+                f"pages of {page_luts} LUTs cannot even hold their "
+                f"leaf interface")
+        overhead = tech.LINK_NET_LUTS_PER_ENDPOINT
+        n_pages = max(1, int(device.luts * 0.58
+                             // (page_luts + overhead)))
+        page_type = PageType(
+            f"Uniform-{page_luts // 1000}k",
+            luts=page_luts,
+            ffs=2 * page_luts,
+            brams=max(8, int(page_luts * bram_fraction)),
+            dsps=max(8, int(page_luts * dsp_fraction)))
+        pages = tuple(
+            Page(number, page_type, 0 if number <= n_pages // 2 else 1)
+            for number in range(1, n_pages + 1))
+        return cls(f"pld-uniform-{page_luts // 1000}k-{n_pages}p",
+                   device, pages)

@@ -1,0 +1,54 @@
+"""High-level synthesis model (the Vitis_HLS substitute).
+
+The paper compiles C operators with Vitis_HLS.  Here, operators are
+described in a small imperative IR (:mod:`repro.hls.ir`) built with a
+fluent frontend (:mod:`repro.hls.frontend`).  The IR is the single source
+the paper insists on: it is
+
+* **interpreted** for functional simulation (:mod:`repro.hls.interp`),
+* **scheduled and bound** to produce a netlist, timing (II/latency) and
+  LUT/FF/BRAM/DSP estimates (:mod:`repro.hls.schedule`,
+  :mod:`repro.hls.estimate`) for the -O1/-O3 FPGA flows, and
+* **compiled to RV32IM** (:mod:`repro.softcore.compiler`) for the -O0
+  softcore flow,
+
+so one description yields every mapping, as one C source does in PLD.
+"""
+
+from repro.hls.ir import (
+    ArrayDecl,
+    Block,
+    If,
+    Instr,
+    Loop,
+    OperatorSpec,
+    Value,
+    VarDecl,
+)
+from repro.hls.frontend import OperatorBuilder
+from repro.hls.interp import make_body, interpret
+from repro.hls.schedule import Schedule, schedule_operator
+from repro.hls.estimate import ResourceEstimate, estimate_operator
+from repro.hls.netlist import Netlist, synthesize_netlist
+from repro.hls.verilog import emit_verilog
+
+__all__ = [
+    "ArrayDecl",
+    "Block",
+    "If",
+    "Instr",
+    "Loop",
+    "OperatorSpec",
+    "Value",
+    "VarDecl",
+    "OperatorBuilder",
+    "make_body",
+    "interpret",
+    "Schedule",
+    "schedule_operator",
+    "ResourceEstimate",
+    "estimate_operator",
+    "Netlist",
+    "synthesize_netlist",
+    "emit_verilog",
+]

@@ -1,0 +1,150 @@
+"""Post-synthesis resource estimation (LUT / FF / BRAM18 / DSP).
+
+Walks the operator IR applying the technology rules in
+:mod:`repro.hls.tech`: every static instruction binds one functional
+unit (replicated by enclosing unroll factors), arrays bind BRAM18s or
+LUTRAM, and a control/FSM overhead proportional to the datapath is added.
+The per-operator numbers roll up into the Tab. 4 area comparison and
+drive page-fit checks in the -O1 flow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hls import tech
+from repro.hls.ir import Block, If, Instr, Loop, OperatorSpec, Value
+
+#: Fraction of datapath LUTs added for FSM/control logic.
+CONTROL_OVERHEAD = 0.12
+
+#: LUTs of loop control (counter + exit compare) per loop.
+LOOP_CONTROL_LUTS = 30
+
+#: FFs of loop control per loop.
+LOOP_CONTROL_FFS = 40
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """FPGA resources for one mapped entity."""
+
+    luts: int = 0
+    ffs: int = 0
+    brams: int = 0
+    dsps: int = 0
+
+    def __add__(self, other: "ResourceEstimate") -> "ResourceEstimate":
+        return ResourceEstimate(self.luts + other.luts,
+                                self.ffs + other.ffs,
+                                self.brams + other.brams,
+                                self.dsps + other.dsps)
+
+    def scaled(self, factor: float) -> "ResourceEstimate":
+        return ResourceEstimate(math.ceil(self.luts * factor),
+                                math.ceil(self.ffs * factor),
+                                self.brams, self.dsps)
+
+    def fits(self, luts: int, ffs: int, brams: int, dsps: int) -> bool:
+        """Does this estimate fit in the given budget?"""
+        return (self.luts <= luts and self.ffs <= ffs
+                and self.brams <= brams and self.dsps <= dsps)
+
+    def __repr__(self) -> str:
+        return (f"ResourceEstimate(luts={self.luts}, ffs={self.ffs}, "
+                f"brams={self.brams}, dsps={self.dsps})")
+
+
+def estimate_operator(spec: OperatorSpec) -> ResourceEstimate:
+    """Estimate resources for one operator, excluding the leaf interface."""
+    luts = 0
+    ffs = 0
+    dsps = 0
+    loops = 0
+
+    def walk(block: Block, replication: int) -> None:
+        nonlocal luts, ffs, dsps, loops
+        for item in block.items:
+            if isinstance(item, Instr):
+                l, f, d = _instr_cost(item)
+                luts += l * replication
+                ffs += f * replication
+                dsps += d * replication
+            elif isinstance(item, Loop):
+                loops += 1
+                walk(item.body, replication * item.unroll)
+            elif isinstance(item, If):
+                walk(item.then, replication)
+                walk(item.orelse, replication)
+
+    walk(spec.body, 1)
+
+    brams = 0
+    for array in spec.arrays:
+        brams += tech.array_brams(array.depth, array.width)
+        luts += tech.array_lutram_luts(array.depth, array.width)
+
+    # Variable registers.
+    for var in spec.variables:
+        ffs += var.width
+
+    luts += LOOP_CONTROL_LUTS * loops
+    ffs += LOOP_CONTROL_FFS * loops
+    luts = math.ceil(luts * (1.0 + CONTROL_OVERHEAD))
+    return ResourceEstimate(luts=luts, ffs=ffs, brams=brams, dsps=dsps)
+
+
+def _instr_cost(instr: Instr):
+    """(luts, ffs, dsps) for one instruction's functional unit."""
+    kind = instr.kind
+    width = instr.result.width if instr.result else _sink_width(instr)
+    luts = tech.op_luts(kind, width)
+    if kind in ("shl", "shr", "lshr") and isinstance(instr.args[1], Value):
+        luts += tech.variable_shift_luts(width)
+    dsps = 0
+    if kind == "mul":
+        if any(isinstance(a, int) for a in instr.args):
+            # Constant multiplies strength-reduce to shift-add networks.
+            luts += width
+        else:
+            wa = _operand_width(instr.args[0])
+            wb = _operand_width(instr.args[1])
+            dsps = tech.op_dsps(kind, wa, wb)
+    ffs = tech.op_ffs(kind, width)
+    return luts, ffs, dsps
+
+
+def _operand_width(operand) -> int:
+    if isinstance(operand, Value):
+        return operand.width
+    return max(int(operand).bit_length() + 1, 2)
+
+
+def _sink_width(instr: Instr) -> int:
+    for arg in instr.args:
+        if isinstance(arg, Value):
+            return arg.width
+    return 32
+
+
+def estimate_breakdown(spec: OperatorSpec) -> Dict[str, ResourceEstimate]:
+    """Per-instruction-kind resource breakdown (reporting/debug aid)."""
+    acc: Dict[str, ResourceEstimate] = {}
+
+    def walk(block: Block, replication: int) -> None:
+        for item in block.items:
+            if isinstance(item, Instr):
+                l, f, d = _instr_cost(item)
+                prev = acc.get(item.kind, ResourceEstimate())
+                acc[item.kind] = prev + ResourceEstimate(
+                    l * replication, f * replication, 0, d * replication)
+            elif isinstance(item, Loop):
+                walk(item.body, replication * item.unroll)
+            elif isinstance(item, If):
+                walk(item.then, replication)
+                walk(item.orelse, replication)
+
+    walk(spec.body, 1)
+    return acc

@@ -1,0 +1,377 @@
+"""Fluent builder for operator specifications.
+
+The builder plays the role of the C-to-IR frontend: Rosetta kernels are
+authored against it the way the paper's kernels are written in C with
+HLS pragmas.  Width inference follows the ``ap_int`` promotion rules
+(add grows one bit, multiply sums widths), so estimates see the same
+datapath widths real HLS would synthesise.
+
+.. code-block:: python
+
+    b = OperatorBuilder("scale", inputs=[("x", 32)], outputs=[("y", 32)])
+    with b.loop("ROW", 128, pipeline=True) as i:
+        v = b.read("x", signed=True)
+        b.write("y", b.cast(b.mul(v, 3), 32))
+    spec = b.build()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import HLSError
+from repro.hls.ir import (
+    ArrayDecl,
+    Block,
+    COMPARE_KINDS,
+    If,
+    Instr,
+    Loop,
+    Operand,
+    OperatorSpec,
+    Value,
+    VarDecl,
+)
+
+
+def _operand_width(operand: Operand) -> int:
+    if isinstance(operand, Value):
+        return operand.width
+    return max(int(operand).bit_length() + 1, 2)
+
+
+def _operand_signed(operand: Operand) -> bool:
+    if isinstance(operand, Value):
+        return operand.signed
+    return True
+
+
+class OperatorBuilder:
+    """Builds an :class:`OperatorSpec` imperatively."""
+
+    def __init__(self, name: str, inputs: Sequence[Tuple[str, int]] = (),
+                 outputs: Sequence[Tuple[str, int]] = ()):
+        self.name = name
+        self._inputs = list(inputs)
+        self._outputs = list(outputs)
+        self._variables: List[VarDecl] = []
+        self._arrays: List[ArrayDecl] = []
+        self._root = Block()
+        self._stack: List[Block] = [self._root]
+        self._counter = 0
+        self._loop_counter = 0
+        self._built = False
+        self._else_bound = set()
+
+    # -- declarations ------------------------------------------------------
+
+    def input(self, name: str, width: int = 32) -> None:
+        """Declare an input stream port."""
+        self._inputs.append((name, width))
+
+    def output(self, name: str, width: int = 32) -> None:
+        """Declare an output stream port."""
+        self._outputs.append((name, width))
+
+    def variable(self, name: str, width: int = 32, signed: bool = True,
+                 init: int = 0) -> str:
+        """Declare a local scalar register; returns its name."""
+        self._variables.append(VarDecl(name, width, signed, init))
+        return name
+
+    def array(self, name: str, depth: int, width: int = 32,
+              signed: bool = True,
+              init: Optional[Sequence[int]] = None,
+              partition: bool = False) -> str:
+        """Declare a local memory; returns its name.
+
+        ``partition=True`` is the ARRAY_PARTITION pragma: banked memory
+        whose accesses do not constrain a pipelined loop's II.
+        """
+        self._arrays.append(
+            ArrayDecl(name, depth, width, signed,
+                      tuple(init) if init is not None else None,
+                      partition))
+        return name
+
+    # -- emission helpers -----------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"%{prefix}{self._counter}"
+
+    def _emit(self, instr: Instr) -> Optional[Value]:
+        self._stack[-1].items.append(instr)
+        return instr.result
+
+    def _result(self, kind: str, width: int, signed: bool,
+                args: Tuple[Operand, ...],
+                attrs: Optional[Dict[str, object]] = None) -> Value:
+        value = Value(self._fresh(kind), width, signed)
+        self._emit(Instr(kind, value, args, attrs or {}))
+        return value
+
+    # -- producers ---------------------------------------------------------------
+
+    def const(self, value: int, width: Optional[int] = None,
+              signed: bool = True) -> Value:
+        """Materialise a constant."""
+        if width is None:
+            width = max(int(value).bit_length() + 1, 2)
+        return self._result("const", width, signed, (),
+                            {"value": int(value)})
+
+    def read(self, port: str, signed: bool = True,
+             width: Optional[int] = None) -> Value:
+        """Blocking read of one token from an input port."""
+        port_width = self._port_width(port, self._inputs, "input")
+        width = port_width if width is None else width
+        return self._result("read", width, signed, (), {"port": port})
+
+    def get(self, var: str) -> Value:
+        """Read a local variable's current value."""
+        decl = self._var_decl(var)
+        return self._result("getvar", decl.width, decl.signed, (),
+                            {"var": var})
+
+    def load(self, array: str, index: Operand) -> Value:
+        """Read ``array[index]``."""
+        decl = self._array_decl(array)
+        return self._result("load", decl.width, decl.signed, (index,),
+                            {"array": array})
+
+    # -- arithmetic -----------------------------------------------------------------
+
+    def _binary(self, kind: str, a: Operand, b: Operand) -> Value:
+        wa, wb = _operand_width(a), _operand_width(b)
+        signed = _operand_signed(a) or _operand_signed(b)
+        if kind == "mul":
+            width = wa + wb
+        elif kind in ("add", "sub"):
+            width = max(wa, wb) + 1
+        elif kind in ("div", "mod"):
+            width = wa + 1
+        elif kind in COMPARE_KINDS:
+            width, signed = 1, False
+        elif kind in ("shl", "shr", "lshr"):
+            width, signed = wa, _operand_signed(a)
+        else:  # and/or/xor/min/max
+            width = max(wa, wb)
+        return self._result(kind, width, signed, (a, b))
+
+    def add(self, a: Operand, b: Operand) -> Value:
+        return self._binary("add", a, b)
+
+    def sub(self, a: Operand, b: Operand) -> Value:
+        return self._binary("sub", a, b)
+
+    def mul(self, a: Operand, b: Operand) -> Value:
+        return self._binary("mul", a, b)
+
+    def div(self, a: Operand, b: Operand) -> Value:
+        return self._binary("div", a, b)
+
+    def mod(self, a: Operand, b: Operand) -> Value:
+        return self._binary("mod", a, b)
+
+    def and_(self, a: Operand, b: Operand) -> Value:
+        return self._binary("and", a, b)
+
+    def or_(self, a: Operand, b: Operand) -> Value:
+        return self._binary("or", a, b)
+
+    def xor(self, a: Operand, b: Operand) -> Value:
+        return self._binary("xor", a, b)
+
+    def shl(self, a: Operand, b: Operand) -> Value:
+        return self._binary("shl", a, b)
+
+    def shr(self, a: Operand, b: Operand) -> Value:
+        return self._binary("shr", a, b)
+
+    def lshr(self, a: Operand, b: Operand) -> Value:
+        return self._binary("lshr", a, b)
+
+    def min_(self, a: Operand, b: Operand) -> Value:
+        return self._binary("min", a, b)
+
+    def max_(self, a: Operand, b: Operand) -> Value:
+        return self._binary("max", a, b)
+
+    def eq(self, a: Operand, b: Operand) -> Value:
+        return self._binary("eq", a, b)
+
+    def ne(self, a: Operand, b: Operand) -> Value:
+        return self._binary("ne", a, b)
+
+    def lt(self, a: Operand, b: Operand) -> Value:
+        return self._binary("lt", a, b)
+
+    def le(self, a: Operand, b: Operand) -> Value:
+        return self._binary("le", a, b)
+
+    def gt(self, a: Operand, b: Operand) -> Value:
+        return self._binary("gt", a, b)
+
+    def ge(self, a: Operand, b: Operand) -> Value:
+        return self._binary("ge", a, b)
+
+    def neg(self, a: Operand) -> Value:
+        return self._result("neg", _operand_width(a) + 1, True, (a,))
+
+    def abs_(self, a: Operand) -> Value:
+        return self._result("abs", _operand_width(a) + 1,
+                            _operand_signed(a), (a,))
+
+    def not_(self, a: Operand) -> Value:
+        return self._result("not", _operand_width(a),
+                            _operand_signed(a), (a,))
+
+    def isqrt(self, a: Operand) -> Value:
+        width = max(_operand_width(a) // 2 + 1, 2)
+        return self._result("isqrt", width, False, (a,))
+
+    def cast(self, a: Operand, width: int, signed: bool = True) -> Value:
+        """Explicit width change (wrapping assignment semantics)."""
+        return self._result("cast", width, signed, (a,))
+
+    def select(self, cond: Operand, if_true: Operand,
+               if_false: Operand) -> Value:
+        """2:1 mux."""
+        width = max(_operand_width(if_true), _operand_width(if_false))
+        signed = _operand_signed(if_true) or _operand_signed(if_false)
+        return self._result("select", width, signed,
+                            (cond, if_true, if_false))
+
+    # -- fixed-point conveniences ------------------------------------------------------
+
+    def fixmul(self, a: Operand, b: Operand, frac_bits: int,
+               width: int) -> Value:
+        """Fixed-point multiply: full product >> frac_bits, cast to width.
+
+        Mirrors how HLS implements ``ap_fixed`` multiplication followed by
+        assignment to a narrower variable.
+        """
+        product = self.mul(a, b)
+        shifted = self.shr(product, frac_bits)
+        return self.cast(shifted, width)
+
+    def fixdiv(self, a: Operand, b: Operand, frac_bits: int,
+               width: int) -> Value:
+        """Fixed-point divide: (a << frac_bits) / b, cast to width."""
+        scaled = self.shl(self.cast(a, _operand_width(a) + frac_bits),
+                          frac_bits)
+        quotient = self.div(scaled, b)
+        return self.cast(quotient, width)
+
+    # -- sinks --------------------------------------------------------------------------
+
+    def write(self, port: str, value: Operand) -> None:
+        """Blocking write of one token to an output port."""
+        self._port_width(port, self._outputs, "output")
+        self._emit(Instr("write", None, (value,), {"port": port}))
+
+    def set(self, var: str, value: Operand) -> None:
+        """Assign a local variable."""
+        self._var_decl(var)
+        self._emit(Instr("setvar", None, (value,), {"var": var}))
+
+    def store(self, array: str, index: Operand, value: Operand) -> None:
+        """Write ``array[index] = value``."""
+        self._array_decl(array)
+        self._emit(Instr("store", None, (index, value), {"array": array}))
+
+    # -- control flow -------------------------------------------------------------------
+
+    @contextmanager
+    def loop(self, name: str, trip: int, pipeline: bool = False,
+             unroll: int = 1):
+        """Counted loop; yields the induction variable as a Value."""
+        self._loop_counter += 1
+        var = f"{name}_i{self._loop_counter}"
+        body = Block()
+        self._stack.append(body)
+        width = max(trip.bit_length() + 1, 2)
+        index = Value(self._fresh("idx"), width, False)
+        body.items.append(Instr("getvar", index, (), {"var": var}))
+        try:
+            yield index
+        finally:
+            self._stack.pop()
+            self._stack[-1].items.append(
+                Loop(name, trip, body, var=var, pipeline=pipeline,
+                     unroll=unroll))
+
+    @contextmanager
+    def if_(self, cond: Value):
+        """Conditional region; pair with :meth:`orelse` for the else arm."""
+        then = Block()
+        self._stack.append(then)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            self._stack[-1].items.append(If(cond, then))
+
+    @contextmanager
+    def orelse(self):
+        """Else arm for the most recently closed :meth:`if_` region."""
+        parent = self._stack[-1]
+        if not parent.items or not isinstance(parent.items[-1], If):
+            raise HLSError("orelse() must directly follow an if_() region")
+        node = parent.items[-1]
+        if id(node) in self._else_bound:
+            raise HLSError("this if_() already has an orelse arm")
+        self._else_bound.add(id(node))
+        self._stack.append(node.orelse)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    # -- finalisation ----------------------------------------------------------------------
+
+    def build(self) -> OperatorSpec:
+        """Finish and validate the spec."""
+        if self._built:
+            raise HLSError(f"operator {self.name!r} already built")
+        if len(self._stack) != 1:
+            raise HLSError("unclosed loop/if region at build()")
+        self._built = True
+        spec = OperatorSpec(self.name, self._inputs, self._outputs,
+                            self._variables, self._arrays, self._root)
+        spec.validate()
+        return spec
+
+    @staticmethod
+    def _collect_loop_vars(block: Block) -> List[str]:
+        out: List[str] = []
+        for item in block.items:
+            if isinstance(item, Loop):
+                out.append(item.var)
+                out.extend(OperatorBuilder._collect_loop_vars(item.body))
+            elif isinstance(item, If):
+                out.extend(OperatorBuilder._collect_loop_vars(item.then))
+                out.extend(OperatorBuilder._collect_loop_vars(item.orelse))
+        return out
+
+    # -- lookup helpers ----------------------------------------------------------------------
+
+    def _port_width(self, port: str, ports, kind: str) -> int:
+        for name, width in ports:
+            if name == port:
+                return width
+        raise HLSError(f"operator {self.name!r}: no {kind} port {port!r}")
+
+    def _var_decl(self, var: str) -> VarDecl:
+        for decl in self._variables:
+            if decl.name == var:
+                return decl
+        raise HLSError(f"operator {self.name!r}: no variable {var!r}")
+
+    def _array_decl(self, array: str) -> ArrayDecl:
+        for decl in self._arrays:
+            if decl.name == array:
+                return decl
+        raise HLSError(f"operator {self.name!r}: no array {array!r}")

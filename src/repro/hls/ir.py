@@ -1,0 +1,300 @@
+"""Operator intermediate representation.
+
+An :class:`OperatorSpec` is the structured equivalent of one C kernel
+function (Fig. 2(d)): static-trip-count loops (optionally pipelined or
+unrolled), if/else regions, local scalar variables and arrays, and a small
+set of integer instructions including blocking stream reads and writes.
+Widths and signedness are explicit on every value, since both the area
+estimator and the softcore compiler key off them.
+
+The IR deliberately enforces the paper's *operator discipline*
+(Sec. 3.4): no recursion, no allocation, no global memory — all
+communication happens through stream ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import HLSError
+
+
+#: Instruction kinds and their operand counts (-1 = variadic attrs only).
+KINDS = {
+    # producers
+    "const": 0,
+    "read": 0,          # attrs: port
+    "getvar": 0,        # attrs: var
+    "load": 1,          # args: index; attrs: array
+    # unary
+    "neg": 1, "not": 1, "abs": 1, "cast": 1, "isqrt": 1,
+    # binary
+    "add": 2, "sub": 2, "mul": 2, "div": 2, "mod": 2,
+    "and": 2, "or": 2, "xor": 2, "shl": 2, "shr": 2, "lshr": 2,
+    "eq": 2, "ne": 2, "lt": 2, "le": 2, "gt": 2, "ge": 2,
+    "min": 2, "max": 2,
+    # ternary
+    "select": 3,
+    # sinks
+    "write": 1,         # args: value; attrs: port
+    "setvar": 1,        # args: value; attrs: var
+    "store": 2,         # args: index, value; attrs: array
+}
+
+#: Kinds whose result is a single-bit flag.
+COMPARE_KINDS = frozenset({"eq", "ne", "lt", "le", "gt", "ge"})
+
+#: Kinds with no SSA result.
+SINK_KINDS = frozenset({"write", "setvar", "store"})
+
+
+@dataclass(frozen=True)
+class Value:
+    """An SSA value: a named wire with width and signedness."""
+
+    name: str
+    width: int
+    signed: bool = True
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise HLSError(f"value {self.name!r}: width must be >= 1")
+
+
+Operand = Union[Value, int]
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One IR instruction.
+
+    ``args`` holds SSA operands (or Python int immediates); ``attrs``
+    carries the non-dataflow parameters (port/array/var names, cast
+    targets, constants).
+    """
+
+    kind: str
+    result: Optional[Value]
+    args: Tuple[Operand, ...] = ()
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise HLSError(f"unknown instruction kind {self.kind!r}")
+        expected = KINDS[self.kind]
+        if len(self.args) != expected:
+            raise HLSError(
+                f"{self.kind}: expected {expected} args, got {len(self.args)}")
+        if self.kind in SINK_KINDS and self.result is not None:
+            raise HLSError(f"{self.kind} has no result")
+
+
+@dataclass
+class Block:
+    """A straight-line sequence of instructions and nested regions."""
+
+    items: List[Union["Instr", "Loop", "If"]] = field(default_factory=list)
+
+    def instructions(self):
+        """Iterate instructions recursively (loops/ifs flattened once)."""
+        for item in self.items:
+            if isinstance(item, Instr):
+                yield item
+            elif isinstance(item, Loop):
+                yield from item.body.instructions()
+            elif isinstance(item, If):
+                yield from item.then.instructions()
+                yield from item.orelse.instructions()
+
+
+@dataclass
+class Loop:
+    """A counted loop with a static trip count.
+
+    Args:
+        name: loop label (mirrors HLS loop labels like ``FLOW_OUTER``).
+        trip: iteration count (static, as HLS needs for pipelining).
+        body: loop body; the induction variable is visible inside as a
+            ``getvar`` of ``var``.
+        var: induction variable name.
+        pipeline: request ``#pragma HLS pipeline`` semantics.
+        unroll: replicate the body this many times spatially.
+    """
+
+    name: str
+    trip: int
+    body: Block
+    var: str = ""
+    pipeline: bool = False
+    unroll: int = 1
+
+    def __post_init__(self):
+        if self.trip < 0:
+            raise HLSError(f"loop {self.name!r}: trip must be >= 0")
+        if self.unroll < 1:
+            raise HLSError(f"loop {self.name!r}: unroll must be >= 1")
+
+
+@dataclass
+class If:
+    """A two-armed conditional region."""
+
+    cond: Value
+    then: Block
+    orelse: Block = field(default_factory=Block)
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """A local scalar register."""
+
+    name: str
+    width: int
+    signed: bool = True
+    init: int = 0
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A local memory (BRAM/LUTRAM after binding).
+
+    ``init`` optionally preloads contents (e.g. the BNN's weight arrays,
+    which the paper moves to on-chip memory).  ``partition`` models the
+    HLS ARRAY_PARTITION pragma: the memory is split into banks so that
+    accesses in a pipelined loop do not serialise on the two BRAM ports.
+    """
+
+    name: str
+    depth: int
+    width: int
+    signed: bool = True
+    init: Optional[Tuple[int, ...]] = None
+    partition: bool = False
+
+    def __post_init__(self):
+        if self.depth < 1:
+            raise HLSError(f"array {self.name!r}: depth must be >= 1")
+        if self.init is not None and len(self.init) > self.depth:
+            raise HLSError(
+                f"array {self.name!r}: init longer than depth")
+
+    @property
+    def bits(self) -> int:
+        """Total storage in bits."""
+        return self.depth * self.width
+
+
+@dataclass
+class OperatorSpec:
+    """A complete operator description (one C kernel function).
+
+    Args:
+        name: operator/function name.
+        inputs: ordered (port name, width) pairs.
+        outputs: ordered (port name, width) pairs.
+        variables: local scalar registers.
+        arrays: local memories.
+        body: top-level statement block.
+    """
+
+    name: str
+    inputs: List[Tuple[str, int]]
+    outputs: List[Tuple[str, int]]
+    variables: List[VarDecl] = field(default_factory=list)
+    arrays: List[ArrayDecl] = field(default_factory=list)
+    body: Block = field(default_factory=Block)
+
+    def __post_init__(self):
+        names = ([p for p, _ in self.inputs] + [p for p, _ in self.outputs]
+                 + [v.name for v in self.variables]
+                 + [a.name for a in self.arrays])
+        if len(names) != len(set(names)):
+            raise HLSError(
+                f"operator {self.name!r}: duplicate port/var/array names")
+
+    @property
+    def input_ports(self) -> List[str]:
+        return [p for p, _ in self.inputs]
+
+    @property
+    def output_ports(self) -> List[str]:
+        return [p for p, _ in self.outputs]
+
+    def port_width(self, port: str) -> int:
+        for name, width in self.inputs + self.outputs:
+            if name == port:
+                return width
+        raise HLSError(f"operator {self.name!r}: no port {port!r}")
+
+    def var(self, name: str) -> VarDecl:
+        for decl in self.variables:
+            if decl.name == name:
+                return decl
+        raise HLSError(f"operator {self.name!r}: no variable {name!r}")
+
+    def array(self, name: str) -> ArrayDecl:
+        for decl in self.arrays:
+            if decl.name == name:
+                return decl
+        raise HLSError(f"operator {self.name!r}: no array {name!r}")
+
+    def validate(self) -> None:
+        """Check port/var/array references and operand definitions."""
+        ports_in = set(self.input_ports)
+        ports_out = set(self.output_ports)
+        var_names = {v.name for v in self.variables}
+        array_names = {a.name for a in self.arrays}
+        loop_vars = set()
+
+        def walk(block: Block) -> None:
+            for item in block.items:
+                if isinstance(item, Instr):
+                    self._check_instr(item, ports_in, ports_out,
+                                      var_names | loop_vars, array_names)
+                elif isinstance(item, Loop):
+                    if item.var:
+                        loop_vars.add(item.var)
+                    walk(item.body)
+                elif isinstance(item, If):
+                    walk(item.then)
+                    walk(item.orelse)
+
+        walk(self.body)
+
+    def _check_instr(self, instr: Instr, ports_in, ports_out, var_names,
+                     array_names) -> None:
+        if instr.kind == "read":
+            if instr.attrs.get("port") not in ports_in:
+                raise HLSError(
+                    f"{self.name}: read from unknown input port "
+                    f"{instr.attrs.get('port')!r}")
+        elif instr.kind == "write":
+            if instr.attrs.get("port") not in ports_out:
+                raise HLSError(
+                    f"{self.name}: write to unknown output port "
+                    f"{instr.attrs.get('port')!r}")
+        elif instr.kind in ("getvar", "setvar"):
+            if instr.attrs.get("var") not in var_names:
+                raise HLSError(
+                    f"{self.name}: unknown variable "
+                    f"{instr.attrs.get('var')!r}")
+        elif instr.kind in ("load", "store"):
+            if instr.attrs.get("array") not in array_names:
+                raise HLSError(
+                    f"{self.name}: unknown array "
+                    f"{instr.attrs.get('array')!r}")
+
+    # -- statistics used by estimators and reports -------------------------
+
+    def count_instructions(self) -> Dict[str, int]:
+        """Static instruction counts by kind (ignores trip counts)."""
+        counts: Dict[str, int] = {}
+        for instr in self.body.instructions():
+            counts[instr.kind] = counts.get(instr.kind, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        counts = sum(self.count_instructions().values())
+        return (f"OperatorSpec({self.name!r}, {len(self.inputs)} in, "
+                f"{len(self.outputs)} out, {counts} instrs)")

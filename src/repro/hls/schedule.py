@@ -1,0 +1,303 @@
+"""Operation scheduling: initiation intervals, latency, cycle counts.
+
+Plays the role of Vitis_HLS's scheduler.  For each loop in the operator
+the scheduler derives an initiation interval (II) from the binding
+constraints real HLS faces:
+
+* **port serialisation** — one token per stream port per cycle, so a
+  loop body reading a port k times has II >= k;
+* **memory ports** — BRAMs are dual-ported, so II >= ceil(accesses / 2)
+  per array;
+* **recurrences** — a variable read and later written in the same
+  iteration carries a dependence; II >= the latency of the dependence
+  chain between the accesses (approximated by the op latencies between
+  the first read and last write of the variable).
+
+The cycle model is hierarchical: a pipelined loop of trip N costs
+``N / unroll * II + depth``; a sequential loop costs
+``N / unroll * (body + overhead)``.  The result also exposes per-port
+token counts per activation, which the flows use to build per-operator
+:class:`~repro.dataflow.cycle_sim.OperatorTiming` and per-input
+performance estimates (Tab. 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ScheduleError
+from repro.hls import tech
+from repro.hls.ir import Block, If, Instr, Loop, OperatorSpec, Value
+
+#: Cycles of control overhead entering/leaving a sequential loop body.
+LOOP_OVERHEAD = 2
+
+#: Combinational ops packed per cycle when chaining (sequential regions).
+CHAIN_FACTOR = 3
+
+
+@dataclass
+class LoopSchedule:
+    """Scheduling results for one loop."""
+
+    name: str
+    trip: int
+    ii: int
+    depth: int                  # pipeline depth (cycles) when pipelined
+    pipelined: bool
+    cycles: int                 # total cycles for the whole loop
+
+
+@dataclass
+class Schedule:
+    """Complete schedule for one operator activation.
+
+    Attributes:
+        total_cycles: cycles for one full activation (e.g. one frame).
+        port_tokens: tokens moved per activation, per port.
+        pipeline_depth: input-to-output latency estimate in cycles.
+        fmax_mhz: achievable clock estimate.
+        loops: per-loop details, outermost first.
+    """
+
+    operator: str
+    total_cycles: int
+    port_tokens: Dict[str, int]
+    pipeline_depth: int
+    fmax_mhz: float
+    loops: List[LoopSchedule] = field(default_factory=list)
+
+    @property
+    def max_port_tokens(self) -> int:
+        """Tokens on the busiest port (0 for portless specs)."""
+        return max(self.port_tokens.values(), default=0)
+
+    def token_interval(self) -> int:
+        """Average cycles between tokens on the busiest port (>= 1)."""
+        tokens = self.max_port_tokens
+        if tokens == 0:
+            return 1
+        return max(1, round(self.total_cycles / tokens))
+
+    def tokens_on(self, port: str) -> int:
+        return self.port_tokens.get(port, 0)
+
+
+def schedule_operator(spec: OperatorSpec,
+                      clock_mhz: float = tech.FMAX_CEILING_MHZ) -> Schedule:
+    """Schedule an operator and estimate its cycle behaviour."""
+    scheduler = _Scheduler(spec, clock_mhz)
+    return scheduler.run()
+
+
+class _Scheduler:
+    def __init__(self, spec: OperatorSpec, clock_mhz: float):
+        self.spec = spec
+        self.clock_mhz = clock_mhz
+        self.loops: List[LoopSchedule] = []
+        self.worst_delay_ns = 0.0
+        self.max_depth = 0
+
+    def run(self) -> Schedule:
+        cycles = self._block_cycles(self.spec.body, pipelined=False)
+        tokens = _port_tokens(self.spec.body)
+        fmax = tech.FMAX_CEILING_MHZ
+        if self.worst_delay_ns > 0:
+            fmax = min(fmax, 1000.0 / self.worst_delay_ns)
+        return Schedule(
+            operator=self.spec.name,
+            total_cycles=max(1, cycles),
+            port_tokens=tokens,
+            pipeline_depth=max(1, self.max_depth),
+            fmax_mhz=fmax,
+            loops=self.loops,
+        )
+
+    # -- cycle model -------------------------------------------------------
+
+    def _block_cycles(self, block: Block, pipelined: bool) -> int:
+        total = 0
+        chain: float = 0.0
+        for item in block.items:
+            if isinstance(item, Instr):
+                lat = _instr_latency(item)
+                self._track_delay(item)
+                if lat == 0:
+                    chain += 1.0 / CHAIN_FACTOR
+                else:
+                    total += lat
+            elif isinstance(item, Loop):
+                total += self._loop_cycles(item)
+            elif isinstance(item, If):
+                then = self._block_cycles(item.then, pipelined)
+                orelse = self._block_cycles(item.orelse, pipelined)
+                total += max(then, orelse) + 1
+        return total + math.ceil(chain)
+
+    def _loop_cycles(self, loop: Loop) -> int:
+        if loop.unroll > loop.trip > 0:
+            raise ScheduleError(
+                f"{self.spec.name}/{loop.name}: unroll {loop.unroll} "
+                f"exceeds trip {loop.trip}")
+        iterations = math.ceil(loop.trip / loop.unroll) if loop.trip else 0
+        if loop.pipeline and not _contains_loop(loop.body):
+            ii = self._loop_ii(loop)
+            depth = self._body_depth(loop.body)
+            cycles = iterations * ii + depth if iterations else 0
+            self.loops.append(LoopSchedule(loop.name, loop.trip, ii, depth,
+                                           True, cycles))
+            self.max_depth = max(self.max_depth, depth)
+            return cycles
+        body = self._block_cycles(loop.body, pipelined=False)
+        cycles = iterations * (body + LOOP_OVERHEAD)
+        ii = body + LOOP_OVERHEAD
+        self.loops.append(LoopSchedule(loop.name, loop.trip, ii,
+                                       self._body_depth(loop.body), False,
+                                       cycles))
+        return cycles
+
+    def _body_depth(self, block: Block) -> int:
+        """Pipeline depth: sum of stage latencies on the critical path.
+
+        The body is straight-line (pipelined loops contain no nested
+        loops), so the critical path is approximated as the latency sum
+        over the dependence chain; we use the simple upper bound of all
+        instruction latencies plus chained-simple-op stages.
+        """
+        depth = 0
+        chain = 0.0
+        for instr in block.instructions():
+            lat = _instr_latency(instr)
+            if lat == 0:
+                chain += 1.0 / CHAIN_FACTOR
+            else:
+                depth += lat
+        return max(1, depth + math.ceil(chain))
+
+    def _track_delay(self, instr: Instr) -> None:
+        width = instr.result.width if instr.result else 32
+        delay = tech.op_delay_ns(instr.kind, width)
+        self.worst_delay_ns = max(self.worst_delay_ns, delay)
+
+    # -- initiation interval ------------------------------------------------
+
+    def _loop_ii(self, loop: Loop) -> int:
+        partitioned = {a.name for a in self.spec.arrays if a.partition}
+        port_counts: Dict[str, int] = {}
+        array_counts: Dict[str, int] = {}
+        for instr in loop.body.instructions():
+            if instr.kind in ("read", "write"):
+                port = instr.attrs["port"]
+                port_counts[port] = port_counts.get(port, 0) + 1
+            elif instr.kind in ("load", "store"):
+                array = instr.attrs["array"]
+                if array in partitioned:
+                    continue          # banked: no port serialisation
+                array_counts[array] = array_counts.get(array, 0) + 1
+        # Unrolling replicates datapath but not ports/memories.
+        port_ii = max(port_counts.values(), default=0) * loop.unroll
+        mem_ii = max((math.ceil(c / 2) for c in array_counts.values()),
+                     default=0)
+        rec_ii = self._recurrence_ii(loop)
+        return max(1, port_ii, mem_ii, rec_ii)
+
+    def _recurrence_ii(self, loop: Loop) -> int:
+        """Loop-carried dependence bound, via SSA def-use chains.
+
+        A variable carries a dependence only when an iteration *reads*
+        it before overwriting it (write-before-read variables are
+        re-initialised each iteration and carry nothing).  The II bound
+        is the longest latency path from a carried variable's read to
+        any write of a carried variable, following actual operand
+        chains — not merely instruction order.
+        """
+        items = list(loop.body.instructions())
+        first_access: Dict[str, str] = {}
+        written: Dict[str, bool] = {}
+        for instr in items:
+            if instr.kind == "getvar":
+                first_access.setdefault(instr.attrs["var"], "r")
+            elif instr.kind == "setvar":
+                first_access.setdefault(instr.attrs["var"], "w")
+                written[instr.attrs["var"]] = True
+        carried = {var for var, access in first_access.items()
+                   if access == "r" and written.get(var)}
+        if not carried:
+            return 0
+        # Taint-and-depth pass along SSA operands.
+        depth: Dict[str, int] = {}
+        worst = 0
+        for instr in items:
+            if instr.kind == "getvar" and instr.attrs["var"] in carried:
+                depth[instr.result.name] = 0
+                continue
+            operand_depths = [depth[a.name] for a in instr.args
+                              if isinstance(a, Value)
+                              and a.name in depth]
+            if not operand_depths:
+                continue
+            lat = max(_instr_latency(instr), 1)
+            if instr.kind == "setvar":
+                if instr.attrs["var"] in carried:
+                    worst = max(worst, max(operand_depths) + 1)
+                continue
+            if instr.result is not None:
+                depth[instr.result.name] = max(operand_depths) + lat
+        return worst
+
+    # (no further methods)
+
+
+def _instr_latency(instr: Instr) -> int:
+    width = instr.result.width if instr.result else _sink_width(instr)
+    return tech.op_latency(instr.kind, width)
+
+
+def _sink_width(instr: Instr) -> int:
+    for arg in instr.args:
+        if isinstance(arg, Value):
+            return arg.width
+    return 32
+
+
+def _contains_loop(block: Block) -> bool:
+    for item in block.items:
+        if isinstance(item, Loop):
+            return True
+        if isinstance(item, If) and (_contains_loop(item.then)
+                                     or _contains_loop(item.orelse)):
+            return True
+    return False
+
+
+def _port_tokens(block: Block, factor: int = 1) -> Dict[str, int]:
+    """Tokens per port for one activation (multiplying trip counts).
+
+    If-regions are counted at the *maximum* of their arms; kernels that
+    read conditionally are modelled at their worst-case rate, which is
+    the safe choice for FIFO sizing.
+    """
+    counts: Dict[str, int] = {}
+
+    def merge(into: Dict[str, int], other: Dict[str, int],
+              scale: int = 1) -> None:
+        for port, count in other.items():
+            into[port] = into.get(port, 0) + count * scale
+
+    for item in block.items:
+        if isinstance(item, Instr):
+            if item.kind in ("read", "write"):
+                port = item.attrs["port"]
+                counts[port] = counts.get(port, 0) + factor
+        elif isinstance(item, Loop):
+            merge(counts, _port_tokens(item.body), factor * item.trip)
+        elif isinstance(item, If):
+            then = _port_tokens(item.then)
+            orelse = _port_tokens(item.orelse)
+            for port in set(then) | set(orelse):
+                counts[port] = (counts.get(port, 0)
+                                + max(then.get(port, 0),
+                                      orelse.get(port, 0)) * factor)
+    return counts

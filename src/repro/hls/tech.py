@@ -1,0 +1,180 @@
+"""Technology model: per-operation delay, latency and area rules.
+
+These rules stand in for the Vitis_HLS characterisation data of the
+UltraScale+ fabric the paper targets.  The constants are engineered to
+put the Rosetta operators in the same resource range Tab. 4 reports
+(thousands to tens of thousands of LUTs per app, DSPs for multiply-heavy
+kernels, BRAM for local arrays) and to give the scheduler sensible IIs
+and pipeline depths.  They are a *model*, not a datasheet: relative
+behaviour (a divider is LUT-hungry and slow; an 18x18 multiply is one
+DSP; wide ops cost proportionally more) is what matters downstream.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Pipeline latency, in cycles, of the functional unit for each kind.
+OP_LATENCY = {
+    "const": 0, "getvar": 0, "setvar": 0, "cast": 0,
+    "read": 1, "write": 1,
+    "load": 2, "store": 1,          # BRAM access is registered
+    "add": 1, "sub": 1, "neg": 1, "abs": 1,
+    "and": 1, "or": 1, "xor": 1, "not": 1,
+    "shl": 1, "shr": 1, "lshr": 1,
+    "eq": 1, "ne": 1, "lt": 1, "le": 1, "gt": 1, "ge": 1,
+    "min": 1, "max": 1, "select": 1,
+    "mul": 3,
+    "div": 0,                        # width dependent, see op_latency()
+    "mod": 0,
+    "isqrt": 0,
+}
+
+#: Combinational delay (ns) through each unit, for Fmax estimation.
+OP_DELAY_NS = {
+    "const": 0.0, "getvar": 0.1, "setvar": 0.1, "cast": 0.0,
+    "read": 0.8, "write": 0.8,
+    "load": 1.3, "store": 1.3,
+    "add": 0.9, "sub": 0.9, "neg": 0.9, "abs": 1.0,
+    "and": 0.4, "or": 0.4, "xor": 0.4, "not": 0.3,
+    "shl": 0.7, "shr": 0.7, "lshr": 0.7,
+    "eq": 0.6, "ne": 0.6, "lt": 0.8, "le": 0.8, "gt": 0.8, "ge": 0.8,
+    "min": 1.0, "max": 1.0, "select": 0.5,
+    "mul": 2.9, "div": 3.2, "mod": 3.2, "isqrt": 3.0,
+}
+
+#: Fabric clock ceiling for HLS-produced logic (MHz).
+FMAX_CEILING_MHZ = 300.0
+
+#: Overlay / linking-network clock (MHz), Sec. 7.1.
+OVERLAY_CLOCK_MHZ = 200.0
+
+#: Extra softcore cycles per IR operation versus our direct codegen.
+#: The paper compiles C++ kernels written against ap_int/ap_fixed
+#: emulation libraries with gcc -O0: every fixed-point operation is a
+#: method call over multi-word objects, costing tens of times more
+#: instructions than the direct integer RV32 code our -O0 generator
+#: emits.  ISS-measured cycles are scaled by this factor when
+#: extrapolating -O0 per-input times (see EXPERIMENTS.md).
+AP_LIBRARY_O0_OVERHEAD = 25.0
+
+#: LUTs in the stream leaf interface per page (Sec. 4.1: ~500).
+LEAF_INTERFACE_LUTS = 500
+
+#: LUTs per linking-network endpoint (Sec. 4.1: ~500).
+LINK_NET_LUTS_PER_ENDPOINT = 500
+
+#: Bits per BRAM18 block (18 Kb).
+BRAM18_BITS = 18 * 1024
+
+#: Arrays at or below this many bits map to LUTRAM instead of BRAM.
+LUTRAM_THRESHOLD_BITS = 1024
+
+
+def op_latency(kind: str, width: int) -> int:
+    """Pipeline latency in cycles for one unit of the given width."""
+    if kind == "div" or kind == "mod":
+        # Radix-2 non-restoring divider: ~1 cycle/bit.
+        return max(2, width)
+    if kind == "isqrt":
+        return max(2, width // 2)
+    return OP_LATENCY[kind]
+
+
+def op_delay_ns(kind: str, width: int) -> float:
+    """Combinational delay through the unit (before registering)."""
+    base = OP_DELAY_NS[kind]
+    # Carry chains and muxes grow slowly with width.
+    if kind in ("add", "sub", "neg", "abs", "lt", "le", "gt", "ge",
+                "min", "max"):
+        return base + 0.012 * width
+    if kind in ("mul",):
+        return base + 0.02 * max(0, width - 18)
+    return base
+
+
+def op_luts(kind: str, width: int) -> int:
+    """LUT cost of one functional unit."""
+    if kind in ("const", "getvar", "setvar", "cast", "load", "store"):
+        return 0
+    if kind in ("read", "write"):
+        return 40                     # stream port: handshake + skid buffer
+    if kind in ("add", "sub"):
+        return width
+    if kind in ("neg", "abs"):
+        return width + 2
+    if kind in ("and", "or", "xor"):
+        return (width + 1) // 2
+    if kind == "not":
+        return 0                      # absorbed into downstream LUTs
+    if kind in ("shl", "shr", "lshr"):
+        # Constant shifts are wiring; variable shifts need a barrel.
+        return 0
+    if kind in ("eq", "ne"):
+        return (width + 2) // 3
+    if kind in ("lt", "le", "gt", "ge"):
+        return (width + 1) // 2
+    if kind in ("min", "max"):
+        return width + (width + 1) // 2
+    if kind == "select":
+        return (width + 1) // 2
+    if kind == "mul":
+        # DSP-mapped; a few LUTs of glue.
+        return 12
+    if kind in ("div", "mod"):
+        # Iterative divider datapath: subtract + mux per stage, shared.
+        return 5 * width
+    if kind == "isqrt":
+        return 6 * width
+    raise KeyError(kind)
+
+
+def variable_shift_luts(width: int) -> int:
+    """Barrel shifter cost when the shift amount is not constant."""
+    stages = max(1, math.ceil(math.log2(max(width, 2))))
+    return (width * stages) // 2
+
+
+def op_dsps(kind: str, width_a: int, width_b: int) -> int:
+    """DSP48 blocks for one unit (multipliers only)."""
+    if kind != "mul":
+        return 0
+    # DSP48E2 does 27x18 signed; tile larger products.
+    return max(1, math.ceil(width_a / 27) * math.ceil(width_b / 18))
+
+
+def op_ffs(kind: str, width: int) -> int:
+    """Pipeline/output registers for one unit.
+
+    Registers are shared aggressively by real synthesis (retiming,
+    register merging), so each unit is charged roughly one output
+    register plus one pipeline stage — keeping FF totals near the
+    1-1.5x-of-LUTs ratio real HLS designs exhibit.
+    """
+    if kind in ("const", "cast"):
+        return 0
+    if kind in ("setvar", "getvar"):
+        return 0                      # variable registers counted once
+    if kind == "mul":
+        return 2 * width              # DSP pipeline registers
+    return width                      # one output register per unit
+
+
+def array_brams(depth: int, width: int) -> int:
+    """BRAM18 blocks needed for one local array (0 = use LUTRAM)."""
+    bits = depth * width
+    if bits <= LUTRAM_THRESHOLD_BITS:
+        return 0
+    # BRAM18 aspect ratios cap width at 36; wider arrays stack blocks.
+    width_blocks = max(1, math.ceil(width / 36))
+    depth_blocks = max(1, math.ceil(depth / (BRAM18_BITS // min(width, 36)
+                                             or 1)))
+    return max(width_blocks, math.ceil(bits / BRAM18_BITS), depth_blocks)
+
+
+def array_lutram_luts(depth: int, width: int) -> int:
+    """LUT cost when an array maps to distributed RAM."""
+    bits = depth * width
+    if bits > LUTRAM_THRESHOLD_BITS:
+        return 0
+    return max(1, bits // 32)

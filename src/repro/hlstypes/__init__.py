@@ -1,0 +1,32 @@
+"""Arbitrary-precision HLS datatypes (``ap_int``, ``ap_uint``, ``ap_fixed``).
+
+The paper's operators are written against the Xilinx ``ap_int``/``ap_fixed``
+C++ libraries.  PLD ships its own memory-efficient, source-compatible
+replacements so the same operator code runs on the PicoRV32 softcores whose
+pages only carry 48-96 BRAM18s (Sec. 5.2).  This package is the Python
+equivalent: value types with the same wrap/saturate and quantisation
+semantics, usable both by the functional dataflow simulator and by the HLS
+frontend (which reads bit-widths off these types to size datapaths), plus
+footprint accounting that distinguishes the packed layout (this library)
+from the word-aligned Xilinx layout.
+"""
+
+from repro.hlstypes.apint import ApInt, ap_int, ap_uint
+from repro.hlstypes.apfixed import (
+    ApFixed,
+    Overflow,
+    Quantization,
+    ap_fixed,
+    ap_ufixed,
+)
+
+__all__ = [
+    "ApInt",
+    "ApFixed",
+    "Overflow",
+    "Quantization",
+    "ap_int",
+    "ap_uint",
+    "ap_fixed",
+    "ap_ufixed",
+]

@@ -1,0 +1,381 @@
+"""Fixed-point HLS type (``ap_fixed``/``ap_ufixed``) semantics.
+
+An :class:`ApFixed` holds ``width`` total bits of which ``int_bits`` sit
+left of the binary point (including the sign bit when signed), matching
+C++ ``ap_fixed<W, I>``.  Values are stored as scaled integers
+(``raw * 2**-(width - int_bits)``), so arithmetic is exact until a result
+is narrowed, at which point the configured quantisation (rounding) and
+overflow modes apply — the defaults match Xilinx (truncate, wrap).
+
+Like the Xilinx library, binary operators return results wide enough to
+be exact (addition grows one integer bit; multiplication sums widths), so
+kernels keep full precision through an expression and quantise on
+assignment via :meth:`ApFixed.cast`.
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+from typing import Union
+
+from repro.hlstypes.apint import ApInt, _mask, _wrap
+
+_Number = Union[int, float, Fraction, "ApFixed", ApInt]
+
+
+class Quantization(enum.Enum):
+    """Rounding mode applied when low bits are dropped."""
+
+    TRN = "truncate"        # toward minus infinity (Xilinx AP_TRN, default)
+    RND = "round"           # to nearest, ties away from zero (AP_RND)
+
+
+class Overflow(enum.Enum):
+    """Overflow mode applied when high bits are dropped."""
+
+    WRAP = "wrap"           # drop bits (AP_WRAP, default)
+    SAT = "saturate"        # clamp to min/max (AP_SAT)
+
+
+class ApFixed:
+    """A fixed-point number with explicit width and integer bits.
+
+    Args:
+        value: initial value (int, float, Fraction, ApFixed or ApInt);
+            quantised/overflowed into the format on construction.
+        width: total bits (``W``).
+        int_bits: bits left of the binary point (``I``); may exceed
+            ``width`` or be negative, as in the C++ template.
+        signed: two's-complement when True.
+        quantization: rounding mode on construction/assignment.
+        overflow: overflow mode on construction/assignment.
+    """
+
+    __slots__ = ("_raw", "_width", "_int_bits", "_signed", "_quant", "_ovf")
+
+    def __init__(self, value: _Number = 0, width: int = 32, int_bits: int = 16,
+                 signed: bool = True,
+                 quantization: Quantization = Quantization.TRN,
+                 overflow: Overflow = Overflow.WRAP):
+        if width < 1:
+            raise ValueError(f"ApFixed width must be >= 1, got {width}")
+        self._width = width
+        self._int_bits = int_bits
+        self._signed = signed
+        self._quant = quantization
+        self._ovf = overflow
+        self._raw = self._quantize(self._to_fraction(value))
+
+    # -- construction helpers --------------------------------------------------
+
+    @staticmethod
+    def _to_fraction(value: _Number) -> Fraction:
+        if isinstance(value, ApFixed):
+            return value.as_fraction()
+        if isinstance(value, ApInt):
+            return Fraction(int(value))
+        if isinstance(value, float):
+            return Fraction(value)
+        return Fraction(value)
+
+    @property
+    def frac_bits(self) -> int:
+        """Bits right of the binary point (may be negative)."""
+        return self._width - self._int_bits
+
+    def _quantize(self, exact: Fraction) -> int:
+        """Scale, round and overflow-handle an exact value into raw bits."""
+        scaled = exact * (Fraction(2) ** self.frac_bits)
+        if self._quant is Quantization.TRN:
+            # Truncate toward minus infinity (floor), per AP_TRN.
+            raw = scaled.numerator // scaled.denominator
+        else:
+            # Round half away from zero, per AP_RND behaviour on .5.
+            sign = 1 if scaled >= 0 else -1
+            raw = sign * int(abs(scaled) + Fraction(1, 2))
+        lo, hi = self._raw_bounds()
+        if raw < lo or raw > hi:
+            if self._ovf is Overflow.SAT:
+                raw = max(lo, min(hi, raw))
+            else:
+                raw = _wrap(raw, self._width, self._signed)
+        return raw
+
+    def _raw_bounds(self) -> tuple:
+        if self._signed:
+            return -(1 << (self._width - 1)), (1 << (self._width - 1)) - 1
+        return 0, _mask(self._width)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Total bit width (``W``)."""
+        return self._width
+
+    @property
+    def int_bits(self) -> int:
+        """Integer bits including sign (``I``)."""
+        return self._int_bits
+
+    @property
+    def signed(self) -> bool:
+        """True for two's-complement formats."""
+        return self._signed
+
+    @property
+    def quantization(self) -> Quantization:
+        """Rounding mode used on assignment."""
+        return self._quant
+
+    @property
+    def overflow(self) -> Overflow:
+        """Overflow mode used on assignment."""
+        return self._ovf
+
+    @property
+    def packed_bytes(self) -> int:
+        """Footprint in PLD's memory-efficient softcore library."""
+        return (self._width + 7) // 8
+
+    @property
+    def xilinx_bytes(self) -> int:
+        """Footprint in the stock Xilinx library (word aligned)."""
+        if self._width <= 32:
+            return 4
+        return 8 * ((self._width + 63) // 64)
+
+    @property
+    def epsilon(self) -> Fraction:
+        """The value of one least-significant bit."""
+        return Fraction(1, 2 ** self.frac_bits) if self.frac_bits >= 0 \
+            else Fraction(2 ** -self.frac_bits)
+
+    @property
+    def min_value(self) -> Fraction:
+        """Smallest representable value."""
+        lo, _hi = self._raw_bounds()
+        return Fraction(lo) * self.epsilon
+
+    @property
+    def max_value(self) -> Fraction:
+        """Largest representable value."""
+        _lo, hi = self._raw_bounds()
+        return Fraction(hi) * self.epsilon
+
+    def raw(self) -> int:
+        """The raw bit pattern as an unsigned integer (stream payload)."""
+        return self._raw & _mask(self._width)
+
+    @classmethod
+    def from_raw(cls, bits: int, width: int, int_bits: int,
+                 signed: bool = True, **kwargs) -> "ApFixed":
+        """Reinterpret raw bits (e.g. a stream word) as a fixed-point value."""
+        out = cls(0, width, int_bits, signed, **kwargs)
+        out._raw = _wrap(bits, width, signed)
+        return out
+
+    def as_fraction(self) -> Fraction:
+        """Exact value as a :class:`fractions.Fraction`."""
+        return Fraction(self._raw) * self.epsilon
+
+    def __float__(self) -> float:
+        return float(self.as_fraction())
+
+    def __int__(self) -> int:
+        frac = self.as_fraction()
+        # C semantics: truncate toward zero.
+        return int(frac) if frac >= 0 else -int(-frac)
+
+    def __bool__(self) -> bool:
+        return self._raw != 0
+
+    def __repr__(self) -> str:
+        kind = "ap_fixed" if self._signed else "ap_ufixed"
+        return f"{kind}<{self._width},{self._int_bits}>({float(self)})"
+
+    def __hash__(self) -> int:
+        return hash(self.as_fraction())
+
+    # -- format manipulation --------------------------------------------------------
+
+    def cast(self, width: int, int_bits: int, signed: bool = None,
+             quantization: Quantization = None,
+             overflow: Overflow = None) -> "ApFixed":
+        """Assign into another fixed-point format (quantise + overflow)."""
+        return ApFixed(
+            self.as_fraction(), width, int_bits,
+            self._signed if signed is None else signed,
+            self._quant if quantization is None else quantization,
+            self._ovf if overflow is None else overflow,
+        )
+
+    def _result(self, exact: Fraction, width: int, int_bits: int,
+                signed: bool) -> "ApFixed":
+        out = ApFixed(0, width, int_bits, signed, self._quant, self._ovf)
+        out._raw = out._quantize(exact)
+        return out
+
+    def _coerce(self, other: _Number) -> "ApFixed":
+        if isinstance(other, ApFixed):
+            return other
+        if isinstance(other, ApInt):
+            return ApFixed(int(other), other.width, other.width, other.signed)
+        if isinstance(other, int):
+            width = max(other.bit_length() + 1, 2)
+            return ApFixed(other, width, width, True)
+        if isinstance(other, (float, Fraction)):
+            # Floats get a generous default format, exact via Fraction.
+            out = ApFixed(0, self._width + 32, self._int_bits + 16,
+                          True, self._quant, self._ovf)
+            out._raw = out._quantize(Fraction(other))
+            return out
+        return NotImplemented  # type: ignore[return-value]
+
+    # -- arithmetic -------------------------------------------------------------------
+
+    def _add_like(self, other: _Number, sign: int) -> "ApFixed":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented  # type: ignore[return-value]
+        frac_bits = max(self.frac_bits, rhs.frac_bits)
+        int_bits = max(self._int_bits, rhs._int_bits) + 1
+        exact = self.as_fraction() + sign * rhs.as_fraction()
+        return self._result(exact, int_bits + frac_bits, int_bits,
+                            self._signed or rhs._signed)
+
+    def __add__(self, other: _Number) -> "ApFixed":
+        return self._add_like(other, +1)
+
+    def __radd__(self, other: _Number) -> "ApFixed":
+        return self._add_like(other, +1)
+
+    def __sub__(self, other: _Number) -> "ApFixed":
+        return self._add_like(other, -1)
+
+    def __rsub__(self, other: _Number) -> "ApFixed":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented  # type: ignore[return-value]
+        return rhs.__sub__(self)
+
+    def __mul__(self, other: _Number) -> "ApFixed":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented  # type: ignore[return-value]
+        width = self._width + rhs._width
+        int_bits = self._int_bits + rhs._int_bits
+        exact = self.as_fraction() * rhs.as_fraction()
+        return self._result(exact, width, int_bits, self._signed or rhs._signed)
+
+    def __rmul__(self, other: _Number) -> "ApFixed":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: _Number) -> "ApFixed":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented  # type: ignore[return-value]
+        if rhs._raw == 0:
+            raise ZeroDivisionError("ApFixed division by zero")
+        # Result keeps the dividend format widened by the divisor's
+        # fractional precision — wide enough for the Rosetta kernels,
+        # which then cast back explicitly.
+        int_bits = self._int_bits + rhs.frac_bits + 1
+        width = int_bits + max(self.frac_bits, rhs.frac_bits, 0) + 1
+        exact = self.as_fraction() / rhs.as_fraction()
+        return self._result(exact, width, int_bits, True)
+
+    def __rtruediv__(self, other: _Number) -> "ApFixed":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented  # type: ignore[return-value]
+        return rhs.__truediv__(self)
+
+    def __neg__(self) -> "ApFixed":
+        return self._result(-self.as_fraction(), self._width + 1,
+                            self._int_bits + 1, True)
+
+    def __abs__(self) -> "ApFixed":
+        return self._result(abs(self.as_fraction()), self._width + 1,
+                            self._int_bits + 1, self._signed)
+
+    def __lshift__(self, amount: int) -> "ApFixed":
+        out = ApFixed(0, self._width, self._int_bits, self._signed,
+                      self._quant, self._ovf)
+        out._raw = _wrap(self._raw << int(amount), self._width, self._signed)
+        return out
+
+    def __rshift__(self, amount: int) -> "ApFixed":
+        out = ApFixed(0, self._width, self._int_bits, self._signed,
+                      self._quant, self._ovf)
+        out._raw = self._raw >> int(amount)
+        return out
+
+    # -- comparisons ---------------------------------------------------------------------
+
+    def _cmp(self, other: _Number):
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return rhs.as_fraction()
+
+    def __eq__(self, other: object) -> bool:
+        rhs = self._cmp(other)  # type: ignore[arg-type]
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self.as_fraction() == rhs
+
+    def __lt__(self, other: _Number) -> bool:
+        rhs = self._cmp(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self.as_fraction() < rhs
+
+    def __le__(self, other: _Number) -> bool:
+        rhs = self._cmp(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self.as_fraction() <= rhs
+
+    def __gt__(self, other: _Number) -> bool:
+        rhs = self._cmp(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self.as_fraction() > rhs
+
+    def __ge__(self, other: _Number) -> bool:
+        rhs = self._cmp(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self.as_fraction() >= rhs
+
+
+def ap_fixed(width: int, int_bits: int,
+             quantization: Quantization = Quantization.TRN,
+             overflow: Overflow = Overflow.WRAP):
+    """Factory mirroring C++ ``ap_fixed<W, I>``."""
+
+    def make(value: _Number = 0) -> ApFixed:
+        return ApFixed(value, width, int_bits, True, quantization, overflow)
+
+    make.width = width  # type: ignore[attr-defined]
+    make.int_bits = int_bits  # type: ignore[attr-defined]
+    make.signed = True  # type: ignore[attr-defined]
+    make.__name__ = f"ap_fixed_{width}_{int_bits}"
+    return make
+
+
+def ap_ufixed(width: int, int_bits: int,
+              quantization: Quantization = Quantization.TRN,
+              overflow: Overflow = Overflow.WRAP):
+    """Factory mirroring C++ ``ap_ufixed<W, I>``."""
+
+    def make(value: _Number = 0) -> ApFixed:
+        return ApFixed(value, width, int_bits, False, quantization, overflow)
+
+    make.width = width  # type: ignore[attr-defined]
+    make.int_bits = int_bits  # type: ignore[attr-defined]
+    make.signed = False  # type: ignore[attr-defined]
+    make.__name__ = f"ap_ufixed_{width}_{int_bits}"
+    return make

@@ -1,0 +1,340 @@
+"""Arbitrary-precision integers with HLS (``ap_int``/``ap_uint``) semantics.
+
+An :class:`ApInt` is an immutable integer with an explicit bit-width and
+signedness.  Arithmetic wraps modulo ``2**width`` exactly as C++ ``ap_int``
+does when the result is assigned back into a variable of the same width.
+Binary operators follow the HLS promotion rules closely enough for the
+Rosetta kernels: the result width is the width needed to hold any exact
+result (e.g. ``W+1`` for addition, ``W1+W2`` for multiplication), so no
+precision is lost until the program narrows explicitly.
+
+The module also records the two storage footprints the paper contrasts
+(Sec. 5.2): the packed footprint used by PLD's memory-efficient library
+(``ceil(width / 8)`` bytes) and the word-aligned footprint of the stock
+Xilinx library (32-bit multiples, 64-bit for wide values).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+_IntLike = Union[int, "ApInt"]
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def _wrap(value: int, width: int, signed: bool) -> int:
+    """Reduce ``value`` into the representable range by dropping high bits."""
+    value &= _mask(width)
+    if signed and value >> (width - 1):
+        value -= 1 << width
+    return value
+
+
+class ApInt:
+    """A fixed-width two's-complement integer.
+
+    Instances are immutable; every operation returns a new :class:`ApInt`.
+
+    Args:
+        value: initial value; wrapped into range (assignment semantics).
+        width: bit width, ``>= 1``.
+        signed: two's-complement when True, unsigned otherwise.
+    """
+
+    __slots__ = ("_value", "_width", "_signed")
+
+    def __init__(self, value: _IntLike = 0, width: int = 32,
+                 signed: bool = True):
+        if width < 1:
+            raise ValueError(f"ApInt width must be >= 1, got {width}")
+        if isinstance(value, ApInt):
+            value = value._value
+        self._width = width
+        self._signed = signed
+        self._value = _wrap(int(value), width, signed)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Bit width of the type."""
+        return self._width
+
+    @property
+    def signed(self) -> bool:
+        """True when the type is two's-complement signed."""
+        return self._signed
+
+    @property
+    def value(self) -> int:
+        """The held value as a plain Python int."""
+        return self._value
+
+    @property
+    def min_value(self) -> int:
+        """Smallest representable value."""
+        return -(1 << (self._width - 1)) if self._signed else 0
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value."""
+        if self._signed:
+            return (1 << (self._width - 1)) - 1
+        return _mask(self._width)
+
+    @property
+    def packed_bytes(self) -> int:
+        """Storage footprint of PLD's memory-efficient library."""
+        return (self._width + 7) // 8
+
+    @property
+    def xilinx_bytes(self) -> int:
+        """Storage footprint of the stock Xilinx library (word aligned)."""
+        if self._width <= 32:
+            return 4
+        words = (self._width + 63) // 64
+        return 8 * words
+
+    def raw(self) -> int:
+        """The underlying bit pattern as an unsigned int (for streams)."""
+        return self._value & _mask(self._width)
+
+    @classmethod
+    def from_raw(cls, bits: int, width: int, signed: bool = True) -> "ApInt":
+        """Reinterpret a raw bit pattern (e.g. read from a stream)."""
+        return cls(_wrap(bits, width, signed), width, signed)
+
+    # -- conversions -------------------------------------------------------
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __float__(self) -> float:
+        return float(self._value)
+
+    def __bool__(self) -> bool:
+        return self._value != 0
+
+    def __repr__(self) -> str:
+        kind = "ap_int" if self._signed else "ap_uint"
+        return f"{kind}<{self._width}>({self._value})"
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._width, self._signed))
+
+    # -- width manipulation -------------------------------------------------
+
+    def cast(self, width: int, signed: bool = None) -> "ApInt":
+        """Assign into a (possibly narrower) type, wrapping as C++ does."""
+        if signed is None:
+            signed = self._signed
+        return ApInt(self._value, width, signed)
+
+    def __getitem__(self, key) -> "ApInt":
+        """Bit (``x[3]``) or slice (``x[7:0]``, MSB:LSB inclusive) select."""
+        bits = self.raw()
+        if isinstance(key, slice):
+            if key.step is not None:
+                raise ValueError("ApInt slices do not support a step")
+            hi, lo = key.start, key.stop
+            if hi is None or lo is None:
+                raise ValueError("ApInt slices need explicit msb:lsb bounds")
+            if hi < lo:
+                raise ValueError(f"ApInt slice msb ({hi}) < lsb ({lo})")
+            if hi >= self._width or lo < 0:
+                raise IndexError(
+                    f"slice [{hi}:{lo}] out of range for width {self._width}")
+            width = hi - lo + 1
+            return ApInt((bits >> lo) & _mask(width), width, signed=False)
+        index = int(key)
+        if index < 0 or index >= self._width:
+            raise IndexError(f"bit {index} out of range for width {self._width}")
+        return ApInt((bits >> index) & 1, 1, signed=False)
+
+    def concat(self, other: "ApInt") -> "ApInt":
+        """Bit concatenation: ``self`` becomes the high bits."""
+        width = self._width + other._width
+        bits = (self.raw() << other._width) | other.raw()
+        return ApInt(bits, width, signed=False)
+
+    # -- arithmetic helpers --------------------------------------------------
+
+    def _coerce(self, other: _IntLike) -> Tuple[int, int, bool]:
+        """Return (value, width, signed) for the right-hand operand."""
+        if isinstance(other, ApInt):
+            return other._value, other._width, other._signed
+        if isinstance(other, int):
+            width = max(other.bit_length(), 1) + (1 if other < 0 else 1)
+            return other, width, other < 0 or self._signed
+        return NotImplemented  # type: ignore[return-value]
+
+    def _binary(self, other: _IntLike, op, extra_bits: int,
+                mul: bool = False) -> "ApInt":
+        coerced = self._coerce(other)
+        if coerced is NotImplemented:
+            return NotImplemented  # type: ignore[return-value]
+        ovalue, owidth, osigned = coerced
+        signed = self._signed or osigned
+        if mul:
+            width = self._width + owidth
+        else:
+            width = max(self._width, owidth) + extra_bits
+        return ApInt(op(self._value, ovalue), width, signed)
+
+    def __add__(self, other: _IntLike) -> "ApInt":
+        return self._binary(other, lambda a, b: a + b, 1)
+
+    def __radd__(self, other: int) -> "ApInt":
+        return self.__add__(other)
+
+    def __sub__(self, other: _IntLike) -> "ApInt":
+        return self._binary(other, lambda a, b: a - b, 1)
+
+    def __rsub__(self, other: int) -> "ApInt":
+        return ApInt(other, max(self._width, int(other).bit_length() + 1),
+                     self._signed).__sub__(self)
+
+    def __mul__(self, other: _IntLike) -> "ApInt":
+        return self._binary(other, lambda a, b: a * b, 0, mul=True)
+
+    def __rmul__(self, other: int) -> "ApInt":
+        return self.__mul__(other)
+
+    def __floordiv__(self, other: _IntLike) -> "ApInt":
+        coerced = self._coerce(other)
+        if coerced is NotImplemented:
+            return NotImplemented  # type: ignore[return-value]
+        ovalue, _width, osigned = coerced
+        if ovalue == 0:
+            raise ZeroDivisionError("ApInt division by zero")
+        # HLS division truncates toward zero (C semantics), unlike //.
+        quotient = abs(self._value) // abs(ovalue)
+        if (self._value < 0) != (ovalue < 0):
+            quotient = -quotient
+        return ApInt(quotient, self._width + 1, self._signed or osigned)
+
+    def __mod__(self, other: _IntLike) -> "ApInt":
+        coerced = self._coerce(other)
+        if coerced is NotImplemented:
+            return NotImplemented  # type: ignore[return-value]
+        ovalue, owidth, osigned = coerced
+        if ovalue == 0:
+            raise ZeroDivisionError("ApInt modulo by zero")
+        # C semantics: remainder has the sign of the dividend.
+        remainder = abs(self._value) % abs(ovalue)
+        if self._value < 0:
+            remainder = -remainder
+        return ApInt(remainder, min(self._width, owidth) + 1,
+                     self._signed or osigned)
+
+    def __neg__(self) -> "ApInt":
+        return ApInt(-self._value, self._width + 1, True)
+
+    def __abs__(self) -> "ApInt":
+        return ApInt(abs(self._value), self._width + 1, self._signed)
+
+    def __invert__(self) -> "ApInt":
+        return ApInt(~self._value, self._width, self._signed)
+
+    def _bitwise(self, other: _IntLike, op) -> "ApInt":
+        coerced = self._coerce(other)
+        if coerced is NotImplemented:
+            return NotImplemented  # type: ignore[return-value]
+        ovalue, owidth, osigned = coerced
+        width = max(self._width, owidth)
+        return ApInt(op(self._value, ovalue), width, self._signed or osigned)
+
+    def __and__(self, other: _IntLike) -> "ApInt":
+        return self._bitwise(other, lambda a, b: a & b)
+
+    def __rand__(self, other: int) -> "ApInt":
+        return self.__and__(other)
+
+    def __or__(self, other: _IntLike) -> "ApInt":
+        return self._bitwise(other, lambda a, b: a | b)
+
+    def __ror__(self, other: int) -> "ApInt":
+        return self.__or__(other)
+
+    def __xor__(self, other: _IntLike) -> "ApInt":
+        return self._bitwise(other, lambda a, b: a ^ b)
+
+    def __rxor__(self, other: int) -> "ApInt":
+        return self.__xor__(other)
+
+    def __lshift__(self, amount: int) -> "ApInt":
+        # Width stays fixed (assignment semantics), bits shifted out drop.
+        return ApInt(self._value << int(amount), self._width, self._signed)
+
+    def __rshift__(self, amount: int) -> "ApInt":
+        # Arithmetic shift for signed, logical for unsigned.
+        return ApInt(self._value >> int(amount), self._width, self._signed)
+
+    # -- comparisons ----------------------------------------------------------
+
+    def _cmp_value(self, other: _IntLike) -> int:
+        if isinstance(other, ApInt):
+            return other._value
+        if isinstance(other, int):
+            return other
+        return NotImplemented  # type: ignore[return-value]
+
+    def __eq__(self, other: object) -> bool:
+        value = self._cmp_value(other)  # type: ignore[arg-type]
+        if value is NotImplemented:
+            return NotImplemented
+        return self._value == value
+
+    def __lt__(self, other: _IntLike) -> bool:
+        value = self._cmp_value(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return self._value < value
+
+    def __le__(self, other: _IntLike) -> bool:
+        value = self._cmp_value(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return self._value <= value
+
+    def __gt__(self, other: _IntLike) -> bool:
+        value = self._cmp_value(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return self._value > value
+
+    def __ge__(self, other: _IntLike) -> bool:
+        value = self._cmp_value(other)
+        if value is NotImplemented:
+            return NotImplemented
+        return self._value >= value
+
+
+def ap_int(width: int):
+    """Factory mirroring C++ ``ap_int<W>``: returns a constructor."""
+
+    def make(value: _IntLike = 0) -> ApInt:
+        return ApInt(value, width, signed=True)
+
+    make.width = width  # type: ignore[attr-defined]
+    make.signed = True  # type: ignore[attr-defined]
+    make.__name__ = f"ap_int_{width}"
+    return make
+
+
+def ap_uint(width: int):
+    """Factory mirroring C++ ``ap_uint<W>``: returns a constructor."""
+
+    def make(value: _IntLike = 0) -> ApInt:
+        return ApInt(value, width, signed=False)
+
+    make.width = width  # type: ignore[attr-defined]
+    make.signed = False  # type: ignore[attr-defined]
+    make.__name__ = f"ap_uint_{width}"
+    return make

@@ -1,0 +1,37 @@
+"""The linking network (Sec. 4.3): a deflection-routed butterfly fat tree.
+
+PLD links separately compiled pages with a Hoplite-style [34, 18, 46]
+packet-switched NoC in a BFT topology [32] at 200 MHz with 32-bit
+payloads.  This package provides:
+
+* :mod:`repro.noc.packet` — single-flit packets (data + control);
+* :mod:`repro.noc.bft` — the butterfly-fat-tree topology;
+* :mod:`repro.noc.netsim` — a cycle-level simulator with age-based
+  deflection routing;
+* :mod:`repro.noc.leaf` — leaf interfaces with destination-config
+  registers, re-linkable by control packets without recompiling pages;
+* :mod:`repro.noc.linking` — software linking: turn a dataflow graph +
+  page assignment into the configuration packets that wire it up;
+* :mod:`repro.noc.perfmodel` — the analytic bandwidth model used for
+  -O1 performance estimates, cross-checked against the simulator.
+"""
+
+from repro.noc.packet import ConfigPacket, DataPacket, Packet
+from repro.noc.bft import BFTopology
+from repro.noc.leaf import LeafInterface, StreamBinding
+from repro.noc.netsim import NetworkSimulator
+from repro.noc.linking import LinkConfiguration, build_link_configuration
+from repro.noc.perfmodel import NoCPerformanceModel
+
+__all__ = [
+    "Packet",
+    "DataPacket",
+    "ConfigPacket",
+    "BFTopology",
+    "LeafInterface",
+    "StreamBinding",
+    "NetworkSimulator",
+    "LinkConfiguration",
+    "build_link_configuration",
+    "NoCPerformanceModel",
+]

@@ -1,0 +1,118 @@
+"""Butterfly-fat-tree topology.
+
+A binary fat tree over the leaves (pages + the DMA interface).  Switch
+``(level, index)`` is the ancestor of the ``2**level`` leaves whose
+numbers share the prefix ``index``.  Each switch has two child links and
+``up_links`` parent links; PLD's network is deliberately modest ("tuned
+for mapping speed over performance", Sec. 7.4), so the default fatness
+is one up-link per switch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import NoCError
+
+
+@dataclass(frozen=True)
+class SwitchId:
+    """A switch position in the tree."""
+
+    level: int        # 1 = parents of leaves
+    index: int        # subtree index at this level
+
+    def __repr__(self) -> str:
+        return f"S{self.level}.{self.index}"
+
+
+class BFTopology:
+    """Geometry helpers for a binary fat tree over ``n_leaves`` leaves."""
+
+    def __init__(self, n_leaves: int, up_links: int = 1):
+        if n_leaves < 2:
+            raise NoCError("a linking network needs at least 2 leaves")
+        if up_links < 1:
+            raise NoCError("up_links must be >= 1")
+        self.n_leaves = n_leaves
+        self.up_links = up_links
+        self.levels = max(1, math.ceil(math.log2(n_leaves)))
+        self.size = 1 << self.levels       # leaves padded to a power of 2
+
+    def switches(self) -> Iterator[SwitchId]:
+        for level in range(1, self.levels + 1):
+            for index in range(self.size >> level):
+                yield SwitchId(level, index)
+
+    def parent(self, switch: SwitchId) -> SwitchId:
+        if switch.level >= self.levels:
+            raise NoCError(f"{switch} is the root; no parent")
+        return SwitchId(switch.level + 1, switch.index // 2)
+
+    def children(self, switch: SwitchId) -> Tuple[SwitchId, SwitchId]:
+        if switch.level <= 1:
+            raise NoCError(f"{switch} is a leaf parent; children are leaves")
+        return (SwitchId(switch.level - 1, switch.index * 2),
+                SwitchId(switch.level - 1, switch.index * 2 + 1))
+
+    def leaf_parent(self, leaf: int) -> SwitchId:
+        self._check_leaf(leaf)
+        return SwitchId(1, leaf // 2)
+
+    def subtree_range(self, switch: SwitchId) -> Tuple[int, int]:
+        """[lo, hi) leaf range under a switch."""
+        span = 1 << switch.level
+        return switch.index * span, (switch.index + 1) * span
+
+    def covers(self, switch: SwitchId, leaf: int) -> bool:
+        lo, hi = self.subtree_range(switch)
+        return lo <= leaf < hi
+
+    def route_hops(self, src: int, dst: int) -> int:
+        """Contention-free hop count between two leaves."""
+        self._check_leaf(src)
+        self._check_leaf(dst)
+        if src == dst:
+            return 0
+        # Climb to the lowest common ancestor, then descend.
+        lca_level = (src ^ dst).bit_length()
+        return 2 * lca_level
+
+    def common_ancestor(self, src: int, dst: int) -> SwitchId:
+        level = max(1, (src ^ dst).bit_length())
+        return SwitchId(level, src >> level)
+
+    def links_on_path(self, src: int, dst: int) -> List[Tuple[SwitchId, str]]:
+        """(switch, direction) pairs traversed from src to dst.
+
+        Directions are "up" (towards the root, leaving the switch) and
+        "down" (towards the leaves).  Used by the analytic bandwidth
+        model to find shared tree links.
+        """
+        if src == dst:
+            return []
+        lca = self.common_ancestor(src, dst)
+        path: List[Tuple[SwitchId, str]] = []
+        cursor = self.leaf_parent(src)
+        while cursor.level < lca.level:
+            path.append((cursor, "up"))
+            cursor = self.parent(cursor)
+        # Descend: record each switch we leave downward.
+        down: List[Tuple[SwitchId, str]] = []
+        cursor = self.leaf_parent(dst)
+        while cursor.level < lca.level:
+            down.append((cursor, "down"))
+            cursor = self.parent(cursor)
+        down.append((lca, "down"))
+        path.extend(reversed(down))
+        return path
+
+    def _check_leaf(self, leaf: int) -> None:
+        if not (0 <= leaf < self.size):
+            raise NoCError(f"leaf {leaf} outside tree of {self.size}")
+
+    def __repr__(self) -> str:
+        return (f"BFTopology({self.n_leaves} leaves, {self.levels} levels, "
+                f"up={self.up_links})")

@@ -1,0 +1,169 @@
+"""Leaf interfaces: the standard page-to-network adapter (Sec. 4.1, 4.3).
+
+Every page talks to the linking network through an identical leaf
+interface (~500 LUTs).  Outbound stream ports have *destination
+configuration registers* holding the (leaf, port) each token should be
+addressed to; the pre-linker sets them by sending control packets, so a
+design can be re-linked — operators moved between pages, or swapped
+between FPGA and softcore implementations — without recompiling any
+page.  Inbound packets demultiplex by destination port into per-stream
+FIFOs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import NoCError
+from repro.noc.packet import ConfigPacket, DataPacket, Packet
+
+
+@dataclass(frozen=True)
+class StreamBinding:
+    """One output port's destination register value."""
+
+    dest_leaf: int
+    dest_port: int
+
+
+class LeafInterface:
+    """The network endpoint logic of one page.
+
+    Args:
+        leaf: leaf (page) number in the tree.
+        n_ports: local stream ports (both directions share numbering).
+    """
+
+    #: Register space offset distinguishing config from data ports.
+    CONFIG_PORT_BASE = 128
+
+    def __init__(self, leaf: int, n_ports: int = 8):
+        if n_ports < 1 or n_ports > LeafInterface.CONFIG_PORT_BASE:
+            raise NoCError(f"leaf {leaf}: n_ports out of range")
+        self.leaf = leaf
+        self.n_ports = n_ports
+        self.bindings: Dict[int, StreamBinding] = {}
+        self.outbox: Deque[Packet] = deque()
+        self.inboxes: Dict[int, Deque[int]] = {
+            port: deque() for port in range(n_ports)}
+        # Stream-order restoration: deflection can reorder packets in
+        # flight, so senders stamp per-link sequence numbers and the
+        # receiving leaf holds early arrivals in a reorder buffer.
+        self._tx_seq: Dict[int, int] = {}
+        # Receive-side state is keyed by (port, source leaf) so that
+        # even ill-formed many-to-one traffic cannot wedge the buffer.
+        self._rx_expected: Dict[Tuple[int, int], int] = {}
+        self._rx_pending: Dict[Tuple[int, int], Dict[int, int]] = {}
+        self.bounced = 0
+        self.sent = 0
+        self.received = 0
+
+    # -- configuration ---------------------------------------------------
+
+    def bind(self, out_port: int, dest_leaf: int, dest_port: int) -> None:
+        """Directly set an output port's destination register."""
+        self._check_port(out_port)
+        self.bindings[out_port] = StreamBinding(dest_leaf, dest_port)
+
+    def config_packet(self, out_port: int, dest_leaf: int,
+                      dest_port: int) -> ConfigPacket:
+        """Build the control packet that performs :meth:`bind` remotely."""
+        self._check_port(out_port)
+        return ConfigPacket(
+            dest_leaf=self.leaf,
+            dest_port=LeafInterface.CONFIG_PORT_BASE + out_port,
+            payload=ConfigPacket.encode(dest_leaf, dest_port),
+        )
+
+    def _check_port(self, port: int) -> None:
+        if not (0 <= port < self.n_ports):
+            raise NoCError(f"leaf {self.leaf}: no port {port}")
+
+    # -- traffic -----------------------------------------------------------
+
+    def send(self, out_port: int, token: int) -> None:
+        """Queue one token for the network using the port's binding."""
+        self._check_port(out_port)
+        binding = self.bindings.get(out_port)
+        if binding is None:
+            raise NoCError(
+                f"leaf {self.leaf}: port {out_port} not linked; "
+                f"did the pre-linker run?")
+        seq = self._tx_seq.get(out_port, 0)
+        self._tx_seq[out_port] = seq + 1
+        self.outbox.append(DataPacket(
+            dest_leaf=binding.dest_leaf,
+            dest_port=binding.dest_port,
+            payload=token & 0xFFFFFFFF,
+            src_leaf=self.leaf,
+            seq=seq,
+        ))
+
+    def deliver(self, packet: Packet) -> Optional[Packet]:
+        """Accept a packet from the network.
+
+        Returns a packet to re-inject when this was a mis-deflected
+        delivery (bounce), else None.
+        """
+        if packet.dest_leaf != self.leaf:
+            # Deflection sent it down the wrong way: bounce it back.
+            self.bounced += 1
+            return packet
+        if packet.dest_port >= LeafInterface.CONFIG_PORT_BASE:
+            port = packet.dest_port - LeafInterface.CONFIG_PORT_BASE
+            self._check_port(port)
+            leaf, dport = ConfigPacket.decode(packet.payload)
+            self.bindings[port] = StreamBinding(leaf, dport)
+        else:
+            self._check_port(packet.dest_port)
+            self._deliver_in_order(packet)
+        self.received += 1
+        return None
+
+    def _deliver_in_order(self, packet: Packet) -> None:
+        port = packet.dest_port
+        if packet.seq < 0:
+            self.inboxes[port].append(packet.payload)
+            return
+        key = (port, packet.src_leaf)
+        expected = self._rx_expected.get(key, 0)
+        pending = self._rx_pending.setdefault(key, {})
+        if packet.seq == expected:
+            self.inboxes[port].append(packet.payload)
+            expected += 1
+            while expected in pending:
+                self.inboxes[port].append(pending.pop(expected))
+                expected += 1
+            self._rx_expected[key] = expected
+        else:
+            pending[packet.seq] = packet.payload
+
+    def pop_injection(self) -> Optional[Packet]:
+        """Packet to put on the up-link this cycle, if any."""
+        if self.outbox:
+            self.sent += 1
+            return self.outbox.popleft()
+        return None
+
+    def push_front(self, packet: Packet) -> None:
+        """Put a bounced packet at the head of the injection queue."""
+        self.outbox.appendleft(packet)
+
+    def reset_stream(self, out_port: int) -> None:
+        """Restart a link's sequence numbering (after re-linking)."""
+        self._check_port(out_port)
+        self._tx_seq[out_port] = 0
+
+    def tokens(self, port: int) -> List[int]:
+        """Drain and return the tokens delivered to an input port."""
+        self._check_port(port)
+        inbox = self.inboxes[port]
+        out = list(inbox)
+        inbox.clear()
+        return out
+
+    def __repr__(self) -> str:
+        return (f"LeafInterface(leaf={self.leaf}, ports={self.n_ports}, "
+                f"{len(self.bindings)} bound)")

@@ -1,0 +1,193 @@
+"""Cycle-level simulation of the deflection-routed BFT.
+
+Switches are bufferless (Hoplite-style): every packet arriving at a
+switch must leave the same cycle.  Output assignment is age-ordered —
+the oldest packet gets its preferred direction, younger packets deflect
+to any legal free output — which provides the livelock resistance of
+CHIPPER-style designs [18, 46].  Down-links to leaves only carry packets
+for that leaf's subtree when possible; a packet deflected onto a wrong
+leaf bounces: the leaf interface re-injects it ahead of new traffic.
+
+The simulator measures delivered-packet latency and sustained
+throughput, which the -O1 performance model uses as the effective
+link/leaf bandwidths of the overlay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import NoCError
+from repro.noc.bft import BFTopology, SwitchId
+from repro.noc.leaf import LeafInterface
+from repro.noc.packet import Packet
+
+#: Output slot identifiers: ("up", k) | ("down", child_side)
+_UP = "up"
+_DOWN = "down"
+
+
+@dataclass
+class DeliveryRecord:
+    payload: int
+    latency: int
+    hops: int
+
+
+class NetworkSimulator:
+    """Simulates one overlay network with attached leaf interfaces."""
+
+    def __init__(self, topology: BFTopology,
+                 leaves: Optional[Dict[int, LeafInterface]] = None):
+        if topology.up_links != 1:
+            raise NoCError(
+                "the cycle simulator models the paper's modest single "
+                "up-link network; wider fat trees are handled by the "
+                "analytic NoCPerformanceModel")
+        self.topology = topology
+        self.leaves: Dict[int, LeafInterface] = dict(leaves or {})
+        for leaf, iface in self.leaves.items():
+            if iface.leaf != leaf:
+                raise NoCError(
+                    f"leaf interface {iface.leaf} attached at {leaf}")
+        # Padding leaves (tree rounded to a power of two) get bare
+        # interfaces so mis-deflected packets bounce instead of dying.
+        for leaf in range(topology.size):
+            if leaf not in self.leaves:
+                self.leaves[leaf] = LeafInterface(leaf, 1)
+        # Link registers: packets in flight, written for the *next* cycle.
+        # Keyed by (node, direction, lane); node is a SwitchId for switch
+        # outputs, an int for leaf up-links.
+        self._in_flight: Dict[Tuple, Packet] = {}
+        self.cycle = 0
+        self.delivered: List[DeliveryRecord] = []
+        self.total_deflections = 0
+
+    def attach(self, iface: LeafInterface) -> None:
+        self.leaves[iface.leaf] = iface
+
+    # -- one simulation step -----------------------------------------------
+
+    def step(self) -> None:
+        """Advance one clock cycle."""
+        topo = self.topology
+        next_flight: Dict[Tuple, Packet] = {}
+
+        # Gather arrivals per switch: packets on child up-links and on
+        # the parent's down-link toward this switch.
+        arrivals: Dict[SwitchId, List[Packet]] = {s: [] for s in
+                                                  topo.switches()}
+        for key, packet in self._in_flight.items():
+            node, direction = key[0], key[1]
+            if direction == _UP:
+                if isinstance(node, int):            # leaf -> its parent
+                    arrivals[topo.leaf_parent(node)].append(packet)
+                else:                                 # switch -> parent
+                    arrivals[topo.parent(node)].append(packet)
+            else:                                     # switch -> below
+                child_side = key[2]
+                if node.level == 1:
+                    # Down to a leaf: deliver (or bounce).
+                    leaf_no = node.index * 2 + child_side
+                    self._deliver(packet, leaf_no)
+                else:
+                    child = topo.children(node)[child_side]
+                    arrivals[child].append(packet)
+
+        # Route each switch's arrivals.
+        for switch, packets in arrivals.items():
+            if not packets:
+                continue
+            for packet in packets:
+                packet.age += 1
+                packet.hops += 1
+            packets.sort(key=lambda p: -p.age)
+            taken: set = set()
+            for packet in packets:
+                slot = self._pick_output(switch, packet, taken, next_flight)
+                taken.add(slot)
+                next_flight[slot] = packet
+
+        # Leaf injections: a leaf's up-link is free if no switch wrote it
+        # (switches never write leaf up-links), so inject when available.
+        for leaf_no, iface in self.leaves.items():
+            key = (leaf_no, _UP, 0)
+            if key in next_flight:
+                continue
+            packet = iface.pop_injection()
+            if packet is not None:
+                if packet.injected_at == 0 and packet.age == 0:
+                    packet.injected_at = self.cycle
+                next_flight[key] = packet
+
+        self._in_flight = next_flight
+        self.cycle += 1
+
+    def _deliver(self, packet: Packet, leaf_no: int) -> None:
+        iface = self.leaves[leaf_no]
+        bounced = iface.deliver(packet)
+        if bounced is not None:
+            iface.push_front(bounced)
+        else:
+            self.delivered.append(DeliveryRecord(
+                packet.payload, self.cycle - packet.injected_at,
+                packet.hops))
+
+    def _pick_output(self, switch: SwitchId, packet: Packet, taken: set,
+                     next_flight: Dict[Tuple, Packet]) -> Tuple:
+        topo = self.topology
+        candidates: List[Tuple] = []
+        # Preferred direction first.
+        if topo.covers(switch, packet.dest_leaf):
+            lo, _hi = topo.subtree_range(switch)
+            span = 1 << (switch.level - 1)
+            side = 0 if packet.dest_leaf < lo + span else 1
+            candidates.append((switch, _DOWN, side))
+            candidates.append((switch, _DOWN, 1 - side))
+            for lane in range(topo.up_links):
+                if switch.level < topo.levels:
+                    candidates.append((switch, _UP, lane))
+        else:
+            for lane in range(topo.up_links):
+                if switch.level < topo.levels:
+                    candidates.append((switch, _UP, lane))
+            candidates.append((switch, _DOWN, 0))
+            candidates.append((switch, _DOWN, 1))
+        for slot in candidates:
+            if slot not in taken and slot not in next_flight:
+                if slot != candidates[0]:
+                    self.total_deflections += 1
+                return slot
+        raise NoCError(
+            f"{switch}: no free output — switch radix violated")
+
+    # -- convenience drivers ------------------------------------------------
+
+    def run(self, max_cycles: int = 100_000) -> int:
+        """Step until the network drains or the cycle limit hits.
+
+        Returns the cycle count at quiescence.
+        """
+        idle = 0
+        while idle < 3:
+            if self.cycle >= max_cycles:
+                raise NoCError(
+                    f"network did not drain within {max_cycles} cycles")
+            busy = bool(self._in_flight) or any(
+                iface.outbox for iface in self.leaves.values())
+            self.step()
+            idle = 0 if busy else idle + 1
+        return self.cycle
+
+    def mean_latency(self) -> float:
+        if not self.delivered:
+            return 0.0
+        return sum(r.latency for r in self.delivered) / len(self.delivered)
+
+    def throughput(self) -> float:
+        """Delivered packets per cycle over the whole run."""
+        if self.cycle == 0:
+            return 0.0
+        return len(self.delivered) / self.cycle

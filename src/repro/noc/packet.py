@@ -1,0 +1,59 @@
+"""Single-flit NoC packets.
+
+Hoplite-style networks keep routers tiny by making every packet a single
+flit: destination header + one 32-bit payload word.  Control packets
+address a leaf's configuration registers instead of its data FIFOs,
+which is how operators are re-linked without recompilation (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Packet:
+    """Base single-flit packet."""
+
+    dest_leaf: int
+    dest_port: int
+    payload: int
+    src_leaf: int = -1
+    injected_at: int = 0            # cycle of injection (for latency stats)
+    age: int = 0                    # deflection-priority age
+    hops: int = 0
+    #: Per-link sequence number.  Deflection routing can reorder packets
+    #: in flight; leaf interfaces restore stream order with a small
+    #: reorder buffer keyed on this field (-1 = unordered, e.g. config).
+    seq: int = -1
+
+    def __post_init__(self):
+        if self.dest_leaf < 0:
+            raise ValueError("packet needs a non-negative destination leaf")
+        if not (0 <= self.payload < 2 ** 32):
+            raise ValueError("payload must be an unsigned 32-bit word")
+
+
+@dataclass
+class DataPacket(Packet):
+    """A stream token in flight."""
+
+
+@dataclass
+class ConfigPacket(Packet):
+    """A control packet writing one leaf configuration register.
+
+    ``dest_port`` selects the register (one per leaf output port);
+    ``payload`` packs the target leaf and port the register should
+    forward to: ``(target_leaf << 8) | target_port``.
+    """
+
+    @staticmethod
+    def encode(target_leaf: int, target_port: int) -> int:
+        if not (0 <= target_port < 256):
+            raise ValueError("target port must fit in 8 bits")
+        return (target_leaf << 8) | target_port
+
+    @staticmethod
+    def decode(payload: int):
+        return payload >> 8, payload & 0xFF

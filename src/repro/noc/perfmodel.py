@@ -1,0 +1,147 @@
+"""Analytic -O1 performance model: NoC bandwidth bottlenecks.
+
+The paper observes (Sec. 7.4) that -O1 designs run 1.5-10x slower than
+monolithic ones, mostly from the single leaf-interface port throttling
+operators that want more bandwidth, plus sharing on the modest BFT.
+
+For one application input, the model computes the steady-state cycle
+count as the maximum over three classes of bottleneck:
+
+* **compute** — each operator's scheduled cycles per activation (at the
+  200 MHz overlay clock);
+* **leaf serialisation** — every token in or out of a page crosses its
+  single 32-bit leaf port, one word per cycle;
+* **tree links** — tokens whose route crosses a tree link share that
+  link's capacity (``up_links`` words per cycle).
+
+The cycle-level simulator (:mod:`repro.noc.netsim`) is used in tests to
+confirm the analytic numbers on small traffic samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.dataflow.graph import DataflowGraph
+from repro.hls.schedule import Schedule
+from repro.hls import tech
+from repro.noc.bft import BFTopology
+from repro.noc.linking import INTERFACE_LEAF, LinkConfiguration
+
+
+@dataclass
+class Bottleneck:
+    """One binding constraint found by the model."""
+
+    kind: str          # "compute" | "leaf" | "tree"
+    where: str
+    cycles: float
+
+
+@dataclass
+class NoCPerformanceModel:
+    """Per-input performance of one -O1 mapping.
+
+    Args:
+        graph: the application graph.
+        schedules: operator -> its HLS schedule (token counts/cycles per
+            activation).
+        config: the link configuration (page assignment).
+        activations_per_input: how many operator activations one
+            application input causes (usually 1: one frame per
+            activation).
+        clock_mhz: overlay clock (200 MHz in the paper).
+    """
+
+    graph: DataflowGraph
+    schedules: Dict[str, Schedule]
+    config: LinkConfiguration
+    activations_per_input: float = 1.0
+    clock_mhz: float = tech.OVERLAY_CLOCK_MHZ
+
+    def _leaf_tokens(self) -> Dict[int, float]:
+        """Words crossing each leaf's single network port, per input."""
+        tokens: Dict[int, float] = {}
+        for name, schedule in self.schedules.items():
+            leaf = self.config.leaf_of[name]
+            moved = sum(schedule.port_tokens.values())
+            tokens[leaf] = tokens.get(leaf, 0.0) + \
+                moved * self.activations_per_input
+        # The interface leaf moves every external token.
+        external = 0.0
+        for name, schedule in self.schedules.items():
+            op = self.graph.operators[name]
+            for ext in self.graph.external_inputs.values():
+                if ext.inner.operator == name:
+                    external += schedule.tokens_on(ext.inner.name) \
+                        * self.activations_per_input
+            for ext in self.graph.external_outputs.values():
+                if ext.inner.operator == name:
+                    external += schedule.tokens_on(ext.inner.name) \
+                        * self.activations_per_input
+        if external:
+            tokens[INTERFACE_LEAF] = tokens.get(INTERFACE_LEAF, 0.0) \
+                + external
+        return tokens
+
+    def _tree_tokens(self, topology: BFTopology) -> Dict[Tuple, float]:
+        """Words crossing each (switch, direction) tree link, per input."""
+        usage: Dict[Tuple, float] = {}
+
+        def add_route(src: int, dst: int, words: float) -> None:
+            for hop in topology.links_on_path(src, dst):
+                usage[hop] = usage.get(hop, 0.0) + words
+
+        for link in self.graph.links.values():
+            src = self.config.leaf_of[link.source.operator]
+            dst = self.config.leaf_of[link.sink.operator]
+            words = (self.schedules[link.source.operator]
+                     .tokens_on(link.source.name)
+                     * self.activations_per_input)
+            add_route(src, dst, words)
+        for name, ext in self.graph.external_inputs.items():
+            dst = self.config.leaf_of[ext.inner.operator]
+            words = (self.schedules[ext.inner.operator]
+                     .tokens_on(ext.inner.name)
+                     * self.activations_per_input)
+            add_route(INTERFACE_LEAF, dst, words)
+        for name, ext in self.graph.external_outputs.items():
+            src = self.config.leaf_of[ext.inner.operator]
+            words = (self.schedules[ext.inner.operator]
+                     .tokens_on(ext.inner.name)
+                     * self.activations_per_input)
+            add_route(src, INTERFACE_LEAF, words)
+        return usage
+
+    def bottlenecks(self) -> list:
+        """All constraints, sorted slowest first."""
+        found = []
+        for name, schedule in self.schedules.items():
+            found.append(Bottleneck(
+                "compute", name,
+                schedule.total_cycles * self.activations_per_input))
+        n_leaves = max(list(self.config.leaf_of.values())
+                       + [INTERFACE_LEAF]) + 1
+        topology = BFTopology(max(2, n_leaves))
+        for leaf, words in self._leaf_tokens().items():
+            found.append(Bottleneck("leaf", f"leaf{leaf}", words))
+        for (switch, direction), words in self._tree_tokens(
+                topology).items():
+            found.append(Bottleneck(
+                "tree", f"{switch}:{direction}",
+                words / topology.up_links))
+        found.sort(key=lambda b: -b.cycles)
+        return found
+
+    def cycles_per_input(self) -> float:
+        """Steady-state cycles to process one application input."""
+        ranked = self.bottlenecks()
+        return ranked[0].cycles if ranked else 0.0
+
+    def seconds_per_input(self) -> float:
+        return self.cycles_per_input() / (self.clock_mhz * 1e6)
+
+    def dominant(self) -> Optional[Bottleneck]:
+        ranked = self.bottlenecks()
+        return ranked[0] if ranked else None

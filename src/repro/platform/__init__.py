@@ -1,0 +1,20 @@
+"""Data-center card and host runtime (the Vitis OpenCL substitute).
+
+Models the deployment side of the paper (Sec. 2.5, 6): an Alveo U50
+card on PCIe with HBM, a configuration port loading full or partial
+bitstreams, and a host program (the generated ``host.exe``) that loads
+the overlay, loads page images, sends the linking configuration and
+streams data through the DMA engine.
+"""
+
+from repro.platform.dma import DMAEngine
+from repro.platform.alveo import AlveoU50, PageState
+from repro.platform.host import HostProgram, RunTimeline
+
+__all__ = [
+    "DMAEngine",
+    "AlveoU50",
+    "PageState",
+    "HostProgram",
+    "RunTimeline",
+]

@@ -1,0 +1,118 @@
+"""The Alveo U50 card: configuration state machine and load timing.
+
+The card keeps the vendor static shell alive, accepts a level-1 overlay
+image (the linking network + page frames), then accepts level-2 partial
+images per page — either an operator's FPGA bitstream or the softcore
+image plus its packed program.  Every load is timed through the
+configuration-port model so host timelines show the real cost ordering:
+full overlay loads are seconds-scale, page loads are milliseconds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import PlatformError
+from repro.fabric.bitstream import Bitstream
+from repro.fabric.shell import Overlay
+
+
+class PageState(enum.Enum):
+    """What currently occupies a page."""
+
+    EMPTY = "empty"
+    FPGA_OPERATOR = "fpga"
+    SOFTCORE = "softcore"
+
+
+@dataclass
+class _PageSlot:
+    state: PageState = PageState.EMPTY
+    occupant: str = ""
+    image: Optional[Bitstream] = None
+
+
+class AlveoU50:
+    """One card in a server."""
+
+    def __init__(self, serial: str = "xilinx_u50_0"):
+        self.serial = serial
+        self.overlay: Optional[Overlay] = None
+        self.overlay_image: Optional[Bitstream] = None
+        self._pages: Dict[int, _PageSlot] = {}
+        self.config_seconds = 0.0
+        self.loads = 0
+
+    # -- configuration ------------------------------------------------------
+
+    def load_overlay(self, overlay: Overlay, image: Bitstream) -> float:
+        """Load the L1 overlay image; resets all page slots."""
+        if not image.partial:
+            raise PlatformError(
+                "the overlay is a level-1 partial image, not a full "
+                "bitstream (the static shell stays resident)")
+        self.overlay = overlay
+        self.overlay_image = image
+        self._pages = {number: _PageSlot()
+                       for number in overlay.page_numbers()}
+        seconds = image.load_seconds
+        self.config_seconds += seconds
+        self.loads += 1
+        return seconds
+
+    def load_kernel(self, image: Bitstream) -> float:
+        """Load a monolithic kernel image (the plain Vitis/-O3 path).
+
+        Replaces whatever overlay was resident: the card is back to a
+        single application region under the static shell.
+        """
+        self.overlay = None
+        self.overlay_image = image
+        self._pages = {}
+        seconds = image.load_seconds
+        self.config_seconds += seconds
+        self.loads += 1
+        return seconds
+
+    def _slot(self, page: int) -> _PageSlot:
+        if self.overlay is None:
+            raise PlatformError(f"{self.serial}: no overlay loaded")
+        try:
+            return self._pages[page]
+        except KeyError:
+            raise PlatformError(
+                f"{self.serial}: overlay has no page {page}") from None
+
+    def load_page(self, page: int, image: Bitstream, occupant: str,
+                  softcore: bool = False) -> float:
+        """Load a level-2 partial image into one page."""
+        if not image.partial:
+            raise PlatformError("page images must be partial bitstreams")
+        slot = self._slot(page)
+        slot.state = PageState.SOFTCORE if softcore \
+            else PageState.FPGA_OPERATOR
+        slot.occupant = occupant
+        slot.image = image
+        seconds = image.load_seconds
+        self.config_seconds += seconds
+        self.loads += 1
+        return seconds
+
+    def page_state(self, page: int) -> PageState:
+        return self._slot(page).state
+
+    def page_occupant(self, page: int) -> str:
+        return self._slot(page).occupant
+
+    def occupied_pages(self) -> Dict[int, str]:
+        if self.overlay is None:
+            return {}
+        return {number: slot.occupant
+                for number, slot in self._pages.items()
+                if slot.state is not PageState.EMPTY}
+
+    def __repr__(self) -> str:
+        overlay = self.overlay.name if self.overlay else "none"
+        return f"AlveoU50({self.serial!r}, overlay={overlay})"

@@ -1,0 +1,37 @@
+"""DMA engine model: host<->card and card<->HBM transfer timing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+
+#: PCIe Gen3 x16 effective bandwidth (bytes/s).
+PCIE_BYTES_PER_S = 12_000_000_000
+
+#: HBM effective bandwidth on the U50 (bytes/s).
+HBM_BYTES_PER_S = 200_000_000_000
+
+#: Fixed per-transfer setup latency (s): descriptor + doorbell.
+SETUP_SECONDS = 10e-6
+
+
+@dataclass
+class DMAEngine:
+    """Timing model for the card's stream DMA."""
+
+    pcie_bytes_per_s: float = PCIE_BYTES_PER_S
+    hbm_bytes_per_s: float = HBM_BYTES_PER_S
+    setup_seconds: float = SETUP_SECONDS
+
+    def host_transfer_seconds(self, nbytes: int) -> float:
+        """Host memory <-> card over PCIe."""
+        if nbytes < 0:
+            raise PlatformError("negative transfer size")
+        return self.setup_seconds + nbytes / self.pcie_bytes_per_s
+
+    def hbm_transfer_seconds(self, nbytes: int) -> float:
+        """Card fabric <-> HBM."""
+        if nbytes < 0:
+            raise PlatformError("negative transfer size")
+        return self.setup_seconds + nbytes / self.hbm_bytes_per_s

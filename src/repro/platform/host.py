@@ -1,0 +1,112 @@
+"""The generated host program (``host.exe``).
+
+PLD's pre-linker emits a ``driver.c`` that the Vitis software compiler
+links into ``host.exe`` (Sec. 6.1-6.2).  :class:`HostProgram` is that
+executable: given a flow's build artefacts it loads the overlay, loads
+every page image, pushes the linking configuration, then runs inputs
+through the application — recording a timeline whose entries mirror
+what a developer sees on the card (seconds-scale overlay load once,
+millisecond page loads on each recompile, microsecond DMA bursts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import PlatformError
+from repro.platform.alveo import AlveoU50
+from repro.platform.dma import DMAEngine
+
+
+@dataclass
+class TimelineEvent:
+    """One host-visible step."""
+
+    what: str
+    seconds: float
+
+
+@dataclass
+class RunTimeline:
+    """Everything the host did, in order."""
+
+    events: List[TimelineEvent] = field(default_factory=list)
+
+    def add(self, what: str, seconds: float) -> None:
+        self.events.append(TimelineEvent(what, seconds))
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(e.seconds for e in self.events)
+
+    def summarize(self) -> str:
+        lines = [f"  {e.seconds * 1e3:10.3f} ms  {e.what}"
+                 for e in self.events]
+        lines.append(f"  {self.total_seconds * 1e3:10.3f} ms  TOTAL")
+        return "\n".join(lines)
+
+
+class HostProgram:
+    """Loads a build onto a card and runs application inputs.
+
+    Args:
+        build: a flow build artefact exposing ``overlay_image``,
+            ``page_images`` (page -> (Bitstream, occupant, softcore)),
+            ``overlay`` and ``execute(inputs)``.
+        card: the target card.
+        dma: transfer-timing model.
+    """
+
+    def __init__(self, build, card: Optional[AlveoU50] = None,
+                 dma: Optional[DMAEngine] = None):
+        self.build = build
+        self.card = card or AlveoU50()
+        self.dma = dma or DMAEngine()
+        self.timeline = RunTimeline()
+        self._configured = False
+
+    def configure(self) -> RunTimeline:
+        """Load overlay + page images + linking config onto the card."""
+        if getattr(self.build, "monolithic", False):
+            seconds = self.card.load_kernel(self.build.overlay_image)
+            self.timeline.add(
+                f"load kernel image {self.build.overlay_image.name}",
+                seconds)
+            self._configured = True
+            return self.timeline
+        seconds = self.card.load_overlay(self.build.overlay,
+                                         self.build.overlay_image)
+        self.timeline.add(f"load overlay {self.build.overlay.name}",
+                          seconds)
+        for page, (image, occupant, softcore) in sorted(
+                self.build.page_images.items()):
+            seconds = self.card.load_page(page, image, occupant,
+                                          softcore=softcore)
+            kind = "softcore" if softcore else "bitstream"
+            self.timeline.add(
+                f"load page {page} <- {occupant} ({kind}, "
+                f"{image.size_bytes // 1024} KiB)", seconds)
+        n_packets = len(self.build.link_packets)
+        # One packet per cycle at the 200 MHz overlay clock.
+        link_seconds = max(1, n_packets) / 200e6 + 50e-6
+        self.timeline.add(f"send {n_packets} linking packets",
+                          link_seconds)
+        self._configured = True
+        return self.timeline
+
+    def run(self, inputs: Dict[str, Iterable[int]]) -> Dict[str, List[int]]:
+        """DMA inputs in, execute, DMA outputs back."""
+        if not self._configured:
+            self.configure()
+        in_bytes = sum(4 * len(list(v)) for v in inputs.values())
+        self.timeline.add(f"DMA in {in_bytes} B",
+                          self.dma.host_transfer_seconds(in_bytes))
+        outputs = self.build.execute(inputs)
+        self.timeline.add(
+            f"kernel execution ({self.build.describe()})",
+            self.build.estimated_seconds_per_input())
+        out_bytes = sum(4 * len(v) for v in outputs.values())
+        self.timeline.add(f"DMA out {out_bytes} B",
+                          self.dma.host_transfer_seconds(out_bytes))
+        return outputs

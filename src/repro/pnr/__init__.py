@@ -1,0 +1,43 @@
+"""Place-and-route engine (the Vivado implementation substitute).
+
+The paper's compile-time argument rests on placement and routing being
+NP-hard spatial problems attacked with super-linear heuristics
+(Sec. 2.2), so mapping a small page is much cheaper than mapping the
+whole device.  This package implements the classic versions of those
+heuristics for real:
+
+* :mod:`repro.pnr.pack` — connectivity-driven packing of slices into
+  CLB clusters;
+* :mod:`repro.pnr.placer` — VPR-style simulated-annealing placement
+  (moves per temperature ~ N^(4/3): the super-linear term);
+* :mod:`repro.pnr.router` — PathFinder negotiated-congestion routing on
+  a grid routing-resource graph;
+* :mod:`repro.pnr.timing` — post-route static timing / Fmax;
+* :mod:`repro.pnr.compile_model` — converts measured algorithmic work
+  into modeled Vivado-scale seconds, calibrated against Tab. 2.
+"""
+
+from repro.pnr.pack import PackedNetlist, pack_netlist
+from repro.pnr.placer import Placement, PlacerStats, place
+from repro.pnr.router import RoutingResult, route
+from repro.pnr.timing import TimingReport, analyze_timing
+from repro.pnr.compile_model import (
+    CompileTimeModel,
+    StageTimes,
+    implement_design,
+)
+
+__all__ = [
+    "PackedNetlist",
+    "pack_netlist",
+    "Placement",
+    "PlacerStats",
+    "place",
+    "RoutingResult",
+    "route",
+    "TimingReport",
+    "analyze_timing",
+    "CompileTimeModel",
+    "StageTimes",
+    "implement_design",
+]

@@ -1,0 +1,109 @@
+"""Packing: cluster netlist slices into CLB-sized placement instances.
+
+Synthesis emits SLICE cells of 8 LUTs (see :mod:`repro.hls.netlist`);
+the placement grid offers logic sites of 8 slices (64 LUTs).  Packing
+groups slices into clusters, preferring connected neighbours so that
+intra-cluster nets disappear from the placement problem — the same
+netlist-size reduction VPR's clustering stage performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.hls.netlist import Cell, Net, Netlist
+
+#: Slices absorbed into one logic cluster (site).
+SLICES_PER_CLUSTER = 8
+
+
+@dataclass
+class PackedNetlist:
+    """The post-packing netlist placed by the annealer.
+
+    ``cells`` hold cluster-level instances; ``nets`` connect cluster
+    indices, with nets entirely inside one cluster removed.
+    """
+
+    name: str
+    cells: List[Cell] = field(default_factory=list)
+    nets: List[Net] = field(default_factory=list)
+    #: original cell index -> packed cell index
+    mapping: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.cells)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for c in self.cells if c.kind == kind)
+
+
+def pack_netlist(netlist: Netlist) -> PackedNetlist:
+    """Greedy connectivity-driven packing.
+
+    Seeds a cluster with the lowest-numbered unpacked slice and grows it
+    along nets until full, then reseeds — a simplified VPack.  DSP,
+    BRAM and IO cells pass through unpacked (they bind to dedicated
+    sites).
+    """
+    packed = PackedNetlist(netlist.name)
+
+    # Adjacency over slice cells only.
+    neighbours: Dict[int, List[int]] = {}
+    for net in netlist.nets:
+        for a in net.pins:
+            if netlist.cells[a].kind != "SLICE":
+                continue
+            for b in net.pins:
+                if b != a and netlist.cells[b].kind == "SLICE":
+                    neighbours.setdefault(a, []).append(b)
+
+    slice_indices = [i for i, c in enumerate(netlist.cells)
+                     if c.kind == "SLICE"]
+    unpacked: Set[int] = set(slice_indices)
+    cluster_of: Dict[int, int] = {}
+    n_clusters = 0
+
+    for seed in slice_indices:
+        if seed not in unpacked:
+            continue
+        members = [seed]
+        unpacked.discard(seed)
+        frontier = list(neighbours.get(seed, ()))
+        while len(members) < SLICES_PER_CLUSTER and frontier:
+            candidate = frontier.pop(0)
+            if candidate in unpacked:
+                members.append(candidate)
+                unpacked.discard(candidate)
+                frontier.extend(neighbours.get(candidate, ()))
+        # Top up from the global pool when connectivity runs dry.
+        while len(members) < SLICES_PER_CLUSTER and unpacked:
+            extra = min(unpacked)
+            # Only absorb stragglers adjacent in index space — keeps
+            # unrelated logic out of the same cluster.
+            if abs(extra - seed) > 4 * SLICES_PER_CLUSTER:
+                break
+            members.append(extra)
+            unpacked.discard(extra)
+        cluster_index = len(packed.cells)
+        packed.cells.append(Cell(f"clb_{n_clusters}", "SLICE"))
+        n_clusters += 1
+        for member in members:
+            cluster_of[member] = cluster_index
+
+    # Pass through the hard blocks.
+    for index, cell in enumerate(netlist.cells):
+        if cell.kind == "SLICE":
+            packed.mapping[index] = cluster_of[index]
+        else:
+            packed.mapping[index] = len(packed.cells)
+            packed.cells.append(cell)
+
+    # Re-target nets; drop nets collapsed inside one cluster.
+    for net in netlist.nets:
+        pins = sorted({packed.mapping[p] for p in net.pins})
+        if len(pins) >= 2:
+            packed.nets.append(Net(net.name, pins))
+    return packed

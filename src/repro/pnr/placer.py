@@ -1,0 +1,240 @@
+"""Simulated-annealing placement (VPR-style).
+
+Places packed cells onto matching sites of a :class:`TileGrid`,
+minimising total half-perimeter wirelength (HPWL).  The anneal follows
+the classic VPR recipe: moves per temperature proportional to
+``N**(4/3)`` — the super-linear scaling the paper identifies as the
+reason monolithic FPGA compiles are slow — with an adaptive temperature
+update driven by the acceptance rate and a shrinking displacement
+window.
+
+The placer reports a :class:`PlacerStats` with the number of move
+evaluations performed; :mod:`repro.pnr.compile_model` converts that work
+into modeled backend seconds.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PnRError
+from repro.fabric.device import Site, TileGrid
+from repro.pnr.pack import PackedNetlist
+
+#: Move-per-temperature multiplier (VPR uses 10; scaled for wall time).
+MOVES_PER_TEMP_FACTOR = 2.0
+
+#: Anneal exponent: moves per temperature ~ factor * N**EXPONENT.
+MOVES_EXPONENT = 4.0 / 3.0
+
+#: Temperature schedule bounds.
+MIN_TEMPERATURES = 8
+MAX_TEMPERATURES = 60
+
+
+@dataclass
+class PlacerStats:
+    """Work and quality metrics from one placement run."""
+
+    cells: int = 0
+    sites: int = 0
+    moves_evaluated: int = 0
+    moves_accepted: int = 0
+    temperatures: int = 0
+    initial_cost: float = 0.0
+    final_cost: float = 0.0
+
+    @property
+    def improvement(self) -> float:
+        if self.initial_cost == 0:
+            return 0.0
+        return 1.0 - self.final_cost / self.initial_cost
+
+
+@dataclass
+class Placement:
+    """A legal placement: cell index -> site."""
+
+    grid: TileGrid
+    locations: List[Site]
+    stats: PlacerStats
+    netlist: PackedNetlist
+
+    def location(self, cell_index: int) -> Site:
+        return self.locations[cell_index]
+
+    def hpwl(self) -> float:
+        """Total half-perimeter wirelength of all nets."""
+        total = 0.0
+        for net in self.netlist.nets:
+            xs = [self.locations[p].x for p in net.pins]
+            ys = [self.locations[p].y for p in net.pins]
+            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return total
+
+
+def place(netlist: PackedNetlist, grid: TileGrid,
+          seed: int = 1, effort: float = 1.0) -> Placement:
+    """Anneal ``netlist`` onto ``grid``.
+
+    Args:
+        netlist: packed design.
+        grid: target region (page grid or whole-device grid).
+        seed: RNG seed (placements are reproducible).
+        effort: scales moves per temperature; <1 for fast/dirty runs
+            (used by unit tests), 1.0 for benchmark runs.
+
+    Raises:
+        PnRError: when some cell kind has more cells than sites.
+    """
+    annealer = _Annealer(netlist, grid, seed, effort)
+    return annealer.run()
+
+
+class _Annealer:
+    def __init__(self, netlist: PackedNetlist, grid: TileGrid, seed: int,
+                 effort: float):
+        self.netlist = netlist
+        self.grid = grid
+        self.rng = random.Random(seed)
+        self.effort = effort
+        self.stats = PlacerStats(cells=netlist.size)
+        # site pools by kind
+        self.pools: Dict[str, List[Site]] = {
+            kind: grid.sites_of_kind(kind)
+            for kind in ("SLICE", "BRAM", "DSP", "IO")}
+        self.stats.sites = sum(len(v) for v in self.pools.values())
+        for kind in ("SLICE", "BRAM", "DSP", "IO"):
+            need = netlist.count(kind)
+            have = len(self.pools[kind])
+            if need > have:
+                raise PnRError(
+                    f"{netlist.name}: {need} {kind} cells but only "
+                    f"{have} sites in region")
+        # nets touching each cell (indices into netlist.nets)
+        self.cell_nets: List[List[int]] = [[] for _ in range(netlist.size)]
+        for net_index, net in enumerate(netlist.nets):
+            for pin in net.pins:
+                self.cell_nets[pin].append(net_index)
+
+    # -- cost bookkeeping ---------------------------------------------------
+
+    def _net_hpwl(self, net_index: int) -> float:
+        pins = self.netlist.nets[net_index].pins
+        xs = [self.loc[p].x for p in pins]
+        ys = [self.loc[p].y for p in pins]
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    def _initial_placement(self) -> None:
+        self.loc: List[Optional[Site]] = [None] * self.netlist.size
+        self.occupant: Dict[Tuple[int, int], int] = {}
+        cursor: Dict[str, int] = {k: 0 for k in self.pools}
+        order: Dict[str, List[int]] = {k: [] for k in self.pools}
+        for index, cell in enumerate(self.netlist.cells):
+            order[cell.kind].append(index)
+        for kind, indices in order.items():
+            pool = list(self.pools[kind])
+            self.rng.shuffle(pool)
+            for index, site in zip(indices, pool):
+                self.loc[index] = site
+                self.occupant[(site.x, site.y)] = index
+
+    # -- the anneal -------------------------------------------------------------
+
+    def run(self) -> Placement:
+        self._initial_placement()
+        net_cost = [self._net_hpwl(i) for i in range(len(self.netlist.nets))]
+        cost = sum(net_cost)
+        self.stats.initial_cost = cost
+
+        n = max(2, self.netlist.size)
+        moves_per_temp = max(
+            8, int(MOVES_PER_TEMP_FACTOR * self.effort
+                   * n ** MOVES_EXPONENT))
+        # Initial temperature: ~ std-dev of a quick random-move sample.
+        temperature = max(1.0, cost / max(1, len(self.netlist.nets)) * 2)
+        window = max(self.grid.width, self.grid.height)
+
+        temperatures = 0
+        while temperatures < MAX_TEMPERATURES:
+            accepted = 0
+            for _ in range(moves_per_temp):
+                delta = self._try_move(net_cost, temperature, window)
+                self.stats.moves_evaluated += 1
+                if delta is not None:
+                    cost += delta
+                    accepted += 1
+            self.stats.moves_accepted += accepted
+            temperatures += 1
+            rate = accepted / max(1, moves_per_temp)
+            # VPR-style adaptive cooling.
+            if rate > 0.96:
+                temperature *= 0.5
+            elif rate > 0.8:
+                temperature *= 0.9
+            elif rate > 0.15:
+                temperature *= 0.95
+            else:
+                temperature *= 0.8
+            window = max(2, int(window * (0.5 + rate)))
+            if (temperatures >= MIN_TEMPERATURES
+                    and rate < 0.02 and temperature < 0.005 * max(cost, 1)
+                    / max(1, len(self.netlist.nets))):
+                break
+        self.stats.temperatures = temperatures
+        self.stats.final_cost = cost
+        return Placement(self.grid, list(self.loc), self.stats,
+                         self.netlist)
+
+    def _try_move(self, net_cost: List[float], temperature: float,
+                  window: int) -> Optional[float]:
+        """Propose one swap/displace; returns accepted delta or None."""
+        cell = self.rng.randrange(self.netlist.size)
+        kind = self.netlist.cells[cell].kind
+        pool = self.pools[kind]
+        if len(pool) < 2:
+            return None
+        source = self.loc[cell]
+        for _ in range(4):   # find a target inside the window
+            target = pool[self.rng.randrange(len(pool))]
+            if (abs(target.x - source.x) <= window
+                    and abs(target.y - source.y) <= window
+                    and (target.x, target.y) != (source.x, source.y)):
+                break
+        else:
+            return None
+        other = self.occupant.get((target.x, target.y))
+
+        affected = set(self.cell_nets[cell])
+        if other is not None:
+            affected |= set(self.cell_nets[other])
+        before = sum(net_cost[i] for i in affected)
+
+        # tentatively apply
+        self.loc[cell] = target
+        self.occupant[(target.x, target.y)] = cell
+        if other is not None:
+            self.loc[other] = source
+            self.occupant[(source.x, source.y)] = other
+        else:
+            del self.occupant[(source.x, source.y)]
+
+        after = {i: self._net_hpwl(i) for i in affected}
+        delta = sum(after.values()) - before
+        if delta <= 0 or self.rng.random() < math.exp(
+                -delta / max(temperature, 1e-9)):
+            for i, value in after.items():
+                net_cost[i] = value
+            return delta
+        # revert
+        self.loc[cell] = source
+        self.occupant[(source.x, source.y)] = cell
+        if other is not None:
+            self.loc[other] = target
+            self.occupant[(target.x, target.y)] = other
+        else:
+            del self.occupant[(target.x, target.y)]
+        return None

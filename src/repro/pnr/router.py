@@ -1,0 +1,246 @@
+"""PathFinder negotiated-congestion routing.
+
+Routes every net of a placement over a grid routing-resource graph: one
+routing node per grid cell with a fixed wire capacity.  Each iteration
+rips up and re-routes all nets with an A* maze search whose node costs
+blend base cost, present congestion and accumulated history — the
+PathFinder algorithm used by VPR and, in spirit, by every commercial
+router.  Iterations continue until no node is over capacity.
+
+The router reports node-expansion counts so
+:mod:`repro.pnr.compile_model` can convert routing work into modeled
+backend seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PnRError
+from repro.pnr.placer import Placement
+
+#: Wires available per grid cell.
+DEFAULT_CHANNEL_CAPACITY = 16
+
+#: Congestion pricing growth per iteration.
+PRESENT_FACTOR_GROWTH = 1.6
+
+#: History cost increment for over-used nodes.
+HISTORY_INCREMENT = 0.4
+
+#: Maximum rip-up/re-route iterations before giving up.
+MAX_ITERATIONS = 24
+
+#: Heuristic inflation (VPR's astar_fac): >1 trades wirelength for speed.
+ASTAR_FACTOR = 1.25
+
+#: Per-sink expansion budget multiplier (guards congestion blow-ups).
+EXPANSION_BUDGET_FACTOR = 16
+
+#: Per-iteration expansion budget, in expansions per net: once an
+#: iteration has spent this much search on average, remaining nets take
+#: congestion-blind L routes (history pricing recovers them next pass).
+ITERATION_BUDGET_PER_NET = 150
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of routing one placed design."""
+
+    success: bool
+    iterations: int
+    node_expansions: int
+    total_wirelength: int
+    overused_nodes: int
+    routes: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+
+    @property
+    def congestion_free(self) -> bool:
+        return self.success and self.overused_nodes == 0
+
+
+def route(placement: Placement,
+          channel_capacity: int = DEFAULT_CHANNEL_CAPACITY,
+          max_iterations: int = MAX_ITERATIONS) -> RoutingResult:
+    """Route all nets of ``placement`` with PathFinder."""
+    router = _PathFinder(placement, channel_capacity, max_iterations)
+    return router.run()
+
+
+class _PathFinder:
+    def __init__(self, placement: Placement, capacity: int,
+                 max_iterations: int):
+        if capacity < 1:
+            raise PnRError("channel capacity must be >= 1")
+        self.placement = placement
+        self.grid = placement.grid
+        self.capacity = capacity
+        self.max_iterations = max_iterations
+        self.width = self.grid.width
+        self.height = self.grid.height
+        size = self.width * self.height
+        self.present = [0] * size          # current wires used per node
+        self.history = [0.0] * size        # accumulated congestion cost
+        self.expansions = 0
+
+    def _node(self, x: int, y: int) -> int:
+        return x * self.height + y
+
+    # -- single-net maze route ------------------------------------------------
+
+    def _route_net(self, pins: List[Tuple[int, int]], present_factor: float
+                   ) -> List[Tuple[int, int]]:
+        """Route one multi-pin net as a Steiner-ish tree of A* paths."""
+        tree = {pins[0]}
+        path_nodes: List[Tuple[int, int]] = [pins[0]]
+        for sink in pins[1:]:
+            if sink in tree:
+                continue
+            found = self._astar(tree, sink, present_factor)
+            for node in found:
+                if node not in tree:
+                    tree.add(node)
+                    path_nodes.append(node)
+        return path_nodes
+
+    def _astar(self, sources, sink: Tuple[int, int],
+               present_factor: float) -> List[Tuple[int, int]]:
+        """Congestion-aware A* from any source-tree node to the sink.
+
+        Ties break toward larger g (depth-first bias) so uniform-cost
+        plateaus don't expand whole bounding boxes, and the heuristic is
+        inflated by ``ASTAR_FACTOR`` as VPR does.  A per-search expansion
+        budget bounds congestion blow-ups; when exhausted, the search
+        falls back to a congestion-blind L-shaped route (PathFinder's
+        history pricing still penalises it next iteration).
+        """
+        sx, sy = sink
+        frontier: List[Tuple[float, float, Tuple[int, int],
+                             Optional[Tuple[int, int]]]] = []
+        came: Dict[Tuple[int, int], Optional[Tuple[int, int]]] = {}
+        budget = EXPANSION_BUDGET_FACTOR * max(
+            self.width + self.height,
+            min(abs(n[0] - sx) + abs(n[1] - sy) for n in sources) + 8)
+        for node in sources:
+            estimate = (abs(node[0] - sx) + abs(node[1] - sy)) \
+                * ASTAR_FACTOR
+            heapq.heappush(frontier, (estimate, 0.0, node, None))
+        spent = 0
+        while frontier:
+            _f, neg_cost, node, parent = heapq.heappop(frontier)
+            cost = -neg_cost
+            if node in came:
+                continue
+            came[node] = parent
+            self.expansions += 1
+            spent += 1
+            if node == sink:
+                path = []
+                cursor: Optional[Tuple[int, int]] = node
+                while cursor is not None and cursor not in sources:
+                    path.append(cursor)
+                    cursor = came[cursor]
+                path.reverse()
+                return path
+            if spent > budget:
+                return self._l_route(sources, sink)
+            x, y = node
+            for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+                if not (0 <= nx < self.width and 0 <= ny < self.height):
+                    continue
+                neighbour = (nx, ny)
+                if neighbour in came:
+                    continue
+                index = self._node(nx, ny)
+                congestion = max(0, self.present[index] + 1 - self.capacity)
+                node_cost = (1.0
+                             + present_factor * congestion
+                             + self.history[index])
+                ncost = cost + node_cost
+                estimate = (abs(nx - sx) + abs(ny - sy)) * ASTAR_FACTOR
+                heapq.heappush(frontier, (ncost + estimate, -ncost,
+                                          neighbour, node))
+        raise PnRError(f"unroutable net to sink {sink}")
+
+    def _blind_net(self, pins: List[Tuple[int, int]]
+                   ) -> List[Tuple[int, int]]:
+        """Route a whole net with congestion-blind L segments."""
+        tree = {pins[0]}
+        nodes: List[Tuple[int, int]] = [pins[0]]
+        for sink in pins[1:]:
+            if sink in tree:
+                continue
+            for node in self._l_route(tree, sink):
+                if node not in tree:
+                    tree.add(node)
+                    nodes.append(node)
+        return nodes
+
+    def _l_route(self, sources, sink: Tuple[int, int]
+                 ) -> List[Tuple[int, int]]:
+        """Fallback: congestion-blind L route from the nearest tree node."""
+        sx, sy = sink
+        start = min(sources,
+                    key=lambda n: abs(n[0] - sx) + abs(n[1] - sy))
+        path: List[Tuple[int, int]] = []
+        x, y = start
+        while x != sx:
+            x += 1 if sx > x else -1
+            path.append((x, y))
+        while y != sy:
+            y += 1 if sy > y else -1
+            path.append((x, y))
+        return path
+
+    # -- the negotiation loop -----------------------------------------------------
+
+    def run(self) -> RoutingResult:
+        nets = []
+        for net in self.placement.netlist.nets:
+            pins = [(self.placement.locations[p].x,
+                     self.placement.locations[p].y) for p in net.pins]
+            # Dedupe pins sharing a site (e.g. two pins on one cluster).
+            unique = list(dict.fromkeys(pins))
+            if len(unique) >= 2:
+                nets.append(unique)
+
+        routes: Dict[int, List[Tuple[int, int]]] = {}
+        present_factor = 0.6
+        iteration = 0
+        while iteration < self.max_iterations:
+            iteration += 1
+            self.present = [0] * (self.width * self.height)
+            routes = {}
+            iteration_budget = ITERATION_BUDGET_PER_NET * max(1, len(nets))
+            iteration_start = self.expansions
+            for index, pins in enumerate(nets):
+                if self.expansions - iteration_start > iteration_budget:
+                    # Search budget exhausted: blind routes for the rest;
+                    # their overuse is priced into the next iteration.
+                    path = self._blind_net(pins)
+                else:
+                    path = self._route_net(pins, present_factor)
+                routes[index] = path
+                # Terminal nodes reach the net through dedicated pin
+                # wires and do not consume channel capacity.
+                terminals = set(pins)
+                for node in path:
+                    if node not in terminals:
+                        self.present[self._node(*node)] += 1
+            overused = [i for i, used in enumerate(self.present)
+                        if used > self.capacity]
+            if not overused:
+                wirelength = sum(len(p) for p in routes.values())
+                return RoutingResult(True, iteration, self.expansions,
+                                     wirelength, 0, routes)
+            for index in overused:
+                self.history[index] += HISTORY_INCREMENT * (
+                    self.present[index] - self.capacity)
+            present_factor *= PRESENT_FACTOR_GROWTH
+        wirelength = sum(len(p) for p in routes.values())
+        overused_count = sum(1 for used in self.present
+                             if used > self.capacity)
+        return RoutingResult(False, iteration, self.expansions, wirelength,
+                             overused_count, routes)

@@ -1,0 +1,86 @@
+"""Post-route static timing analysis.
+
+Estimates the achievable clock of a placed-and-routed design: each net
+contributes interconnect delay proportional to its routed length (or
+HPWL when unrouted), plus an SLR-crossing penalty for nets spanning die
+(Sec. 2.5) and a fixed logic+setup delay per stage.  The resulting Fmax
+feeds the Tab. 3 performance rows — notably the monolithic designs whose
+long cross-SLR wires drop them to 150–200 MHz while the decomposed -O3
+designs with pipelined inter-operator FIFOs hold 300 MHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fabric.device import Device, XCU50
+from repro.pnr.placer import Placement
+from repro.pnr.router import RoutingResult
+
+#: Interconnect delay per grid hop (ns).
+DELAY_PER_HOP_NS = 0.045
+
+#: Logic + setup + clock skew floor per register stage (ns).
+STAGE_FLOOR_NS = 2.2
+
+#: Extra delay when a net crosses between SLRs (ns).
+SLR_CROSSING_NS = 1.5
+
+#: Fabric clock ceiling (MHz).
+FMAX_CEILING = 300.0
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Static timing summary for one implementation."""
+
+    critical_path_ns: float
+    fmax_mhz: float
+    worst_net_hops: int
+    slr_crossings: int
+
+    def meets(self, target_mhz: float) -> bool:
+        return self.fmax_mhz >= target_mhz
+
+
+def analyze_timing(placement: Placement,
+                   routing: Optional[RoutingResult] = None,
+                   device: Device = XCU50,
+                   spans_slrs: bool = False) -> TimingReport:
+    """Compute the critical path and Fmax of an implementation.
+
+    Args:
+        placement: the placed design.
+        routing: routed paths; when omitted, HPWL approximates length.
+        device: provides the SLR-crossing penalty.
+        spans_slrs: whether the region covers multiple SLRs (a page
+            never does; a monolithic compile does).
+    """
+    worst_hops = 0
+    crossings = 0
+    height = placement.grid.height
+    for net_index, net in enumerate(placement.netlist.nets):
+        if routing is not None and net_index in routing.routes:
+            hops = len(routing.routes[net_index])
+        else:
+            xs = [placement.locations[p].x for p in net.pins]
+            ys = [placement.locations[p].y for p in net.pins]
+            hops = (max(xs) - min(xs)) + (max(ys) - min(ys))
+        crosses = False
+        if spans_slrs and len(device.slrs) > 1:
+            slrs = {device.slr_of_row(placement.locations[p].y, height)
+                    for p in net.pins}
+            crosses = len(slrs) > 1
+        if crosses:
+            crossings += 1
+        effective = hops + (SLR_CROSSING_NS / DELAY_PER_HOP_NS
+                            if crosses else 0)
+        worst_hops = max(worst_hops, int(effective))
+
+    critical = STAGE_FLOOR_NS + worst_hops * DELAY_PER_HOP_NS
+    fmax = min(FMAX_CEILING, 1000.0 / critical)
+    return TimingReport(critical_path_ns=round(critical, 3),
+                        fmax_mhz=round(fmax, 1),
+                        worst_net_hops=worst_hops,
+                        slr_crossings=crossings)

@@ -1,0 +1,25 @@
+"""The Rosetta benchmark suite, decomposed into PLD operators (Sec. 7.2).
+
+All six applications from Zhou et al. [74], re-implemented as streaming
+dataflow graphs of IR operators following the paper's decompositions:
+
+* :mod:`repro.rosetta.rendering` — 3D triangle rendering pipeline,
+  decomposed by pipeline stage, large stages split by image region;
+* :mod:`repro.rosetta.digit_recognition` — KNN hand-written-digit
+  classifier as a systolic pipeline over training-set shards;
+* :mod:`repro.rosetta.spam_filter` — logistic-regression SPAM scoring
+  with data-parallel dot-product operators plus scatter/reduce;
+* :mod:`repro.rosetta.optical_flow` — the Lucas-Kanade-style dataflow
+  task graph of Fig. 2, one operator per task;
+* :mod:`repro.rosetta.face_detection` — Viola-Jones-style cascade:
+  strong filtering split by image region, weak filtering by filter set;
+* :mod:`repro.rosetta.bnn` — binarised neural network with xnor-
+  popcount convolutions, one operator per stage/operation.
+
+Every app builds at a small *sample* scale for simulation plus carries
+the paper-scale token counts used to extrapolate per-input times.
+"""
+
+from repro.rosetta.base import RosettaApp, all_apps, get_app
+
+__all__ = ["RosettaApp", "all_apps", "get_app"]

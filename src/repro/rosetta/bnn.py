@@ -1,0 +1,379 @@
+"""Binarised neural network: xnor-popcount CNN with on-chip weights.
+
+Following the paper (Sec. 7.2): six convolutional levels and three
+fully-connected levels classify CIFAR-style images; the first level
+consumes fixed-point pixels and produces binary activations, later
+levels are fully binary; all weight coefficients live in on-chip memory
+(the Tab. 4 BRAM column is dominated by them), and *each stage and
+operation is its own operator* — 22 in total:
+
+``unpack -> quant -> (conv a/b) x 6 levels with pools after levels
+2, 4, 6 -> fc1 a/b -> fc2 -> fc3 -> argmax``
+
+Feature maps travel as 32-bit binary channel words, one word per pixel
+per half-level; convolutions mix a horizontal window of K positions
+with xnor + table popcounts; pools are 2x2 word-wise ORs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.dataflow.graph import DataflowGraph
+from repro.hls.frontend import OperatorBuilder
+from repro.rosetta.base import (
+    RosettaApp,
+    add_spec_operator,
+    declare_popcount_table,
+    deterministic_rng,
+    emit_popcount32,
+    finish_app,
+)
+
+
+class Dims:
+    """All size parameters for one build scale.
+
+    ``conv_weight_words`` / ``fc1_weight_words`` size the on-chip weight
+    ROMs: the stream model narrows feature maps to one word per pixel
+    per half-level, but the real layers hold coefficients for the full
+    channel depth, which is what fills the Tab. 4 BRAM column.
+    """
+
+    def __init__(self, image: int, kernel: int, conv_weight_words: int,
+                 fc1_weight_words: int, fc_bits: int, unroll: int):
+        self.image = image                  # input image side
+        self.kernel = kernel                # horizontal window positions
+        self.conv_weight_words = conv_weight_words
+        self.fc1_weight_words = fc1_weight_words
+        self.fc_bits = fc_bits              # fc layer output bits
+        self.unroll = unroll
+
+    def side_at(self, level: int) -> int:
+        """Feature-map side entering conv level `level` (1-based)."""
+        side = self.image
+        for boundary in (2, 4, 6):
+            if level > boundary:
+                side //= 2
+        return side
+
+
+PAPER = Dims(image=32, kernel=3, conv_weight_words=64,
+             fc1_weight_words=128, fc_bits=512, unroll=4)
+SAMPLE = Dims(image=8, kernel=1, conv_weight_words=2,
+              fc1_weight_words=2, fc_bits=32, unroll=1)
+
+#: Paper input: 10 images x 32x32 pixels x 3 colour words.
+PAPER_TOKENS = 10 * 32 * 32 * 3
+
+
+def _weights(tag: str, count: int) -> List[int]:
+    rng = deterministic_rng(f"bnn-{tag}")
+    return [rng.randrange(1 << 32) for _ in range(count)]
+
+
+def _unpack(d: Dims):
+    b = OperatorBuilder("unpack", inputs=[("Input_1", 32)],
+                        outputs=[("px", 32)])
+    with b.loop("PIX", d.image * d.image * 3, pipeline=True):
+        b.write("px", b.read("Input_1", signed=False))
+    return b.build()
+
+
+def _quant(d: Dims):
+    """Fixed-point first level: 3 colour words -> 1 binary word."""
+    b = OperatorBuilder("quant", inputs=[("px", 32)],
+                        outputs=[("q0", 32), ("q1", 32)])
+    b.variable("word", 32, signed=False)
+    with b.loop("PIX", d.image * d.image, pipeline=True):
+        r = b.cast(b.read("px", signed=False), 16)
+        gch = b.cast(b.read("px", signed=False), 16)
+        bch = b.cast(b.read("px", signed=False), 16)
+        # Luma-ish weighted sum (the one DSP-using stage, Tab. 4).
+        luma = b.add(b.add(b.mul(r, 77), b.mul(gch, 150)),
+                     b.mul(bch, 29))
+        b.set("word", 0)
+        with b.loop("BIT", 32, pipeline=True) as i:
+            # 32 binary activations from shifted thresholds.
+            thresh = b.shl(b.cast(b.add(i, 1), 32), 9)
+            bit = b.ge(b.cast(luma, 32), thresh)
+            placed = b.shl(b.cast(bit, 32, signed=False),
+                           b.cast(i, 5, signed=False))
+            b.set("word", b.cast(b.or_(b.get("word"), placed), 32,
+                                 signed=False))
+        b.write("q0", b.get("word"))
+        b.write("q1", b.get("word"))
+    return b.build()
+
+
+def _conv(name: str, d: Dims, level: int, in_words: int):
+    """One binary conv half-level: window xnor-popcount per out bit."""
+    side = d.side_at(level)
+    ins = [(f"i{k}", 32) for k in range(in_words)]
+    b = OperatorBuilder(name, inputs=ins,
+                        outputs=[("o0", 32), ("o1", 32)])
+    table = declare_popcount_table(b)
+    depth = d.kernel * 32 * max(in_words, d.conv_weight_words)
+    b.array("w", depth, 32, signed=False, init=_weights(name, depth),
+            partition=True)
+    b.array("thr", 32, 16, signed=False, partition=True,
+            init=[(16 * d.kernel * in_words)] * 32)
+    for k in range(d.kernel):
+        for word in range(in_words):
+            b.variable(f"win{k}_{word}", 32, signed=False)
+    b.variable("out", 32, signed=False)
+    b.variable("acc", 16, signed=False)
+    abits = max(2, (depth - 1).bit_length())
+    with b.loop("PIX", side * side):
+        # Shift the horizontal window and take the new words.
+        for k in range(d.kernel - 1, 0, -1):
+            for word in range(in_words):
+                b.set(f"win{k}_{word}", b.get(f"win{k - 1}_{word}"))
+        for word in range(in_words):
+            b.set(f"win0_{word}", b.read(f"i{word}", signed=False))
+        b.set("out", 0)
+        with b.loop("BIT", 32, pipeline=True, unroll=d.unroll) as bit:
+            b.set("acc", 0)
+            for k in range(d.kernel):
+                for word in range(in_words):
+                    base = (k * 32 * in_words) + word
+                    idx = b.cast(
+                        b.add(b.mul(b.cast(bit, 8, signed=False),
+                                    in_words), base),
+                        abits, signed=False)
+                    wv = b.load("w", idx)
+                    x = b.xor(b.get(f"win{k}_{word}"), wv)
+                    act = b.xor(x, 0xFFFFFFFF)        # xnor
+                    pc = emit_popcount32(b, table, act)
+                    b.set("acc", b.cast(b.add(b.get("acc"), pc), 16,
+                                        signed=False))
+            fired = b.ge(b.get("acc"),
+                         b.load("thr", b.cast(bit, 5, signed=False)))
+            placed = b.shl(b.cast(fired, 32, signed=False),
+                           b.cast(bit, 5, signed=False))
+            b.set("out", b.cast(b.or_(b.get("out"), placed), 32,
+                                signed=False))
+        b.write("o0", b.get("out"))
+        b.write("o1", b.get("out"))
+    return b.build()
+
+
+def _pool(name: str, d: Dims, level: int):
+    """2x2 word-wise OR pooling of both half-level streams."""
+    side = d.side_at(level)              # side *entering* the pool level
+    b = OperatorBuilder(name, inputs=[("a", 32), ("b", 32)],
+                        outputs=[("a0", 32), ("a1", 32),
+                                 ("b0", 32), ("b1", 32)])
+    half = side // 2
+    b.array("rowa", half, 32, signed=False)
+    b.array("rowb", half, 32, signed=False)
+    bits = max(1, (max(half - 1, 1)).bit_length())
+    b.variable("keep_a", 32, signed=False)
+    b.variable("keep_b", 32, signed=False)
+    with b.loop("ROW", side) as r:
+        with b.loop("COL", half, pipeline=True) as c:
+            a = b.or_(b.read("a", signed=False),
+                      b.read("a", signed=False))   # horizontal OR
+            bb = b.or_(b.read("b", signed=False),
+                       b.read("b", signed=False))
+            idx = b.cast(c, bits, signed=False)
+            odd = b.and_(b.cast(r, 16, signed=False), 1)
+            with b.if_(b.eq(odd, 0)):
+                b.store("rowa", idx, b.cast(a, 32, signed=False))
+                b.store("rowb", idx, b.cast(bb, 32, signed=False))
+            with b.orelse():
+                va = b.or_(b.load("rowa", idx), a)
+                vb = b.or_(b.load("rowb", idx), bb)
+                for port, val in (("a0", va), ("a1", va),
+                                  ("b0", vb), ("b1", vb)):
+                    b.write(port, b.cast(val, 32, signed=False))
+    return b.build()
+
+
+def _fc(name: str, ports: int, words_per_port: int, out_bits: int,
+        out_words: int, unroll: int, weight_words: int = 0,
+        emit_scores: bool = False):
+    """Fully-connected binary layer over one or two input streams.
+
+    ``weight_words`` overrides the ROM's per-neuron word count (the
+    real layer mixes the full channel depth; see :class:`Dims`).
+    """
+    in_words = ports * words_per_port
+    ins = [(f"in{k}", 32) for k in range(ports)]
+    b = OperatorBuilder(name, inputs=ins, outputs=[("out", 32)])
+    table = declare_popcount_table(b)
+    rom_words = max(in_words, weight_words)
+    depth = out_bits * rom_words
+    b.array("w", depth, 32, signed=False, init=_weights(name, depth),
+            partition=True)
+    b.array("acts", in_words, 32, signed=False, partition=True)
+    b.variable("acc", 24, signed=False)
+    b.variable("word", 32, signed=False)
+    ibits = max(1, (max(in_words - 1, 1)).bit_length())
+    abits = max(2, (depth - 1).bit_length())
+    for k in range(ports):
+        with b.loop(f"LOAD{k}", words_per_port, pipeline=True) as i:
+            slot = b.cast(b.add(b.cast(i, 16, signed=False),
+                                k * words_per_port),
+                          ibits, signed=False)
+            b.store("acts", slot, b.read(f"in{k}", signed=False))
+    if emit_scores:
+        with b.loop("NEURON", out_bits, pipeline=True,
+                    unroll=unroll) as n:
+            b.set("acc", 0)
+            with b.loop("WORD", in_words) as wd:
+                idx = b.cast(
+                    b.add(b.mul(b.cast(n, 16, signed=False), rom_words),
+                          b.cast(wd, 16, signed=False)),
+                    abits, signed=False)
+                wv = b.load("w", idx)
+                act = b.load("acts", b.cast(wd, ibits, signed=False))
+                pc = emit_popcount32(b, table,
+                                     b.xor(b.xor(act, wv), 0xFFFFFFFF))
+                b.set("acc", b.cast(b.add(b.get("acc"), pc), 24,
+                                    signed=False))
+            b.write("out", b.cast(b.get("acc"), 32))
+        return b.build()
+    per_word = max(1, out_bits // out_words)
+    with b.loop("OWORD", out_words) as ow:
+        b.set("word", 0)
+        with b.loop("BIT", min(per_word, 32), pipeline=True,
+                    unroll=unroll) as bit:
+            b.set("acc", 0)
+            with b.loop("WORD", in_words) as wd:
+                neuron = b.add(b.mul(b.cast(ow, 16, signed=False),
+                                     per_word),
+                               b.cast(bit, 16, signed=False))
+                idx = b.cast(
+                    b.add(b.mul(neuron, rom_words),
+                          b.cast(wd, 16, signed=False)),
+                    abits, signed=False)
+                wv = b.load("w", idx)
+                act = b.load("acts", b.cast(wd, ibits, signed=False))
+                pc = emit_popcount32(b, table,
+                                     b.xor(b.xor(act, wv), 0xFFFFFFFF))
+                b.set("acc", b.cast(b.add(b.get("acc"), pc), 24,
+                                    signed=False))
+            fired = b.ge(b.get("acc"), 16 * in_words)
+            placed = b.shl(b.cast(fired, 32, signed=False),
+                           b.cast(bit, 5, signed=False))
+            b.set("word", b.cast(b.or_(b.get("word"), placed), 32,
+                                 signed=False))
+        b.write("out", b.get("word"))
+    return b.build()
+
+
+def _argmax(scores: int):
+    b = OperatorBuilder("argmax", inputs=[("in", 32)],
+                        outputs=[("Output_1", 32)])
+    b.variable("best", 32, signed=False)
+    b.variable("best_idx", 8, signed=False)
+    with b.loop("SCORE", scores, pipeline=True) as i:
+        s = b.read("in", signed=False)
+        better = b.gt(s, b.get("best"))
+        b.set("best", b.cast(b.select(better, s, b.get("best")), 32,
+                             signed=False))
+        b.set("best_idx", b.cast(
+            b.select(better, b.cast(i, 8, signed=False),
+                     b.get("best_idx")), 8, signed=False))
+    b.write("Output_1", b.cast(b.get("best_idx"), 32))
+    return b.build()
+
+
+def _flat_words(d: Dims) -> int:
+    """Words entering fc1 per pool3 port (flattened final feature map)."""
+    final_side = d.side_at(7)            # after all three pools
+    return final_side * final_side
+
+
+def _build_for(d: Dims):
+    """All 22 specs, in wiring order."""
+    specs = [_unpack(d), _quant(d)]
+    for level in range(1, 7):
+        words = 1 if level == 1 else 2
+        for half in ("a", "b"):
+            specs.append(_conv(f"conv{level}{half}", d, level, words))
+        if level in (2, 4, 6):
+            specs.append(_pool(f"pool{level // 2}", d, level))
+    flat = _flat_words(d)
+    specs.append(_fc("fc1a", 2, flat, d.fc_bits, 8, d.unroll,
+                     weight_words=d.fc1_weight_words))
+    specs.append(_fc("fc1b", 2, flat, d.fc_bits, 8, d.unroll,
+                     weight_words=d.fc1_weight_words))
+    specs.append(_fc("fc2", 2, 8, d.fc_bits, 8, d.unroll,
+                     weight_words=d.fc1_weight_words // 4))
+    specs.append(_fc("fc3", 1, 8, 10, 1, 1, emit_scores=True))
+    specs.append(_argmax(10))
+    return specs
+
+
+def build_graph() -> DataflowGraph:
+    g = DataflowGraph("bnn")
+    for paper_spec, sample_spec in zip(_build_for(PAPER),
+                                       _build_for(SAMPLE)):
+        add_spec_operator(g, paper_spec, sample_spec=sample_spec)
+
+    g.connect("unpack.px", "quant.px")
+    g.connect("quant.q0", "conv1a.i0")
+    g.connect("quant.q1", "conv1b.i0")
+    g.connect("conv1a.o0", "conv2a.i0")
+    g.connect("conv1b.o0", "conv2a.i1")
+    g.connect("conv1a.o1", "conv2b.i0")
+    g.connect("conv1b.o1", "conv2b.i1")
+    g.connect("conv2a.o0", "pool1.a")
+    g.connect("conv2b.o0", "pool1.b")
+    g.connect("pool1.a0", "conv3a.i0")
+    g.connect("pool1.b0", "conv3a.i1")
+    g.connect("pool1.a1", "conv3b.i0")
+    g.connect("pool1.b1", "conv3b.i1")
+    g.connect("conv3a.o0", "conv4a.i0")
+    g.connect("conv3b.o0", "conv4a.i1")
+    g.connect("conv3a.o1", "conv4b.i0")
+    g.connect("conv3b.o1", "conv4b.i1")
+    g.connect("conv4a.o0", "pool2.a")
+    g.connect("conv4b.o0", "pool2.b")
+    g.connect("pool2.a0", "conv5a.i0")
+    g.connect("pool2.b0", "conv5a.i1")
+    g.connect("pool2.a1", "conv5b.i0")
+    g.connect("pool2.b1", "conv5b.i1")
+    g.connect("conv5a.o0", "conv6a.i0")
+    g.connect("conv5b.o0", "conv6a.i1")
+    g.connect("conv5a.o1", "conv6b.i0")
+    g.connect("conv5b.o1", "conv6b.i1")
+    g.connect("conv6a.o0", "pool3.a")
+    g.connect("conv6b.o0", "pool3.b")
+    # fc1 halves each mix the whole final map (both pool3 copies).
+    g.connect("pool3.a0", "fc1a.in0")
+    g.connect("pool3.b0", "fc1a.in1")
+    g.connect("pool3.a1", "fc1b.in0")
+    g.connect("pool3.b1", "fc1b.in1")
+    g.connect("fc1a.out", "fc2.in0")
+    g.connect("fc1b.out", "fc2.in1")
+    g.connect("fc2.out", "fc3.in0")
+    g.connect("fc3.out", "argmax.in")
+    # conv level 2/4/6 second copies are unused by pools; the duplicate
+    # outputs of those levels feed the pools' partner ports instead, so
+    # tie the spares off as debug taps the host can sample.
+    g.expose_output("dbg_a", "conv2a.o1")
+    g.expose_output("dbg_b", "conv2b.o1")
+    g.expose_output("dbg_c", "conv4a.o1")
+    g.expose_output("dbg_d", "conv4b.o1")
+    g.expose_output("dbg_e", "conv6a.o1")
+    g.expose_output("dbg_f", "conv6b.o1")
+    g.expose_input("Input_1", "unpack.Input_1")
+    g.expose_output("Output_1", "argmax.Output_1")
+    return g
+
+
+def sample_inputs() -> Dict[str, List[int]]:
+    rng = deterministic_rng("bnn-image")
+    side = SAMPLE.image
+    return {"Input_1": [rng.randrange(256)
+                        for _ in range(side * side * 3)]}
+
+
+def build() -> RosettaApp:
+    return finish_app(
+        "bnn",
+        "binarised CNN (6 conv + 3 FC levels) with on-chip weights",
+        build_graph(), sample_inputs(), PAPER_TOKENS)

@@ -1,0 +1,305 @@
+"""Face detection: a Viola-Jones-style cascade, split by region and set.
+
+Following the paper's decomposition (Sec. 7.2): the two main stages are
+strong filtering (split across four operators by image region) and weak
+filtering (split across ten operators by filter set), around integral-
+image preparation and result merging — 20 operators:
+
+``unpack -> integral -> sq_integral -> 4 x strong -> gather ->
+10 x weak (chained) -> merge``
+
+Each strong operator keeps a sliding window buffer over the integral
+stream of its region and evaluates a bank of trained rectangle features
+(differences of integral sums against thresholds); the weak chain
+refines candidate scores with per-set threshold tables, using an
+``isqrt``-based variance normalisation, and the merger emits one
+detection word per window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dataflow.graph import DataflowGraph
+from repro.hls.frontend import OperatorBuilder
+from repro.rosetta.base import (
+    RosettaApp,
+    add_spec_operator,
+    deterministic_rng,
+    finish_app,
+)
+
+#: Strong-filter region operators / weak-filter set operators.
+STRONG, WEAK = 4, 10
+
+#: Paper-scale image (Rosetta face detection: 320 x 240).
+PAPER_H, PAPER_W = 240, 320
+
+#: Sample-scale image.
+H, W = 8, 8
+
+#: Rectangle features evaluated per strong operator.
+PAPER_FEATURES, FEATURES = 64, 4
+
+PAPER_TOKENS = PAPER_H * PAPER_W
+
+
+def _thresholds(tag: str, count: int) -> List[int]:
+    rng = deterministic_rng(f"face-{tag}")
+    return [rng.randrange(1, 1 << 14) for _ in range(count)]
+
+
+def _unpack(h: int, w: int):
+    b = OperatorBuilder("unpack", inputs=[("Input_1", 32)],
+                        outputs=[("p_int", 32), ("p_sq", 32)])
+    with b.loop("PIX", h * w, pipeline=True):
+        p = b.read("Input_1", signed=False)
+        b.write("p_int", p)
+        b.write("p_sq", p)
+    return b.build()
+
+
+def _integral(h: int, w: int, squared: bool, fan_out: int):
+    """Streaming integral image (row prefix + column accumulation).
+
+    The squared variant emits one *per-row energy* word (the weak
+    cascade normalises per row), while the plain variant fans the
+    per-pixel integral out to every strong-filter region.
+    """
+    name = "sq_integral" if squared else "integral"
+    port = "p_sq" if squared else "p_int"
+    outs = [(f"i{k}", 32) for k in range(fan_out)]
+    b = OperatorBuilder(name, inputs=[(port, 32)], outputs=outs)
+    b.array("colsum", w, 32, signed=False)
+    b.variable("rowsum", 32, signed=False)
+    bits = max(3, (w - 1).bit_length())
+    with b.loop("ROW", h):
+        b.set("rowsum", 0)
+        with b.loop("COL", w, pipeline=True) as c:
+            p = b.cast(b.read(port, signed=False), 16, signed=False)
+            v = b.cast(b.mul(p, p), 32) if squared else b.cast(p, 32)
+            b.set("rowsum", b.cast(b.add(b.get("rowsum"), v), 32,
+                                   signed=False))
+            idx = b.cast(c, bits, signed=False)
+            above = b.load("colsum", idx)
+            total = b.cast(b.add(above, b.get("rowsum")), 32,
+                           signed=False)
+            b.store("colsum", idx, total)
+            if not squared:
+                for out_name, _w in outs:
+                    b.write(out_name, total)
+        if squared:
+            # One energy word per row.
+            b.write(outs[0][0], b.cast(b.get("rowsum"), 32))
+    return b.build()
+
+
+def _strong(region: int, h: int, w: int, features: int, unroll: int):
+    """Rectangle features over a sliding integral window, one region.
+
+    Every strong operator sees the whole integral stream (keeping its
+    window buffer warm) but only its band of rows emits candidates.
+    """
+    name = f"strong_{region}"
+    b = OperatorBuilder(name, inputs=[("ii", 32)], outputs=[("cand", 32)])
+    window = min(16, w)
+    band = h // STRONG
+    b.array("win", window, 32, signed=False, partition=True)
+    b.array("off_a", features, 8, signed=False, partition=True,
+            init=[t % window for t in _thresholds(f"offa{region}",
+                                                  features)])
+    b.array("off_b", features, 8, signed=False, partition=True,
+            init=[t % window for t in _thresholds(f"offb{region}",
+                                                  features)])
+    b.array("thresh", features, 16, signed=False, partition=True,
+            init=[t & 0x3FFF for t in _thresholds(f"th{region}",
+                                                  features)])
+    b.variable("score", 16, signed=False)
+    b.variable("wp", 8, signed=False)          # window write pointer
+    wbits = max(2, (window - 1).bit_length())
+    fbits = max(2, (features - 1).bit_length())
+    with b.loop("ROW", h) as row:
+        with b.loop("COL", w):
+            v = b.read("ii", signed=False)
+            wp = b.get("wp")
+            b.store("win", b.cast(wp, wbits, signed=False), v)
+            nxt = b.and_(b.add(wp, 1), window - 1)
+            b.set("wp", b.cast(nxt, 8, signed=False))
+            in_band_lo = b.ge(b.cast(row, 16, signed=False),
+                              region * band)
+            in_band_hi = b.lt(b.cast(row, 16, signed=False),
+                              (region + 1) * band)
+            with b.if_(b.and_(in_band_lo, in_band_hi)):
+                b.set("score", 0)
+                # First half of the bank uses trained multiplier
+                # weights (DSP-mapped); the rest use shift weighting.
+                half = max(1, features // 2)
+                with b.loop("FEATM", half, pipeline=True,
+                            unroll=max(1, unroll // 2)) as fm:
+                    fi = b.cast(fm, fbits, signed=False)
+                    oa = b.cast(b.load("off_a", fi), wbits, signed=False)
+                    ia = b.cast(b.load("win", oa), 24)
+                    coeff = b.cast(b.load("thresh", fi), 8, signed=False)
+                    weighted = b.shr(b.mul(ia, coeff), 6)
+                    vote = b.gt(b.cast(weighted, 26),
+                                b.load("thresh", fi))
+                    b.set("score", b.cast(
+                        b.add(b.get("score"), b.cast(vote, 16)), 16,
+                        signed=False))
+                with b.loop("FEAT", features, pipeline=True,
+                            unroll=unroll) as f:
+                    fi = b.cast(f, fbits, signed=False)
+                    oa = b.cast(b.load("off_a", fi), wbits, signed=False)
+                    ob = b.cast(b.load("off_b", fi), wbits, signed=False)
+                    # Haar rectangle: four integral corners per arm.
+                    a1 = b.cast(b.load("win", oa), 24)
+                    a2 = b.cast(b.load("win", b.cast(
+                        b.and_(b.add(oa, 1), window - 1), wbits,
+                        signed=False)), 24)
+                    b1 = b.cast(b.load("win", ob), 24)
+                    b2 = b.cast(b.load("win", b.cast(
+                        b.and_(b.add(ob, 2), window - 1), wbits,
+                        signed=False)), 24)
+                    arm_a = b.cast(b.sub(a1, a2), 24)
+                    arm_b = b.cast(b.sub(b1, b2), 24)
+                    # 2:1:0.5 rectangle weighting via shifts.
+                    weighted = b.sub(b.shl(b.cast(arm_a, 26), 1),
+                                     b.add(b.cast(arm_b, 26),
+                                           b.shr(arm_b, 1)))
+                    vote = b.gt(b.abs_(b.cast(weighted, 24)),
+                                b.load("thresh", fi))
+                    b.set("score", b.cast(
+                        b.add(b.get("score"), b.cast(vote, 16)), 16,
+                        signed=False))
+                b.write("cand", b.cast(b.get("score"), 32))
+    return b.build()
+
+
+def _gather(h: int, w: int):
+    """Splice the regions' candidate bands back into frame order,
+    normalising by the per-row energy (isqrt of the squared sums)."""
+    ins = [(f"s{r}", 32) for r in range(STRONG)] + [("sq", 32)]
+    b = OperatorBuilder("gather", inputs=ins, outputs=[("cand", 32)])
+    band = h // STRONG
+    for r in range(STRONG):
+        with b.loop(f"BAND{r}", band):
+            energy = b.read("sq", signed=False)
+            norm = b.isqrt(b.cast(b.lshr(energy, 8), 24, signed=False))
+            with b.loop(f"COLS{r}", w, pipeline=True):
+                score = b.read(f"s{r}", signed=False)
+                scaled = b.add(score, b.cast(norm, 32))
+                b.write("cand", b.cast(scaled, 32))
+    return b.build()
+
+
+def _weak(index: int, h: int, w: int, features: int, unroll: int):
+    """One weak-classifier set refining the candidate stream."""
+    name = f"weak_{index:02d}"
+    b = OperatorBuilder(name, inputs=[("in", 32)], outputs=[("out", 32)])
+    b.array("tbl", features, 16, signed=False, partition=True,
+            init=[t & 0x7FFF for t in _thresholds(f"weak{index}",
+                                                  features)])
+    fbits = max(2, (features - 1).bit_length())
+    b.variable("acc", 32, signed=False)
+    with b.loop("PIX", h * w):
+        cand = b.read("in", signed=False)
+        b.set("acc", cand)
+        with b.loop("FEAT", features, pipeline=True, unroll=unroll) as f:
+            t = b.load("tbl", b.cast(f, fbits, signed=False))
+            level = b.cast(b.and_(cand, 0x7FFF), 16, signed=False)
+            margin = b.cast(b.sub(b.cast(level, 17), b.cast(t, 17)), 17)
+            passed = b.lt(margin, 0)
+            # Soft vote: failures subtract a shifted margin, passes +1.
+            penalty = b.cast(b.shr(margin, 3), 17)
+            bumped = b.select(passed, b.add(b.get("acc"), 1),
+                              b.cast(b.sub(b.cast(b.get("acc"), 33),
+                                           b.cast(penalty, 33)), 32,
+                                     signed=False))
+            b.set("acc", b.cast(bumped, 32, signed=False))
+        b.write("out", b.get("acc"))
+    return b.build()
+
+
+def _nms(h: int, w: int):
+    """Non-maximum suppression along the scan order (3-tap window)."""
+    b = OperatorBuilder("nms", inputs=[("in", 32)], outputs=[("out", 32)])
+    b.variable("p1", 32, signed=False)
+    b.variable("p2", 32, signed=False)
+    with b.loop("PIX", h * w, pipeline=True):
+        cur = b.read("in", signed=False)
+        keep = b.and_(b.ge(cur, b.get("p1")), b.ge(cur, b.get("p2")))
+        out = b.select(keep, cur, b.and_(cur, 0x7FFF0000))
+        b.set("p2", b.get("p1"))
+        b.set("p1", cur)
+        b.write("out", b.cast(out, 32, signed=False))
+    return b.build()
+
+
+def _merge(h: int, w: int):
+    b = OperatorBuilder("merge", inputs=[("in", 32)],
+                        outputs=[("Output_1", 32)])
+    with b.loop("PIX", h * w, pipeline=True):
+        score = b.read("in", signed=False)
+        face = b.ge(b.cast(b.and_(score, 0xFFFF), 16, signed=False),
+                    FEATURES * (WEAK // 2))
+        packed = b.or_(b.shl(b.cast(face, 32), 31), score)
+        b.write("Output_1", b.cast(packed, 32, signed=False))
+    return b.build()
+
+
+def _recipes():
+    paper, sample = [], []
+    paper.append(_unpack(PAPER_H, PAPER_W))
+    sample.append(_unpack(H, W))
+    paper.append(_integral(PAPER_H, PAPER_W, False, STRONG))
+    sample.append(_integral(H, W, False, STRONG))
+    paper.append(_integral(PAPER_H, PAPER_W, True, 1))
+    sample.append(_integral(H, W, True, 1))
+    for region in range(STRONG):
+        paper.append(_strong(region, PAPER_H, PAPER_W,
+                             PAPER_FEATURES, unroll=64))
+        sample.append(_strong(region, H, W, FEATURES, unroll=1))
+    paper.append(_gather(PAPER_H, PAPER_W))
+    sample.append(_gather(H, W))
+    for index in range(WEAK):
+        paper.append(_weak(index, PAPER_H, PAPER_W, PAPER_FEATURES,
+                           unroll=64))
+        sample.append(_weak(index, H, W, FEATURES, unroll=1))
+    paper.append(_nms(PAPER_H, PAPER_W))
+    sample.append(_nms(H, W))
+    paper.append(_merge(PAPER_H, PAPER_W))
+    sample.append(_merge(H, W))
+    return zip(paper, sample)
+
+
+def build_graph() -> DataflowGraph:
+    g = DataflowGraph("face-detection")
+    for paper_spec, sample_spec in _recipes():
+        add_spec_operator(g, paper_spec, sample_spec=sample_spec)
+    g.connect("unpack.p_int", "integral.p_int")
+    g.connect("unpack.p_sq", "sq_integral.p_sq")
+    for region in range(STRONG):
+        g.connect(f"integral.i{region}", f"strong_{region}.ii")
+        g.connect(f"strong_{region}.cand", f"gather.s{region}")
+    g.connect("sq_integral.i0", "gather.sq")
+    previous = "gather.cand"
+    for index in range(WEAK):
+        g.connect(previous, f"weak_{index:02d}.in")
+        previous = f"weak_{index:02d}.out"
+    g.connect(previous, "nms.in")
+    g.connect("nms.out", "merge.in")
+    g.expose_input("Input_1", "unpack.Input_1")
+    g.expose_output("Output_1", "merge.Output_1")
+    return g
+
+
+def sample_inputs() -> Dict[str, List[int]]:
+    rng = deterministic_rng("face-image")
+    return {"Input_1": [rng.randrange(256) for _ in range(H * W)]}
+
+
+def build() -> RosettaApp:
+    return finish_app(
+        "face-detection",
+        "Viola-Jones cascade split by image region and filter set",
+        build_graph(), sample_inputs(), PAPER_TOKENS)

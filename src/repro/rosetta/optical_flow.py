@@ -1,0 +1,285 @@
+"""Optical flow: the Lucas-Kanade task graph of Fig. 2.
+
+The computation already has the shape of a dataflow task graph in
+Rosetta; the paper starts with one operator per task and splits large
+tasks by separable component (x, y, z).  This implementation follows
+that decomposition: unpack, per-axis gradients, per-axis smoothing
+weights, the five structure-tensor products, tensor packing, the
+``flow_calc`` division kernel of Fig. 2(d), output smoothing and
+packing — 16 operators.
+
+Every kernel is built twice from the same generator: at the paper's
+436 x 1024 frame (attached as the compile-flow spec, with the unroll
+factors the tuned implementation uses) and at a small sample frame that
+the simulators execute.  Per input pixel the stream carries two words
+(co-located pixels of two frames); the output carries the two flow
+components in Q24.8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dataflow.graph import DataflowGraph
+from repro.hls.frontend import OperatorBuilder
+from repro.rosetta.base import (
+    RosettaApp,
+    add_spec_operator,
+    deterministic_rng,
+    finish_app,
+)
+
+#: Paper-scale frame (Rosetta optical flow).
+PAPER_HEIGHT, PAPER_WIDTH = 436, 1024
+
+#: Sample-scale frame executed by the simulators.
+HEIGHT, WIDTH = 8, 8
+
+#: Fractional bits of the flow output (Q24.8).
+FRAC = 8
+
+#: Paper-scale stream: two words per pixel.
+PAPER_TOKENS = PAPER_HEIGHT * PAPER_WIDTH * 2
+
+
+def _line_bits(width: int) -> int:
+    return max(4, (width - 1).bit_length())
+
+
+def _unpack(h: int, w: int):
+    b = OperatorBuilder("unpack", inputs=[("Input_1", 32)],
+                        outputs=[("a_x", 32), ("a_y", 32), ("a_z", 32),
+                                 ("b_z", 32)])
+    with b.loop("PIX", h * w, pipeline=True):
+        pa = b.read("Input_1", signed=False)
+        pb = b.read("Input_1", signed=False)
+        b.write("a_x", pa)
+        b.write("a_y", pa)
+        b.write("a_z", pa)
+        b.write("b_z", pb)
+    return b.build()
+
+
+def _grad_x(h: int, w: int):
+    b = OperatorBuilder("grad_x", inputs=[("p", 32)], outputs=[("gx", 32)])
+    b.variable("prev", 16)
+    with b.loop("ROW", h):
+        b.set("prev", 0)
+        with b.loop("COL", w, pipeline=True):
+            cur = b.cast(b.read("p", signed=False), 16)
+            g = b.cast(b.sub(cur, b.get("prev")), 16)
+            b.set("prev", cur)
+            b.write("gx", b.cast(g, 32))
+    return b.build()
+
+
+def _grad_y(h: int, w: int):
+    b = OperatorBuilder("grad_y", inputs=[("p", 32)], outputs=[("gy", 32)])
+    b.array("line", w, 16)
+    bits = _line_bits(w)
+    with b.loop("ROW", h):
+        with b.loop("COL", w, pipeline=True) as c:
+            cur = b.cast(b.read("p", signed=False), 16)
+            idx = b.cast(c, bits, signed=False)
+            above = b.load("line", idx)
+            b.store("line", idx, cur)
+            b.write("gy", b.cast(b.cast(b.sub(cur, above), 16), 32))
+    return b.build()
+
+
+def _grad_z(h: int, w: int):
+    b = OperatorBuilder("grad_z", inputs=[("pa", 32), ("pb", 32)],
+                        outputs=[("gz", 32)])
+    with b.loop("PIX", h * w, pipeline=True):
+        a = b.cast(b.read("pa", signed=False), 16)
+        c = b.cast(b.read("pb", signed=False), 16)
+        b.write("gz", b.cast(b.cast(b.sub(c, a), 16), 32))
+    return b.build()
+
+
+def _weight(axis: str, fan_out: int, h: int, w: int, unroll: int):
+    """Running 4-tap smoothing of one gradient axis, with fan-out."""
+    outs = [(f"w{axis}{i}", 32) for i in range(fan_out)]
+    b = OperatorBuilder(f"weight_{axis}", inputs=[(f"g{axis}", 32)],
+                        outputs=outs)
+    for tap in range(4):
+        b.variable(f"t{tap}", 16)
+    # Two smoothing line buffers, as the windowed kernel keeps per axis.
+    b.array("lines", 2 * w, 16)
+    with b.loop("PIX", h * w, pipeline=True, unroll=unroll):
+        g = b.cast(b.read(f"g{axis}"), 16)
+        # Shift the tap registers and take a weighted sum 1-3-3-1.
+        b.set("t3", b.get("t2"))
+        b.set("t2", b.get("t1"))
+        b.set("t1", b.get("t0"))
+        b.set("t0", g)
+        acc = b.add(b.get("t0"), b.get("t3"))
+        mid = b.mul(b.add(b.get("t1"), b.get("t2")), 3)
+        total = b.cast(b.shr(b.add(acc, mid), 3), 16)
+        for name, _w in outs:
+            b.write(name, b.cast(total, 32))
+    return b.build()
+
+
+def _tensor(name: str, in_a: str, in_b: str, h: int, w: int, unroll: int):
+    """One structure-tensor product t = smooth(a) * smooth(b)."""
+    inputs = [(in_a, 32)] if in_a == in_b else [(in_a, 32), (in_b, 32)]
+    b = OperatorBuilder(name, inputs=inputs, outputs=[("t", 32)])
+    with b.loop("PIX", h * w, pipeline=True, unroll=unroll):
+        a = b.cast(b.read(in_a), 16)
+        c = a if in_a == in_b else b.cast(b.read(in_b), 16)
+        product = b.cast(b.mul(a, c), 32)
+        b.write("t", b.cast(b.shr(product, 2), 32))
+    return b.build()
+
+
+def _tensor_pack(h: int, w: int):
+    b = OperatorBuilder("tensor_pack",
+                        inputs=[("txx", 32), ("tyy", 32), ("txy", 32),
+                                ("txz", 32), ("tyz", 32)],
+                        outputs=[("t", 32)])
+    with b.loop("PIX", h * w, pipeline=True):
+        for port in ("txx", "tyy", "txy", "txz", "tyz"):
+            b.write("t", b.read(port, signed=False))
+    return b.build()
+
+
+def _flow_calc(h: int, w: int, unroll: int):
+    """Fig. 2(d): solve the 2x2 LK system per pixel, guard denom == 0."""
+    b = OperatorBuilder("flow_calc", inputs=[("t", 32)],
+                        outputs=[("Output_1", 32)])
+    b.variable("buf0", 32)
+    b.variable("buf1", 32)
+    with b.loop("PIX", h * w, pipeline=True, unroll=unroll):
+        txx = b.cast(b.read("t"), 24)
+        tyy = b.cast(b.read("t"), 24)
+        txy = b.cast(b.read("t"), 24)
+        txz = b.cast(b.read("t"), 24)
+        tyz = b.cast(b.read("t"), 24)
+        denom = b.cast(b.sub(b.mul(txx, tyy), b.mul(txy, txy)), 32)
+        numer0 = b.cast(b.sub(b.mul(txy, tyz), b.mul(txz, tyy)), 32)
+        numer1 = b.cast(b.sub(b.mul(txy, txz), b.mul(tyz, txx)), 32)
+        with b.if_(b.eq(denom, 0)):
+            b.set("buf0", 0)
+            b.set("buf1", 0)
+        with b.orelse():
+            # Pre-scale the (bounded) numerators into Q24.8 before the
+            # 32-bit divide, as the softcore target requires.
+            n0 = b.shl(b.cast(b.cast(numer0, 24), 32), FRAC)
+            n1 = b.shl(b.cast(b.cast(numer1, 24), 32), FRAC)
+            b.set("buf0", b.cast(b.div(n0, denom), 32))
+            b.set("buf1", b.cast(b.div(n1, denom), 32))
+        b.write("Output_1", b.get("buf0"))
+        b.write("Output_1", b.get("buf1"))
+    return b.build()
+
+
+def _smooth_out(h: int, w: int, unroll: int = 1):
+    """3-tap smoothing of the flow field (per component)."""
+    b = OperatorBuilder("smooth_out", inputs=[("f", 32)],
+                        outputs=[("fs", 32)])
+    b.variable("px", 32)
+    b.variable("py", 32)
+    with b.loop("PIX", h * w, pipeline=True, unroll=unroll):
+        fx = b.cast(b.read("f"), 32)
+        fy = b.cast(b.read("f"), 32)
+        sx = b.cast(b.shr(b.add(b.get("px"), fx), 1), 32)
+        sy = b.cast(b.shr(b.add(b.get("py"), fy), 1), 32)
+        b.set("px", fx)
+        b.set("py", fy)
+        b.write("fs", sx)
+        b.write("fs", sy)
+    return b.build()
+
+
+def _pack_out(h: int, w: int):
+    b = OperatorBuilder("pack_out", inputs=[("f", 32)],
+                        outputs=[("Output", 32)])
+    with b.loop("PIX", 2 * h * w, pipeline=True):
+        b.write("Output", b.read("f", signed=False))
+    return b.build()
+
+
+#: (builder, paper kwargs, sample kwargs) per operator.
+def _operator_recipes():
+    paper = dict(h=PAPER_HEIGHT, w=PAPER_WIDTH)
+    sample = dict(h=HEIGHT, w=WIDTH)
+    recipes = [
+        (_unpack, {}, {}),
+        (_grad_x, {}, {}),
+        (_grad_y, {}, {}),
+        (_grad_z, {}, {}),
+        (lambda **kw: _weight("x", 3, **kw), {"unroll": 16}, {"unroll": 1}),
+        (lambda **kw: _weight("y", 3, **kw), {"unroll": 16}, {"unroll": 1}),
+        (lambda **kw: _weight("z", 2, **kw), {"unroll": 16}, {"unroll": 1}),
+        (lambda **kw: _tensor("tensor_xx", "wx0", "wx0", **kw),
+         {"unroll": 32}, {"unroll": 1}),
+        (lambda **kw: _tensor("tensor_yy", "wy0", "wy0", **kw),
+         {"unroll": 32}, {"unroll": 1}),
+        (lambda **kw: _tensor("tensor_xy", "wx1", "wy1", **kw),
+         {"unroll": 32}, {"unroll": 1}),
+        (lambda **kw: _tensor("tensor_xz", "wx2", "wz0", **kw),
+         {"unroll": 32}, {"unroll": 1}),
+        (lambda **kw: _tensor("tensor_yz", "wy2", "wz1", **kw),
+         {"unroll": 32}, {"unroll": 1}),
+        (_tensor_pack, {}, {}),
+        (_flow_calc, {"unroll": 8}, {"unroll": 1}),
+        (_smooth_out, {"unroll": 4}, {}),
+        (_pack_out, {}, {}),
+    ]
+    out = []
+    for builder, paper_extra, sample_extra in recipes:
+        out.append((builder(**paper, **paper_extra),
+                    builder(**sample, **sample_extra)))
+    return out
+
+
+def build_graph() -> DataflowGraph:
+    g = DataflowGraph("optical-flow")
+    for paper_spec, sample_spec in _operator_recipes():
+        add_spec_operator(g, paper_spec, sample_spec=sample_spec)
+
+    g.connect("unpack.a_x", "grad_x.p")
+    g.connect("unpack.a_y", "grad_y.p")
+    g.connect("unpack.a_z", "grad_z.pa")
+    g.connect("unpack.b_z", "grad_z.pb")
+    g.connect("grad_x.gx", "weight_x.gx")
+    g.connect("grad_y.gy", "weight_y.gy")
+    g.connect("grad_z.gz", "weight_z.gz")
+    g.connect("weight_x.wx0", "tensor_xx.wx0")
+    g.connect("weight_y.wy0", "tensor_yy.wy0")
+    g.connect("weight_x.wx1", "tensor_xy.wx1")
+    g.connect("weight_y.wy1", "tensor_xy.wy1")
+    g.connect("weight_x.wx2", "tensor_xz.wx2")
+    g.connect("weight_z.wz0", "tensor_xz.wz0")
+    g.connect("weight_y.wy2", "tensor_yz.wy2")
+    g.connect("weight_z.wz1", "tensor_yz.wz1")
+    g.connect("tensor_xx.t", "tensor_pack.txx")
+    g.connect("tensor_yy.t", "tensor_pack.tyy")
+    g.connect("tensor_xy.t", "tensor_pack.txy")
+    g.connect("tensor_xz.t", "tensor_pack.txz")
+    g.connect("tensor_yz.t", "tensor_pack.tyz")
+    g.connect("tensor_pack.t", "flow_calc.t")
+    g.connect("flow_calc.Output_1", "smooth_out.f")
+    g.connect("smooth_out.fs", "pack_out.f")
+    g.expose_input("Input_1", "unpack.Input_1")
+    g.expose_output("Output_1", "pack_out.Output")
+    return g
+
+
+def sample_inputs() -> Dict[str, List[int]]:
+    rng = deterministic_rng("optical-flow")
+    tokens: List[int] = []
+    for _pix in range(HEIGHT * WIDTH):
+        a = rng.randrange(256)
+        drift = rng.randrange(-8, 9)
+        tokens.append(a)
+        tokens.append(max(0, min(255, a + drift)))
+    return {"Input_1": tokens}
+
+
+def build() -> RosettaApp:
+    return finish_app(
+        "optical-flow",
+        "Lucas-Kanade optical flow, one operator per dataflow task",
+        build_graph(), sample_inputs(), PAPER_TOKENS)

@@ -1,0 +1,213 @@
+"""3D rendering: a triangle pipeline decomposed by stage and region.
+
+Following the paper's decomposition (Sec. 7.2): projection to a 2D
+viewport, rasterisation (the large stage, split across two operators by
+image region — even and odd triangle batches cover interleaved halves),
+Z-buffered culling, and colouring — six operators:
+
+``unpack -> project -> {rast_a, rast_b} -> zcull -> color``
+
+Triangles arrive as 9 words (three XYZ vertices); each rasteriser
+scans a fixed bounding-box window per triangle (as Rosetta assumes
+triangles are small) and emits (address, depth) pairs; ``zcull`` keeps
+the nearest depth per pixel in an on-chip Z-buffer and finally streams
+the frame; ``color`` maps depth to shade.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dataflow.graph import DataflowGraph
+from repro.hls.frontend import OperatorBuilder
+from repro.rosetta.base import (
+    RosettaApp,
+    add_spec_operator,
+    deterministic_rng,
+    finish_app,
+)
+
+#: Paper scale: Rosetta renders 3,192 triangles into a 256x256 frame.
+PAPER_TRIANGLES, PAPER_FB, PAPER_WINDOW = 3_192, 256, 16
+
+#: Sample scale.
+TRIANGLES, FB, WINDOW = 4, 8, 4
+
+#: Sentinel address for uncovered window pixels.
+MISS = 0xFFFFFFFF
+
+PAPER_TOKENS = PAPER_TRIANGLES * 9
+
+
+def _unpack(n_tri: int, unroll: int = 1):
+    b = OperatorBuilder("unpack", inputs=[("Input_1", 32)],
+                        outputs=[("tri", 32)])
+    with b.loop("TRI", n_tri, pipeline=True, unroll=unroll):
+        for _ in range(9):
+            b.write("tri", b.read("Input_1", signed=False))
+    return b.build()
+
+
+def _project(n_tri: int, fb: int, unroll: int = 1):
+    """Project vertices and alternate triangles across rasterisers."""
+    b = OperatorBuilder("project", inputs=[("tri", 32)],
+                        outputs=[("even", 32), ("odd", 32)])
+    b.variable("minx", 16)
+    b.variable("miny", 16)
+    b.variable("z", 16)
+    fb_mask = fb - 1
+    with b.loop("TRI", n_tri, pipeline=True, unroll=unroll) as t:
+        b.set("minx", fb_mask)
+        b.set("miny", fb_mask)
+        b.set("z", 0)
+        for _v in range(3):
+            x = b.cast(b.and_(b.read("tri", signed=False), fb_mask), 16)
+            y = b.cast(b.and_(b.read("tri", signed=False), fb_mask), 16)
+            zc = b.cast(b.read("tri", signed=False), 16)
+            b.set("minx", b.cast(b.min_(b.get("minx"), x), 16))
+            b.set("miny", b.cast(b.min_(b.get("miny"), y), 16))
+            # Perspective-ish scale of depth (keeps a couple of DSPs).
+            scaled = b.shr(b.mul(zc, 3), 2)
+            b.set("z", b.cast(b.max_(b.get("z"), b.cast(scaled, 16)), 16))
+        parity = b.cast(b.and_(t, 1), 1, signed=False)
+        packed_x = b.cast(b.get("minx"), 32)
+        packed_y = b.cast(b.get("miny"), 32)
+        packed_z = b.cast(b.get("z"), 32)
+        with b.if_(b.eq(parity, 0)):
+            b.write("even", packed_x)
+            b.write("even", packed_y)
+            b.write("even", packed_z)
+        with b.orelse():
+            b.write("odd", packed_x)
+            b.write("odd", packed_y)
+            b.write("odd", packed_z)
+    return b.build()
+
+
+def _rasterize(name: str, n_tri: int, fb: int, window: int, unroll: int):
+    """Scan a window x window box per triangle, emit (addr, z) pairs."""
+    b = OperatorBuilder(name, inputs=[("tri", 32)],
+                        outputs=[("frag", 32)])
+    b.variable("bx", 16)
+    b.variable("by", 16)
+    b.variable("bz", 16)
+    fb_bits = (fb - 1).bit_length()
+    with b.loop("TRI", n_tri):
+        b.set("bx", b.cast(b.read("tri", signed=False), 16))
+        b.set("by", b.cast(b.read("tri", signed=False), 16))
+        b.set("bz", b.cast(b.read("tri", signed=False), 16))
+        with b.loop("WY", window):
+            with b.loop("WX", window, pipeline=True, unroll=unroll) as wx:
+                # WY index is a var; fetch both loop indices.
+                px = b.add(b.get("bx"), b.cast(wx, 16))
+                # Simplified coverage: inside the frame and inside a
+                # triangular half of the window (x offset <= y offset).
+                inside_x = b.lt(px, fb)
+                addr_y = b.get("by")
+                covered = inside_x
+                addr = b.cast(
+                    b.or_(b.shl(b.cast(addr_y, 32), fb_bits),
+                          b.cast(px, 32)), 32, signed=False)
+                out = b.select(covered, addr, MISS)
+                b.write("frag", b.cast(out, 32))
+                b.write("frag", b.cast(b.get("bz"), 32))
+    return b.build()
+
+
+def _zcull(n_tri: int, fb: int, window: int):
+    """Depth test into the Z-buffer, then stream the frame."""
+    b = OperatorBuilder("zcull", inputs=[("even", 32), ("odd", 32)],
+                        outputs=[("px", 32)])
+    depth = fb * fb
+    bits = max(4, (depth - 1).bit_length())
+    b.array("zbuf", depth, 16, init=None)
+    b.variable("addr", 32, signed=False)
+    b.variable("z", 16)
+    frags = window * window
+    half = (n_tri + 1) // 2
+    for port, trip in (("even", half), ("odd", n_tri - half)):
+        with b.loop(f"CULL_{port}", trip * frags, pipeline=True):
+            b.set("addr", b.read(port, signed=False))
+            b.set("z", b.cast(b.read(port, signed=False), 16))
+            hit = b.ne(b.get("addr"), MISS)
+            with b.if_(hit):
+                idx = b.cast(b.and_(b.get("addr"), depth - 1), bits,
+                             signed=False)
+                old = b.load("zbuf", idx)
+                better = b.or_(b.eq(old, 0), b.lt(b.get("z"), old))
+                stored = b.select(better, b.get("z"), old)
+                b.store("zbuf", idx, b.cast(stored, 16))
+        # Z-buffer initialised to zero per frame; zero means "empty".
+    with b.loop("DRAIN", depth, pipeline=True) as i:
+        b.write("px", b.cast(b.load("zbuf", b.cast(i, bits, signed=False)),
+                             32))
+    return b.build()
+
+
+def _color(fb: int, unroll: int):
+    b = OperatorBuilder("color", inputs=[("px", 32)],
+                        outputs=[("Output_1", 32)])
+    with b.loop("PIX", fb * fb, pipeline=True, unroll=unroll):
+        z = b.cast(b.read("px", signed=False), 16)
+        # Shade: nearer is brighter, with a gamma-ish curve.
+        shade = b.cast(b.sub(255, b.and_(z, 255)), 16)
+        boosted = b.cast(b.shr(b.mul(shade, shade), 8), 16)
+        out = b.select(b.eq(z, 0), 0, b.cast(boosted, 32))
+        b.write("Output_1", b.cast(out, 32))
+    return b.build()
+
+
+def _recipes():
+    paper = [
+        _unpack(PAPER_TRIANGLES, unroll=4),
+        _project(PAPER_TRIANGLES, PAPER_FB, unroll=4),
+        _rasterize("rast_even", (PAPER_TRIANGLES + 1) // 2, PAPER_FB,
+                   PAPER_WINDOW, unroll=16),
+        _rasterize("rast_odd", PAPER_TRIANGLES // 2, PAPER_FB,
+                   PAPER_WINDOW, unroll=16),
+        _zcull(PAPER_TRIANGLES, PAPER_FB, PAPER_WINDOW),
+        _color(PAPER_FB, unroll=16),
+    ]
+    sample = [
+        _unpack(TRIANGLES),
+        _project(TRIANGLES, FB),
+        _rasterize("rast_even", (TRIANGLES + 1) // 2, FB, WINDOW,
+                   unroll=1),
+        _rasterize("rast_odd", TRIANGLES // 2, FB, WINDOW, unroll=1),
+        _zcull(TRIANGLES, FB, WINDOW),
+        _color(FB, unroll=1),
+    ]
+    return zip(paper, sample)
+
+
+def build_graph() -> DataflowGraph:
+    g = DataflowGraph("3d-rendering")
+    for paper_spec, sample_spec in _recipes():
+        add_spec_operator(g, paper_spec, sample_spec=sample_spec)
+    g.connect("unpack.tri", "project.tri")
+    g.connect("project.even", "rast_even.tri")
+    g.connect("project.odd", "rast_odd.tri")
+    g.connect("rast_even.frag", "zcull.even")
+    g.connect("rast_odd.frag", "zcull.odd")
+    g.connect("zcull.px", "color.px")
+    g.expose_input("Input_1", "unpack.Input_1")
+    g.expose_output("Output_1", "color.Output_1")
+    return g
+
+
+def sample_inputs() -> Dict[str, List[int]]:
+    rng = deterministic_rng("3d-rendering")
+    tokens: List[int] = []
+    for _t in range(TRIANGLES):
+        for _v in range(3):
+            tokens.append(rng.randrange(FB))          # x
+            tokens.append(rng.randrange(FB))          # y
+            tokens.append(rng.randrange(1, 200))      # z
+    return {"Input_1": tokens}
+
+
+def build() -> RosettaApp:
+    return finish_app(
+        "3d-rendering",
+        "triangle rendering pipeline split by stage and image region",
+        build_graph(), sample_inputs(), PAPER_TOKENS)

@@ -1,0 +1,194 @@
+"""SPAM filtering: logistic-regression scoring with parallel dot products.
+
+The paper decomposes the data-parallel feature vectors into separate
+dot-product operators plus decompose/reduce operators (Sec. 7.2).
+Sixteen operators:
+
+``scatter -> 12 x dot_** -> reduce -> norm -> classify``
+
+Each sample is a feature vector in Q8.8; ``scatter`` deals consecutive
+chunks to the dot operators, each of which holds its shard of the
+trained weight vector in on-chip memory and accumulates a fixed-point
+partial product; ``reduce`` sums the partials, ``norm`` rescales, and
+``classify`` applies a 64-entry sigmoid table and a 0.5 threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dataflow.graph import DataflowGraph
+from repro.hls.frontend import OperatorBuilder
+from repro.rosetta.base import (
+    RosettaApp,
+    add_spec_operator,
+    deterministic_rng,
+    finish_app,
+)
+
+#: Parallel dot-product lanes.
+LANES = 12
+
+#: Features per sample (divisible by LANES).
+PAPER_FEATURES, FEATURES = 1_020, 24
+
+#: Samples per input batch.
+PAPER_SAMPLES, SAMPLES = 5_000, 3
+
+#: Fixed-point format of features/weights (Q8.8).
+FRAC = 8
+
+PAPER_TOKENS = PAPER_SAMPLES * PAPER_FEATURES
+
+#: Sigmoid lookup: 64 entries over [-8, 8), Q1.8 outputs.
+SIGMOID_TABLE = [
+    int(round(255 / (1 + 2.718281828 ** -((i - 32) / 4.0))))
+    for i in range(64)
+]
+
+
+def _weights(lane: int, chunk: int) -> List[int]:
+    rng = deterministic_rng(f"spam-weights-{lane}")
+    return [int(rng.uniform(-2, 2) * (1 << FRAC)) & 0xFFFFFFFF
+            for _ in range(chunk)]
+
+
+def _scatter(samples: int, features: int, unroll: int = 1):
+    chunk = features // LANES
+    outs = [(f"c{lane}", 32) for lane in range(LANES)]
+    b = OperatorBuilder("scatter", inputs=[("Input_1", 32)], outputs=outs)
+    with b.loop("SAMPLE", samples):
+        for lane in range(LANES):
+            with b.loop(f"CHUNK{lane}", chunk, pipeline=True,
+                        unroll=unroll):
+                b.write(f"c{lane}", b.read("Input_1", signed=False))
+    return b.build()
+
+
+def _dot(lane: int, samples: int, features: int, unroll: int):
+    chunk = features // LANES
+    b = OperatorBuilder(f"dot_{lane:02d}", inputs=[(f"c{lane}", 32)],
+                        outputs=[("partial", 32)])
+    b.array("w", chunk, 32, init=_weights(lane, chunk), partition=True)
+    b.variable("acc", 32)
+    bits = max(2, (chunk - 1).bit_length())
+    with b.loop("SAMPLE", samples):
+        b.set("acc", 0)
+        with b.loop("FEAT", chunk, pipeline=True, unroll=unroll) as i:
+            x = b.cast(b.read(f"c{lane}"), 16)
+            w = b.cast(b.load("w", b.cast(i, bits, signed=False)), 16)
+            term = b.shr(b.mul(x, w), FRAC)          # Q8.8 product
+            b.set("acc", b.cast(b.add(b.get("acc"), b.cast(term, 32)),
+                                32))
+        b.write("partial", b.get("acc"))
+    return b.build()
+
+
+def _reduce(samples: int):
+    ins = [(f"p{lane}", 32) for lane in range(LANES)]
+    b = OperatorBuilder("reduce", inputs=ins, outputs=[("sum", 32)])
+    with b.loop("SAMPLE", samples, pipeline=True):
+        total = None
+        for lane in range(LANES):
+            part = b.read(f"p{lane}")
+            total = part if total is None else b.add(total, part)
+        b.write("sum", b.cast(total, 32))
+    return b.build()
+
+
+def _norm(samples: int, features: int):
+    """Scale the dot product by 1/features (fixed-point divide)."""
+    b = OperatorBuilder("norm", inputs=[("sum", 32)],
+                        outputs=[("score", 32)])
+    with b.loop("SAMPLE", samples, pipeline=True):
+        s = b.read("sum")
+        scaled = b.div(b.cast(s, 32), max(1, features // 8))
+        b.write("score", b.cast(scaled, 32))
+    return b.build()
+
+
+def _classify(samples: int):
+    b = OperatorBuilder("classify", inputs=[("score", 32)],
+                        outputs=[("Output_1", 32)])
+    b.array("sigmoid", 64, 16, signed=False, init=SIGMOID_TABLE)
+    with b.loop("SAMPLE", samples, pipeline=True):
+        s = b.read("score")
+        # Map score (Q8.8) into the 64-entry table over [-8, 8).
+        q = b.cast(b.add(b.shr(s, 6), 32), 16)
+        clamped = b.max_(b.min_(q, 63), 0)
+        prob = b.load("sigmoid", b.cast(clamped, 6, signed=False))
+        spam = b.ge(prob, 128)                       # p >= 0.5
+        b.write("Output_1", b.cast(prob, 32))
+        b.write("Output_1", b.cast(spam, 32))
+    return b.build()
+
+
+def build_graph() -> DataflowGraph:
+    g = DataflowGraph("spam-filter")
+    add_spec_operator(g, _scatter(PAPER_SAMPLES, PAPER_FEATURES, unroll=4),
+                      sample_spec=_scatter(SAMPLES, FEATURES))
+    for lane in range(LANES):
+        add_spec_operator(
+            g, _dot(lane, PAPER_SAMPLES, PAPER_FEATURES, unroll=24),
+            sample_spec=_dot(lane, SAMPLES, FEATURES, unroll=1))
+    add_spec_operator(g, _reduce(PAPER_SAMPLES),
+                      sample_spec=_reduce(SAMPLES))
+    add_spec_operator(g, _norm(PAPER_SAMPLES, PAPER_FEATURES),
+                      sample_spec=_norm(SAMPLES, FEATURES))
+    add_spec_operator(g, _classify(PAPER_SAMPLES),
+                      sample_spec=_classify(SAMPLES))
+    for lane in range(LANES):
+        g.connect(f"scatter.c{lane}", f"dot_{lane:02d}.c{lane}")
+        g.connect(f"dot_{lane:02d}.partial", f"reduce.p{lane}")
+    g.connect("reduce.sum", "norm.sum")
+    g.connect("norm.score", "classify.score")
+    g.expose_input("Input_1", "scatter.Input_1")
+    g.expose_output("Output_1", "classify.Output_1")
+    return g
+
+
+def sample_inputs() -> Dict[str, List[int]]:
+    rng = deterministic_rng("spam-samples")
+    tokens = [int(rng.uniform(-1.5, 1.5) * (1 << FRAC)) & 0xFFFFFFFF
+              for _ in range(SAMPLES * FEATURES)]
+    return {"Input_1": tokens}
+
+
+def reference(inputs):
+    """Pure-Python golden model of the fixed-point scoring pipeline."""
+    def s16(v):
+        v &= 0xFFFF
+        return v - 0x10000 if v >> 15 else v
+
+    def s32(v):
+        v &= 0xFFFFFFFF
+        return v - 0x100000000 if v >> 31 else v
+
+    tokens = inputs["Input_1"]
+    chunk = FEATURES // LANES
+    out = []
+    for sample in range(SAMPLES):
+        base = sample * FEATURES
+        total = 0
+        for lane in range(LANES):
+            weights = _weights(lane, chunk)
+            acc = 0
+            for i in range(chunk):
+                x = s16(tokens[base + lane * chunk + i])
+                w = s16(weights[i])
+                acc = s32(acc + ((x * w) >> FRAC))
+            total = s32(total + acc)
+        scaled = int(abs(total) / max(1, FEATURES // 8)) *             (1 if total >= 0 else -1)
+        q = max(0, min(63, (scaled >> 6) + 32))
+        prob = SIGMOID_TABLE[q]
+        out.append(prob)
+        out.append(1 if prob >= 128 else 0)
+    return {"Output_1": out}
+
+
+def build() -> RosettaApp:
+    return finish_app(
+        "spam-filter",
+        "logistic-regression SPAM scorer with parallel dot products",
+        build_graph(), sample_inputs(), PAPER_TOKENS,
+        reference=reference)

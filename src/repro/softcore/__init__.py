@@ -1,0 +1,37 @@
+"""The softcore overlay (-O0 target): a PicoRV32-style RV32IM system.
+
+PLD pre-loads every page with a small RISC-V processor so that operator
+C code can be compiled in seconds and dropped into the running design
+(Sec. 5).  This package implements the whole -O0 stack:
+
+* :mod:`repro.softcore.isa` — RV32IM instruction encoding/decoding;
+* :mod:`repro.softcore.assembler` — a two-pass assembler with labels;
+* :mod:`repro.softcore.cpu` — an instruction-set simulator with
+  PicoRV32-like cycle costs and memory-mapped stream ports, runnable as
+  a dataflow operator body;
+* :mod:`repro.softcore.compiler` — the -O0 code generator from the
+  operator IR (the same IR the FPGA flows consume) to RV32IM;
+* :mod:`repro.softcore.elf` — the packed-binary format the pre-linker
+  loads into page memories over the NoC.
+"""
+
+from repro.softcore.isa import decode, encode, Instruction
+from repro.softcore.assembler import assemble
+from repro.softcore.cpu import PicoRV32, STREAM_READ_BASE, STREAM_WRITE_BASE
+from repro.softcore.compiler import CompiledOperator, compile_operator
+from repro.softcore.elf import PackedBinary, load_binary, pack_binary
+
+__all__ = [
+    "decode",
+    "encode",
+    "Instruction",
+    "assemble",
+    "PicoRV32",
+    "STREAM_READ_BASE",
+    "STREAM_WRITE_BASE",
+    "CompiledOperator",
+    "compile_operator",
+    "PackedBinary",
+    "pack_binary",
+    "load_binary",
+]

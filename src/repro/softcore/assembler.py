@@ -1,0 +1,119 @@
+"""Two-pass assembler for the RV32IM subset.
+
+Input is a list of statements; each statement is either a label string
+ending in ``:`` or a tuple ``(mnemonic, operands...)`` whose operands
+are register numbers and immediates.  Branch/jump targets may be label
+names, resolved on the second pass.  Pseudo-instructions ``li``, ``mv``,
+``j``, ``nop`` and ``ret`` expand to base instructions.
+
+The output is a bytes object of little-endian machine words — exactly
+what gets packed into the page binary and executed by the ISS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.errors import SoftcoreError
+from repro.softcore.isa import Instruction, encode
+
+Statement = Union[str, Tuple]
+
+
+def _expand(statement: Tuple) -> List[Tuple]:
+    """Expand pseudo-instructions; returns a list of base statements."""
+    mnemonic = statement[0]
+    if mnemonic == "nop":
+        return [("addi", 0, 0, 0)]
+    if mnemonic == "mv":
+        _m, rd, rs = statement
+        return [("addi", rd, rs, 0)]
+    if mnemonic == "j":
+        _m, target = statement
+        return [("jal", 0, target)]
+    if mnemonic == "ret":
+        return [("jalr", 0, 1, 0)]
+    if mnemonic == "li":
+        _m, rd, value = statement
+        value = int(value)
+        if -2048 <= value <= 2047:
+            return [("addi", rd, 0, value)]
+        # lui + addi pair (with the classic sign-fixup).
+        low = value & 0xFFF
+        if low >= 0x800:
+            low -= 0x1000
+        high = ((value - low) >> 12) & 0xFFFFF
+        out: List[Tuple] = [("lui", rd, high)]
+        if low:
+            out.append(("addi", rd, rd, low))
+        return out
+    return [statement]
+
+
+#: Operand layout per mnemonic: which fields the tuple provides.
+_FORMATS: Dict[str, Tuple[str, ...]] = {}
+for _m in ("add sub sll slt sltu xor srl sra or and mul mulh mulhsu "
+           "mulhu div divu rem remu").split():
+    _FORMATS[_m] = ("rd", "rs1", "rs2")
+for _m in "addi slti sltiu xori ori andi slli srli srai jalr".split():
+    _FORMATS[_m] = ("rd", "rs1", "imm")
+for _m in "lb lh lw lbu lhu".split():
+    _FORMATS[_m] = ("rd", "rs1", "imm")           # rd, base, offset
+for _m in "sb sh sw".split():
+    _FORMATS[_m] = ("rs2", "rs1", "imm")          # src, base, offset
+for _m in "beq bne blt bge bltu bgeu".split():
+    _FORMATS[_m] = ("rs1", "rs2", "imm")          # imm may be a label
+_FORMATS["lui"] = ("rd", "imm")
+_FORMATS["auipc"] = ("rd", "imm")
+_FORMATS["jal"] = ("rd", "imm")                   # imm may be a label
+_FORMATS["ebreak"] = ()
+_FORMATS["ecall"] = ()
+
+_LABEL_FIELDS = {"beq", "bne", "blt", "bge", "bltu", "bgeu", "jal"}
+
+
+def assemble(statements: Sequence[Statement], base: int = 0) -> bytes:
+    """Assemble to little-endian machine code at address ``base``."""
+    # Pass 1: expand pseudos, find label addresses.
+    expanded: List[Tuple] = []
+    labels: Dict[str, int] = {}
+    for statement in statements:
+        if isinstance(statement, str):
+            name = statement.rstrip(":")
+            if not statement.endswith(":"):
+                raise SoftcoreError(
+                    f"bare string {statement!r}: labels must end in ':'")
+            if name in labels:
+                raise SoftcoreError(f"duplicate label {name!r}")
+            labels[name] = base + 4 * len(expanded)
+        else:
+            expanded.extend(_expand(tuple(statement)))
+
+    # Pass 2: encode.
+    words: List[int] = []
+    for index, statement in enumerate(expanded):
+        mnemonic = statement[0]
+        if mnemonic not in _FORMATS:
+            raise SoftcoreError(f"unknown mnemonic {mnemonic!r}")
+        fields = _FORMATS[mnemonic]
+        operands = statement[1:]
+        if len(operands) != len(fields):
+            raise SoftcoreError(
+                f"{mnemonic}: expected {len(fields)} operands, got "
+                f"{len(operands)}")
+        kwargs: Dict[str, int] = {}
+        for field, operand in zip(fields, operands):
+            if field == "imm" and isinstance(operand, str):
+                if mnemonic not in _LABEL_FIELDS:
+                    raise SoftcoreError(
+                        f"{mnemonic}: label operand not allowed")
+                if operand not in labels:
+                    raise SoftcoreError(f"undefined label {operand!r}")
+                operand = labels[operand] - (base + 4 * index)
+            kwargs[field] = int(operand)
+        words.append(encode(Instruction(mnemonic, **kwargs)))
+
+    blob = bytearray()
+    for word in words:
+        blob += word.to_bytes(4, "little")
+    return bytes(blob)

@@ -1,0 +1,322 @@
+"""PicoRV32-style instruction-set simulator.
+
+Executes real RV32IM machine code from a byte-addressed unified memory
+(instructions and data share the 192 KB page BRAM budget, Sec. 5.1).
+Stream ports are memory mapped, as in Fig. 4: a load from
+``STREAM_READ_BASE + 4*p`` blocks until port ``p`` has a token; a store
+to ``STREAM_WRITE_BASE + 4*p`` emits one token.  Run standalone with
+:meth:`PicoRV32.run` (host-less programs) or as a dataflow operator body
+with :meth:`PicoRV32.run_as_operator`, where blocking port accesses
+become stream requests serviced by the graph simulators.
+
+Cycle costs follow the unpipelined PicoRV32 (the paper's area-efficient
+choice): roughly 4 cycles per ALU op, 5 for memory and taken branches,
+and a slow iterative divider.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SoftcoreError, TrapError
+from repro.softcore.isa import Instruction, decode
+
+#: Memory-mapped stream port bases (one word per port).
+STREAM_READ_BASE = 0x1000_0000
+STREAM_WRITE_BASE = 0x2000_0000
+
+#: Maximum unified memory per page (192 KB = 96 BRAM18s, Sec. 5.1).
+MAX_MEMORY_BYTES = 192 * 1024
+
+#: Cycles per instruction class (PicoRV32-like, unpipelined).
+CYCLES = {
+    "alu": 4, "load": 5, "store": 5, "branch": 5, "branch_not_taken": 4,
+    "jump": 5, "mul": 5, "div": 40, "system": 4,
+}
+
+#: A higher-frequency, pipelined softcore profile — the paper notes
+#: "performance can easily be improved by replacing [the PicoRV32]
+#: with a higher frequency, pipelined softcore" (Sec. 7.4).  CPI near
+#: one except for hazards on memory, taken branches and divides.
+PIPELINED_CYCLES = {
+    "alu": 1, "load": 2, "store": 1, "branch": 3, "branch_not_taken": 1,
+    "jump": 2, "mul": 2, "div": 12, "system": 1,
+}
+
+_M32 = 0xFFFFFFFF
+
+
+def _s32(value: int) -> int:
+    value &= _M32
+    return value - 0x1_0000_0000 if value >> 31 else value
+
+
+class PicoRV32:
+    """One softcore instance.
+
+    Args:
+        memory_bytes: unified memory size (must fit the page BRAMs).
+    """
+
+    def __init__(self, memory_bytes: int = 64 * 1024,
+                 cycles: Optional[Dict[str, int]] = None):
+        if not (1024 <= memory_bytes <= MAX_MEMORY_BYTES):
+            raise SoftcoreError(
+                f"memory {memory_bytes} outside 1KB..192KB page budget")
+        self.cycle_table = dict(cycles or CYCLES)
+        self.memory = bytearray(memory_bytes)
+        self.regs = [0] * 32
+        self.pc = 0
+        self.cycles = 0
+        self.instructions_retired = 0
+        self.halted = False
+        self._decode_cache: Dict[int, Instruction] = {}
+
+    # -- memory ------------------------------------------------------------
+
+    def load_image(self, image: bytes, base: int = 0) -> None:
+        if base + len(image) > len(self.memory):
+            raise SoftcoreError(
+                f"image of {len(image)} bytes at {base:#x} exceeds "
+                f"{len(self.memory)}-byte memory")
+        self.memory[base:base + len(image)] = image
+        self._decode_cache.clear()
+
+    def reset(self, pc: int = 0) -> None:
+        self.regs = [0] * 32
+        self.pc = pc
+        self.halted = False
+
+    def _read_word(self, addr: int) -> int:
+        return int.from_bytes(self.memory[addr:addr + 4], "little")
+
+    def _check_mem(self, addr: int, size: int) -> None:
+        if addr < 0 or addr + size > len(self.memory):
+            raise TrapError(
+                f"memory access {addr:#010x} (+{size}) out of bounds",
+                pc=self.pc)
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self):
+        """Execute one instruction.
+
+        Returns None normally, or an MMIO request tuple
+        ``("read", port)`` / ``("write", port, value)`` that the caller
+        must service (the generator wrapper turns these into stream
+        requests).
+        """
+        if self.halted:
+            raise SoftcoreError("stepping a halted core")
+        self._check_mem(self.pc, 4)
+        word_addr = self.pc
+        instr = self._decode_cache.get(word_addr)
+        if instr is None:
+            instr = decode(self._read_word(word_addr))
+            self._decode_cache[word_addr] = instr
+        request = self._execute(instr)
+        self.regs[0] = 0
+        self.instructions_retired += 1
+        return request
+
+    def _execute(self, i: Instruction):
+        m = i.mnemonic
+        regs = self.regs
+        next_pc = self.pc + 4
+        self.cycles += self.cycle_table["alu"]      # default; adjusted below
+
+        if m == "addi":
+            regs[i.rd] = (regs[i.rs1] + i.imm) & _M32
+        elif m == "add":
+            regs[i.rd] = (regs[i.rs1] + regs[i.rs2]) & _M32
+        elif m == "sub":
+            regs[i.rd] = (regs[i.rs1] - regs[i.rs2]) & _M32
+        elif m == "lui":
+            regs[i.rd] = (i.imm << 12) & _M32
+        elif m == "auipc":
+            regs[i.rd] = (self.pc + (i.imm << 12)) & _M32
+        elif m in ("andi", "and"):
+            other = i.imm if m == "andi" else regs[i.rs2]
+            regs[i.rd] = (regs[i.rs1] & other) & _M32
+        elif m in ("ori", "or"):
+            other = i.imm if m == "ori" else regs[i.rs2]
+            regs[i.rd] = (regs[i.rs1] | other) & _M32
+        elif m in ("xori", "xor"):
+            other = i.imm if m == "xori" else regs[i.rs2]
+            regs[i.rd] = (regs[i.rs1] ^ other) & _M32
+        elif m in ("slli", "sll"):
+            amount = i.imm if m == "slli" else regs[i.rs2] & 31
+            regs[i.rd] = (regs[i.rs1] << amount) & _M32
+        elif m in ("srli", "srl"):
+            amount = i.imm if m == "srli" else regs[i.rs2] & 31
+            regs[i.rd] = regs[i.rs1] >> amount
+        elif m in ("srai", "sra"):
+            amount = i.imm if m == "srai" else regs[i.rs2] & 31
+            regs[i.rd] = (_s32(regs[i.rs1]) >> amount) & _M32
+        elif m in ("slti", "slt"):
+            other = i.imm if m == "slti" else _s32(regs[i.rs2])
+            regs[i.rd] = int(_s32(regs[i.rs1]) < other)
+        elif m in ("sltiu", "sltu"):
+            other = (i.imm & _M32) if m == "sltiu" else regs[i.rs2]
+            regs[i.rd] = int(regs[i.rs1] < other)
+        elif m == "mul":
+            self.cycles += self.cycle_table["mul"] - self.cycle_table["alu"]
+            regs[i.rd] = (_s32(regs[i.rs1]) * _s32(regs[i.rs2])) & _M32
+        elif m == "mulh":
+            self.cycles += self.cycle_table["mul"] - self.cycle_table["alu"]
+            regs[i.rd] = ((_s32(regs[i.rs1]) * _s32(regs[i.rs2])) >> 32) \
+                & _M32
+        elif m == "mulhu":
+            self.cycles += self.cycle_table["mul"] - self.cycle_table["alu"]
+            regs[i.rd] = ((regs[i.rs1] * regs[i.rs2]) >> 32) & _M32
+        elif m == "mulhsu":
+            self.cycles += self.cycle_table["mul"] - self.cycle_table["alu"]
+            regs[i.rd] = ((_s32(regs[i.rs1]) * regs[i.rs2]) >> 32) & _M32
+        elif m in ("div", "divu", "rem", "remu"):
+            self.cycles += self.cycle_table["div"] - self.cycle_table["alu"]
+            regs[i.rd] = self._divide(m, regs[i.rs1], regs[i.rs2])
+        elif m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            taken = self._branch_taken(m, regs[i.rs1], regs[i.rs2])
+            if taken:
+                self.cycles += self.cycle_table["branch"] - self.cycle_table["alu"]
+                next_pc = self.pc + i.imm
+            else:
+                self.cycles += self.cycle_table["branch_not_taken"] - self.cycle_table["alu"]
+        elif m == "jal":
+            self.cycles += self.cycle_table["jump"] - self.cycle_table["alu"]
+            regs[i.rd] = next_pc & _M32
+            next_pc = self.pc + i.imm
+        elif m == "jalr":
+            self.cycles += self.cycle_table["jump"] - self.cycle_table["alu"]
+            target = (regs[i.rs1] + i.imm) & ~1 & _M32
+            regs[i.rd] = next_pc & _M32
+            next_pc = target
+        elif m in ("lw", "lh", "lhu", "lb", "lbu"):
+            self.cycles += self.cycle_table["load"] - self.cycle_table["alu"]
+            addr = (regs[i.rs1] + i.imm) & _M32
+            if STREAM_READ_BASE <= addr < STREAM_READ_BASE + 1024:
+                port = (addr - STREAM_READ_BASE) // 4
+                self.pc = next_pc
+                return ("read", port, i.rd)
+            regs[i.rd] = self._load(m, addr)
+        elif m in ("sw", "sh", "sb"):
+            self.cycles += self.cycle_table["store"] - self.cycle_table["alu"]
+            addr = (regs[i.rs1] + i.imm) & _M32
+            if STREAM_WRITE_BASE <= addr < STREAM_WRITE_BASE + 1024:
+                port = (addr - STREAM_WRITE_BASE) // 4
+                self.pc = next_pc
+                return ("write", port, regs[i.rs2] & _M32)
+            self._store(m, addr, regs[i.rs2])
+        elif m == "ebreak":
+            self.cycles += self.cycle_table["system"] - self.cycle_table["alu"]
+            self.halted = True
+        elif m == "ecall":
+            self.cycles += self.cycle_table["system"] - self.cycle_table["alu"]
+        else:  # pragma: no cover - decode() is closed over the ISA
+            raise TrapError(f"unimplemented {m}", pc=self.pc)
+
+        self.pc = next_pc
+        return None
+
+    @staticmethod
+    def _branch_taken(m: str, a: int, b: int) -> bool:
+        if m == "beq":
+            return a == b
+        if m == "bne":
+            return a != b
+        if m == "blt":
+            return _s32(a) < _s32(b)
+        if m == "bge":
+            return _s32(a) >= _s32(b)
+        if m == "bltu":
+            return a < b
+        return a >= b                     # bgeu
+
+    @staticmethod
+    def _divide(m: str, a: int, b: int) -> int:
+        if m in ("div", "rem"):
+            sa, sb = _s32(a), _s32(b)
+            if sb == 0:
+                return _M32 if m == "div" else a
+            if sa == -(2 ** 31) and sb == -1:
+                return a if m == "div" else 0
+            quotient = abs(sa) // abs(sb)
+            if (sa < 0) != (sb < 0):
+                quotient = -quotient
+            remainder = sa - quotient * sb
+            return (quotient if m == "div" else remainder) & _M32
+        if b == 0:
+            return _M32 if m == "divu" else a
+        return ((a // b) if m == "divu" else (a % b)) & _M32
+
+    def _load(self, m: str, addr: int) -> int:
+        size = {"lw": 4, "lh": 2, "lhu": 2, "lb": 1, "lbu": 1}[m]
+        self._check_mem(addr, size)
+        raw = int.from_bytes(self.memory[addr:addr + size], "little")
+        if m == "lh" and raw >> 15:
+            raw -= 1 << 16
+        elif m == "lb" and raw >> 7:
+            raw -= 1 << 8
+        return raw & _M32
+
+    def _store(self, m: str, addr: int, value: int) -> None:
+        size = {"sw": 4, "sh": 2, "sb": 1}[m]
+        self._check_mem(addr, size)
+        self.memory[addr:addr + size] = (value & ((1 << (8 * size)) - 1)
+                                         ).to_bytes(size, "little")
+
+    # -- drivers --------------------------------------------------------------
+
+    def run(self, max_instructions: int = 10_000_000) -> int:
+        """Run until ``ebreak``; returns cycles.  MMIO access is an error
+        here — use :meth:`run_as_operator` for stream programs."""
+        while not self.halted:
+            if self.instructions_retired >= max_instructions:
+                raise SoftcoreError(
+                    f"program exceeded {max_instructions} instructions")
+            request = self.step()
+            if request is not None:
+                raise SoftcoreError(
+                    f"stream access {request} outside a dataflow run")
+        return self.cycles
+
+    def run_as_operator(self, io, in_ports: List[str], out_ports: List[str],
+                        data_image: bytes = b"", data_base: int = 0,
+                        max_instructions_per_frame: int = 50_000_000):
+        """Generator: execute frames forever, as a dataflow operator body.
+
+        Each frame re-loads the data segment (initial variable/array
+        values) and runs the program to ``ebreak``.  Stream MMIO becomes
+        blocking reads/writes on the named ports.
+        """
+        while True:
+            if data_image:
+                self.load_image(data_image, data_base)
+            self.reset()
+            frame_start = self.instructions_retired
+            while not self.halted:
+                if (self.instructions_retired - frame_start
+                        > max_instructions_per_frame):
+                    raise SoftcoreError("softcore frame exceeded "
+                                        "instruction budget")
+                request = self.step()
+                if request is None:
+                    continue
+                if request[0] == "read":
+                    _kind, port, rd = request
+                    if port >= len(in_ports):
+                        raise TrapError(f"read of unmapped port {port}",
+                                        pc=self.pc)
+                    token = yield io.read(in_ports[port])
+                    self.regs[rd] = int(token) & _M32
+                    self.regs[0] = 0
+                    self.cycles += 1      # FIFO handshake
+                else:
+                    _kind, port, value = request
+                    if port >= len(out_ports):
+                        raise TrapError(f"write to unmapped port {port}",
+                                        pc=self.pc)
+                    yield io.write(out_ports[port], value)
+                    self.cycles += 1
+            if not in_ports:
+                return                    # source operators run once

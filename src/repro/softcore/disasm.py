@@ -1,0 +1,71 @@
+"""RV32IM disassembler: human-readable listings of -O0 output.
+
+Developers debugging a softcore operator want to read what the -O0
+compiler produced; :func:`disassemble` renders machine code the way
+``riscv32-objdump -d`` would, including resolved branch/jump targets.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SoftcoreError
+from repro.softcore.isa import Instruction, decode
+
+_ABI = ["zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+        "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+        "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+        "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"]
+
+_R_TYPE = set("add sub sll slt sltu xor srl sra or and mul mulh mulhsu "
+              "mulhu div divu rem remu".split())
+_I_ARITH = set("addi slti sltiu xori ori andi slli srli srai".split())
+_LOADS = set("lb lh lw lbu lhu".split())
+_STORES = set("sb sh sw".split())
+_BRANCHES = set("beq bne blt bge bltu bgeu".split())
+
+
+def format_instruction(instr: Instruction, pc: int = 0) -> str:
+    """Render one instruction in objdump-like syntax."""
+    m = instr.mnemonic
+    rd, rs1, rs2 = _ABI[instr.rd], _ABI[instr.rs1], _ABI[instr.rs2]
+    if m in _R_TYPE:
+        return f"{m:8s}{rd}, {rs1}, {rs2}"
+    if m in _I_ARITH:
+        return f"{m:8s}{rd}, {rs1}, {instr.imm}"
+    if m in _LOADS:
+        return f"{m:8s}{rd}, {instr.imm}({rs1})"
+    if m in _STORES:
+        return f"{m:8s}{rs2}, {instr.imm}({rs1})"
+    if m in _BRANCHES:
+        return f"{m:8s}{rs1}, {rs2}, 0x{pc + instr.imm:x}"
+    if m == "lui":
+        return f"{m:8s}{rd}, 0x{instr.imm:x}"
+    if m == "auipc":
+        return f"{m:8s}{rd}, 0x{instr.imm:x}"
+    if m == "jal":
+        return f"{m:8s}{rd}, 0x{pc + instr.imm:x}"
+    if m == "jalr":
+        return f"{m:8s}{rd}, {instr.imm}({rs1})"
+    return m
+
+
+def disassemble(code: bytes, base: int = 0) -> List[str]:
+    """Disassemble little-endian machine code into listing lines."""
+    if len(code) % 4:
+        raise SoftcoreError("code length must be a multiple of 4")
+    lines: List[str] = []
+    for offset in range(0, len(code), 4):
+        word = int.from_bytes(code[offset:offset + 4], "little")
+        pc = base + offset
+        try:
+            text = format_instruction(decode(word), pc)
+        except SoftcoreError:
+            text = f".word   0x{word:08x}"
+        lines.append(f"{pc:8x}:  {word:08x}  {text}")
+    return lines
+
+
+def listing(code: bytes, base: int = 0) -> str:
+    """Whole-program listing as one string."""
+    return "\n".join(disassemble(code, base))

@@ -1,0 +1,82 @@
+"""Packed binaries: what the pre-linker loads into softcore pages.
+
+The paper's ``pld`` pre-linker/loader packs each operator's ELF with
+headers giving the target page and the memory address of every byte
+(Fig. 5), then ships it over the linking network into the page's BRAM.
+This module implements an equivalent container: a magic-tagged header,
+the target page number, and a list of (address, bytes) segments, with
+byte-exact round-tripping and a loader that writes segments into a
+:class:`~repro.softcore.cpu.PicoRV32`'s memory.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import SoftcoreError
+from repro.softcore.cpu import PicoRV32
+
+#: Container magic ("PLD" ELF-like package, version 1).
+MAGIC = b"PLDE"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sHHI")       # magic, version, page, n_segments
+_SEGMENT = struct.Struct("<II")         # address, length
+
+
+@dataclass
+class PackedBinary:
+    """A page-loadable program image."""
+
+    page: int
+    segments: List[Tuple[int, bytes]] = field(default_factory=list)
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(len(data) for _addr, data in self.segments)
+
+    def serialize(self) -> bytes:
+        blob = bytearray(_HEADER.pack(MAGIC, VERSION, self.page,
+                                      len(self.segments)))
+        for address, data in self.segments:
+            blob += _SEGMENT.pack(address, len(data))
+            blob += data
+        return bytes(blob)
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "PackedBinary":
+        if len(blob) < _HEADER.size:
+            raise SoftcoreError("truncated packed binary")
+        magic, version, page, count = _HEADER.unpack_from(blob, 0)
+        if magic != MAGIC:
+            raise SoftcoreError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise SoftcoreError(f"unsupported version {version}")
+        offset = _HEADER.size
+        segments: List[Tuple[int, bytes]] = []
+        for _ in range(count):
+            if offset + _SEGMENT.size > len(blob):
+                raise SoftcoreError("truncated segment header")
+            address, length = _SEGMENT.unpack_from(blob, offset)
+            offset += _SEGMENT.size
+            if offset + length > len(blob):
+                raise SoftcoreError("truncated segment data")
+            segments.append((address, blob[offset:offset + length]))
+            offset += length
+        return cls(page, segments)
+
+
+def pack_binary(compiled, page: int) -> PackedBinary:
+    """Pack a :class:`~repro.softcore.compiler.CompiledOperator`."""
+    segments: List[Tuple[int, bytes]] = [(0, compiled.code)]
+    if compiled.data:
+        segments.append((compiled.data_base, compiled.data))
+    return PackedBinary(page, segments)
+
+
+def load_binary(cpu: PicoRV32, binary: PackedBinary) -> None:
+    """Write a packed binary's segments into a softcore's memory."""
+    for address, data in binary.segments:
+        cpu.load_image(data, address)

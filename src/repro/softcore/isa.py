@@ -1,0 +1,230 @@
+"""RV32IM instruction encoding and decoding.
+
+Genuine RISC-V encodings (the base RV32I set plus the M extension), so
+binaries produced by the -O0 compiler are real RISC-V machine code: the
+ISS decodes 32-bit words, the packed binaries hold them byte-exact, and
+tests round-trip encode/decode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SoftcoreError
+
+
+def _check_reg(reg: int) -> int:
+    if not (0 <= reg < 32):
+        raise SoftcoreError(f"register x{reg} out of range")
+    return reg
+
+
+def _signed(value: int, bits: int) -> int:
+    value &= (1 << bits) - 1
+    if value >> (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction."""
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __repr__(self) -> str:
+        return (f"{self.mnemonic} rd=x{self.rd} rs1=x{self.rs1} "
+                f"rs2=x{self.rs2} imm={self.imm}")
+
+
+# (opcode, funct3, funct7) tables ------------------------------------------
+
+_R_TYPE: Dict[str, Tuple[int, int]] = {
+    # mnemonic: (funct3, funct7)
+    "add": (0b000, 0b0000000), "sub": (0b000, 0b0100000),
+    "sll": (0b001, 0b0000000), "slt": (0b010, 0b0000000),
+    "sltu": (0b011, 0b0000000), "xor": (0b100, 0b0000000),
+    "srl": (0b101, 0b0000000), "sra": (0b101, 0b0100000),
+    "or": (0b110, 0b0000000), "and": (0b111, 0b0000000),
+    "mul": (0b000, 0b0000001), "mulh": (0b001, 0b0000001),
+    "mulhsu": (0b010, 0b0000001), "mulhu": (0b011, 0b0000001),
+    "div": (0b100, 0b0000001), "divu": (0b101, 0b0000001),
+    "rem": (0b110, 0b0000001), "remu": (0b111, 0b0000001),
+}
+
+_I_ARITH: Dict[str, int] = {
+    "addi": 0b000, "slti": 0b010, "sltiu": 0b011, "xori": 0b100,
+    "ori": 0b110, "andi": 0b111,
+}
+
+_I_SHIFT: Dict[str, Tuple[int, int]] = {
+    "slli": (0b001, 0b0000000), "srli": (0b101, 0b0000000),
+    "srai": (0b101, 0b0100000),
+}
+
+_LOADS: Dict[str, int] = {
+    "lb": 0b000, "lh": 0b001, "lw": 0b010, "lbu": 0b100, "lhu": 0b101,
+}
+
+_STORES: Dict[str, int] = {"sb": 0b000, "sh": 0b001, "sw": 0b010}
+
+_BRANCHES: Dict[str, int] = {
+    "beq": 0b000, "bne": 0b001, "blt": 0b100, "bge": 0b101,
+    "bltu": 0b110, "bgeu": 0b111,
+}
+
+_OPCODE_R = 0b0110011
+_OPCODE_I = 0b0010011
+_OPCODE_LOAD = 0b0000011
+_OPCODE_STORE = 0b0100011
+_OPCODE_BRANCH = 0b1100011
+_OPCODE_LUI = 0b0110111
+_OPCODE_AUIPC = 0b0010111
+_OPCODE_JAL = 0b1101111
+_OPCODE_JALR = 0b1100111
+_OPCODE_SYSTEM = 0b1110011
+
+
+def encode(instr: Instruction) -> int:
+    """Encode one instruction to its 32-bit word."""
+    m = instr.mnemonic
+    rd = _check_reg(instr.rd)
+    rs1 = _check_reg(instr.rs1)
+    rs2 = _check_reg(instr.rs2)
+    imm = instr.imm
+
+    if m in _R_TYPE:
+        funct3, funct7 = _R_TYPE[m]
+        return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | \
+            (funct3 << 12) | (rd << 7) | _OPCODE_R
+    if m in _I_ARITH:
+        _check_imm(imm, 12, m)
+        return ((imm & 0xFFF) << 20) | (rs1 << 15) | \
+            (_I_ARITH[m] << 12) | (rd << 7) | _OPCODE_I
+    if m in _I_SHIFT:
+        if not (0 <= imm < 32):
+            raise SoftcoreError(f"{m}: shift amount {imm} out of range")
+        funct3, funct7 = _I_SHIFT[m]
+        return (funct7 << 25) | (imm << 20) | (rs1 << 15) | \
+            (funct3 << 12) | (rd << 7) | _OPCODE_I
+    if m in _LOADS:
+        _check_imm(imm, 12, m)
+        return ((imm & 0xFFF) << 20) | (rs1 << 15) | \
+            (_LOADS[m] << 12) | (rd << 7) | _OPCODE_LOAD
+    if m in _STORES:
+        _check_imm(imm, 12, m)
+        imm_hi = (imm >> 5) & 0x7F
+        imm_lo = imm & 0x1F
+        return (imm_hi << 25) | (rs2 << 20) | (rs1 << 15) | \
+            (_STORES[m] << 12) | (imm_lo << 7) | _OPCODE_STORE
+    if m in _BRANCHES:
+        _check_imm(imm, 13, m)
+        if imm % 2:
+            raise SoftcoreError(f"{m}: branch offset must be even")
+        u = imm & 0x1FFF
+        word = ((u >> 12) & 1) << 31
+        word |= ((u >> 5) & 0x3F) << 25
+        word |= rs2 << 20
+        word |= rs1 << 15
+        word |= _BRANCHES[m] << 12
+        word |= ((u >> 1) & 0xF) << 8
+        word |= ((u >> 11) & 1) << 7
+        return word | _OPCODE_BRANCH
+    if m == "lui":
+        return ((imm & 0xFFFFF) << 12) | (rd << 7) | _OPCODE_LUI
+    if m == "auipc":
+        return ((imm & 0xFFFFF) << 12) | (rd << 7) | _OPCODE_AUIPC
+    if m == "jal":
+        _check_imm(imm, 21, m)
+        u = imm & 0x1FFFFF
+        word = ((u >> 20) & 1) << 31
+        word |= ((u >> 1) & 0x3FF) << 21
+        word |= ((u >> 11) & 1) << 20
+        word |= ((u >> 12) & 0xFF) << 12
+        return word | (rd << 7) | _OPCODE_JAL
+    if m == "jalr":
+        _check_imm(imm, 12, m)
+        return ((imm & 0xFFF) << 20) | (rs1 << 15) | (rd << 7) | _OPCODE_JALR
+    if m == "ebreak":
+        return (1 << 20) | _OPCODE_SYSTEM
+    if m == "ecall":
+        return _OPCODE_SYSTEM
+    raise SoftcoreError(f"unknown mnemonic {m!r}")
+
+
+def _check_imm(imm: int, bits: int, mnemonic: str) -> None:
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    if not (lo <= imm <= hi):
+        raise SoftcoreError(
+            f"{mnemonic}: immediate {imm} outside [{lo}, {hi}]")
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word back to an :class:`Instruction`."""
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode == _OPCODE_R:
+        for m, (f3, f7) in _R_TYPE.items():
+            if funct3 == f3 and funct7 == f7:
+                return Instruction(m, rd=rd, rs1=rs1, rs2=rs2)
+        raise SoftcoreError(f"bad R-type word {word:#010x}")
+    if opcode == _OPCODE_I:
+        if funct3 in (0b001, 0b101):
+            shamt = rs2
+            for m, (f3, f7) in _I_SHIFT.items():
+                if funct3 == f3 and funct7 == f7:
+                    return Instruction(m, rd=rd, rs1=rs1, imm=shamt)
+            raise SoftcoreError(f"bad shift word {word:#010x}")
+        for m, f3 in _I_ARITH.items():
+            if funct3 == f3:
+                return Instruction(m, rd=rd, rs1=rs1,
+                                   imm=_signed(word >> 20, 12))
+        raise SoftcoreError(f"bad I-type word {word:#010x}")
+    if opcode == _OPCODE_LOAD:
+        for m, f3 in _LOADS.items():
+            if funct3 == f3:
+                return Instruction(m, rd=rd, rs1=rs1,
+                                   imm=_signed(word >> 20, 12))
+        raise SoftcoreError(f"bad load word {word:#010x}")
+    if opcode == _OPCODE_STORE:
+        for m, f3 in _STORES.items():
+            if funct3 == f3:
+                imm = ((word >> 25) << 5) | rd
+                return Instruction(m, rs1=rs1, rs2=rs2,
+                                   imm=_signed(imm, 12))
+        raise SoftcoreError(f"bad store word {word:#010x}")
+    if opcode == _OPCODE_BRANCH:
+        imm = (((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11) \
+            | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1)
+        for m, f3 in _BRANCHES.items():
+            if funct3 == f3:
+                return Instruction(m, rs1=rs1, rs2=rs2,
+                                   imm=_signed(imm, 13))
+        raise SoftcoreError(f"bad branch word {word:#010x}")
+    if opcode == _OPCODE_LUI:
+        return Instruction("lui", rd=rd, imm=word >> 12)
+    if opcode == _OPCODE_AUIPC:
+        return Instruction("auipc", rd=rd, imm=word >> 12)
+    if opcode == _OPCODE_JAL:
+        imm = (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12) \
+            | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1)
+        return Instruction("jal", rd=rd, imm=_signed(imm, 21))
+    if opcode == _OPCODE_JALR:
+        return Instruction("jalr", rd=rd, rs1=rs1,
+                           imm=_signed(word >> 20, 12))
+    if opcode == _OPCODE_SYSTEM:
+        if (word >> 20) & 0xFFF == 1:
+            return Instruction("ebreak")
+        return Instruction("ecall")
+    raise SoftcoreError(f"unknown opcode in word {word:#010x}")

@@ -1,0 +1,57 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_apps_command(self):
+        args = build_parser().parse_args(["apps"])
+        assert args.command == "apps"
+
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile", "optical-flow"])
+        assert args.flow == "o1"
+        assert args.out is None
+
+    def test_bad_flow_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "x", "--flow", "gpu"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_apps_lists_all_six(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for name in ("3d-rendering", "digit-recognition", "spam-filter",
+                     "optical-flow", "face-detection", "bnn"):
+            assert name in out
+
+    def test_floorplan(self, capsys):
+        assert main(["floorplan"]) == 0
+        out = capsys.readouterr().out
+        assert "xcu50" in out
+        assert out.count("page") == 22
+
+    def test_compile_o0(self, capsys, tmp_path):
+        assert main(["compile", "3d-rendering", "--flow", "o0",
+                     "--effort", "0.1", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "-O0" in out
+        assert (tmp_path / "dfg.ir").exists()
+
+    def test_run_o0(self, capsys):
+        assert main(["run", "3d-rendering", "--flow", "o0",
+                     "--effort", "0.1", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "Output_1" in out
+        assert "TOTAL" in out
+
+    def test_unknown_app(self):
+        with pytest.raises(Exception):
+            main(["compile", "not-an-app"])

@@ -1,0 +1,194 @@
+"""Tests for pragmas, dfg extraction, the build cache and the cluster."""
+
+import pytest
+
+from repro.errors import BuildError, FlowError
+from repro.core import (
+    BuildCache,
+    BuildEngine,
+    CompileCluster,
+    Job,
+    parse_pragmas,
+)
+from repro.core.build import content_key
+from repro.core.dfg import dfg_from_text, dfg_to_text, extract_dfg
+from repro.core.pragma import parse_header_set
+from repro.pnr.compile_model import StageTimes
+from repro.dataflow import DataflowGraph, Operator
+from repro.hls import OperatorBuilder
+
+
+HEADER = """
+void flow_calc(hls::stream< ap_uint<32> > & Input_1,
+               hls::stream< ap_uint<32> > & Output_1);
+#pragma target=HW  p_num=8
+//#pragma target=RISCV p_num=8
+"""
+
+
+class TestPragmas:
+    def test_parse_active_pragma(self):
+        pragma = parse_pragmas(HEADER)
+        assert pragma.operator == "flow_calc"
+        assert pragma.target == "HW"
+        assert pragma.page == 8
+
+    def test_commented_pragma_ignored(self):
+        text = HEADER.replace("#pragma target=HW  p_num=8",
+                              "//#pragma target=HW p_num=8")
+        text = text.replace("//#pragma target=RISCV p_num=8",
+                            "#pragma target=RISCV p_num=8")
+        pragma = parse_pragmas(text)
+        assert pragma.target == "RISCV"
+
+    def test_flip_is_one_line_edit(self):
+        """The paper's workflow: swap which pragma is commented."""
+        hw = parse_pragmas(HEADER)
+        flipped = HEADER.replace("#pragma target=HW  p_num=8",
+                                 "//#pragma target=HW p_num=8").replace(
+            "//#pragma target=RISCV p_num=8", "#pragma target=RISCV p_num=8")
+        sw = parse_pragmas(flipped)
+        assert (hw.target, sw.target) == ("HW", "RISCV")
+
+    def test_no_pragma_rejected(self):
+        with pytest.raises(FlowError):
+            parse_pragmas("void f(int);")
+
+    def test_two_active_pragmas_rejected(self):
+        text = HEADER + "\n#pragma target=RISCV\n"
+        with pytest.raises(FlowError):
+            parse_pragmas(text)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(FlowError):
+            parse_pragmas("void f(int);\n#pragma target=GPU\n")
+
+    def test_page_optional(self):
+        pragma = parse_pragmas("void f(int);\n#pragma target=RISCV\n")
+        assert pragma.page is None
+
+    def test_header_set(self):
+        pragmas = parse_header_set({"a": HEADER.replace("flow_calc", "a")})
+        assert pragmas["a"].operator == "a"
+
+    def test_render_round_trip(self):
+        pragma = parse_pragmas(HEADER)
+        assert "target=HW" in pragma.render()
+        assert "p_num=8" in pragma.render()
+
+
+def _graph():
+    def body(io):
+        while True:
+            value = yield io.read("in")
+            yield io.write("out", value)
+
+    g = DataflowGraph("app")
+    g.add(Operator("a", body, ["in"], ["out"]))
+    g.add(Operator("b", body, ["in"], ["out"], target="RISCV", page=5))
+    g.connect("a.out", "b.in")
+    g.expose_input("src", "a.in")
+    g.expose_output("dst", "b.out")
+    return g
+
+
+class TestDfg:
+    def test_extract_structure(self):
+        dfg = extract_dfg(_graph())
+        assert dfg["name"] == "app"
+        assert len(dfg["operators"]) == 2
+        assert dfg["operators"][1]["target"] == "RISCV"
+        assert dfg["operators"][1]["page"] == 5
+        assert dfg["links"][0]["source"] == "a.out"
+
+    def test_text_round_trip(self):
+        g = _graph()
+        parsed = dfg_from_text(dfg_to_text(g))
+        assert parsed == extract_dfg(g)
+
+    def test_stable_output(self):
+        g = _graph()
+        assert dfg_to_text(g) == dfg_to_text(_graph())
+
+
+def make_spec(name, factor):
+    b = OperatorBuilder(name, inputs=[("in", 32)], outputs=[("out", 32)])
+    v = b.read("in")
+    b.write("out", b.cast(b.mul(v, factor), 32))
+    return b.build()
+
+
+class TestBuildEngine:
+    def test_cache_hit_on_same_key(self):
+        engine = BuildEngine()
+        calls = []
+        spec = make_spec("x", 3)
+        for _ in range(3):
+            engine.step("hls:x", (spec,), lambda: calls.append(1) or "art")
+        assert len(calls) == 1
+        assert engine.cache.hits == 2
+
+    def test_changed_spec_rebuilds(self):
+        engine = BuildEngine()
+        engine.step("hls:x", (make_spec("x", 3),), lambda: "a")
+        engine.fresh_record()
+        engine.step("hls:x", (make_spec("x", 4),), lambda: "b")
+        assert engine.record.rebuild_count == 1
+
+    def test_unchanged_spec_reuses(self):
+        engine = BuildEngine()
+        engine.step("hls:x", (make_spec("x", 3),), lambda: "a")
+        engine.fresh_record()
+        engine.step("hls:x", (make_spec("x", 3),), lambda: "b")
+        assert engine.record.reused == ["hls:x"]
+        assert engine.record.rebuild_count == 0
+
+    def test_content_key_stability(self):
+        assert content_key(make_spec("x", 3)) == \
+            content_key(make_spec("x", 3))
+        assert content_key(make_spec("x", 3)) != \
+            content_key(make_spec("x", 5))
+
+    def test_builder_returning_none_rejected(self):
+        engine = BuildEngine()
+        with pytest.raises(BuildError):
+            engine.step("bad", (), lambda: None)
+
+    def test_unhashable_input_rejected(self):
+        with pytest.raises(BuildError):
+            content_key(object())
+
+
+class TestCluster:
+    def test_parallel_makespan_is_max_for_few_jobs(self):
+        cluster = CompileCluster(nodes=8)
+        jobs = [Job(f"j{i}", StageTimes(pnr=100 + i)) for i in range(4)]
+        schedule = cluster.schedule(jobs)
+        assert schedule.makespan == pytest.approx(103)
+
+    def test_more_jobs_than_nodes_queues(self):
+        cluster = CompileCluster(nodes=2)
+        jobs = [Job(f"j{i}", StageTimes(pnr=100)) for i in range(4)]
+        schedule = cluster.schedule(jobs)
+        assert schedule.makespan == pytest.approx(200)
+
+    def test_stage_maxima(self):
+        cluster = CompileCluster(nodes=4)
+        jobs = [Job("a", StageTimes(hls=10, pnr=50)),
+                Job("b", StageTimes(hls=30, pnr=20))]
+        schedule = cluster.schedule(jobs)
+        assert schedule.stage_maxima.hls == 30
+        assert schedule.stage_maxima.pnr == 50
+
+    def test_empty(self):
+        assert CompileCluster().schedule([]).makespan == 0.0
+
+    def test_speedup_reported(self):
+        cluster = CompileCluster(nodes=4)
+        jobs = [Job(f"j{i}", StageTimes(pnr=100)) for i in range(4)]
+        schedule = cluster.schedule(jobs)
+        assert schedule.parallel_speedup == pytest.approx(4.0)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(FlowError):
+            CompileCluster(nodes=0).schedule([Job("a", StageTimes())])

@@ -1,0 +1,225 @@
+"""Tests for the four compile flows on a small synthetic project."""
+
+import pytest
+
+from repro.errors import CapacityError, FlowError
+from repro.core import (
+    BuildEngine,
+    O0Flow,
+    O1Flow,
+    O3Flow,
+    Project,
+    VitisFlow,
+)
+from repro.dataflow import DataflowGraph, Operator
+from repro.dataflow.graph import TARGET_RISCV
+from repro.hls import OperatorBuilder, make_body
+
+EFFORT = 0.1    # fast annealing for unit tests
+
+
+def make_spec(name, factor, trip=32):
+    b = OperatorBuilder(name, inputs=[("in", 32)], outputs=[("out", 32)])
+    with b.loop("L", trip, pipeline=True):
+        v = b.read("in")
+        b.write("out", b.cast(b.add(b.mul(v, factor), 1), 32))
+    return b.build()
+
+
+def make_project(n_ops=3):
+    g = DataflowGraph("tiny")
+    for i in range(n_ops):
+        spec = make_spec(f"op{i}", i + 2)
+        g.add(Operator(f"op{i}", make_body(spec), ["in"], ["out"],
+                       hls_spec=spec))
+    for i in range(n_ops - 1):
+        g.connect(f"op{i}.out", f"op{i + 1}.in")
+    g.expose_input("src", "op0.in")
+    g.expose_output("dst", f"op{n_ops - 1}.out")
+    return Project("tiny", g, {"src": list(range(32))}, scale_factor=50.0)
+
+
+@pytest.fixture(scope="module")
+def builds():
+    """Compile the tiny project through all four flows once."""
+    project = make_project()
+    engine = BuildEngine()
+    return {
+        "o1": O1Flow(effort=EFFORT).compile(project, engine),
+        "o0": O0Flow(effort=EFFORT).compile(project, engine),
+        "o3": O3Flow(effort=EFFORT).compile(project, engine),
+        "vitis": VitisFlow(effort=EFFORT).compile(project, engine),
+        "project": project,
+    }
+
+
+class TestFunctionalEquivalence:
+    def test_all_flows_same_outputs(self, builds):
+        """The paper's core claim: mapping never changes function."""
+        inputs = builds["project"].sample_inputs
+        outs = [builds[k].execute(inputs) for k in ("o1", "o0", "o3")]
+        assert outs[0] == outs[1] == outs[2]
+        expect = [((v * 2 + 1) * 3 + 1) * 4 + 1 for v in inputs["src"]]
+        assert outs[0]["dst"] == [e & 0xFFFFFFFF for e in expect]
+
+    def test_o0_actually_runs_riscv(self, builds):
+        builds["o0"].execute(builds["project"].sample_inputs)
+        cycles = builds["o0"].softcore_cycles()
+        assert len(cycles) == 3
+        assert all(c > 100 for c in cycles.values())
+
+
+class TestCompileTimes:
+    def test_o1_much_faster_than_monolithic(self, builds):
+        assert builds["o1"].compile_times.total < \
+            builds["o3"].compile_times.total / 3
+
+    def test_o0_compiles_in_seconds(self, builds):
+        assert builds["o0"].riscv_seconds < 10
+
+    def test_o1_pnr_in_page_range(self, builds):
+        # Tab. 2: per-page p&r is minutes, not hours.
+        assert 150 < builds["o1"].compile_times.pnr < 800
+
+    def test_monolithic_total_hours_scale(self, builds):
+        assert builds["o3"].compile_times.total > 1_500
+
+    def test_vitis_hls_slower_than_o3(self, builds):
+        """-O3 HLS runs per operator in parallel; Vitis is sequential."""
+        assert builds["vitis"].compile_times.hls >= \
+            builds["o3"].compile_times.hls
+
+
+class TestPerformanceOrdering:
+    def test_o3_fastest(self, builds):
+        o3 = builds["o3"].performance.seconds_per_input
+        o1 = builds["o1"].performance.seconds_per_input
+        o0 = builds["o0"].performance.seconds_per_input
+        assert o3 <= o1 <= o0
+
+    def test_o0_orders_of_magnitude_slower(self, builds):
+        ratio = (builds["o0"].performance.seconds_per_input
+                 / builds["o3"].performance.seconds_per_input)
+        assert ratio > 100
+
+    def test_o1_runs_at_overlay_clock(self, builds):
+        assert builds["o1"].performance.fmax_mhz == 200.0
+
+    def test_vitis_at_most_o3_clock(self, builds):
+        assert builds["vitis"].performance.fmax_mhz <= \
+            builds["o3"].performance.fmax_mhz + 1
+
+
+class TestArtifacts:
+    def test_o1_assigns_unique_pages(self, builds):
+        pages = list(builds["o1"].page_of.values())
+        assert len(pages) == len(set(pages))
+
+    def test_o1_page_images_loadable(self, builds):
+        assert len(builds["o1"].page_images) == 3
+        for page, (image, occupant, softcore) in \
+                builds["o1"].page_images.items():
+            assert image.partial
+            assert not softcore
+
+    def test_o0_images_are_softcore(self, builds):
+        for page, (image, occupant, softcore) in \
+                builds["o0"].page_images.items():
+            assert softcore
+            assert image.payload_bytes > 0     # packed ELF rides along
+
+    def test_link_packets_cover_all_bindings(self, builds):
+        # 2 internal links + 1 ext in + 1 ext out = 4 bindings.
+        assert len(builds["o1"].link_packets) == 4
+
+    def test_monolithic_has_no_pages(self, builds):
+        assert builds["o3"].page_images == {}
+        assert builds["o3"].monolithic
+
+    def test_dfg_attached(self, builds):
+        assert builds["o1"].dfg["name"] == "tiny"
+
+    def test_verilog_emitted(self, builds):
+        art = builds["o1"].operators["op0"]
+        assert "module op0" in art.verilog
+
+    def test_area_ordering(self, builds):
+        """Tab. 4: Vitis < -O3 < -O1 LUTs; -O0 counts whole pages."""
+        assert builds["vitis"].area.luts < builds["o3"].area.luts
+        assert builds["o3"].area.luts < builds["o1"].area.luts
+        assert builds["o0"].area.luts > builds["o1"].area.luts
+
+
+class TestIncrementalCompilation:
+    def test_second_compile_reuses_everything(self):
+        project = make_project()
+        engine = BuildEngine()
+        flow = O1Flow(effort=EFFORT)
+        flow.compile(project, engine)
+        second = flow.compile(project, engine)
+        assert second.rebuilt == []
+
+    def test_one_operator_edit_rebuilds_one_page(self):
+        """The paper's headline incremental property."""
+        project = make_project()
+        engine = BuildEngine()
+        flow = O1Flow(effort=EFFORT)
+        flow.compile(project, engine)
+
+        g = DataflowGraph("tiny")
+        for i in range(3):
+            factor = (i + 2) if i != 1 else 99        # edit op1 only
+            spec = make_spec(f"op{i}", factor)
+            g.add(Operator(f"op{i}", make_body(spec), ["in"], ["out"],
+                           hls_spec=spec))
+        for i in range(2):
+            g.connect(f"op{i}.out", f"op{i + 1}.in")
+        g.expose_input("src", "op0.in")
+        g.expose_output("dst", "op2.out")
+        edited = Project("tiny", g, {"src": list(range(32))},
+                         scale_factor=50.0)
+        build = flow.compile(edited, engine)
+        rebuilt_ops = {name.split(":")[1] for name in build.rebuilt}
+        assert rebuilt_ops == {"op1"}
+
+    def test_retarget_one_op_runs_mixed(self):
+        """Fig. 10's scenario: one softcore, rest FPGA pages."""
+        project = make_project().retargeted({"op1": TARGET_RISCV})
+        build = O1Flow(effort=EFFORT).compile(project)
+        kinds = {name: softcore for _p, (_i, name, softcore)
+                 in build.page_images.items()}
+        assert kinds["op1"] is True
+        assert kinds["op0"] is False
+        out = build.execute(project.sample_inputs)
+        ref = O3Flow(effort=EFFORT).compile(make_project()).execute(
+            project.sample_inputs)
+        assert out == ref
+
+
+class TestCapacity:
+    def test_oversized_operator_rejected(self):
+        b = OperatorBuilder("huge", inputs=[("in", 32)],
+                            outputs=[("out", 32)])
+        with b.loop("L", 64, pipeline=True, unroll=64):
+            v = b.read("in")
+            acc = v
+            for _ in range(40):
+                acc = b.cast(b.add(b.mul(b.cast(acc, 32), acc), 1), 32)
+            b.write("out", acc)
+        spec = b.build()
+        g = DataflowGraph("big")
+        g.add(Operator("huge", make_body(spec), ["in"], ["out"],
+                       hls_spec=spec))
+        g.expose_input("src", "huge.in")
+        g.expose_output("dst", "huge.out")
+        project = Project("big", g, {"src": [1]})
+        with pytest.raises(CapacityError):
+            O1Flow(effort=EFFORT).compile(project)
+
+    def test_bad_page_hint_rejected(self):
+        project = make_project()
+        g = project.graph.retarget({})
+        g.operators["op0"].page = 99
+        bad = Project("tiny", g, project.sample_inputs)
+        with pytest.raises(FlowError):
+            O1Flow(effort=EFFORT).compile(bad)

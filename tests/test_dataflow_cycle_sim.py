@@ -1,0 +1,122 @@
+"""Tests for the timed (cycle-level) dataflow simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DataflowError
+from repro.dataflow import (
+    CycleSimulator,
+    DataflowGraph,
+    Operator,
+    OperatorTiming,
+    run_graph,
+)
+
+
+def passthrough_body(io):
+    while True:
+        value = yield io.read("in")
+        yield io.write("out", value)
+
+
+def make_pass(name):
+    return Operator(name, passthrough_body, ["in"], ["out"])
+
+
+def chain_graph(n=3):
+    g = DataflowGraph("chain")
+    for i in range(n):
+        g.add(make_pass(f"op{i}"))
+    for i in range(n - 1):
+        g.connect(f"op{i}.out", f"op{i + 1}.in")
+    g.expose_input("src", "op0.in")
+    g.expose_output("dst", f"op{n - 1}.out")
+    return g
+
+
+class TestFunctionalEquivalence:
+    def test_values_match_reference(self):
+        g = chain_graph(4)
+        data = list(range(50))
+        timed = CycleSimulator(g).run({"src": data})
+        untimed = run_graph(g, {"src": data})
+        assert timed == untimed
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(), max_size=30),
+           st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=8))
+    def test_timing_never_changes_values(self, data, ii, capacity):
+        """The paper's claim: mapping/timing changes keep function."""
+        g = chain_graph(3)
+        timings = {f"op{i}": OperatorTiming(ii=ii, latency=2 * ii)
+                   for i in range(3)}
+        sim = CycleSimulator(g, timings, fifo_capacity=capacity)
+        assert sim.run({"src": data})["dst"] == data
+
+
+class TestTimingModel:
+    def test_throughput_set_by_ii(self):
+        """N tokens through an II=k pipeline take about N*k cycles."""
+        g = chain_graph(1)
+        n = 100
+        fast = CycleSimulator(g, {"op0": OperatorTiming(ii=1, latency=1)})
+        fast.run({"src": list(range(n))})
+        slow = CycleSimulator(chain_graph(1),
+                              {"op0": OperatorTiming(ii=4, latency=1)})
+        slow.run({"src": list(range(n))})
+        assert slow.makespan > 3 * fast.makespan
+        assert abs(fast.makespan - n) <= 4          # ~1 token/cycle
+        assert abs(slow.makespan - 4 * n) <= 8
+
+    def test_latency_adds_pipeline_fill_not_per_token(self):
+        g = chain_graph(1)
+        n = 200
+        shallow = CycleSimulator(g, {"op0": OperatorTiming(ii=1, latency=1)})
+        shallow.run({"src": list(range(n))})
+        deep = CycleSimulator(chain_graph(1),
+                              {"op0": OperatorTiming(ii=1, latency=50)})
+        deep.run({"src": list(range(n))})
+        # Deep pipe costs one fill (~49 cycles), not 49 per token.
+        assert deep.makespan - shallow.makespan == pytest.approx(49, abs=2)
+
+    def test_chain_bottleneck_dominates(self):
+        """Pipeline throughput is set by the slowest stage."""
+        n = 150
+        g = chain_graph(3)
+        timings = {"op0": OperatorTiming(ii=1, latency=1),
+                   "op1": OperatorTiming(ii=5, latency=1),
+                   "op2": OperatorTiming(ii=1, latency=1)}
+        sim = CycleSimulator(g, timings, fifo_capacity=8)
+        sim.run({"src": list(range(n))})
+        assert sim.makespan == pytest.approx(5 * n, rel=0.1)
+
+    def test_makespan_zero_for_empty_input(self):
+        sim = CycleSimulator(chain_graph(2))
+        sim.run({"src": []})
+        assert sim.makespan == 0
+
+    def test_output_times_monotonic(self):
+        sim = CycleSimulator(chain_graph(3))
+        sim.run({"src": list(range(40))})
+        times = sim.output_times["dst"]
+        assert times == sorted(times)
+
+    def test_backpressure_slows_producer(self):
+        """A slow consumer behind a small FIFO throttles the whole chain."""
+        n = 100
+        timings = {"op0": OperatorTiming(ii=1, latency=1),
+                   "op1": OperatorTiming(ii=10, latency=1)}
+        sim = CycleSimulator(chain_graph(2), timings, fifo_capacity=2)
+        sim.run({"src": list(range(n))})
+        assert sim.makespan == pytest.approx(10 * n, rel=0.1)
+
+    def test_capacity_validation(self):
+        with pytest.raises(DataflowError):
+            CycleSimulator(chain_graph(1), fifo_capacity=0)
+
+    def test_invalid_timing_rejected(self):
+        with pytest.raises(ValueError):
+            OperatorTiming(ii=0)
+        with pytest.raises(ValueError):
+            OperatorTiming(latency=-1)

@@ -1,0 +1,153 @@
+"""Tests for graph construction, validation and the operator decorator."""
+
+import pytest
+
+from repro.errors import DataflowError
+from repro.dataflow import DataflowGraph, Operator, operator
+from repro.dataflow.graph import TARGET_HW, TARGET_RISCV
+
+
+def passthrough_body(io):
+    while True:
+        value = yield io.read("in")
+        yield io.write("out", value)
+
+
+def make_pass(name, target=TARGET_HW):
+    return Operator(name, passthrough_body, ["in"], ["out"], target=target)
+
+
+def chain_graph(n=3):
+    g = DataflowGraph("chain")
+    for i in range(n):
+        g.add(make_pass(f"op{i}"))
+    for i in range(n - 1):
+        g.connect(f"op{i}.out", f"op{i + 1}.in")
+    g.expose_input("src", "op0.in")
+    g.expose_output("dst", f"op{n - 1}.out")
+    return g
+
+
+class TestOperator:
+    def test_decorator_builds_operator(self):
+        @operator("double", inputs=["a"], outputs=["b"])
+        def double(io):
+            while True:
+                value = yield io.read("a")
+                yield io.write("b", value * 2)
+
+        assert isinstance(double, Operator)
+        assert double.inputs == ("a",)
+        assert double.target == TARGET_HW
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(DataflowError):
+            Operator("x", passthrough_body, ["in"], ["out"], target="GPU")
+
+    def test_duplicate_port_names_rejected(self):
+        with pytest.raises(DataflowError):
+            Operator("x", passthrough_body, ["p"], ["p"])
+
+    def test_with_target_shares_body(self):
+        op = make_pass("x")
+        soft = op.with_target(TARGET_RISCV)
+        assert soft.target == TARGET_RISCV
+        assert soft.body is op.body
+        assert op.target == TARGET_HW      # original untouched
+
+    def test_port_lookup(self):
+        op = make_pass("x")
+        assert op.port("in").direction == "in"
+        assert op.port("out").direction == "out"
+        with pytest.raises(DataflowError):
+            op.port("nope")
+
+
+class TestGraphConstruction:
+    def test_duplicate_operator_rejected(self):
+        g = DataflowGraph("g")
+        g.add(make_pass("a"))
+        with pytest.raises(DataflowError):
+            g.add(make_pass("a"))
+
+    def test_connect_checks_direction(self):
+        g = DataflowGraph("g")
+        g.add(make_pass("a"))
+        g.add(make_pass("b"))
+        with pytest.raises(DataflowError):
+            g.connect("a.in", "b.in")      # source must be an output
+
+    def test_connect_rejects_double_binding(self):
+        g = DataflowGraph("g")
+        g.add(make_pass("a"))
+        g.add(make_pass("b"))
+        g.add(make_pass("c"))
+        g.connect("a.out", "b.in")
+        with pytest.raises(DataflowError):
+            g.connect("a.out", "c.in")     # fan-out needs a split operator
+
+    def test_width_mismatch_rejected(self):
+        g = DataflowGraph("g")
+        g.add(Operator("a", passthrough_body, ["in"], ["out"],
+                       port_widths={"out": 64}))
+        g.add(make_pass("b"))
+        with pytest.raises(DataflowError):
+            g.connect("a.out", "b.in")
+
+    def test_unknown_operator_in_spec(self):
+        g = DataflowGraph("g")
+        g.add(make_pass("a"))
+        with pytest.raises(DataflowError):
+            g.connect("nope.out", "a.in")
+
+    def test_bad_port_spec_format(self):
+        g = DataflowGraph("g")
+        g.add(make_pass("a"))
+        with pytest.raises(DataflowError):
+            g.connect("a", "a.in")
+
+    def test_validate_catches_dangling_port(self):
+        g = DataflowGraph("g")
+        g.add(make_pass("a"))
+        g.expose_input("src", "a.in")
+        with pytest.raises(DataflowError):
+            g.validate()                   # a.out dangling
+
+    def test_validate_requires_external_ports(self):
+        g = DataflowGraph("g")
+        a = g.add(make_pass("a"))
+        b = g.add(make_pass("b"))
+        g.connect("a.out", "b.in")
+        # b.out, a.in dangling AND no externals; dangling fires first
+        with pytest.raises(DataflowError):
+            g.validate()
+
+    def test_valid_chain_passes(self):
+        chain_graph().validate()
+
+
+class TestGraphQueries:
+    def test_predecessors_successors(self):
+        g = chain_graph(3)
+        assert g.predecessors("op1") == ["op0"]
+        assert g.successors("op1") == ["op2"]
+        assert g.predecessors("op0") == []
+
+    def test_topological_order_respects_edges(self):
+        g = chain_graph(5)
+        order = g.topological_order()
+        assert order.index("op0") < order.index("op4")
+        assert len(order) == 5
+
+    def test_links_of(self):
+        g = chain_graph(3)
+        assert len(g.links_of("op1")) == 2
+        assert len(g.links_of("op0")) == 1
+
+    def test_retarget_copies(self):
+        g = chain_graph(2)
+        g2 = g.retarget({"op0": TARGET_RISCV})
+        assert g2.operators["op0"].target == TARGET_RISCV
+        assert g2.operators["op1"].target == TARGET_HW
+        assert g.operators["op0"].target == TARGET_HW
+        g2.validate()

@@ -1,0 +1,274 @@
+"""Tests for the functional (KPN) simulator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DataflowError, DeadlockError
+from repro.dataflow import DataflowGraph, Operator, operator, run_graph
+from repro.dataflow.simulator import FunctionalSimulator
+
+
+def passthrough_body(io):
+    while True:
+        value = yield io.read("in")
+        yield io.write("out", value)
+
+
+def make_pass(name):
+    return Operator(name, passthrough_body, ["in"], ["out"])
+
+
+def chain_graph(n=3):
+    g = DataflowGraph("chain")
+    for i in range(n):
+        g.add(make_pass(f"op{i}"))
+    for i in range(n - 1):
+        g.connect(f"op{i}.out", f"op{i + 1}.in")
+    g.expose_input("src", "op0.in")
+    g.expose_output("dst", f"op{n - 1}.out")
+    return g
+
+
+class TestBasicExecution:
+    def test_single_passthrough(self):
+        g = chain_graph(1)
+        assert run_graph(g, {"src": [1, 2, 3]})["dst"] == [1, 2, 3]
+
+    def test_long_chain(self):
+        g = chain_graph(10)
+        data = list(range(100))
+        assert run_graph(g, {"src": data})["dst"] == data
+
+    def test_transform(self):
+        @operator("double", inputs=["a"], outputs=["b"])
+        def double(io):
+            while True:
+                value = yield io.read("a")
+                yield io.write("b", value * 2)
+
+        g = DataflowGraph("g")
+        g.add(double)
+        g.expose_input("x", "double.a")
+        g.expose_output("y", "double.b")
+        assert run_graph(g, {"x": [1, 2, 3]})["y"] == [2, 4, 6]
+
+    def test_two_inputs_zip(self):
+        @operator("add", inputs=["a", "b"], outputs=["sum"])
+        def add(io):
+            while True:
+                left = yield io.read("a")
+                right = yield io.read("b")
+                yield io.write("sum", left + right)
+
+        g = DataflowGraph("g")
+        g.add(add)
+        g.expose_input("a", "add.a")
+        g.expose_input("b", "add.b")
+        g.expose_output("sum", "add.sum")
+        out = run_graph(g, {"a": [1, 2, 3], "b": [10, 20, 30]})
+        assert out["sum"] == [11, 22, 33]
+
+    def test_split_join_diamond(self):
+        @operator("split", inputs=["in"], outputs=["l", "r"])
+        def split(io):
+            while True:
+                value = yield io.read("in")
+                yield io.write("l", value)
+                yield io.write("r", value)
+
+        @operator("inc", inputs=["in"], outputs=["out"])
+        def inc(io):
+            while True:
+                value = yield io.read("in")
+                yield io.write("out", value + 1)
+
+        @operator("dec", inputs=["in"], outputs=["out"])
+        def dec(io):
+            while True:
+                value = yield io.read("in")
+                yield io.write("out", value - 1)
+
+        @operator("join", inputs=["a", "b"], outputs=["out"])
+        def join(io):
+            while True:
+                left = yield io.read("a")
+                right = yield io.read("b")
+                yield io.write("out", left + right)
+
+        g = DataflowGraph("diamond")
+        for op in (split, inc, dec, join):
+            g.add(op)
+        g.connect("split.l", "inc.in")
+        g.connect("split.r", "dec.in")
+        g.connect("inc.out", "join.a")
+        g.connect("dec.out", "join.b")
+        g.expose_input("src", "split.in")
+        g.expose_output("dst", "join.out")
+        # (x+1) + (x-1) == 2x
+        assert run_graph(g, {"src": [5, 10]})["dst"] == [10, 20]
+
+    def test_batch_requests(self):
+        @operator("sum6", inputs=["in"], outputs=["out"])
+        def sum6(io):
+            while True:
+                values = yield io.read_n("in", 6)
+                yield io.write("out", sum(values))
+
+        g = DataflowGraph("g")
+        g.add(sum6)
+        g.expose_input("src", "sum6.in")
+        g.expose_output("dst", "sum6.out")
+        out = run_graph(g, {"src": list(range(12))})
+        assert out["dst"] == [15, 51]
+
+    def test_write_batch(self):
+        @operator("expand", inputs=["in"], outputs=["out"])
+        def expand(io):
+            while True:
+                value = yield io.read("in")
+                yield io.write_n("out", [value] * 3)
+
+        g = DataflowGraph("g")
+        g.add(expand)
+        g.expose_input("src", "expand.in")
+        g.expose_output("dst", "expand.out")
+        assert run_graph(g, {"src": [7]})["dst"] == [7, 7, 7]
+
+    def test_stateful_operator(self):
+        @operator("acc", inputs=["in"], outputs=["out"])
+        def acc(io):
+            total = 0
+            while True:
+                total += yield io.read("in")
+                yield io.write("out", total)
+
+        g = DataflowGraph("g")
+        g.add(acc)
+        g.expose_input("src", "acc.in")
+        g.expose_output("dst", "acc.out")
+        assert run_graph(g, {"src": [1, 2, 3]})["dst"] == [1, 3, 6]
+
+    def test_decimating_operator_terminates_cleanly(self):
+        """An operator consuming 2 tokens per output with odd input ends."""
+
+        @operator("pair", inputs=["in"], outputs=["out"])
+        def pair(io):
+            while True:
+                a = yield io.read("in")
+                b = yield io.read("in")
+                yield io.write("out", a + b)
+
+        g = DataflowGraph("g")
+        g.add(pair)
+        g.expose_input("src", "pair.in")
+        g.expose_output("dst", "pair.out")
+        # 5 tokens: two pairs, then unwound mid-read.
+        assert run_graph(g, {"src": [1, 2, 3, 4, 5]})["dst"] == [3, 7]
+
+
+class TestTermination:
+    def test_empty_input(self):
+        g = chain_graph(3)
+        assert run_graph(g, {"src": []})["dst"] == []
+
+    def test_missing_input_treated_as_empty(self):
+        g = chain_graph(1)
+        assert run_graph(g, {})["dst"] == []
+
+    def test_unknown_input_rejected(self):
+        g = chain_graph(1)
+        with pytest.raises(DataflowError):
+            run_graph(g, {"nope": [1]})
+
+    def test_unwound_operator_produces_no_flush(self):
+        """End-of-input unwinds a blocked read: nothing written after.
+
+        Operators that need an end-of-stream summary must know their
+        token count up front (static trip counts), as HLS kernels do —
+        the unwind path cannot run further writes.
+        """
+
+        @operator("count", inputs=["in"], outputs=["out"])
+        def count(io):
+            seen = 0
+            while True:
+                yield io.read("in")       # unwound here at end of input
+                seen += 1
+
+        g = DataflowGraph("g")
+        g.add(count)
+        g.expose_input("src", "count.in")
+        g.expose_output("dst", "count.out")
+        assert run_graph(g, {"src": [1, 1, 1]})["dst"] == []
+
+    def test_runaway_producer_guard(self):
+        @operator("spin", inputs=["in"], outputs=["out"])
+        def spin(io):
+            while True:
+                yield io.write("out", 0)   # never reads: infinite output
+
+        g = DataflowGraph("g")
+        g.add(spin)
+        g.expose_input("src", "spin.in")
+        g.expose_output("dst", "spin.out")
+        sim = FunctionalSimulator(g, max_steps=1000)
+        with pytest.raises(DataflowError):
+            sim.run({"src": []})
+
+
+class TestDeterminism:
+    @given(st.lists(st.integers(), max_size=50))
+    def test_chain_is_identity(self, data):
+        out = run_graph(chain_graph(4), {"src": data})
+        assert out["dst"] == data
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                    max_size=40))
+    def test_diamond_deterministic(self, data):
+        """KPN determinism: repeated runs give identical results."""
+
+        def build():
+            @operator("split", inputs=["in"], outputs=["l", "r"])
+            def split(io):
+                while True:
+                    value = yield io.read("in")
+                    yield io.write("l", value)
+                    yield io.write("r", value)
+
+            @operator("neg", inputs=["in"], outputs=["out"])
+            def neg(io):
+                while True:
+                    value = yield io.read("in")
+                    yield io.write("out", -value)
+
+            @operator("join", inputs=["a", "b"], outputs=["out"])
+            def join(io):
+                while True:
+                    left = yield io.read("a")
+                    right = yield io.read("b")
+                    yield io.write("out", left * right)
+
+            g = DataflowGraph("d")
+            for op in (split, neg, join):
+                g.add(op)
+            g.connect("split.l", "join.a")
+            g.connect("split.r", "neg.in")
+            g.connect("neg.out", "join.b")
+            g.expose_input("src", "split.in")
+            g.expose_output("dst", "join.out")
+            return g
+
+        first = run_graph(build(), {"src": data})
+        second = run_graph(build(), {"src": data})
+        assert first == second
+        assert first["dst"] == [-x * x for x in data]
+
+
+class TestStatistics:
+    def test_firings_and_link_counts(self):
+        g = chain_graph(2)
+        sim = FunctionalSimulator(g)
+        sim.run({"src": [1, 2, 3, 4]})
+        link = next(iter(sim.streams.values()))
+        assert link.total_writes == 4
+        assert link.total_reads == 4

@@ -1,0 +1,122 @@
+"""Tests for latency-insensitive stream links."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DataflowError
+from repro.dataflow.stream import ReadBlocked, Stream, StreamClosed, WriteBlocked
+
+
+class TestFifoBasics:
+    def test_fifo_order(self):
+        s = Stream("s")
+        for i in range(5):
+            s.write(i)
+        assert [s.read() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_read_empty_blocks(self):
+        s = Stream("s")
+        with pytest.raises(ReadBlocked):
+            s.read()
+
+    def test_peek_does_not_consume(self):
+        s = Stream("s")
+        s.write(7)
+        assert s.peek() == 7
+        assert s.read() == 7
+
+    def test_write_full_blocks(self):
+        s = Stream("s", capacity=2)
+        s.write(1)
+        s.write(2)
+        assert s.full
+        with pytest.raises(WriteBlocked):
+            s.write(3)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Stream("s", capacity=0)
+
+    def test_unbounded_never_full(self):
+        s = Stream("s")
+        for i in range(10_000):
+            s.write(i)
+        assert not s.full
+
+
+class TestCloseSemantics:
+    def test_read_after_close_drains_then_raises(self):
+        s = Stream("s")
+        s.write(1)
+        s.close()
+        assert s.read() == 1
+        assert s.drained
+        with pytest.raises(StreamClosed):
+            s.read()
+
+    def test_write_after_close_is_error(self):
+        s = Stream("s")
+        s.close()
+        with pytest.raises(DataflowError):
+            s.write(1)
+
+    def test_drained_requires_close_and_empty(self):
+        s = Stream("s")
+        s.write(1)
+        assert not s.drained
+        s.close()
+        assert not s.drained
+        s.read()
+        assert s.drained
+
+
+class TestStatistics:
+    def test_counts(self):
+        s = Stream("s")
+        s.write(1)
+        s.write(2)
+        s.read()
+        assert s.total_writes == 2
+        assert s.total_reads == 1
+        assert s.max_occupancy == 2
+
+    def test_reset(self):
+        s = Stream("s")
+        s.write(1)
+        s.close()
+        s.reset()
+        assert not s.closed
+        assert s.empty
+        assert s.total_writes == 0
+
+    def test_drain_returns_everything(self):
+        s = Stream("s")
+        for i in range(3):
+            s.write(i)
+        assert s.drain() == [0, 1, 2]
+        assert s.empty
+
+
+@given(st.lists(st.integers()))
+def test_fifo_preserves_order_property(tokens):
+    s = Stream("s")
+    for t in tokens:
+        s.write(t)
+    out = [s.read() for _ in range(len(tokens))]
+    assert out == tokens
+
+
+@given(st.lists(st.integers(), min_size=1), st.integers(min_value=1,
+                                                        max_value=8))
+def test_bounded_interleaved_transfer(tokens, capacity):
+    """Producer/consumer in lockstep never lose or reorder tokens."""
+    s = Stream("s", capacity=capacity)
+    out = []
+    pending = list(tokens)
+    while pending or not s.empty:
+        while pending and s.can_write():
+            s.write(pending.pop(0))
+        while s.can_read():
+            out.append(s.read())
+    assert out == tokens
+    assert s.max_occupancy <= capacity

@@ -1,0 +1,170 @@
+"""Tests for the Sec. 7.5 / Sec. 9 extensions: relay stations and the
+softcore disassembler."""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.core import BuildEngine, O3Flow, Project
+from repro.dataflow import DataflowGraph, Operator
+from repro.hls import OperatorBuilder, make_body
+from repro.softcore import assemble, compile_operator
+from repro.softcore.disasm import disassemble, listing
+
+
+def balanced_project():
+    """A well-behaved pipeline: one token in, one out, per step."""
+    def spec(name):
+        b = OperatorBuilder(name, inputs=[("in", 32)],
+                            outputs=[("out", 32)])
+        with b.loop("L", 16, pipeline=True):
+            b.write("out", b.cast(b.add(b.read("in"), 1), 32))
+        return b.build()
+
+    g = DataflowGraph("balanced")
+    for n in ("a", "b"):
+        s = spec(n)
+        g.add(Operator(n, make_body(s), ["in"], ["out"], hls_spec=s))
+    g.connect("a.out", "b.in")
+    g.expose_input("src", "a.in")
+    g.expose_output("dst", "b.out")
+    return Project("balanced", g, {"src": list(range(16))})
+
+
+def bursty_project():
+    """A producer that bursts 12 tokens per input token: needs FIFO
+    slack downstream of a consumer that drains slowly in phases."""
+    def burst(name):
+        b = OperatorBuilder(name, inputs=[("in", 32)],
+                            outputs=[("out", 32)])
+        with b.loop("L", 4):
+            v = b.read("in")
+            for k in range(12):
+                b.write("out", b.cast(b.add(v, k), 32))
+        return b.build()
+
+    def phased(name):
+        # Reads 24 tokens, then emits a summary — the reads outpace
+        # the 2-deep relays only if the producer can run ahead.
+        b = OperatorBuilder(name, inputs=[("in", 32)],
+                            outputs=[("out", 32)])
+        b.variable("acc", 32)
+        with b.loop("L", 2):
+            b.set("acc", 0)
+            with b.loop("R", 24, pipeline=True):
+                b.set("acc", b.cast(b.add(b.get("acc"), b.read("in")),
+                                    32))
+            b.write("out", b.get("acc"))
+        return b.build()
+
+    g = DataflowGraph("bursty")
+    s1, s2 = burst("producer"), phased("consumer")
+    g.add(Operator("producer", make_body(s1), ["in"], ["out"],
+                   hls_spec=s1))
+    g.add(Operator("consumer", make_body(s2), ["in"], ["out"],
+                   hls_spec=s2))
+    g.connect("producer.out", "consumer.in")
+    g.expose_input("src", "producer.in")
+    g.expose_output("dst", "consumer.out")
+    return Project("bursty", g, {"src": [10, 20, 30, 40]})
+
+
+class TestRelayStations:
+    def test_relay_flow_saves_brams(self):
+        project = balanced_project()
+        engine = BuildEngine()
+        fifo = O3Flow(effort=0.1).compile(project, engine)
+        relay = O3Flow(effort=0.1, relay_stations=True).compile(
+            project, engine)
+        assert relay.area.brams < fifo.area.brams
+        assert relay.area.luts < fifo.area.luts
+
+    def test_relay_flow_functionally_identical(self):
+        project = balanced_project()
+        engine = BuildEngine()
+        fifo = O3Flow(effort=0.1).compile(project, engine)
+        relay = O3Flow(effort=0.1, relay_stations=True).compile(
+            project, engine)
+        inputs = project.sample_inputs
+        assert relay.execute(inputs) == fifo.execute(inputs)
+
+    def test_bursty_graph_still_compiles_with_fifos(self):
+        project = bursty_project()
+        build = O3Flow(effort=0.1).compile(project)
+        out = build.execute(project.sample_inputs)
+        assert len(out["dst"]) == 2
+
+
+class TestDisassembler:
+    def test_round_trip_simple_program(self):
+        code = assemble([("addi", 5, 0, 42), ("add", 6, 5, 5),
+                         ("sw", 6, 2, 8), ("ebreak",)])
+        lines = disassemble(code)
+        assert len(lines) == 4
+        assert "addi" in lines[0] and "t0" in lines[0] and "42" in lines[0]
+        assert "sw" in lines[2] and "8(sp)" in lines[2]
+        assert "ebreak" in lines[3]
+
+    def test_branch_targets_resolved(self):
+        code = assemble([
+            ("li", 1, 3),
+            "loop:",
+            ("addi", 1, 1, -1),
+            ("bne", 1, 0, "loop"),
+            ("ebreak",),
+        ])
+        text = listing(code)
+        # The branch line should point back at the loop address (0x4).
+        branch_line = [l for l in text.splitlines() if "bne" in l][0]
+        assert "0x4" in branch_line
+
+    def test_unknown_word_rendered_as_data(self):
+        lines = disassemble(b"\xff\xff\xff\xff")
+        assert ".word" in lines[0]
+
+    def test_misaligned_rejected(self):
+        from repro.errors import SoftcoreError
+        with pytest.raises(SoftcoreError):
+            disassemble(b"\x00\x00\x00")
+
+    def test_compiled_operator_disassembles(self):
+        b = OperatorBuilder("k", inputs=[("in", 32)], outputs=[("o", 32)])
+        b.write("o", b.cast(b.mul(b.read("in"), 3), 32))
+        compiled = compile_operator(b.build())
+        text = listing(compiled.code)
+        assert "mul" in text
+        assert "ebreak" in text
+        # Every word decodes (no stray data in the text segment).
+        assert ".word" not in text
+
+
+class TestPipelinedSoftcore:
+    """Sec. 7.4: a pipelined softcore improves -O0 performance."""
+
+    def test_pipelined_profile_is_faster(self):
+        from repro.softcore.cpu import PIPELINED_CYCLES, PicoRV32
+        program = assemble([("li", 1, 50), "l:", ("addi", 1, 1, -1),
+                            ("mul", 2, 1, 1), ("bne", 1, 0, "l"),
+                            ("ebreak",)])
+        slow = PicoRV32()
+        slow.load_image(program)
+        slow.run()
+        fast = PicoRV32(cycles=PIPELINED_CYCLES)
+        fast.load_image(program)
+        fast.run()
+        assert fast.instructions_retired == slow.instructions_retired
+        assert fast.cycles < slow.cycles / 2
+
+    def test_o0_flow_with_pipelined_cores(self):
+        from repro.core import O0Flow
+        from repro.softcore.cpu import PIPELINED_CYCLES
+        project = balanced_project()
+        engine = BuildEngine()
+        pico = O0Flow(effort=0.1).compile(project, engine)
+        fast = O0Flow(effort=0.1,
+                      softcore_cycles=PIPELINED_CYCLES).compile(
+            project, engine)
+        # Same results, better per-input estimate.
+        inputs = project.sample_inputs
+        assert fast.execute(inputs) == pico.execute(inputs)
+        assert fast.performance.seconds_per_input < \
+            pico.performance.seconds_per_input

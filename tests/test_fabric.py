@@ -1,0 +1,253 @@
+"""Tests for the device, page floorplan, shells and bitstreams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CapacityError, FabricError
+from repro.fabric import (
+    FLOORPLAN,
+    AbstractShell,
+    Bitstream,
+    Overlay,
+    PAGE_TYPES,
+    TileGrid,
+    XCU50,
+    page_efficiency,
+)
+from repro.fabric.device import SITE_LUTS
+from repro.fabric.page import PAGE_TYPE_COUNTS, page_by_number
+from repro.fabric.shell import DFXRegion
+from repro.hls.estimate import ResourceEstimate
+
+
+class TestDevice:
+    def test_xcu50_totals_match_paper(self):
+        assert XCU50.luts == 751_793
+        assert XCU50.brams == 2_300
+        assert XCU50.dsps == 5_936
+        assert len(XCU50.slrs) == 2
+
+    def test_device_grid_covers_resources(self):
+        grid = XCU50.grid()
+        cap = grid.capacity()
+        assert cap["SLICE"] * SITE_LUTS >= XCU50.luts
+        assert cap["BRAM"] >= XCU50.brams
+        assert cap["DSP"] >= XCU50.dsps
+
+    def test_fits(self):
+        assert XCU50.fits(1000, 10, 10)
+        assert not XCU50.fits(10 ** 7, 0, 0)
+
+
+class TestTileGrid:
+    def test_for_resources_meets_demand(self):
+        grid = TileGrid.for_resources(10_000, 50, 60)
+        cap = grid.capacity()
+        assert cap["SLICE"] * SITE_LUTS >= 10_000
+        assert cap["BRAM"] >= 50
+        assert cap["DSP"] >= 60
+
+    def test_heterogeneous_columns(self):
+        grid = TileGrid.for_resources(20_000, 100, 100)
+        kinds = {grid.column_kind(x) for x in range(grid.width)}
+        assert {"L", "B", "D", "IO"} <= kinds
+
+    def test_site_bounds_checked(self):
+        grid = TileGrid(8, 8)
+        with pytest.raises(FabricError):
+            grid.site(8, 0)
+        with pytest.raises(FabricError):
+            grid.site(0, 8)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(FabricError):
+            TileGrid(1, 0)
+
+    def test_sites_of_kind(self):
+        grid = TileGrid.for_resources(1_000, 4, 4)
+        brams = grid.sites_of_kind("BRAM")
+        assert len(brams) == grid.capacity()["BRAM"]
+
+
+class TestFloorplan:
+    def test_page_type_budgets_match_table1(self):
+        t1 = PAGE_TYPES["Type-1"]
+        assert (t1.luts, t1.ffs, t1.brams, t1.dsps) == (21_240, 43_200,
+                                                        120, 168)
+        t4 = PAGE_TYPES["Type-4"]
+        assert (t4.luts, t4.ffs, t4.brams, t4.dsps) == (18_560, 37_440,
+                                                        48, 144)
+
+    def test_page_counts_match_table1(self):
+        counts = {}
+        for page in FLOORPLAN:
+            counts[page.page_type.name] = counts.get(page.page_type.name,
+                                                     0) + 1
+        assert counts == PAGE_TYPE_COUNTS
+        assert len(FLOORPLAN) == 22
+
+    def test_pages_span_both_slrs(self):
+        slrs = {page.slr for page in FLOORPLAN}
+        assert slrs == {0, 1}
+
+    def test_total_page_resources_fit_device(self):
+        total_luts = sum(p.luts for p in FLOORPLAN)
+        total_brams = sum(p.brams for p in FLOORPLAN)
+        total_dsps = sum(p.dsps for p in FLOORPLAN)
+        assert XCU50.fits(total_luts, total_brams, total_dsps)
+
+    def test_page_lookup(self):
+        assert page_by_number(1).number == 1
+        with pytest.raises(FabricError):
+            page_by_number(99)
+
+    def test_check_fit(self):
+        page = page_by_number(1)
+        page.check_fit(ResourceEstimate(1000, 2000, 10, 10), "op")
+        with pytest.raises(CapacityError) as exc:
+            page.check_fit(ResourceEstimate(10 ** 6, 0, 0, 0), "big")
+        assert exc.value.resource == "luts"
+
+    def test_usable_budget_subtracts_leaf(self):
+        page = page_by_number(1)
+        assert page.usable_budget().luts == page.luts - 500
+
+    def test_page_grid_covers_budget(self):
+        for name, ptype in PAGE_TYPES.items():
+            grid = ptype.grid()
+            cap = grid.capacity()
+            assert cap["SLICE"] * SITE_LUTS >= ptype.luts, name
+            assert cap["BRAM"] >= ptype.brams, name
+            assert cap["DSP"] >= ptype.dsps, name
+
+
+class TestEfficiency:
+    def test_paper_operating_point(self):
+        """~18k-LUT pages with 500+500 LUT overheads -> ~95 %."""
+        eff = page_efficiency(18_000)
+        assert eff == pytest.approx(0.947, abs=0.005)
+
+    def test_small_pages_less_efficient(self):
+        assert page_efficiency(2_000) < page_efficiency(18_000)
+
+    def test_monotone_in_page_size(self):
+        sizes = [1_000, 4_000, 8_000, 18_000, 40_000]
+        effs = [page_efficiency(s) for s in sizes]
+        assert effs == sorted(effs)
+
+    def test_fragmentation_lowers_efficiency(self):
+        # Operators half-filling pages waste the other half.
+        frag = page_efficiency(18_000, operator_luts=[9_000] * 4)
+        packed = page_efficiency(18_000, operator_luts=[18_000] * 4)
+        assert frag < packed
+
+    def test_invalid_page_size(self):
+        with pytest.raises(FabricError):
+            page_efficiency(0)
+
+    @given(st.integers(min_value=1_000, max_value=100_000))
+    def test_efficiency_in_unit_interval(self, page_luts):
+        assert 0 < page_efficiency(page_luts) < 1
+
+
+class TestShells:
+    def test_overlay_builds_l1_l2(self):
+        overlay = Overlay()
+        assert overlay.l1_region.level == 1
+        assert len(overlay.l2_regions) == 22
+        assert all(r.parent == "pld_l1" for r in overlay.l2_regions)
+
+    def test_abstract_shell_is_tiny_context(self):
+        overlay = Overlay()
+        shell = overlay.abstract_shell(3)
+        assert shell.context_luts < overlay.full_context_luts() / 100
+
+    def test_unknown_page_rejected(self):
+        overlay = Overlay()
+        with pytest.raises(FabricError):
+            overlay.abstract_shell(99)
+
+    def test_dfx_level_validation(self):
+        with pytest.raises(FabricError):
+            DFXRegion("x", 3, 0, 0, 0)
+        with pytest.raises(FabricError):
+            DFXRegion("x", 2, 0, 0, 0)      # L2 needs a parent
+
+    def test_empty_overlay_rejected(self):
+        with pytest.raises(FabricError):
+            Overlay(pages=())
+
+    def test_network_cost_scales_with_pages(self):
+        overlay = Overlay()
+        assert overlay.network_luts() == 500 * 22
+
+
+class TestBitstream:
+    def test_partial_much_smaller_than_full(self):
+        page = page_by_number(1)
+        partial = Bitstream("page_1.xclbin", page.luts, page.brams,
+                            page.dsps)
+        full = Bitstream("full.bit", XCU50.luts, XCU50.brams, XCU50.dsps,
+                         partial=False)
+        assert partial.size_bytes < full.size_bytes / 10
+
+    def test_paper_scale_sizes(self):
+        """Full image tens of MB+, page image around a MB or below."""
+        full = Bitstream("full.bit", XCU50.luts, XCU50.brams, XCU50.dsps,
+                         partial=False)
+        assert full.size_bytes > 20_000_000
+        page = page_by_number(2)
+        partial = Bitstream("p.xclbin", page.luts, page.brams, page.dsps)
+        assert partial.size_bytes < 2_000_000
+
+    def test_load_time_proportional(self):
+        a = Bitstream("a", 10_000)
+        b = Bitstream("b", 100_000)
+        assert b.load_seconds > a.load_seconds
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(FabricError):
+            Bitstream("bad", -1)
+
+    def test_payload_rides_along(self):
+        bare = Bitstream("a", 1_000)
+        packed = Bitstream("a", 1_000, payload_bytes=65_536)
+        assert packed.size_bytes == bare.size_bytes + 65_536
+
+
+class TestUniformOverlay:
+    """Sec. 9 extension: alternative overlays with custom page mixes."""
+
+    def test_uniform_overlay_builds(self):
+        overlay = Overlay.uniform(9_000)
+        assert len(overlay.pages) > 22          # smaller pages, more of them
+        total = overlay.total_page_resources()
+        assert XCU50.fits(total.luts, total.brams, total.dsps)
+
+    def test_more_smaller_pages_than_default(self):
+        small = Overlay.uniform(9_000)
+        big = Overlay.uniform(36_000)
+        assert len(small.pages) > len(big.pages)
+
+    def test_tiny_pages_rejected(self):
+        with pytest.raises(FabricError):
+            Overlay.uniform(600)
+
+    def test_uniform_overlay_compiles_an_app(self):
+        from repro.core import O1Flow, Project
+        from repro.dataflow import DataflowGraph, Operator
+        from repro.hls import OperatorBuilder, make_body
+
+        b = OperatorBuilder("inc", inputs=[("i", 32)], outputs=[("o", 32)])
+        with b.loop("L", 8, pipeline=True):
+            b.write("o", b.cast(b.add(b.read("i"), 1), 32))
+        spec = b.build()
+        g = DataflowGraph("app")
+        g.add(Operator("inc", make_body(spec), ["i"], ["o"],
+                       hls_spec=spec))
+        g.expose_input("src", "inc.i")
+        g.expose_output("dst", "inc.o")
+        project = Project("app", g, {"src": [1, 2]})
+        build = O1Flow(overlay=Overlay.uniform(12_000),
+                       effort=0.1).compile(project)
+        assert build.execute({"src": [1, 2]})["dst"] == [2, 3]

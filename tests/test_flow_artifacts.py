@@ -1,0 +1,88 @@
+"""Tests for on-disk flow artefacts (the files the paper's tools emit)."""
+
+import json
+
+import pytest
+
+from repro.core import BuildEngine, O0Flow, O1Flow, O3Flow, Project
+from repro.dataflow import DataflowGraph, Operator
+from repro.hls import OperatorBuilder, make_body
+
+
+@pytest.fixture(scope="module")
+def project():
+    b = OperatorBuilder("stage_a", inputs=[("in", 32)],
+                        outputs=[("out", 32)])
+    with b.loop("L", 8, pipeline=True):
+        b.write("out", b.cast(b.add(b.read("in"), 5), 32))
+    spec_a = b.build()
+    b = OperatorBuilder("stage_b", inputs=[("in", 32)],
+                        outputs=[("out", 32)])
+    with b.loop("L", 8, pipeline=True):
+        b.write("out", b.cast(b.mul(b.read("in"), 2), 32))
+    spec_b = b.build()
+    g = DataflowGraph("two-stage")
+    g.add(Operator("stage_a", make_body(spec_a), ["in"], ["out"],
+                   hls_spec=spec_a))
+    g.add(Operator("stage_b", make_body(spec_b), ["in"], ["out"],
+                   hls_spec=spec_b))
+    g.connect("stage_a.out", "stage_b.in")
+    g.expose_input("src", "stage_a.in")
+    g.expose_output("dst", "stage_b.out")
+    return Project("two-stage", g, {"src": [1, 2, 3]})
+
+
+class TestArtifacts:
+    def test_o1_artifacts(self, project, tmp_path):
+        build = O1Flow(effort=0.1).compile(project, BuildEngine())
+        written = build.write_artifacts(tmp_path)
+        assert "stage_a.v" in written
+        assert "stage_b.v" in written
+        assert "dfg.ir" in written
+        assert "driver.c" in written
+        assert "manifest.json" in written
+
+    def test_driver_configures_pages_and_links(self, project, tmp_path):
+        build = O1Flow(effort=0.1).compile(project, BuildEngine())
+        build.write_artifacts(tmp_path)
+        driver = (tmp_path / "driver.c").read_text()
+        assert "pld_load_overlay" in driver
+        assert driver.count("pld_load_bitstream") == 2
+        assert "pld_send_link_packets" in driver
+
+    def test_o0_driver_loads_elfs(self, project, tmp_path):
+        build = O0Flow(effort=0.1).compile(project, BuildEngine())
+        build.write_artifacts(tmp_path)
+        driver = (tmp_path / "driver.c").read_text()
+        assert driver.count("pld_load_elf") == 2
+        assert "pld_load_bitstream" not in driver
+
+    def test_monolithic_driver_loads_kernel(self, project, tmp_path):
+        build = O3Flow(effort=0.1).compile(project, BuildEngine())
+        build.write_artifacts(tmp_path)
+        driver = (tmp_path / "driver.c").read_text()
+        assert "pld_load_kernel" in driver
+        assert "overlay" not in driver
+
+    def test_manifest_round_trips(self, project, tmp_path):
+        build = O1Flow(effort=0.1).compile(project, BuildEngine())
+        build.write_artifacts(tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["project"] == "two-stage"
+        assert manifest["area"]["pages"] == 2
+        assert set(manifest["pages"]) == {"stage_a", "stage_b"}
+
+    def test_dfg_file_valid_json(self, project, tmp_path):
+        build = O1Flow(effort=0.1).compile(project, BuildEngine())
+        build.write_artifacts(tmp_path)
+        dfg = json.loads((tmp_path / "dfg.ir").read_text())
+        assert {op["name"] for op in dfg["operators"]} == \
+            {"stage_a", "stage_b"}
+
+    def test_makefile_emitted(self, project, tmp_path):
+        build = O1Flow(effort=0.1).compile(project, BuildEngine())
+        written = build.write_artifacts(tmp_path)
+        assert "Makefile" in written
+        text = (tmp_path / "Makefile").read_text()
+        assert "build/stage_a.xclbin" in text
+        assert "build/stage_b.xclbin" in text

@@ -1,0 +1,191 @@
+"""Tests for the IR interpreter (reference operator execution)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HLSError
+from repro.dataflow import DataflowGraph, Operator, run_graph
+from repro.hls import OperatorBuilder, make_body
+
+
+def run_spec(spec, inputs):
+    """Wrap a spec in a one-operator graph and run it functionally."""
+    op = Operator(spec.name, make_body(spec), spec.input_ports,
+                  spec.output_ports)
+    g = DataflowGraph(f"t_{spec.name}")
+    g.add(op)
+    for port in spec.input_ports:
+        g.expose_input(port, f"{spec.name}.{port}")
+    for port in spec.output_ports:
+        g.expose_output(port, f"{spec.name}.{port}")
+    return run_graph(g, inputs)
+
+
+def build_scale(factor=3):
+    b = OperatorBuilder("scale", inputs=[("x", 32)], outputs=[("y", 32)])
+    with b.loop("L", 4, pipeline=True):
+        v = b.read("x")
+        b.write("y", b.cast(b.mul(v, factor), 32))
+    return b.build()
+
+
+class TestBasicExecution:
+    def test_scale(self):
+        out = run_spec(build_scale(), {"x": [1, 2, 3, 4]})
+        assert out["y"] == [3, 6, 9, 12]
+
+    def test_reruns_per_frame(self):
+        # Loop trip is 4; feeding 8 tokens runs two activations.
+        out = run_spec(build_scale(), {"x": list(range(8))})
+        assert out["y"] == [3 * v for v in range(8)]
+
+    def test_source_operator_runs_once(self):
+        b = OperatorBuilder("iota", outputs=[("out", 32)])
+        with b.loop("L", 5) as i:
+            b.write("out", b.cast(i, 32))
+        out = run_spec(b.build(), {})
+        assert out["out"] == [0, 1, 2, 3, 4]
+
+    def test_variables_accumulate(self):
+        b = OperatorBuilder("acc", inputs=[("in", 32)], outputs=[("out", 32)])
+        b.variable("total", 32)
+        with b.loop("L", 4):
+            v = b.read("in")
+            b.set("total", b.cast(b.add(b.get("total"), v), 32))
+        b.write("out", b.get("total"))
+        out = run_spec(b.build(), {"in": [1, 2, 3, 4]})
+        assert out["out"] == [10]
+
+    def test_array_store_load(self):
+        b = OperatorBuilder("rev", inputs=[("in", 32)], outputs=[("out", 32)])
+        b.array("buf", 8, 32)
+        with b.loop("FILL", 8) as i:
+            b.store("buf", i, b.read("in"))
+        with b.loop("DRAIN", 8) as i:
+            idx = b.sub(7, i)
+            b.write("out", b.load("buf", b.cast(idx, 4, signed=False)))
+        out = run_spec(b.build(), {"in": list(range(8))})
+        assert out["out"] == list(reversed(range(8)))
+
+    def test_array_init(self):
+        b = OperatorBuilder("lut", inputs=[("i", 32)], outputs=[("o", 32)])
+        b.array("table", 4, 32, init=[10, 20, 30, 40])
+        idx = b.read("i", signed=False)
+        b.write("o", b.load("table", b.cast(idx, 2, signed=False)))
+        out = run_spec(b.build(), {"i": [0, 3, 1]})
+        assert out["o"] == [10, 40, 20]
+
+    def test_if_else(self):
+        b = OperatorBuilder("clamp", inputs=[("in", 32)],
+                            outputs=[("out", 32)])
+        b.variable("r", 32)
+        v = b.read("in")
+        with b.if_(b.gt(v, 100)):
+            b.set("r", 100)
+        with b.orelse():
+            b.set("r", v)
+        b.write("out", b.get("r"))
+        out = run_spec(b.build(), {"in": [5, 200, 100, 101]})
+        assert out["out"] == [5, 100, 100, 100]
+
+    def test_select(self):
+        b = OperatorBuilder("mux", inputs=[("in", 32)], outputs=[("out", 32)])
+        v = b.read("in")
+        b.write("out", b.select(b.lt(v, 0), b.neg(v), v))
+        out = run_spec(b.build(), {"in": [0xFFFFFFFF, 5]})
+        # 0xFFFFFFFF read as signed 32b is -1 -> abs -> 1
+        assert out["out"] == [1, 5]
+
+    def test_unsigned_read(self):
+        b = OperatorBuilder("u", inputs=[("in", 32)], outputs=[("out", 32)])
+        v = b.read("in", signed=False)
+        b.write("out", b.cast(b.shr(v, 31), 32))
+        out = run_spec(b.build(), {"in": [0xFFFFFFFF]})
+        assert out["out"] == [1]       # logical because value is unsigned
+
+    def test_signed_write_emits_raw_pattern(self):
+        b = OperatorBuilder("negate", inputs=[("in", 32)],
+                            outputs=[("out", 32)])
+        b.write("out", b.cast(b.neg(b.read("in")), 32))
+        out = run_spec(b.build(), {"in": [1]})
+        assert out["out"] == [0xFFFFFFFF]   # -1 as a raw 32-bit word
+
+    def test_division_semantics(self):
+        b = OperatorBuilder("d", inputs=[("a", 32), ("b", 32)],
+                            outputs=[("q", 32), ("r", 32)])
+        x = b.read("a")
+        y = b.read("b")
+        b.write("q", b.cast(b.div(x, y), 32))
+        b.write("r", b.cast(b.mod(x, y), 32))
+        out = run_spec(b.build(), {"a": [(-7) & 0xFFFFFFFF], "b": [2]})
+        assert out["q"] == [(-3) & 0xFFFFFFFF]    # trunc toward zero
+        assert out["r"] == [(-1) & 0xFFFFFFFF]
+
+    def test_div_by_zero_raises(self):
+        b = OperatorBuilder("d", inputs=[("a", 32)], outputs=[("q", 32)])
+        x = b.read("a")
+        b.write("q", b.cast(b.div(x, 0), 32))
+        with pytest.raises(ZeroDivisionError):
+            run_spec(b.build(), {"a": [1]})
+
+    def test_array_bounds_checked(self):
+        b = OperatorBuilder("oob", inputs=[("i", 32)], outputs=[("o", 32)])
+        b.array("m", 4, 32)
+        b.write("o", b.load("m", b.read("i", signed=False)))
+        with pytest.raises(HLSError):
+            run_spec(b.build(), {"i": [4]})
+
+    def test_isqrt(self):
+        b = OperatorBuilder("sq", inputs=[("in", 32)], outputs=[("out", 32)])
+        v = b.read("in", signed=False)
+        b.write("out", b.cast(b.isqrt(v), 32))
+        out = run_spec(b.build(), {"in": [0, 1, 15, 16, 1 << 30]})
+        assert out["out"] == [0, 1, 3, 4, 1 << 15]
+
+    def test_fixmul_helper(self):
+        # Q16.16: 1.5 * 2.5 = 3.75
+        b = OperatorBuilder("fm", inputs=[("a", 32), ("b", 32)],
+                            outputs=[("p", 32)])
+        x = b.read("a")
+        y = b.read("b")
+        b.write("p", b.fixmul(x, y, 16, 32))
+        a = int(1.5 * 65536)
+        c = int(2.5 * 65536)
+        out = run_spec(b.build(), {"a": [a], "b": [c]})
+        assert out["p"] == [int(3.75 * 65536)]
+
+    def test_fixdiv_helper(self):
+        # Q16.16: 3 / 2 = 1.5
+        b = OperatorBuilder("fd", inputs=[("a", 32), ("b", 32)],
+                            outputs=[("q", 32)])
+        x = b.read("a")
+        y = b.read("b")
+        b.write("q", b.fixdiv(x, y, 16, 32))
+        out = run_spec(b.build(), {"a": [3 << 16], "b": [2 << 16]})
+        assert out["q"] == [int(1.5 * 65536)]
+
+
+class TestWidthSemantics:
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1),
+           st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_add_cast_matches_mod_arith(self, a, b):
+        builder = OperatorBuilder("m", inputs=[("x", 32), ("y", 32)],
+                                  outputs=[("s", 32)])
+        x = builder.read("x", signed=False)
+        y = builder.read("y", signed=False)
+        builder.write("s", builder.cast(builder.add(x, y), 32,
+                                        signed=False))
+        out = run_spec(builder.build(), {"x": [a], "y": [b]})
+        assert out["s"] == [(a + b) % 2 ** 32]
+
+    @given(st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1),
+           st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1))
+    def test_mul_full_width_exact(self, a, b):
+        builder = OperatorBuilder("m", inputs=[("x", 16), ("y", 16)],
+                                  outputs=[("p", 32)])
+        x = builder.read("x")
+        y = builder.read("y")
+        builder.write("p", builder.cast(builder.mul(x, y), 32))
+        out = run_spec(builder.build(),
+                       {"x": [a & 0xFFFF], "y": [b & 0xFFFF]})
+        assert out["p"] == [(a * b) & 0xFFFFFFFF]

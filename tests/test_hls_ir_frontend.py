@@ -1,0 +1,152 @@
+"""Tests for the operator IR and builder frontend."""
+
+import pytest
+
+from repro.errors import HLSError
+from repro.hls import OperatorBuilder
+from repro.hls.ir import (
+    ArrayDecl,
+    Block,
+    Instr,
+    Loop,
+    OperatorSpec,
+    Value,
+    VarDecl,
+)
+
+
+class TestIRValidation:
+    def test_value_width_positive(self):
+        with pytest.raises(HLSError):
+            Value("x", 0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(HLSError):
+            Instr("frobnicate", None)
+
+    def test_arg_count_checked(self):
+        with pytest.raises(HLSError):
+            Instr("add", Value("r", 8), (Value("a", 8),))
+
+    def test_sink_has_no_result(self):
+        with pytest.raises(HLSError):
+            Instr("write", Value("r", 8), (Value("a", 8),),
+                  {"port": "out"})
+
+    def test_loop_trip_nonnegative(self):
+        with pytest.raises(HLSError):
+            Loop("L", -1, Block())
+
+    def test_array_depth_positive(self):
+        with pytest.raises(HLSError):
+            ArrayDecl("m", 0, 8)
+
+    def test_array_init_length(self):
+        with pytest.raises(HLSError):
+            ArrayDecl("m", 2, 8, init=(1, 2, 3))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(HLSError):
+            OperatorSpec("op", [("x", 32)], [("x", 32)])
+
+    def test_spec_validate_checks_ports(self):
+        spec = OperatorSpec(
+            "op", [("a", 32)], [("b", 32)],
+            body=Block([Instr("read", Value("v", 32), (),
+                              {"port": "nope"})]))
+        with pytest.raises(HLSError):
+            spec.validate()
+
+
+class TestBuilder:
+    def test_simple_passthrough(self):
+        b = OperatorBuilder("copy", inputs=[("in", 32)],
+                            outputs=[("out", 32)])
+        with b.loop("L", 10, pipeline=True):
+            v = b.read("in")
+            b.write("out", v)
+        spec = b.build()
+        assert spec.name == "copy"
+        counts = spec.count_instructions()
+        assert counts["read"] == 1
+        assert counts["write"] == 1
+
+    def test_width_inference(self):
+        b = OperatorBuilder("w", inputs=[("in", 8)], outputs=[("out", 32)])
+        v = b.read("in")
+        s = b.add(v, v)
+        p = b.mul(v, v)
+        c = b.lt(v, 3)
+        assert s.width == 9
+        assert p.width == 16
+        assert c.width == 1 and not c.signed
+        b.write("out", b.cast(p, 32))
+        b.build()
+
+    def test_unknown_port_rejected(self):
+        b = OperatorBuilder("x", inputs=[("in", 32)], outputs=[("out", 32)])
+        with pytest.raises(HLSError):
+            b.read("nope")
+        with pytest.raises(HLSError):
+            b.write("nope", 1)
+
+    def test_variable_and_array(self):
+        b = OperatorBuilder("acc", inputs=[("in", 32)],
+                            outputs=[("out", 32)])
+        b.variable("total", 32)
+        b.array("buf", 64, 32)
+        with b.loop("L", 64):
+            v = b.read("in")
+            t = b.get("total")
+            b.set("total", b.cast(b.add(t, v), 32))
+            b.store("buf", 0, v)
+        b.write("out", b.get("total"))
+        spec = b.build()
+        assert spec.var("total").width == 32
+        assert spec.array("buf").depth == 64
+
+    def test_if_orelse(self):
+        b = OperatorBuilder("clamp", inputs=[("in", 32)],
+                            outputs=[("out", 32)])
+        b.variable("r", 32)
+        v = b.read("in")
+        cond = b.gt(v, 100)
+        with b.if_(cond):
+            b.set("r", 100)
+        with b.orelse():
+            b.set("r", v)
+        b.write("out", b.get("r"))
+        spec = b.build()
+        spec.validate()
+
+    def test_orelse_without_if_rejected(self):
+        b = OperatorBuilder("x")
+        with pytest.raises(HLSError):
+            with b.orelse():
+                pass
+
+    def test_double_orelse_rejected(self):
+        b = OperatorBuilder("x", inputs=[("in", 32)], outputs=[("o", 32)])
+        v = b.read("in")
+        c = b.gt(v, 0)
+        with b.if_(c):
+            pass
+        with b.orelse():
+            pass
+        with pytest.raises(HLSError):
+            with b.orelse():
+                pass
+
+    def test_double_build_rejected(self):
+        b = OperatorBuilder("x", inputs=[("in", 32)], outputs=[("o", 32)])
+        b.write("o", b.read("in"))
+        b.build()
+        with pytest.raises(HLSError):
+            b.build()
+
+    def test_loop_yields_induction_value(self):
+        b = OperatorBuilder("iota", outputs=[("out", 32)])
+        with b.loop("L", 5) as i:
+            b.write("out", b.cast(i, 32))
+        spec = b.build()
+        assert spec.count_instructions()["getvar"] == 1

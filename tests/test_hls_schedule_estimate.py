@@ -1,0 +1,233 @@
+"""Tests for the scheduler, resource estimator, netlist and Verilog."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.hls import (
+    OperatorBuilder,
+    emit_verilog,
+    estimate_operator,
+    schedule_operator,
+    synthesize_netlist,
+)
+from repro.hls.estimate import estimate_breakdown
+from repro.hls.netlist import SLICE_LUTS
+
+
+def simple_pipe(trip=100, pipeline=True, reads_per_iter=1):
+    b = OperatorBuilder("p", inputs=[("in", 32)], outputs=[("out", 32)])
+    with b.loop("L", trip, pipeline=pipeline):
+        acc = None
+        for _ in range(reads_per_iter):
+            v = b.read("in")
+            acc = v if acc is None else b.add(acc, v)
+        b.write("out", b.cast(acc, 32))
+    return b.build()
+
+
+class TestSchedule:
+    def test_ii1_pipeline(self):
+        s = schedule_operator(simple_pipe())
+        assert s.loops[0].ii == 1
+        assert s.total_cycles == pytest.approx(100, rel=0.25)
+
+    def test_port_serialisation_raises_ii(self):
+        s = schedule_operator(simple_pipe(reads_per_iter=6))
+        assert s.loops[0].ii >= 6
+
+    def test_pipelined_faster_than_sequential(self):
+        fast = schedule_operator(simple_pipe(pipeline=True))
+        slow = schedule_operator(simple_pipe(pipeline=False))
+        assert fast.total_cycles < slow.total_cycles
+
+    def test_memory_port_limit(self):
+        b = OperatorBuilder("m", inputs=[("in", 32)], outputs=[("out", 32)])
+        b.array("buf", 1024, 32)
+        with b.loop("L", 64, pipeline=True) as i:
+            v = b.read("in")
+            idx = b.cast(i, 10, signed=False)
+            b.store("buf", idx, v)
+            a = b.load("buf", idx)
+            c = b.load("buf", idx)
+            d = b.load("buf", idx)
+            b.write("out", b.cast(b.add(b.add(a, c), d), 32))
+        s = schedule_operator(b.build())
+        # 4 accesses to one dual-ported BRAM -> II >= 2.
+        assert s.loops[0].ii >= 2
+
+    def test_recurrence_bound(self):
+        b = OperatorBuilder("r", inputs=[("in", 32)], outputs=[("out", 32)])
+        b.variable("acc", 32)
+        with b.loop("L", 64, pipeline=True):
+            v = b.read("in")
+            t = b.get("acc")
+            # Multiply in the accumulation chain: II >= mul latency.
+            b.set("acc", b.cast(b.mul(t, v), 32))
+            b.write("out", b.get("acc"))
+        s = schedule_operator(b.build())
+        assert s.loops[0].ii >= 3
+
+    def test_unroll_divides_iterations(self):
+        rolled = schedule_operator(simple_pipe(trip=128))
+
+        b = OperatorBuilder("u", inputs=[("in", 32)], outputs=[("out", 32)])
+        with b.loop("L", 128, pipeline=False, unroll=4):
+            v = b.read("in")
+            b.write("out", b.cast(b.add(v, 1), 32))
+        unrolled = schedule_operator(b.build())
+        assert unrolled.loops[0].cycles < rolled.loops[0].cycles * 2
+
+    def test_unroll_exceeding_trip_rejected(self):
+        b = OperatorBuilder("u", inputs=[("in", 32)], outputs=[("o", 32)])
+        with b.loop("L", 2, unroll=4):
+            b.write("o", b.read("in"))
+        with pytest.raises(ScheduleError):
+            schedule_operator(b.build())
+
+    def test_port_tokens(self):
+        s = schedule_operator(simple_pipe(trip=100, reads_per_iter=2))
+        assert s.port_tokens["in"] == 200
+        assert s.port_tokens["out"] == 100
+        assert s.max_port_tokens == 200
+
+    def test_token_interval(self):
+        s = schedule_operator(simple_pipe(trip=100))
+        assert s.token_interval() >= 1
+
+    def test_nested_loop_cycles_multiply(self):
+        b = OperatorBuilder("n", inputs=[("in", 32)], outputs=[("o", 32)])
+        with b.loop("OUTER", 10):
+            with b.loop("INNER", 20, pipeline=True):
+                b.write("o", b.read("in"))
+        s = schedule_operator(b.build())
+        assert s.total_cycles >= 10 * 20
+
+    def test_fmax_at_or_below_ceiling(self):
+        s = schedule_operator(simple_pipe())
+        assert 0 < s.fmax_mhz <= 300.0
+
+
+class TestEstimate:
+    def test_adder_costs_luts(self):
+        est = estimate_operator(simple_pipe(reads_per_iter=2))
+        assert est.luts > 30
+
+    def test_multiplier_costs_dsps(self):
+        b = OperatorBuilder("m", inputs=[("in", 32)], outputs=[("o", 64)])
+        v = b.read("in")
+        b.write("o", b.mul(v, v))
+        est = estimate_operator(b.build())
+        assert est.dsps >= 2          # 32x32 tiles over DSP48s
+
+    def test_divider_is_lut_hungry(self):
+        b = OperatorBuilder("d", inputs=[("in", 32)], outputs=[("o", 32)])
+        v = b.read("in")
+        b.write("o", b.cast(b.div(v, 3), 32))
+        est = estimate_operator(b.build())
+        assert est.luts >= 5 * 33      # result width 33
+
+    def test_big_array_costs_brams(self):
+        b = OperatorBuilder("a", inputs=[("in", 32)], outputs=[("o", 32)])
+        b.array("m", 4096, 32)          # 128 Kb -> >= 8 BRAM18
+        idx = b.read("in", signed=False)
+        b.write("o", b.load("m", b.cast(idx, 12, signed=False)))
+        est = estimate_operator(b.build())
+        assert est.brams >= 8
+
+    def test_small_array_is_lutram(self):
+        b = OperatorBuilder("a", inputs=[("in", 32)], outputs=[("o", 32)])
+        b.array("m", 16, 32)            # 512 bits -> LUTRAM
+        idx = b.read("in", signed=False)
+        b.write("o", b.load("m", b.cast(idx, 4, signed=False)))
+        est = estimate_operator(b.build())
+        assert est.brams == 0
+        assert est.luts > 0
+
+    def test_unroll_replicates_area(self):
+        def build(unroll):
+            b = OperatorBuilder("u", inputs=[("in", 32)],
+                                outputs=[("o", 32)])
+            with b.loop("L", 64, unroll=unroll):
+                v = b.read("in")
+                b.write("o", b.cast(b.mul(v, v), 32))
+            return estimate_operator(b.build())
+
+        assert build(8).dsps == 8 * build(1).dsps
+
+    def test_breakdown_sums_to_kinds(self):
+        spec = simple_pipe(reads_per_iter=3)
+        breakdown = estimate_breakdown(spec)
+        assert "add" in breakdown
+        assert breakdown["add"].luts > 0
+
+    def test_estimate_addition(self):
+        from repro.hls.estimate import ResourceEstimate
+        a = ResourceEstimate(1, 2, 3, 4)
+        b = ResourceEstimate(10, 20, 30, 40)
+        c = a + b
+        assert (c.luts, c.ffs, c.brams, c.dsps) == (11, 22, 33, 44)
+        assert c.fits(11, 22, 33, 44)
+        assert not c.fits(10, 22, 33, 44)
+
+
+class TestNetlist:
+    def test_cell_counts_follow_estimate(self):
+        est = estimate_operator(simple_pipe(reads_per_iter=4))
+        netlist = synthesize_netlist("p", est, n_ports=2)
+        assert netlist.count("SLICE") == -(-est.luts // SLICE_LUTS)
+        assert netlist.count("IO") == 2
+        demand = netlist.resource_demand()
+        assert demand.luts >= est.luts
+
+    def test_netlist_deterministic(self):
+        est = estimate_operator(simple_pipe())
+        a = synthesize_netlist("p", est)
+        b = synthesize_netlist("p", est)
+        assert [c.name for c in a.cells] == [c.name for c in b.cells]
+        assert [n.pins for n in a.nets] == [n.pins for n in b.nets]
+
+    def test_all_net_pins_valid(self):
+        est = estimate_operator(simple_pipe(reads_per_iter=6))
+        netlist = synthesize_netlist("p", est)
+        for net in netlist.nets:
+            assert len(net.pins) >= 2 or len(netlist.cells) == 1
+            for pin in net.pins:
+                assert 0 <= pin < len(netlist.cells)
+
+    def test_merge_for_monolithic(self):
+        est = estimate_operator(simple_pipe())
+        a = synthesize_netlist("a", est)
+        b = synthesize_netlist("b", est)
+        merged = a.merged_with(b)
+        assert merged.size == a.size + b.size
+        assert len(merged.nets) >= len(a.nets) + len(b.nets)
+        for net in merged.nets:
+            for pin in net.pins:
+                assert 0 <= pin < merged.size
+
+
+class TestVerilog:
+    def test_emits_module_with_ports(self):
+        text = emit_verilog(simple_pipe())
+        assert "module p (" in text
+        assert "in_tdata" in text
+        assert "out_tdata" in text
+        assert text.rstrip().endswith("endmodule  // p")
+
+    def test_instruction_bodies_present(self):
+        b = OperatorBuilder("ops", inputs=[("a", 16)], outputs=[("o", 32)])
+        x = b.read("a")
+        y = b.mul(x, x)
+        z = b.select(b.gt(y, 0), y, b.neg(y))
+        b.write("o", b.cast(z, 32))
+        text = emit_verilog(b.build())
+        assert " * " in text
+        assert " ? " in text
+
+    def test_array_declared(self):
+        b = OperatorBuilder("mem", inputs=[("a", 32)], outputs=[("o", 32)])
+        b.array("buf", 128, 32)
+        idx = b.read("a", signed=False)
+        b.write("o", b.load("buf", b.cast(idx, 7, signed=False)))
+        text = emit_verilog(b.build())
+        assert "buf [0:127]" in text

@@ -1,0 +1,103 @@
+"""Invariants of the technology model (area/delay/latency rules)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hls import tech
+
+WIDTHS = st.integers(min_value=1, max_value=128)
+
+ALL_KINDS = sorted(tech.OP_LATENCY)
+
+
+class TestLatency:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_latency_nonnegative(self, kind):
+        assert tech.op_latency(kind, 32) >= 0
+
+    def test_divider_latency_scales_with_width(self):
+        assert tech.op_latency("div", 64) > tech.op_latency("div", 16)
+
+    def test_isqrt_latency_scales(self):
+        assert tech.op_latency("isqrt", 48) > tech.op_latency("isqrt", 8)
+
+    def test_simple_ops_single_cycle(self):
+        for kind in ("add", "and", "eq", "select"):
+            assert tech.op_latency(kind, 32) == 1
+
+
+class TestDelay:
+    @given(WIDTHS)
+    def test_delay_positive_for_logic(self, width):
+        assert tech.op_delay_ns("add", width) > 0
+
+    def test_carry_chain_grows_with_width(self):
+        assert tech.op_delay_ns("add", 64) > tech.op_delay_ns("add", 8)
+
+    def test_clock_ceiling_consistent(self):
+        # A 32-bit add must comfortably meet the 300 MHz ceiling.
+        assert tech.op_delay_ns("add", 32) < 1000 / tech.FMAX_CEILING_MHZ
+
+
+class TestArea:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_luts_nonnegative(self, kind):
+        assert tech.op_luts(kind, 32) >= 0
+
+    @given(WIDTHS)
+    def test_adder_luts_linear(self, width):
+        assert tech.op_luts("add", width) == width
+
+    def test_divider_lut_hungry(self):
+        assert tech.op_luts("div", 32) > 10 * tech.op_luts("add", 32) / 3
+
+    def test_dsp_tiling(self):
+        assert tech.op_dsps("mul", 16, 16) == 1
+        assert tech.op_dsps("mul", 27, 18) == 1
+        assert tech.op_dsps("mul", 32, 32) >= 2
+        assert tech.op_dsps("add", 32, 32) == 0
+
+    def test_barrel_shifter_cost(self):
+        assert tech.variable_shift_luts(32) > tech.variable_shift_luts(8)
+
+    @given(WIDTHS)
+    def test_ffs_bounded(self, width):
+        for kind in ("add", "mul", "load"):
+            assert 0 <= tech.op_ffs(kind, width) <= 2 * width
+
+
+class TestMemoryRules:
+    def test_small_arrays_lutram(self):
+        assert tech.array_brams(16, 32) == 0          # 512 bits
+        assert tech.array_lutram_luts(16, 32) > 0
+
+    def test_large_arrays_bram(self):
+        assert tech.array_brams(2_048, 32) >= 4       # 64 Kb
+        assert tech.array_lutram_luts(2_048, 32) == 0
+
+    def test_wide_arrays_stack_blocks(self):
+        narrow = tech.array_brams(1_024, 18)
+        wide = tech.array_brams(1_024, 72)
+        assert wide > narrow
+
+    @given(st.integers(min_value=1, max_value=65_536),
+           st.integers(min_value=1, max_value=64))
+    def test_bram_count_covers_bits(self, depth, width):
+        blocks = tech.array_brams(depth, width)
+        if blocks:
+            assert blocks * tech.BRAM18_BITS >= min(width, 36) * depth \
+                or blocks >= -(-width // 36)
+
+
+class TestPaperConstants:
+    def test_leaf_interface_500(self):
+        assert tech.LEAF_INTERFACE_LUTS == 500
+
+    def test_network_endpoint_500(self):
+        assert tech.LINK_NET_LUTS_PER_ENDPOINT == 500
+
+    def test_overlay_clock_200(self):
+        assert tech.OVERLAY_CLOCK_MHZ == 200.0
+
+    def test_fabric_ceiling_300(self):
+        assert tech.FMAX_CEILING_MHZ == 300.0

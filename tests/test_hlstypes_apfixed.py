@@ -1,0 +1,202 @@
+"""Unit and property tests for ap_fixed / ap_ufixed semantics."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hlstypes import ApFixed, Overflow, Quantization, ap_fixed, ap_ufixed
+
+
+class TestConstruction:
+    def test_integer_value(self):
+        x = ApFixed(3, width=16, int_bits=8)
+        assert float(x) == 3.0
+
+    def test_fractional_value(self):
+        x = ApFixed(1.5, width=16, int_bits=8)
+        assert float(x) == 1.5
+
+    def test_truncation_default(self):
+        # 0.3 is not representable in 4 fractional bits: TRN floors.
+        x = ApFixed(0.3, width=8, int_bits=4)    # epsilon = 1/16
+        assert x.as_fraction() == Fraction(4, 16)
+
+    def test_truncation_is_floor_for_negative(self):
+        x = ApFixed(-0.3, width=8, int_bits=4)
+        assert x.as_fraction() == Fraction(-5, 16)
+
+    def test_round_mode(self):
+        x = ApFixed(0.3, width=8, int_bits=4,
+                    quantization=Quantization.RND)
+        assert x.as_fraction() == Fraction(5, 16)   # 0.3125 is nearest
+
+    def test_wrap_overflow(self):
+        # ap_fixed<8,4> range is [-8, 8); 8 wraps to -8.
+        x = ApFixed(8, width=8, int_bits=4)
+        assert float(x) == -8.0
+
+    def test_saturate_overflow(self):
+        x = ApFixed(100, width=8, int_bits=4, overflow=Overflow.SAT)
+        assert x.as_fraction() == Fraction(127, 16)   # max raw / 16
+
+    def test_unsigned_saturate_low(self):
+        x = ApFixed(-5, width=8, int_bits=4, signed=False,
+                    overflow=Overflow.SAT)
+        assert float(x) == 0.0
+
+    def test_factories(self):
+        fx = ap_fixed(32, 17)
+        assert fx(2.5).width == 32
+        assert fx(2.5).int_bits == 17
+        ufx = ap_ufixed(16, 8)
+        assert not ufx(1).signed
+
+    def test_epsilon(self):
+        assert ApFixed(0, 16, 8).epsilon == Fraction(1, 256)
+        assert ApFixed(0, 8, 8).epsilon == 1
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ApFixed(0, width=0, int_bits=0)
+
+
+class TestArithmetic:
+    def test_add_exact(self):
+        a = ApFixed(1.25, 16, 8)
+        b = ApFixed(2.5, 16, 8)
+        assert float(a + b) == 3.75
+
+    def test_sub_exact(self):
+        assert float(ApFixed(1.25, 16, 8) - ApFixed(2.5, 16, 8)) == -1.25
+
+    def test_mul_exact(self):
+        a = ApFixed(1.5, 16, 8)
+        b = ApFixed(2.5, 16, 8)
+        c = a * b
+        assert float(c) == 3.75
+        assert c.width == 32
+        assert c.int_bits == 16
+
+    def test_div(self):
+        a = ApFixed(3, 16, 8)
+        b = ApFixed(2, 16, 8)
+        assert float(a / b) == 1.5
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            ApFixed(1, 16, 8) / ApFixed(0, 16, 8)
+
+    def test_paper_flow_calc_expression(self):
+        """The flow_calc kernel's 64,40 intermediate math (Fig. 2d)."""
+        t = [ApFixed(v, 32, 17) for v in (1.5, 2.0, 3.0, 0.5, 1.0, 2.5)]
+        denom = (t[1] * t[2] - t[4] * t[4]).cast(64, 40)
+        numer0 = (t[0] * t[4] - t[5] * t[2]).cast(64, 40)
+        assert float(denom) == 5.0
+        assert float(numer0) == -6.0
+        buf0 = (numer0 / denom).cast(32, 17)
+        assert float(buf0) == pytest.approx(-1.2, abs=2 ** -15)
+
+    def test_mixed_int(self):
+        assert float(ApFixed(1.5, 16, 8) + 1) == 2.5
+        assert float(2 * ApFixed(1.5, 16, 8)) == 3.0
+        assert float(1 - ApFixed(0.5, 16, 8)) == 0.5
+
+    def test_neg_abs(self):
+        assert float(-ApFixed(1.5, 16, 8)) == -1.5
+        assert float(abs(ApFixed(-1.5, 16, 8))) == 1.5
+
+    def test_comparisons(self):
+        assert ApFixed(1.5, 16, 8) < ApFixed(2, 16, 8)
+        assert ApFixed(1.5, 16, 8) == ApFixed(1.5, 32, 16)
+        assert ApFixed(1.5, 16, 8) >= 1
+        assert ApFixed(0, 16, 8) == 0
+
+    def test_shift_moves_raw_bits(self):
+        x = ApFixed(1.0, 16, 8)
+        assert float(x << 1) == 2.0
+        assert float(x >> 1) == 0.5
+
+
+class TestCast:
+    def test_cast_quantizes(self):
+        wide = ApFixed(Fraction(5, 16), 16, 8)
+        narrow = wide.cast(8, 6)       # 2 fractional bits, eps 1/4
+        assert narrow.as_fraction() == Fraction(1, 4)
+
+    def test_cast_saturates_when_asked(self):
+        wide = ApFixed(200, 16, 12)
+        clamped = wide.cast(8, 4, overflow=Overflow.SAT)
+        assert clamped.as_fraction() == clamped.max_value
+
+    def test_int_conversion_truncates_toward_zero(self):
+        assert int(ApFixed(2.9, 16, 8)) == 2
+        assert int(ApFixed(-2.9, 16, 8)) == -2
+
+
+class TestRaw:
+    def test_round_trip(self):
+        x = ApFixed(-1.25, 16, 8)
+        y = ApFixed.from_raw(x.raw(), 16, 8)
+        assert y == x
+
+    def test_raw_is_scaled_twos_complement(self):
+        x = ApFixed(1.5, 8, 4)       # raw = 1.5 * 16 = 24
+        assert x.raw() == 24
+        assert ApFixed(-1.5, 8, 4).raw() == 256 - 24
+
+
+class TestFootprints:
+    def test_packed_vs_xilinx(self):
+        x = ApFixed(0, 18, 9)
+        assert x.packed_bytes == 3
+        assert x.xilinx_bytes == 4
+        wide = ApFixed(0, 48, 24)
+        assert wide.packed_bytes == 6
+        assert wide.xilinx_bytes == 8
+
+
+# -- property-based ---------------------------------------------------------
+
+fixed_formats = st.tuples(
+    st.integers(min_value=2, max_value=64),       # width
+    st.integers(min_value=1, max_value=32),       # int_bits <= width
+).filter(lambda t: t[1] <= t[0])
+
+
+@given(fixed_formats, st.fractions(min_value=-100, max_value=100,
+                                   max_denominator=1024))
+def test_quantization_error_bounded_by_epsilon(fmt, value):
+    width, int_bits = fmt
+    x = ApFixed(value, width, int_bits, overflow=Overflow.SAT)
+    if x.min_value <= value <= x.max_value:
+        assert abs(x.as_fraction() - value) < x.epsilon
+
+
+@given(st.fractions(min_value=-7, max_value=7, max_denominator=16),
+       st.fractions(min_value=-7, max_value=7, max_denominator=16))
+def test_add_is_exact_when_representable(a, b):
+    """Width-growing addition never loses representable values."""
+    xa = ApFixed(a, 16, 8)
+    xb = ApFixed(b, 16, 8)
+    assert (xa + xb).as_fraction() == xa.as_fraction() + xb.as_fraction()
+
+
+@given(st.fractions(min_value=-7, max_value=7, max_denominator=16),
+       st.fractions(min_value=-7, max_value=7, max_denominator=16))
+def test_mul_is_exact(a, b):
+    xa = ApFixed(a, 16, 8)
+    xb = ApFixed(b, 16, 8)
+    assert (xa * xb).as_fraction() == xa.as_fraction() * xb.as_fraction()
+
+
+@given(st.integers(min_value=0, max_value=2 ** 16 - 1))
+def test_raw_round_trip_property(bits):
+    x = ApFixed.from_raw(bits, 16, 8)
+    assert x.raw() == bits
+
+
+@given(st.fractions(min_value=-1000, max_value=1000, max_denominator=4096))
+def test_saturation_bounds(value):
+    x = ApFixed(value, 12, 6, overflow=Overflow.SAT)
+    assert x.min_value <= x.as_fraction() <= x.max_value

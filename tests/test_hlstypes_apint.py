@@ -1,0 +1,211 @@
+"""Unit and property tests for ap_int / ap_uint semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hlstypes import ApInt, ap_int, ap_uint
+
+
+class TestConstruction:
+    def test_default_is_zero_32b_signed(self):
+        x = ApInt()
+        assert int(x) == 0
+        assert x.width == 32
+        assert x.signed
+
+    def test_wraps_on_construction(self):
+        assert int(ApInt(255, width=8, signed=True)) == -1
+        assert int(ApInt(256, width=8, signed=False)) == 0
+        assert int(ApInt(-1, width=8, signed=False)) == 255
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ApInt(0, width=0)
+
+    def test_copy_construction(self):
+        x = ApInt(100, width=8)
+        y = ApInt(x, width=4)
+        assert int(y) == 100 % 16 - (16 if (100 % 16) >= 8 else 0)
+
+    def test_factories(self):
+        i8 = ap_int(8)
+        u8 = ap_uint(8)
+        assert int(i8(200)) == -56
+        assert int(u8(200)) == 200
+        assert i8.width == 8 and i8.signed
+        assert u8.width == 8 and not u8.signed
+
+    def test_bounds(self):
+        assert ApInt(0, 8, True).min_value == -128
+        assert ApInt(0, 8, True).max_value == 127
+        assert ApInt(0, 8, False).min_value == 0
+        assert ApInt(0, 8, False).max_value == 255
+
+
+class TestArithmetic:
+    def test_add_grows_width(self):
+        a = ApInt(127, 8)
+        b = ApInt(1, 8)
+        c = a + b
+        assert int(c) == 128          # no overflow: result is 9 bits
+        assert c.width == 9
+
+    def test_mul_sums_widths(self):
+        a = ApInt(100, 8)
+        b = ApInt(100, 8)
+        c = a * b
+        assert int(c) == 10000
+        assert c.width == 16
+
+    def test_cast_narrows_with_wrap(self):
+        c = (ApInt(127, 8) + ApInt(1, 8)).cast(8)
+        assert int(c) == -128          # classic two's-complement wrap
+
+    def test_division_truncates_toward_zero(self):
+        assert int(ApInt(-7, 8) // ApInt(2, 8)) == -3    # C semantics
+        assert int(ApInt(7, 8) // ApInt(-2, 8)) == -3
+        assert int(ApInt(7, 8) // ApInt(2, 8)) == 3
+
+    def test_mod_has_dividend_sign(self):
+        assert int(ApInt(-7, 8) % ApInt(2, 8)) == -1
+        assert int(ApInt(7, 8) % ApInt(-2, 8)) == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            ApInt(1, 8) // ApInt(0, 8)
+        with pytest.raises(ZeroDivisionError):
+            ApInt(1, 8) % ApInt(0, 8)
+
+    def test_mixed_python_int(self):
+        assert int(ApInt(5, 8) + 3) == 8
+        assert int(3 + ApInt(5, 8)) == 8
+        assert int(10 - ApInt(4, 8)) == 6
+        assert int(ApInt(5, 8) * 2) == 10
+
+    def test_neg_and_abs(self):
+        assert int(-ApInt(-128, 8)) == 128     # widened, no overflow
+        assert int(abs(ApInt(-128, 8))) == 128
+
+    def test_shifts(self):
+        x = ApInt(0b0101, 8, signed=False)
+        assert int(x << 1) == 0b1010
+        assert int(x >> 1) == 0b0010
+        # Arithmetic shift on signed values preserves sign.
+        assert int(ApInt(-8, 8) >> 1) == -4
+        # Shifted-out bits drop at fixed width.
+        assert int(ApInt(0x80, 8, signed=False) << 1) == 0
+
+    def test_bitwise(self):
+        a = ApInt(0b1100, 8, signed=False)
+        b = ApInt(0b1010, 8, signed=False)
+        assert int(a & b) == 0b1000
+        assert int(a | b) == 0b1110
+        assert int(a ^ b) == 0b0110
+        assert int(~ApInt(0, 8, signed=False)) == 255
+
+
+class TestBitAccess:
+    def test_bit_select(self):
+        x = ApInt(0b1010, 8, signed=False)
+        assert int(x[1]) == 1
+        assert int(x[0]) == 0
+        with pytest.raises(IndexError):
+            x[8]
+
+    def test_slice_msb_lsb(self):
+        x = ApInt(0xAB, 8, signed=False)
+        assert int(x[7:4]) == 0xA
+        assert int(x[3:0]) == 0xB
+        assert x[7:0].width == 8
+
+    def test_slice_validation(self):
+        x = ApInt(0, 8)
+        with pytest.raises(ValueError):
+            x[0:7]                      # msb < lsb
+        with pytest.raises(IndexError):
+            x[9:0]
+
+    def test_concat(self):
+        hi = ApInt(0xA, 4, signed=False)
+        lo = ApInt(0xB, 4, signed=False)
+        assert int(hi.concat(lo)) == 0xAB
+
+    def test_slice_of_negative_uses_raw_bits(self):
+        x = ApInt(-1, 8)               # raw 0xFF
+        assert int(x[7:4]) == 0xF
+
+
+class TestFootprints:
+    def test_packed_is_ceil_bits_over_8(self):
+        assert ApInt(0, 1).packed_bytes == 1
+        assert ApInt(0, 8).packed_bytes == 1
+        assert ApInt(0, 9).packed_bytes == 2
+        assert ApInt(0, 33).packed_bytes == 5
+
+    def test_xilinx_is_word_aligned(self):
+        assert ApInt(0, 1).xilinx_bytes == 4
+        assert ApInt(0, 32).xilinx_bytes == 4
+        assert ApInt(0, 33).xilinx_bytes == 8
+        assert ApInt(0, 65).xilinx_bytes == 16
+
+    def test_packed_never_exceeds_xilinx(self):
+        for width in range(1, 257):
+            x = ApInt(0, width)
+            assert x.packed_bytes <= x.xilinx_bytes
+
+
+class TestRawRoundTrip:
+    def test_raw_round_trip_signed(self):
+        x = ApInt(-123, 16)
+        y = ApInt.from_raw(x.raw(), 16, signed=True)
+        assert int(y) == -123
+
+    def test_raw_is_unsigned_pattern(self):
+        assert ApInt(-1, 8).raw() == 0xFF
+
+
+@given(st.integers(), st.integers(min_value=1, max_value=128))
+def test_value_always_in_range(value, width):
+    for signed in (True, False):
+        x = ApInt(value, width, signed)
+        assert x.min_value <= int(x) <= x.max_value
+
+
+@given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1),
+       st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+def test_add_exact_before_cast(a, b):
+    """Growing-width addition is exact (the HLS promotion rule)."""
+    assert int(ApInt(a, 32) + ApInt(b, 32)) == a + b
+
+
+@given(st.integers(min_value=0, max_value=2 ** 16 - 1),
+       st.integers(min_value=0, max_value=2 ** 16 - 1),
+       st.integers(min_value=1, max_value=16))
+def test_wrap_is_mod_2_width(a, b, width):
+    """Casting a sum to width w equals arithmetic mod 2**w."""
+    total = (ApInt(a, 17, signed=False) + ApInt(b, 17, signed=False))
+    assert int(total.cast(width, signed=False)) == (a + b) % (1 << width)
+
+
+@given(st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1),
+       st.integers(min_value=1, max_value=15))
+def test_shift_left_then_right_arithmetic(value, amount):
+    x = ApInt(value, 64)
+    assert int((x << amount) >> amount) == value
+
+
+@given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+def test_raw_round_trip_property(value):
+    x = ApInt(value, 32)
+    assert int(ApInt.from_raw(x.raw(), 32)) == value
+
+
+@given(st.integers(min_value=0, max_value=2 ** 32 - 1),
+       st.integers(min_value=0, max_value=31),
+       st.integers(min_value=0, max_value=31))
+def test_slice_matches_python_bit_math(bits, hi, lo):
+    if hi < lo:
+        hi, lo = lo, hi
+    x = ApInt(bits, 32, signed=False)
+    expect = (bits >> lo) & ((1 << (hi - lo + 1)) - 1)
+    assert int(x[hi:lo]) == expect

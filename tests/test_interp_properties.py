@@ -1,0 +1,110 @@
+"""Cross-validation properties: the IR interpreter must agree with the
+``ap_int`` value types, and the softcore with both, on random inputs.
+
+These properties tie the three semantic layers together: the hlstypes
+library defines the reference arithmetic, the interpreter implements
+the same wrap-to-width rules over raw ints, and the RV32 compiler must
+reproduce both in machine code.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow import DataflowGraph, Operator, run_graph
+from repro.hls import OperatorBuilder, make_body
+from repro.hlstypes import ApInt
+from repro.softcore import compile_operator
+
+WORD = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def run_unary(build_expr, tokens, compiled=False):
+    b = OperatorBuilder("k", inputs=[("x", 32)], outputs=[("y", 32)])
+    build_expr(b)
+    spec = b.build()
+    body = compile_operator(spec).make_body() if compiled \
+        else make_body(spec)
+    op = Operator("k", body, ["x"], ["y"])
+    g = DataflowGraph("g")
+    g.add(op)
+    g.expose_input("x", "k.x")
+    g.expose_output("y", "k.y")
+    return run_graph(g, {"x": tokens})["y"]
+
+
+class TestInterpreterVsApInt:
+    @settings(max_examples=50, deadline=None)
+    @given(WORD, WORD)
+    def test_add_matches_apint(self, a, b):
+        def expr(builder):
+            x = builder.read("x")
+            y = builder.add(x, builder.const(b & 0x7FFFFFFF))
+            builder.write("y", builder.cast(y, 32))
+
+        got = run_unary(expr, [a])[0]
+        expect = (ApInt(a, 33) + ApInt(b & 0x7FFFFFFF, 33)).cast(32)
+        assert got == expect.raw()
+
+    @settings(max_examples=50, deadline=None)
+    @given(WORD)
+    def test_neg_matches_apint(self, a):
+        def expr(builder):
+            builder.write("y", builder.cast(builder.neg(builder.read("x")),
+                                            32))
+
+        got = run_unary(expr, [a])[0]
+        expect = (-ApInt(a, 32)).cast(32)
+        assert got == expect.raw()
+
+    @settings(max_examples=50, deadline=None)
+    @given(WORD, st.integers(min_value=0, max_value=31))
+    def test_shifts_match_apint(self, a, k):
+        def expr(builder):
+            x = builder.read("x")
+            builder.write("y", builder.cast(builder.shr(x, k), 32))
+
+        got = run_unary(expr, [a])[0]
+        expect = (ApInt(a, 32) >> k).cast(32)
+        assert got == expect.raw()
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1),
+           st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1))
+    def test_mul_matches_apint(self, a, b):
+        def expr(builder):
+            x = builder.cast(builder.read("x"), 16)
+            builder.write("y", builder.cast(builder.mul(x, b), 32))
+
+        got = run_unary(expr, [a & 0xFFFF])[0]
+        expect = (ApInt(a, 16) * ApInt(b, 17)).cast(32)
+        assert got == expect.raw()
+
+
+class TestSoftcoreVsInterpreter:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(WORD, min_size=1, max_size=4),
+           st.integers(min_value=1, max_value=0x7FFF))
+    def test_mixed_pipeline_agrees(self, tokens, k):
+        def expr(builder):
+            x = builder.read("x")
+            t = builder.cast(builder.add(builder.mul(
+                builder.cast(x, 16), k), 7), 32)
+            u = builder.xor(t, builder.lshr(x, 3))
+            builder.write("y", builder.cast(u, 32))
+
+        interpreted = run_unary(expr, tokens, compiled=False)
+        native = run_unary(expr, tokens, compiled=True)
+        assert interpreted == native
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(WORD, min_size=1, max_size=4))
+    def test_division_agrees(self, tokens):
+        def expr(builder):
+            x = builder.read("x")
+            safe = builder.or_(builder.cast(x, 16, signed=False), 1)
+            builder.write("y", builder.cast(
+                builder.div(builder.cast(x, 24), safe), 32))
+
+        interpreted = run_unary(expr, tokens, compiled=False)
+        native = run_unary(expr, tokens, compiled=True)
+        assert interpreted == native

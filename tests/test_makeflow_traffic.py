@@ -1,0 +1,126 @@
+"""Tests for the Makefile generator and the NoC traffic machinery."""
+
+import pytest
+
+from repro.core.makeflow import generate_makefile, parse_rules
+from repro.core.project import Project
+from repro.dataflow import DataflowGraph, Operator
+from repro.dataflow.graph import TARGET_RISCV
+from repro.errors import NoCError
+from repro.hls import OperatorBuilder, make_body
+from repro.noc.traffic import (
+    LoadPoint,
+    bit_complement,
+    bit_reversal,
+    characterize,
+    hotspot,
+    neighbour,
+    saturation_throughput,
+    uniform_random,
+)
+
+
+def make_project():
+    def spec(name):
+        b = OperatorBuilder(name, inputs=[("in", 32)],
+                            outputs=[("out", 32)])
+        b.write("out", b.cast(b.add(b.read("in"), 1), 32))
+        return b.build()
+
+    g = DataflowGraph("two")
+    sa, sb = spec("alpha"), spec("beta")
+    g.add(Operator("alpha", make_body(sa), ["in"], ["out"], hls_spec=sa))
+    g.add(Operator("beta", make_body(sb), ["in"], ["out"],
+                   target=TARGET_RISCV, hls_spec=sb))
+    g.connect("alpha.out", "beta.in")
+    g.expose_input("src", "alpha.in")
+    g.expose_output("dst", "beta.out")
+    return Project("two", g, {"src": [1]})
+
+
+class TestMakefile:
+    def test_generates_per_operator_targets(self):
+        text = generate_makefile(make_project())
+        rules = parse_rules(text)
+        assert "build/alpha.xclbin" in rules         # HW operator
+        assert "build/beta.bin" in rules             # softcore operator
+        assert "build/host.exe" in rules
+
+    def test_hw_chain_dependencies(self):
+        rules = parse_rules(generate_makefile(make_project()))
+        prereqs, recipe = rules["build/alpha.xclbin"]
+        assert "build/page_alpha.v" in prereqs
+        assert recipe and "XCLBIN_GEN" in recipe[0]
+        prereqs, _ = rules["build/page_alpha.v"]
+        assert "build/alpha.v" in prereqs
+
+    def test_editing_one_operator_touches_one_chain(self):
+        """The incremental property, as make sees it: alpha sources are
+        prerequisites only of alpha's chain and the link step."""
+        rules = parse_rules(generate_makefile(make_project()))
+        dependents = [target for target, (prereqs, _r) in rules.items()
+                      if any("alpha" in p for p in prereqs)]
+        assert set(dependents) == {"build/alpha.v", "build/page_alpha.v",
+                                   "build/alpha.xclbin", "build/driver.c"}
+
+    def test_link_depends_on_all_artefacts(self):
+        rules = parse_rules(generate_makefile(make_project()))
+        prereqs, _ = rules["build/driver.c"]
+        assert "build/alpha.xclbin" in prereqs
+        assert "build/beta.bin" in prereqs
+        assert "build/dfg.ir" in prereqs
+
+    def test_riscv_rule_uses_cross_compiler(self):
+        text = generate_makefile(make_project())
+        assert "riscv32-unknown-elf-gcc" in text
+
+
+class TestTrafficPatterns:
+    def test_pattern_destinations_valid(self):
+        n = 16
+        for pattern in (bit_reversal, bit_complement, neighbour,
+                        uniform_random(3), hotspot(5)):
+            for src in range(n):
+                dst = pattern(src, n)
+                assert 0 <= dst < n
+
+    def test_hotspot_avoids_self(self):
+        assert hotspot(3)(3, 8) != 3
+
+    def test_bit_complement_crosses_root(self):
+        from repro.noc import BFTopology
+        topo = BFTopology(16)
+        for src in range(16):
+            hops = topo.route_hops(src, bit_complement(src, 16))
+            assert hops == 2 * topo.levels     # always via the root
+
+
+class TestCharacterization:
+    def test_low_load_latency_near_hops(self):
+        points = characterize(neighbour, n_leaves=8,
+                              rates=[0.05], packets_per_leaf=20)
+        assert len(points) == 1
+        assert points[0].mean_latency < 10
+
+    def test_latency_grows_with_load(self):
+        points = characterize(bit_complement, n_leaves=8,
+                              rates=[0.05, 0.8], packets_per_leaf=30)
+        assert points[1].mean_latency >= points[0].mean_latency
+
+    def test_adversarial_pattern_saturates_lower(self):
+        near = characterize(neighbour, n_leaves=8, rates=[0.8],
+                            packets_per_leaf=30)
+        far = characterize(bit_complement, n_leaves=8, rates=[0.8],
+                           packets_per_leaf=30)
+        assert saturation_throughput(far) <= \
+            saturation_throughput(near) + 1e-9
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(NoCError):
+            characterize(neighbour, rates=[0.0])
+
+    def test_all_packets_delivered(self):
+        points = characterize(uniform_random(5), n_leaves=8,
+                              rates=[0.4], packets_per_leaf=25)
+        # 8 leaves x 25 packets each must all arrive.
+        assert points[0].delivered_rate * 1 > 0

@@ -1,0 +1,268 @@
+"""Tests for the linking network: topology, simulator, linking, model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NoCError
+from repro.dataflow import DataflowGraph, Operator
+from repro.noc import (
+    BFTopology,
+    ConfigPacket,
+    LeafInterface,
+    NetworkSimulator,
+    build_link_configuration,
+)
+from repro.noc.linking import INTERFACE_LEAF
+
+
+class TestTopology:
+    def test_small_tree(self):
+        topo = BFTopology(4)
+        assert topo.levels == 2
+        assert topo.size == 4
+        assert len(list(topo.switches())) == 3     # 2 level-1 + 1 root
+
+    def test_padding_to_power_of_two(self):
+        topo = BFTopology(23)          # 22 pages + interface
+        assert topo.size == 32
+        assert topo.levels == 5
+
+    def test_parent_child_consistency(self):
+        topo = BFTopology(8)
+        for switch in topo.switches():
+            if switch.level > 1:
+                left, right = topo.children(switch)
+                assert topo.parent(left) == switch
+                assert topo.parent(right) == switch
+
+    def test_route_hops_symmetric(self):
+        topo = BFTopology(16)
+        assert topo.route_hops(3, 3) == 0
+        assert topo.route_hops(0, 1) == 2          # up to S1, down
+        assert topo.route_hops(0, 15) == 2 * 4     # via the root
+        assert topo.route_hops(5, 12) == topo.route_hops(12, 5)
+
+    def test_links_on_path_ends_at_destination(self):
+        topo = BFTopology(8)
+        path = topo.links_on_path(1, 6)
+        assert path[0][1] == "up"
+        assert path[-1][1] == "down"
+        # Switch-output links only: the leaf injection link is accounted
+        # separately (leaf-port serialisation in the performance model).
+        assert len(path) == topo.route_hops(1, 6) - 1
+
+    def test_validation(self):
+        with pytest.raises(NoCError):
+            BFTopology(1)
+        with pytest.raises(NoCError):
+            BFTopology(8, up_links=0)
+        topo = BFTopology(4)
+        with pytest.raises(NoCError):
+            topo.route_hops(0, 9)
+
+
+class TestLeafInterface:
+    def test_bind_and_send(self):
+        leaf = LeafInterface(3, n_ports=4)
+        leaf.bind(0, dest_leaf=5, dest_port=2)
+        leaf.send(0, 0xDEAD)
+        packet = leaf.pop_injection()
+        assert packet.dest_leaf == 5
+        assert packet.dest_port == 2
+        assert packet.payload == 0xDEAD
+
+    def test_unbound_send_rejected(self):
+        leaf = LeafInterface(3)
+        with pytest.raises(NoCError):
+            leaf.send(0, 1)
+
+    def test_deliver_data(self):
+        leaf = LeafInterface(2, n_ports=2)
+        from repro.noc.packet import DataPacket
+        leaf.deliver(DataPacket(dest_leaf=2, dest_port=1, payload=42))
+        assert leaf.tokens(1) == [42]
+        assert leaf.tokens(1) == []        # drained
+
+    def test_config_packet_round_trip(self):
+        leaf = LeafInterface(4, n_ports=4)
+        packet = leaf.config_packet(1, dest_leaf=9, dest_port=3)
+        leaf.deliver(packet)
+        assert leaf.bindings[1].dest_leaf == 9
+        assert leaf.bindings[1].dest_port == 3
+
+    def test_wrong_leaf_bounces(self):
+        leaf = LeafInterface(2)
+        from repro.noc.packet import DataPacket
+        stray = DataPacket(dest_leaf=7, dest_port=0, payload=1)
+        returned = leaf.deliver(stray)
+        assert returned is stray
+        assert leaf.bounced == 1
+
+    def test_port_validation(self):
+        with pytest.raises(NoCError):
+            LeafInterface(0, n_ports=0)
+        leaf = LeafInterface(0, n_ports=2)
+        with pytest.raises(NoCError):
+            leaf.bind(2, 0, 0)
+
+
+class TestNetworkSimulator:
+    def make_net(self, n=8, ports=4):
+        topo = BFTopology(n)
+        leaves = {i: LeafInterface(i, n_ports=ports) for i in range(n)}
+        return NetworkSimulator(topo, leaves), leaves
+
+    def test_single_packet_delivery(self):
+        sim, leaves = self.make_net()
+        leaves[1].bind(0, dest_leaf=6, dest_port=2)
+        leaves[1].send(0, 99)
+        sim.run()
+        assert leaves[6].tokens(2) == [99]
+        assert len(sim.delivered) == 1
+
+    def test_order_preserved_point_to_point(self):
+        sim, leaves = self.make_net()
+        leaves[0].bind(0, dest_leaf=7, dest_port=0)
+        data = list(range(50))
+        for token in data:
+            leaves[0].send(0, token)
+        sim.run()
+        assert leaves[7].tokens(0) == data
+
+    def test_all_to_one_delivers_everything(self):
+        sim, leaves = self.make_net()
+        senders = [1, 2, 3, 5, 6, 7]
+        for s in senders:
+            leaves[s].bind(0, dest_leaf=4, dest_port=0)
+            for i in range(10):
+                leaves[s].send(0, s * 100 + i)
+        sim.run()
+        got = leaves[4].tokens(0)
+        assert len(got) == len(senders) * 10
+        assert set(got) == {s * 100 + i for s in senders for i in range(10)}
+
+    def test_config_over_network_then_data(self):
+        sim, leaves = self.make_net()
+        # Link leaf 2's port 0 to leaf 5 via a control packet from leaf 0.
+        cfg = leaves[2].config_packet(0, dest_leaf=5, dest_port=1)
+        leaves[0].outbox.append(cfg)
+        sim.run()
+        assert leaves[2].bindings[0].dest_leaf == 5
+        leaves[2].send(0, 7)
+        sim.run()
+        assert leaves[5].tokens(1) == [7]
+
+    def test_latency_grows_with_distance(self):
+        sim, leaves = self.make_net(16, ports=2)
+        leaves[0].bind(0, dest_leaf=1, dest_port=0)   # near
+        leaves[0].send(0, 1)
+        sim.run()
+        near = sim.delivered[-1].latency
+
+        sim2, leaves2 = self.make_net(16, ports=2)
+        leaves2[0].bind(0, dest_leaf=15, dest_port=0)  # via the root
+        leaves2[0].send(0, 1)
+        sim2.run()
+        far = sim2.delivered[-1].latency
+        assert far > near
+
+    def test_congestion_deflects_but_delivers(self):
+        sim, leaves = self.make_net(8, ports=2)
+        # Cross traffic through the root from both halves.
+        leaves[0].bind(0, dest_leaf=7, dest_port=0)
+        leaves[1].bind(0, dest_leaf=6, dest_port=0)
+        leaves[2].bind(0, dest_leaf=5, dest_port=0)
+        leaves[3].bind(0, dest_leaf=4, dest_port=0)
+        n = 30
+        for s in range(4):
+            for i in range(n):
+                leaves[s].send(0, s * 1000 + i)
+        sim.run(max_cycles=50_000)
+        total = sum(len(leaves[d].tokens(0)) for d in (4, 5, 6, 7))
+        assert total == 4 * n
+
+    def test_wide_tree_rejected_by_simulator(self):
+        with pytest.raises(NoCError):
+            NetworkSimulator(BFTopology(8, up_links=2))
+
+    def test_throughput_bounded_by_root(self):
+        """Packets all crossing the root can't beat 1 word/cycle."""
+        sim, leaves = self.make_net(8, ports=2)
+        leaves[0].bind(0, dest_leaf=4, dest_port=0)
+        n = 100
+        for i in range(n):
+            leaves[0].send(0, i)
+        sim.run(max_cycles=50_000)
+        assert sim.throughput() <= 1.0
+
+
+class TestLinking:
+    def make_graph(self):
+        def body(io):
+            while True:
+                value = yield io.read("in")
+                yield io.write("out", value)
+
+        g = DataflowGraph("app")
+        g.add(Operator("a", body, ["in"], ["out"]))
+        g.add(Operator("b", body, ["in"], ["out"]))
+        g.connect("a.out", "b.in")
+        g.expose_input("src", "a.in")
+        g.expose_output("dst", "b.out")
+        return g
+
+    def test_build_configuration(self):
+        g = self.make_graph()
+        config = build_link_configuration(g, {"a": 1, "b": 2})
+        # a.out (port 0 on leaf 1) points at b.in (port 0 on leaf 2).
+        assert config.bindings[(1, 0)].leaf == 2
+        # b.out points back at the interface leaf.
+        assert config.bindings[(2, 0)].leaf == INTERFACE_LEAF
+        # external input enters from the interface leaf.
+        assert config.bindings[(INTERFACE_LEAF, 0)].leaf == 1
+
+    def test_missing_assignment_rejected(self):
+        g = self.make_graph()
+        with pytest.raises(NoCError):
+            build_link_configuration(g, {"a": 1})
+
+    def test_page_collision_rejected(self):
+        g = self.make_graph()
+        with pytest.raises(NoCError):
+            build_link_configuration(g, {"a": 1, "b": 1})
+
+    def test_interface_leaf_reserved(self):
+        g = self.make_graph()
+        with pytest.raises(NoCError):
+            build_link_configuration(g, {"a": 0, "b": 1})
+
+    def test_config_packets_install_bindings(self):
+        g = self.make_graph()
+        config = build_link_configuration(g, {"a": 1, "b": 2})
+        topo = BFTopology(4)
+        leaves = {i: LeafInterface(i, n_ports=4) for i in range(4)}
+        sim = NetworkSimulator(topo, leaves)
+        for packet in config.config_packets():
+            leaves[INTERFACE_LEAF].outbox.append(packet)
+        sim.run()
+        assert leaves[1].bindings[0].dest_leaf == 2
+        assert leaves[2].bindings[0].dest_leaf == INTERFACE_LEAF
+
+    def test_end_to_end_token_flow(self):
+        """Link the graph, push tokens from the interface, check arrival."""
+        g = self.make_graph()
+        config = build_link_configuration(g, {"a": 1, "b": 2})
+        topo = BFTopology(4)
+        leaves = {i: LeafInterface(i, n_ports=4) for i in range(4)}
+        sim = NetworkSimulator(topo, leaves)
+        config.apply_direct(leaves)
+        # Host feeds external input 'src' through the interface leaf.
+        for token in (10, 20, 30):
+            leaves[INTERFACE_LEAF].send(0, token)
+        sim.run()
+        # Tokens arrive at a.in (leaf 1 port 0); emulate a's passthrough.
+        assert leaves[1].tokens(0) == [10, 20, 30]
+        for token in (10, 20, 30):
+            leaves[1].send(0, token)
+        sim.run()
+        assert leaves[2].tokens(0) == [10, 20, 30]

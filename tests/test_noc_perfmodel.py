@@ -1,0 +1,112 @@
+"""Tests for the analytic -O1 performance model, cross-checked against
+the cycle-level network simulator."""
+
+import pytest
+
+from repro.dataflow import DataflowGraph, Operator
+from repro.hls import OperatorBuilder, make_body, schedule_operator
+from repro.noc import (
+    BFTopology,
+    LeafInterface,
+    NetworkSimulator,
+    NoCPerformanceModel,
+    build_link_configuration,
+)
+
+
+def chain_project(n_ops=3, trip=64, reads_per_iter=1):
+    g = DataflowGraph("chain")
+    specs = {}
+    for i in range(n_ops):
+        b = OperatorBuilder(f"op{i}", inputs=[("in", 32)],
+                            outputs=[("out", 32)])
+        with b.loop("L", trip, pipeline=True):
+            acc = None
+            for _ in range(reads_per_iter):
+                v = b.read("in")
+                acc = v if acc is None else b.add(acc, v)
+            for _ in range(reads_per_iter):
+                b.write("out", b.cast(acc, 32))
+        spec = b.build()
+        specs[f"op{i}"] = spec
+        g.add(Operator(f"op{i}", make_body(spec), ["in"], ["out"],
+                       hls_spec=spec))
+    for i in range(n_ops - 1):
+        g.connect(f"op{i}.out", f"op{i + 1}.in")
+    g.expose_input("src", "op0.in")
+    g.expose_output("dst", f"op{n_ops - 1}.out")
+    return g, specs
+
+
+class TestAnalyticModel:
+    def make_model(self, **kw):
+        graph, specs = chain_project(**kw)
+        schedules = {name: schedule_operator(spec)
+                     for name, spec in specs.items()}
+        config = build_link_configuration(
+            graph, {f"op{i}": i + 1 for i in range(len(specs))})
+        return NoCPerformanceModel(graph, schedules, config)
+
+    def test_bottleneck_kinds_present(self):
+        model = self.make_model()
+        kinds = {b.kind for b in model.bottlenecks()}
+        assert kinds == {"compute", "leaf", "tree"}
+
+    def test_cycles_at_least_token_count(self):
+        """Leaf serialisation: >= 1 cycle per word through a page port."""
+        model = self.make_model(trip=128)
+        # Each op moves 128 in + 128 out = 256 words via its leaf.
+        assert model.cycles_per_input() >= 256
+
+    def test_seconds_use_overlay_clock(self):
+        model = self.make_model()
+        assert model.seconds_per_input() == pytest.approx(
+            model.cycles_per_input() / 200e6)
+
+    def test_wide_ports_raise_leaf_pressure(self):
+        narrow = self.make_model(reads_per_iter=1)
+        wide = self.make_model(reads_per_iter=4)
+        assert wide.cycles_per_input() > narrow.cycles_per_input()
+
+    def test_dominant_reported(self):
+        model = self.make_model()
+        top = model.dominant()
+        assert top is not None
+        assert top.cycles == model.cycles_per_input()
+
+
+class TestAnalyticVsSimulated:
+    def test_leaf_serialisation_matches_netsim(self):
+        """Push N words through one leaf; the simulator should take at
+        least the analytic N cycles and not wildly more."""
+        n = 200
+        topo = BFTopology(8)
+        leaves = {i: LeafInterface(i, n_ports=2) for i in range(8)}
+        sim = NetworkSimulator(topo, leaves)
+        leaves[1].bind(0, dest_leaf=6, dest_port=0)
+        for t in range(n):
+            leaves[1].send(0, t)
+        cycles = sim.run(max_cycles=100_000)
+        assert cycles >= n                       # 1 word/cycle/leaf
+        assert cycles < n * 3                    # low overhead, no loss
+        assert len(leaves[6].tokens(0)) == n
+
+    def test_shared_tree_link_halves_throughput(self):
+        """Two flows sharing the root link deliver at ~half rate each."""
+        n = 150
+        topo = BFTopology(8)
+
+        def run(shared):
+            leaves = {i: LeafInterface(i, n_ports=2) for i in range(8)}
+            sim = NetworkSimulator(topo, leaves)
+            if shared:
+                pairs = [(0, 4), (1, 5)]       # both cross the root
+            else:
+                pairs = [(0, 2), (4, 6)]       # disjoint subtrees
+            for src, dst in pairs:
+                leaves[src].bind(0, dest_leaf=dst, dest_port=0)
+                for t in range(n):
+                    leaves[src].send(0, t)
+            return sim.run(max_cycles=200_000)
+
+        assert run(shared=True) > run(shared=False) * 1.5

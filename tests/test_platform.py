@@ -1,0 +1,138 @@
+"""Tests for the card, DMA and host-program layers."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.core import BuildEngine, O0Flow, O1Flow, O3Flow, Project
+from repro.dataflow import DataflowGraph, Operator
+from repro.fabric import Bitstream, Overlay
+from repro.hls import OperatorBuilder, make_body
+from repro.platform import AlveoU50, DMAEngine, HostProgram, PageState
+
+
+def make_project():
+    b = OperatorBuilder("inc", inputs=[("in", 32)], outputs=[("out", 32)])
+    with b.loop("L", 8, pipeline=True):
+        b.write("out", b.cast(b.add(b.read("in"), 1), 32))
+    spec = b.build()
+    g = DataflowGraph("inc-app")
+    g.add(Operator("inc", make_body(spec), ["in"], ["out"],
+                   hls_spec=spec))
+    g.expose_input("src", "inc.in")
+    g.expose_output("dst", "inc.out")
+    return Project("inc-app", g, {"src": list(range(8))})
+
+
+class TestDMA:
+    def test_transfer_times_scale(self):
+        dma = DMAEngine()
+        small = dma.host_transfer_seconds(4_096)
+        large = dma.host_transfer_seconds(4_096_000)
+        assert large > small
+        assert small >= dma.setup_seconds
+
+    def test_hbm_faster_than_pcie(self):
+        dma = DMAEngine()
+        nbytes = 100_000_000
+        assert dma.hbm_transfer_seconds(nbytes) < \
+            dma.host_transfer_seconds(nbytes)
+
+    def test_negative_rejected(self):
+        with pytest.raises(PlatformError):
+            DMAEngine().host_transfer_seconds(-1)
+
+
+class TestCard:
+    def test_overlay_then_pages(self):
+        card = AlveoU50()
+        overlay = Overlay()
+        seconds = card.load_overlay(overlay, Bitstream("ovl", 500_000,
+                                                       2_000, 5_000))
+        assert seconds > 0
+        card.load_page(3, Bitstream("p3", 18_000, 72, 120), "flow_calc")
+        assert card.page_state(3) is PageState.FPGA_OPERATOR
+        assert card.page_occupant(3) == "flow_calc"
+        assert card.occupied_pages() == {3: "flow_calc"}
+
+    def test_softcore_page_state(self):
+        card = AlveoU50()
+        card.load_overlay(Overlay(), Bitstream("ovl", 500_000))
+        card.load_page(5, Bitstream("p5", 2_500, payload_bytes=4_096),
+                       "op", softcore=True)
+        assert card.page_state(5) is PageState.SOFTCORE
+
+    def test_page_without_overlay_rejected(self):
+        card = AlveoU50()
+        with pytest.raises(PlatformError):
+            card.load_page(1, Bitstream("p", 1_000), "x")
+
+    def test_unknown_page_rejected(self):
+        card = AlveoU50()
+        card.load_overlay(Overlay(), Bitstream("ovl", 500_000))
+        with pytest.raises(PlatformError):
+            card.load_page(99, Bitstream("p", 1_000), "x")
+
+    def test_full_bitstream_rejected_as_overlay(self):
+        card = AlveoU50()
+        with pytest.raises(PlatformError):
+            card.load_overlay(Overlay(), Bitstream("f", 750_000,
+                                                   partial=False))
+
+    def test_kernel_load_clears_overlay(self):
+        card = AlveoU50()
+        card.load_overlay(Overlay(), Bitstream("ovl", 500_000))
+        card.load_kernel(Bitstream("kernel.xclbin", 751_793))
+        assert card.overlay is None
+        with pytest.raises(PlatformError):
+            card.page_state(1)
+
+
+class TestHostProgram:
+    def test_o1_configure_and_run(self):
+        project = make_project()
+        build = O1Flow(effort=0.1).compile(project)
+        host = HostProgram(build)
+        timeline = host.configure()
+        assert any("overlay" in e.what for e in timeline.events)
+        assert any("page" in e.what for e in timeline.events)
+        assert any("linking packets" in e.what for e in timeline.events)
+        out = host.run(project.sample_inputs)
+        assert out["dst"] == [v + 1 for v in range(8)]
+        assert any("DMA in" in e.what for e in host.timeline.events)
+
+    def test_o0_loads_softcore_payloads(self):
+        project = make_project()
+        build = O0Flow(effort=0.1).compile(project)
+        host = HostProgram(build)
+        host.configure()
+        assert host.card.page_state(build.page_of["inc"]) is \
+            PageState.SOFTCORE
+
+    def test_monolithic_loads_kernel(self):
+        project = make_project()
+        build = O3Flow(effort=0.1).compile(project)
+        host = HostProgram(build)
+        timeline = host.configure()
+        assert any("kernel image" in e.what for e in timeline.events)
+        out = host.run(project.sample_inputs)
+        assert out["dst"] == [v + 1 for v in range(8)]
+
+    def test_timeline_summary_prints(self):
+        project = make_project()
+        build = O3Flow(effort=0.1).compile(project)
+        host = HostProgram(build)
+        host.configure()
+        text = host.timeline.summarize()
+        assert "TOTAL" in text
+
+    def test_page_loads_are_fast(self):
+        """Partial page images load in milliseconds, not seconds."""
+        project = make_project()
+        build = O1Flow(effort=0.1).compile(project)
+        host = HostProgram(build)
+        host.configure()
+        page_events = [e for e in host.timeline.events
+                       if e.what.startswith("load page")]
+        assert page_events
+        for event in page_events:
+            assert event.seconds < 0.1

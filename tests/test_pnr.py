@@ -1,0 +1,220 @@
+"""Tests for packing, placement, routing, timing and the compile model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PnRError
+from repro.fabric import PAGE_TYPES, TileGrid
+from repro.hls.estimate import ResourceEstimate
+from repro.hls.netlist import synthesize_netlist
+from repro.pnr import (
+    StageTimes,
+    analyze_timing,
+    implement_design,
+    pack_netlist,
+    place,
+    route,
+)
+from repro.pnr.compile_model import DEFAULT_MODEL
+from repro.pnr.pack import SLICES_PER_CLUSTER
+
+
+def small_netlist(luts=2_000, brams=4, dsps=6, name="dut"):
+    return synthesize_netlist(name, ResourceEstimate(luts=luts, ffs=luts,
+                                                     brams=brams, dsps=dsps),
+                              n_ports=2)
+
+
+def small_grid(luts=4_000, brams=8, dsps=12):
+    return TileGrid.for_resources(luts, brams, dsps)
+
+
+class TestPack:
+    def test_cluster_count(self):
+        netlist = small_netlist(luts=2_000)
+        packed = pack_netlist(netlist)
+        slices = netlist.count("SLICE")
+        clusters = packed.count("SLICE")
+        assert clusters >= -(-slices // SLICES_PER_CLUSTER)
+        assert clusters < slices        # packing actually reduced size
+
+    def test_hard_blocks_pass_through(self):
+        netlist = small_netlist(brams=5, dsps=7)
+        packed = pack_netlist(netlist)
+        assert packed.count("BRAM") == 5
+        assert packed.count("DSP") == 7
+        assert packed.count("IO") == netlist.count("IO")
+
+    def test_mapping_covers_all_cells(self):
+        netlist = small_netlist()
+        packed = pack_netlist(netlist)
+        assert set(packed.mapping) == set(range(len(netlist.cells)))
+        for target in packed.mapping.values():
+            assert 0 <= target < packed.size
+
+    def test_internal_nets_collapse(self):
+        netlist = small_netlist()
+        packed = pack_netlist(netlist)
+        assert len(packed.nets) < len(netlist.nets)
+        for net in packed.nets:
+            assert len(net.pins) >= 2
+
+
+class TestPlacer:
+    def test_legal_placement(self):
+        packed = pack_netlist(small_netlist())
+        grid = small_grid()
+        placement = place(packed, grid, effort=0.1)
+        seen = set()
+        for index, site in enumerate(placement.locations):
+            kind = packed.cells[index].kind
+            assert site.kind == kind
+            assert (site.x, site.y) not in seen
+            seen.add((site.x, site.y))
+
+    def test_anneal_improves_cost(self):
+        packed = pack_netlist(small_netlist(luts=3_000))
+        placement = place(packed, small_grid(luts=6_000), effort=0.3)
+        assert placement.stats.final_cost < placement.stats.initial_cost
+        assert placement.stats.improvement > 0.1
+
+    def test_reproducible_with_seed(self):
+        packed = pack_netlist(small_netlist())
+        grid = small_grid()
+        a = place(packed, grid, seed=7, effort=0.1)
+        b = place(packed, grid, seed=7, effort=0.1)
+        assert [(s.x, s.y) for s in a.locations] == \
+               [(s.x, s.y) for s in b.locations]
+
+    def test_overfull_region_rejected(self):
+        packed = pack_netlist(small_netlist(luts=50_000))
+        with pytest.raises(PnRError):
+            place(packed, small_grid(luts=4_000), effort=0.1)
+
+    def test_superlinear_work_scaling(self):
+        """Moves grow faster than linearly in cell count (the paper's
+        core compile-time scaling argument)."""
+        small = pack_netlist(small_netlist(luts=1_000, name="s"))
+        big = pack_netlist(small_netlist(luts=16_000, name="b"))
+        p_small = place(small, small_grid(luts=2_000), effort=0.2)
+        p_big = place(big, small_grid(luts=32_000, brams=8, dsps=12),
+                      effort=0.2)
+        ratio_cells = big.size / small.size
+        ratio_moves = (p_big.stats.moves_evaluated
+                       / p_small.stats.moves_evaluated)
+        assert ratio_moves > ratio_cells * 1.3
+
+    def test_hpwl_matches_stats(self):
+        packed = pack_netlist(small_netlist())
+        placement = place(packed, small_grid(), effort=0.1)
+        assert placement.hpwl() == pytest.approx(
+            placement.stats.final_cost, rel=0.01)
+
+
+class TestRouter:
+    def test_routes_all_nets(self):
+        packed = pack_netlist(small_netlist())
+        placement = place(packed, small_grid(), effort=0.1)
+        result = route(placement)
+        assert result.congestion_free
+        routable = [n for n in packed.nets
+                    if len({(placement.locations[p].x,
+                             placement.locations[p].y)
+                            for p in n.pins}) >= 2]
+        assert len(result.routes) == len(routable)
+
+    def test_paths_are_connected(self):
+        packed = pack_netlist(small_netlist(luts=800))
+        placement = place(packed, small_grid(luts=1_600), effort=0.1)
+        result = route(placement)
+        for path in result.routes.values():
+            nodes = set(path)
+            for node in path:
+                x, y = node
+                assert any((x + dx, y + dy) in nodes
+                           for dx, dy in ((1, 0), (-1, 0), (0, 1),
+                                          (0, -1), (0, 0))
+                           if (dx, dy) != (0, 0)) or len(path) == 1
+
+    def test_tight_capacity_still_resolves(self):
+        packed = pack_netlist(small_netlist(luts=1_000))
+        placement = place(packed, small_grid(luts=2_000), effort=0.1)
+        result = route(placement, channel_capacity=6)
+        assert result.congestion_free
+        assert result.iterations >= 1
+
+    def test_impossible_capacity_reports_failure(self):
+        packed = pack_netlist(small_netlist(luts=1_000))
+        placement = place(packed, small_grid(luts=2_000), effort=0.1)
+        result = route(placement, channel_capacity=1, max_iterations=3)
+        if not result.success:
+            assert result.overused_nodes > 0
+
+    def test_capacity_validation(self):
+        packed = pack_netlist(small_netlist(luts=500))
+        placement = place(packed, small_grid(luts=1_000), effort=0.1)
+        with pytest.raises(PnRError):
+            route(placement, channel_capacity=0)
+
+    def test_wirelength_positive(self):
+        packed = pack_netlist(small_netlist())
+        placement = place(packed, small_grid(), effort=0.1)
+        result = route(placement)
+        assert result.total_wirelength > 0
+
+
+class TestTiming:
+    def test_fmax_within_ceiling(self):
+        packed = pack_netlist(small_netlist())
+        placement = place(packed, small_grid(), effort=0.1)
+        report = analyze_timing(placement)
+        assert 0 < report.fmax_mhz <= 300.0
+
+    def test_bigger_design_not_faster(self):
+        small = pack_netlist(small_netlist(luts=500, name="s"))
+        p1 = place(small, small_grid(luts=1_000), effort=0.2)
+        t1 = analyze_timing(p1, route(p1))
+        big = pack_netlist(small_netlist(luts=20_000, name="b"))
+        p2 = place(big, small_grid(luts=40_000, brams=8, dsps=12),
+                   effort=0.2)
+        t2 = analyze_timing(p2, route(p2))
+        assert t2.fmax_mhz <= t1.fmax_mhz + 1
+
+    def test_meets(self):
+        packed = pack_netlist(small_netlist(luts=300))
+        placement = place(packed, small_grid(luts=600), effort=0.1)
+        report = analyze_timing(placement)
+        assert report.meets(50.0)
+
+
+class TestCompileModel:
+    def test_stage_times_algebra(self):
+        a = StageTimes(1, 2, 3, 4)
+        b = StageTimes(10, 1, 1, 1)
+        assert (a + b).total == 23
+        merged = a.merged_parallel(b)
+        assert merged.hls == 10 and merged.syn == 2
+
+    def test_riscv_compile_is_seconds(self):
+        t = DEFAULT_MODEL.riscv_seconds(300)
+        assert 0.5 < t < 5.0
+
+    def test_page_vs_monolithic_shape(self):
+        """A page-sized P&R must model much cheaper than device-scale."""
+        page_s = DEFAULT_MODEL.pnr_seconds(
+            moves=150_000, expansions=80_000, context_luts=500, threads=8)
+        mono_s = DEFAULT_MODEL.pnr_seconds(
+            moves=1_500_000, expansions=800_000, context_luts=751_793,
+            threads=30, monolithic=True)
+        assert 200 < page_s < 700          # Tab. 2 -O1 p&r range
+        assert 1_700 < mono_s < 3_600      # Tab. 2 monolithic p&r range
+
+    def test_implement_design_end_to_end(self):
+        netlist = small_netlist(luts=1_500)
+        grid = PAGE_TYPES["Type-2"].grid()
+        result = implement_design(netlist, grid, context_luts=500,
+                                  effort=0.1)
+        assert result.routing.congestion_free
+        assert result.pnr_seconds > 0
+        assert result.timing.fmax_mhz > 0
+        assert result.wall_seconds < 60

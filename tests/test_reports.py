@@ -1,0 +1,68 @@
+"""Tests for the Tab. 2/3/4 report formatters."""
+
+import pytest
+
+from repro.core import (
+    BuildEngine,
+    O0Flow,
+    O1Flow,
+    Project,
+    format_area_table,
+    format_compile_table,
+    format_performance_table,
+)
+from repro.dataflow import DataflowGraph, Operator
+from repro.hls import OperatorBuilder, make_body
+
+
+@pytest.fixture(scope="module")
+def builds():
+    b = OperatorBuilder("inc", inputs=[("in", 32)], outputs=[("out", 32)])
+    with b.loop("L", 16, pipeline=True):
+        b.write("out", b.cast(b.add(b.read("in"), 1), 32))
+    spec = b.build()
+    g = DataflowGraph("app")
+    g.add(Operator("inc", make_body(spec), ["in"], ["out"],
+                   hls_spec=spec))
+    g.expose_input("src", "inc.in")
+    g.expose_output("dst", "inc.out")
+    project = Project("app", g, {"src": list(range(16))})
+    engine = BuildEngine()
+    return {"app": {
+        "PLD -O1": O1Flow(effort=0.1).compile(project, engine),
+        "PLD -O0": O0Flow(effort=0.1).compile(project, engine),
+    }}
+
+
+class TestFormatters:
+    def test_compile_table_structure(self, builds):
+        text = format_compile_table(builds)
+        lines = text.splitlines()
+        assert "hls" in lines[0] and "p&r" in lines[0]
+        assert len(lines) == 2 + 2                  # header+rule+2 rows
+        assert "app" in lines[2]
+
+    def test_compile_table_o0_shows_riscv_only(self, builds):
+        text = format_compile_table(builds)
+        o0_row = [l for l in text.splitlines() if "-O0" in l][0]
+        assert o0_row.count("-") >= 4               # stages dashed out
+
+    def test_performance_table(self, builds):
+        text = format_performance_table(builds)
+        assert "Fmax" in text
+        assert "200MHz" in text
+        assert "per input" in text
+
+    def test_area_table(self, builds):
+        text = format_area_table(builds)
+        assert "LUT" in text and "B18" in text and "PAGE#" in text
+        o1_row = [l for l in text.splitlines() if "-O1" in l][0]
+        assert o1_row.split()[-1] == "1"            # one page used
+
+    def test_tables_align(self, builds):
+        for text in (format_compile_table(builds),
+                     format_performance_table(builds),
+                     format_area_table(builds)):
+            lines = text.splitlines()
+            widths = {len(l) for l in lines}
+            assert max(widths) - min(widths) <= 2   # columns line up

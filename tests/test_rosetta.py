@@ -1,0 +1,177 @@
+"""Tests for the six Rosetta applications.
+
+Covers functional behaviour (golden models / structure checks),
+decomposition shape (operator counts per Sec. 7.2), area sanity
+(Tab. 4 ballparks), page fit, and — the paper's core property —
+cross-target execution equivalence for a representative app.
+"""
+
+import pytest
+
+from repro.dataflow import run_graph
+from repro.fabric import PAGE_TYPES
+from repro.hls import estimate_operator, schedule_operator
+from repro.rosetta import all_apps, get_app
+from repro.rosetta.base import POPCOUNT8
+
+
+@pytest.fixture(scope="module")
+def apps():
+    return all_apps()
+
+
+#: name -> (operator count, paper Tab. 4 -O1 LUTs)
+EXPECTED = {
+    "3d-rendering": (6, 22_823),
+    "digit-recognition": (20, 63_923),
+    "spam-filter": (16, 50_965),
+    "optical-flow": (16, 43_231),
+    "face-detection": (20, 164_385),
+    "bnn": (22, 64_093),
+}
+
+
+class TestSuiteShape:
+    def test_all_six_apps_present(self, apps):
+        assert set(apps) == set(EXPECTED)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_operator_counts(self, apps, name):
+        expected_ops, _luts = EXPECTED[name]
+        assert len(apps[name].project.graph.operators) == expected_ops
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_graphs_validate(self, apps, name):
+        apps[name].project.graph.validate()
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_scale_factors_positive(self, apps, name):
+        assert apps[name].scale_factor >= 1.0
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_runs_and_produces_output(self, apps, name):
+        app = apps[name]
+        out = run_graph(app.project.graph, app.project.sample_inputs)
+        primary = out["Output_1"]
+        assert len(primary) > 0
+
+    def test_runs_deterministically(self, apps):
+        app = get_app("optical-flow")
+        a = run_graph(app.project.graph, app.project.sample_inputs)
+        b = run_graph(get_app("optical-flow").project.graph,
+                      app.project.sample_inputs)
+        assert a == b
+
+    def test_digit_recognition_matches_golden(self, apps):
+        app = apps["digit-recognition"]
+        out = run_graph(app.project.graph, app.project.sample_inputs)
+        assert out == app.reference(app.project.sample_inputs)
+
+    def test_digit_labels_in_range(self, apps):
+        app = apps["digit-recognition"]
+        out = run_graph(app.project.graph, app.project.sample_inputs)
+        assert all(0 <= label <= 9 for label in out["Output_1"])
+
+    def test_spam_filter_labels_binary(self, apps):
+        app = apps["spam-filter"]
+        out = run_graph(app.project.graph, app.project.sample_inputs)
+        labels = out["Output_1"][1::2]
+        assert set(labels) <= {0, 1}
+
+    def test_rendering_framebuffer_size(self, apps):
+        from repro.rosetta.rendering import FB
+        app = apps["3d-rendering"]
+        out = run_graph(app.project.graph, app.project.sample_inputs)
+        assert len(out["Output_1"]) == FB * FB
+
+    def test_bnn_label_in_range(self, apps):
+        app = apps["bnn"]
+        out = run_graph(app.project.graph, app.project.sample_inputs)
+        assert len(out["Output_1"]) == 1
+        assert 0 <= out["Output_1"][0] <= 9
+
+    def test_face_detection_full_frame(self, apps):
+        from repro.rosetta.face_detection import H, W
+        app = apps["face-detection"]
+        out = run_graph(app.project.graph, app.project.sample_inputs)
+        assert len(out["Output_1"]) == H * W
+
+    def test_optical_flow_two_words_per_pixel(self, apps):
+        from repro.rosetta.optical_flow import HEIGHT, WIDTH
+        app = apps["optical-flow"]
+        out = run_graph(app.project.graph, app.project.sample_inputs)
+        assert len(out["Output_1"]) == 2 * HEIGHT * WIDTH
+
+
+class TestAreaShape:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_total_luts_in_paper_ballpark(self, apps, name):
+        """Within 2x of the Tab. 4 -O1 operator totals."""
+        _ops, paper_luts = EXPECTED[name]
+        total = sum(estimate_operator(op.hls_spec).luts
+                    for op in apps[name].project.graph.operators.values())
+        assert paper_luts / 2 < total < paper_luts * 2, (
+            f"{name}: {total} LUTs vs paper {paper_luts}")
+
+    def test_digit_recognition_is_dsp_free(self, apps):
+        total = sum(estimate_operator(op.hls_spec).dsps
+                    for op in apps["digit-recognition"]
+                    .project.graph.operators.values())
+        assert total == 0
+
+    def test_bnn_is_bram_heavy(self, apps):
+        total = sum(estimate_operator(op.hls_spec).brams
+                    for op in apps["bnn"].project.graph.operators.values())
+        assert total > 300
+
+    def test_spam_uses_dsps(self, apps):
+        total = sum(estimate_operator(op.hls_spec).dsps
+                    for op in apps["spam-filter"]
+                    .project.graph.operators.values())
+        assert total > 100
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_every_operator_fits_some_page(self, apps, name):
+        budgets = [(t.luts - 500, t.brams, t.dsps)
+                   for t in PAGE_TYPES.values()]
+        for op in apps[name].project.graph.operators.values():
+            est = estimate_operator(op.hls_spec)
+            assert any(est.luts <= b[0] and est.brams <= b[1]
+                       and est.dsps <= b[2] for b in budgets), (
+                f"{name}/{op.name} fits no page: {est}")
+
+
+class TestSchedules:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_paper_schedules_have_work(self, apps, name):
+        """Paper-scale specs carry paper-scale cycle counts: the
+        bottleneck stage is deep, and even the tail stages do work."""
+        cycles = [schedule_operator(op.hls_spec).total_cycles
+                  for op in apps[name].project.graph.operators.values()]
+        assert max(cycles) > 100_000
+        assert min(cycles) >= 10
+
+    def test_sample_specs_are_light(self, apps):
+        for op in apps["optical-flow"].project.graph.operators.values():
+            schedule = schedule_operator(op.sample_spec)
+            assert schedule.total_cycles < 50_000
+
+
+class TestHelpers:
+    def test_popcount_table(self):
+        assert POPCOUNT8[0] == 0
+        assert POPCOUNT8[255] == 8
+        assert POPCOUNT8[0b1010101] == 4
+
+
+class TestGoldenModels:
+    def test_spam_filter_matches_golden(self, apps):
+        app = apps["spam-filter"]
+        out = run_graph(app.project.graph, app.project.sample_inputs)
+        assert out == app.reference(app.project.sample_inputs)
+
+    def test_golden_models_attached(self, apps):
+        assert apps["digit-recognition"].reference is not None
+        assert apps["spam-filter"].reference is not None

@@ -1,0 +1,241 @@
+"""Tests for RV32IM encoding, the assembler, and the ISS core."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SoftcoreError, TrapError
+from repro.softcore import PicoRV32, assemble, decode, encode
+from repro.softcore.isa import Instruction
+
+
+ALL_R = ("add sub sll slt sltu xor srl sra or and mul mulh mulhsu mulhu "
+         "div divu rem remu").split()
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("mnemonic", ALL_R)
+    def test_r_type_round_trip(self, mnemonic):
+        instr = Instruction(mnemonic, rd=5, rs1=6, rs2=7)
+        assert decode(encode(instr)) == instr
+
+    @pytest.mark.parametrize("mnemonic,imm", [
+        ("addi", -2048), ("addi", 2047), ("andi", -1), ("ori", 255),
+        ("xori", -1), ("slti", 5), ("sltiu", 5),
+    ])
+    def test_i_type_round_trip(self, mnemonic, imm):
+        instr = Instruction(mnemonic, rd=1, rs1=2, imm=imm)
+        assert decode(encode(instr)) == instr
+
+    @pytest.mark.parametrize("mnemonic", ["slli", "srli", "srai"])
+    def test_shift_round_trip(self, mnemonic):
+        for amount in (0, 1, 31):
+            instr = Instruction(mnemonic, rd=3, rs1=4, imm=amount)
+            assert decode(encode(instr)) == instr
+
+    @pytest.mark.parametrize("mnemonic", ["lw", "lh", "lhu", "lb", "lbu"])
+    def test_load_round_trip(self, mnemonic):
+        instr = Instruction(mnemonic, rd=8, rs1=9, imm=-4)
+        assert decode(encode(instr)) == instr
+
+    @pytest.mark.parametrize("mnemonic", ["sw", "sh", "sb"])
+    def test_store_round_trip(self, mnemonic):
+        instr = Instruction(mnemonic, rs1=10, rs2=11, imm=124)
+        assert decode(encode(instr)) == instr
+
+    @pytest.mark.parametrize("mnemonic", ["beq", "bne", "blt", "bge",
+                                          "bltu", "bgeu"])
+    def test_branch_round_trip(self, mnemonic):
+        for offset in (-4096, -2, 2, 4094):
+            instr = Instruction(mnemonic, rs1=1, rs2=2, imm=offset)
+            assert decode(encode(instr)) == instr
+
+    def test_jal_round_trip(self):
+        for offset in (-(1 << 20), -2, 2, (1 << 20) - 2):
+            instr = Instruction("jal", rd=1, imm=offset)
+            assert decode(encode(instr)) == instr
+
+    def test_lui_auipc(self):
+        assert decode(encode(Instruction("lui", rd=4, imm=0xFFFFF))) == \
+            Instruction("lui", rd=4, imm=0xFFFFF)
+        assert decode(encode(Instruction("auipc", rd=4, imm=1))) == \
+            Instruction("auipc", rd=4, imm=1)
+
+    def test_system(self):
+        assert decode(encode(Instruction("ebreak"))).mnemonic == "ebreak"
+        assert decode(encode(Instruction("ecall"))).mnemonic == "ecall"
+
+    def test_bad_register(self):
+        with pytest.raises(SoftcoreError):
+            encode(Instruction("add", rd=32))
+
+    def test_imm_range_checked(self):
+        with pytest.raises(SoftcoreError):
+            encode(Instruction("addi", rd=1, rs1=1, imm=5000))
+        with pytest.raises(SoftcoreError):
+            encode(Instruction("beq", imm=3))       # odd offset
+
+    @given(st.sampled_from(ALL_R),
+           st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=31))
+    def test_r_round_trip_property(self, m, rd, rs1, rs2):
+        instr = Instruction(m, rd=rd, rs1=rs1, rs2=rs2)
+        assert decode(encode(instr)) == instr
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        code = assemble([("addi", 1, 0, 5), ("addi", 2, 0, 7),
+                         ("add", 3, 1, 2), ("ebreak",)])
+        assert len(code) == 16
+        cpu = PicoRV32()
+        cpu.load_image(code)
+        cpu.run()
+        assert cpu.regs[3] == 12
+
+    def test_labels_and_branches(self):
+        # Sum 1..10 in x2.
+        program = [
+            ("li", 1, 10),
+            ("li", 2, 0),
+            "loop:",
+            ("add", 2, 2, 1),
+            ("addi", 1, 1, -1),
+            ("bne", 1, 0, "loop"),
+            ("ebreak",),
+        ]
+        cpu = PicoRV32()
+        cpu.load_image(assemble(program))
+        cpu.run()
+        assert cpu.regs[2] == 55
+
+    def test_li_large_constant(self):
+        cpu = PicoRV32()
+        cpu.load_image(assemble([("li", 5, 0x12345678), ("ebreak",)]))
+        cpu.run()
+        assert cpu.regs[5] == 0x12345678
+
+    def test_li_negative(self):
+        cpu = PicoRV32()
+        cpu.load_image(assemble([("li", 5, -1234567), ("ebreak",)]))
+        cpu.run()
+        assert cpu.regs[5] == (-1234567) & 0xFFFFFFFF
+
+    def test_undefined_label(self):
+        with pytest.raises(SoftcoreError):
+            assemble([("beq", 0, 0, "nowhere"), ("ebreak",)])
+
+    def test_duplicate_label(self):
+        with pytest.raises(SoftcoreError):
+            assemble(["a:", "a:", ("ebreak",)])
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(SoftcoreError):
+            assemble([("frob", 1, 2, 3)])
+
+
+class TestISS:
+    def run_program(self, program, **kwargs):
+        cpu = PicoRV32(**kwargs)
+        cpu.load_image(assemble(program))
+        cpu.run()
+        return cpu
+
+    def test_memory_store_load(self):
+        cpu = self.run_program([
+            ("li", 1, 0x1000),
+            ("li", 2, 0xDEADBEEF),
+            ("sw", 2, 1, 0),
+            ("lw", 3, 1, 0),
+            ("lhu", 4, 1, 0),
+            ("lbu", 5, 1, 3),
+            ("ebreak",),
+        ])
+        assert cpu.regs[3] == 0xDEADBEEF
+        assert cpu.regs[4] == 0xBEEF
+        assert cpu.regs[5] == 0xDE
+
+    def test_signed_byte_load(self):
+        cpu = self.run_program([
+            ("li", 1, 0x1000),
+            ("li", 2, 0x80),
+            ("sb", 2, 1, 0),
+            ("lb", 3, 1, 0),
+            ("ebreak",),
+        ])
+        assert cpu.regs[3] == 0xFFFFFF80       # sign-extended
+
+    def test_mul_div_semantics(self):
+        cpu = self.run_program([
+            ("li", 1, -7), ("li", 2, 2),
+            ("div", 3, 1, 2),      # -3 (toward zero)
+            ("rem", 4, 1, 2),      # -1
+            ("mul", 5, 1, 2),      # -14
+            ("ebreak",),
+        ])
+        assert cpu.regs[3] == (-3) & 0xFFFFFFFF
+        assert cpu.regs[4] == (-1) & 0xFFFFFFFF
+        assert cpu.regs[5] == (-14) & 0xFFFFFFFF
+
+    def test_div_by_zero_riscv_semantics(self):
+        cpu = self.run_program([
+            ("li", 1, 5), ("li", 2, 0),
+            ("div", 3, 1, 2), ("rem", 4, 1, 2), ("ebreak",),
+        ])
+        assert cpu.regs[3] == 0xFFFFFFFF
+        assert cpu.regs[4] == 5
+
+    def test_mulh_variants(self):
+        cpu = self.run_program([
+            ("li", 1, -2), ("li", 2, 3),
+            ("mulh", 3, 1, 2),
+            ("mulhu", 4, 1, 2),
+            ("ebreak",),
+        ])
+        assert cpu.regs[3] == 0xFFFFFFFF           # high of -6
+        assert cpu.regs[4] == ((0xFFFFFFFE * 3) >> 32) & 0xFFFFFFFF
+
+    def test_x0_hardwired(self):
+        cpu = self.run_program([("addi", 0, 0, 5), ("ebreak",)])
+        assert cpu.regs[0] == 0
+
+    def test_cycle_accounting(self):
+        cpu = self.run_program([("addi", 1, 0, 1), ("ebreak",)])
+        assert cpu.cycles >= 2
+        assert cpu.instructions_retired == 2
+
+    def test_div_slower_than_add(self):
+        add_cpu = self.run_program(
+            [("add", 1, 0, 0)] * 10 + [("ebreak",)])
+        div_cpu = self.run_program(
+            [("div", 1, 0, 0)] * 10 + [("ebreak",)])
+        assert div_cpu.cycles > add_cpu.cycles * 3
+
+    def test_out_of_bounds_traps(self):
+        cpu = PicoRV32(memory_bytes=4096)
+        cpu.load_image(assemble([
+            ("li", 1, 0x100000), ("lw", 2, 1, 0), ("ebreak",)]))
+        with pytest.raises(TrapError):
+            cpu.run()
+
+    def test_runaway_guard(self):
+        cpu = PicoRV32()
+        cpu.load_image(assemble(["spin:", ("j", "spin")]))
+        with pytest.raises(SoftcoreError):
+            cpu.run(max_instructions=1000)
+
+    def test_memory_budget_enforced(self):
+        with pytest.raises(SoftcoreError):
+            PicoRV32(memory_bytes=1024 * 1024)     # > 192 KB page budget
+
+    def test_jalr_function_call(self):
+        program = [
+            ("li", 2, 21),
+            ("jal", 1, "double"),       # call
+            ("ebreak",),
+            "double:",
+            ("add", 2, 2, 2),
+            ("ret",),
+        ]
+        cpu = self.run_program(program)
+        assert cpu.regs[2] == 42
