@@ -11,10 +11,26 @@ pipeline:
    getting identical results every time.
 
 Run:  python examples/quickstart.py
+
+Pass ``--faults SEED`` to replay the same workflow under a seeded
+fault plan: one page compile is killed permanently (the operator is
+transparently degraded to the -O0 softcore) and compile attempts may
+crash transiently — yet the outputs stay identical, and the failure
+report shows what the build survived.
 """
 
-from repro.core import BuildEngine, O0Flow, O1Flow, O3Flow, Project
+import argparse
+
+from repro.core import (
+    BuildEngine,
+    O0Flow,
+    O1Flow,
+    O3Flow,
+    Project,
+    format_failure_report,
+)
 from repro.dataflow import DataflowGraph, Operator
+from repro.faults import FaultPlan
 from repro.hls import OperatorBuilder, make_body
 from repro.platform import HostProgram
 
@@ -47,6 +63,13 @@ def build_count(width):
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--faults", type=int, metavar="SEED",
+                        default=None,
+                        help="inject a seeded fault plan into the -O1 "
+                             "compile and show the failure report")
+    args = parser.parse_args()
+
     width = 64
 
     # -- the application graph (single source for every target) --------
@@ -72,7 +95,15 @@ def main():
     print(host.timeline.summarize())
 
     print("\n== -O1: separate compilation to FPGA pages (minutes) ==")
-    o1 = O1Flow().compile(project, engine)
+    plan = None
+    if args.faults is not None:
+        # Kill one operator's page compile permanently and make other
+        # attempts flaky; the flow degrades rather than dying.
+        plan = FaultPlan(args.faults, kill_jobs=("count",),
+                         compile_fail_rate=0.2)
+        print(f"   (injecting faults, seed {args.faults}: 'count' page "
+              f"compile is broken; transient crashes at 20%)")
+    o1 = O1Flow(faults=plan).compile(project, engine)
     t = o1.compile_times
     print(f"   stages: hls {t.hls:.0f}s  syn {t.syn:.0f}s  "
           f"p&r {t.pnr:.0f}s  bit {t.bit:.0f}s  -> total {t.total:.0f}s")
@@ -90,6 +121,9 @@ def main():
     assert out0 == out1 == out3
     print("\nAll three mappings produced identical results — the "
           "latency-insensitive stream abstraction at work.")
+    if plan is not None:
+        print()
+        print(format_failure_report(o1))
     print(f"\nCompile-time ladder: {o0.riscv_seconds:.0f}s -> "
           f"{o1.compile_times.total:.0f}s -> "
           f"{o3.compile_times.total:.0f}s")

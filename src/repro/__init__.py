@@ -15,7 +15,9 @@ The public surface mirrors the paper's layering:
 * :mod:`repro.softcore` — RV32IM softcore and the -O0 compiler;
 * :mod:`repro.platform` — Alveo card, DMA, host runtime;
 * :mod:`repro.core` — the PLD toolflow (-O0/-O1/-O3 + Vitis baseline);
-* :mod:`repro.rosetta` — the six benchmark applications.
+* :mod:`repro.rosetta` — the six benchmark applications;
+* :mod:`repro.faults` — deterministic fault injection and the
+  resilience machinery (retry, degradation, retransmission).
 
 Quick start::
 
@@ -28,6 +30,22 @@ Quick start::
     print(build.execute(app.project.sample_inputs))
 """
 
-__version__ = "1.0.0"
+from repro.errors import (
+    FaultInjectionError,
+    LinkTimeoutError,
+    PLDError,
+    RetryExhaustedError,
+)
+from repro.faults import FaultEvent, FaultPlan
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    "PLDError",
+    "FaultInjectionError",
+    "RetryExhaustedError",
+    "LinkTimeoutError",
+    "FaultPlan",
+    "FaultEvent",
+]

@@ -18,6 +18,7 @@ import argparse
 import sys
 from typing import Dict, Optional
 
+from repro.errors import DeadlockError, PLDError
 from repro.core import (
     BuildEngine,
     O0Flow,
@@ -181,7 +182,17 @@ def main(argv: Optional[list] = None) -> int:
         "tables": cmd_tables,
         "floorplan": cmd_floorplan,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except PLDError as exc:
+        # Toolflow failures exit nonzero with a one-line diagnostic (and
+        # the full structured report for deadlocks) instead of a
+        # traceback — the pld driver is a build tool, not a library.
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        if isinstance(exc, DeadlockError):
+            from repro.core.reports import format_deadlock_report
+            print(format_deadlock_report(exc), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

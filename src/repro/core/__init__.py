@@ -32,6 +32,8 @@ from repro.core.reports import (
     format_compile_table,
     format_performance_table,
     format_area_table,
+    format_failure_report,
+    format_deadlock_report,
 )
 
 __all__ = [
@@ -53,4 +55,6 @@ __all__ = [
     "format_compile_table",
     "format_performance_table",
     "format_area_table",
+    "format_failure_report",
+    "format_deadlock_report",
 ]

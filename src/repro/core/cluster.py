@@ -5,6 +5,18 @@ Google-Cloud Slurm cluster, 8 threads per operator, so the -O1 compile
 time in Tab. 2 is the *longest single page compile*, not the sum.  The
 model schedules jobs onto a fixed number of nodes (list scheduling,
 longest job first) and reports the makespan plus per-stage maxima.
+
+Real clusters also fail: jobs crash, hang past their walltime, or lose
+their node entirely.  :meth:`CompileCluster.schedule` accepts a
+:class:`repro.faults.CompileFaultInjector` and models recovery the way
+a Slurm deployment would — a per-job timeout bounds hangs, failed
+attempts retry with exponential backoff (the wasted attempt time and
+the backoff are charged into the node's busy time and hence into the
+makespan), and a dead node is retired so the retry lands elsewhere.  A
+job that exhausts its retries is reported in
+:attr:`ClusterSchedule.failed` rather than raised, because the -O1 flow
+can still link the design by remapping that operator to the preloaded
+-O0 softcore (the paper's mixed-flow capability, Fig. 10).
 """
 
 from __future__ import annotations
@@ -37,12 +49,20 @@ class ClusterSchedule:
     assignments: Dict[str, int]            # job -> node
     stage_maxima: StageTimes               # per-stage slowest job
     serial_seconds: float                  # total CPU-seconds of work
+    attempts: Dict[str, int] = field(default_factory=dict)
+    failed: List[str] = field(default_factory=list)
+    retry_seconds: float = 0.0             # wasted attempts + backoff
+    lost_nodes: List[int] = field(default_factory=list)
 
     @property
     def parallel_speedup(self) -> float:
         if self.makespan == 0:
             return 1.0
         return self.serial_seconds / self.makespan
+
+    @property
+    def total_retries(self) -> int:
+        return sum(n - 1 for n in self.attempts.values() if n > 1)
 
 
 @dataclass
@@ -51,15 +71,34 @@ class CompileCluster:
 
     The paper's cluster: 4-CPU nodes for page jobs, one 15-CPU node for
     monolithic jobs; node count bounds page-compile parallelism.
+
+    Args:
+        nodes: node count (bounds page-compile parallelism).
+        threads_per_node: threads one job gets.
+        job_timeout_seconds: walltime after which a hung job is killed
+            and retried (Slurm's ``--time``).
+        max_attempts: total tries per job (first run + retries).
+        backoff_base_seconds: first retry delay; doubles per retry.
     """
 
     nodes: int = 24
     threads_per_node: int = 8
+    job_timeout_seconds: float = 3_600.0
+    max_attempts: int = 3
+    backoff_base_seconds: float = 30.0
 
-    def schedule(self, jobs: List[Job]) -> ClusterSchedule:
-        """LPT list-schedule jobs; returns the makespan."""
+    def schedule(self, jobs: List[Job], faults=None) -> ClusterSchedule:
+        """LPT list-schedule jobs; returns the makespan.
+
+        With a fault injector, each attempt may crash, hang until the
+        per-job timeout, or take its node down; retries (with
+        exponential backoff) are charged into the makespan.  Jobs whose
+        retries exhaust land in :attr:`ClusterSchedule.failed`.
+        """
         if self.nodes < 1:
             raise FlowError("cluster needs at least one node")
+        if self.max_attempts < 1:
+            raise FlowError("cluster needs at least one attempt per job")
         if not jobs:
             return ClusterSchedule(0.0, {}, StageTimes(), 0.0)
         ordered = sorted(jobs, key=lambda j: -j.seconds)
@@ -67,13 +106,70 @@ class CompileCluster:
                                          for node in range(self.nodes)]
         heapq.heapify(heap)
         assignments: Dict[str, int] = {}
+        attempts: Dict[str, int] = {}
+        failed: List[str] = []
+        lost_nodes: List[int] = []
+        retry_seconds = 0.0
+
         for job in ordered:
+            if not heap:
+                raise FlowError(
+                    f"all {self.nodes} compile nodes failed; cannot "
+                    f"schedule job {job.name!r}")
             busy_until, node = heapq.heappop(heap)
+            attempt = 0
+            while True:
+                attempt += 1
+                outcome, fraction = ("ok", 1.0) if faults is None else \
+                    faults.attempt_outcome(job.name, attempt)
+                if outcome == "ok":
+                    busy_until += job.seconds
+                    break
+                if outcome == "timeout":
+                    wasted = min(job.seconds * 2, self.job_timeout_seconds)
+                elif outcome in ("fail", "node"):
+                    wasted = job.seconds * max(0.0, min(1.0, fraction))
+                else:
+                    raise FlowError(
+                        f"fault injector returned unknown outcome "
+                        f"{outcome!r} for job {job.name!r}")
+                busy_until += wasted
+                retry_seconds += wasted
+                if outcome == "node":
+                    # The node died under the job: retire it and move the
+                    # job to the next node that frees up (no backoff —
+                    # the reschedule is immediate, just possibly queued).
+                    lost_nodes.append(node)
+                    if not heap:
+                        raise FlowError(
+                            f"all {self.nodes} compile nodes failed "
+                            f"while retrying job {job.name!r}")
+                    next_free, node = heapq.heappop(heap)
+                    busy_until = max(busy_until, next_free)
+                if attempt >= self.max_attempts:
+                    failed.append(job.name)
+                    break
+                if outcome != "node":
+                    backoff = self.backoff_base_seconds \
+                        * 2.0 ** (attempt - 1)
+                    busy_until += backoff
+                    retry_seconds += backoff
             assignments[job.name] = node
-            heapq.heappush(heap, (busy_until + job.seconds, node))
+            attempts[job.name] = attempt
+            heapq.heappush(heap, (busy_until, node))
+
         makespan = max(t for t, _node in heap)
         maxima = StageTimes()
+        failed_set = set(failed)
         for job in jobs:
-            maxima = maxima.merged_parallel(job.stages)
+            if job.name in failed_set:
+                continue
+            # A retried job reran its whole pipeline: charge every
+            # attempt into the per-stage ceiling the flow reports.
+            maxima = maxima.merged_parallel(
+                job.stages.scaled(attempts.get(job.name, 1)))
         serial = sum(job.seconds for job in jobs)
-        return ClusterSchedule(makespan, assignments, maxima, serial)
+        return ClusterSchedule(makespan, assignments, maxima, serial,
+                               attempts=attempts, failed=failed,
+                               retry_seconds=retry_seconds,
+                               lost_nodes=lost_nodes)

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import CapacityError, FlowError
+from repro.errors import CapacityError, FlowError, RetryExhaustedError
 from repro.dataflow.graph import (
     DataflowGraph,
     Operator,
@@ -135,6 +135,16 @@ class FlowBuild:
     reused: List[str] = field(default_factory=list)
     dfg: Dict = field(default_factory=dict)
     impl_fmax_mhz: float = 0.0         # routed clock of monolithic impls
+    #: Operators whose page compile exhausted its retries and were
+    #: transparently remapped to the -O0 softcore (name -> reason).
+    remapped: Dict[str, str] = field(default_factory=dict)
+    #: Compile attempts per page job (1 = first try succeeded).
+    compile_attempts: Dict[str, int] = field(default_factory=dict)
+    #: Wasted seconds on failed attempts/backoff, charged into makespan.
+    retry_seconds: float = 0.0
+    #: The fault plan this build compiled under, if any (its log holds
+    #: every injected fault; see ``format_failure_report``).
+    fault_plan: Optional[object] = None
     _exec_graph: Optional[DataflowGraph] = None
     _telemetry: Dict[str, object] = field(default_factory=dict)
 
@@ -404,6 +414,11 @@ class O1Flow:
         model: compile-time calibration.
         effort: annealer effort (tests pass < 1 for speed).
         seed: placement seed.
+        faults: optional :class:`repro.faults.FaultPlan`; page-compile
+            jobs then fail/hang per the plan, the cluster retries with
+            backoff, and an operator whose retries exhaust is remapped
+            to the preloaded -O0 softcore so the design still links and
+            produces correct output (graceful degradation, Fig. 10).
     """
 
     name = "PLD -O1"
@@ -412,7 +427,8 @@ class O1Flow:
                  cluster: Optional[CompileCluster] = None,
                  model: CompileTimeModel = DEFAULT_MODEL,
                  effort: float = 1.0, seed: int = 1,
-                 softcore_cycles: Optional[Dict[str, int]] = None):
+                 softcore_cycles: Optional[Dict[str, int]] = None,
+                 faults=None):
         self.overlay = overlay or Overlay()
         self.cluster = cluster or CompileCluster()
         self.model = model
@@ -421,6 +437,7 @@ class O1Flow:
         #: Softcore cycle profile for -O0/mixed operators (None = the
         #: unpipelined PicoRV32; see ``softcore.cpu.PIPELINED_CYCLES``).
         self.softcore_cycles = softcore_cycles
+        self.faults = faults
 
     def compile(self, project: Project,
                 engine: Optional[BuildEngine] = None) -> FlowBuild:
@@ -501,8 +518,46 @@ class O1Flow:
                 page_images[page.number] = (
                     _softcore_page_image(page, art.riscv), name, True)
 
-        schedule_result = self.cluster.schedule(jobs)
+        injector = self.faults.compile_faults() \
+            if self.faults is not None and self.faults.any_compile_faults \
+            else None
+        schedule_result = self.cluster.schedule(jobs, faults=injector)
         compile_times = schedule_result.stage_maxima
+
+        # Graceful degradation (the paper's mixed-flow capability): an
+        # operator whose -O1 page compile exhausted its retries falls
+        # back to the preloaded -O0 softcore on the same page, so the
+        # design still links and produces identical output — only that
+        # operator runs slower until a later recompile succeeds.
+        remapped: Dict[str, str] = {}
+        for name in schedule_result.failed:
+            op = graph.operators[name]
+            page = self.overlay.page(page_of[name])
+            compiled = engine.step(
+                f"riscv:{name}", (op.sample_spec,),
+                lambda op=op: compile_operator(op.sample_spec))
+            if page.brams * BYTES_PER_BRAM18 < compiled.memory_bytes:
+                raise RetryExhaustedError(
+                    f"operator {name!r}: page compile failed after "
+                    f"{schedule_result.attempts.get(name, 0)} attempts "
+                    f"and the -O0 fallback needs {compiled.memory_bytes} "
+                    f"bytes, more than page {page.number} holds",
+                    attempts=schedule_result.attempts.get(name, 0))
+            art = artifacts[name]
+            art.riscv = compiled
+            art.target = TARGET_RISCV
+            riscv_builds[name] = compiled
+            riscv_seconds = max(
+                riscv_seconds,
+                self.model.riscv_seconds(compiled.ir_instructions))
+            page_images[page.number] = (
+                _softcore_page_image(page, compiled), name, True)
+            reason = (f"page compile failed after "
+                      f"{schedule_result.attempts.get(name, 0)} attempts; "
+                      f"remapped to -O0 softcore")
+            remapped[name] = reason
+            if self.faults is not None:
+                self.faults.record("compile", "remap-to-o0", name, reason)
 
         config = build_link_configuration(graph, page_of)
         telemetry: Dict[str, object] = {}
@@ -529,6 +584,10 @@ class O1Flow:
             rebuilt=list(engine.record.built),
             reused=list(engine.record.reused),
             dfg=extract_dfg(graph),
+            remapped=remapped,
+            compile_attempts=dict(schedule_result.attempts),
+            retry_seconds=schedule_result.retry_seconds,
+            fault_plan=self.faults,
             _exec_graph=exec_graph,
             _telemetry=telemetry,
         )

@@ -4,6 +4,11 @@ Each formatter takes ``{app name: {flow name: FlowBuild}}`` and renders
 a text table shaped like Tab. 2 (compile time), Tab. 3 (performance) or
 Tab. 4 (area).  The benchmark harness prints these next to the paper's
 numbers in EXPERIMENTS.md.
+
+Two resilience formatters ride along: :func:`format_failure_report`
+summarizes what a fault-injected build survived (retries, remapped
+operators, the plan's event log) and :func:`format_deadlock_report`
+renders a :class:`repro.errors.DeadlockError`'s structured diagnostic.
 """
 
 from __future__ import annotations
@@ -11,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.core.flows import FlowBuild
+from repro.errors import DeadlockError
 
 
 def _fmt_row(cells: List[str], widths: List[int]) -> str:
@@ -58,6 +64,62 @@ def format_performance_table(builds: Dict[str, Dict[str, FlowBuild]]
     lines = [_fmt_row(header, widths),
              _fmt_row(["-" * w for w in widths], widths)]
     lines += [_fmt_row(row, widths) for row in rows]
+    return "\n".join(lines)
+
+
+def format_failure_report(build: FlowBuild) -> str:
+    """What one (possibly fault-injected) build survived.
+
+    Lists retried compile jobs, operators degraded to the -O0 softcore,
+    the wall-clock the retries cost, and the fault plan's full event
+    log.  A fault-free build renders a one-line all-clear.
+    """
+    lines = [f"== failure report: {build.project.name} ({build.flow}) =="]
+    attempts = getattr(build, "compile_attempts", {}) or {}
+    retried = {name: n for name, n in sorted(attempts.items()) if n > 1}
+    remapped = getattr(build, "remapped", {}) or {}
+    plan = getattr(build, "fault_plan", None)
+    if not retried and not remapped and (plan is None or not plan.log):
+        lines.append("no faults injected; all jobs succeeded first try")
+        return "\n".join(lines)
+    if plan is not None:
+        lines.append(f"fault plan: seed={plan.seed}, "
+                     f"{len(plan.log)} fault(s) injected")
+    if retried:
+        lines.append("retried compile jobs:")
+        for name, n in retried.items():
+            suffix = " -> gave up" if name in remapped else ""
+            lines.append(f"  {name}: {n} attempts{suffix}")
+    if build.retry_seconds:
+        lines.append(f"retry/backoff wall-clock: "
+                     f"{build.retry_seconds:.0f}s charged into makespan")
+    if remapped:
+        lines.append("operators degraded to the -O0 softcore:")
+        for name, reason in sorted(remapped.items()):
+            lines.append(f"  {name}: {reason}")
+    if plan is not None and plan.log:
+        lines.append("injected fault log:")
+        for event in plan.log:
+            lines.append(f"  {event}")
+    return "\n".join(lines)
+
+
+def format_deadlock_report(exc: DeadlockError) -> str:
+    """Render a deadlock's structured diagnostic for humans."""
+    lines = [f"== deadlock report ==", str(exc)]
+    if exc.blocked:
+        lines.append("blocked: " + ", ".join(str(b) for b in exc.blocked))
+    for key, value in sorted(exc.diagnostic.items()):
+        if isinstance(value, dict):
+            lines.append(f"{key}:")
+            for k, v in sorted(value.items()):
+                lines.append(f"  {k}: {v}")
+        elif isinstance(value, (list, tuple)):
+            lines.append(f"{key}:")
+            for item in value:
+                lines.append(f"  {item}")
+        else:
+            lines.append(f"{key}: {value}")
     return "\n".join(lines)
 
 

@@ -205,12 +205,23 @@ class CycleSimulator:
                     continue
                 if self._run_until_blocked(proc):
                     progress = True
-        blocked = sorted(p.name for p in processes.values() if not p.finished)
-        if blocked:
+        stuck = [p for p in processes.values() if not p.finished]
+        if stuck:
+            blocked = sorted(p.name for p in stuck)
+            diagnostic = {
+                "outstanding_requests": {
+                    p.name: repr(p.request) for p in stuck
+                    if p.request is not None},
+                "fifo_occupancy": {
+                    name: f"{fifo.occupancy()}"
+                          + (f"/{fifo.capacity}" if fifo.capacity else "")
+                    for name, fifo in sorted(self.fifos.items())
+                    if fifo.occupancy()},
+            }
             raise DeadlockError(
                 f"graph {self.graph.name!r} (timed): blocked: {blocked}; "
                 f"FIFO capacities may be too small for the token pattern",
-                blocked=blocked)
+                blocked=blocked, diagnostic=diagnostic)
 
         self.outputs = {}
         self.output_times = {}

@@ -144,11 +144,23 @@ class FunctionalSimulator:
         # on closed streams unwind their operator — so any process still
         # alive is waiting on an open stream no runnable producer will
         # ever feed: a deadlock.
-        blocked = sorted(p.name for p in processes.values() if not p.finished)
-        if blocked:
+        stuck = [p for p in processes.values() if not p.finished]
+        if stuck:
+            blocked = sorted(p.name for p in stuck)
+            diagnostic = {
+                "outstanding_requests": {
+                    p.name: repr(p.request) for p in stuck
+                    if p.request is not None},
+                "stream_occupancy": {
+                    name: len(stream)
+                    for name, stream in sorted(self.streams.items())
+                    if len(stream)},
+                "firings": {name: self.firings[name] for name in blocked},
+            }
             raise DeadlockError(
                 f"graph {self.graph.name!r}: no runnable operator; "
-                f"blocked: {blocked}", blocked=blocked)
+                f"blocked: {blocked}", blocked=blocked,
+                diagnostic=diagnostic)
         return {name: stream.drain()
                 for name, stream in self.external_out.items()}
 

@@ -21,12 +21,17 @@ class DeadlockError(DataflowError):
     """The Kahn-process-network execution cannot make progress.
 
     Carries the set of blocked operator names so callers (and tests) can
-    report which part of the application stalled.
+    report which part of the application stalled, plus an optional
+    structured ``diagnostic`` dump (FIFO occupancies, in-flight packets,
+    outstanding requests) that :func:`repro.core.reports.format_deadlock_report`
+    renders for the developer.
     """
 
-    def __init__(self, message: str, blocked: tuple = ()):
+    def __init__(self, message: str, blocked: tuple = (),
+                 diagnostic: dict = None):
         super().__init__(message)
         self.blocked = tuple(blocked)
+        self.diagnostic = dict(diagnostic or {})
 
 
 class HLSError(PLDError):
@@ -65,11 +70,18 @@ class SoftcoreError(PLDError):
 
 
 class TrapError(SoftcoreError):
-    """The simulated processor executed an illegal or unaligned access."""
+    """The simulated processor executed an illegal or unaligned access.
 
-    def __init__(self, message: str, *, pc: int = 0):
+    ``injected`` is True when the trap came from a fault-injection plan
+    rather than the program itself; the softcore's watchdog restart only
+    retries injected (transient) traps.
+    """
+
+    def __init__(self, message: str, *, pc: int = 0,
+                 injected: bool = False):
         super().__init__(message)
         self.pc = pc
+        self.injected = injected
 
 
 class PlatformError(PLDError):
@@ -82,3 +94,52 @@ class FlowError(PLDError):
 
 class BuildError(FlowError):
     """The incremental build engine detected an inconsistency."""
+
+
+class FaultInjectionError(PLDError):
+    """A fault-injection plan deliberately failed an operation.
+
+    Raised at the injection site (a compile job, a bitstream load, a DMA
+    transfer); recovery layers catch it and retry or degrade.  Carries
+    the fault's domain/kind/target so recovery code and reports can tell
+    injected faults from genuine bugs.
+    """
+
+    def __init__(self, message: str, *, domain: str = "", kind: str = "",
+                 target: str = ""):
+        super().__init__(message)
+        self.domain = domain
+        self.kind = kind
+        self.target = target
+
+
+class RetryExhaustedError(PLDError):
+    """A retried operation failed on every allowed attempt.
+
+    Carries the attempt count and the last underlying error so callers
+    can decide whether to degrade (e.g. remap an operator to the -O0
+    softcore) or surface the failure.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0,
+                 last_error: Exception = None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class LinkTimeoutError(NoCError):
+    """A linked stream could not be delivered within the retry budget.
+
+    Raised by the leaf retransmission layer when a packet stays unacked
+    past ``max_retransmissions`` attempts; carries the stream endpoint
+    so the diagnostic names the broken link.
+    """
+
+    def __init__(self, message: str, *, leaf: int = -1, port: int = -1,
+                 seq: int = -1, attempts: int = 0):
+        super().__init__(message)
+        self.leaf = leaf
+        self.port = port
+        self.seq = seq
+        self.attempts = attempts

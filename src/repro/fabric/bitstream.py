@@ -10,6 +10,7 @@ bandwidth to turn sizes into load times.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Optional
 
@@ -64,6 +65,18 @@ class Bitstream:
     def load_seconds(self) -> float:
         """Time to push the image through the configuration port."""
         return self.size_bytes / CONFIG_BANDWIDTH_BYTES_PER_S
+
+    @property
+    def crc32(self) -> int:
+        """Reference checksum of the image contents.
+
+        The card's configuration logic computes a readback CRC after
+        every load; :class:`repro.platform.alveo.AlveoU50` compares it
+        against this value to detect a corrupted load and retry.
+        """
+        raw = (f"{self.name}:{self.luts}:{self.brams}:{self.dsps}:"
+               f"{int(self.partial)}:{self.payload_bytes}").encode()
+        return zlib.crc32(raw) & 0xFFFFFFFF
 
     def __repr__(self) -> str:
         kind = "partial" if self.partial else "full"

@@ -1,0 +1,46 @@
+"""Fault injection and resilience testing for the PLD reproduction.
+
+The paper's premise is that FPGA development should survive the messy
+realities of incremental refinement; this package makes the
+reproduction survive the messy realities of *deployment*.  A
+:class:`FaultPlan` is a deterministic, seed-keyed description of the
+faults one run experiences — failed or hung page-compile jobs, DFX
+bitstream load/CRC failures, corrupted or dropped NoC flits, DMA
+errors, spurious softcore traps — and each subsystem consults a
+per-domain injector at its natural decision points:
+
+* :meth:`FaultPlan.compile_faults` → ``CompileCluster.schedule``
+  (retry with backoff, per-job timeouts, node retirement; -O1 degrades
+  an operator to the preloaded -O0 softcore when retries exhaust);
+* :meth:`FaultPlan.noc_faults` → ``NetworkSimulator`` (leaf CRC +
+  sequence tracking + timeout-driven retransmission recover the loss);
+* :meth:`FaultPlan.bitstream_faults` → ``AlveoU50`` (reload on CRC
+  mismatch, bounded retries);
+* :meth:`FaultPlan.dma_faults` → ``DMAEngine`` (bounded retries);
+* :meth:`FaultPlan.softcore_faults` → ``PicoRV32`` (watchdog restart
+  from the loaded image on injected traps).
+
+Every injected fault lands in :attr:`FaultPlan.log`;
+:func:`repro.core.reports.format_failure_report` renders the log plus
+the recovery actions a build took.
+"""
+
+from repro.faults.plan import (
+    BitstreamFaultInjector,
+    CompileFaultInjector,
+    DMAFaultInjector,
+    FaultEvent,
+    FaultPlan,
+    NoCFaultInjector,
+    SoftcoreFaultInjector,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultEvent",
+    "CompileFaultInjector",
+    "NoCFaultInjector",
+    "BitstreamFaultInjector",
+    "DMAFaultInjector",
+    "SoftcoreFaultInjector",
+]

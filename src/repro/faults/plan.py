@@ -1,0 +1,300 @@
+"""Deterministic, seed-driven fault injection (the ``repro.faults`` core).
+
+Real deployments of the PLD flow fail in ways the fault-free models
+never exercise: a Slurm page-compile job crashes or hangs, a DFX
+partial-bitstream load comes back with a CRC mismatch, the deflection
+NoC corrupts or drops a flit, a DMA burst errors out, a softcore takes a
+spurious trap.  :class:`FaultPlan` describes *which* of those faults a
+run should experience, and hands each subsystem a small injector object
+it consults at its natural decision points.
+
+Determinism is the whole point: every injection decision is a pure
+function of ``(seed, domain, decision key)`` via a keyed BLAKE2b hash,
+so the same plan replays the identical fault sequence on every run —
+independent of dict ordering, ``PYTHONHASHSEED`` or call interleaving.
+A retry naturally re-draws (the attempt number is part of the key), so
+transient faults clear on retry while ``kill_jobs`` entries fail every
+attempt, which is how tests pin down the paper's Fig. 10 scenario of
+one operator's -O1 compile failing permanently.
+
+Every injected fault is appended to :attr:`FaultPlan.log`, which
+:func:`repro.core.reports.format_failure_report` renders.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+
+def _draw(seed: int, *key) -> float:
+    """Uniform [0, 1) draw, a pure function of (seed, key)."""
+    text = repr((seed,) + key).encode()
+    digest = hashlib.blake2b(text, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded in the plan's log."""
+
+    domain: str          # "compile" | "noc" | "bitstream" | "dma" | "softcore"
+    kind: str            # e.g. "job-fail", "corrupt", "crc-mismatch"
+    target: str          # job name, image name, "leaf3:port1", ...
+    detail: str = ""
+
+    def __str__(self) -> str:
+        tail = f" ({self.detail})" if self.detail else ""
+        return f"[{self.domain}] {self.kind} @ {self.target}{tail}"
+
+
+class FaultPlan:
+    """A reproducible description of the faults one run experiences.
+
+    Args:
+        seed: the replay seed; two plans with equal seeds and rates
+            inject identical fault sequences.
+        kill_jobs: compile jobs (operator names) that fail on *every*
+            attempt — the deterministic "this page compile is broken"
+            scenario that exercises -O0 degradation.
+        compile_fail_rate: probability a page-compile attempt crashes.
+        compile_timeout_rate: probability a page-compile attempt hangs
+            until the cluster's per-job timeout.
+        node_fail_rate: probability the node running an attempt dies
+            (the job retries elsewhere; the node is retired).
+        bitstream_fail_rate: probability a configuration-port load
+            fails outright.
+        bitstream_crc_rate: probability a load completes but the
+            readback CRC mismatches.
+        noc_corrupt_rate: probability an injected flit's payload is
+            corrupted in flight.
+        noc_drop_rate: probability an injected flit is dropped.
+        dma_fail_rate: probability a DMA transfer attempt errors.
+        softcore_trap_rate: probability a softcore run takes one
+            spurious (transient) trap.
+    """
+
+    def __init__(self, seed: int, *,
+                 kill_jobs: Iterable[str] = (),
+                 compile_fail_rate: float = 0.0,
+                 compile_timeout_rate: float = 0.0,
+                 node_fail_rate: float = 0.0,
+                 bitstream_fail_rate: float = 0.0,
+                 bitstream_crc_rate: float = 0.0,
+                 noc_corrupt_rate: float = 0.0,
+                 noc_drop_rate: float = 0.0,
+                 dma_fail_rate: float = 0.0,
+                 softcore_trap_rate: float = 0.0):
+        rates = {
+            "compile_fail_rate": compile_fail_rate,
+            "compile_timeout_rate": compile_timeout_rate,
+            "node_fail_rate": node_fail_rate,
+            "bitstream_fail_rate": bitstream_fail_rate,
+            "bitstream_crc_rate": bitstream_crc_rate,
+            "noc_corrupt_rate": noc_corrupt_rate,
+            "noc_drop_rate": noc_drop_rate,
+            "dma_fail_rate": dma_fail_rate,
+            "softcore_trap_rate": softcore_trap_rate,
+        }
+        for name, rate in rates.items():
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.seed = int(seed)
+        self.kill_jobs = frozenset(kill_jobs)
+        self.compile_fail_rate = compile_fail_rate
+        self.compile_timeout_rate = compile_timeout_rate
+        self.node_fail_rate = node_fail_rate
+        self.bitstream_fail_rate = bitstream_fail_rate
+        self.bitstream_crc_rate = bitstream_crc_rate
+        self.noc_corrupt_rate = noc_corrupt_rate
+        self.noc_drop_rate = noc_drop_rate
+        self.dma_fail_rate = dma_fail_rate
+        self.softcore_trap_rate = softcore_trap_rate
+        self.log: List[FaultEvent] = []
+
+    def record(self, domain: str, kind: str, target: str,
+               detail: str = "") -> FaultEvent:
+        event = FaultEvent(domain, kind, target, detail)
+        self.log.append(event)
+        return event
+
+    def events(self, domain: Optional[str] = None) -> List[FaultEvent]:
+        if domain is None:
+            return list(self.log)
+        return [e for e in self.log if e.domain == domain]
+
+    # -- per-domain injectors ---------------------------------------------
+
+    def compile_faults(self) -> "CompileFaultInjector":
+        return CompileFaultInjector(self)
+
+    def noc_faults(self) -> "NoCFaultInjector":
+        return NoCFaultInjector(self)
+
+    def bitstream_faults(self) -> "BitstreamFaultInjector":
+        return BitstreamFaultInjector(self)
+
+    def dma_faults(self) -> "DMAFaultInjector":
+        return DMAFaultInjector(self)
+
+    def softcore_faults(self) -> "SoftcoreFaultInjector":
+        return SoftcoreFaultInjector(self)
+
+    @property
+    def any_compile_faults(self) -> bool:
+        return bool(self.kill_jobs) or self.compile_fail_rate > 0 \
+            or self.compile_timeout_rate > 0 or self.node_fail_rate > 0
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan(seed={self.seed}, "
+                f"{len(self.log)} injected so far)")
+
+
+class CompileFaultInjector:
+    """Decides the outcome of each compile-job attempt."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+
+    def attempt_outcome(self, job: str, attempt: int
+                        ) -> Tuple[str, float]:
+        """Outcome of attempt ``attempt`` (1-based) of job ``job``.
+
+        Returns ``(kind, work_fraction)`` where kind is one of ``"ok"``,
+        ``"fail"`` (crash after ``work_fraction`` of the runtime),
+        ``"timeout"`` (hung until the per-job timeout) or ``"node"``
+        (the node died under the job).
+        """
+        plan = self.plan
+        if job in plan.kill_jobs:
+            plan.record("compile", "job-fail", job,
+                        f"attempt {attempt} (killed by plan)")
+            return "fail", _draw(plan.seed, "compile", "frac", job, attempt)
+        roll = _draw(plan.seed, "compile", "outcome", job, attempt)
+        edge = plan.compile_fail_rate
+        if roll < edge:
+            plan.record("compile", "job-fail", job, f"attempt {attempt}")
+            return "fail", _draw(plan.seed, "compile", "frac", job, attempt)
+        edge += plan.compile_timeout_rate
+        if roll < edge:
+            plan.record("compile", "job-timeout", job,
+                        f"attempt {attempt}")
+            return "timeout", 1.0
+        edge += plan.node_fail_rate
+        if roll < edge:
+            plan.record("compile", "node-fail", job, f"attempt {attempt}")
+            return "node", _draw(plan.seed, "compile", "frac", job, attempt)
+        return "ok", 1.0
+
+
+class NoCFaultInjector:
+    """Decides the fate of each flit injected into the network.
+
+    Decisions are keyed by a monotone injection index the simulator
+    supplies, so a retransmitted flit (a new injection) re-draws and can
+    get through where the original was lost.  Control (linking) packets
+    are exempt: the pre-linker verifies its configuration by register
+    readback before any data flows, so data/ack flits are where loss
+    matters.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.corrupted = 0
+        self.dropped = 0
+
+    def on_injection(self, injection_index: int, target: str) -> str:
+        """``"ok"`` | ``"corrupt"`` | ``"drop"`` for one injected flit."""
+        plan = self.plan
+        roll = _draw(plan.seed, "noc", injection_index)
+        if roll < plan.noc_drop_rate:
+            self.dropped += 1
+            plan.record("noc", "drop", target, f"flit #{injection_index}")
+            return "drop"
+        if roll < plan.noc_drop_rate + plan.noc_corrupt_rate:
+            self.corrupted += 1
+            plan.record("noc", "corrupt", target,
+                        f"flit #{injection_index}")
+            return "corrupt"
+        return "ok"
+
+    def corruption_mask(self, injection_index: int) -> int:
+        """Which payload bit the fault flips (never zero)."""
+        bit = int(_draw(self.plan.seed, "noc", "bit", injection_index)
+                  * 32) % 32
+        return 1 << bit
+
+
+class BitstreamFaultInjector:
+    """Decides the outcome of each configuration-port load attempt."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+
+    def load_outcome(self, image_name: str, attempt: int) -> str:
+        """``"ok"`` | ``"fail"`` | ``"crc"`` for one load attempt."""
+        plan = self.plan
+        roll = _draw(plan.seed, "bitstream", image_name, attempt)
+        if roll < plan.bitstream_fail_rate:
+            plan.record("bitstream", "load-fail", image_name,
+                        f"attempt {attempt}")
+            return "fail"
+        if roll < plan.bitstream_fail_rate + plan.bitstream_crc_rate:
+            plan.record("bitstream", "crc-mismatch", image_name,
+                        f"attempt {attempt}")
+            return "crc"
+        return "ok"
+
+
+class DMAFaultInjector:
+    """Decides the outcome of each DMA transfer attempt."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._transfers = 0
+
+    def next_transfer(self) -> int:
+        self._transfers += 1
+        return self._transfers
+
+    def transfer_fails(self, transfer_index: int, attempt: int,
+                       target: str) -> bool:
+        plan = self.plan
+        if _draw(plan.seed, "dma", transfer_index,
+                 attempt) < plan.dma_fail_rate:
+            plan.record("dma", "transfer-error", target,
+                        f"transfer #{transfer_index} attempt {attempt}")
+            return True
+        return False
+
+
+class SoftcoreFaultInjector:
+    """Decides whether (and where) a softcore run takes a spurious trap."""
+
+    #: Injected traps land within this many retired instructions of the
+    #: start of the run — early enough that short programs still hit
+    #: them, late enough to interrupt real work.
+    TRAP_HORIZON = 4_096
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+
+    def trap_point(self, core_id: str, attempt: int) -> Optional[int]:
+        """Instruction index at which attempt ``attempt`` traps, or None.
+
+        Pure draw — the core calls :meth:`record_fired` if (and only
+        if) the program actually reaches the trap point, so the plan
+        log never claims an upset that landed after ``ebreak``.
+        """
+        plan = self.plan
+        if _draw(plan.seed, "softcore", core_id,
+                 attempt) < plan.softcore_trap_rate:
+            return 1 + int(_draw(plan.seed, "softcore", "point", core_id,
+                                 attempt) * self.TRAP_HORIZON)
+        return None
+
+    def record_fired(self, core_id: str, attempt: int,
+                     point: int) -> None:
+        self.plan.record("softcore", "trap", core_id,
+                         f"attempt {attempt} @ instruction {point}")

@@ -8,6 +8,28 @@ design can be re-linked — operators moved between pages, or swapped
 between FPGA and softcore implementations — without recompiling any
 page.  Inbound packets demultiplex by destination port into per-stream
 FIFOs.
+
+Reliable mode
+-------------
+
+A deployed overlay must survive in-flight corruption and loss.  With
+``reliable=True`` the leaf adds a selective-repeat recovery layer on
+top of the existing per-link sequence numbers:
+
+* outbound data flits carry a payload CRC; a receiver silently drops
+  any flit whose payload no longer matches (corruption becomes loss);
+* the sender keeps every unacknowledged flit in a retransmission
+  buffer; the receiver returns a per-flit :class:`AckPacket` for every
+  data flit it accepts — including out-of-order and duplicate arrivals
+  (so lost acks self-heal), which is what makes the scheme selective
+  repeat: one lost flit never un-acknowledges the window behind it;
+* the network simulator drives a per-flit timeout — an unacked flit is
+  re-injected after ``retransmit_timeout`` cycles, up to
+  ``max_retransmissions`` attempts, after which the link is declared
+  broken with :class:`LinkTimeoutError`;
+* the receive side detects sequence gaps with its reorder buffer and
+  discards duplicates, so every stream's payloads are delivered exactly
+  once, in order, whatever the loss/corruption pattern.
 """
 
 from __future__ import annotations
@@ -16,8 +38,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.errors import NoCError
-from repro.noc.packet import ConfigPacket, DataPacket, Packet
+from repro.errors import LinkTimeoutError, NoCError
+from repro.noc.packet import (
+    AckPacket,
+    ConfigPacket,
+    DataPacket,
+    Packet,
+)
 
 
 @dataclass(frozen=True)
@@ -34,16 +61,29 @@ class LeafInterface:
     Args:
         leaf: leaf (page) number in the tree.
         n_ports: local stream ports (both directions share numbering).
+        reliable: enable CRC + retransmission recovery (see module doc).
+        retransmit_timeout: cycles an unacked flit waits before being
+            re-injected (only meaningful with ``reliable=True``).
+        max_retransmissions: retransmission budget per flit; exceeding
+            it raises :class:`LinkTimeoutError`.
     """
 
     #: Register space offset distinguishing config from data ports.
     CONFIG_PORT_BASE = 128
 
-    def __init__(self, leaf: int, n_ports: int = 8):
+    #: Register space offset for stream acknowledgements (reliable mode).
+    ACK_PORT_BASE = 256
+
+    def __init__(self, leaf: int, n_ports: int = 8,
+                 reliable: bool = False, retransmit_timeout: int = 256,
+                 max_retransmissions: int = 64):
         if n_ports < 1 or n_ports > LeafInterface.CONFIG_PORT_BASE:
             raise NoCError(f"leaf {leaf}: n_ports out of range")
         self.leaf = leaf
         self.n_ports = n_ports
+        self.reliable = reliable
+        self.retransmit_timeout = retransmit_timeout
+        self.max_retransmissions = max_retransmissions
         self.bindings: Dict[int, StreamBinding] = {}
         self.outbox: Deque[Packet] = deque()
         self.inboxes: Dict[int, Deque[int]] = {
@@ -56,9 +96,23 @@ class LeafInterface:
         # even ill-formed many-to-one traffic cannot wedge the buffer.
         self._rx_expected: Dict[Tuple[int, int], int] = {}
         self._rx_pending: Dict[Tuple[int, int], Dict[int, int]] = {}
+        # Retransmission state (reliable mode): per-port unacked flits
+        # as (dest_leaf, dest_port, payload) templates, the cycle each
+        # was last put on the wire, and how often it was resent.
+        self._unacked: Dict[int, Dict[int, Tuple[int, int, int]]] = {}
+        self._last_tx: Dict[Tuple[int, int], int] = {}
+        self._retx_count: Dict[Tuple[int, int], int] = {}
+        # Flits whose retransmission is already waiting in the outbox:
+        # the timer must not enqueue further copies behind them.
+        self._queued_retx: set = set()
         self.bounced = 0
         self.sent = 0
         self.received = 0
+        self.retransmissions = 0
+        self.crc_dropped = 0
+        self.duplicates_dropped = 0
+        self.acks_sent = 0
+        self.acks_received = 0
 
     # -- configuration ---------------------------------------------------
 
@@ -93,13 +147,19 @@ class LeafInterface:
                 f"did the pre-linker run?")
         seq = self._tx_seq.get(out_port, 0)
         self._tx_seq[out_port] = seq + 1
-        self.outbox.append(DataPacket(
+        packet = DataPacket(
             dest_leaf=binding.dest_leaf,
             dest_port=binding.dest_port,
             payload=token & 0xFFFFFFFF,
             src_leaf=self.leaf,
+            src_port=out_port,
             seq=seq,
-        ))
+        )
+        if self.reliable:
+            packet.stamp_crc()
+            self._unacked.setdefault(out_port, {})[seq] = (
+                binding.dest_leaf, binding.dest_port, packet.payload)
+        self.outbox.append(packet)
 
     def deliver(self, packet: Packet) -> Optional[Packet]:
         """Accept a packet from the network.
@@ -111,6 +171,14 @@ class LeafInterface:
             # Deflection sent it down the wrong way: bounce it back.
             self.bounced += 1
             return packet
+        if not packet.crc_ok():
+            # Corrupted in flight: discard; the sender's retransmission
+            # timer recovers the loss.
+            self.crc_dropped += 1
+            return None
+        if packet.dest_port >= LeafInterface.ACK_PORT_BASE:
+            self._accept_ack(packet)
+            return None
         if packet.dest_port >= LeafInterface.CONFIG_PORT_BASE:
             port = packet.dest_port - LeafInterface.CONFIG_PORT_BASE
             self._check_port(port)
@@ -118,18 +186,27 @@ class LeafInterface:
             self.bindings[port] = StreamBinding(leaf, dport)
         else:
             self._check_port(packet.dest_port)
-            self._deliver_in_order(packet)
+            if not self._deliver_in_order(packet):
+                return None           # duplicate: dropped (and re-acked)
         self.received += 1
         return None
 
-    def _deliver_in_order(self, packet: Packet) -> None:
+    def _deliver_in_order(self, packet: Packet) -> bool:
+        """Returns False when the packet was a duplicate (discarded)."""
         port = packet.dest_port
         if packet.seq < 0:
             self.inboxes[port].append(packet.payload)
-            return
+            return True
         key = (port, packet.src_leaf)
         expected = self._rx_expected.get(key, 0)
         pending = self._rx_pending.setdefault(key, {})
+        if self.reliable and (packet.seq < expected
+                              or packet.seq in pending):
+            # Retransmitted flit we already hold: the original ack was
+            # lost (or slow); re-ack so the sender can purge it.
+            self.duplicates_dropped += 1
+            self._enqueue_ack(packet, packet.seq)
+            return False
         if packet.seq == expected:
             self.inboxes[port].append(packet.payload)
             expected += 1
@@ -138,7 +215,87 @@ class LeafInterface:
                 expected += 1
             self._rx_expected[key] = expected
         else:
+            # Sequence gap: hold the early arrival in the reorder
+            # buffer.  It is still acknowledged individually below, so
+            # only the genuinely missing flits are ever resent.
             pending[packet.seq] = packet.payload
+        if self.reliable:
+            self._enqueue_ack(packet, packet.seq)
+        return True
+
+    def _enqueue_ack(self, packet: Packet, seq: int) -> None:
+        if packet.src_leaf < 0 or packet.src_port < 0 or seq < 0:
+            return
+        ack = AckPacket(
+            dest_leaf=packet.src_leaf,
+            dest_port=LeafInterface.ACK_PORT_BASE + packet.src_port,
+            payload=seq & 0xFFFFFFFF,
+            src_leaf=self.leaf,
+        ).stamp_crc()
+        self.outbox.append(ack)
+        self.acks_sent += 1
+
+    def _accept_ack(self, packet: Packet) -> None:
+        port = packet.dest_port - LeafInterface.ACK_PORT_BASE
+        self._check_port(port)
+        self.acks_received += 1
+        seq = packet.payload
+        unacked = self._unacked.get(port)
+        if unacked is not None and seq in unacked:
+            del unacked[seq]
+            self._last_tx.pop((port, seq), None)
+            self._retx_count.pop((port, seq), None)
+            self._queued_retx.discard((port, seq))
+
+    # -- retransmission (driven by the network simulator's clock) ----------
+
+    def note_transmitted(self, packet: Packet, cycle: int) -> None:
+        """Record that a flit of ours went on the wire this cycle."""
+        if (self.reliable and isinstance(packet, DataPacket)
+                and packet.seq >= 0 and packet.src_leaf == self.leaf):
+            self._last_tx[(packet.src_port, packet.seq)] = cycle
+            self._queued_retx.discard((packet.src_port, packet.seq))
+
+    def has_unacked(self) -> bool:
+        return any(self._unacked.get(port)
+                   for port in self._unacked)
+
+    def unacked_count(self) -> int:
+        return sum(len(seqs) for seqs in self._unacked.values())
+
+    def service_retransmissions(self, cycle: int) -> int:
+        """Re-inject flits whose ack timeout expired; returns how many."""
+        if not self.reliable:
+            return 0
+        resent = 0
+        for port, seqs in self._unacked.items():
+            for seq in sorted(seqs):
+                last = self._last_tx.get((port, seq))
+                if last is None or cycle - last < self.retransmit_timeout:
+                    continue
+                if (port, seq) in self._queued_retx:
+                    continue          # a copy is already waiting to inject
+                count = self._retx_count.get((port, seq), 0) + 1
+                if count > self.max_retransmissions:
+                    raise LinkTimeoutError(
+                        f"leaf {self.leaf} port {port}: flit seq {seq} "
+                        f"unacknowledged after {self.max_retransmissions} "
+                        f"retransmissions; link is down",
+                        leaf=self.leaf, port=port, seq=seq,
+                        attempts=count)
+                self._retx_count[(port, seq)] = count
+                dest_leaf, dest_port, payload = seqs[seq]
+                self.outbox.append(DataPacket(
+                    dest_leaf=dest_leaf, dest_port=dest_port,
+                    payload=payload, src_leaf=self.leaf, src_port=port,
+                    seq=seq).stamp_crc())
+                # The timer restarts when the copy actually hits the
+                # wire (note_transmitted); until then _queued_retx
+                # keeps this flit out of further timer rounds.
+                self._queued_retx.add((port, seq))
+                self.retransmissions += 1
+                resent += 1
+        return resent
 
     def pop_injection(self) -> Optional[Packet]:
         """Packet to put on the up-link this cycle, if any."""
@@ -165,5 +322,6 @@ class LeafInterface:
         return out
 
     def __repr__(self) -> str:
+        mode = ", reliable" if self.reliable else ""
         return (f"LeafInterface(leaf={self.leaf}, ports={self.n_ports}, "
-                f"{len(self.bindings)} bound)")
+                f"{len(self.bindings)} bound{mode})")

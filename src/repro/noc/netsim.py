@@ -19,10 +19,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.errors import NoCError
+from repro.errors import DeadlockError, NoCError
 from repro.noc.bft import BFTopology, SwitchId
 from repro.noc.leaf import LeafInterface
-from repro.noc.packet import Packet
+from repro.noc.packet import AckPacket, DataPacket, Packet
 
 #: Output slot identifiers: ("up", k) | ("down", child_side)
 _UP = "up"
@@ -37,10 +37,25 @@ class DeliveryRecord:
 
 
 class NetworkSimulator:
-    """Simulates one overlay network with attached leaf interfaces."""
+    """Simulates one overlay network with attached leaf interfaces.
+
+    Args:
+        topology: the BFT to simulate (single up-link).
+        leaves: leaf number -> interface; missing leaves get bare ones.
+        faults: optional :class:`repro.faults.NoCFaultInjector`; each
+            injected data/ack flit may then be dropped or have a payload
+            bit flipped.  Pair with ``reliable=True`` leaf interfaces so
+            the CRC/retransmission layer recovers the loss.
+        watchdog_cycles: with pending work but zero deliveries for this
+            many cycles, the simulator raises :class:`DeadlockError`
+            carrying a structured diagnostic (blocked leaves, outbox and
+            reorder occupancies, in-flight packets) instead of spinning
+            to the cycle limit.
+    """
 
     def __init__(self, topology: BFTopology,
-                 leaves: Optional[Dict[int, LeafInterface]] = None):
+                 leaves: Optional[Dict[int, LeafInterface]] = None,
+                 faults=None, watchdog_cycles: int = 50_000):
         if topology.up_links != 1:
             raise NoCError(
                 "the cycle simulator models the paper's modest single "
@@ -64,6 +79,11 @@ class NetworkSimulator:
         self.cycle = 0
         self.delivered: List[DeliveryRecord] = []
         self.total_deflections = 0
+        self.faults = faults
+        self.watchdog_cycles = watchdog_cycles
+        self.faults_dropped = 0
+        self.faults_corrupted = 0
+        self._injection_index = 0
 
     def attach(self, iface: LeafInterface) -> None:
         self.leaves[iface.leaf] = iface
@@ -120,17 +140,51 @@ class NetworkSimulator:
             if packet is not None:
                 if packet.injected_at == 0 and packet.age == 0:
                     packet.injected_at = self.cycle
-                next_flight[key] = packet
+                iface.note_transmitted(packet, self.cycle)
+                packet = self._inject_faults(packet, leaf_no)
+                if packet is not None:
+                    next_flight[key] = packet
 
         self._in_flight = next_flight
         self.cycle += 1
 
+        # Drive the reliability layer's ack timeouts: overdue unacked
+        # flits re-enter their leaf's outbox for the next cycles.
+        for iface in self.leaves.values():
+            if iface.reliable:
+                iface.service_retransmissions(self.cycle)
+
+    def _inject_faults(self, packet: Packet,
+                       leaf_no: int) -> Optional[Packet]:
+        """Apply the fault plan to one injected flit (None = dropped)."""
+        if self.faults is None \
+                or not isinstance(packet, (DataPacket, AckPacket)):
+            return packet
+        index = self._injection_index
+        self._injection_index += 1
+        target = (f"leaf{leaf_no}->leaf{packet.dest_leaf}"
+                  f":port{packet.dest_port}")
+        outcome = self.faults.on_injection(index, target)
+        if outcome == "drop":
+            self.faults_dropped += 1
+            return None
+        if outcome == "corrupt":
+            # Flip one payload bit without fixing the CRC: the receiver
+            # detects the mismatch and treats the flit as lost.
+            packet.payload ^= self.faults.corruption_mask(index)
+            self.faults_corrupted += 1
+        return packet
+
     def _deliver(self, packet: Packet, leaf_no: int) -> None:
         iface = self.leaves[leaf_no]
+        accepted_before = iface.received
         bounced = iface.deliver(packet)
         if bounced is not None:
             iface.push_front(bounced)
-        else:
+        elif (not isinstance(packet, AckPacket)
+              and iface.received > accepted_before):
+            # Acks and discarded flits (bad CRC, duplicates) are not
+            # application deliveries and stay out of the latency stats.
             self.delivered.append(DeliveryRecord(
                 packet.payload, self.cycle - packet.injected_at,
                 packet.hops))
@@ -168,18 +222,65 @@ class NetworkSimulator:
     def run(self, max_cycles: int = 100_000) -> int:
         """Step until the network drains or the cycle limit hits.
 
-        Returns the cycle count at quiescence.
+        Returns the cycle count at quiescence.  Reliable leaves are not
+        quiescent while they still hold unacknowledged flits: the run
+        keeps stepping so retransmission timers can fire.  A watchdog
+        turns pure stagnation (pending work, zero accepted deliveries
+        for ``watchdog_cycles``) into a :class:`DeadlockError` with a
+        structured diagnostic instead of an opaque cycle-limit abort.
         """
         idle = 0
+        last_progress_cycle = 0
+        last_accepted = self._accepted_total()
         while idle < 3:
             if self.cycle >= max_cycles:
                 raise NoCError(
                     f"network did not drain within {max_cycles} cycles")
             busy = bool(self._in_flight) or any(
-                iface.outbox for iface in self.leaves.values())
+                iface.outbox or (iface.reliable and iface.has_unacked())
+                for iface in self.leaves.values())
             self.step()
             idle = 0 if busy else idle + 1
+            accepted = self._accepted_total()
+            if accepted != last_accepted:
+                last_accepted = accepted
+                last_progress_cycle = self.cycle
+            elif (busy and self.watchdog_cycles > 0
+                    and self.cycle - last_progress_cycle
+                    >= self.watchdog_cycles):
+                self._raise_watchdog()
         return self.cycle
+
+    def _accepted_total(self) -> int:
+        """Progress metric: packets accepted (incl. acks) network-wide."""
+        return sum(iface.received + iface.acks_received
+                   for iface in self.leaves.values())
+
+    def _raise_watchdog(self) -> None:
+        blocked = sorted(
+            f"leaf{no}" for no, iface in self.leaves.items()
+            if iface.outbox or (iface.reliable and iface.has_unacked()))
+        diagnostic = {
+            "cycle": self.cycle,
+            "watchdog_cycles": self.watchdog_cycles,
+            "in_flight": [
+                f"{key[0]}/{key[1]}->leaf{pkt.dest_leaf}"
+                f":port{pkt.dest_port}"
+                for key, pkt in sorted(self._in_flight.items(),
+                                       key=lambda kv: repr(kv[0]))],
+            "outboxes": {f"leaf{no}": len(iface.outbox)
+                         for no, iface in sorted(self.leaves.items())
+                         if iface.outbox},
+            "unacked": {f"leaf{no}": iface.unacked_count()
+                        for no, iface in sorted(self.leaves.items())
+                        if iface.reliable and iface.has_unacked()},
+            "faults_dropped": self.faults_dropped,
+            "faults_corrupted": self.faults_corrupted,
+        }
+        raise DeadlockError(
+            f"NoC made no delivery progress for {self.watchdog_cycles} "
+            f"cycles with work pending (cycle {self.cycle})",
+            blocked=blocked, diagnostic=diagnostic)
 
     def mean_latency(self) -> float:
         if not self.delivered:

@@ -4,11 +4,25 @@ Hoplite-style networks keep routers tiny by making every packet a single
 flit: destination header + one 32-bit payload word.  Control packets
 address a leaf's configuration registers instead of its data FIFOs,
 which is how operators are re-linked without recompilation (Sec. 4.3).
+
+For resilience, data and acknowledgement flits also carry a payload CRC
+(a few header bits in hardware): a leaf drops any flit whose payload no
+longer matches its CRC, turning in-flight corruption into a loss that
+the sequence-number/retransmission layer recovers.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
+
+
+def payload_crc(dest_leaf: int, dest_port: int, payload: int,
+                seq: int) -> int:
+    """16-bit CRC over the fields corruption could silently change."""
+    raw = (f"{dest_leaf}:{dest_port}:{payload & 0xFFFFFFFF}:{seq}"
+           ).encode()
+    return zlib.crc32(raw) & 0xFFFF
 
 
 @dataclass
@@ -19,6 +33,7 @@ class Packet:
     dest_port: int
     payload: int
     src_leaf: int = -1
+    src_port: int = -1              # sender's output port (for acks)
     injected_at: int = 0            # cycle of injection (for latency stats)
     age: int = 0                    # deflection-priority age
     hops: int = 0
@@ -26,12 +41,29 @@ class Packet:
     #: in flight; leaf interfaces restore stream order with a small
     #: reorder buffer keyed on this field (-1 = unordered, e.g. config).
     seq: int = -1
+    #: Payload CRC stamped at send time (-1 = unprotected).  Fault
+    #: injection flips payload bits without fixing this, so receivers
+    #: detect corruption and discard the flit.
+    crc: int = -1
 
     def __post_init__(self):
         if self.dest_leaf < 0:
             raise ValueError("packet needs a non-negative destination leaf")
         if not (0 <= self.payload < 2 ** 32):
             raise ValueError("payload must be an unsigned 32-bit word")
+
+    def stamp_crc(self) -> "Packet":
+        """Protect the payload; returns self for chaining."""
+        self.crc = payload_crc(self.dest_leaf, self.dest_port,
+                               self.payload, self.seq)
+        return self
+
+    def crc_ok(self) -> bool:
+        """True when unprotected or the payload still matches its CRC."""
+        if self.crc < 0:
+            return True
+        return self.crc == payload_crc(self.dest_leaf, self.dest_port,
+                                       self.payload, self.seq)
 
 
 @dataclass
@@ -57,3 +89,16 @@ class ConfigPacket(Packet):
     @staticmethod
     def decode(payload: int):
         return payload >> 8, payload & 0xFF
+
+
+@dataclass
+class AckPacket(Packet):
+    """A per-flit acknowledgement for one stream (reliable links).
+
+    Sent by the receiving leaf back to ``(src_leaf, src_port)`` of the
+    data stream for every data flit it accepts — in-order, early, or
+    duplicate; ``payload`` is that flit's sequence number, letting the
+    sender purge exactly that entry from its retransmission buffer
+    (selective repeat).  ``dest_port`` is
+    ``ACK_PORT_BASE + <sender's output port>``.
+    """

@@ -6,6 +6,15 @@ images per page — either an operator's FPGA bitstream or the softcore
 image plus its packed program.  Every load is timed through the
 configuration-port model so host timelines show the real cost ordering:
 full overlay loads are seconds-scale, page loads are milliseconds.
+
+Loads can fail in the field: the DMA into the configuration port errors
+out, or the post-load readback CRC does not match the image
+(:attr:`Bitstream.crc32`).  With a
+:class:`repro.faults.BitstreamFaultInjector` attached, every load is
+verified and retried up to ``max_load_retries`` times — each attempt's
+wire time is charged into :attr:`config_seconds`, so a flaky
+configuration path shows up in the host timeline — before giving up
+with :class:`RetryExhaustedError`.
 """
 
 from __future__ import annotations
@@ -14,7 +23,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.errors import PlatformError
+from repro.errors import PlatformError, RetryExhaustedError
 from repro.fabric.bitstream import Bitstream
 from repro.fabric.shell import Overlay
 
@@ -35,17 +44,65 @@ class _PageSlot:
 
 
 class AlveoU50:
-    """One card in a server."""
+    """One card in a server.
 
-    def __init__(self, serial: str = "xilinx_u50_0"):
+    Args:
+        serial: card identifier.
+        faults: optional :class:`repro.faults.BitstreamFaultInjector`;
+            configuration loads then verify a readback CRC and retry
+            failed or corrupted loads.
+        max_load_retries: extra attempts per image before a load is
+            declared dead with :class:`RetryExhaustedError`.
+    """
+
+    def __init__(self, serial: str = "xilinx_u50_0", faults=None,
+                 max_load_retries: int = 3):
         self.serial = serial
         self.overlay: Optional[Overlay] = None
         self.overlay_image: Optional[Bitstream] = None
         self._pages: Dict[int, _PageSlot] = {}
         self.config_seconds = 0.0
         self.loads = 0
+        self.faults = faults
+        self.max_load_retries = max_load_retries
+        self.load_retries = 0
+        self.crc_mismatches = 0
+        #: Readback CRC of every successfully verified image, by name.
+        self.verified_crcs: Dict[str, int] = {}
 
     # -- configuration ------------------------------------------------------
+
+    def _timed_load(self, image: Bitstream) -> float:
+        """Push one image through the configuration port, with retries.
+
+        Every attempt — including failed ones — costs the full wire
+        time; a CRC mismatch additionally implies the readback happened.
+        Returns the total seconds this load consumed.
+        """
+        attempts = 1 + max(0, self.max_load_retries)
+        seconds = 0.0
+        for attempt in range(1, attempts + 1):
+            seconds += image.load_seconds
+            self.loads += 1
+            outcome = "ok" if self.faults is None else \
+                self.faults.load_outcome(image.name, attempt)
+            if outcome == "ok":
+                self.verified_crcs[image.name] = image.crc32
+                self.config_seconds += seconds
+                return seconds
+            if outcome == "crc":
+                self.crc_mismatches += 1
+            elif outcome != "fail":
+                raise PlatformError(
+                    f"fault injector returned unknown load outcome "
+                    f"{outcome!r} for {image.name!r}")
+            self.load_retries += 1
+        self.config_seconds += seconds
+        raise RetryExhaustedError(
+            f"{self.serial}: load of {image.name!r} failed "
+            f"{attempts} times (last: CRC/config error)",
+            attempts=attempts,
+            last_error=f"configuration load of {image.name!r}")
 
     def load_overlay(self, overlay: Overlay, image: Bitstream) -> float:
         """Load the L1 overlay image; resets all page slots."""
@@ -53,13 +110,11 @@ class AlveoU50:
             raise PlatformError(
                 "the overlay is a level-1 partial image, not a full "
                 "bitstream (the static shell stays resident)")
+        seconds = self._timed_load(image)
         self.overlay = overlay
         self.overlay_image = image
         self._pages = {number: _PageSlot()
                        for number in overlay.page_numbers()}
-        seconds = image.load_seconds
-        self.config_seconds += seconds
-        self.loads += 1
         return seconds
 
     def load_kernel(self, image: Bitstream) -> float:
@@ -68,12 +123,10 @@ class AlveoU50:
         Replaces whatever overlay was resident: the card is back to a
         single application region under the static shell.
         """
+        seconds = self._timed_load(image)
         self.overlay = None
         self.overlay_image = image
         self._pages = {}
-        seconds = image.load_seconds
-        self.config_seconds += seconds
-        self.loads += 1
         return seconds
 
     def _slot(self, page: int) -> _PageSlot:
@@ -91,13 +144,11 @@ class AlveoU50:
         if not image.partial:
             raise PlatformError("page images must be partial bitstreams")
         slot = self._slot(page)
+        seconds = self._timed_load(image)
         slot.state = PageState.SOFTCORE if softcore \
             else PageState.FPGA_OPERATOR
         slot.occupant = occupant
         slot.image = image
-        seconds = image.load_seconds
-        self.config_seconds += seconds
-        self.loads += 1
         return seconds
 
     def page_state(self, page: int) -> PageState:

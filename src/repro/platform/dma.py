@@ -1,10 +1,17 @@
-"""DMA engine model: host<->card and card<->HBM transfer timing."""
+"""DMA engine model: host<->card and card<->HBM transfer timing.
+
+With a :class:`repro.faults.DMAFaultInjector` attached, individual
+transfer attempts can error; the engine retries (each failed attempt
+still costs its setup and wire time) and raises
+:class:`RetryExhaustedError` once ``max_attempts`` is spent, so a flaky
+PCIe link degrades throughput before it kills a run.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.errors import PlatformError
+from repro.errors import PlatformError, RetryExhaustedError
 
 #: PCIe Gen3 x16 effective bandwidth (bytes/s).
 PCIE_BYTES_PER_S = 12_000_000_000
@@ -18,20 +25,43 @@ SETUP_SECONDS = 10e-6
 
 @dataclass
 class DMAEngine:
-    """Timing model for the card's stream DMA."""
+    """Timing model for the card's stream DMA.
+
+    Args:
+        faults: optional :class:`repro.faults.DMAFaultInjector`.
+        max_attempts: tries per transfer before
+            :class:`RetryExhaustedError`.
+    """
 
     pcie_bytes_per_s: float = PCIE_BYTES_PER_S
     hbm_bytes_per_s: float = HBM_BYTES_PER_S
     setup_seconds: float = SETUP_SECONDS
+    faults: object = None
+    max_attempts: int = 3
+    transfer_retries: int = field(default=0, init=False)
+
+    def _timed_transfer(self, nbytes: int, bytes_per_s: float,
+                        target: str) -> float:
+        if nbytes < 0:
+            raise PlatformError("negative transfer size")
+        once = self.setup_seconds + nbytes / bytes_per_s
+        if self.faults is None:
+            return once
+        index = self.faults.next_transfer()
+        for attempt in range(1, self.max_attempts + 1):
+            if not self.faults.transfer_fails(index, attempt, target):
+                return once * attempt
+            self.transfer_retries += 1
+        raise RetryExhaustedError(
+            f"DMA transfer of {nbytes} bytes ({target}) failed "
+            f"{self.max_attempts} times",
+            attempts=self.max_attempts,
+            last_error=f"dma:{target}")
 
     def host_transfer_seconds(self, nbytes: int) -> float:
         """Host memory <-> card over PCIe."""
-        if nbytes < 0:
-            raise PlatformError("negative transfer size")
-        return self.setup_seconds + nbytes / self.pcie_bytes_per_s
+        return self._timed_transfer(nbytes, self.pcie_bytes_per_s, "pcie")
 
     def hbm_transfer_seconds(self, nbytes: int) -> float:
         """Card fabric <-> HBM."""
-        if nbytes < 0:
-            raise PlatformError("negative transfer size")
-        return self.setup_seconds + nbytes / self.hbm_bytes_per_s
+        return self._timed_transfer(nbytes, self.hbm_bytes_per_s, "hbm")

@@ -54,6 +54,11 @@ class StageTimes:
                           max(self.pnr, other.pnr),
                           max(self.bit, other.bit))
 
+    def scaled(self, factor: float) -> "StageTimes":
+        """All stages multiplied (e.g. a job retried ``factor`` times)."""
+        return StageTimes(self.hls * factor, self.syn * factor,
+                          self.pnr * factor, self.bit * factor)
+
 
 @dataclass(frozen=True)
 class CompileTimeModel:

@@ -56,10 +56,21 @@ class PicoRV32:
 
     Args:
         memory_bytes: unified memory size (must fit the page BRAMs).
+        cycles: per-instruction-class cycle costs (default unpipelined).
+        faults: optional :class:`repro.faults.SoftcoreFaultInjector`;
+            standalone :meth:`run` calls may then take spurious traps,
+            which the core recovers from by restoring the loaded memory
+            image and restarting (the paper's watchdog-reset story for
+            soft logic upsets).
+        core_id: stable name keying this core's fault draws.
+        max_trap_restarts: restarts :meth:`run` attempts before
+            re-raising an injected trap.
     """
 
     def __init__(self, memory_bytes: int = 64 * 1024,
-                 cycles: Optional[Dict[str, int]] = None):
+                 cycles: Optional[Dict[str, int]] = None,
+                 faults=None, core_id: str = "core0",
+                 max_trap_restarts: int = 3):
         if not (1024 <= memory_bytes <= MAX_MEMORY_BYTES):
             raise SoftcoreError(
                 f"memory {memory_bytes} outside 1KB..192KB page budget")
@@ -71,6 +82,12 @@ class PicoRV32:
         self.instructions_retired = 0
         self.halted = False
         self._decode_cache: Dict[int, Instruction] = {}
+        self.faults = faults
+        self.core_id = core_id
+        self.max_trap_restarts = max_trap_restarts
+        self.injected_traps = 0
+        self.restarts = 0
+        self._image_snapshot: Optional[bytes] = None
 
     # -- memory ------------------------------------------------------------
 
@@ -81,6 +98,9 @@ class PicoRV32:
                 f"{len(self.memory)}-byte memory")
         self.memory[base:base + len(image)] = image
         self._decode_cache.clear()
+        # Snapshot the as-loaded memory so an injected trap can restore
+        # pristine state before restarting the program.
+        self._image_snapshot = bytes(self.memory)
 
     def reset(self, pc: int = 0) -> None:
         self.regs = [0] * 32
@@ -269,16 +289,50 @@ class PicoRV32:
 
     def run(self, max_instructions: int = 10_000_000) -> int:
         """Run until ``ebreak``; returns cycles.  MMIO access is an error
-        here — use :meth:`run_as_operator` for stream programs."""
-        while not self.halted:
-            if self.instructions_retired >= max_instructions:
-                raise SoftcoreError(
-                    f"program exceeded {max_instructions} instructions")
-            request = self.step()
-            if request is not None:
-                raise SoftcoreError(
-                    f"stream access {request} outside a dataflow run")
-        return self.cycles
+        here — use :meth:`run_as_operator` for stream programs.
+
+        With a fault injector attached, an attempt may take a spurious
+        trap; the core then restores the loaded memory image, resets,
+        and reruns (a fresh attempt re-draws, so transient upsets clear)
+        up to ``max_trap_restarts`` times before the trap propagates.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            trap_at = None if self.faults is None else \
+                self.faults.trap_point(self.core_id, attempt)
+            start = self.instructions_retired
+            try:
+                while not self.halted:
+                    if self.instructions_retired >= max_instructions:
+                        raise SoftcoreError(
+                            f"program exceeded {max_instructions} "
+                            f"instructions")
+                    if (trap_at is not None
+                            and self.instructions_retired - start
+                            >= trap_at):
+                        self.faults.record_fired(self.core_id, attempt,
+                                                 trap_at)
+                        raise TrapError(
+                            f"injected spurious trap on {self.core_id} "
+                            f"(attempt {attempt})",
+                            pc=self.pc, injected=True)
+                    request = self.step()
+                    if request is not None:
+                        raise SoftcoreError(
+                            f"stream access {request} outside a "
+                            f"dataflow run")
+                return self.cycles
+            except TrapError as exc:
+                if not exc.injected \
+                        or attempt > self.max_trap_restarts:
+                    raise
+                self.injected_traps += 1
+                self.restarts += 1
+                if self._image_snapshot is not None:
+                    self.memory[:] = self._image_snapshot
+                    self._decode_cache.clear()
+                self.reset()
 
     def run_as_operator(self, io, in_ports: List[str], out_ports: List[str],
                         data_image: bytes = b"", data_base: int = 0,

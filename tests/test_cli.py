@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.errors import DeadlockError, FlowError, PLDError
 
 
 class TestParser:
@@ -52,6 +53,50 @@ class TestCommands:
         assert "Output_1" in out
         assert "TOTAL" in out
 
-    def test_unknown_app(self):
-        with pytest.raises(Exception):
-            main(["compile", "not-an-app"])
+    def test_unknown_app_exits_nonzero(self, capsys):
+        # Toolflow errors are reported as a one-line diagnostic plus a
+        # nonzero exit, not a traceback.
+        assert main(["compile", "not-an-app"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: FlowError:")
+        assert "not-an-app" in err
+
+
+class TestErrorHandling:
+    def test_pld_error_exit_code(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def boom(_args):
+            raise FlowError("injected toolflow failure")
+
+        monkeypatch.setattr(cli, "cmd_apps", boom)
+        assert main(["apps"]) == 2
+        err = capsys.readouterr().err
+        assert "error: FlowError: injected toolflow failure" in err
+
+    def test_deadlock_renders_structured_report(self, capsys,
+                                                monkeypatch):
+        import repro.cli as cli
+
+        def boom(_args):
+            raise DeadlockError(
+                "graph 'g': no runnable operator",
+                blocked=["sink_2"],
+                diagnostic={"fifo_occupancy": {"a->b": "4/4"}})
+
+        monkeypatch.setattr(cli, "cmd_apps", boom)
+        assert main(["apps"]) == 2
+        err = capsys.readouterr().err
+        assert "DeadlockError" in err
+        assert "blocked: sink_2" in err
+        assert "a->b: 4/4" in err
+
+    def test_non_pld_errors_still_propagate(self, monkeypatch):
+        import repro.cli as cli
+
+        def boom(_args):
+            raise RuntimeError("a bug, not a toolflow failure")
+
+        monkeypatch.setattr(cli, "cmd_apps", boom)
+        with pytest.raises(RuntimeError):
+            main(["apps"])

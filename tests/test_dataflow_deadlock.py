@@ -87,6 +87,7 @@ def test_feedback_without_priming_deadlocks():
     g2.expose_output("tap", "a.tap")
     with pytest.raises(DeadlockError) as exc:
         run_graph(g2, {})
+    assert exc.value.blocked, "every deadlock must name blocked operators"
     assert set(exc.value.blocked) == {"a", "b"}
 
 
@@ -120,10 +121,16 @@ def test_bounded_fifo_deadlock_reports_capacities():
 
     # Unbounded functional execution is fine (KPN semantics).
     assert run_graph(g, {"src": [100]})["dst"] == [928]
-    # Timed execution with 4-deep FIFOs deadlocks.
+    # Timed execution with 4-deep FIFOs deadlocks, names the blocked
+    # operators, and carries a structured occupancy diagnostic.
     sim = CycleSimulator(g, fifo_capacity=4)
-    with pytest.raises(DeadlockError):
+    with pytest.raises(DeadlockError) as exc:
         sim.run({"src": [100]})
+    assert exc.value.blocked
+    assert set(exc.value.blocked) <= {"p", "c"}
+    occupancy = exc.value.diagnostic["fifo_occupancy"]
+    assert any(v.endswith("/4") for v in occupancy.values())
+    assert exc.value.diagnostic["outstanding_requests"]
     # Deep enough FIFOs recover.
     sim2 = CycleSimulator(g, fifo_capacity=8)
     assert sim2.run({"src": [100]})["dst"] == [928]
@@ -154,4 +161,8 @@ def test_blocked_set_is_reported():
     sim = FunctionalSimulator(g)
     with pytest.raises(DeadlockError) as exc:
         sim.run({"src": [1]}, close_inputs=False)
+    assert exc.value.blocked
     assert "s" in exc.value.blocked
+    # The diagnostic names what each blocked operator is waiting on.
+    assert "s" in exc.value.diagnostic["outstanding_requests"]
+    assert "s" in exc.value.diagnostic["firings"]

@@ -1,0 +1,107 @@
+"""End-to-end resilience: the issue's acceptance scenario.
+
+A seeded fault plan permanently kills one operator's -O1 page compile
+and corrupts in-flight NoC packets.  The digit-recognition app must
+still link and run, producing output identical to the fault-free
+functional simulation, with the failed operator reported as remapped to
+the -O0 softcore and the retries/retransmissions visible in the
+failure report.
+"""
+
+import pytest
+
+from repro.core import BuildEngine, O1Flow, format_failure_report
+from repro.faults import FaultPlan
+from repro.noc.bft import BFTopology
+from repro.noc.leaf import LeafInterface
+from repro.noc.netsim import NetworkSimulator
+from repro.rosetta import get_app
+
+EFFORT = 0.15
+
+
+@pytest.fixture(scope="module")
+def resilient_build():
+    app = get_app("digit-recognition")
+    plan = FaultPlan(
+        seed=2026,
+        kill_jobs=("knn_09",),          # this page compile never succeeds
+        noc_corrupt_rate=0.005,         # >= 1 corrupted packet per 1000
+    )
+    build = O1Flow(effort=EFFORT, faults=plan).compile(
+        app.project, BuildEngine())
+    return {"app": app, "plan": plan, "build": build}
+
+
+class TestCompileDegradation:
+    def test_build_links_despite_dead_page_compile(self, resilient_build):
+        build = resilient_build["build"]
+        assert "knn_09" in build.remapped
+        assert "remapped to -O0 softcore" in build.remapped["knn_09"]
+        # The page now carries the softcore image for that operator.
+        softcores = [name for _p, (_img, name, sc)
+                     in build.page_images.items() if sc]
+        assert softcores == ["knn_09"]
+        assert build.compile_attempts["knn_09"] >= 2
+
+    def test_output_identical_to_fault_free_reference(self,
+                                                      resilient_build):
+        app = resilient_build["app"]
+        build = resilient_build["build"]
+        inputs = app.project.sample_inputs
+        assert build.execute(inputs) == app.reference(inputs)
+
+    def test_mixed_flow_is_reported(self, resilient_build):
+        assert resilient_build["build"].performance.flow \
+            == "PLD -O1/-O0 mix"
+
+    def test_retries_charged_into_compile_time(self, resilient_build):
+        build = resilient_build["build"]
+        assert build.retry_seconds > 0
+
+
+class TestNoCResilienceUnderSamePlan:
+    def test_burst_survives_corruption(self, resilient_build):
+        """>=1000 flits through the same plan's corruption rate; the
+        reliable leaves deliver every payload exactly once, in order."""
+        plan = resilient_build["plan"]
+        topo = BFTopology(4)
+        tx = LeafInterface(0, 4, reliable=True, retransmit_timeout=128,
+                           max_retransmissions=256)
+        rx = LeafInterface(3, 4, reliable=True)
+        sim = NetworkSimulator(topo, {0: tx, 3: rx},
+                               faults=plan.noc_faults())
+        tx.bind(0, 3, 1)
+        payloads = [(v * 0x9E3779B1) & 0xFFFFFFFF for v in range(2000)]
+        for v in payloads:
+            tx.send(0, v)
+        sim.run(max_cycles=1_000_000)
+        assert rx.tokens(1) == payloads
+        assert sim.faults_corrupted >= 1    # ~20 expected at 0.5%
+        # Every corrupted flit — data at the receiver, acks back at the
+        # sender — is caught by a CRC check, never delivered.
+        assert rx.crc_dropped + tx.crc_dropped == sim.faults_corrupted
+        assert tx.retransmissions >= rx.crc_dropped
+        # The corruptions land in the shared plan log alongside the
+        # compile faults, so one report covers the whole scenario.
+        assert any(e.domain == "noc"
+                   for e in resilient_build["plan"].events())
+
+
+class TestFailureReport:
+    def test_report_names_remap_retries_and_faults(self, resilient_build):
+        build = resilient_build["build"]
+        report = format_failure_report(build)
+        assert "digit-recognition" in report
+        assert "knn_09" in report
+        assert "degraded to the -O0 softcore" in report
+        assert "retried compile jobs" in report
+        assert "seed=2026" in report
+        assert "[compile] job-fail @ knn_09" in report
+        assert "[compile] remap-to-o0 @ knn_09" in report
+
+    def test_fault_free_build_reports_all_clear(self):
+        app = get_app("digit-recognition")
+        build = O1Flow(effort=EFFORT).compile(app.project, BuildEngine())
+        report = format_failure_report(build)
+        assert "no faults injected" in report

@@ -1,0 +1,191 @@
+"""NoC fault injection and reliable-delivery tests.
+
+The headline property: under *any* drop/corruption plan (rates bounded
+away from total loss), reliable leaf interfaces deliver every stream's
+payloads exactly once, in order.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeadlockError, LinkTimeoutError, NoCError
+from repro.faults import FaultPlan
+from repro.noc.bft import BFTopology
+from repro.noc.leaf import LeafInterface
+from repro.noc.netsim import NetworkSimulator
+from repro.noc.packet import AckPacket, DataPacket, payload_crc
+
+
+def _reliable_pair(plan=None, **leaf_kwargs):
+    topo = BFTopology(4)
+    tx = LeafInterface(0, 4, reliable=True, **leaf_kwargs)
+    rx = LeafInterface(3, 4, reliable=True, **leaf_kwargs)
+    faults = plan.noc_faults() if plan is not None else None
+    sim = NetworkSimulator(topo, {0: tx, 3: rx}, faults=faults)
+    tx.bind(0, 3, 1)
+    return sim, tx, rx
+
+
+class TestCRC:
+    def test_stamp_and_verify(self):
+        p = DataPacket(dest_leaf=1, dest_port=0, payload=0xDEAD,
+                       src_leaf=0, src_port=0, seq=3).stamp_crc()
+        assert p.crc_ok()
+        p.payload ^= 1 << 7
+        assert not p.crc_ok()
+
+    def test_unprotected_packets_always_pass(self):
+        p = DataPacket(dest_leaf=1, dest_port=0, payload=5)
+        assert p.crc == -1 and p.crc_ok()
+
+    def test_corrupt_flit_is_dropped_and_counted(self):
+        iface = LeafInterface(2, 4, reliable=True)
+        p = DataPacket(dest_leaf=2, dest_port=0, payload=10,
+                       src_leaf=0, src_port=0, seq=0).stamp_crc()
+        p.payload ^= 1
+        assert iface.deliver(p) is None
+        assert iface.crc_dropped == 1
+        assert iface.received == 0
+        assert iface.tokens(0) == []
+
+
+class TestReliableDelivery:
+    def test_fault_free_reliable_run_delivers_and_quiesces(self):
+        sim, tx, rx = _reliable_pair()
+        for v in range(40):
+            tx.send(0, v)
+        sim.run()
+        assert rx.tokens(1) == list(range(40))
+        assert not tx.has_unacked()
+        assert tx.retransmissions == 0
+
+    def test_losses_are_retransmitted(self):
+        plan = FaultPlan(21, noc_drop_rate=0.2)
+        sim, tx, rx = _reliable_pair(plan, retransmit_timeout=64)
+        for v in range(100):
+            tx.send(0, v)
+        sim.run(max_cycles=300_000)
+        assert rx.tokens(1) == list(range(100))
+        assert sim.faults_dropped > 0
+        assert tx.retransmissions >= sim.faults_dropped - tx.unacked_count()
+        assert not tx.has_unacked()
+
+    def test_corruption_behaves_as_loss(self):
+        plan = FaultPlan(33, noc_corrupt_rate=0.25)
+        sim, tx, rx = _reliable_pair(plan, retransmit_timeout=64)
+        payloads = [v * 17 + 1 for v in range(80)]
+        for v in payloads:
+            tx.send(0, v)
+        sim.run(max_cycles=300_000)
+        # Exactly the original payloads, in order — no corrupted token
+        # ever reaches the application.
+        assert rx.tokens(1) == payloads
+        assert sim.faults_corrupted > 0
+        assert rx.crc_dropped + rx.duplicates_dropped > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31),
+           drop=st.floats(min_value=0.0, max_value=0.3),
+           corrupt=st.floats(min_value=0.0, max_value=0.3),
+           n_tokens=st.integers(min_value=1, max_value=60))
+    def test_exactly_once_in_order_under_any_plan(self, seed, drop,
+                                                  corrupt, n_tokens):
+        plan = FaultPlan(seed, noc_drop_rate=drop,
+                         noc_corrupt_rate=corrupt)
+        sim, tx, rx = _reliable_pair(plan, retransmit_timeout=64,
+                                     max_retransmissions=512)
+        payloads = [(v * 2654435761) & 0xFFFFFFFF
+                    for v in range(n_tokens)]
+        for v in payloads:
+            tx.send(0, v)
+        sim.run(max_cycles=500_000)
+        assert rx.tokens(1) == payloads
+        assert not tx.has_unacked()
+
+    def test_two_streams_interleaved(self):
+        plan = FaultPlan(9, noc_drop_rate=0.15, noc_corrupt_rate=0.1)
+        topo = BFTopology(4)
+        a = LeafInterface(0, 4, reliable=True, retransmit_timeout=64)
+        b = LeafInterface(1, 4, reliable=True, retransmit_timeout=64)
+        c = LeafInterface(2, 4, reliable=True, retransmit_timeout=64)
+        sim = NetworkSimulator(topo, {0: a, 1: b, 2: c},
+                               faults=plan.noc_faults())
+        a.bind(0, 2, 0)
+        b.bind(0, 2, 1)
+        for v in range(60):
+            a.send(0, v)
+            b.send(0, 1000 + v)
+        sim.run(max_cycles=500_000)
+        assert c.tokens(0) == list(range(60))
+        assert c.tokens(1) == [1000 + v for v in range(60)]
+
+
+class TestFailurePaths:
+    def test_total_loss_raises_link_timeout(self):
+        plan = FaultPlan(1, noc_drop_rate=1.0)
+        sim, tx, rx = _reliable_pair(plan, retransmit_timeout=16,
+                                     max_retransmissions=4)
+        tx.send(0, 7)
+        with pytest.raises(LinkTimeoutError) as exc:
+            sim.run()
+        assert exc.value.leaf == 0
+        assert exc.value.port == 0
+        assert exc.value.seq == 0
+        assert exc.value.attempts == 5
+
+    def test_watchdog_turns_stall_into_deadlock_error(self):
+        # Unreliable leaves + total drop: the flit vanishes, nothing
+        # retransmits, but an unacked reliable sender elsewhere keeps
+        # the network "busy" — the watchdog must convert the stall.
+        plan = FaultPlan(1, noc_drop_rate=1.0)
+        topo = BFTopology(4)
+        tx = LeafInterface(0, 4, reliable=True, retransmit_timeout=50,
+                           max_retransmissions=10 ** 6)
+        rx = LeafInterface(3, 4, reliable=True)
+        sim = NetworkSimulator(topo, {0: tx, 3: rx},
+                               faults=plan.noc_faults(),
+                               watchdog_cycles=2_000)
+        tx.bind(0, 3, 1)
+        tx.send(0, 7)
+        with pytest.raises(DeadlockError) as exc:
+            sim.run(max_cycles=10 ** 6)
+        assert "leaf0" in exc.value.blocked
+        diag = exc.value.diagnostic
+        assert diag["unacked"]["leaf0"] == 1
+        assert diag["faults_dropped"] > 0
+
+    def test_max_cycles_still_raises_nocerror(self):
+        plan = FaultPlan(1, noc_drop_rate=1.0)
+        sim, tx, rx = _reliable_pair(plan, retransmit_timeout=50,
+                                     max_retransmissions=10 ** 6)
+        sim.watchdog_cycles = 0          # watchdog off -> hard limit
+        tx.send(0, 7)
+        with pytest.raises(NoCError, match="did not drain"):
+            sim.run(max_cycles=3_000)
+
+
+class TestNonReliableCompatibility:
+    def test_default_leaves_are_untouched(self):
+        """Without reliable=True the classic semantics hold exactly."""
+        topo = BFTopology(4)
+        tx = LeafInterface(0, 4)
+        rx = LeafInterface(3, 4)
+        sim = NetworkSimulator(topo, {0: tx, 3: rx})
+        tx.bind(0, 3, 1)
+        for v in range(20):
+            tx.send(0, v)
+        sim.run()
+        assert rx.tokens(1) == list(range(20))
+        assert rx.acks_sent == 0
+        assert tx.acks_received == 0
+        assert all(not isinstance(r, AckPacket) for r in sim.delivered)
+        assert len(sim.delivered) == 20
+
+    def test_acks_do_not_pollute_delivery_stats(self):
+        sim, tx, rx = _reliable_pair()
+        for v in range(25):
+            tx.send(0, v)
+        sim.run()
+        assert len(sim.delivered) == 25     # data only, no acks
+        assert rx.acks_sent > 0

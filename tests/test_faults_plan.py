@@ -1,0 +1,110 @@
+"""Determinism and API tests for the fault-injection plan."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    FaultEvent,
+    FaultPlan,
+    SoftcoreFaultInjector,
+)
+
+
+def _replay_compile(plan, jobs, attempts=3):
+    """Drive a compile injector over a fixed job/attempt grid."""
+    injector = plan.compile_faults()
+    return [injector.attempt_outcome(job, attempt)
+            for job in jobs for attempt in range(1, attempts + 1)]
+
+
+class TestDeterminism:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 32),
+           fail=st.floats(min_value=0.0, max_value=1.0),
+           timeout=st.floats(min_value=0.0, max_value=0.5))
+    def test_same_seed_same_compile_sequence(self, seed, fail, timeout):
+        if fail + timeout > 1.0:
+            fail, timeout = fail / 2, timeout / 2
+        jobs = ["fft_0", "sort_1", "knn_09"]
+        kwargs = dict(compile_fail_rate=fail, compile_timeout_rate=timeout)
+        a = FaultPlan(seed, **kwargs)
+        b = FaultPlan(seed, **kwargs)
+        assert _replay_compile(a, jobs) == _replay_compile(b, jobs)
+        assert [str(e) for e in a.log] == [str(e) for e in b.log]
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 32))
+    def test_same_seed_same_noc_sequence(self, seed):
+        a = FaultPlan(seed, noc_drop_rate=0.2, noc_corrupt_rate=0.2)
+        b = FaultPlan(seed, noc_drop_rate=0.2, noc_corrupt_rate=0.2)
+        ia, ib = a.noc_faults(), b.noc_faults()
+        seq_a = [(ia.on_injection(i, "t"), ia.corruption_mask(i))
+                 for i in range(200)]
+        seq_b = [(ib.on_injection(i, "t"), ib.corruption_mask(i))
+                 for i in range(200)]
+        assert seq_a == seq_b
+
+    def test_order_independence(self):
+        """Draws key on (job, attempt), not on call order."""
+        a = FaultPlan(99, compile_fail_rate=0.5)
+        b = FaultPlan(99, compile_fail_rate=0.5)
+        ia, ib = a.compile_faults(), b.compile_faults()
+        fwd = {(j, n): ia.attempt_outcome(j, n)
+               for j in ("x", "y") for n in (1, 2)}
+        rev = {(j, n): ib.attempt_outcome(j, n)
+               for j in ("y", "x") for n in (2, 1)}
+        assert fwd == rev
+
+    def test_different_seeds_diverge(self):
+        outcomes = set()
+        for seed in range(40):
+            plan = FaultPlan(seed, compile_fail_rate=0.5)
+            outcomes.add(plan.compile_faults()
+                         .attempt_outcome("job", 1)[0])
+        assert outcomes == {"ok", "fail"}
+
+
+class TestPlanAPI:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(0, noc_drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(0, compile_fail_rate=-0.1)
+
+    def test_kill_jobs_fail_every_attempt(self):
+        plan = FaultPlan(0, kill_jobs=["broken_op"])
+        injector = plan.compile_faults()
+        for attempt in range(1, 6):
+            kind, _frac = injector.attempt_outcome("broken_op", attempt)
+            assert kind == "fail"
+        assert injector.attempt_outcome("healthy_op", 1)[0] == "ok"
+
+    def test_log_records_and_filters_by_domain(self):
+        plan = FaultPlan(1, kill_jobs=["op"])
+        plan.compile_faults().attempt_outcome("op", 1)
+        plan.record("noc", "drop", "leaf1", "flit #7")
+        assert len(plan.events()) == 2
+        assert [e.domain for e in plan.events("noc")] == ["noc"]
+        assert isinstance(plan.events()[0], FaultEvent)
+        assert "job-fail" in str(plan.events("compile")[0])
+
+    def test_any_compile_faults_gate(self):
+        assert not FaultPlan(0).any_compile_faults
+        assert FaultPlan(0, kill_jobs=["x"]).any_compile_faults
+        assert FaultPlan(0, node_fail_rate=0.1).any_compile_faults
+
+    def test_corruption_mask_is_one_payload_bit(self):
+        injector = FaultPlan(7, noc_corrupt_rate=1.0).noc_faults()
+        for i in range(100):
+            mask = injector.corruption_mask(i)
+            assert mask & (mask - 1) == 0 and 1 <= mask < 2 ** 32
+
+    def test_softcore_trap_point_within_horizon(self):
+        injector = FaultPlan(3, softcore_trap_rate=1.0).softcore_faults()
+        point = injector.trap_point("core0", 1)
+        assert 1 <= point <= SoftcoreFaultInjector.TRAP_HORIZON
+        # Pure draw: nothing logged until the core reports the firing.
+        assert not injector.plan.log
+        injector.record_fired("core0", 1, point)
+        assert len(injector.plan.events("softcore")) == 1

@@ -1,0 +1,153 @@
+"""Bitstream-load, DMA and softcore fault-recovery tests."""
+
+import pytest
+
+from repro.errors import RetryExhaustedError, TrapError
+from repro.fabric.bitstream import Bitstream
+from repro.faults import FaultPlan
+from repro.platform.alveo import AlveoU50
+from repro.platform.dma import DMAEngine
+from repro.softcore import PicoRV32, assemble
+
+
+def _kernel(name="k.bit"):
+    return Bitstream(name, luts=100_000, partial=False)
+
+
+class TestBitstreamLoads:
+    def test_crc32_is_stable_and_content_sensitive(self):
+        a = Bitstream("p.bit", luts=100, brams=2)
+        assert a.crc32 == Bitstream("p.bit", luts=100, brams=2).crc32
+        assert a.crc32 != Bitstream("p.bit", luts=101, brams=2).crc32
+
+    def test_fault_free_load_costs_one_attempt(self):
+        card = AlveoU50()
+        image = _kernel()
+        assert card.load_kernel(image) == image.load_seconds
+        assert card.loads == 1
+        assert card.load_retries == 0
+
+    def test_flaky_load_retries_and_charges_time(self):
+        plan = FaultPlan(3, bitstream_fail_rate=0.3,
+                         bitstream_crc_rate=0.2)
+        card = AlveoU50(faults=plan.bitstream_faults())
+        total = 0.0
+        for i in range(10):
+            total += card.load_kernel(_kernel(f"k{i}.bit"))
+        assert card.load_retries > 0
+        assert card.loads == 10 + card.load_retries
+        assert total == pytest.approx(card.config_seconds)
+        assert total > 10 * _kernel().load_seconds
+        assert plan.events("bitstream")
+
+    def test_verified_crc_recorded_on_success(self):
+        plan = FaultPlan(0)
+        card = AlveoU50(faults=plan.bitstream_faults())
+        image = _kernel()
+        card.load_kernel(image)
+        assert card.verified_crcs[image.name] == image.crc32
+
+    def test_dead_configuration_path_exhausts(self):
+        plan = FaultPlan(1, bitstream_fail_rate=1.0)
+        card = AlveoU50(faults=plan.bitstream_faults(),
+                        max_load_retries=2)
+        with pytest.raises(RetryExhaustedError) as exc:
+            card.load_kernel(_kernel())
+        assert exc.value.attempts == 3
+        # The overlay state is untouched by the failed load.
+        assert card.overlay_image is None
+        # All failed wire time is still charged.
+        assert card.config_seconds \
+            == pytest.approx(3 * _kernel().load_seconds)
+
+
+class TestDMA:
+    def test_fault_free_unchanged(self):
+        dma = DMAEngine()
+        assert dma.host_transfer_seconds(1 << 20) == pytest.approx(
+            dma.setup_seconds + (1 << 20) / dma.pcie_bytes_per_s)
+
+    def test_failed_attempts_multiply_transfer_time(self):
+        plan = FaultPlan(5, dma_fail_rate=0.25)
+        dma = DMAEngine(faults=plan.dma_faults(), max_attempts=6)
+        once = DMAEngine().host_transfer_seconds(1 << 16)
+        costs = [dma.host_transfer_seconds(1 << 16) for _ in range(30)]
+        assert dma.transfer_retries > 0
+        assert any(c == pytest.approx(2 * once) for c in costs)
+        assert plan.events("dma")
+
+    def test_dead_link_exhausts(self):
+        plan = FaultPlan(0, dma_fail_rate=1.0)
+        dma = DMAEngine(faults=plan.dma_faults(), max_attempts=3)
+        with pytest.raises(RetryExhaustedError):
+            dma.hbm_transfer_seconds(4096)
+
+
+def _counting_program(iterations=3000):
+    """Long enough that a trap within the 4096-instruction horizon
+    always fires; stores sum(range(iterations)) at 0x400."""
+    return assemble([
+        ("li", 1, 0), ("li", 2, 0), ("li", 3, iterations),
+        "loop:",
+        ("add", 1, 1, 2), ("addi", 2, 2, 1), ("bne", 2, 3, "loop"),
+        ("sw", 1, 0, 0x400), ("ebreak",),
+    ])
+
+
+class TestSoftcoreTraps:
+    def test_injected_trap_restarts_and_result_is_correct(self):
+        prog = _counting_program()
+        recovered = 0
+        for seed in range(20):
+            plan = FaultPlan(seed, softcore_trap_rate=0.5)
+            cpu = PicoRV32(faults=plan.softcore_faults(),
+                           core_id="op_under_test",
+                           max_trap_restarts=8)
+            cpu.load_image(prog)
+            cpu.run()
+            if cpu.injected_traps:
+                recovered += 1
+                assert cpu.restarts == cpu.injected_traps
+                assert len(plan.events("softcore")) == cpu.injected_traps
+            value = int.from_bytes(cpu.memory[0x400:0x404], "little")
+            assert value == sum(range(3000)) & 0xFFFFFFFF
+        assert recovered >= 3      # deterministic given fixed seeds
+
+    def test_restart_restores_pristine_memory(self):
+        # The program reads a flag it overwrites; without snapshot
+        # restore a restart would see the mutated value and diverge.
+        prog = assemble([
+            ("lw", 1, 0, 0x400),          # x1 = flag (should be 0)
+            ("li", 2, 1),
+            ("sw", 2, 0, 0x400),          # flag = 1
+            ("li", 3, 0), ("li", 4, 5000),
+            "spin:",
+            ("addi", 3, 3, 1), ("bne", 3, 4, "spin"),
+            ("sw", 1, 0, 0x404),          # result = original flag
+            ("ebreak",),
+        ])
+        plan = FaultPlan(1, softcore_trap_rate=0.7)
+        cpu = PicoRV32(faults=plan.softcore_faults(),
+                       max_trap_restarts=10)
+        cpu.load_image(prog)
+        cpu.run()
+        assert cpu.injected_traps > 0, "seed must fire at least one trap"
+        assert int.from_bytes(cpu.memory[0x404:0x408], "little") == 0
+
+    def test_permanent_upset_propagates_trap(self):
+        plan = FaultPlan(1, softcore_trap_rate=1.0)
+        cpu = PicoRV32(faults=plan.softcore_faults(),
+                       max_trap_restarts=3)
+        cpu.load_image(_counting_program())
+        with pytest.raises(TrapError) as exc:
+            cpu.run()
+        assert exc.value.injected
+        assert cpu.restarts == 3
+
+    def test_fault_free_core_unchanged(self):
+        cpu = PicoRV32()
+        cpu.load_image(_counting_program(100))
+        cpu.run()
+        assert cpu.injected_traps == 0
+        assert int.from_bytes(cpu.memory[0x400:0x404], "little") \
+            == sum(range(100))
