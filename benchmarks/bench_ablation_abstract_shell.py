@@ -7,7 +7,6 @@ the linking network) for each page compile.  This bench re-prices the
 slowdown the abstract shell avoids.
 """
 
-import pytest
 
 from repro.fabric import Overlay
 from repro.pnr.compile_model import DEFAULT_MODEL

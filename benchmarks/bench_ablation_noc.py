@@ -13,7 +13,6 @@ Two experiments:
   hop count.
 """
 
-import pytest
 
 from repro.hls import schedule_operator
 from repro.noc import BFTopology, LeafInterface, NetworkSimulator

@@ -10,7 +10,6 @@ big pages amortise interfaces but creep toward monolithic compile
 times — the ~18k-LUT choice sits at the knee.
 """
 
-import pytest
 
 from repro.fabric import TileGrid, page_efficiency
 from repro.hls.estimate import ResourceEstimate

@@ -9,7 +9,6 @@ it does not, the flow's deadlock proof refuses — both outcomes are the
 paper's point, made executable.
 """
 
-import pytest
 
 from repro.errors import FlowError
 from repro.core import BuildEngine, O3Flow

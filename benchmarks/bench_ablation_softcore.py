@@ -7,7 +7,6 @@ measures each app's all--O0 per-input time on real ISS runs against the
 PicoRV32 baseline — the overlay-diversity direction Sec. 9 proposes.
 """
 
-import pytest
 
 from repro.core import BuildEngine, O0Flow
 from repro.softcore.cpu import PIPELINED_CYCLES

@@ -8,7 +8,6 @@ The saturation points quantify the "modest packet-switched network ...
 tuned for mapping speed over performance" trade the paper makes.
 """
 
-import pytest
 
 from repro.noc.traffic import (
     bit_complement,

@@ -10,7 +10,6 @@ all--O0 and all--O1 — often hundreds of times faster.
 
 import statistics
 
-import pytest
 
 from repro.core import BuildEngine, O1Flow
 from conftest import APP_ORDER, effort, write_result

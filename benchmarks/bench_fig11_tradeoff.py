@@ -11,7 +11,6 @@ performance, and longer compiles always buy it back.
 
 import math
 
-import pytest
 
 from conftest import APP_ORDER, write_result
 

@@ -7,7 +7,6 @@ paper's *shape*: monolithic compiles in the hours range, -O1 a
 4-12x speedup, -O0 in seconds.
 """
 
-import pytest
 
 from conftest import APP_ORDER, write_result
 

@@ -8,7 +8,6 @@ paper reports: -O3 matches or beats Vitis, -O1 runs 1.5-10x slower than
 monolithic, -O0 runs orders of magnitude slower.
 """
 
-import pytest
 
 from conftest import APP_ORDER, write_result
 

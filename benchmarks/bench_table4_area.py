@@ -6,7 +6,6 @@ adds FIFO area, -O1 adds leaf interfaces on top, and -O0 charges whole
 pages (the one-size-fits-all softcore accounting).
 """
 
-import pytest
 
 from conftest import APP_ORDER, write_result
 

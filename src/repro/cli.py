@@ -7,9 +7,18 @@ paper's Makefile targets are used day to day:
 
     $ python -m repro.cli apps
     $ python -m repro.cli compile optical-flow --flow o1 --out build/
+    $ python -m repro.cli compile optical-flow --cache-dir .pld-cache
+    $ python -m repro.cli edit optical-flow --cache-dir .pld-cache
     $ python -m repro.cli run optical-flow --flow o0
     $ python -m repro.cli tables --apps 3d-rendering,bnn
     $ python -m repro.cli floorplan
+
+``compile --cache-dir`` persists every build artefact in a
+content-addressed store, so a second invocation over the same
+directory rebuilds nothing.  ``edit`` demonstrates the incremental
+loop: it compiles warm from the store, applies a one-operator edit,
+and reports the pages recompiled, the partial-reconfig reload and the
+delta link packets.
 """
 
 from __future__ import annotations
@@ -61,10 +70,19 @@ def cmd_apps(_args) -> int:
     return 0
 
 
+def _engine(args) -> BuildEngine:
+    """A build engine, persistent when ``--cache-dir`` was given."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        from repro.store import ArtifactStore
+        return BuildEngine(cache=ArtifactStore(cache_dir=cache_dir))
+    return BuildEngine()
+
+
 def cmd_compile(args) -> int:
     app = _app(args.app)
     build = _flow(args.flow, args.effort).compile(app.project,
-                                                  BuildEngine())
+                                                  _engine(args))
     times = build.compile_times
     if args.flow == "o0":
         print(f"compiled {args.app} with -O0 in "
@@ -80,9 +98,52 @@ def cmd_compile(args) -> int:
     print(f"area: {build.area.luts} LUTs, {build.area.brams} BRAM18, "
           f"{build.area.dsps} DSPs"
           + (f", {build.area.pages} pages" if build.area.pages else ""))
+    print(f"pages rebuilt: {len(build.recompiled_pages)}")
+    if build.cache_stats:
+        stats = build.cache_stats
+        print(f"cache: {stats.get('hits', 0)} hits, "
+              f"{stats.get('misses', 0)} misses, "
+              f"{stats.get('evictions', 0)} evictions")
     if args.out:
         written = build.write_artifacts(args.out)
         print(f"wrote {len(written)} artefacts to {args.out}")
+    return 0
+
+
+def cmd_edit(args) -> int:
+    """The incremental loop demo: warm compile, one edit, delta reload."""
+    from repro.core import (IncrementalSession, touch_spec,
+                            format_incremental_report)
+    from repro.store import ArtifactStore
+
+    app = _app(args.app)
+    store = ArtifactStore(cache_dir=args.cache_dir) \
+        if args.cache_dir else ArtifactStore()
+    session = IncrementalSession(store=store, effort=args.effort)
+    build = session.compile(app.project)
+    print(f"baseline: {build.describe()}; "
+          f"{len(build.recompiled_pages)} page(s) rebuilt")
+
+    operator = args.operator
+    if operator is None:
+        # Default to the first HW operator so the demo touches a page.
+        hw = [name for name, op in app.project.graph.operators.items()
+              if op.target == "HW"]
+        if not hw:
+            raise SystemExit(f"{args.app} has no HW operators to edit")
+        operator = hw[0]
+    op = app.project.graph.operators.get(operator)
+    if op is None:
+        raise SystemExit(f"no operator {operator!r} in {args.app}")
+
+    host = HostProgram(build)
+    host.configure()
+    result = session.apply_edit(operator, touch_spec(op.hls_spec),
+                                op.sample_spec)
+    session.reload(host, result)
+    print(format_incremental_report(result))
+    if args.timeline:
+        print(host.timeline.summarize())
     return 0
 
 
@@ -155,6 +216,22 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p.add_argument("--effort", type=float, default=0.3)
     compile_p.add_argument("--out", default=None,
                            help="write flow artefacts to this directory")
+    compile_p.add_argument("--cache-dir", default=None,
+                           help="persistent artifact store; a second "
+                                "compile over the same directory "
+                                "rebuilds nothing")
+
+    edit_p = sub.add_parser(
+        "edit", help="demo the incremental edit-compile-reload loop")
+    edit_p.add_argument("app")
+    edit_p.add_argument("--operator", default=None,
+                        help="operator to edit (default: first HW op)")
+    edit_p.add_argument("--effort", type=float, default=0.3)
+    edit_p.add_argument("--cache-dir", default=None,
+                        help="persistent artifact store shared with "
+                             "'compile'")
+    edit_p.add_argument("--timeline", action="store_true",
+                        help="print the host reload timeline")
 
     run_p = sub.add_parser("run", help="compile + load + execute one app")
     run_p.add_argument("app")
@@ -178,6 +255,7 @@ def main(argv: Optional[list] = None) -> int:
     handler = {
         "apps": cmd_apps,
         "compile": cmd_compile,
+        "edit": cmd_edit,
         "run": cmd_run,
         "tables": cmd_tables,
         "floorplan": cmd_floorplan,

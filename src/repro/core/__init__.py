@@ -12,6 +12,8 @@ Everything above the substrates lives here:
 * :mod:`repro.core.project` — a PLD project (graph + workloads);
 * :mod:`repro.core.flows` — the -O0, -O1, -O3 and baseline Vitis
   compile flows, each producing a loadable, runnable build;
+* :mod:`repro.core.session` — the incremental edit-compile-reload
+  session backed by the persistent artifact store;
 * :mod:`repro.core.reports` — Tab. 2/3/4-style report formatting.
 """
 
@@ -27,13 +29,16 @@ from repro.core.flows import (
     O3Flow,
     VitisFlow,
     PerformanceSummary,
+    diff_manifests,
 )
+from repro.core.session import EditResult, IncrementalSession, touch_spec
 from repro.core.reports import (
     format_compile_table,
     format_performance_table,
     format_area_table,
     format_failure_report,
     format_deadlock_report,
+    format_incremental_report,
 )
 
 __all__ = [
@@ -52,9 +57,14 @@ __all__ = [
     "O3Flow",
     "VitisFlow",
     "PerformanceSummary",
+    "diff_manifests",
+    "EditResult",
+    "IncrementalSession",
+    "touch_spec",
     "format_compile_table",
     "format_performance_table",
     "format_area_table",
     "format_failure_report",
     "format_deadlock_report",
+    "format_incremental_report",
 ]

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import pickle
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -62,23 +64,73 @@ def content_key(*parts) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
 
-@dataclass
 class BuildCache:
-    """Content-addressed artefact store."""
+    """Bounded in-memory content-addressed cache (LRU eviction).
 
-    entries: Dict[str, Any] = field(default_factory=dict)
-    hits: int = 0
-    misses: int = 0
+    Args:
+        max_entries: cap on cached artefacts (None = unbounded).
+        max_bytes: cap on the summed pickled size of cached artefacts
+            (None = no byte accounting; sizes are only computed when a
+            byte limit is set).
 
-    def get(self, key: str):
+    A lookup counts a hit or a miss in :meth:`get`; :meth:`put` only
+    inserts, so warming the cache externally never inflates the miss
+    count (hit-rate stats stay honest).
+    """
+
+    def __init__(self, max_entries: Optional[int] = None,
+                 max_bytes: Optional[int] = None):
+        self.entries: "OrderedDict[str, Any]" = OrderedDict()
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.total_bytes = 0
+        self._sizes: Dict[str, int] = {}
+
+    def peek(self, key: str):
+        """Lookup without touching the hit/miss counters (LRU still
+        refreshes, so the entry stays warm)."""
         if key in self.entries:
-            self.hits += 1
+            self.entries.move_to_end(key)
             return self.entries[key]
         return None
 
-    def put(self, key: str, artefact) -> None:
+    def get(self, key: str):
+        artefact = self.peek(key)
+        if artefact is not None:
+            self.hits += 1
+            return artefact
         self.misses += 1
+        return None
+
+    def put(self, key: str, artefact) -> None:
+        if key in self.entries:
+            self.total_bytes -= self._sizes.pop(key, 0)
+            del self.entries[key]
         self.entries[key] = artefact
+        if self.max_bytes is not None:
+            size = len(pickle.dumps(artefact,
+                                    protocol=pickle.HIGHEST_PROTOCOL))
+            self._sizes[key] = size
+            self.total_bytes += size
+        self._evict()
+
+    def _evict(self) -> None:
+        while ((self.max_entries is not None
+                and len(self.entries) > self.max_entries)
+               or (self.max_bytes is not None
+                   and self.total_bytes > self.max_bytes
+                   and len(self.entries) > 1)):
+            victim, _ = self.entries.popitem(last=False)
+            self.total_bytes -= self._sizes.pop(victim, 0)
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for reports: hits/misses/evictions/entries."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "entries": len(self.entries)}
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -90,6 +142,9 @@ class BuildRecord:
 
     built: List[str] = field(default_factory=list)
     reused: List[str] = field(default_factory=list)
+    #: step name -> content key it resolved to (the build manifest's
+    #: raw material; keys are stable across processes).
+    keys: Dict[str, str] = field(default_factory=dict)
 
     @property
     def rebuild_count(self) -> int:
@@ -102,14 +157,20 @@ class BuildEngine:
     A *step* is ``(name, key_parts, builder)``; the builder only runs
     when the content key misses.  The engine records which names were
     rebuilt vs. reused so flows can report incremental behaviour.
+
+    ``cache`` is anything with the ``get(key)/put(key, artefact)``
+    contract: the in-memory :class:`BuildCache` (default) or a
+    persistent :class:`repro.store.ArtifactStore`, which makes cache
+    hits survive across processes.
     """
 
-    def __init__(self, cache: Optional[BuildCache] = None):
+    def __init__(self, cache=None):
         self.cache = cache if cache is not None else BuildCache()
         self.record = BuildRecord()
 
     def step(self, name: str, key_parts: Tuple, builder: Callable[[], Any]):
         key = content_key(name, *key_parts)
+        self.record.keys[name] = key
         artefact = self.cache.get(key)
         if artefact is not None:
             self.record.reused.append(name)
@@ -120,6 +181,15 @@ class BuildEngine:
         self.cache.put(key, artefact)
         self.record.built.append(name)
         return artefact
+
+    def cache_stats(self) -> Dict[str, int]:
+        """The cache's counters, whatever its implementation."""
+        stats = getattr(self.cache, "stats", None)
+        if callable(stats):
+            return dict(stats())
+        return {"hits": getattr(self.cache, "hits", 0),
+                "misses": getattr(self.cache, "misses", 0),
+                "evictions": getattr(self.cache, "evictions", 0)}
 
     def fresh_record(self) -> None:
         """Start a new invocation record (same cache)."""

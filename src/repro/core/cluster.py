@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import FlowError
 from repro.pnr.compile_model import StageTimes
@@ -173,3 +173,28 @@ class CompileCluster:
                                attempts=attempts, failed=failed,
                                retry_seconds=retry_seconds,
                                lost_nodes=lost_nodes)
+
+    def incremental_schedule(self, all_jobs: List[Job], dirty_names,
+                             faults=None
+                             ) -> Tuple[ClusterSchedule, ClusterSchedule]:
+        """Schedule only the dirty subset; also price the cold rebuild.
+
+        The incremental story (Sec. 6): after an edit, only pages whose
+        content key changed go back to the cluster, so the reported
+        makespan is what the developer actually waits.  The second
+        schedule is the fault-free cost of compiling *every* job — the
+        cold-build reference a report compares against.  Faults are only
+        injected into the dirty schedule: jobs that are not rerun cannot
+        fail.
+
+        Returns ``(dirty_schedule, cold_schedule)``.
+        """
+        dirty = set(dirty_names)
+        unknown = dirty - {job.name for job in all_jobs}
+        if unknown:
+            raise FlowError(
+                f"dirty jobs not in the job set: {sorted(unknown)}")
+        dirty_jobs = [job for job in all_jobs if job.name in dirty]
+        dirty_schedule = self.schedule(dirty_jobs, faults=faults)
+        cold_schedule = self.schedule(all_jobs)
+        return dirty_schedule, cold_schedule

@@ -36,7 +36,7 @@ from repro.dataflow.graph import (
     TARGET_RISCV,
 )
 from repro.dataflow.simulator import FunctionalSimulator
-from repro.dataflow.cycle_sim import CycleSimulator, OperatorTiming
+from repro.dataflow.cycle_sim import CycleSimulator
 from repro.fabric.bitstream import Bitstream
 from repro.fabric.device import XCU50
 from repro.fabric.page import Page
@@ -133,6 +133,21 @@ class FlowBuild:
     page_of: Dict[str, int] = field(default_factory=dict)
     rebuilt: List[str] = field(default_factory=list)
     reused: List[str] = field(default_factory=list)
+    #: step name -> content key (stable across processes): the raw
+    #: material of :meth:`manifest` and the session's dirty-set diff.
+    step_keys: Dict[str, str] = field(default_factory=dict)
+    #: Cache counters of the engine this build ran through (hits /
+    #: misses / evictions, plus disk tiers for a persistent store).
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: Pages whose occupant was actually recompiled this invocation
+    #: (empty on a fully warm build).
+    recompiled_pages: List[int] = field(default_factory=list)
+    #: Fault-free makespan of compiling *every* page job — the cold
+    #: reference ``compile_times`` (dirty jobs only) is compared to.
+    cold_compile_times: Optional[StageTimes] = None
+    #: The full link configuration (None for monolithic flows); delta
+    #: relinks diff two of these.
+    link_config: Optional[LinkConfiguration] = None
     dfg: Dict = field(default_factory=dict)
     impl_fmax_mhz: float = 0.0         # routed clock of monolithic impls
     #: Operators whose page compile exhausted its retries and were
@@ -162,7 +177,34 @@ class FlowBuild:
         return sim.run(inputs)
 
     def describe(self) -> str:
-        return f"{self.project.name} via {self.flow}"
+        text = f"{self.project.name} via {self.flow}"
+        if self.cache_stats:
+            stats = self.cache_stats
+            text += (f" (cache: {stats.get('hits', 0)} hits, "
+                     f"{stats.get('misses', 0)} misses, "
+                     f"{stats.get('evictions', 0)} evictions)")
+        return text
+
+    def manifest(self) -> Dict[str, object]:
+        """A diffable description of what this build is made of.
+
+        Two manifests of the same project differ exactly where an edit
+        changed a step's content key; :func:`diff_manifests` turns that
+        into changed/added/removed step lists.
+        """
+        return {
+            "flow": self.flow,
+            "project": self.project.name,
+            "steps": dict(self.step_keys),
+            "pages": dict(sorted(self.page_of.items())),
+            "images": {
+                page: {"name": image.name,
+                       "digest": image.content_digest,
+                       "occupant": occupant,
+                       "softcore": softcore}
+                for page, (image, occupant, softcore)
+                in sorted(self.page_images.items())},
+        }
 
     def estimated_seconds_per_input(self) -> float:
         return self.performance.seconds_per_input
@@ -239,6 +281,24 @@ class FlowBuild:
                          f"{len(self.link_packets)});")
         lines.append("}")
         return "\n".join(lines) + "\n"
+
+
+def diff_manifests(old: Dict[str, object],
+                   new: Dict[str, object]) -> Dict[str, List[str]]:
+    """Compare two build manifests step-by-step.
+
+    Returns ``{"changed": [...], "added": [...], "removed": [...]}`` of
+    step names; a step is *changed* when both manifests name it but its
+    content key differs (i.e. an edit reached it).
+    """
+    old_steps: Dict[str, str] = dict(old.get("steps", {}))  # type: ignore
+    new_steps: Dict[str, str] = dict(new.get("steps", {}))  # type: ignore
+    return {
+        "changed": sorted(name for name, key in new_steps.items()
+                          if name in old_steps and old_steps[name] != key),
+        "added": sorted(set(new_steps) - set(old_steps)),
+        "removed": sorted(set(old_steps) - set(new_steps)),
+    }
 
 
 # --------------------------------------------------------------------------
@@ -351,15 +411,16 @@ def _overlay_bitstream(overlay: Overlay) -> Bitstream:
                      total.brams, total.dsps, partial=True)
 
 
-def _softcore_page_image(page: Page, compiled: CompiledOperator
-                         ) -> Bitstream:
+def _softcore_page_image(page: Page, compiled: CompiledOperator,
+                         digest: str = "") -> Bitstream:
     """The RISC-V page L2 image plus the packed program payload."""
     payload = pack_binary(compiled, page.number).serialize()
     return Bitstream(f"page_{page.number}_riscv.xclbin",
                      PICORV_LUTS + tech.LEAF_INTERFACE_LUTS,
                      brams=min(page.brams,
                                compiled.memory_bytes // BYTES_PER_BRAM18),
-                     partial=True, payload_bytes=len(payload))
+                     partial=True, payload_bytes=len(payload),
+                     content_digest=digest)
 
 
 def _build_exec_graph(project: Project,
@@ -512,16 +573,31 @@ class O1Flow:
                 jobs.append(Job(name, stage))
                 page_images[page.number] = (
                     Bitstream(f"page_{page.number}_{name}.xclbin",
-                              page.luts, page.brams, page.dsps),
+                              page.luts, page.brams, page.dsps,
+                              content_digest=engine.record.keys[
+                                  f"impl:{name}"]),
                     name, False)
             else:
                 page_images[page.number] = (
-                    _softcore_page_image(page, art.riscv), name, True)
+                    _softcore_page_image(
+                        page, art.riscv,
+                        digest=engine.record.keys.get(
+                            f"riscv:{name}", "")),
+                    name, True)
 
         injector = self.faults.compile_faults() \
             if self.faults is not None and self.faults.any_compile_faults \
             else None
-        schedule_result = self.cluster.schedule(jobs, faults=injector)
+        # Incremental scheduling: only jobs whose content key missed the
+        # cache (i.e. the engine actually reran their impl step) go to
+        # the cluster — the paper's Makefile discipline.  A warm cache
+        # means zero jobs and a zero makespan; the cold schedule prices
+        # the full rebuild for comparison.
+        built_steps = set(engine.record.built)
+        dirty_names = [job.name for job in jobs
+                       if f"impl:{job.name}" in built_steps]
+        schedule_result, cold_schedule = self.cluster.incremental_schedule(
+            jobs, dirty_names, faults=injector)
         compile_times = schedule_result.stage_maxima
 
         # Graceful degradation (the paper's mixed-flow capability): an
@@ -551,7 +627,10 @@ class O1Flow:
                 riscv_seconds,
                 self.model.riscv_seconds(compiled.ir_instructions))
             page_images[page.number] = (
-                _softcore_page_image(page, compiled), name, True)
+                _softcore_page_image(
+                    page, compiled,
+                    digest=engine.record.keys.get(f"riscv:{name}", "")),
+                name, True)
             reason = (f"page compile failed after "
                       f"{schedule_result.attempts.get(name, 0)} attempts; "
                       f"remapped to -O0 softcore")
@@ -569,6 +648,14 @@ class O1Flow:
             telemetry)
         area = self._area(graph, artifacts)
 
+        # Pages whose occupant actually recompiled this invocation —
+        # the incremental report's "what did the edit cost" set.
+        built_now = set(engine.record.built)
+        recompiled_pages = sorted(
+            {page_of[name] for name in page_of
+             if f"impl:{name}" in built_now
+             or f"riscv:{name}" in built_now})
+
         return FlowBuild(
             flow=self.name, project=project, monolithic=False,
             overlay=self.overlay,
@@ -583,6 +670,11 @@ class O1Flow:
             page_of=page_of,
             rebuilt=list(engine.record.built),
             reused=list(engine.record.reused),
+            step_keys=dict(engine.record.keys),
+            cache_stats=engine.cache_stats(),
+            recompiled_pages=recompiled_pages,
+            cold_compile_times=cold_schedule.stage_maxima,
+            link_config=config,
             dfg=extract_dfg(graph),
             remapped=remapped,
             compile_attempts=dict(schedule_result.attempts),
@@ -721,7 +813,6 @@ class O3Flow:
         merged: Optional[Netlist] = None
         total_estimate = ResourceEstimate()
         hls_seconds = 0.0
-        total_instrs = 0
         for name, op in graph.operators.items():
             schedule, estimate, verilog, netlist = _hls_step(
                 engine, op, tech.FMAX_CEILING_MHZ)
@@ -732,7 +823,6 @@ class O3Flow:
             artifacts[name] = art
             schedules[name] = schedule
             total_estimate = total_estimate + estimate
-            total_instrs += _ir_size(op)
             hls_seconds = max(hls_seconds, self.model.hls_seconds(
                 _ir_size(op), self.monolithic_threads))
             merged = netlist if merged is None \
@@ -792,7 +882,9 @@ class O3Flow:
 
         image = Bitstream("kernel.xclbin", self.device.luts,
                           self.device.brams, self.device.dsps,
-                          partial=True)
+                          partial=True,
+                          content_digest=engine.record.keys.get(
+                              "impl:monolithic", ""))
         return FlowBuild(
             flow=self.name, project=project, monolithic=True,
             overlay=None, overlay_image=image, page_images={},
@@ -801,6 +893,9 @@ class O3Flow:
             performance=performance, area=area,
             rebuilt=list(engine.record.built),
             reused=list(engine.record.reused),
+            step_keys=dict(engine.record.keys),
+            cache_stats=engine.cache_stats(),
+            cold_compile_times=compile_times,
             dfg=extract_dfg(graph),
             impl_fmax_mhz=impl.timing.fmax_mhz,
             _exec_graph=exec_graph, _telemetry=telemetry)

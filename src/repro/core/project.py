@@ -11,7 +11,7 @@ pipelines).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.errors import FlowError
 from repro.dataflow.graph import DataflowGraph, TARGET_HW, TARGET_RISCV
@@ -57,6 +57,23 @@ class Project:
     def retargeted(self, targets: Dict[str, str]) -> "Project":
         """Copy with changed mapping pragmas (the one-line edit)."""
         return Project(self.name, self.graph.retarget(targets),
+                       dict(self.sample_inputs), self.scale_factor,
+                       self.description)
+
+    def with_spec(self, operator: str, hls_spec,
+                  sample_spec=None) -> "Project":
+        """Copy with one operator's IR replaced (the incremental edit).
+
+        This is what an :class:`repro.core.session.IncrementalSession`
+        applies: the returned project differs from this one in exactly
+        one operator's content, so a recompile touches exactly that
+        operator's page.
+        """
+        if operator not in self.graph.operators:
+            raise FlowError(f"no operator {operator!r}")
+        return Project(self.name,
+                       self.graph.with_spec(operator, hls_spec,
+                                            sample_spec),
                        dict(self.sample_inputs), self.scale_factor,
                        self.description)
 

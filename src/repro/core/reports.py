@@ -104,6 +104,42 @@ def format_failure_report(build: FlowBuild) -> str:
     return "\n".join(lines)
 
 
+def format_incremental_report(result) -> str:
+    """One edit's cost sheet (the incremental section of a run log).
+
+    Takes a :class:`repro.core.session.EditResult` and renders what the
+    edit dirtied, what was recompiled and reloaded, and the incremental
+    makespan next to the cold-rebuild makespan it replaced.
+    """
+    build = result.build
+    times = result.recompile_times
+    cold = result.cold_compile_times
+    lines = [
+        f"== incremental edit: {build.project.name} "
+        f"({result.operator}) ==",
+        f"dirty steps: {len(result.dirty_steps)} "
+        f"({', '.join(result.dirty_steps) if result.dirty_steps else '-'})",
+        f"pages recompiled: "
+        f"{', '.join(str(p) for p in result.pages_reloaded) or 'none'}",
+        f"recompile makespan: {times.total:.0f}s "
+        f"(hls {times.hls:.0f} / syn {times.syn:.0f} / "
+        f"p&r {times.pnr:.0f} / bit {times.bit:.0f})",
+        f"cold rebuild would cost: {cold.total:.0f}s "
+        f"({result.speedup:.1f}x saved)",
+        f"reload: {len(result.pages_reloaded)} page image(s), "
+        f"{result.reload_seconds * 1e3:.2f} ms on the config port",
+        f"relink: {len(result.delta_packets)} delta packet(s) "
+        f"of {result.full_packets} total",
+    ]
+    stats = getattr(build, "cache_stats", None)
+    if stats:
+        lines.append(
+            f"cache: {stats.get('hits', 0)} hits, "
+            f"{stats.get('misses', 0)} misses, "
+            f"{stats.get('evictions', 0)} evictions")
+    return "\n".join(lines)
+
+
 def format_deadlock_report(exc: DeadlockError) -> str:
     """Render a deadlock's structured diagnostic for humans."""
     lines = [f"== deadlock report ==", str(exc)]

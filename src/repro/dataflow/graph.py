@@ -10,7 +10,7 @@ specification so the toolflow can compile it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import DataflowError
@@ -109,6 +109,32 @@ class Operator:
                         target, self.page if page is None else page,
                         self.hls_spec, dict(self.port_widths),
                         self.sample_spec)
+
+    def with_spec(self, hls_spec, sample_spec=None) -> "Operator":
+        """Copy of this operator with edited IR (the incremental edit).
+
+        The functional body is regenerated from the new sample spec via
+        the IR interpreter so execution reflects the edit; ports, target
+        and page preference are unchanged.  Port sets must match — an
+        edit that changes an operator's interface is a graph change,
+        not an operator edit.
+        """
+        from repro.hls.interp import make_body
+
+        if hls_spec is None:
+            raise DataflowError(
+                f"operator {self.name!r}: with_spec needs a spec")
+        sample = sample_spec if sample_spec is not None else hls_spec
+        if (tuple(hls_spec.input_ports) != self.inputs
+                or tuple(hls_spec.output_ports) != self.outputs):
+            raise DataflowError(
+                f"operator {self.name!r}: edited spec changes the port "
+                f"interface ({list(hls_spec.input_ports)} -> "
+                f"{list(hls_spec.output_ports)}); rewire the graph "
+                f"instead")
+        return Operator(self.name, make_body(sample), self.inputs,
+                        self.outputs, self.target, self.page, hls_spec,
+                        dict(self.port_widths), sample)
 
     def __repr__(self) -> str:
         return (f"Operator({self.name!r}, in={list(self.inputs)}, "
@@ -307,6 +333,32 @@ class DataflowGraph:
         for op in self.operators.values():
             new_target = targets.get(op.name, op.target)
             out.add(op.with_target(new_target))
+        for link in self.links.values():
+            out.connect(f"{link.source.operator}.{link.source.name}",
+                        f"{link.sink.operator}.{link.sink.name}", link.name)
+        for ext in self.external_inputs.values():
+            out.expose_input(ext.name, f"{ext.inner.operator}.{ext.inner.name}")
+        for ext in self.external_outputs.values():
+            out.expose_output(ext.name,
+                              f"{ext.inner.operator}.{ext.inner.name}")
+        return out
+
+    def with_spec(self, operator: str, hls_spec,
+                  sample_spec=None) -> "DataflowGraph":
+        """Copy of the graph with one operator's IR replaced.
+
+        The incremental-session edit: everything else — links, external
+        ports, other operators — is structurally identical, so content
+        keys of untouched operators are unchanged.
+        """
+        if operator not in self.operators:
+            raise DataflowError(f"no operator {operator!r} to edit")
+        out = DataflowGraph(self.name)
+        for op in self.operators.values():
+            if op.name == operator:
+                out.add(op.with_spec(hls_spec, sample_spec))
+            else:
+                out.add(op)
         for link in self.links.values():
             out.connect(f"{link.source.operator}.{link.source.name}",
                         f"{link.sink.operator}.{link.sink.name}", link.name)

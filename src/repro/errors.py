@@ -96,6 +96,10 @@ class BuildError(FlowError):
     """The incremental build engine detected an inconsistency."""
 
 
+class StoreError(BuildError):
+    """The artifact store hit a serialization or integrity problem."""
+
+
 class FaultInjectionError(PLDError):
     """A fault-injection plan deliberately failed an operation.
 

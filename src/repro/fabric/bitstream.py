@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.errors import FabricError
 
@@ -42,6 +41,11 @@ class Bitstream:
         partial: True for page/L1 partial images, False for full-device.
         payload_bytes: optional extra payload (e.g. a packed ELF for a
             softcore page rides along with the linking metadata).
+        content_digest: content key of the compile step that produced
+            this image.  Two compiles of different logic into the same
+            page produce images with identical names and sizes; the
+            digest is what distinguishes them, so incremental reloads
+            can skip pages whose image is bit-identical.
     """
 
     name: str
@@ -50,6 +54,7 @@ class Bitstream:
     dsps: int = 0
     partial: bool = True
     payload_bytes: int = 0
+    content_digest: str = ""
 
     def __post_init__(self):
         if self.luts < 0 or self.brams < 0 or self.dsps < 0:
@@ -75,7 +80,8 @@ class Bitstream:
         against this value to detect a corrupted load and retry.
         """
         raw = (f"{self.name}:{self.luts}:{self.brams}:{self.dsps}:"
-               f"{int(self.partial)}:{self.payload_bytes}").encode()
+               f"{int(self.partial)}:{self.payload_bytes}:"
+               f"{self.content_digest}").encode()
         return zlib.crc32(raw) & 0xFFFFFFFF
 
     def __repr__(self) -> str:

@@ -11,8 +11,8 @@ impossible (Sec. 4.1) and yields the heterogeneous page types of Tab. 1.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
 
 from repro.errors import FabricError
 

@@ -11,8 +11,8 @@ compile never loads the rest of the design.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.errors import FabricError
 from repro.fabric.device import Device, XCU50

@@ -18,7 +18,7 @@ datapath widths real HLS would synthesise.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import HLSError
 from repro.hls.ir import (

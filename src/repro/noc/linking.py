@@ -80,6 +80,48 @@ class LinkConfiguration:
         for (leaf, out_port), dest in self.bindings.items():
             leaves[leaf].bind(out_port, dest.leaf, dest.port)
 
+    def diff(self, other: Optional["LinkConfiguration"]
+             ) -> Dict[Tuple[int, int], PortAddress]:
+        """Bindings of this configuration that differ from ``other``.
+
+        Returns the (src leaf, src port) -> destination entries that are
+        new or changed relative to ``other`` (all of them when ``other``
+        is None).  Bindings only present in ``other`` are not reported:
+        a stale destination register on an untouched leaf is harmless —
+        nothing produces into it any more.
+        """
+        changed: Dict[Tuple[int, int], PortAddress] = {}
+        for key, dest in self.bindings.items():
+            if other is None or other.bindings.get(key) != dest:
+                changed[key] = dest
+        return changed
+
+    def delta_config_packets(self, reloaded_leaves,
+                             previous: Optional["LinkConfiguration"] = None
+                             ) -> List[ConfigPacket]:
+        """Packets for a delta relink after partial reconfiguration.
+
+        Reloading a page wipes that leaf's output-destination registers,
+        so every binding whose *source* leaf was reloaded must be
+        resent; bindings into a reloaded page live in the producers'
+        registers and stay resident.  On top of that, any binding that
+        changed relative to ``previous`` (a remap, a new link) is sent
+        regardless of which leaf it lives on.  This is the seconds-scale
+        relink of Sec. 4.3 shrunk further: for a one-operator edit the
+        burst is just that operator's output bindings.
+        """
+        reloaded = set(reloaded_leaves)
+        changed = self.diff(previous)
+        packets = []
+        for (leaf, out_port), dest in sorted(self.bindings.items()):
+            if leaf in reloaded or (leaf, out_port) in changed:
+                packets.append(ConfigPacket(
+                    dest_leaf=leaf,
+                    dest_port=LeafInterface.CONFIG_PORT_BASE + out_port,
+                    payload=ConfigPacket.encode(dest.leaf, dest.port),
+                ))
+        return packets
+
 
 def build_link_configuration(graph: DataflowGraph,
                              page_of: Dict[str, int],

@@ -15,9 +15,8 @@ link/leaf bandwidths of the overlay.
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import DeadlockError, NoCError
 from repro.noc.bft import BFTopology, SwitchId

@@ -20,7 +20,7 @@ confirm the analytic numbers on small traffic samples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.dataflow.graph import DataflowGraph
@@ -71,7 +71,6 @@ class NoCPerformanceModel:
         # The interface leaf moves every external token.
         external = 0.0
         for name, schedule in self.schedules.items():
-            op = self.graph.operators[name]
             for ext in self.graph.external_inputs.values():
                 if ext.inner.operator == name:
                     external += schedule.tokens_on(ext.inner.name) \

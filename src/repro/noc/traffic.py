@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, List
 
 from repro.errors import NoCError
 from repro.noc.bft import BFTopology
@@ -87,7 +87,6 @@ def characterize(pattern: Pattern, n_leaves: int = 16,
         topo = BFTopology(n_leaves)
         leaves = {i: LeafInterface(i, n_ports=2) for i in range(n_leaves)}
         sim = NetworkSimulator(topo, leaves)
-        rng = random.Random(seed)
         # Bind every source port once, then stage the packets.
         for src in range(n_leaves):
             leaves[src].bind(0, dest_leaf=pattern(src, n_leaves),

@@ -67,6 +67,8 @@ class AlveoU50:
         self.max_load_retries = max_load_retries
         self.load_retries = 0
         self.crc_mismatches = 0
+        #: Pages reloaded in place by :meth:`partial_reconfigure`.
+        self.page_reloads = 0
         #: Readback CRC of every successfully verified image, by name.
         self.verified_crcs: Dict[str, int] = {}
 
@@ -149,6 +151,23 @@ class AlveoU50:
             else PageState.FPGA_OPERATOR
         slot.occupant = occupant
         slot.image = image
+        return seconds
+
+    def partial_reconfigure(self, loads) -> float:
+        """Reload a set of pages in place (the incremental edit path).
+
+        Args:
+            loads: iterable of ``(page, image, occupant, softcore)``.
+
+        The overlay and every other page stay resident — this is the
+        partial-reconfiguration property the whole incremental story
+        rests on: a one-page edit costs one page image's load time, not
+        an overlay reload.  Returns the summed configuration seconds.
+        """
+        seconds = 0.0
+        for page, image, occupant, softcore in loads:
+            seconds += self.load_page(page, image, occupant, softcore)
+            self.page_reloads += 1
         return seconds
 
     def page_state(self, page: int) -> PageState:

@@ -12,7 +12,7 @@ millisecond page loads on each recompile, microsecond DMA bursts).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from repro.errors import PlatformError
 from repro.platform.alveo import AlveoU50
@@ -93,6 +93,47 @@ class HostProgram:
         self.timeline.add(f"send {n_packets} linking packets",
                           link_seconds)
         self._configured = True
+        return self.timeline
+
+    def apply_delta(self, build, pages, packets) -> RunTimeline:
+        """Apply an incremental edit: reload changed pages, delta relink.
+
+        Args:
+            build: the new flow build (becomes this host's build).
+            pages: page numbers to reload from ``build.page_images``.
+            packets: the delta link packets to send (typically
+                ``LinkConfiguration.delta_config_packets``).
+
+        The overlay stays resident — only the listed pages go through
+        partial reconfiguration and only the delta packets hit the
+        wire, so the timeline shows the millisecond-scale reload the
+        paper's edit loop promises.
+        """
+        if not self._configured:
+            raise PlatformError(
+                "apply_delta needs a configured card; call configure() "
+                "with the baseline build first")
+        if getattr(build, "monolithic", False):
+            raise PlatformError("monolithic builds cannot delta-load")
+        self.build = build
+        loads = []
+        for page in sorted(pages):
+            try:
+                image, occupant, softcore = build.page_images[page]
+            except KeyError:
+                raise PlatformError(
+                    f"build has no image for page {page}") from None
+            loads.append((page, image, occupant, softcore))
+        for page, image, occupant, softcore in loads:
+            seconds = self.card.partial_reconfigure(
+                [(page, image, occupant, softcore)])
+            kind = "softcore" if softcore else "bitstream"
+            self.timeline.add(
+                f"reload page {page} <- {occupant} ({kind}, "
+                f"{image.size_bytes // 1024} KiB)", seconds)
+        link_seconds = max(1, len(packets)) / 200e6 + 50e-6
+        self.timeline.add(
+            f"send {len(packets)} delta linking packets", link_seconds)
         return self.timeline
 
     def run(self, inputs: Dict[str, Iterable[int]]) -> Dict[str, List[int]]:

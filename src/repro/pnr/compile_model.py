@@ -18,9 +18,7 @@ monolithic) are real and drive the relative speedups.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
 
 from repro.fabric.device import TileGrid
 from repro.hls.netlist import Netlist

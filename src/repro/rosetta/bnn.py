@@ -17,7 +17,7 @@ with xnor + table popcounts; pools are 2x2 word-wise ORs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.dataflow.graph import DataflowGraph
 from repro.hls.frontend import OperatorBuilder

@@ -20,7 +20,7 @@ accordingly, exactly as the paper's operators size their datapaths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SoftcoreError
@@ -164,7 +164,6 @@ class _Compiler:
             base = self._alloc(4 * array.depth)
             self.array_base[array.name] = base
             if array.init:
-                mask = (1 << array.width) - 1
                 for index, value in enumerate(array.init):
                     self.data_init[base + 4 * index] = \
                         self._wrap_store(value, array.width, array.signed)

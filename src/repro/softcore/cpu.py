@@ -16,7 +16,7 @@ and a slow iterative divider.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import SoftcoreError, TrapError
 from repro.softcore.isa import Instruction, decode

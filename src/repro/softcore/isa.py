@@ -9,7 +9,7 @@ tests round-trip encode/decode.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.errors import SoftcoreError
 

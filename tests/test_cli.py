@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
-from repro.errors import DeadlockError, FlowError, PLDError
+from repro.errors import DeadlockError, FlowError
 
 
 class TestParser:

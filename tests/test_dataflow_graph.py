@@ -115,8 +115,8 @@ class TestGraphConstruction:
 
     def test_validate_requires_external_ports(self):
         g = DataflowGraph("g")
-        a = g.add(make_pass("a"))
-        b = g.add(make_pass("b"))
+        g.add(make_pass("a"))
+        g.add(make_pass("b"))
         g.connect("a.out", "b.in")
         # b.out, a.in dangling AND no externals; dangling fires first
         with pytest.raises(DataflowError):

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.errors import DataflowError, DeadlockError
+from repro.errors import DataflowError
 from repro.dataflow import DataflowGraph, Operator, operator, run_graph
 from repro.dataflow.simulator import FunctionalSimulator
 

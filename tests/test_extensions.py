@@ -3,7 +3,6 @@ softcore disassembler."""
 
 import pytest
 
-from repro.errors import FlowError
 from repro.core import BuildEngine, O3Flow, Project
 from repro.dataflow import DataflowGraph, Operator
 from repro.hls import OperatorBuilder, make_body

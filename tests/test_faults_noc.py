@@ -14,7 +14,7 @@ from repro.faults import FaultPlan
 from repro.noc.bft import BFTopology
 from repro.noc.leaf import LeafInterface
 from repro.noc.netsim import NetworkSimulator
-from repro.noc.packet import AckPacket, DataPacket, payload_crc
+from repro.noc.packet import AckPacket, DataPacket
 
 
 def _reliable_pair(plan=None, **leaf_kwargs):

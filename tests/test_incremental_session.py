@@ -1,0 +1,173 @@
+"""End-to-end tests for incremental compilation sessions (the tentpole).
+
+The acceptance scenario: compile digit-recognition at -O1, edit exactly
+one HW operator's IR (a real behavioural change — the kNN shard's label
+table), and verify the session rebuilds exactly one page, reloads
+exactly one page image, sends only that operator's link packets, and
+reports the single page's compile time rather than the full makespan —
+while producing output identical to a cold full recompile of the
+edited project.  A persistence test re-opens the same store directory
+in a fresh instance and compiles with zero rebuilds.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    BuildEngine,
+    IncrementalSession,
+    O1Flow,
+    diff_manifests,
+    format_incremental_report,
+    touch_spec,
+)
+from repro.core.makeflow import operators_to_rebuild
+from repro.platform.host import HostProgram
+from repro.rosetta.digit_recognition import build as build_digit_app
+from repro.store import ArtifactStore
+
+EFFORT = 0.1
+EDIT_OP = "knn_03"
+
+
+def relabel(spec):
+    """A real semantic edit: change the shard's training labels.
+
+    The array init changes (different classification results) but the
+    instruction structure is identical, so the resource estimate — and
+    hence the page assignment — is stable.
+    """
+    arrays = []
+    for a in spec.arrays:
+        if a.name == "labels":
+            init = tuple((v + 1) % 10 for v in a.init)
+            arrays.append(dataclasses.replace(a, init=init))
+        else:
+            arrays.append(a)
+    return dataclasses.replace(spec, arrays=arrays)
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_digit_app()
+
+
+@pytest.fixture(scope="module")
+def loop(app, tmp_path_factory):
+    """One full edit loop: baseline compile, configure, edit, reload."""
+    cache_dir = tmp_path_factory.mktemp("store")
+    session = IncrementalSession(cache_dir=cache_dir, effort=EFFORT)
+    baseline = session.compile(app.project)
+    host = HostProgram(baseline)
+    host.configure()
+    loads_after_config = host.card.loads
+
+    op = app.project.graph.operators[EDIT_OP]
+    result = session.apply_edit(EDIT_OP, relabel(op.hls_spec),
+                                relabel(op.sample_spec))
+    session.reload(host, result)
+    return {
+        "session": session,
+        "baseline": baseline,
+        "result": result,
+        "host": host,
+        "loads_after_config": loads_after_config,
+        "cache_dir": cache_dir,
+    }
+
+
+class TestOneOperatorEdit:
+    def test_rebuilds_exactly_one_page(self, loop, app):
+        result = loop["result"]
+        page = result.build.page_of[EDIT_OP]
+        assert result.pages_reloaded == [page]
+        assert result.build.recompiled_pages == [page]
+        assert result.dirty_operators == [EDIT_OP]
+        assert sorted(result.dirty_steps) == [f"hls:{EDIT_OP}",
+                                              f"impl:{EDIT_OP}"]
+
+    def test_loads_exactly_one_page_image(self, loop):
+        host = loop["host"]
+        assert host.card.page_reloads == 1
+        # One additional configuration-port load beyond the baseline.
+        assert host.card.loads == loop["loads_after_config"] + 1
+
+    def test_sends_only_that_operators_link_packets(self, loop):
+        result = loop["result"]
+        leaf = result.build.page_of[EDIT_OP]
+        op = result.build.project.graph.operators[EDIT_OP]
+        assert len(result.delta_packets) == len(op.outputs)
+        assert all(p.dest_leaf == leaf for p in result.delta_packets)
+        assert len(result.delta_packets) < result.full_packets
+
+    def test_recompile_time_is_single_page_not_makespan(self, loop):
+        result = loop["result"]
+        stage = result.build.operators[EDIT_OP].stage_times
+        assert result.recompile_times.total == \
+            pytest.approx(stage.total)
+        # The cold reference prices every page job; with one node per
+        # job the makespan is at least the slowest page, which for this
+        # app is a bigger Type-1 page than the edited operator's.
+        assert result.cold_compile_times.total > \
+            result.recompile_times.total
+
+    def test_output_matches_cold_full_recompile(self, loop, app):
+        result = loop["result"]
+        session = loop["session"]
+        cold = O1Flow(effort=EFFORT).compile(session.project,
+                                             BuildEngine())
+        inputs = app.project.sample_inputs
+        assert result.build.execute(inputs) == cold.execute(inputs)
+        assert cold.page_of == result.build.page_of
+
+    def test_edit_actually_changed_behaviour(self, loop, app):
+        baseline = loop["baseline"]
+        result = loop["result"]
+        inputs = app.project.sample_inputs
+        assert baseline.execute(inputs) != result.build.execute(inputs)
+
+    def test_manifest_diff_names_the_edit(self, loop):
+        diff = diff_manifests(loop["baseline"].manifest(),
+                              loop["result"].build.manifest())
+        assert diff["changed"] == [f"hls:{EDIT_OP}", f"impl:{EDIT_OP}"]
+        assert diff["added"] == []
+        assert diff["removed"] == []
+
+    def test_report_renders(self, loop):
+        text = format_incremental_report(loop["result"])
+        assert EDIT_OP in text
+        assert "delta packet" in text
+        assert "cache:" in text
+
+    def test_agrees_with_makefile_dependencies(self, loop, app):
+        """Make-level stale targets name the same operators (Sec. 6)."""
+        make_dirty = operators_to_rebuild(app.project, [EDIT_OP])
+        assert make_dirty == loop["result"].dirty_operators
+
+
+class TestPersistence:
+    def test_second_store_instance_serves_all_steps(self, loop, app):
+        """A fresh process over the same directory compiles warm."""
+        store = ArtifactStore(cache_dir=loop["cache_dir"])
+        session = IncrementalSession(store=store, effort=EFFORT)
+        warm = session.compile(loop["session"].project)
+        assert warm.rebuilt == []
+        assert warm.recompiled_pages == []
+        assert warm.compile_times.total == 0.0
+        assert warm.cold_compile_times.total > 0.0
+        assert store.disk_hits == len(warm.reused)
+        assert "hits" in warm.cache_stats
+        assert "cache:" in warm.describe()
+
+    def test_touch_spec_is_semantics_preserving(self, loop, app):
+        """The demo edit dirties the key but not behaviour or pages."""
+        session = loop["session"]
+        before = session.build
+        op = session.project.graph.operators[EDIT_OP]
+        result = session.apply_edit(EDIT_OP, touch_spec(op.hls_spec),
+                                    op.sample_spec)
+        inputs = app.project.sample_inputs
+        assert result.build.execute(inputs) == before.execute(inputs)
+        assert result.pages_reloaded == [before.page_of[EDIT_OP]]
+        assert result.build.page_of == before.page_of

@@ -7,7 +7,6 @@ the same wrap-to-width rules over raw ints, and the RV32 compiler must
 reproduce both in machine code.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.dataflow import DataflowGraph, Operator, run_graph

@@ -1,7 +1,6 @@
 """Tests for the linking network: topology, simulator, linking, model."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.errors import NoCError
 from repro.dataflow import DataflowGraph, Operator

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import PlatformError
-from repro.core import BuildEngine, O0Flow, O1Flow, O3Flow, Project
+from repro.core import O0Flow, O1Flow, O3Flow, Project
 from repro.dataflow import DataflowGraph, Operator
 from repro.fabric import Bitstream, Overlay
 from repro.hls import OperatorBuilder, make_body

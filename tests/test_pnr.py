@@ -1,7 +1,6 @@
 """Tests for packing, placement, routing, timing and the compile model."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.errors import PnRError
 from repro.fabric import PAGE_TYPES, TileGrid
