@@ -71,18 +71,29 @@ def cmd_apps(_args) -> int:
 
 
 def _engine(args) -> BuildEngine:
-    """A build engine, persistent when ``--cache-dir`` was given."""
+    """A build engine, persistent when ``--cache-dir`` was given and
+    process-parallel when ``--workers`` asks for more than one."""
+    cache = None
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir:
         from repro.store import ArtifactStore
-        return BuildEngine(cache=ArtifactStore(cache_dir=cache_dir))
-    return BuildEngine()
+        cache = ArtifactStore(cache_dir=cache_dir)
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers > 1:
+        from repro.core import ParallelBuildEngine
+        return ParallelBuildEngine(cache=cache, workers=workers)
+    return BuildEngine(cache=cache)
 
 
 def cmd_compile(args) -> int:
     app = _app(args.app)
-    build = _flow(args.flow, args.effort).compile(app.project,
-                                                  _engine(args))
+    engine = _engine(args)
+    try:
+        build = _flow(args.flow, args.effort).compile(app.project, engine)
+    finally:
+        close = getattr(engine, "close", None)
+        if callable(close):
+            close()
     times = build.compile_times
     if args.flow == "o0":
         print(f"compiled {args.app} with -O0 in "
@@ -189,6 +200,16 @@ def cmd_tables(args) -> int:
     return 0
 
 
+def cmd_bench_args(bench_args: list) -> int:
+    """Run the tracked benchmark suite (repro.perf.bench)."""
+    from repro.perf.bench import main as bench_main
+    return bench_main(bench_args)
+
+
+def cmd_bench(args) -> int:
+    return cmd_bench_args(args.bench_args)
+
+
 def cmd_floorplan(_args) -> int:
     from repro.fabric import FLOORPLAN, XCU50
     print(f"device: {XCU50.name}  {XCU50.luts:,} LUTs  "
@@ -220,6 +241,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="persistent artifact store; a second "
                                 "compile over the same directory "
                                 "rebuilds nothing")
+    compile_p.add_argument("--workers", "-j", type=int, default=None,
+                           help="run independent build steps on this "
+                                "many worker processes (modeled compile "
+                                "times are unchanged)")
 
     edit_p = sub.add_parser(
         "edit", help="demo the incremental edit-compile-reload loop")
@@ -247,10 +272,23 @@ def build_parser() -> argparse.ArgumentParser:
     tables_p.add_argument("--effort", type=float, default=0.3)
 
     sub.add_parser("floorplan", help="print the page floorplan")
+
+    bench_p = sub.add_parser(
+        "bench", help="run the tracked benchmark suite "
+        "(see 'bench --help' via repro.perf.bench)")
+    bench_p.add_argument("bench_args", nargs=argparse.REMAINDER,
+                         help="arguments forwarded to repro.perf.bench "
+                              "(--quick, --suite, --profile, --check, "
+                              "--output, --repeats)")
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "bench":
+        # Forward everything after 'bench' verbatim (argparse REMAINDER
+        # refuses leading optionals like --quick).
+        return cmd_bench_args(argv[1:])
     args = build_parser().parse_args(argv)
     handler = {
         "apps": cmd_apps,
@@ -259,6 +297,7 @@ def main(argv: Optional[list] = None) -> int:
         "run": cmd_run,
         "tables": cmd_tables,
         "floorplan": cmd_floorplan,
+        "bench": cmd_bench,
     }[args.command]
     try:
         return handler(args)

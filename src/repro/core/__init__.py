@@ -19,8 +19,9 @@ Everything above the substrates lives here:
 
 from repro.core.pragma import OperatorPragma, parse_pragmas
 from repro.core.dfg import extract_dfg, dfg_to_text
-from repro.core.build import BuildCache, BuildEngine
+from repro.core.build import BatchStep, BuildCache, BuildEngine
 from repro.core.cluster import CompileCluster, Job
+from repro.core.parallel import ParallelBuildEngine
 from repro.core.project import Project
 from repro.core.flows import (
     FlowBuild,
@@ -46,8 +47,10 @@ __all__ = [
     "parse_pragmas",
     "extract_dfg",
     "dfg_to_text",
+    "BatchStep",
     "BuildCache",
     "BuildEngine",
+    "ParallelBuildEngine",
     "CompileCluster",
     "Job",
     "Project",

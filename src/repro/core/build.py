@@ -13,9 +13,10 @@ from __future__ import annotations
 import hashlib
 import json
 import pickle
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import BuildError
 from repro.hls.ir import Block, If, Instr, Loop, OperatorSpec, Value
@@ -145,10 +146,31 @@ class BuildRecord:
     #: step name -> content key it resolved to (the build manifest's
     #: raw material; keys are stable across processes).
     keys: Dict[str, str] = field(default_factory=dict)
+    #: step name -> wall seconds the builder ran (cache hits absent;
+    #: for process-parallel execution this is the parent-observed wait,
+    #: so concurrent steps overlap).
+    build_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def rebuild_count(self) -> int:
         return len(self.built)
+
+
+@dataclass(frozen=True)
+class BatchStep:
+    """One entry of :meth:`BuildEngine.step_batch`.
+
+    Unlike the closure passed to :meth:`BuildEngine.step`, the work is
+    described as ``fn(*args, **kwargs)`` with a module-level ``fn`` so a
+    process-parallel engine can ship it to a worker (everything must
+    pickle); the base engine simply calls it in-process.
+    """
+
+    name: str
+    key_parts: Tuple
+    fn: Callable[..., Any]
+    args: Tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
 
 
 class BuildEngine:
@@ -175,12 +197,35 @@ class BuildEngine:
         if artefact is not None:
             self.record.reused.append(name)
             return artefact
+        start = time.perf_counter()
         artefact = builder()
+        self.record.build_seconds[name] = time.perf_counter() - start
         if artefact is None:
             raise BuildError(f"builder for {name!r} returned None")
         self.cache.put(key, artefact)
         self.record.built.append(name)
         return artefact
+
+    def step_batch(self, steps: Iterable[Union[BatchStep, Tuple]]
+                   ) -> List[Any]:
+        """Run independent build steps; return their artefacts in order.
+
+        Steps must not depend on one another's artefacts — flows batch
+        one dependency layer at a time (all front-end steps, then all
+        page-implementation steps).  The base engine runs them serially
+        in list order, so records and cache traffic are identical to a
+        loop of :meth:`step` calls; :class:`repro.core.parallel.
+        ParallelBuildEngine` overrides this to fan misses out to worker
+        processes.
+        """
+        out: List[Any] = []
+        for s in steps:
+            if not isinstance(s, BatchStep):
+                s = BatchStep(*s)
+            out.append(self.step(
+                s.name, s.key_parts,
+                lambda s=s: s.fn(*s.args, **s.kwargs)))
+        return out
 
     def cache_stats(self) -> Dict[str, int]:
         """The cache's counters, whatever its implementation."""

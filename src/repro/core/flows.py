@@ -56,7 +56,7 @@ from repro.pnr.compile_model import (
 )
 from repro.softcore.compiler import CompiledOperator, compile_operator
 from repro.softcore.elf import pack_binary
-from repro.core.build import BuildEngine
+from repro.core.build import BatchStep, BuildEngine
 from repro.core.cluster import CompileCluster, Job
 from repro.core.dfg import extract_dfg
 from repro.core.project import Project
@@ -306,20 +306,28 @@ def diff_manifests(old: Dict[str, object],
 # --------------------------------------------------------------------------
 
 
+def _hls_build(spec, clock_mhz: float, name: str, n_ports: int
+               ) -> Tuple[Schedule, ResourceEstimate, str, Netlist]:
+    """C-to-RTL work: schedule, estimate, Verilog, netlist.
+
+    Module-level (not a closure) so :class:`~repro.core.parallel.
+    ParallelBuildEngine` can ship it to a worker process.
+    """
+    schedule = schedule_operator(spec, clock_mhz)
+    estimate = estimate_operator(spec)
+    verilog = emit_verilog(spec)
+    netlist = synthesize_netlist(name, estimate, n_ports=n_ports)
+    return (schedule, estimate, verilog, netlist)
+
+
 def _hls_step(engine: BuildEngine, op: Operator,
               clock_mhz: float) -> Tuple[Schedule, ResourceEstimate, str,
                                          Netlist]:
     """Cacheable C-to-RTL stage: schedule, estimate, Verilog, netlist."""
-
-    def build():
-        schedule = schedule_operator(op.hls_spec, clock_mhz)
-        estimate = estimate_operator(op.hls_spec)
-        verilog = emit_verilog(op.hls_spec)
-        ports = len(op.inputs) + len(op.outputs)
-        netlist = synthesize_netlist(op.name, estimate, n_ports=ports)
-        return (schedule, estimate, verilog, netlist)
-
-    return engine.step(f"hls:{op.name}", (op.hls_spec, clock_mhz), build)
+    return engine.step(
+        f"hls:{op.name}", (op.hls_spec, clock_mhz),
+        lambda: _hls_build(op.hls_spec, clock_mhz, op.name,
+                           len(op.inputs) + len(op.outputs)))
 
 
 def _ir_size(op: Operator) -> int:
@@ -512,30 +520,45 @@ class O1Flow:
         riscv_builds: Dict[str, CompiledOperator] = {}
         riscv_seconds = 0.0
 
-        # Front end per operator.
+        # Front end per operator.  All front-end steps are mutually
+        # independent, so they go through one step_batch: with the base
+        # engine this is the same serial loop as before, while a
+        # ParallelBuildEngine fans the cache misses out to workers.
+        front_steps: List[BatchStep] = []
+        for name, op in graph.operators.items():
+            if op.target == TARGET_HW:
+                front_steps.append(BatchStep(
+                    f"hls:{name}", (op.hls_spec, tech.OVERLAY_CLOCK_MHZ),
+                    _hls_build,
+                    (op.hls_spec, tech.OVERLAY_CLOCK_MHZ, name,
+                     len(op.inputs) + len(op.outputs))))
+            else:
+                front_steps.append(BatchStep(
+                    f"riscv:{name}", (op.sample_spec,),
+                    compile_operator, (op.sample_spec,)))
+                # Softcores still occupy the II story: schedule for token
+                # accounting only.
+                front_steps.append(BatchStep(
+                    f"sched:{name}", (op.hls_spec, "riscv"),
+                    schedule_operator, (op.hls_spec,)))
+        front = dict(zip((s.name for s in front_steps),
+                         engine.step_batch(front_steps)))
         for name, op in graph.operators.items():
             art = OperatorArtifacts(name, op.target)
             if op.target == TARGET_HW:
-                schedule, estimate, verilog, netlist = _hls_step(
-                    engine, op, tech.OVERLAY_CLOCK_MHZ)
+                schedule, estimate, verilog, netlist = front[f"hls:{name}"]
                 art.schedule, art.estimate = schedule, estimate
                 art.verilog, art.netlist = verilog, netlist
                 estimates[name] = estimate
                 schedules[name] = schedule
             else:
-                compiled = engine.step(
-                    f"riscv:{name}", (op.sample_spec,),
-                    lambda op=op: compile_operator(op.sample_spec))
+                compiled = front[f"riscv:{name}"]
                 art.riscv = compiled
                 riscv_builds[name] = compiled
                 riscv_seconds = max(
                     riscv_seconds,
                     self.model.riscv_seconds(compiled.ir_instructions))
-                # Softcores still occupy the II story: schedule for token
-                # accounting only.
-                schedules[name] = engine.step(
-                    f"sched:{name}", (op.hls_spec, "riscv"),
-                    lambda op=op: schedule_operator(op.hls_spec))
+                schedules[name] = front[f"sched:{name}"]
             artifacts[name] = art
 
         page_of = _assign_pages(graph, self.overlay, estimates,
@@ -543,23 +566,34 @@ class O1Flow:
         for name, art in artifacts.items():
             art.page = page_of[name]
 
-        # Back end per HW operator: separate P&R against abstract shells.
+        # Back end per HW operator: separate P&R against abstract
+        # shells.  Page implementations are independent of one another
+        # (the paper's page-parallel cluster compile), so they form the
+        # second — and by far the most expensive — batch.
+        impl_steps: List[BatchStep] = []
+        for name, op in graph.operators.items():
+            if op.target != TARGET_HW:
+                continue
+            page = self.overlay.page(page_of[name])
+            shell = self.overlay.abstract_shell(page.number)
+            impl_steps.append(BatchStep(
+                f"impl:{name}", (op.hls_spec, page.page_type.name,
+                                 self.effort, self.seed),
+                implement_design,
+                (artifacts[name].netlist, page.page_type.grid()),
+                {"context_luts": shell.context_luts,
+                 "threads": self.cluster.threads_per_node,
+                 "seed": self.seed, "effort": self.effort}))
+        impls = dict(zip((s.name for s in impl_steps),
+                         engine.step_batch(impl_steps)))
+
         jobs: List[Job] = []
         page_images: Dict[int, Tuple[Bitstream, str, bool]] = {}
         for name, op in graph.operators.items():
             art = artifacts[name]
             page = self.overlay.page(page_of[name])
             if op.target == TARGET_HW:
-                shell = self.overlay.abstract_shell(page.number)
-                impl = engine.step(
-                    f"impl:{name}", (op.hls_spec, page.page_type.name,
-                                     self.effort, self.seed),
-                    lambda art=art, page=page, shell=shell:
-                        implement_design(
-                            art.netlist, page.page_type.grid(),
-                            context_luts=shell.context_luts,
-                            threads=self.cluster.threads_per_node,
-                            seed=self.seed, effort=self.effort))
+                impl = impls[f"impl:{name}"]
                 art.fmax_mhz = min(impl.timing.fmax_mhz,
                                    art.schedule.fmax_mhz)
                 stage = StageTimes(

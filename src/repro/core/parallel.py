@@ -1,0 +1,171 @@
+"""Process-parallel build execution.
+
+The paper's cluster runs independent page compiles on separate machines
+(Sec. 6); :class:`ParallelBuildEngine` does the same on one machine with
+a ``concurrent.futures.ProcessPoolExecutor``.  Only the *execution* is
+parallel: step keys, cache traffic and artefacts are exactly those of
+the serial :class:`~repro.core.build.BuildEngine`, and the *modeled*
+compile time still comes from the :class:`~repro.core.cluster.
+CompileCluster` schedule — the reported makespan is unchanged while the
+real wall-clock drops with the worker count.
+
+Dependency layering is the caller's job: a ``step_batch`` must contain
+mutually independent steps (flows batch the front end, then the page
+implementations), which is why the engine never needs a scheduler — the
+step-key graph already partitioned the work.
+
+A crashed or poisoned worker is not fatal: the failed step is retried
+in-process (``worker_retries`` counts these), so deterministic builder
+errors surface with a clean parent traceback instead of a hang, and a
+``BrokenProcessPool`` just degrades the batch to serial execution.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import BuildError
+from repro.core.build import BatchStep, BuildEngine, content_key
+
+
+def _run_step(fn, args, kwargs):
+    """Module-level trampoline so only (fn, args, kwargs) must pickle."""
+    return fn(*args, **kwargs)
+
+
+class ParallelBuildEngine(BuildEngine):
+    """A :class:`BuildEngine` whose batches run on worker processes.
+
+    Args:
+        cache: same contract as :class:`BuildEngine` (in-memory cache or
+            a persistent :class:`repro.store.ArtifactStore`).  Lookups
+            and inserts happen in the parent only, so a store's files
+            are never written concurrently.
+        workers: worker process count (default ``os.cpu_count()``).
+            ``workers <= 1`` keeps everything in-process.
+
+    The pool is created lazily on the first batch with cache misses and
+    survives across batches; call :meth:`close` (or use the engine as a
+    context manager) to reap the workers.
+    """
+
+    def __init__(self, cache=None, workers: Optional[int] = None):
+        super().__init__(cache)
+        self.workers = workers if workers is not None \
+            else (os.cpu_count() or 1)
+        #: Steps that failed on a worker and were re-run in-process.
+        self.worker_retries = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _drop_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelBuildEngine":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- batched execution -------------------------------------------------
+
+    def step_batch(self, steps: Iterable[Union[BatchStep, Tuple]]
+                   ) -> List[Any]:
+        steps = [s if isinstance(s, BatchStep) else BatchStep(*s)
+                 for s in steps]
+        if self.workers <= 1 or len(steps) <= 1:
+            return super().step_batch(steps)
+
+        results: List[Any] = [None] * len(steps)
+        misses: List[Tuple[int, BatchStep, str]] = []
+        followers: List[Tuple[int, BatchStep, str]] = []
+        pending = set()
+        for pos, s in enumerate(steps):
+            key = content_key(s.name, *s.key_parts)
+            self.record.keys[s.name] = key
+            if key in pending:
+                # A duplicate key inside one batch: the serial engine
+                # would hit the cache once the first build lands, so
+                # resolve it after the gather instead of building twice.
+                followers.append((pos, s, key))
+                continue
+            artefact = self.cache.get(key)
+            if artefact is not None:
+                self.record.reused.append(s.name)
+                results[pos] = artefact
+            else:
+                pending.add(key)
+                misses.append((pos, s, key))
+
+        if misses:
+            self._gather(misses, results)
+        for pos, s, key in followers:
+            artefact = self.cache.get(key)
+            if artefact is None:           # evicted between put and get
+                artefact = self._build_local(s)
+                self.cache.put(key, artefact)
+                self.record.built.append(s.name)
+            else:
+                self.record.reused.append(s.name)
+            results[pos] = artefact
+        return results
+
+    def _gather(self, misses, results) -> None:
+        futures = None
+        try:
+            pool = self._ensure_pool()
+            futures = [pool.submit(_run_step, s.fn, s.args, s.kwargs)
+                       for _pos, s, _key in misses]
+        except Exception:
+            # Submission itself failed (unpicklable work, dead pool):
+            # everything falls back to in-process execution below.
+            self._drop_pool()
+            futures = None
+        for i, (pos, s, key) in enumerate(misses):
+            artefact = None
+            start = time.perf_counter()
+            if futures is not None:
+                try:
+                    artefact = futures[i].result()
+                except BrokenProcessPool:
+                    # The pool is poisoned; every remaining future fails
+                    # instantly, and each step retries in-process.
+                    self.worker_retries += 1
+                    self._drop_pool()
+                except Exception:
+                    self.worker_retries += 1
+            if artefact is None:
+                artefact = self._build_local(s)
+            self.record.build_seconds[s.name] = \
+                time.perf_counter() - start
+            if artefact is None:
+                raise BuildError(
+                    f"builder for {s.name!r} returned None")
+            self.cache.put(key, artefact)
+            self.record.built.append(s.name)
+            results[pos] = artefact
+
+    @staticmethod
+    def _build_local(s: BatchStep):
+        """In-process retry: deterministic builder errors raise here
+        with an ordinary traceback."""
+        return s.fn(*s.args, **s.kwargs)

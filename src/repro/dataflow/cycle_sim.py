@@ -117,6 +117,9 @@ class _TimedProcess:
         self.port_ready: Dict[str, int] = {}
         self.last_read = 0            # time of the most recent input token
         self.last_event = 0           # time of the operator's last transfer
+        # Port -> fifo maps, filled in by the simulator before running.
+        self.read_fifos: Dict[str, _TimedFifo] = {}
+        self.write_fifos: Dict[str, _TimedFifo] = {}
 
 
 class CycleSimulator:
@@ -149,6 +152,12 @@ class CycleSimulator:
         caps = capacities or {}
         self.fifos: Dict[str, _TimedFifo] = {}
         self._in_fifo: Dict[Tuple[str, str], _TimedFifo] = {}
+        # Per-operator port -> fifo maps so the hot service path avoids
+        # building (operator, port) tuple keys for every request.
+        self._read_fifos: Dict[str, Dict[str, _TimedFifo]] = {
+            name: {} for name in graph.operators}
+        self._write_fifos: Dict[str, Dict[str, _TimedFifo]] = {
+            name: {} for name in graph.operators}
         self._out_fifos: Dict[str, List[_TimedFifo]] = {
             name: [] for name in graph.operators}
         for link in graph.links.values():
@@ -157,15 +166,19 @@ class CycleSimulator:
             self.fifos[link.name] = fifo
             self._in_fifo[(link.sink.operator, link.sink.name)] = fifo
             self._in_fifo[(link.source.operator, "!" + link.source.name)] = fifo
+            self._read_fifos[link.sink.operator][link.sink.name] = fifo
+            self._write_fifos[link.source.operator][link.source.name] = fifo
             self._out_fifos[link.source.operator].append(fifo)
         # External streams are unbounded: DMA buffers live in card DRAM.
         for ext in graph.external_inputs.values():
             fifo = _TimedFifo(f"<in:{ext.name}>", None, 0)
             self._in_fifo[(ext.inner.operator, ext.inner.name)] = fifo
+            self._read_fifos[ext.inner.operator][ext.inner.name] = fifo
             self.fifos[fifo.name] = fifo
         for ext in graph.external_outputs.values():
             fifo = _TimedFifo(f"<out:{ext.name}>", None, 0)
             self._in_fifo[(ext.inner.operator, "!" + ext.inner.name)] = fifo
+            self._write_fifos[ext.inner.operator][ext.inner.name] = fifo
             self._out_fifos[ext.inner.operator].append(fifo)
             self.fifos[fifo.name] = fifo
         self.makespan = 0
@@ -194,17 +207,25 @@ class CycleSimulator:
                                 self.timings.get(name, self.DEFAULT_TIMING))
             for name, op in self.graph.operators.items()
         }
+        for name, proc in processes.items():
+            proc.read_fifos = self._read_fifos[name]
+            proc.write_fifos = self._write_fifos[name]
         order = self.graph.topological_order()
 
+        # Sweep only the still-running processes each pass; finished
+        # ones drop out while the relative (topological) order of the
+        # rest — and hence the service order — is unchanged.
+        active = [processes[name] for name in order]
         progress = True
         while progress:
             progress = False
-            for name in order:
-                proc = processes[name]
-                if proc.finished:
-                    continue
+            remaining = []
+            for proc in active:
                 if self._run_until_blocked(proc):
                     progress = True
+                if not proc.finished:
+                    remaining.append(proc)
+            active = remaining
         stuck = [p for p in processes.values() if not p.finished]
         if stuck:
             blocked = sorted(p.name for p in stuck)
@@ -275,51 +296,90 @@ class CycleSimulator:
             return list(proc.batch_progress)
         return None
 
-    def _advance_port(self, proc: _TimedProcess, port: str) -> int:
-        """Earliest time this port may move its next token."""
-        return proc.port_ready.get(port, 0)
-
-    def _note_transfer(self, proc: _TimedProcess, port: str,
-                       when: int) -> None:
-        proc.port_ready[port] = when + proc.timing.ii
-        proc.last_event = max(proc.last_event, when)
-
     def _try_service(self, proc: _TimedProcess):
+        # The fifo reads/writes and II/latency/back-pressure arithmetic
+        # are inlined here (rather than going through _TimedFifo.read /
+        # write / slot_free_time and _note_transfer) — this method
+        # services every token of every run and the call/tuple-key
+        # overhead dominated the simulator's profile.  The arithmetic is
+        # identical; the equivalence tests pin that down.
         request = proc.request
-        if isinstance(request, (ReadRequest, ReadBatchRequest)):
-            want = 1 if isinstance(request, ReadRequest) else request.count
-            fifo = self._in_fifo[(proc.name, request.port)]
-            while len(proc.batch_progress) < want:
-                if fifo.can_read():
-                    ready = self._advance_port(proc, request.port)
-                    token, when = fifo.read(ready)
-                    proc.batch_progress.append(token)
-                    proc.last_read = max(proc.last_read, when)
-                    self._note_transfer(proc, request.port, when)
+        cls = request.__class__
+        if cls is ReadRequest:
+            want = 1
+        elif cls is ReadBatchRequest:
+            want = request.count
+        else:
+            want = None
+        if want is not None or isinstance(request,
+                                          (ReadRequest, ReadBatchRequest)):
+            if want is None:
+                want = (1 if isinstance(request, ReadRequest)
+                        else request.count)
+            port = request.port
+            fifo = proc.read_fifos[port]
+            batch = proc.batch_progress
+            port_ready = proc.port_ready
+            ii = proc.timing.ii
+            tokens = fifo.tokens
+            while len(batch) < want:
+                if fifo.head < len(tokens):
+                    token, when = tokens[fifo.head]
+                    ready = port_ready.get(port, 0)
+                    if ready > when:
+                        when = ready
+                    fifo.read_times.append(when)
+                    fifo.head += 1
+                    batch.append(token)
+                    if when > proc.last_read:
+                        proc.last_read = when
+                    port_ready[port] = when + ii
+                    if when > proc.last_event:
+                        proc.last_event = when
                 elif fifo.closed:
                     return self._unwind(proc)
                 else:
                     return None
             return True
-        if isinstance(request, (WriteRequest, WriteBatchRequest)):
-            tokens = ([request.token] if isinstance(request, WriteRequest)
-                      else request.tokens)
-            fifo = self._in_fifo[(proc.name, "!" + request.port)]
-            while proc.batch_index < len(tokens):
-                if not fifo.can_write():
-                    return None
-                # A pipelined operator emits the result `latency` cycles
-                # after the input token it derives from; II paces the
-                # port; back pressure delays until a slot frees.
-                ready = max(self._advance_port(proc, request.port),
-                            proc.last_read + proc.timing.latency,
-                            fifo.slot_free_time())
-                fifo.write(tokens[proc.batch_index], ready)
-                self._note_transfer(proc, request.port, ready)
-                proc.batch_index += 1
-            return True
-        raise DataflowError(
-            f"operator {proc.name!r} yielded unknown request {request!r}")
+        if cls is WriteRequest or isinstance(request, WriteRequest):
+            out_tokens = [request.token]
+        elif cls is WriteBatchRequest or isinstance(request,
+                                                    WriteBatchRequest):
+            out_tokens = request.tokens
+        else:
+            raise DataflowError(
+                f"operator {proc.name!r} yielded unknown request "
+                f"{request!r}")
+        port = request.port
+        fifo = proc.write_fifos[port]
+        port_ready = proc.port_ready
+        timing = proc.timing
+        capacity = fifo.capacity
+        link_latency = fifo.link_latency
+        tokens = fifo.tokens
+        read_times = fifo.read_times
+        n_tokens = len(out_tokens)
+        while proc.batch_index < n_tokens:
+            if capacity is not None and len(tokens) - fifo.head >= capacity:
+                return None
+            # A pipelined operator emits the result `latency` cycles
+            # after the input token it derives from; II paces the
+            # port; back pressure delays until a slot frees.
+            ready = port_ready.get(port, 0)
+            after_read = proc.last_read + timing.latency
+            if after_read > ready:
+                ready = after_read
+            if capacity is not None:
+                idx = len(tokens) - capacity
+                if idx >= 0 and read_times[idx] > ready:
+                    ready = read_times[idx]
+            tokens.append((out_tokens[proc.batch_index],
+                           ready + link_latency))
+            port_ready[port] = ready + timing.ii
+            if ready > proc.last_event:
+                proc.last_event = ready
+            proc.batch_index += 1
+        return True
 
     def _unwind(self, proc: _TimedProcess) -> bool:
         try:

@@ -105,6 +105,11 @@ class LeafInterface:
         # Flits whose retransmission is already waiting in the outbox:
         # the timer must not enqueue further copies behind them.
         self._queued_retx: set = set()
+        # Running total of unacked flits (O(1) has_unacked) and a lower
+        # bound on the next cycle any flit's ack timeout can expire, so
+        # the per-cycle timer call is O(1) until a scan is actually due.
+        self._unacked_total = 0
+        self._retx_deadline: Optional[int] = None
         self.bounced = 0
         self.sent = 0
         self.received = 0
@@ -159,6 +164,7 @@ class LeafInterface:
             packet.stamp_crc()
             self._unacked.setdefault(out_port, {})[seq] = (
                 binding.dest_leaf, binding.dest_port, packet.payload)
+            self._unacked_total += 1
         self.outbox.append(packet)
 
     def deliver(self, packet: Packet) -> Optional[Packet]:
@@ -243,6 +249,7 @@ class LeafInterface:
         unacked = self._unacked.get(port)
         if unacked is not None and seq in unacked:
             del unacked[seq]
+            self._unacked_total -= 1
             self._last_tx.pop((port, seq), None)
             self._retx_count.pop((port, seq), None)
             self._queued_retx.discard((port, seq))
@@ -255,17 +262,29 @@ class LeafInterface:
                 and packet.seq >= 0 and packet.src_leaf == self.leaf):
             self._last_tx[(packet.src_port, packet.seq)] = cycle
             self._queued_retx.discard((packet.src_port, packet.seq))
+            deadline = cycle + self.retransmit_timeout
+            if self._retx_deadline is None or deadline < self._retx_deadline:
+                self._retx_deadline = deadline
 
     def has_unacked(self) -> bool:
-        return any(self._unacked.get(port)
-                   for port in self._unacked)
+        return self._unacked_total > 0
 
     def unacked_count(self) -> int:
-        return sum(len(seqs) for seqs in self._unacked.values())
+        return self._unacked_total
 
     def service_retransmissions(self, cycle: int) -> int:
-        """Re-inject flits whose ack timeout expired; returns how many."""
-        if not self.reliable:
+        """Re-inject flits whose ack timeout expired; returns how many.
+
+        The scan over unacked flits only runs once the precomputed
+        deadline (earliest possible expiry, maintained by
+        :meth:`note_transmitted`) has passed; a timeout can only expire
+        ``retransmit_timeout`` cycles after a transmission, so skipping
+        earlier cycles is behaviour-preserving — those scans would have
+        re-injected nothing.
+        """
+        if not self.reliable or self._unacked_total == 0:
+            return 0
+        if self._retx_deadline is None or cycle < self._retx_deadline:
             return 0
         resent = 0
         for port, seqs in self._unacked.items():
@@ -295,6 +314,24 @@ class LeafInterface:
                 self._queued_retx.add((port, seq))
                 self.retransmissions += 1
                 resent += 1
+        # Recompute the earliest next expiry among flits still armed
+        # (transmitted, not already waiting in the outbox as a queued
+        # retransmission — those re-arm via note_transmitted).
+        timeout = self.retransmit_timeout
+        queued = self._queued_retx
+        last_tx = self._last_tx
+        deadline = None
+        for port, seqs in self._unacked.items():
+            for seq in seqs:
+                if (port, seq) in queued:
+                    continue
+                last = last_tx.get((port, seq))
+                if last is None:
+                    continue
+                due = last + timeout
+                if deadline is None or due < deadline:
+                    deadline = due
+        self._retx_deadline = deadline
         return resent
 
     def pop_injection(self) -> Optional[Packet]:

@@ -11,10 +11,18 @@ leaf bounces: the leaf interface re-injects it ahead of new traffic.
 The simulator measures delivered-packet latency and sustained
 throughput, which the -O1 performance model uses as the effective
 link/leaf bandwidths of the overlay.
+
+The inner loop is table-driven: switch candidate outputs, link
+destinations and arrival buffers are precomputed once per topology, so
+a cycle is a couple of dict lookups per in-flight packet instead of
+per-cycle :class:`SwitchId` construction and routing geometry.  The
+tables are pure caches — results are bit-identical to the naive
+geometry walk, which the equivalence tests assert.
 """
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -26,6 +34,8 @@ from repro.noc.packet import AckPacket, DataPacket, Packet
 #: Output slot identifiers: ("up", k) | ("down", child_side)
 _UP = "up"
 _DOWN = "down"
+
+_AGE = operator.attrgetter("age")
 
 
 @dataclass
@@ -72,9 +82,10 @@ class NetworkSimulator:
             if leaf not in self.leaves:
                 self.leaves[leaf] = LeafInterface(leaf, 1)
         # Link registers: packets in flight, written for the *next* cycle.
-        # Keyed by (node, direction, lane); node is a SwitchId for switch
+        # Keyed by interned slot id; _slot_keys maps an id back to its
+        # (node, direction, lane) — node is a SwitchId for switch
         # outputs, an int for leaf up-links.
-        self._in_flight: Dict[Tuple, Packet] = {}
+        self._in_flight: Dict[int, Packet] = {}
         self.cycle = 0
         self.delivered: List[DeliveryRecord] = []
         self.total_deflections = 0
@@ -83,75 +94,147 @@ class NetworkSimulator:
         self.faults_dropped = 0
         self.faults_corrupted = 0
         self._injection_index = 0
+        self._build_tables()
 
     def attach(self, iface: LeafInterface) -> None:
         self.leaves[iface.leaf] = iface
+        self._build_tables()
+
+    # -- routing tables ------------------------------------------------------
+
+    def _build_tables(self) -> None:
+        """Precompute the per-topology constants the hot loop uses.
+
+        * one reusable arrival buffer per switch (cleared each cycle
+          instead of rebuilding a ``{switch: []}`` dict);
+        * every output slot ``(node, direction, lane)`` interned to a
+          small int id, so the per-cycle ``_in_flight``/``taken`` set
+          operations hash ints instead of SwitchId-bearing tuples;
+        * per-switch candidate-slot tuples in deflection preference
+          order, and a link-destination table mapping every slot id to
+          either the arrival buffer it feeds or the leaf it delivers to.
+        """
+        topo = self.topology
+        switches = list(topo.switches())
+        buffers: Dict[SwitchId, List[Packet]] = {s: [] for s in switches}
+        slot_keys: List[Tuple] = []      # id -> (node, direction, lane)
+
+        def intern(key: Tuple) -> int:
+            slot_keys.append(key)
+            return len(slot_keys) - 1
+
+        # (buffer, switch, lo, mid, hi, cand_left, cand_right, cand_out)
+        route_entries = []
+        for s in switches:
+            lo, hi = topo.subtree_range(s)
+            span = 1 << (s.level - 1)
+            ups: Tuple[int, ...] = ()
+            if s.level < topo.levels:
+                ups = tuple(intern((s, _UP, lane))
+                            for lane in range(topo.up_links))
+            down = (intern((s, _DOWN, 0)), intern((s, _DOWN, 1)))
+            route_entries.append((
+                buffers[s], s, lo, lo + span, hi,
+                down + ups,                    # covered, left child first
+                (down[1], down[0]) + ups,      # covered, right child first
+                ups + down,                    # not covered: climb
+            ))
+        leaf_slots = [intern((leaf, _UP, 0))
+                      for leaf in range(topo.size)]
+        # slot id -> (deliver_to_leaf?, arrival-buffer-or-leaf_no)
+        dest: List[Tuple] = [None] * len(slot_keys)
+        for sid, (node, direction, lane) in enumerate(slot_keys):
+            if direction == _UP:
+                if isinstance(node, int):            # leaf -> its parent
+                    dest[sid] = (False, buffers[topo.leaf_parent(node)])
+                else:                                 # switch -> parent
+                    dest[sid] = (False, buffers[topo.parent(node)])
+            elif node.level == 1:                     # down to a leaf
+                dest[sid] = (True, node.index * 2 + lane)
+            else:
+                dest[sid] = (False, buffers[topo.children(node)[lane]])
+        self._route_entries = route_entries
+        self._dest = dest
+        self._slot_keys = slot_keys
+        self._leaf_entries = [(leaf, iface, leaf_slots[leaf])
+                              for leaf, iface in self.leaves.items()]
+        self._ifaces = tuple(self.leaves.values())
+        self._reliable_ifaces = tuple(
+            iface for iface in self.leaves.values() if iface.reliable)
 
     # -- one simulation step -----------------------------------------------
 
     def step(self) -> None:
         """Advance one clock cycle."""
-        topo = self.topology
-        next_flight: Dict[Tuple, Packet] = {}
+        next_flight: Dict[int, Packet] = {}
+        dest = self._dest
 
         # Gather arrivals per switch: packets on child up-links and on
-        # the parent's down-link toward this switch.
-        arrivals: Dict[SwitchId, List[Packet]] = {s: [] for s in
-                                                  topo.switches()}
+        # the parent's down-link toward this switch; down-links out of
+        # level 1 deliver (or bounce) at their leaf.
         for key, packet in self._in_flight.items():
-            node, direction = key[0], key[1]
-            if direction == _UP:
-                if isinstance(node, int):            # leaf -> its parent
-                    arrivals[topo.leaf_parent(node)].append(packet)
-                else:                                 # switch -> parent
-                    arrivals[topo.parent(node)].append(packet)
-            else:                                     # switch -> below
-                child_side = key[2]
-                if node.level == 1:
-                    # Down to a leaf: deliver (or bounce).
-                    leaf_no = node.index * 2 + child_side
-                    self._deliver(packet, leaf_no)
-                else:
-                    child = topo.children(node)[child_side]
-                    arrivals[child].append(packet)
+            to_leaf, target = dest[key]
+            if to_leaf:
+                self._deliver(packet, target)
+            else:
+                target.append(packet)
 
-        # Route each switch's arrivals.
-        for switch, packets in arrivals.items():
+        # Route each switch's arrivals, oldest packet first.
+        deflections = 0
+        for entry in self._route_entries:
+            packets = entry[0]
             if not packets:
                 continue
             for packet in packets:
                 packet.age += 1
                 packet.hops += 1
-            packets.sort(key=lambda p: -p.age)
+            packets.sort(key=_AGE, reverse=True)
             taken: set = set()
+            lo, mid, hi = entry[2], entry[3], entry[4]
             for packet in packets:
-                slot = self._pick_output(switch, packet, taken, next_flight)
+                d = packet.dest_leaf
+                if lo <= d < hi:
+                    candidates = entry[5] if d < mid else entry[6]
+                else:
+                    candidates = entry[7]
+                for slot in candidates:
+                    if slot not in taken and slot not in next_flight:
+                        break
+                else:
+                    raise NoCError(
+                        f"{entry[1]}: no free output — switch radix "
+                        f"violated")
+                if slot is not candidates[0]:
+                    deflections += 1
                 taken.add(slot)
                 next_flight[slot] = packet
+            del packets[:]
+        self.total_deflections += deflections
 
         # Leaf injections: a leaf's up-link is free if no switch wrote it
         # (switches never write leaf up-links), so inject when available.
-        for leaf_no, iface in self.leaves.items():
-            key = (leaf_no, _UP, 0)
+        cycle = self.cycle
+        faults = self.faults
+        for leaf_no, iface, key in self._leaf_entries:
             if key in next_flight:
                 continue
             packet = iface.pop_injection()
             if packet is not None:
-                if packet.injected_at == 0 and packet.age == 0:
-                    packet.injected_at = self.cycle
-                iface.note_transmitted(packet, self.cycle)
-                packet = self._inject_faults(packet, leaf_no)
+                if packet.injected_at < 0:
+                    packet.injected_at = cycle
+                iface.note_transmitted(packet, cycle)
+                if faults is not None:
+                    packet = self._inject_faults(packet, leaf_no)
                 if packet is not None:
                     next_flight[key] = packet
 
         self._in_flight = next_flight
-        self.cycle += 1
+        self.cycle = cycle + 1
 
         # Drive the reliability layer's ack timeouts: overdue unacked
         # flits re-enter their leaf's outbox for the next cycles.
-        for iface in self.leaves.values():
-            if iface.reliable:
-                iface.service_retransmissions(self.cycle)
+        for iface in self._reliable_ifaces:
+            iface.service_retransmissions(self.cycle)
 
     def _inject_faults(self, packet: Packet,
                        leaf_no: int) -> Optional[Packet]:
@@ -188,34 +271,6 @@ class NetworkSimulator:
                 packet.payload, self.cycle - packet.injected_at,
                 packet.hops))
 
-    def _pick_output(self, switch: SwitchId, packet: Packet, taken: set,
-                     next_flight: Dict[Tuple, Packet]) -> Tuple:
-        topo = self.topology
-        candidates: List[Tuple] = []
-        # Preferred direction first.
-        if topo.covers(switch, packet.dest_leaf):
-            lo, _hi = topo.subtree_range(switch)
-            span = 1 << (switch.level - 1)
-            side = 0 if packet.dest_leaf < lo + span else 1
-            candidates.append((switch, _DOWN, side))
-            candidates.append((switch, _DOWN, 1 - side))
-            for lane in range(topo.up_links):
-                if switch.level < topo.levels:
-                    candidates.append((switch, _UP, lane))
-        else:
-            for lane in range(topo.up_links):
-                if switch.level < topo.levels:
-                    candidates.append((switch, _UP, lane))
-            candidates.append((switch, _DOWN, 0))
-            candidates.append((switch, _DOWN, 1))
-        for slot in candidates:
-            if slot not in taken and slot not in next_flight:
-                if slot != candidates[0]:
-                    self.total_deflections += 1
-                return slot
-        raise NoCError(
-            f"{switch}: no free output — switch radix violated")
-
     # -- convenience drivers ------------------------------------------------
 
     def run(self, max_cycles: int = 100_000) -> int:
@@ -235,9 +290,13 @@ class NetworkSimulator:
             if self.cycle >= max_cycles:
                 raise NoCError(
                     f"network did not drain within {max_cycles} cycles")
-            busy = bool(self._in_flight) or any(
-                iface.outbox or (iface.reliable and iface.has_unacked())
-                for iface in self.leaves.values())
+            busy = bool(self._in_flight)
+            if not busy:
+                for iface in self._ifaces:
+                    if iface.outbox or (iface.reliable
+                                        and iface.has_unacked()):
+                        busy = True
+                        break
             self.step()
             idle = 0 if busy else idle + 1
             accepted = self._accepted_total()
@@ -253,7 +312,7 @@ class NetworkSimulator:
     def _accepted_total(self) -> int:
         """Progress metric: packets accepted (incl. acks) network-wide."""
         return sum(iface.received + iface.acks_received
-                   for iface in self.leaves.values())
+                   for iface in self._ifaces)
 
     def _raise_watchdog(self) -> None:
         blocked = sorted(
@@ -265,8 +324,10 @@ class NetworkSimulator:
             "in_flight": [
                 f"{key[0]}/{key[1]}->leaf{pkt.dest_leaf}"
                 f":port{pkt.dest_port}"
-                for key, pkt in sorted(self._in_flight.items(),
-                                       key=lambda kv: repr(kv[0]))],
+                for key, pkt in sorted(
+                    ((self._slot_keys[sid], pkt)
+                     for sid, pkt in self._in_flight.items()),
+                    key=lambda kv: repr(kv[0]))],
             "outboxes": {f"leaf{no}": len(iface.outbox)
                          for no, iface in sorted(self.leaves.items())
                          if iface.outbox},

@@ -14,7 +14,7 @@ the sequence-number/retransmission layer recovers.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 def payload_crc(dest_leaf: int, dest_port: int, payload: int,
@@ -34,7 +34,10 @@ class Packet:
     payload: int
     src_leaf: int = -1
     src_port: int = -1              # sender's output port (for acks)
-    injected_at: int = 0            # cycle of injection (for latency stats)
+    #: Cycle of injection, stamped by the simulator (for latency stats).
+    #: -1 means "not injected yet": packets can legitimately be injected
+    #: at cycle 0, so 0 would be ambiguous with a real stamp.
+    injected_at: int = -1
     age: int = 0                    # deflection-priority age
     hops: int = 0
     #: Per-link sequence number.  Deflection routing can reorder packets

@@ -1,0 +1,73 @@
+"""Lightweight performance counters and timers.
+
+The hot paths this PR optimises (NoC stepping, cycle simulation,
+placement, routing, the build engine) are measured — not guessed at —
+through a :class:`PerfRegistry`: named monotonically-growing counters
+and accumulated wall-clock timers with near-zero overhead when idle.
+:mod:`repro.perf.bench` runs a fixed benchmark suite through it and
+tracks the results in ``BENCH_pld.json`` so regressions show up in CI.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class PerfRegistry:
+    """Named counters and accumulated timers.
+
+    Counters count events (``count``); timers accumulate seconds and
+    call counts (``timer`` context manager or ``add_seconds``).  A
+    registry is plain data — ``snapshot`` returns JSON-safe dicts and
+    ``format_table`` renders the ``--profile`` breakdown.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def add_seconds(self, name: str, seconds: float,
+                    calls: int = 1) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        self.calls[name] = self.calls.get(name, 0) + calls
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_seconds(name, time.perf_counter() - start)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {
+            "counters": dict(self.counters),
+            "seconds": {k: round(v, 6) for k, v in self.seconds.items()},
+            "calls": dict(self.calls),
+        }
+
+    def format_table(self, indent: str = "  ") -> str:
+        """Phase breakdown, slowest first."""
+        lines = []
+        for name, secs in sorted(self.seconds.items(),
+                                 key=lambda kv: -kv[1]):
+            calls = self.calls.get(name, 0)
+            lines.append(f"{indent}{name:<28s} {secs:8.4f} s"
+                         f"  ({calls} call{'s' if calls != 1 else ''})")
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"{indent}{name:<28s} {value:>10d}")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.seconds.clear()
+        self.calls.clear()
+
+
+__all__ = ["PerfRegistry"]

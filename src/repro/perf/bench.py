@@ -1,0 +1,327 @@
+"""The tracked benchmark suite: ``pld bench`` / ``python -m repro.perf.bench``.
+
+Runs a fixed set of hot-path workloads — NoC drains, the Rosetta
+-O0/-O1/-O3 flows, the cycle simulator and a warm-vs-cold incremental
+edit — best-of-N, and writes the results to ``BENCH_pld.json`` so the
+numbers live in the repository and CI can fail on a regression
+(``--check``).  ``--quick`` scales every suite down for smoke runs;
+``--profile`` prints a per-phase breakdown per suite.
+
+The *metrics* each suite reports (cycle counts, makespans, deflections)
+are deterministic and double as a coarse equivalence check: an
+optimisation that changes them changed behaviour, not just speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import tempfile
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.perf import PerfRegistry
+
+#: A suite regressing past this ratio of its recorded baseline fails
+#: ``--check``.
+REGRESSION_RATIO = 2.0
+
+#: Best-of-N runs per suite (wall time keeps the minimum).
+DEFAULT_REPEATS = 2
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+# --------------------------------------------------------------------------
+# suites
+# --------------------------------------------------------------------------
+
+
+def _drain_fixture(n_leaves: int, n_ports: int, per_leaf: int, seed: int,
+                   reliable: bool = False, faults=None):
+    from repro.noc.bft import BFTopology
+    from repro.noc.leaf import LeafInterface
+    from repro.noc.netsim import NetworkSimulator
+
+    rng = random.Random(seed)
+    topo = BFTopology(n_leaves)
+    kwargs = dict(reliable=True, retransmit_timeout=64) if reliable else {}
+    leaves = {i: LeafInterface(i, n_ports=n_ports, **kwargs)
+              for i in range(n_leaves)}
+    sim = NetworkSimulator(topo, leaves, faults=faults)
+    for i in range(n_leaves):
+        for p in range(n_ports):
+            leaves[i].bind(p, rng.randrange(n_leaves), p)
+    for i in range(n_leaves):
+        for k in range(per_leaf):
+            leaves[i].send(k % n_ports, (i * 1000 + k) & 0xFFFFFFFF)
+    return sim
+
+
+def bench_noc_drain(quick: bool = False,
+                    registry: Optional[PerfRegistry] = None):
+    """Drain an all-to-all packet load through the deflection NoC."""
+    registry = registry if registry is not None else PerfRegistry()
+    n_leaves, per_leaf = (16, 60) if quick else (32, 400)
+    with registry.timer("setup"):
+        sim = _drain_fixture(n_leaves, 4, per_leaf, seed=7)
+    with registry.timer("run"):
+        wall, cycles = _timed(lambda: sim.run(max_cycles=2_000_000))
+    registry.count("packets_delivered", len(sim.delivered))
+    return wall, {"cycles": cycles, "delivered": len(sim.delivered),
+                  "deflections": sim.total_deflections,
+                  "mean_latency": sim.mean_latency()}
+
+
+def bench_noc_reliable(quick: bool = False,
+                       registry: Optional[PerfRegistry] = None):
+    """Reliable (ack + retransmit) drain under injected drop faults."""
+    from repro.faults import FaultPlan
+
+    registry = registry if registry is not None else PerfRegistry()
+    per_leaf = 30 if quick else 120
+    plan = FaultPlan(seed=11, noc_drop_rate=0.01, noc_corrupt_rate=0.005)
+    with registry.timer("setup"):
+        sim = _drain_fixture(16, 2, per_leaf, seed=11, reliable=True,
+                             faults=plan.noc_faults())
+    with registry.timer("run"):
+        wall, cycles = _timed(lambda: sim.run(max_cycles=2_000_000))
+    return wall, {"cycles": cycles, "delivered": len(sim.delivered),
+                  "dropped": sim.faults_dropped}
+
+
+def _profile_engine(engine, registry: PerfRegistry) -> None:
+    """Fold the engine's per-step build times into phase buckets."""
+    for name, seconds in engine.record.build_seconds.items():
+        phase = name.split(":", 1)[0]
+        registry.add_seconds(f"step:{phase}", seconds)
+
+
+def bench_o1(quick: bool = False,
+             registry: Optional[PerfRegistry] = None):
+    """Separate page compiles of the Rosetta digit-recognition app."""
+    from repro.core import BuildEngine, O1Flow
+    from repro.rosetta import get_app
+
+    registry = registry if registry is not None else PerfRegistry()
+    effort = 0.1 if quick else 0.3
+    with registry.timer("setup"):
+        app = get_app("digit-recognition")
+        engine = BuildEngine()
+    with registry.timer("run"):
+        wall, build = _timed(
+            lambda: O1Flow(effort=effort).compile(app.project, engine))
+    _profile_engine(engine, registry)
+    return wall, {"makespan_s": build.compile_times.total}
+
+
+def bench_o0(quick: bool = False,
+             registry: Optional[PerfRegistry] = None):
+    """Softcore-everything compile plus ISS execution."""
+    from repro.core import BuildEngine, O0Flow
+    from repro.rosetta import get_app
+
+    registry = registry if registry is not None else PerfRegistry()
+    with registry.timer("setup"):
+        app = get_app("digit-recognition")
+        engine = BuildEngine()
+
+    def go():
+        build = O0Flow(effort=0.1).compile(app.project, engine)
+        build.execute(app.project.sample_inputs)
+        return build
+
+    with registry.timer("run"):
+        wall, build = _timed(go)
+    _profile_engine(engine, registry)
+    return wall, {"riscv_s": build.riscv_seconds}
+
+
+def bench_o3(quick: bool = False,
+             registry: Optional[PerfRegistry] = None):
+    """Monolithic device-scale place-and-route of 3d-rendering."""
+    from repro.core import BuildEngine, O3Flow
+    from repro.rosetta import get_app
+
+    registry = registry if registry is not None else PerfRegistry()
+    effort = 0.1 if quick else 0.3
+    with registry.timer("setup"):
+        app = get_app("3d-rendering")
+        engine = BuildEngine()
+    with registry.timer("run"):
+        wall, build = _timed(
+            lambda: O3Flow(effort=effort).compile(app.project, engine))
+    _profile_engine(engine, registry)
+    return wall, {"makespan_s": build.compile_times.total}
+
+
+def bench_cycle_sim(quick: bool = False,
+                    registry: Optional[PerfRegistry] = None):
+    """Repeated cycle-accurate simulation of optical-flow."""
+    from repro.dataflow.cycle_sim import CycleSimulator
+    from repro.rosetta import get_app
+
+    registry = registry if registry is not None else PerfRegistry()
+    repeats = 2 if quick else 12
+    with registry.timer("setup"):
+        app = get_app("optical-flow")
+
+    def go():
+        for _ in range(repeats):
+            sim = CycleSimulator(app.project.graph)
+            sim.run({k: list(v)
+                     for k, v in app.project.sample_inputs.items()})
+        return sim.makespan
+
+    with registry.timer("run"):
+        wall, makespan = _timed(go)
+    registry.count("repeats", repeats)
+    return wall, {"makespan_cycles": makespan}
+
+
+def bench_incremental(quick: bool = False,
+                      registry: Optional[PerfRegistry] = None):
+    """Cold session compile, then a one-operator warm edit."""
+    from repro.core import IncrementalSession, touch_spec
+    from repro.store import ArtifactStore
+    from repro.rosetta import get_app
+
+    registry = registry if registry is not None else PerfRegistry()
+    effort = 0.1 if quick else 0.3
+    with registry.timer("setup"):
+        app = get_app("digit-recognition")
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(cache_dir=tmp)
+        session = IncrementalSession(store=store, effort=effort)
+        with registry.timer("cold_compile"):
+            cold_wall, _build = _timed(
+                lambda: session.compile(app.project))
+        ops = [n for n, op in app.project.graph.operators.items()
+               if op.target == "HW"]
+        op = app.project.graph.operators[ops[0]]
+        with registry.timer("warm_edit"):
+            warm_wall, result = _timed(lambda: session.apply_edit(
+                ops[0], touch_spec(op.hls_spec), op.sample_spec))
+    return cold_wall, {"warm_seconds": round(warm_wall, 4),
+                       "pages_rebuilt":
+                       len(result.build.recompiled_pages)}
+
+
+#: suite name -> callable(quick, registry) -> (wall_seconds, metrics)
+SUITES: Dict[str, Callable] = {
+    "noc_drain": bench_noc_drain,
+    "noc_reliable_drain": bench_noc_reliable,
+    "rosetta_o1": bench_o1,
+    "rosetta_o0": bench_o0,
+    "rosetta_o3": bench_o3,
+    "cycle_sim": bench_cycle_sim,
+    "incremental_edit": bench_incremental,
+}
+
+
+# --------------------------------------------------------------------------
+# harness
+# --------------------------------------------------------------------------
+
+
+def run_suites(names: Optional[List[str]] = None, quick: bool = False,
+               repeats: int = DEFAULT_REPEATS, profile: bool = False,
+               out=sys.stdout) -> Dict[str, Dict]:
+    """Run the selected suites best-of-``repeats``; returns the results
+    dict that ``BENCH_pld.json`` stores."""
+    results: Dict[str, Dict] = {}
+    for name in (names or list(SUITES)):
+        if name not in SUITES:
+            raise SystemExit(f"unknown bench suite {name!r}; "
+                             f"have: {', '.join(SUITES)}")
+        best: Optional[float] = None
+        meta: Dict = {}
+        best_registry = PerfRegistry()
+        for _ in range(max(1, repeats)):
+            registry = PerfRegistry()
+            wall, metrics = SUITES[name](quick=quick, registry=registry)
+            if best is None or wall < best:
+                best, meta, best_registry = wall, metrics, registry
+        results[name] = {"wall_seconds": round(best, 4), **meta}
+        print(f"{name}: {results[name]}", file=out, flush=True)
+        if profile:
+            print(best_registry.format_table(), file=out)
+    return results
+
+
+def check_regressions(results: Dict[str, Dict], baseline: Dict[str, Dict],
+                      ratio: float = REGRESSION_RATIO,
+                      out=sys.stdout) -> List[str]:
+    """Names of suites slower than ``ratio`` × their baseline."""
+    failed: List[str] = []
+    for name, entry in results.items():
+        base = baseline.get(name)
+        if not base or "wall_seconds" not in base:
+            continue
+        old = base["wall_seconds"]
+        new = entry["wall_seconds"]
+        if old > 0 and new > old * ratio:
+            failed.append(name)
+            print(f"REGRESSION {name}: {new:.4f}s vs baseline "
+                  f"{old:.4f}s (> {ratio:.1f}x)", file=out)
+    return failed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pld bench",
+        description="Run the tracked PLD benchmark suite.")
+    parser.add_argument("--quick", action="store_true",
+                        help="scaled-down suites for CI smoke runs")
+    parser.add_argument("--suite", action="append", dest="suites",
+                        metavar="NAME",
+                        help="run only this suite (repeatable); "
+                        f"one of: {', '.join(SUITES)}")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help="best-of-N runs per suite (default "
+                        f"{DEFAULT_REPEATS})")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-phase breakdown per suite")
+    parser.add_argument("--output", default="BENCH_pld.json",
+                        help="result file (default BENCH_pld.json)")
+    parser.add_argument("--check", metavar="BASELINE", nargs="?",
+                        const="BENCH_pld.json", default=None,
+                        help="compare against a baseline JSON (default "
+                        "BENCH_pld.json) and fail on a "
+                        f">{REGRESSION_RATIO:.0f}x regression")
+    parser.add_argument("--no-write", action="store_true",
+                        help="do not write the result file")
+    args = parser.parse_args(argv)
+
+    baseline: Dict[str, Dict] = {}
+    if args.check:
+        try:
+            with open(args.check) as fh:
+                baseline = json.load(fh)
+        except FileNotFoundError:
+            print(f"note: baseline {args.check!r} not found; "
+                  "regression check skipped")
+
+    results = run_suites(args.suites, quick=args.quick,
+                         repeats=args.repeats, profile=args.profile)
+    if not args.no_write:
+        with open(args.output, "w") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+
+    if baseline:
+        failed = check_regressions(results, baseline)
+        if failed:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

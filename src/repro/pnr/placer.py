@@ -114,24 +114,50 @@ class _Annealer:
                 raise PnRError(
                     f"{netlist.name}: {need} {kind} cells but only "
                     f"{have} sites in region")
-        # nets touching each cell (indices into netlist.nets)
-        self.cell_nets: List[List[int]] = [[] for _ in range(netlist.size)]
+        # nets touching each cell (indices into netlist.nets), deduped —
+        # the cost bookkeeping always treated these as sets.
+        cell_nets: List[List[int]] = [[] for _ in range(netlist.size)]
         for net_index, net in enumerate(netlist.nets):
             for pin in net.pins:
-                self.cell_nets[pin].append(net_index)
+                cell_nets[pin].append(net_index)
+        self.cell_nets: List[List[int]] = [
+            list(dict.fromkeys(nets)) for nets in cell_nets]
+        # Hot-loop mirrors of the netlist/pool structures: pin tuples per
+        # net, cell kinds, and per-kind site coordinate arrays, so a move
+        # evaluation indexes flat int lists instead of walking Site
+        # objects.  Coordinates are ints, so every cost below is an int
+        # and summation order cannot perturb results.
+        self.net_pins: List[Tuple[int, ...]] = [
+            tuple(net.pins) for net in netlist.nets]
+        self.cell_kinds: List[str] = [c.kind for c in netlist.cells]
+        self.pool_x: Dict[str, List[int]] = {
+            kind: [s.x for s in pool] for kind, pool in self.pools.items()}
+        self.pool_y: Dict[str, List[int]] = {
+            kind: [s.y for s in pool] for kind, pool in self.pools.items()}
+        self.height = grid.height
+        # randrange(n) for a positive int n is exactly
+        # _randbelow_with_getrandbits(n): draw n.bit_length() bits,
+        # rejecting draws >= n.  Inlining that loop with precomputed
+        # bit lengths consumes the identical getrandbits sequence while
+        # skipping two Python calls on ~1e6 draws per compile.
+        self._size = netlist.size
+        self._size_bits = netlist.size.bit_length()
+        self._kind_pools: Dict[str, Tuple[List[int], List[int], int, int]] = {
+            kind: (self.pool_x[kind], self.pool_y[kind],
+                   len(pool), len(pool).bit_length())
+            for kind, pool in self.pools.items()}
 
     # -- cost bookkeeping ---------------------------------------------------
 
-    def _net_hpwl(self, net_index: int) -> float:
-        pins = self.netlist.nets[net_index].pins
-        xs = [self.loc[p].x for p in pins]
-        ys = [self.loc[p].y for p in pins]
+    def _net_hpwl(self, net_index: int) -> int:
+        pins = self.net_pins[net_index]
+        loc_x, loc_y = self.loc_x, self.loc_y
+        xs = [loc_x[p] for p in pins]
+        ys = [loc_y[p] for p in pins]
         return (max(xs) - min(xs)) + (max(ys) - min(ys))
 
     def _initial_placement(self) -> None:
-        self.loc: List[Optional[Site]] = [None] * self.netlist.size
-        self.occupant: Dict[Tuple[int, int], int] = {}
-        cursor: Dict[str, int] = {k: 0 for k in self.pools}
+        loc: List[Optional[Site]] = [None] * self.netlist.size
         order: Dict[str, List[int]] = {k: [] for k in self.pools}
         for index, cell in enumerate(self.netlist.cells):
             order[cell.kind].append(index)
@@ -139,8 +165,17 @@ class _Annealer:
             pool = list(self.pools[kind])
             self.rng.shuffle(pool)
             for index, site in zip(indices, pool):
-                self.loc[index] = site
-                self.occupant[(site.x, site.y)] = index
+                loc[index] = site
+        # Anneal state: flat coordinate arrays plus an occupancy map
+        # keyed by the packed coordinate x*height + y (grid coordinates
+        # are unique across kinds, as the (x, y)-keyed map before it
+        # relied on too).
+        self.loc_x = [site.x for site in loc]
+        self.loc_y = [site.y for site in loc]
+        height = self.height
+        self.occupant: Dict[int, int] = {
+            site.x * height + site.y: index
+            for index, site in enumerate(loc)}
 
     # -- the anneal -------------------------------------------------------------
 
@@ -161,12 +196,13 @@ class _Annealer:
         temperatures = 0
         while temperatures < MAX_TEMPERATURES:
             accepted = 0
+            try_move = self._try_move
             for _ in range(moves_per_temp):
-                delta = self._try_move(net_cost, temperature, window)
-                self.stats.moves_evaluated += 1
+                delta = try_move(net_cost, temperature, window)
                 if delta is not None:
                     cost += delta
                     accepted += 1
+            self.stats.moves_evaluated += moves_per_temp
             self.stats.moves_accepted += accepted
             temperatures += 1
             rate = accepted / max(1, moves_per_temp)
@@ -186,55 +222,110 @@ class _Annealer:
                 break
         self.stats.temperatures = temperatures
         self.stats.final_cost = cost
-        return Placement(self.grid, list(self.loc), self.stats,
-                         self.netlist)
+        site_at: Dict[Tuple[int, int], Site] = {}
+        for pool in self.pools.values():
+            for site in pool:
+                site_at[(site.x, site.y)] = site
+        locations = [site_at[(x, y)]
+                     for x, y in zip(self.loc_x, self.loc_y)]
+        return Placement(self.grid, locations, self.stats, self.netlist)
 
-    def _try_move(self, net_cost: List[float], temperature: float,
-                  window: int) -> Optional[float]:
-        """Propose one swap/displace; returns accepted delta or None."""
-        cell = self.rng.randrange(self.netlist.size)
-        kind = self.netlist.cells[cell].kind
-        pool = self.pools[kind]
-        if len(pool) < 2:
+    def _try_move(self, net_cost: List[int], temperature: float,
+                  window: int) -> Optional[int]:
+        """Propose one swap/displace; returns accepted delta or None.
+
+        This is the placer's innermost loop (hundreds of thousands of
+        calls per compile), so the HPWL recomputation is inlined over
+        the flat coordinate arrays.  The RNG draw sequence — one cell
+        draw, up to four target draws, one acceptance draw for uphill
+        moves — matches the original implementation exactly, as do the
+        integer cost deltas, keeping placements reproducible across the
+        rewrite (pinned by the P&R equivalence tests).
+        """
+        rng = self.rng
+        getrandbits = rng.getrandbits
+        size = self._size
+        cell = getrandbits(self._size_bits)
+        while cell >= size:
+            cell = getrandbits(self._size_bits)
+        pool_x, pool_y, n_pool, pool_bits = \
+            self._kind_pools[self.cell_kinds[cell]]
+        if n_pool < 2:
             return None
-        source = self.loc[cell]
+        loc_x, loc_y = self.loc_x, self.loc_y
+        sx = loc_x[cell]
+        sy = loc_y[cell]
         for _ in range(4):   # find a target inside the window
-            target = pool[self.rng.randrange(len(pool))]
-            if (abs(target.x - source.x) <= window
-                    and abs(target.y - source.y) <= window
-                    and (target.x, target.y) != (source.x, source.y)):
+            j = getrandbits(pool_bits)
+            while j >= n_pool:
+                j = getrandbits(pool_bits)
+            tx = pool_x[j]
+            ty = pool_y[j]
+            if (-window <= tx - sx <= window
+                    and -window <= ty - sy <= window
+                    and (tx != sx or ty != sy)):
                 break
         else:
             return None
-        other = self.occupant.get((target.x, target.y))
+        height = self.height
+        occupant = self.occupant
+        skey = sx * height + sy
+        tkey = tx * height + ty
+        other = occupant.get(tkey)
 
-        affected = set(self.cell_nets[cell])
+        cell_nets = self.cell_nets
         if other is not None:
-            affected |= set(self.cell_nets[other])
-        before = sum(net_cost[i] for i in affected)
+            merged = set(cell_nets[cell])
+            merged.update(cell_nets[other])
+            affected: List[int] = list(merged)
+        else:
+            affected = cell_nets[cell]
+        before = 0
+        for i in affected:
+            before += net_cost[i]
 
         # tentatively apply
-        self.loc[cell] = target
-        self.occupant[(target.x, target.y)] = cell
+        loc_x[cell] = tx
+        loc_y[cell] = ty
+        occupant[tkey] = cell
         if other is not None:
-            self.loc[other] = source
-            self.occupant[(source.x, source.y)] = other
+            loc_x[other] = sx
+            loc_y[other] = sy
+            occupant[skey] = other
         else:
-            del self.occupant[(source.x, source.y)]
+            del occupant[skey]
 
-        after = {i: self._net_hpwl(i) for i in affected}
-        delta = sum(after.values()) - before
-        if delta <= 0 or self.rng.random() < math.exp(
+        net_pins = self.net_pins
+        after: List[int] = []
+        total_after = 0
+        for i in affected:
+            pins = net_pins[i]
+            if len(pins) == 2:
+                a, b = pins
+                ax, bx = loc_x[a], loc_x[b]
+                ay, by = loc_y[a], loc_y[b]
+                value = ((ax - bx if ax >= bx else bx - ax)
+                         + (ay - by if ay >= by else by - ay))
+            else:
+                xs = [loc_x[p] for p in pins]
+                ys = [loc_y[p] for p in pins]
+                value = (max(xs) - min(xs)) + (max(ys) - min(ys))
+            after.append(value)
+            total_after += value
+        delta = total_after - before
+        if delta <= 0 or rng.random() < math.exp(
                 -delta / max(temperature, 1e-9)):
-            for i, value in after.items():
+            for i, value in zip(affected, after):
                 net_cost[i] = value
             return delta
         # revert
-        self.loc[cell] = source
-        self.occupant[(source.x, source.y)] = cell
+        loc_x[cell] = sx
+        loc_y[cell] = sy
+        occupant[skey] = cell
         if other is not None:
-            self.loc[other] = target
-            self.occupant[(target.x, target.y)] = other
+            loc_x[other] = tx
+            loc_y[other] = ty
+            occupant[tkey] = other
         else:
-            del self.occupant[(target.x, target.y)]
+            del occupant[tkey]
         return None

@@ -84,6 +84,21 @@ class _PathFinder:
         self.present = [0] * size          # current wires used per node
         self.history = [0.0] * size        # accumulated congestion cost
         self.expansions = 0
+        # Static neighbour table for the maze search: node index ->
+        # ((neighbour, neighbour_index, nx, ny), ...) in the fixed
+        # east/west/north/south order, bounds pre-checked.  Heap entries
+        # keep (x, y) tuple nodes so tie ordering is unchanged.
+        width, height = self.width, self.height
+        neighbours: List[Tuple[Tuple[Tuple[int, int], int, int, int], ...]] = []
+        for x in range(width):
+            for y in range(height):
+                entries = []
+                for nx, ny in ((x + 1, y), (x - 1, y),
+                               (x, y + 1), (x, y - 1)):
+                    if 0 <= nx < width and 0 <= ny < height:
+                        entries.append(((nx, ny), nx * height + ny, nx, ny))
+                neighbours.append(tuple(entries))
+        self._neighbours = neighbours
 
     def _node(self, x: int, y: int) -> int:
         return x * self.height + y
@@ -117,51 +132,64 @@ class _PathFinder:
         history pricing still penalises it next iteration).
         """
         sx, sy = sink
+        capacity = self.capacity
+        present = self.present
+        history = self.history
+        height = self.height
+        neighbours = self._neighbours
+        push = heapq.heappush
+        pop = heapq.heappop
         frontier: List[Tuple[float, float, Tuple[int, int],
                              Optional[Tuple[int, int]]]] = []
-        came: Dict[Tuple[int, int], Optional[Tuple[int, int]]] = {}
+        # Visited map keyed by packed node index (a bijection with the
+        # (x, y) tuples, so membership semantics are unchanged); heap
+        # entries and the returned path keep the tuples.
+        came: Dict[int, Optional[Tuple[int, int]]] = {}
         budget = EXPANSION_BUDGET_FACTOR * max(
-            self.width + self.height,
+            self.width + height,
             min(abs(n[0] - sx) + abs(n[1] - sy) for n in sources) + 8)
         for node in sources:
             estimate = (abs(node[0] - sx) + abs(node[1] - sy)) \
                 * ASTAR_FACTOR
-            heapq.heappush(frontier, (estimate, 0.0, node, None))
+            push(frontier, (estimate, 0.0, node, None))
         spent = 0
         while frontier:
-            _f, neg_cost, node, parent = heapq.heappop(frontier)
-            cost = -neg_cost
-            if node in came:
+            entry = pop(frontier)
+            node = entry[2]
+            node_index = node[0] * height + node[1]
+            if node_index in came:
                 continue
-            came[node] = parent
-            self.expansions += 1
+            came[node_index] = entry[3]
             spent += 1
             if node == sink:
+                self.expansions += spent
                 path = []
                 cursor: Optional[Tuple[int, int]] = node
                 while cursor is not None and cursor not in sources:
                     path.append(cursor)
-                    cursor = came[cursor]
+                    cursor = came[cursor[0] * height + cursor[1]]
                 path.reverse()
                 return path
             if spent > budget:
+                self.expansions += spent
                 return self._l_route(sources, sink)
-            x, y = node
-            for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
-                if not (0 <= nx < self.width and 0 <= ny < self.height):
+            cost = -entry[1]
+            for neighbour, index, nx, ny in neighbours[node_index]:
+                if index in came:
                     continue
-                neighbour = (nx, ny)
-                if neighbour in came:
-                    continue
-                index = self._node(nx, ny)
-                congestion = max(0, self.present[index] + 1 - self.capacity)
+                congestion = present[index] + 1 - capacity
+                if congestion < 0:
+                    congestion = 0
+                # Float grouping matters: node_cost is summed first,
+                # then added to cost, exactly as before the rewrite.
                 node_cost = (1.0
                              + present_factor * congestion
-                             + self.history[index])
+                             + history[index])
                 ncost = cost + node_cost
                 estimate = (abs(nx - sx) + abs(ny - sy)) * ASTAR_FACTOR
-                heapq.heappush(frontier, (ncost + estimate, -ncost,
-                                          neighbour, node))
+                push(frontier, (ncost + estimate, -ncost,
+                                neighbour, node))
+        self.expansions += spent
         raise PnRError(f"unroutable net to sink {sink}")
 
     def _blind_net(self, pins: List[Tuple[int, int]]
@@ -226,9 +254,11 @@ class _PathFinder:
                 # Terminal nodes reach the net through dedicated pin
                 # wires and do not consume channel capacity.
                 terminals = set(pins)
+                present = self.present
+                height = self.height
                 for node in path:
                     if node not in terminals:
-                        self.present[self._node(*node)] += 1
+                        present[node[0] * height + node[1]] += 1
             overused = [i for i, used in enumerate(self.present)
                         if used > self.capacity]
             if not overused:

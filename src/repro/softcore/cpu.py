@@ -130,127 +130,19 @@ class PicoRV32:
             raise SoftcoreError("stepping a halted core")
         self._check_mem(self.pc, 4)
         word_addr = self.pc
-        instr = self._decode_cache.get(word_addr)
-        if instr is None:
+        entry = self._decode_cache.get(word_addr)
+        if entry is None:
             instr = decode(self._read_word(word_addr))
-            self._decode_cache[word_addr] = instr
-        request = self._execute(instr)
+            entry = (instr, _HANDLERS.get(instr.mnemonic, _h_unknown))
+            self._decode_cache[word_addr] = entry
+        request = entry[1](self, entry[0])
         self.regs[0] = 0
         self.instructions_retired += 1
         return request
 
     def _execute(self, i: Instruction):
-        m = i.mnemonic
-        regs = self.regs
-        next_pc = self.pc + 4
-        self.cycles += self.cycle_table["alu"]      # default; adjusted below
-
-        if m == "addi":
-            regs[i.rd] = (regs[i.rs1] + i.imm) & _M32
-        elif m == "add":
-            regs[i.rd] = (regs[i.rs1] + regs[i.rs2]) & _M32
-        elif m == "sub":
-            regs[i.rd] = (regs[i.rs1] - regs[i.rs2]) & _M32
-        elif m == "lui":
-            regs[i.rd] = (i.imm << 12) & _M32
-        elif m == "auipc":
-            regs[i.rd] = (self.pc + (i.imm << 12)) & _M32
-        elif m in ("andi", "and"):
-            other = i.imm if m == "andi" else regs[i.rs2]
-            regs[i.rd] = (regs[i.rs1] & other) & _M32
-        elif m in ("ori", "or"):
-            other = i.imm if m == "ori" else regs[i.rs2]
-            regs[i.rd] = (regs[i.rs1] | other) & _M32
-        elif m in ("xori", "xor"):
-            other = i.imm if m == "xori" else regs[i.rs2]
-            regs[i.rd] = (regs[i.rs1] ^ other) & _M32
-        elif m in ("slli", "sll"):
-            amount = i.imm if m == "slli" else regs[i.rs2] & 31
-            regs[i.rd] = (regs[i.rs1] << amount) & _M32
-        elif m in ("srli", "srl"):
-            amount = i.imm if m == "srli" else regs[i.rs2] & 31
-            regs[i.rd] = regs[i.rs1] >> amount
-        elif m in ("srai", "sra"):
-            amount = i.imm if m == "srai" else regs[i.rs2] & 31
-            regs[i.rd] = (_s32(regs[i.rs1]) >> amount) & _M32
-        elif m in ("slti", "slt"):
-            other = i.imm if m == "slti" else _s32(regs[i.rs2])
-            regs[i.rd] = int(_s32(regs[i.rs1]) < other)
-        elif m in ("sltiu", "sltu"):
-            other = (i.imm & _M32) if m == "sltiu" else regs[i.rs2]
-            regs[i.rd] = int(regs[i.rs1] < other)
-        elif m == "mul":
-            self.cycles += self.cycle_table["mul"] - self.cycle_table["alu"]
-            regs[i.rd] = (_s32(regs[i.rs1]) * _s32(regs[i.rs2])) & _M32
-        elif m == "mulh":
-            self.cycles += self.cycle_table["mul"] - self.cycle_table["alu"]
-            regs[i.rd] = ((_s32(regs[i.rs1]) * _s32(regs[i.rs2])) >> 32) \
-                & _M32
-        elif m == "mulhu":
-            self.cycles += self.cycle_table["mul"] - self.cycle_table["alu"]
-            regs[i.rd] = ((regs[i.rs1] * regs[i.rs2]) >> 32) & _M32
-        elif m == "mulhsu":
-            self.cycles += self.cycle_table["mul"] - self.cycle_table["alu"]
-            regs[i.rd] = ((_s32(regs[i.rs1]) * regs[i.rs2]) >> 32) & _M32
-        elif m in ("div", "divu", "rem", "remu"):
-            self.cycles += self.cycle_table["div"] - self.cycle_table["alu"]
-            regs[i.rd] = self._divide(m, regs[i.rs1], regs[i.rs2])
-        elif m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
-            taken = self._branch_taken(m, regs[i.rs1], regs[i.rs2])
-            if taken:
-                self.cycles += self.cycle_table["branch"] - self.cycle_table["alu"]
-                next_pc = self.pc + i.imm
-            else:
-                self.cycles += self.cycle_table["branch_not_taken"] - self.cycle_table["alu"]
-        elif m == "jal":
-            self.cycles += self.cycle_table["jump"] - self.cycle_table["alu"]
-            regs[i.rd] = next_pc & _M32
-            next_pc = self.pc + i.imm
-        elif m == "jalr":
-            self.cycles += self.cycle_table["jump"] - self.cycle_table["alu"]
-            target = (regs[i.rs1] + i.imm) & ~1 & _M32
-            regs[i.rd] = next_pc & _M32
-            next_pc = target
-        elif m in ("lw", "lh", "lhu", "lb", "lbu"):
-            self.cycles += self.cycle_table["load"] - self.cycle_table["alu"]
-            addr = (regs[i.rs1] + i.imm) & _M32
-            if STREAM_READ_BASE <= addr < STREAM_READ_BASE + 1024:
-                port = (addr - STREAM_READ_BASE) // 4
-                self.pc = next_pc
-                return ("read", port, i.rd)
-            regs[i.rd] = self._load(m, addr)
-        elif m in ("sw", "sh", "sb"):
-            self.cycles += self.cycle_table["store"] - self.cycle_table["alu"]
-            addr = (regs[i.rs1] + i.imm) & _M32
-            if STREAM_WRITE_BASE <= addr < STREAM_WRITE_BASE + 1024:
-                port = (addr - STREAM_WRITE_BASE) // 4
-                self.pc = next_pc
-                return ("write", port, regs[i.rs2] & _M32)
-            self._store(m, addr, regs[i.rs2])
-        elif m == "ebreak":
-            self.cycles += self.cycle_table["system"] - self.cycle_table["alu"]
-            self.halted = True
-        elif m == "ecall":
-            self.cycles += self.cycle_table["system"] - self.cycle_table["alu"]
-        else:  # pragma: no cover - decode() is closed over the ISA
-            raise TrapError(f"unimplemented {m}", pc=self.pc)
-
-        self.pc = next_pc
-        return None
-
-    @staticmethod
-    def _branch_taken(m: str, a: int, b: int) -> bool:
-        if m == "beq":
-            return a == b
-        if m == "bne":
-            return a != b
-        if m == "blt":
-            return _s32(a) < _s32(b)
-        if m == "bge":
-            return _s32(a) >= _s32(b)
-        if m == "bltu":
-            return a < b
-        return a >= b                     # bgeu
+        """Execute one decoded instruction (dispatch table)."""
+        return _HANDLERS.get(i.mnemonic, _h_unknown)(self, i)
 
     @staticmethod
     def _divide(m: str, a: int, b: int) -> int:
@@ -374,3 +266,302 @@ class PicoRV32:
                     self.cycles += 1
             if not in_ports:
                 return                    # source operators run once
+
+
+# -- instruction dispatch ----------------------------------------------------
+#
+# One handler per mnemonic, bound into the decode cache alongside the
+# decoded instruction: executing an already-seen pc is a dict hit plus a
+# direct call, with no mnemonic comparisons on the hot path.  Each
+# handler charges its own cycle class (the totals match the previous
+# base-cost-plus-adjustment accounting exactly) and advances pc.
+
+def _h_unknown(cpu, i):  # pragma: no cover - decode() is closed over the ISA
+    raise TrapError(f"unimplemented {i.mnemonic}", pc=cpu.pc)
+
+
+def _h_addi(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = (r[i.rs1] + i.imm) & _M32
+    cpu.pc += 4
+
+
+def _h_add(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = (r[i.rs1] + r[i.rs2]) & _M32
+    cpu.pc += 4
+
+
+def _h_sub(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = (r[i.rs1] - r[i.rs2]) & _M32
+    cpu.pc += 4
+
+
+def _h_lui(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    cpu.regs[i.rd] = (i.imm << 12) & _M32
+    cpu.pc += 4
+
+
+def _h_auipc(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    cpu.regs[i.rd] = (cpu.pc + (i.imm << 12)) & _M32
+    cpu.pc += 4
+
+
+def _h_andi(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = (r[i.rs1] & i.imm) & _M32
+    cpu.pc += 4
+
+
+def _h_and(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = r[i.rs1] & r[i.rs2]
+    cpu.pc += 4
+
+
+def _h_ori(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = (r[i.rs1] | i.imm) & _M32
+    cpu.pc += 4
+
+
+def _h_or(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = r[i.rs1] | r[i.rs2]
+    cpu.pc += 4
+
+
+def _h_xori(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = (r[i.rs1] ^ i.imm) & _M32
+    cpu.pc += 4
+
+
+def _h_xor(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = r[i.rs1] ^ r[i.rs2]
+    cpu.pc += 4
+
+
+def _h_slli(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = (r[i.rs1] << i.imm) & _M32
+    cpu.pc += 4
+
+
+def _h_sll(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = (r[i.rs1] << (r[i.rs2] & 31)) & _M32
+    cpu.pc += 4
+
+
+def _h_srli(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = r[i.rs1] >> i.imm
+    cpu.pc += 4
+
+
+def _h_srl(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = r[i.rs1] >> (r[i.rs2] & 31)
+    cpu.pc += 4
+
+
+def _h_srai(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = (_s32(r[i.rs1]) >> i.imm) & _M32
+    cpu.pc += 4
+
+
+def _h_sra(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = (_s32(r[i.rs1]) >> (r[i.rs2] & 31)) & _M32
+    cpu.pc += 4
+
+
+def _h_slti(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = int(_s32(r[i.rs1]) < i.imm)
+    cpu.pc += 4
+
+
+def _h_slt(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = int(_s32(r[i.rs1]) < _s32(r[i.rs2]))
+    cpu.pc += 4
+
+
+def _h_sltiu(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = int(r[i.rs1] < (i.imm & _M32))
+    cpu.pc += 4
+
+
+def _h_sltu(cpu, i):
+    cpu.cycles += cpu.cycle_table["alu"]
+    r = cpu.regs
+    r[i.rd] = int(r[i.rs1] < r[i.rs2])
+    cpu.pc += 4
+
+
+def _h_mul(cpu, i):
+    cpu.cycles += cpu.cycle_table["mul"]
+    r = cpu.regs
+    r[i.rd] = (_s32(r[i.rs1]) * _s32(r[i.rs2])) & _M32
+    cpu.pc += 4
+
+
+def _h_mulh(cpu, i):
+    cpu.cycles += cpu.cycle_table["mul"]
+    r = cpu.regs
+    r[i.rd] = ((_s32(r[i.rs1]) * _s32(r[i.rs2])) >> 32) & _M32
+    cpu.pc += 4
+
+
+def _h_mulhu(cpu, i):
+    cpu.cycles += cpu.cycle_table["mul"]
+    r = cpu.regs
+    r[i.rd] = ((r[i.rs1] * r[i.rs2]) >> 32) & _M32
+    cpu.pc += 4
+
+
+def _h_mulhsu(cpu, i):
+    cpu.cycles += cpu.cycle_table["mul"]
+    r = cpu.regs
+    r[i.rd] = ((_s32(r[i.rs1]) * r[i.rs2]) >> 32) & _M32
+    cpu.pc += 4
+
+
+def _make_div(mnemonic):
+    def handler(cpu, i):
+        cpu.cycles += cpu.cycle_table["div"]
+        r = cpu.regs
+        r[i.rd] = cpu._divide(mnemonic, r[i.rs1], r[i.rs2])
+        cpu.pc += 4
+    return handler
+
+
+def _make_branch(compare):
+    def handler(cpu, i):
+        r = cpu.regs
+        if compare(r[i.rs1], r[i.rs2]):
+            cpu.cycles += cpu.cycle_table["branch"]
+            cpu.pc += i.imm
+        else:
+            cpu.cycles += cpu.cycle_table["branch_not_taken"]
+            cpu.pc += 4
+    return handler
+
+
+def _h_jal(cpu, i):
+    cpu.cycles += cpu.cycle_table["jump"]
+    pc = cpu.pc
+    cpu.regs[i.rd] = (pc + 4) & _M32
+    cpu.pc = pc + i.imm
+
+
+def _h_jalr(cpu, i):
+    cpu.cycles += cpu.cycle_table["jump"]
+    r = cpu.regs
+    target = (r[i.rs1] + i.imm) & ~1 & _M32
+    r[i.rd] = (cpu.pc + 4) & _M32
+    cpu.pc = target
+
+
+def _h_lw(cpu, i):
+    cpu.cycles += cpu.cycle_table["load"]
+    addr = (cpu.regs[i.rs1] + i.imm) & _M32
+    if STREAM_READ_BASE <= addr < STREAM_READ_BASE + 1024:
+        cpu.pc += 4
+        return ("read", (addr - STREAM_READ_BASE) // 4, i.rd)
+    cpu._check_mem(addr, 4)
+    cpu.regs[i.rd] = int.from_bytes(cpu.memory[addr:addr + 4], "little")
+    cpu.pc += 4
+
+
+def _make_load(mnemonic):
+    def handler(cpu, i):
+        cpu.cycles += cpu.cycle_table["load"]
+        addr = (cpu.regs[i.rs1] + i.imm) & _M32
+        if STREAM_READ_BASE <= addr < STREAM_READ_BASE + 1024:
+            cpu.pc += 4
+            return ("read", (addr - STREAM_READ_BASE) // 4, i.rd)
+        cpu.regs[i.rd] = cpu._load(mnemonic, addr)
+        cpu.pc += 4
+    return handler
+
+
+def _make_store(mnemonic):
+    def handler(cpu, i):
+        cpu.cycles += cpu.cycle_table["store"]
+        r = cpu.regs
+        addr = (r[i.rs1] + i.imm) & _M32
+        if STREAM_WRITE_BASE <= addr < STREAM_WRITE_BASE + 1024:
+            cpu.pc += 4
+            return ("write", (addr - STREAM_WRITE_BASE) // 4,
+                    r[i.rs2] & _M32)
+        cpu._store(mnemonic, addr, r[i.rs2])
+        cpu.pc += 4
+    return handler
+
+
+def _h_ebreak(cpu, i):
+    cpu.cycles += cpu.cycle_table["system"]
+    cpu.halted = True
+    cpu.pc += 4
+
+
+def _h_ecall(cpu, i):
+    cpu.cycles += cpu.cycle_table["system"]
+    cpu.pc += 4
+
+
+_HANDLERS = {
+    "addi": _h_addi, "add": _h_add, "sub": _h_sub,
+    "lui": _h_lui, "auipc": _h_auipc,
+    "andi": _h_andi, "and": _h_and,
+    "ori": _h_ori, "or": _h_or,
+    "xori": _h_xori, "xor": _h_xor,
+    "slli": _h_slli, "sll": _h_sll,
+    "srli": _h_srli, "srl": _h_srl,
+    "srai": _h_srai, "sra": _h_sra,
+    "slti": _h_slti, "slt": _h_slt,
+    "sltiu": _h_sltiu, "sltu": _h_sltu,
+    "mul": _h_mul, "mulh": _h_mulh,
+    "mulhu": _h_mulhu, "mulhsu": _h_mulhsu,
+    "div": _make_div("div"), "divu": _make_div("divu"),
+    "rem": _make_div("rem"), "remu": _make_div("remu"),
+    "beq": _make_branch(lambda a, b: a == b),
+    "bne": _make_branch(lambda a, b: a != b),
+    "blt": _make_branch(lambda a, b: _s32(a) < _s32(b)),
+    "bge": _make_branch(lambda a, b: _s32(a) >= _s32(b)),
+    "bltu": _make_branch(lambda a, b: a < b),
+    "bgeu": _make_branch(lambda a, b: a >= b),
+    "jal": _h_jal, "jalr": _h_jalr,
+    "lw": _h_lw, "lh": _make_load("lh"), "lhu": _make_load("lhu"),
+    "lb": _make_load("lb"), "lbu": _make_load("lbu"),
+    "sw": _make_store("sw"), "sh": _make_store("sh"),
+    "sb": _make_store("sb"),
+    "ebreak": _h_ebreak, "ecall": _h_ecall,
+}
