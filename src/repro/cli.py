@@ -49,11 +49,15 @@ FLOWS = {
 
 
 def _flow(name: str, effort: float):
+    # Look the class up first, construct outside the handler: a
+    # KeyError raised inside a flow's __init__ is a real bug and must
+    # propagate, not be misreported as "unknown flow".
     try:
-        return FLOWS[name](effort=effort)
+        cls = FLOWS[name]
     except KeyError:
         raise SystemExit(f"unknown flow {name!r}; choose from "
                          f"{sorted(FLOWS)}")
+    return cls(effort=effort)
 
 
 def _app(name: str):
@@ -70,7 +74,23 @@ def cmd_apps(_args) -> int:
     return 0
 
 
-def _engine(args) -> BuildEngine:
+def _tracer(args):
+    """A live tracer when ``--trace FILE`` was given, else None."""
+    if getattr(args, "trace", None):
+        from repro.trace import Tracer
+        return Tracer()
+    return None
+
+
+def _write_trace(tracer, args) -> None:
+    if tracer is not None and getattr(args, "trace", None):
+        tracer.write_chrome_trace(args.trace)
+        print(f"wrote trace {args.trace} "
+              f"({len(tracer)} events; view with 'pld trace "
+              f"{args.trace}' or load into Perfetto)")
+
+
+def _engine(args, tracer=None) -> BuildEngine:
     """A build engine, persistent when ``--cache-dir`` was given and
     process-parallel when ``--workers`` asks for more than one."""
     cache = None
@@ -81,13 +101,15 @@ def _engine(args) -> BuildEngine:
     workers = getattr(args, "workers", None)
     if workers is not None and workers > 1:
         from repro.core import ParallelBuildEngine
-        return ParallelBuildEngine(cache=cache, workers=workers)
-    return BuildEngine(cache=cache)
+        return ParallelBuildEngine(cache=cache, workers=workers,
+                                   tracer=tracer)
+    return BuildEngine(cache=cache, tracer=tracer)
 
 
 def cmd_compile(args) -> int:
     app = _app(args.app)
-    engine = _engine(args)
+    tracer = _tracer(args)
+    engine = _engine(args, tracer)
     try:
         build = _flow(args.flow, args.effort).compile(app.project, engine)
     finally:
@@ -118,6 +140,7 @@ def cmd_compile(args) -> int:
     if args.out:
         written = build.write_artifacts(args.out)
         print(f"wrote {len(written)} artefacts to {args.out}")
+    _write_trace(tracer, args)
     return 0
 
 
@@ -128,9 +151,11 @@ def cmd_edit(args) -> int:
     from repro.store import ArtifactStore
 
     app = _app(args.app)
+    tracer = _tracer(args)
     store = ArtifactStore(cache_dir=args.cache_dir) \
         if args.cache_dir else ArtifactStore()
-    session = IncrementalSession(store=store, effort=args.effort)
+    session = IncrementalSession(store=store, effort=args.effort,
+                                 tracer=tracer)
     build = session.compile(app.project)
     print(f"baseline: {build.describe()}; "
           f"{len(build.recompiled_pages)} page(s) rebuilt")
@@ -147,7 +172,7 @@ def cmd_edit(args) -> int:
     if op is None:
         raise SystemExit(f"no operator {operator!r} in {args.app}")
 
-    host = HostProgram(build)
+    host = HostProgram(build, tracer=tracer)
     host.configure()
     result = session.apply_edit(operator, touch_spec(op.hls_spec),
                                 op.sample_spec)
@@ -155,14 +180,22 @@ def cmd_edit(args) -> int:
     print(format_incremental_report(result))
     if args.timeline:
         print(host.timeline.summarize())
+    _write_trace(tracer, args)
     return 0
 
 
 def cmd_run(args) -> int:
     app = _app(args.app)
-    build = _flow(args.flow, args.effort).compile(app.project,
-                                                  BuildEngine())
-    host = HostProgram(build)
+    tracer = _tracer(args)
+    engine = _engine(args, tracer)
+    try:
+        build = _flow(args.flow, args.effort).compile(app.project,
+                                                      engine)
+    finally:
+        close = getattr(engine, "close", None)
+        if callable(close):
+            close()
+    host = HostProgram(build, tracer=tracer)
     outputs = host.run(app.project.sample_inputs)
     for name, tokens in outputs.items():
         preview = tokens[:8]
@@ -170,33 +203,52 @@ def cmd_run(args) -> int:
         print(f"{name}: {len(tokens)} tokens {preview}{suffix}")
     if args.timeline:
         print(host.timeline.summarize())
+    _write_trace(tracer, args)
     return 0
 
 
 def cmd_tables(args) -> int:
     from repro.rosetta import all_apps
     chosen = args.apps.split(",") if args.apps else None
-    engine = BuildEngine()
+    engine = _engine(args)
     builds: Dict[str, Dict[str, object]] = {}
-    for name, app in all_apps().items():
-        if chosen and name not in chosen:
-            continue
-        builds[name] = {
-            "Vitis": VitisFlow(effort=args.effort).compile(app.project,
-                                                           engine),
-            "PLD -O3": O3Flow(effort=args.effort).compile(app.project,
-                                                          engine),
-            "PLD -O1": O1Flow(effort=args.effort).compile(app.project,
-                                                          engine),
-            "PLD -O0": O0Flow(effort=args.effort).compile(app.project,
-                                                          engine),
-        }
+    try:
+        for name, app in all_apps().items():
+            if chosen and name not in chosen:
+                continue
+            builds[name] = {
+                "Vitis": VitisFlow(effort=args.effort).compile(
+                    app.project, engine),
+                "PLD -O3": O3Flow(effort=args.effort).compile(
+                    app.project, engine),
+                "PLD -O1": O1Flow(effort=args.effort).compile(
+                    app.project, engine),
+                "PLD -O0": O0Flow(effort=args.effort).compile(
+                    app.project, engine),
+            }
+    finally:
+        close = getattr(engine, "close", None)
+        if callable(close):
+            close()
     print("== compile time (Tab. 2) ==")
     print(format_compile_table(builds))
     print("\n== performance (Tab. 3) ==")
     print(format_performance_table(builds))
     print("\n== area (Tab. 4) ==")
     print(format_area_table(builds))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Render a saved Chrome trace-event file as a text tree."""
+    from repro.trace import format_trace_tree, load_chrome_trace
+    try:
+        data = load_chrome_trace(args.file)
+    except FileNotFoundError:
+        raise SystemExit(f"no such trace file: {args.file}")
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(format_trace_tree(data))
     return 0
 
 
@@ -245,6 +297,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="run independent build steps on this "
                                 "many worker processes (modeled compile "
                                 "times are unchanged)")
+    compile_p.add_argument("--trace", metavar="FILE", default=None,
+                           help="write a Chrome trace-event JSON of "
+                                "the build (build steps, cluster node "
+                                "lanes, flow phases)")
 
     edit_p = sub.add_parser(
         "edit", help="demo the incremental edit-compile-reload loop")
@@ -257,6 +313,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "'compile'")
     edit_p.add_argument("--timeline", action="store_true",
                         help="print the host reload timeline")
+    edit_p.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace-event JSON of the "
+                             "cold compile + warm edit + reload")
 
     run_p = sub.add_parser("run", help="compile + load + execute one app")
     run_p.add_argument("app")
@@ -264,14 +323,34 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--effort", type=float, default=0.3)
     run_p.add_argument("--timeline", action="store_true",
                        help="print the host configuration/run timeline")
+    run_p.add_argument("--cache-dir", default=None,
+                       help="persistent artifact store shared with "
+                            "'compile'")
+    run_p.add_argument("--workers", "-j", type=int, default=None,
+                       help="run independent build steps on this many "
+                            "worker processes")
+    run_p.add_argument("--trace", metavar="FILE", default=None,
+                       help="write a Chrome trace-event JSON of the "
+                            "compile + configure + run")
 
     tables_p = sub.add_parser("tables",
                               help="regenerate Tab. 2/3/4 for apps")
     tables_p.add_argument("--apps", default=None,
                           help="comma-separated subset")
     tables_p.add_argument("--effort", type=float, default=0.3)
+    tables_p.add_argument("--cache-dir", default=None,
+                          help="persistent artifact store shared with "
+                               "'compile'")
+    tables_p.add_argument("--workers", "-j", type=int, default=None,
+                          help="run independent build steps on this "
+                               "many worker processes")
 
     sub.add_parser("floorplan", help="print the page floorplan")
+
+    trace_p = sub.add_parser(
+        "trace", help="render a saved --trace file as a text tree")
+    trace_p.add_argument("file", help="Chrome trace-event JSON written "
+                                      "by a --trace run")
 
     bench_p = sub.add_parser(
         "bench", help="run the tracked benchmark suite "
@@ -298,6 +377,7 @@ def main(argv: Optional[list] = None) -> int:
         "tables": cmd_tables,
         "floorplan": cmd_floorplan,
         "bench": cmd_bench,
+        "trace": cmd_trace,
     }[args.command]
     try:
         return handler(args)

@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import BuildError
 from repro.hls.ir import Block, If, Instr, Loop, OperatorSpec, Value
+from repro.trace import NULL_TRACER
 
 
 def _stable(obj) -> object:
@@ -184,11 +185,17 @@ class BuildEngine:
     contract: the in-memory :class:`BuildCache` (default) or a
     persistent :class:`repro.store.ArtifactStore`, which makes cache
     hits survive across processes.
+
+    ``tracer`` is an optional :class:`repro.trace.Tracer`: every step
+    then becomes a wall-clock span (cache hits become instants) on the
+    ``build`` lane, and the flows pick the tracer up from the engine to
+    trace their own phases and cluster schedules.
     """
 
-    def __init__(self, cache=None):
+    def __init__(self, cache=None, tracer=None):
         self.cache = cache if cache is not None else BuildCache()
         self.record = BuildRecord()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def step(self, name: str, key_parts: Tuple, builder: Callable[[], Any]):
         key = content_key(name, *key_parts)
@@ -196,10 +203,14 @@ class BuildEngine:
         artefact = self.cache.get(key)
         if artefact is not None:
             self.record.reused.append(name)
+            self.tracer.instant(name, category="build", lane="build",
+                                cache="hit", key=key)
             return artefact
-        start = time.perf_counter()
-        artefact = builder()
-        self.record.build_seconds[name] = time.perf_counter() - start
+        with self.tracer.span(name, category="build", lane="build",
+                              cache="miss", key=key):
+            start = time.perf_counter()
+            artefact = builder()
+            self.record.build_seconds[name] = time.perf_counter() - start
         if artefact is None:
             raise BuildError(f"builder for {name!r} returned None")
         self.cache.put(key, artefact)

@@ -27,6 +27,7 @@ from typing import Dict, List, Tuple
 
 from repro.errors import FlowError
 from repro.pnr.compile_model import StageTimes
+from repro.trace import MODELED, NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -87,20 +88,28 @@ class CompileCluster:
     max_attempts: int = 3
     backoff_base_seconds: float = 30.0
 
-    def schedule(self, jobs: List[Job], faults=None) -> ClusterSchedule:
+    def schedule(self, jobs: List[Job], faults=None,
+                 tracer=None) -> ClusterSchedule:
         """LPT list-schedule jobs; returns the makespan.
 
         With a fault injector, each attempt may crash, hang until the
         per-job timeout, or take its node down; retries (with
         exponential backoff) are charged into the makespan.  Jobs whose
         retries exhaust land in :attr:`ClusterSchedule.failed`.
+
+        With a :class:`repro.trace.Tracer`, every job becomes a span on
+        its node's lane of the modeled clock; retried jobs additionally
+        carry per-attempt and backoff child spans, and a lost node is
+        marked with an instant event.
         """
         if self.nodes < 1:
             raise FlowError("cluster needs at least one node")
         if self.max_attempts < 1:
             raise FlowError("cluster needs at least one attempt per job")
+        tracer = tracer if tracer is not None else NULL_TRACER
         if not jobs:
             return ClusterSchedule(0.0, {}, StageTimes(), 0.0)
+        trace_base = tracer.modeled_time()
         ordered = sorted(jobs, key=lambda j: -j.seconds)
         heap: List[Tuple[float, int]] = [(0.0, node)
                                          for node in range(self.nodes)]
@@ -111,19 +120,43 @@ class CompileCluster:
         lost_nodes: List[int] = []
         retry_seconds = 0.0
 
+        def emit_segment(job: Job, node: int, seg_start: float,
+                         seg_end: float, children: List[Tuple],
+                         n_attempts: int, outcome: str) -> None:
+            """One job span on its node lane (+ retry/backoff children)."""
+            if not tracer.enabled or seg_end <= seg_start:
+                return
+            lane = f"node{node}"
+            tracer.modeled_span(
+                f"job:{job.name}", trace_base + seg_start,
+                seg_end - seg_start, category="cluster", lane=lane,
+                attempts=n_attempts, outcome=outcome)
+            if len(children) > 1:
+                for kind, start, duration, attrs in children:
+                    tracer.modeled_span(
+                        f"{kind}:{job.name}", trace_base + start,
+                        duration, category="cluster", lane=lane, **attrs)
+
         for job in ordered:
             if not heap:
                 raise FlowError(
                     f"all {self.nodes} compile nodes failed; cannot "
                     f"schedule job {job.name!r}")
             busy_until, node = heapq.heappop(heap)
+            seg_start = busy_until
+            children: List[Tuple] = []
             attempt = 0
             while True:
                 attempt += 1
+                attempt_start = busy_until
                 outcome, fraction = ("ok", 1.0) if faults is None else \
                     faults.attempt_outcome(job.name, attempt)
                 if outcome == "ok":
                     busy_until += job.seconds
+                    children.append(("attempt", attempt_start,
+                                     job.seconds,
+                                     {"attempt": attempt,
+                                      "outcome": "ok"}))
                     break
                 if outcome == "timeout":
                     wasted = min(job.seconds * 2, self.job_timeout_seconds)
@@ -135,30 +168,48 @@ class CompileCluster:
                         f"{outcome!r} for job {job.name!r}")
                 busy_until += wasted
                 retry_seconds += wasted
+                children.append(("attempt", attempt_start, wasted,
+                                 {"attempt": attempt, "outcome": outcome}))
                 if outcome == "node":
                     # The node died under the job: retire it and move the
                     # job to the next node that frees up (no backoff —
                     # the reschedule is immediate, just possibly queued).
                     lost_nodes.append(node)
+                    emit_segment(job, node, seg_start, busy_until,
+                                 children, attempt, "node-lost")
+                    if tracer.enabled:
+                        tracer.instant(
+                            f"node-lost:node{node}", category="cluster",
+                            lane=f"node{node}", clock=MODELED,
+                            ts=trace_base + busy_until, job=job.name)
                     if not heap:
                         raise FlowError(
                             f"all {self.nodes} compile nodes failed "
                             f"while retrying job {job.name!r}")
                     next_free, node = heapq.heappop(heap)
                     busy_until = max(busy_until, next_free)
+                    seg_start = busy_until
+                    children = []
                 if attempt >= self.max_attempts:
                     failed.append(job.name)
                     break
                 if outcome != "node":
                     backoff = self.backoff_base_seconds \
                         * 2.0 ** (attempt - 1)
+                    children.append(("backoff", busy_until, backoff,
+                                     {"attempt": attempt}))
                     busy_until += backoff
                     retry_seconds += backoff
             assignments[job.name] = node
             attempts[job.name] = attempt
+            emit_segment(job, node, seg_start, busy_until, children,
+                         attempt,
+                         "failed" if job.name in failed else "ok")
             heapq.heappush(heap, (busy_until, node))
 
         makespan = max(t for t, _node in heap)
+        if tracer.enabled:
+            tracer.advance_modeled(trace_base + makespan)
         maxima = StageTimes()
         failed_set = set(failed)
         for job in jobs:
@@ -175,7 +226,7 @@ class CompileCluster:
                                lost_nodes=lost_nodes)
 
     def incremental_schedule(self, all_jobs: List[Job], dirty_names,
-                             faults=None
+                             faults=None, tracer=None
                              ) -> Tuple[ClusterSchedule, ClusterSchedule]:
         """Schedule only the dirty subset; also price the cold rebuild.
 
@@ -195,6 +246,9 @@ class CompileCluster:
             raise FlowError(
                 f"dirty jobs not in the job set: {sorted(unknown)}")
         dirty_jobs = [job for job in all_jobs if job.name in dirty]
-        dirty_schedule = self.schedule(dirty_jobs, faults=faults)
+        # Only the dirty schedule is traced: the cold schedule prices a
+        # hypothetical rebuild, not work this invocation performed.
+        dirty_schedule = self.schedule(dirty_jobs, faults=faults,
+                                       tracer=tracer)
         cold_schedule = self.schedule(all_jobs)
         return dirty_schedule, cold_schedule

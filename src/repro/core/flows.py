@@ -56,6 +56,7 @@ from repro.pnr.compile_model import (
 )
 from repro.softcore.compiler import CompiledOperator, compile_operator
 from repro.softcore.elf import pack_binary
+from repro.trace import NULL_TRACER
 from repro.core.build import BatchStep, BuildEngine
 from repro.core.cluster import CompileCluster, Job
 from repro.core.dfg import extract_dfg
@@ -413,6 +414,33 @@ def _check_page_fit(page: Page, name: str, op: Operator,
                 have=page.brams)
 
 
+def _engine_tracer(engine: BuildEngine):
+    """The tracer riding on the engine (flows trace through it)."""
+    tracer = getattr(engine, "tracer", None)
+    return tracer if tracer is not None else NULL_TRACER
+
+
+def _trace_flow_phases(tracer, flow_name: str, base: float,
+                       stages: StageTimes, riscv_seconds: float) -> None:
+    """Modeled hls/syn/pnr/bit (+riscv) phase spans on the 'phases' lane.
+
+    The phases overlap the cluster's node lanes on the modeled clock:
+    both views describe the same Tab. 2 interval, one per stage, one
+    per node.
+    """
+    if not tracer.enabled:
+        return
+    end = tracer.modeled_phases(
+        [("phase:hls", stages.hls), ("phase:syn", stages.syn),
+         ("phase:pnr", stages.pnr), ("phase:bit", stages.bit)],
+        base=base, lane="phases", flow=flow_name)
+    if riscv_seconds > 0:
+        tracer.modeled_span("phase:riscv", base, riscv_seconds,
+                            category="phase", lane="phases",
+                            flow=flow_name)
+    tracer.advance_modeled(max(end, base + riscv_seconds))
+
+
 def _overlay_bitstream(overlay: Overlay) -> Bitstream:
     total = overlay.total_page_resources()
     return Bitstream("overlay.xclbin", total.luts + overlay.network_luts(),
@@ -513,6 +541,9 @@ class O1Flow:
         engine = engine or BuildEngine()
         engine.fresh_record()
         graph = project.graph
+        tracer = _engine_tracer(engine)
+        wall_t0 = tracer.now() if tracer.enabled else 0.0
+        flow_base = tracer.modeled_time()
 
         artifacts: Dict[str, OperatorArtifacts] = {}
         estimates: Dict[str, ResourceEstimate] = {}
@@ -631,7 +662,7 @@ class O1Flow:
         dirty_names = [job.name for job in jobs
                        if f"impl:{job.name}" in built_steps]
         schedule_result, cold_schedule = self.cluster.incremental_schedule(
-            jobs, dirty_names, faults=injector)
+            jobs, dirty_names, faults=injector, tracer=tracer)
         compile_times = schedule_result.stage_maxima
 
         # Graceful degradation (the paper's mixed-flow capability): an
@@ -689,6 +720,17 @@ class O1Flow:
             {page_of[name] for name in page_of
              if f"impl:{name}" in built_now
              or f"riscv:{name}" in built_now})
+
+        if tracer.enabled:
+            _trace_flow_phases(tracer, self.name, flow_base,
+                               compile_times, riscv_seconds)
+            tracer.wall_span(
+                f"compile:{project.name}", wall_t0,
+                tracer.now() - wall_t0, category="flow", lane="flow",
+                flow=self.name, rebuilt=len(engine.record.built),
+                reused=len(engine.record.reused),
+                pages_recompiled=len(recompiled_pages),
+                makespan_s=round(compile_times.total, 1))
 
         return FlowBuild(
             flow=self.name, project=project, monolithic=False,
@@ -841,6 +883,9 @@ class O3Flow:
         engine = engine or BuildEngine()
         engine.fresh_record()
         graph = project.graph
+        tracer = _engine_tracer(engine)
+        wall_t0 = tracer.now() if tracer.enabled else 0.0
+        flow_base = tracer.modeled_time()
 
         artifacts: Dict[str, OperatorArtifacts] = {}
         schedules: Dict[str, Schedule] = {}
@@ -913,6 +958,16 @@ class O3Flow:
                                                  artifacts)
         telemetry: Dict[str, object] = {}
         exec_graph = _build_exec_graph(project, {}, telemetry)
+
+        if tracer.enabled:
+            _trace_flow_phases(tracer, self.name, flow_base,
+                               compile_times, 0.0)
+            tracer.wall_span(
+                f"compile:{project.name}", wall_t0,
+                tracer.now() - wall_t0, category="flow", lane="flow",
+                flow=self.name, rebuilt=len(engine.record.built),
+                reused=len(engine.record.reused),
+                makespan_s=round(compile_times.total, 1))
 
         image = Bitstream("kernel.xclbin", self.device.luts,
                           self.device.brams, self.device.dsps,

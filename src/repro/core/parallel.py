@@ -53,8 +53,9 @@ class ParallelBuildEngine(BuildEngine):
     context manager) to reap the workers.
     """
 
-    def __init__(self, cache=None, workers: Optional[int] = None):
-        super().__init__(cache)
+    def __init__(self, cache=None, workers: Optional[int] = None,
+                 tracer=None):
+        super().__init__(cache, tracer=tracer)
         self.workers = workers if workers is not None \
             else (os.cpu_count() or 1)
         #: Steps that failed on a worker and were re-run in-process.
@@ -111,6 +112,8 @@ class ParallelBuildEngine(BuildEngine):
             artefact = self.cache.get(key)
             if artefact is not None:
                 self.record.reused.append(s.name)
+                self.tracer.instant(s.name, category="build",
+                                    lane="build", cache="hit", key=key)
                 results[pos] = artefact
             else:
                 pending.add(key)
@@ -142,6 +145,8 @@ class ParallelBuildEngine(BuildEngine):
             futures = None
         for i, (pos, s, key) in enumerate(misses):
             artefact = None
+            retried = False
+            trace_t0 = self.tracer.now() if self.tracer.enabled else 0.0
             start = time.perf_counter()
             if futures is not None:
                 try:
@@ -150,13 +155,22 @@ class ParallelBuildEngine(BuildEngine):
                     # The pool is poisoned; every remaining future fails
                     # instantly, and each step retries in-process.
                     self.worker_retries += 1
+                    retried = True
                     self._drop_pool()
                 except Exception:
                     self.worker_retries += 1
+                    retried = True
             if artefact is None:
                 artefact = self._build_local(s)
-            self.record.build_seconds[s.name] = \
-                time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            self.record.build_seconds[s.name] = elapsed
+            if self.tracer.enabled:
+                # Parent-observed wait on the worker's lane; concurrent
+                # steps overlap, so the lanes read like the pool did.
+                self.tracer.wall_span(
+                    s.name, trace_t0, elapsed, category="build",
+                    lane=f"worker-{i % max(1, self.workers)}",
+                    cache="miss", key=key, worker_retry=retried)
             if artefact is None:
                 raise BuildError(
                     f"builder for {s.name!r} returned None")

@@ -85,16 +85,19 @@ class IncrementalSession:
 
     def __init__(self, cache_dir=None, store=None,
                  flow: Optional[O1Flow] = None, effort: float = 1.0,
-                 seed: int = 1, cluster: Optional[CompileCluster] = None):
+                 seed: int = 1, cluster: Optional[CompileCluster] = None,
+                 tracer=None):
         # Imported here, not at module top: repro.store itself imports
         # repro.core.build, and this module is pulled in by the
         # repro.core package init — a top-level import would make
         # ``import repro.store`` circular.
         from repro.store import ArtifactStore
+        from repro.trace import NULL_TRACER
 
         self.store = store if store is not None \
             else ArtifactStore(cache_dir=cache_dir)
-        self.engine = BuildEngine(cache=self.store)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.engine = BuildEngine(cache=self.store, tracer=self.tracer)
         self.flow = flow if flow is not None \
             else O1Flow(effort=effort, seed=seed, cluster=cluster)
         self.project: Optional[Project] = None
@@ -103,7 +106,13 @@ class IncrementalSession:
 
     def compile(self, project: Project) -> FlowBuild:
         """Full -O1 build (warm wherever the store already has steps)."""
-        self.build = self.flow.compile(project, self.engine)
+        kind = "cold-compile" if self.build is None else "recompile"
+        with self.tracer.span(f"session:{kind}", category="session",
+                              lane="session",
+                              project=project.name) as span:
+            self.build = self.flow.compile(project, self.engine)
+            span.set(pages_rebuilt=len(self.build.recompiled_pages),
+                     reused=len(self.build.reused))
         self.project = project
         return self.build
 
@@ -121,12 +130,19 @@ class IncrementalSession:
                             "needs a baseline build to diff against")
         previous = self.build
         edited = self.project.with_spec(op_name, new_spec, sample_spec)
-        build = self.flow.compile(edited, self.engine)
+        with self.tracer.span(f"session:edit:{op_name}",
+                              category="session", lane="session",
+                              operator=op_name) as span:
+            build = self.flow.compile(edited, self.engine)
 
-        diff = diff_manifests(previous.manifest(), build.manifest())
-        dirty_steps = sorted(diff["changed"] + diff["added"])
-        dirty_operators = sorted({step.split(":", 1)[1]
-                                  for step in dirty_steps if ":" in step})
+            diff = diff_manifests(previous.manifest(), build.manifest())
+            dirty_steps = sorted(diff["changed"] + diff["added"])
+            dirty_operators = sorted({step.split(":", 1)[1]
+                                      for step in dirty_steps
+                                      if ":" in step})
+            span.set(dirty_steps=len(dirty_steps),
+                     dirty_operators=len(dirty_operators),
+                     pages_rebuilt=len(build.recompiled_pages))
 
         pages = list(build.recompiled_pages)
         delta_packets = []

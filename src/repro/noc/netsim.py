@@ -30,6 +30,7 @@ from repro.errors import DeadlockError, NoCError
 from repro.noc.bft import BFTopology, SwitchId
 from repro.noc.leaf import LeafInterface
 from repro.noc.packet import AckPacket, DataPacket, Packet
+from repro.trace import NULL_TRACER
 
 #: Output slot identifiers: ("up", k) | ("down", child_side)
 _UP = "up"
@@ -60,11 +61,17 @@ class NetworkSimulator:
             carrying a structured diagnostic (blocked leaves, outbox and
             reorder occupancies, in-flight packets) instead of spinning
             to the cycle limit.
+        tracer: optional :class:`repro.trace.Tracer`; retransmission
+            bursts and the watchdog firing then appear as instant
+            events on the ``noc`` lane (with the cycle they happened
+            at), so a flaky network is visible in the same trace as the
+            build that ran over it.
     """
 
     def __init__(self, topology: BFTopology,
                  leaves: Optional[Dict[int, LeafInterface]] = None,
-                 faults=None, watchdog_cycles: int = 50_000):
+                 faults=None, watchdog_cycles: int = 50_000,
+                 tracer=None):
         if topology.up_links != 1:
             raise NoCError(
                 "the cycle simulator models the paper's modest single "
@@ -94,6 +101,8 @@ class NetworkSimulator:
         self.faults_dropped = 0
         self.faults_corrupted = 0
         self._injection_index = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._retrans_seen = 0
         self._build_tables()
 
     def attach(self, iface: LeafInterface) -> None:
@@ -235,6 +244,14 @@ class NetworkSimulator:
         # flits re-enter their leaf's outbox for the next cycles.
         for iface in self._reliable_ifaces:
             iface.service_retransmissions(self.cycle)
+        if self._reliable_ifaces and self.tracer.enabled:
+            total = sum(iface.retransmissions
+                        for iface in self._reliable_ifaces)
+            if total != self._retrans_seen:
+                self.tracer.instant(
+                    "noc:retransmit", category="noc", lane="noc",
+                    cycle=self.cycle, flits=total - self._retrans_seen)
+                self._retrans_seen = total
 
     def _inject_faults(self, packet: Packet,
                        leaf_no: int) -> Optional[Packet]:
@@ -337,6 +354,8 @@ class NetworkSimulator:
             "faults_dropped": self.faults_dropped,
             "faults_corrupted": self.faults_corrupted,
         }
+        self.tracer.instant("noc:watchdog", category="noc", lane="noc",
+                            cycle=self.cycle, blocked=len(blocked))
         raise DeadlockError(
             f"NoC made no delivery progress for {self.watchdog_cycles} "
             f"cycles with work pending (cycle {self.cycle})",

@@ -23,6 +23,7 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from repro.perf import PerfRegistry
+from repro.trace import NULL_TRACER
 
 #: A suite regressing past this ratio of its recorded baseline fails
 #: ``--check``.
@@ -232,9 +233,17 @@ SUITES: Dict[str, Callable] = {
 
 def run_suites(names: Optional[List[str]] = None, quick: bool = False,
                repeats: int = DEFAULT_REPEATS, profile: bool = False,
-               out=sys.stdout) -> Dict[str, Dict]:
+               out=sys.stdout, tracer=None) -> Dict[str, Dict]:
     """Run the selected suites best-of-``repeats``; returns the results
-    dict that ``BENCH_pld.json`` stores."""
+    dict that ``BENCH_pld.json`` stores.
+
+    A suite that raises does not abort the run: its entry becomes
+    ``{"error": "..."}`` and the remaining suites still execute (the
+    caller decides the exit code), so one broken workload never costs
+    the whole results file.  With a tracer, every repeat is a
+    wall-clock span on the ``bench`` lane.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
     results: Dict[str, Dict] = {}
     for name in (names or list(SUITES)):
         if name not in SUITES:
@@ -243,11 +252,22 @@ def run_suites(names: Optional[List[str]] = None, quick: bool = False,
         best: Optional[float] = None
         meta: Dict = {}
         best_registry = PerfRegistry()
-        for _ in range(max(1, repeats)):
-            registry = PerfRegistry()
-            wall, metrics = SUITES[name](quick=quick, registry=registry)
-            if best is None or wall < best:
-                best, meta, best_registry = wall, metrics, registry
+        try:
+            for repeat in range(max(1, repeats)):
+                registry = PerfRegistry()
+                with tracer.span(f"suite:{name}", category="bench",
+                                 lane="bench", quick=quick,
+                                 repeat=repeat) as span:
+                    wall, metrics = SUITES[name](quick=quick,
+                                                 registry=registry)
+                    span.set(suite_wall_s=round(wall, 4))
+                if best is None or wall < best:
+                    best, meta, best_registry = wall, metrics, registry
+        except Exception as exc:
+            results[name] = {"error": f"{type(exc).__name__}: {exc}"}
+            print(f"{name}: ERROR {type(exc).__name__}: {exc}",
+                  file=out, flush=True)
+            continue
         results[name] = {"wall_seconds": round(best, 4), **meta}
         print(f"{name}: {results[name]}", file=out, flush=True)
         if profile:
@@ -258,14 +278,30 @@ def run_suites(names: Optional[List[str]] = None, quick: bool = False,
 def check_regressions(results: Dict[str, Dict], baseline: Dict[str, Dict],
                       ratio: float = REGRESSION_RATIO,
                       out=sys.stdout) -> List[str]:
-    """Names of suites slower than ``ratio`` × their baseline."""
+    """Names of suites slower than ``ratio`` × their baseline.
+
+    Baseline suites absent from ``results`` are warned about rather
+    than silently skipped (a renamed or dropped suite should not make
+    the check vacuous), and a suite that errored while its baseline has
+    a number counts as failed.
+    """
     failed: List[str] = []
+    for name in baseline:
+        if name not in results:
+            print(f"warning: baseline suite {name!r} not in results; "
+                  f"not checked", file=out)
     for name, entry in results.items():
         base = baseline.get(name)
         if not base or "wall_seconds" not in base:
             continue
+        new = entry.get("wall_seconds")
+        if new is None:
+            failed.append(name)
+            print(f"REGRESSION {name}: suite errored "
+                  f"({entry.get('error', 'no wall_seconds')}) but "
+                  f"baseline has {base['wall_seconds']:.4f}s", file=out)
+            continue
         old = base["wall_seconds"]
-        new = entry["wall_seconds"]
         if old > 0 and new > old * ratio:
             failed.append(name)
             print(f"REGRESSION {name}: {new:.4f}s vs baseline "
@@ -297,9 +333,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         f">{REGRESSION_RATIO:.0f}x regression")
     parser.add_argument("--no-write", action="store_true",
                         help="do not write the result file")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace-event JSON of the "
+                        "bench run (one span per suite repeat)")
     args = parser.parse_args(argv)
 
-    baseline: Dict[str, Dict] = {}
+    baseline: Optional[Dict[str, Dict]] = None
     if args.check:
         try:
             with open(args.check) as fh:
@@ -307,20 +346,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         except FileNotFoundError:
             print(f"note: baseline {args.check!r} not found; "
                   "regression check skipped")
+        except json.JSONDecodeError as exc:
+            # A corrupt baseline is a configuration error, not a
+            # traceback: one line, nonzero exit, before any suite runs.
+            print(f"error: baseline {args.check!r} is not valid JSON "
+                  f"({exc})", file=sys.stderr)
+            return 2
+        if baseline is not None and not isinstance(baseline, dict):
+            print(f"error: baseline {args.check!r} is not a "
+                  f"suite -> result mapping "
+                  f"(got {type(baseline).__name__})", file=sys.stderr)
+            return 2
+        if baseline == {}:
+            print(f"warning: baseline {args.check!r} is empty; "
+                  "nothing to compare against", file=sys.stderr)
+
+    tracer = None
+    if args.trace:
+        from repro.trace import Tracer
+        tracer = Tracer()
 
     results = run_suites(args.suites, quick=args.quick,
-                         repeats=args.repeats, profile=args.profile)
+                         repeats=args.repeats, profile=args.profile,
+                         tracer=tracer)
     if not args.no_write:
         with open(args.output, "w") as fh:
             json.dump(results, fh, indent=2)
             fh.write("\n")
         print(f"wrote {args.output}")
+    if tracer is not None:
+        tracer.write_chrome_trace(args.trace)
+        print(f"wrote trace {args.trace}")
 
-    if baseline:
+    status = 0
+    errored = sorted(name for name, entry in results.items()
+                     if "error" in entry)
+    if errored:
+        print(f"error: {len(errored)} suite(s) failed: "
+              f"{', '.join(errored)}", file=sys.stderr)
+        status = 1
+    if baseline is not None:
         failed = check_regressions(results, baseline)
         if failed:
-            return 1
-    return 0
+            status = 1
+    return status
 
 
 if __name__ == "__main__":

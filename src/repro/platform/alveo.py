@@ -26,6 +26,7 @@ from typing import Dict, Optional
 from repro.errors import PlatformError, RetryExhaustedError
 from repro.fabric.bitstream import Bitstream
 from repro.fabric.shell import Overlay
+from repro.trace import MODELED, NULL_TRACER
 
 
 class PageState(enum.Enum):
@@ -56,8 +57,9 @@ class AlveoU50:
     """
 
     def __init__(self, serial: str = "xilinx_u50_0", faults=None,
-                 max_load_retries: int = 3):
+                 max_load_retries: int = 3, tracer=None):
         self.serial = serial
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.overlay: Optional[Overlay] = None
         self.overlay_image: Optional[Bitstream] = None
         self._pages: Dict[int, _PageSlot] = {}
@@ -83,6 +85,7 @@ class AlveoU50:
         """
         attempts = 1 + max(0, self.max_load_retries)
         seconds = 0.0
+        trace_base = self.tracer.modeled_time()
         for attempt in range(1, attempts + 1):
             seconds += image.load_seconds
             self.loads += 1
@@ -91,6 +94,10 @@ class AlveoU50:
             if outcome == "ok":
                 self.verified_crcs[image.name] = image.crc32
                 self.config_seconds += seconds
+                self.tracer.modeled_span(
+                    f"config:{image.name}", trace_base, seconds,
+                    category="config", lane="card", attempts=attempt,
+                    bytes=image.size_bytes)
                 return seconds
             if outcome == "crc":
                 self.crc_mismatches += 1
@@ -99,7 +106,16 @@ class AlveoU50:
                     f"fault injector returned unknown load outcome "
                     f"{outcome!r} for {image.name!r}")
             self.load_retries += 1
+            self.tracer.instant(
+                f"load-retry:{image.name}", category="config",
+                lane="card", clock=MODELED,
+                ts=trace_base + seconds, attempt=attempt,
+                outcome=outcome)
         self.config_seconds += seconds
+        self.tracer.modeled_span(
+            f"config:{image.name}", trace_base, seconds,
+            category="config", lane="card", attempts=attempts,
+            outcome="exhausted")
         raise RetryExhaustedError(
             f"{self.serial}: load of {image.name!r} failed "
             f"{attempts} times (last: CRC/config error)",

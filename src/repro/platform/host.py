@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.errors import PlatformError
 from repro.platform.alveo import AlveoU50
 from repro.platform.dma import DMAEngine
+from repro.trace import NULL_TRACER
 
 
 @dataclass
@@ -29,12 +30,28 @@ class TimelineEvent:
 
 @dataclass
 class RunTimeline:
-    """Everything the host did, in order."""
+    """Everything the host did, in order.
+
+    With a tracer attached, every entry is also recorded as a span on
+    the modeled clock's ``host`` lane — the timeline *is* a trace view,
+    laid out sequentially from wherever the modeled cursor stood when
+    the host started (i.e. after the compile that produced the build).
+    """
 
     events: List[TimelineEvent] = field(default_factory=list)
+    tracer: object = NULL_TRACER
+    category: str = "host"
+    _cursor: Optional[float] = None
 
     def add(self, what: str, seconds: float) -> None:
         self.events.append(TimelineEvent(what, seconds))
+        if self.tracer.enabled:
+            if self._cursor is None:
+                self._cursor = self.tracer.modeled_time()
+            self.tracer.modeled_span(what, self._cursor, seconds,
+                                     category=self.category, lane="host")
+            self._cursor += seconds
+            self.tracer.advance_modeled(self._cursor)
 
     @property
     def total_seconds(self) -> float:
@@ -59,11 +76,13 @@ class HostProgram:
     """
 
     def __init__(self, build, card: Optional[AlveoU50] = None,
-                 dma: Optional[DMAEngine] = None):
+                 dma: Optional[DMAEngine] = None, tracer=None):
         self.build = build
-        self.card = card or AlveoU50()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.card = card if card is not None \
+            else AlveoU50(tracer=self.tracer)
         self.dma = dma or DMAEngine()
-        self.timeline = RunTimeline()
+        self.timeline = RunTimeline(tracer=self.tracer)
         self._configured = False
 
     def configure(self) -> RunTimeline:

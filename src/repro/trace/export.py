@@ -1,0 +1,201 @@
+"""Trace exports: Chrome trace-event JSON and the compact text tree.
+
+The JSON follows the Trace Event Format that ``chrome://tracing`` and
+Perfetto load: complete spans are ``"ph": "X"`` events with ``ts`` and
+``dur`` in microseconds, instants are ``"ph": "i"`` and counters
+``"ph": "C"``.  The two clocks map to two "processes" (wall = pid 1,
+modeled = pid 2) and every lane to one named "thread" of its clock's
+process, so cluster nodes, build workers and the host/card each get
+their own horizontal track in the viewer.
+
+:func:`format_trace_tree` renders the same data as an indented text
+tree (nesting recovered from span containment per lane), which is what
+``pld trace FILE`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.trace.tracer import MODELED, WALL, TraceEvent
+
+#: Chrome "process" ids for the two clocks.
+_CLOCK_PIDS = {WALL: 1, MODELED: 2}
+_CLOCK_LABELS = {WALL: "wall clock", MODELED: "modeled clock"}
+
+#: seconds -> Chrome microseconds
+_US = 1e6
+
+
+def chrome_trace(events: List[TraceEvent]) -> Dict[str, object]:
+    """Convert recorded events into a Chrome trace-event dict."""
+    out: List[Dict[str, object]] = []
+    tids: Dict[tuple, int] = {}
+
+    for pid, label in sorted((pid, _CLOCK_LABELS[clock])
+                             for clock, pid in _CLOCK_PIDS.items()):
+        out.append({"ph": "M", "pid": pid, "tid": 0,
+                    "name": "process_name", "args": {"name": label}})
+
+    def tid_of(clock: str, lane: str) -> int:
+        key = (clock, lane)
+        if key not in tids:
+            tids[key] = len([k for k in tids if k[0] == clock]) + 1
+            out.append({"ph": "M", "pid": _CLOCK_PIDS[clock],
+                        "tid": tids[key], "name": "thread_name",
+                        "args": {"name": lane}})
+        return tids[key]
+
+    for ev in events:
+        pid = _CLOCK_PIDS.get(ev.clock)
+        if pid is None:
+            continue
+        tid = tid_of(ev.clock, ev.lane)
+        base = {"name": ev.name, "cat": ev.category or "default",
+                "pid": pid, "tid": tid,
+                "ts": round(ev.start * _US, 3)}
+        if ev.kind == "span":
+            base["ph"] = "X"
+            base["dur"] = round(max(ev.duration, 0.0) * _US, 3)
+            if ev.attrs:
+                base["args"] = _jsonable(ev.attrs)
+        elif ev.kind == "instant":
+            base["ph"] = "i"
+            base["s"] = "t"
+            if ev.attrs:
+                base["args"] = _jsonable(ev.attrs)
+        elif ev.kind == "counter":
+            base["ph"] = "C"
+            base["args"] = {ev.name: ev.attrs.get("value", 0)}
+        else:
+            continue
+        out.append(base)
+
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def _jsonable(attrs: Dict[str, object]) -> Dict[str, object]:
+    safe: Dict[str, object] = {}
+    for key, value in attrs.items():
+        if value is None or isinstance(value, (bool, int, float, str)):
+            safe[key] = value
+        else:
+            safe[key] = repr(value)
+    return safe
+
+
+def write_chrome_trace(path, events: List[TraceEvent]) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(events), fh, indent=1)
+        fh.write("\n")
+
+
+def load_chrome_trace(path) -> Dict[str, object]:
+    """Read a trace file back (raises ``ValueError`` on malformed or
+    non-trace JSON, with the path in the message)."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError(f"{path}: not a Chrome trace-event file "
+                         "(no 'traceEvents' key)")
+    return data
+
+
+# --------------------------------------------------------------------------
+# text tree
+# --------------------------------------------------------------------------
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def _fmt_args(args: Dict[str, object]) -> str:
+    if not args:
+        return ""
+    body = ", ".join(f"{k}={v}" for k, v in sorted(args.items()))
+    return f"  [{body}]"
+
+
+def format_trace_tree(trace: Dict[str, object]) -> str:
+    """Render a Chrome trace-event dict as an indented text tree.
+
+    Spans nest by containment within one (process, thread) lane; the
+    per-lane trees are printed clock by clock, lane by lane, with
+    instants and counter samples interleaved at their timestamps.
+    """
+    events = trace.get("traceEvents", [])
+    if not isinstance(events, list):
+        raise ValueError("traceEvents is not a list")
+
+    process_names: Dict[int, str] = {}
+    thread_names: Dict[tuple, str] = {}
+    by_lane: Dict[tuple, List[dict]] = {}
+    n_spans = n_points = 0
+
+    for ev in events:
+        if not isinstance(ev, dict):
+            continue
+        ph = ev.get("ph")
+        pid, tid = ev.get("pid", 0), ev.get("tid", 0)
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                process_names[pid] = ev.get("args", {}).get("name", "")
+            elif ev.get("name") == "thread_name":
+                thread_names[(pid, tid)] = \
+                    ev.get("args", {}).get("name", "")
+            continue
+        if ph not in ("X", "i", "C"):
+            continue
+        by_lane.setdefault((pid, tid), []).append(ev)
+        if ph == "X":
+            n_spans += 1
+        else:
+            n_points += 1
+
+    lines: List[str] = [
+        f"trace: {len(by_lane)} lane(s), {n_spans} span(s), "
+        f"{n_points} event(s)"]
+
+    for (pid, tid) in sorted(by_lane):
+        clock = process_names.get(pid, f"pid{pid}")
+        lane = thread_names.get((pid, tid), f"tid{tid}")
+        lines.append(f"[{clock}] {lane}")
+        lane_events = sorted(
+            by_lane[(pid, tid)],
+            key=lambda e: (e.get("ts", 0.0), -e.get("dur", 0.0)))
+        stack: List[float] = []      # open spans' end timestamps
+        for ev in lane_events:
+            ts = float(ev.get("ts", 0.0))
+            # Pop finished ancestors (small tolerance for float noise).
+            while stack and ts >= stack[-1] - 1e-6:
+                stack.pop()
+            indent = "  " * (len(stack) + 1)
+            name = ev.get("name", "?")
+            args = ev.get("args", {}) or {}
+            if ev.get("ph") == "X":
+                dur = float(ev.get("dur", 0.0))
+                lines.append(
+                    f"{indent}{_fmt_seconds(ts / _US):>12s}  "
+                    f"+{_fmt_seconds(dur / _US):<12s} {name}"
+                    f"{_fmt_args(args)}")
+                stack.append(ts + dur)
+            elif ev.get("ph") == "i":
+                lines.append(
+                    f"{indent}{_fmt_seconds(ts / _US):>12s}  "
+                    f"@ {name}{_fmt_args(args)}")
+            else:                    # counter
+                body = ", ".join(f"{k}={v}"
+                                 for k, v in sorted(args.items()))
+                lines.append(
+                    f"{indent}{_fmt_seconds(ts / _US):>12s}  "
+                    f"# {body or name}")
+    return "\n".join(lines)

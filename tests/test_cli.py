@@ -100,3 +100,81 @@ class TestErrorHandling:
         monkeypatch.setattr(cli, "cmd_apps", boom)
         with pytest.raises(RuntimeError):
             main(["apps"])
+
+
+class TestFlowLookup:
+    def test_unknown_flow_is_a_clean_exit(self):
+        from repro.cli import _flow
+
+        with pytest.raises(SystemExit, match="unknown flow"):
+            _flow("gpu", effort=0.3)
+
+    def test_flow_constructor_keyerror_propagates(self, monkeypatch):
+        # A KeyError raised *inside* a flow's __init__ is a real bug;
+        # it must not be swallowed and misreported as "unknown flow".
+        import repro.cli as cli
+
+        class BrokenFlow:
+            def __init__(self, effort):
+                raise KeyError("missing internal table entry")
+
+        monkeypatch.setitem(cli.FLOWS, "broken", BrokenFlow)
+        with pytest.raises(KeyError, match="missing internal table"):
+            cli._flow("broken", effort=0.3)
+
+
+class TestEngineRouting:
+    """'run' and 'tables' honour --cache-dir/--workers and close
+    their engine (they used to construct a bare BuildEngine)."""
+
+    def test_run_parser_accepts_engine_flags(self):
+        args = build_parser().parse_args(
+            ["run", "bnn", "--cache-dir", "c", "-j", "2"])
+        assert args.cache_dir == "c"
+        assert args.workers == 2
+
+    def test_tables_parser_accepts_engine_flags(self):
+        args = build_parser().parse_args(
+            ["tables", "--cache-dir", "c", "--workers", "2"])
+        assert args.cache_dir == "c"
+        assert args.workers == 2
+
+    @staticmethod
+    def _tracking_engine(monkeypatch):
+        import repro.cli as cli
+        from repro.core import BuildEngine
+
+        class ClosingEngine(BuildEngine):
+            closed = False
+
+            def close(self):
+                self.closed = True
+
+        engine = ClosingEngine()
+        monkeypatch.setattr(
+            cli, "_engine", lambda args, tracer=None: engine)
+        return engine
+
+    def test_run_routes_through_engine_and_closes(self, capsys,
+                                                  monkeypatch):
+        engine = self._tracking_engine(monkeypatch)
+        assert main(["run", "3d-rendering", "--flow", "o0",
+                     "--effort", "0.1"]) == 0
+        assert engine.closed
+        assert engine.record.build_seconds   # the compile used it
+
+    def test_tables_routes_through_engine_and_closes(self, capsys,
+                                                     monkeypatch):
+        engine = self._tracking_engine(monkeypatch)
+        assert main(["tables", "--apps", "digit-recognition",
+                     "--effort", "0.1"]) == 0
+        assert engine.closed
+        assert engine.record.build_seconds
+
+    def test_run_uses_cache_dir(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(["run", "3d-rendering", "--flow", "o0",
+                     "--effort", "0.1",
+                     "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert any(cache.iterdir())   # artefacts persisted

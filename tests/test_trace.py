@@ -1,0 +1,277 @@
+"""Tests for repro.trace: the tracer, the exports, and the CLI wiring."""
+
+import json
+import time
+
+import pytest
+
+from repro.trace import (
+    MODELED,
+    NULL_TRACER,
+    Tracer,
+    WALL,
+    format_trace_tree,
+    load_chrome_trace,
+)
+
+
+class TestTracerCore:
+    def test_span_records_on_exit(self):
+        tracer = Tracer()
+        with tracer.span("work", category="test", lane="l") as span:
+            span.set(k=1)
+        assert len(tracer) == 1
+        ev = tracer.events[0]
+        assert ev.kind == "span"
+        assert ev.name == "work"
+        assert ev.clock == WALL
+        assert ev.lane == "l"
+        assert ev.duration >= 0.0
+        assert ev.attrs == {"k": 1}
+
+    def test_span_nesting_orders_inner_first(self):
+        # Spans append on __exit__, so the inner span lands first; the
+        # exports recover nesting from containment, not record order.
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.001)
+        inner, outer = tracer.events
+        assert inner.name == "inner"
+        assert outer.name == "outer"
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end + 1e-9
+
+    def test_span_records_even_when_body_raises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert [e.name for e in tracer.events] == ["doomed"]
+
+    def test_modeled_cursor_advances_monotonically(self):
+        tracer = Tracer()
+        assert tracer.modeled_time() == 0.0
+        tracer.advance_modeled(10.0)
+        tracer.advance_modeled(4.0)      # never moves backwards
+        assert tracer.modeled_time() == 10.0
+
+    def test_modeled_phases_lays_spans_end_to_end(self):
+        tracer = Tracer()
+        end = tracer.modeled_phases(
+            [("a", 2.0), ("skip", 0.0), ("b", 3.0)], base=5.0)
+        assert end == 10.0
+        names = [e.name for e in tracer.events]
+        assert names == ["a", "b"]
+        a, b = tracer.events
+        assert (a.start, a.end) == (5.0, 7.0)
+        assert (b.start, b.end) == (7.0, 10.0)
+        assert all(e.clock == MODELED for e in tracer.events)
+
+    def test_instant_and_counter_default_timestamps(self):
+        tracer = Tracer()
+        tracer.advance_modeled(42.0)
+        tracer.instant("mark", clock=MODELED)
+        tracer.counter("flits", 7)
+        mark, flits = tracer.events
+        assert mark.kind == "instant" and mark.start == 42.0
+        assert flits.kind == "counter" and flits.attrs == {"value": 7}
+
+    def test_wall_span_uses_caller_interval(self):
+        tracer = Tracer()
+        tracer.wall_span("w", 1.5, 0.25, lane="worker-0", cache="miss")
+        ev = tracer.events[0]
+        assert (ev.start, ev.duration) == (1.5, 0.25)
+        assert ev.lane == "worker-0"
+
+
+class TestNullTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x") as span:
+            span.set(k=1)
+        tracer.instant("i")
+        tracer.counter("c", 1)
+        tracer.wall_span("w", 0.0, 1.0)
+        tracer.modeled_span("m", 0.0, 1.0)
+        tracer.modeled_phases([("p", 1.0)])
+        assert len(tracer) == 0
+
+    def test_disabled_span_is_one_shared_object(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+    def test_disabled_tracer_is_cheap(self):
+        # The overhead guard behind the "unconditional call sites"
+        # promise: ~100k disabled spans must stay far from the hot
+        # paths' budget.  The bound is deliberately loose for CI noise.
+        tracer = NULL_TRACER
+        start = time.perf_counter()
+        for _ in range(100_000):
+            with tracer.span("hot"):
+                pass
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0
+        assert len(tracer) == 0
+
+
+class TestChromeExport:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("outer", category="build", lane="build"):
+            with tracer.span("inner", lane="build"):
+                pass
+        tracer.modeled_span("job", 3.0, 2.0, category="cluster",
+                            lane="node0", attempts=1)
+        tracer.instant("retry", lane="node0", clock=MODELED, ts=4.0)
+        tracer.counter("inflight", 5)
+        return tracer
+
+    def test_two_clocks_become_two_processes(self):
+        trace = self._traced().chrome_trace()
+        events = trace["traceEvents"]
+        procs = {e["pid"]: e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert procs == {1: "wall clock", 2: "modeled clock"}
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["pid"] for e in spans if e["name"] == "outer"} == {1}
+        assert {e["pid"] for e in spans if e["name"] == "job"} == {2}
+
+    def test_lane_names_become_thread_metadata(self):
+        events = self._traced().chrome_trace()["traceEvents"]
+        threads = {(e["pid"], e["tid"]): e["args"]["name"]
+                   for e in events
+                   if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert "build" in threads.values()
+        assert "node0" in threads.values()
+
+    def test_span_fields_are_complete_events(self):
+        events = self._traced().chrome_trace()["traceEvents"]
+        for ev in events:
+            if ev["ph"] != "X":
+                continue
+            assert {"name", "cat", "pid", "tid", "ts", "dur"} <= set(ev)
+            assert ev["dur"] >= 0.0
+        job = next(e for e in events
+                   if e["ph"] == "X" and e["name"] == "job")
+        assert job["ts"] == pytest.approx(3.0e6)
+        assert job["dur"] == pytest.approx(2.0e6)
+        assert job["args"] == {"attempts": 1}
+
+    def test_instants_and_counters(self):
+        events = self._traced().chrome_trace()["traceEvents"]
+        retry = next(e for e in events if e["name"] == "retry")
+        assert retry["ph"] == "i" and retry["s"] == "t"
+        counter = next(e for e in events if e["ph"] == "C")
+        assert counter["args"] == {"inflight": 5}
+
+    def test_non_primitive_attrs_exported_as_repr(self):
+        tracer = Tracer()
+        tracer.wall_span("w", 0.0, 1.0, obj=object(), ok=3)
+        events = tracer.chrome_trace()["traceEvents"]
+        span = next(e for e in events if e["ph"] == "X")
+        assert span["args"]["ok"] == 3
+        assert isinstance(span["args"]["obj"], str)
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "t.json"
+        self._traced().write_chrome_trace(path)
+        data = load_chrome_trace(path)
+        assert json.load(open(path)) == data
+        assert data["displayTimeUnit"] == "ms"
+        assert any(e.get("ph") == "X" for e in data["traceEvents"])
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_chrome_trace(path)
+
+    def test_load_rejects_non_trace_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError, match="traceEvents"):
+            load_chrome_trace(path)
+
+
+class TestTextTree:
+    def test_nesting_recovered_from_containment(self):
+        tracer = Tracer()
+        tracer.modeled_span("parent", 0.0, 10.0, lane="node0")
+        tracer.modeled_span("child", 1.0, 3.0, lane="node0")
+        tracer.modeled_span("sibling", 5.0, 4.0, lane="node0")
+        tree = format_trace_tree(tracer.chrome_trace())
+        lines = {line.strip().split()[2]: len(line) - len(line.lstrip())
+                 for line in tree.splitlines() if "+" in line}
+        assert lines["child"] > lines["parent"]
+        assert lines["sibling"] == lines["child"]
+
+    def test_header_and_lane_sections(self):
+        tracer = self._mixed()
+        tree = tracer.format_tree()
+        assert tree.splitlines()[0].startswith("trace: ")
+        assert "[wall clock] main" in tree
+        assert "[modeled clock] node0" in tree
+        assert "@ mark" in tree
+
+    @staticmethod
+    def _mixed():
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        tracer.modeled_span("j", 0.0, 1.0, lane="node0")
+        tracer.instant("mark", clock=MODELED, lane="node0", ts=0.5)
+        return tracer
+
+
+class TestCLITrace:
+    def test_compile_trace_covers_the_toolflow(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "trace.json"
+        rc = main(["compile", "digit-recognition", "--effort", "0.1",
+                   "--trace", str(path)])
+        assert rc == 0
+        assert "wrote trace" in capsys.readouterr().out
+        data = load_chrome_trace(path)
+        events = data["traceEvents"]
+        names = [e.get("name", "") for e in events
+                 if e.get("ph") == "X"]
+        # Every build step gets a span...
+        assert any(n.startswith("hls:") for n in names)
+        assert any(n.startswith("impl:") for n in names)
+        # ...every cluster job lands on a node lane...
+        lanes = {e["args"]["name"] for e in events
+                 if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert any(lane.startswith("node") for lane in lanes)
+        assert any(n.startswith("job:") for n in names)
+        # ...and the flow phases appear on the modeled clock.
+        for phase in ("phase:hls", "phase:syn", "phase:pnr",
+                      "phase:bit"):
+            assert phase in names
+
+    def test_trace_subcommand_renders_tree(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "trace.json"
+        tracer = Tracer()
+        with tracer.span("hello"):
+            pass
+        tracer.write_chrome_trace(path)
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("trace: ")
+        assert "hello" in out
+
+    def test_trace_subcommand_rejects_garbage(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "junk.json"
+        path.write_text("][")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["trace", str(path)])
+
+    def test_trace_subcommand_missing_file(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="no such trace file"):
+            main(["trace", str(tmp_path / "absent.json")])
