@@ -12,6 +12,9 @@ paper's Makefile targets are used day to day:
     $ python -m repro.cli run optical-flow --flow o0
     $ python -m repro.cli tables --apps 3d-rendering,bnn
     $ python -m repro.cli floorplan
+    $ python -m repro.cli compile optical-flow --cache-dir .pld-cache \
+          --resume
+    $ python -m repro.cli fsck .pld-cache
 
 ``compile --cache-dir`` persists every build artefact in a
 content-addressed store, so a second invocation over the same
@@ -27,7 +30,7 @@ import argparse
 import sys
 from typing import Dict, Optional
 
-from repro.errors import DeadlockError, PLDError
+from repro.errors import DeadlineExceeded, DeadlockError, PLDError
 from repro.core import (
     BuildEngine,
     O0Flow,
@@ -92,30 +95,69 @@ def _write_trace(tracer, args) -> None:
 
 def _engine(args, tracer=None) -> BuildEngine:
     """A build engine, persistent when ``--cache-dir`` was given and
-    process-parallel when ``--workers`` asks for more than one."""
+    process-parallel when ``--workers`` asks for more than one.
+
+    With a persistent store the engine also carries a build journal
+    (``--resume`` replays it), an optional ``--deadline`` budget and —
+    for the crash-injection smoke tests — a hidden ``--crash-at-step``
+    plan.
+    """
     cache = None
+    journal = None
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir:
         from repro.store import ArtifactStore
+        from repro.resilience import BuildJournal
         cache = ArtifactStore(cache_dir=cache_dir)
+        journal = BuildJournal(cache_dir,
+                               resume=bool(getattr(args, "resume", False)))
+        if journal.resuming and journal.interrupted:
+            print(f"resuming interrupted build: "
+                  f"{len(journal.completed)} journaled step(s) "
+                  f"already banked in {cache_dir}")
+    elif getattr(args, "resume", False):
+        raise SystemExit("--resume needs --cache-dir (the journal lives "
+                         "in the store)")
+    deadline = None
+    seconds = getattr(args, "deadline", None)
+    if seconds is not None:
+        from repro.resilience import Deadline
+        deadline = Deadline(seconds)
+    crash_plan = None
+    crash_at = getattr(args, "crash_at_step", None)
+    if crash_at is not None:
+        from repro.faults import CrashPlan
+        crash_plan = CrashPlan(crash_at,
+                               point=getattr(args, "crash_point", "mid"),
+                               mode="sigkill")
     workers = getattr(args, "workers", None)
     if workers is not None and workers > 1:
         from repro.core import ParallelBuildEngine
         return ParallelBuildEngine(cache=cache, workers=workers,
-                                   tracer=tracer)
-    return BuildEngine(cache=cache, tracer=tracer)
+                                   tracer=tracer, journal=journal,
+                                   deadline=deadline,
+                                   crash_plan=crash_plan)
+    return BuildEngine(cache=cache, tracer=tracer, journal=journal,
+                       deadline=deadline, crash_plan=crash_plan)
 
 
 def cmd_compile(args) -> int:
     app = _app(args.app)
     tracer = _tracer(args)
     engine = _engine(args, tracer)
+    journal = getattr(engine, "journal", None)
     try:
+        if journal is not None:
+            journal.begin_build(args.flow, args.app)
         build = _flow(args.flow, args.effort).compile(app.project, engine)
+        if journal is not None:
+            journal.end_build()
     finally:
         close = getattr(engine, "close", None)
         if callable(close):
             close()
+        if journal is not None:
+            journal.close()
     times = build.compile_times
     if args.flow == "o0":
         print(f"compiled {args.app} with -O0 in "
@@ -132,15 +174,32 @@ def cmd_compile(args) -> int:
           f"{build.area.dsps} DSPs"
           + (f", {build.area.pages} pages" if build.area.pages else ""))
     print(f"pages rebuilt: {len(build.recompiled_pages)}")
+    if build.resumed:
+        print(f"resume: skipped {len(build.resumed)} journaled step(s) "
+              f"from the interrupted build")
     if build.cache_stats:
         stats = build.cache_stats
         print(f"cache: {stats.get('hits', 0)} hits, "
               f"{stats.get('misses', 0)} misses, "
               f"{stats.get('evictions', 0)} evictions")
+    if getattr(args, "manifest", None):
+        import json
+        with open(args.manifest, "w") as handle:
+            json.dump(build.manifest(), handle, indent=2, sort_keys=True)
+        print(f"wrote build manifest {args.manifest}")
     if args.out:
         written = build.write_artifacts(args.out)
         print(f"wrote {len(written)} artefacts to {args.out}")
     _write_trace(tracer, args)
+    return 0
+
+
+def cmd_fsck(args) -> int:
+    """Check and repair an artifact store directory."""
+    from repro.resilience import fsck_store
+
+    report = fsck_store(args.cache_dir)
+    print(report.summary())
     return 0
 
 
@@ -301,6 +360,26 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write a Chrome trace-event JSON of "
                                 "the build (build steps, cluster node "
                                 "lanes, flow phases)")
+    compile_p.add_argument("--resume", action="store_true",
+                           help="replay the store's build journal from "
+                                "an interrupted compile; completed "
+                                "steps are skipped (needs --cache-dir)")
+    compile_p.add_argument("--deadline", type=float, default=None,
+                           metavar="SECONDS",
+                           help="wall-clock budget for the compile; on "
+                                "expiry the build stops with a "
+                                "structured error, finished artefacts "
+                                "stay banked, and --resume continues")
+    compile_p.add_argument("--manifest", metavar="FILE", default=None,
+                           help="write the build manifest (step -> "
+                                "content key) as JSON, for diffing")
+    # Crash-injection hooks for the resume smoke tests: SIGKILL the
+    # process at the Nth cache-miss step.  Deliberately undocumented.
+    compile_p.add_argument("--crash-at-step", type=int, default=None,
+                           help=argparse.SUPPRESS)
+    compile_p.add_argument("--crash-point", default="mid",
+                           choices=("begin", "mid", "end"),
+                           help=argparse.SUPPRESS)
 
     edit_p = sub.add_parser(
         "edit", help="demo the incremental edit-compile-reload loop")
@@ -347,6 +426,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("floorplan", help="print the page floorplan")
 
+    fsck_p = sub.add_parser(
+        "fsck", help="check and repair an artifact store (orphan tmp "
+                     "files, corrupt objects, torn journal tail)")
+    fsck_p.add_argument("cache_dir",
+                        help="store directory (the --cache-dir of "
+                             "compile/edit)")
+
     trace_p = sub.add_parser(
         "trace", help="render a saved --trace file as a text tree")
     trace_p.add_argument("file", help="Chrome trace-event JSON written "
@@ -378,9 +464,24 @@ def main(argv: Optional[list] = None) -> int:
         "floorplan": cmd_floorplan,
         "bench": cmd_bench,
         "trace": cmd_trace,
+        "fsck": cmd_fsck,
     }[args.command]
     try:
         return handler(args)
+    except DeadlineExceeded as exc:
+        # A deadline expiry is not a build failure: finished artefacts
+        # are banked in the store, so tell the developer how to go on.
+        print(f"error: DeadlineExceeded: {exc}", file=sys.stderr)
+        print(f"  completed {len(exc.completed)} step(s) before the "
+              f"{exc.seconds:g}s budget ran out "
+              f"({exc.elapsed:.2f}s elapsed)", file=sys.stderr)
+        if exc.pending:
+            preview = ", ".join(exc.pending[:4])
+            more = " ..." if len(exc.pending) > 4 else ""
+            print(f"  pending: {preview}{more}", file=sys.stderr)
+        print("  rerun with --resume (same --cache-dir) to continue "
+              "from the journal", file=sys.stderr)
+        return 2
     except PLDError as exc:
         # Toolflow failures exit nonzero with a one-line diagnostic (and
         # the full structured report for deadlocks) instead of a

@@ -144,6 +144,9 @@ class BuildRecord:
 
     built: List[str] = field(default_factory=list)
     reused: List[str] = field(default_factory=list)
+    #: Subset of ``reused`` skipped via the build journal of a resumed
+    #: invocation (the crash-recovery "what --resume saved you" set).
+    resumed: List[str] = field(default_factory=list)
     #: step name -> content key it resolved to (the build manifest's
     #: raw material; keys are stable across processes).
     keys: Dict[str, str] = field(default_factory=dict)
@@ -190,30 +193,102 @@ class BuildEngine:
     then becomes a wall-clock span (cache hits become instants) on the
     ``build`` lane, and the flows pick the tracer up from the engine to
     trace their own phases and cluster schedules.
+
+    The remaining arguments form the supervision layer
+    (:mod:`repro.resilience`); all default to None, and the disabled
+    path is a strict no-op:
+
+    * ``journal`` — a :class:`~repro.resilience.BuildJournal`; every
+      cache-miss step is journaled begin/end (fail on a raising
+      builder), and a resumed journal turns matching cache hits into
+      ``resume-skip`` instants plus :attr:`BuildRecord.resumed` entries.
+    * ``deadline`` — a :class:`~repro.resilience.Deadline`; checked
+      before each builder runs, so expiry raises a structured
+      :class:`~repro.errors.DeadlineExceeded` carrying the partial
+      results while every finished artefact stays banked in the cache.
+    * ``breaker`` — a :class:`~repro.resilience.CircuitBreaker`; a step
+      whose builder keeps crashing fast-fails with
+      :class:`~repro.errors.CircuitOpenError` instead of rerunning.
+    * ``crash_plan`` — a :class:`repro.faults.CrashPlan`; the
+      crash-injection harness for the resume tests.
     """
 
-    def __init__(self, cache=None, tracer=None):
+    def __init__(self, cache=None, tracer=None, journal=None,
+                 deadline=None, breaker=None, crash_plan=None):
         self.cache = cache if cache is not None else BuildCache()
         self.record = BuildRecord()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.journal = journal
+        self.deadline = deadline
+        self.breaker = breaker
+        self.crash_plan = crash_plan
+
+    def _hit(self, name: str, key: str, artefact):
+        """Bookkeeping for one cache hit (shared with the parallel
+        engine): record reuse, resume-skip accounting, trace instant."""
+        self.record.reused.append(name)
+        if self.journal is not None and self.journal.can_skip(name, key):
+            self.record.resumed.append(name)
+            self.tracer.instant(f"resume-skip:{name}", category="build",
+                                lane="build", cache="hit", key=key,
+                                resumed=True)
+        else:
+            self.tracer.instant(name, category="build", lane="build",
+                                cache="hit", key=key)
+        return artefact
+
+    def _check_supervision(self, name: str, key: str) -> None:
+        """Deadline and breaker gates before a builder may run."""
+        if self.deadline is not None:
+            self.deadline.check(
+                name,
+                completed=self.record.built + self.record.reused,
+                pending=[name])
+        if self.breaker is not None:
+            try:
+                self.breaker.check(name)
+            except Exception:
+                self.tracer.instant(f"breaker-open:{name}",
+                                    category="build", lane="build",
+                                    key=key,
+                                    failures=self.breaker.failures(name))
+                raise
 
     def step(self, name: str, key_parts: Tuple, builder: Callable[[], Any]):
         key = content_key(name, *key_parts)
         self.record.keys[name] = key
         artefact = self.cache.get(key)
         if artefact is not None:
-            self.record.reused.append(name)
-            self.tracer.instant(name, category="build", lane="build",
-                                cache="hit", key=key)
-            return artefact
-        with self.tracer.span(name, category="build", lane="build",
-                              cache="miss", key=key):
-            start = time.perf_counter()
-            artefact = builder()
-            self.record.build_seconds[name] = time.perf_counter() - start
+            return self._hit(name, key, artefact)
+        self._check_supervision(name, key)
+        if self.crash_plan is not None:
+            self.crash_plan.maybe_crash("begin", name)
+        if self.journal is not None:
+            self.journal.begin_step(name, key)
+        try:
+            with self.tracer.span(name, category="build", lane="build",
+                                  cache="miss", key=key):
+                start = time.perf_counter()
+                artefact = builder()
+                self.record.build_seconds[name] = \
+                    time.perf_counter() - start
+        except Exception as exc:
+            if self.breaker is not None:
+                self.breaker.record_failure(name)
+            if self.journal is not None:
+                self.journal.fail_step(name, key, error=repr(exc))
+            raise
         if artefact is None:
             raise BuildError(f"builder for {name!r} returned None")
+        if self.crash_plan is not None:
+            self.crash_plan.maybe_crash("mid", name)
         self.cache.put(key, artefact)
+        if self.crash_plan is not None:
+            self.crash_plan.maybe_crash("end", name)
+        if self.journal is not None:
+            self.journal.end_step(name, key)
+        if self.breaker is not None:
+            self.breaker.record_success(name)
         self.record.built.append(name)
         return artefact
 

@@ -134,6 +134,9 @@ class FlowBuild:
     page_of: Dict[str, int] = field(default_factory=dict)
     rebuilt: List[str] = field(default_factory=list)
     reused: List[str] = field(default_factory=list)
+    #: Subset of ``reused`` whose cache hits were journaled by an
+    #: interrupted invocation — what ``pld compile --resume`` saved.
+    resumed: List[str] = field(default_factory=list)
     #: step name -> content key (stable across processes): the raw
     #: material of :meth:`manifest` and the session's dirty-set diff.
     step_keys: Dict[str, str] = field(default_factory=dict)
@@ -158,6 +161,10 @@ class FlowBuild:
     compile_attempts: Dict[str, int] = field(default_factory=dict)
     #: Wasted seconds on failed attempts/backoff, charged into makespan.
     retry_seconds: float = 0.0
+    #: Page jobs that ran a speculative backup attempt (hedged retries).
+    hedged_jobs: List[str] = field(default_factory=list)
+    #: Time burned by cancelled hedge attempts (losers of the race).
+    hedge_seconds: float = 0.0
     #: The fault plan this build compiled under, if any (its log holds
     #: every injected fault; see ``format_failure_report``).
     fault_plan: Optional[object] = None
@@ -597,13 +604,33 @@ class O1Flow:
         for name, art in artifacts.items():
             art.page = page_of[name]
 
+        # Circuit-breaker pre-check: an impl step whose builder has
+        # crashed repeatedly in this engine's lifetime fast-fails here —
+        # the operator goes straight to the -O0 softcore degradation
+        # path below instead of burning another full page compile.
+        breaker = getattr(engine, "breaker", None)
+        tripped: Dict[str, str] = {}
+        if breaker is not None:
+            for name, op in graph.operators.items():
+                if op.target == TARGET_HW \
+                        and breaker.is_open(f"impl:{name}"):
+                    tripped[name] = (
+                        f"circuit breaker open after "
+                        f"{breaker.failures(f'impl:{name}')} consecutive "
+                        f"failures; remapped to -O0 softcore")
+                    if tracer.enabled:
+                        tracer.instant(
+                            f"breaker-open:impl:{name}", category="build",
+                            lane="build",
+                            failures=breaker.failures(f"impl:{name}"))
+
         # Back end per HW operator: separate P&R against abstract
         # shells.  Page implementations are independent of one another
         # (the paper's page-parallel cluster compile), so they form the
         # second — and by far the most expensive — batch.
         impl_steps: List[BatchStep] = []
         for name, op in graph.operators.items():
-            if op.target != TARGET_HW:
+            if op.target != TARGET_HW or name in tripped:
                 continue
             page = self.overlay.page(page_of[name])
             shell = self.overlay.abstract_shell(page.number)
@@ -623,6 +650,8 @@ class O1Flow:
         for name, op in graph.operators.items():
             art = artifacts[name]
             page = self.overlay.page(page_of[name])
+            if name in tripped:
+                continue                   # degraded to -O0 below
             if op.target == TARGET_HW:
                 impl = impls[f"impl:{name}"]
                 art.fmax_mhz = min(impl.timing.fmax_mhz,
@@ -662,16 +691,24 @@ class O1Flow:
         dirty_names = [job.name for job in jobs
                        if f"impl:{job.name}" in built_steps]
         schedule_result, cold_schedule = self.cluster.incremental_schedule(
-            jobs, dirty_names, faults=injector, tracer=tracer)
+            jobs, dirty_names, faults=injector, tracer=tracer,
+            deadline=getattr(engine, "deadline", None))
         compile_times = schedule_result.stage_maxima
 
         # Graceful degradation (the paper's mixed-flow capability): an
-        # operator whose -O1 page compile exhausted its retries falls
-        # back to the preloaded -O0 softcore on the same page, so the
-        # design still links and produces identical output — only that
-        # operator runs slower until a later recompile succeeds.
-        remapped: Dict[str, str] = {}
+        # operator whose -O1 page compile exhausted its retries — or
+        # whose impl step tripped the circuit breaker — falls back to
+        # the preloaded -O0 softcore on the same page, so the design
+        # still links and produces identical output; only that operator
+        # runs slower until a later recompile succeeds.
+        degraded: Dict[str, str] = dict(tripped)
         for name in schedule_result.failed:
+            degraded[name] = (
+                f"page compile failed after "
+                f"{schedule_result.attempts.get(name, 0)} attempts; "
+                f"remapped to -O0 softcore")
+        remapped: Dict[str, str] = {}
+        for name, reason in degraded.items():
             op = graph.operators[name]
             page = self.overlay.page(page_of[name])
             compiled = engine.step(
@@ -679,10 +716,9 @@ class O1Flow:
                 lambda op=op: compile_operator(op.sample_spec))
             if page.brams * BYTES_PER_BRAM18 < compiled.memory_bytes:
                 raise RetryExhaustedError(
-                    f"operator {name!r}: page compile failed after "
-                    f"{schedule_result.attempts.get(name, 0)} attempts "
-                    f"and the -O0 fallback needs {compiled.memory_bytes} "
-                    f"bytes, more than page {page.number} holds",
+                    f"operator {name!r}: {reason.split(';')[0]}, and the "
+                    f"-O0 fallback needs {compiled.memory_bytes} bytes, "
+                    f"more than page {page.number} holds",
                     attempts=schedule_result.attempts.get(name, 0))
             art = artifacts[name]
             art.riscv = compiled
@@ -696,9 +732,6 @@ class O1Flow:
                     page, compiled,
                     digest=engine.record.keys.get(f"riscv:{name}", "")),
                 name, True)
-            reason = (f"page compile failed after "
-                      f"{schedule_result.attempts.get(name, 0)} attempts; "
-                      f"remapped to -O0 softcore")
             remapped[name] = reason
             if self.faults is not None:
                 self.faults.record("compile", "remap-to-o0", name, reason)
@@ -746,6 +779,7 @@ class O1Flow:
             page_of=page_of,
             rebuilt=list(engine.record.built),
             reused=list(engine.record.reused),
+            resumed=list(engine.record.resumed),
             step_keys=dict(engine.record.keys),
             cache_stats=engine.cache_stats(),
             recompiled_pages=recompiled_pages,
@@ -755,6 +789,8 @@ class O1Flow:
             remapped=remapped,
             compile_attempts=dict(schedule_result.attempts),
             retry_seconds=schedule_result.retry_seconds,
+            hedged_jobs=list(schedule_result.hedged),
+            hedge_seconds=schedule_result.hedge_seconds,
             fault_plan=self.faults,
             _exec_graph=exec_graph,
             _telemetry=telemetry,
@@ -982,6 +1018,7 @@ class O3Flow:
             performance=performance, area=area,
             rebuilt=list(engine.record.built),
             reused=list(engine.record.reused),
+            resumed=list(engine.record.resumed),
             step_keys=dict(engine.record.keys),
             cache_stats=engine.cache_stats(),
             cold_compile_times=compile_times,

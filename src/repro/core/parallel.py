@@ -54,8 +54,11 @@ class ParallelBuildEngine(BuildEngine):
     """
 
     def __init__(self, cache=None, workers: Optional[int] = None,
-                 tracer=None):
-        super().__init__(cache, tracer=tracer)
+                 tracer=None, journal=None, deadline=None, breaker=None,
+                 crash_plan=None):
+        super().__init__(cache, tracer=tracer, journal=journal,
+                         deadline=deadline, breaker=breaker,
+                         crash_plan=crash_plan)
         self.workers = workers if workers is not None \
             else (os.cpu_count() or 1)
         #: Steps that failed on a worker and were re-run in-process.
@@ -111,10 +114,7 @@ class ParallelBuildEngine(BuildEngine):
                 continue
             artefact = self.cache.get(key)
             if artefact is not None:
-                self.record.reused.append(s.name)
-                self.tracer.instant(s.name, category="build",
-                                    lane="build", cache="hit", key=key)
-                results[pos] = artefact
+                results[pos] = self._hit(s.name, key, artefact)
             else:
                 pending.add(key)
                 misses.append((pos, s, key))
@@ -133,6 +133,15 @@ class ParallelBuildEngine(BuildEngine):
         return results
 
     def _gather(self, misses, results) -> None:
+        # Supervision gates fire before any work ships: an expired
+        # deadline or an open breaker fails the batch with no futures
+        # in flight, and the journal records every step about to build.
+        for _pos, s, key in misses:
+            self._check_supervision(s.name, key)
+            if self.crash_plan is not None:
+                self.crash_plan.maybe_crash("begin", s.name)
+            if self.journal is not None:
+                self.journal.begin_step(s.name, key)
         futures = None
         try:
             pool = self._ensure_pool()
@@ -161,7 +170,15 @@ class ParallelBuildEngine(BuildEngine):
                     self.worker_retries += 1
                     retried = True
             if artefact is None:
-                artefact = self._build_local(s)
+                try:
+                    artefact = self._build_local(s)
+                except Exception as exc:
+                    if self.breaker is not None:
+                        self.breaker.record_failure(s.name)
+                    if self.journal is not None:
+                        self.journal.fail_step(s.name, key,
+                                               error=repr(exc))
+                    raise
             elapsed = time.perf_counter() - start
             self.record.build_seconds[s.name] = elapsed
             if self.tracer.enabled:
@@ -174,7 +191,15 @@ class ParallelBuildEngine(BuildEngine):
             if artefact is None:
                 raise BuildError(
                     f"builder for {s.name!r} returned None")
+            if self.crash_plan is not None:
+                self.crash_plan.maybe_crash("mid", s.name)
             self.cache.put(key, artefact)
+            if self.crash_plan is not None:
+                self.crash_plan.maybe_crash("end", s.name)
+            if self.journal is not None:
+                self.journal.end_step(s.name, key)
+            if self.breaker is not None:
+                self.breaker.record_success(s.name)
             self.record.built.append(s.name)
             results[pos] = artefact
 

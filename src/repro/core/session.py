@@ -81,12 +81,19 @@ class IncrementalSession:
             omitted); the session reuses one engine across compiles so
             the flow's record reflects incremental work.
         effort / seed: forwarded to a default-constructed flow.
+        resume: replay the store's build journal from an interrupted
+            invocation — completed steps become ``resume-skip`` cache
+            hits; requires a disk-backed store (``cache_dir``).
+        deadline: an optional :class:`repro.resilience.Deadline`
+            bounding each compile; expiry raises
+            :class:`repro.errors.DeadlineExceeded` while every finished
+            artefact stays banked in the store.
     """
 
     def __init__(self, cache_dir=None, store=None,
                  flow: Optional[O1Flow] = None, effort: float = 1.0,
                  seed: int = 1, cluster: Optional[CompileCluster] = None,
-                 tracer=None):
+                 tracer=None, resume: bool = False, deadline=None):
         # Imported here, not at module top: repro.store itself imports
         # repro.core.build, and this module is pulled in by the
         # repro.core package init — a top-level import would make
@@ -97,7 +104,17 @@ class IncrementalSession:
         self.store = store if store is not None \
             else ArtifactStore(cache_dir=cache_dir)
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.engine = BuildEngine(cache=self.store, tracer=self.tracer)
+        self.journal = None
+        store_dir = getattr(self.store, "cache_dir", None)
+        if store_dir is not None:
+            from repro.resilience import BuildJournal
+            self.journal = BuildJournal(store_dir, resume=resume)
+        elif resume:
+            raise FlowError("--resume needs a disk-backed store "
+                            "(cache_dir); an in-memory session has no "
+                            "journal to replay")
+        self.engine = BuildEngine(cache=self.store, tracer=self.tracer,
+                                  journal=self.journal, deadline=deadline)
         self.flow = flow if flow is not None \
             else O1Flow(effort=effort, seed=seed, cluster=cluster)
         self.project: Optional[Project] = None
@@ -110,7 +127,11 @@ class IncrementalSession:
         with self.tracer.span(f"session:{kind}", category="session",
                               lane="session",
                               project=project.name) as span:
+            if self.journal is not None:
+                self.journal.begin_build(self.flow.name, project.name)
             self.build = self.flow.compile(project, self.engine)
+            if self.journal is not None:
+                self.journal.end_build()
             span.set(pages_rebuilt=len(self.build.recompiled_pages),
                      reused=len(self.build.reused))
         self.project = project

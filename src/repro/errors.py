@@ -100,6 +100,41 @@ class StoreError(BuildError):
     """The artifact store hit a serialization or integrity problem."""
 
 
+class DeadlineExceeded(PLDError):
+    """A compile ran out of its wall-clock budget.
+
+    Raised by the supervision layer (:mod:`repro.resilience`) when a
+    :class:`~repro.resilience.Deadline` expires mid-build.  Carries the
+    partial results — which steps/jobs already completed and which were
+    pending — so the CLI can report what finished and tell the user to
+    rerun with ``--resume`` instead of throwing the work away.
+    """
+
+    def __init__(self, message: str, *, seconds: float = 0.0,
+                 elapsed: float = 0.0, completed: list = None,
+                 pending: list = None):
+        super().__init__(message)
+        self.seconds = seconds
+        self.elapsed = elapsed
+        self.completed = list(completed or [])
+        self.pending = list(pending or [])
+
+
+class CircuitOpenError(BuildError):
+    """A step's circuit breaker is open: it crashed too many times.
+
+    The build engine raises this *instead of running the builder*, so a
+    deterministically-crashing step fast-fails rather than burning a
+    full retry/backoff ladder on every compile; the -O1 flow catches the
+    open breaker upstream and degrades the operator to the -O0 softcore.
+    """
+
+    def __init__(self, message: str, *, step: str = "", failures: int = 0):
+        super().__init__(message)
+        self.step = step
+        self.failures = failures
+
+
 class FaultInjectionError(PLDError):
     """A fault-injection plan deliberately failed an operation.
 

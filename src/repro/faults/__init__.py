@@ -28,14 +28,18 @@ the recovery actions a build took.
 from repro.faults.plan import (
     BitstreamFaultInjector,
     CompileFaultInjector,
+    CrashPlan,
     DMAFaultInjector,
     FaultEvent,
     FaultPlan,
+    InjectedCrash,
     NoCFaultInjector,
     SoftcoreFaultInjector,
 )
 
 __all__ = [
+    "CrashPlan",
+    "InjectedCrash",
     "FaultPlan",
     "FaultEvent",
     "CompileFaultInjector",

@@ -28,6 +28,67 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
 
+class InjectedCrash(BaseException):
+    """A :class:`CrashPlan` killed the process at a planned point.
+
+    Deliberately a ``BaseException``: a crash is not an error the
+    toolflow may handle — recovery code that catches ``Exception`` must
+    not accidentally survive it, exactly like a real SIGKILL.  Only the
+    crash-injection harness itself catches this.
+    """
+
+
+class CrashPlan:
+    """Kills the process at build step *k* (the crash-safety harness).
+
+    The build engine calls :meth:`maybe_crash` at three journaled
+    points of every cache-miss step — ``begin`` (journal begin written,
+    builder not yet run), ``mid`` (builder done, artefact not yet in
+    the store) and ``end`` (artefact stored, journal end not yet
+    written).  The plan counts miss-steps as they begin and fires at
+    the configured ``(at_step, point)``, either by raising
+    :class:`InjectedCrash` (in-process tests) or with a real
+    ``SIGKILL`` (subprocess e2e tests) — so every window a real crash
+    could land in is reachable deterministically.
+    """
+
+    POINTS = ("begin", "mid", "end")
+
+    def __init__(self, at_step: int, point: str = "begin",
+                 mode: str = "raise"):
+        if at_step < 1:
+            raise ValueError("at_step is 1-based and must be >= 1")
+        if point not in self.POINTS:
+            raise ValueError(f"point must be one of {self.POINTS}")
+        if mode not in ("raise", "sigkill"):
+            raise ValueError("mode must be 'raise' or 'sigkill'")
+        self.at_step = at_step
+        self.point = point
+        self.mode = mode
+        self.steps_started = 0
+        self.fired = False
+
+    def maybe_crash(self, point: str, step: str) -> None:
+        """Called by the engine at each crash window of a miss step."""
+        if self.fired:
+            return
+        if point == "begin":
+            self.steps_started += 1
+        if self.steps_started == self.at_step and point == self.point:
+            self.fired = True
+            if self.mode == "sigkill":
+                import os
+                import signal
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise InjectedCrash(
+                f"injected crash at step #{self.at_step} "
+                f"({step!r}, point={point})")
+
+    def __repr__(self) -> str:
+        return (f"CrashPlan(at_step={self.at_step}, "
+                f"point={self.point!r}, mode={self.mode!r})")
+
+
 def _draw(seed: int, *key) -> float:
     """Uniform [0, 1) draw, a pure function of (seed, key)."""
     text = repr((seed,) + key).encode()

@@ -1,0 +1,66 @@
+"""Per-step circuit breakers for the build engine.
+
+A step whose builder crashes once is retried (the parallel engine's
+in-process retry, the cluster's backoff ladder); a step that crashes
+*every time* is deterministic breakage, and burning the full ladder on
+each compile just delays the developer.  :class:`CircuitBreaker` counts
+consecutive builder failures per step name; once a step reaches the
+threshold its breaker *opens* and the engine raises
+:class:`repro.errors.CircuitOpenError` instead of running the builder —
+the -O1 flow then routes the operator straight to the -O0 softcore
+degradation path (same fallback as an exhausted cluster job).
+
+A later success (e.g. after the developer fixes the operator and the
+content key changes) resets the count, closing the breaker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import CircuitOpenError
+
+#: Consecutive failures after which a step's breaker opens.
+DEFAULT_FAILURE_THRESHOLD = 3
+
+
+class CircuitBreaker:
+    """Counts consecutive failures per step name; opens at a threshold."""
+
+    def __init__(self, failure_threshold: int = DEFAULT_FAILURE_THRESHOLD):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self._failures: Dict[str, int] = {}
+
+    def record_failure(self, step: str) -> int:
+        """Count one builder failure; returns the new count."""
+        self._failures[step] = self._failures.get(step, 0) + 1
+        return self._failures[step]
+
+    def record_success(self, step: str) -> None:
+        """A completed build closes the step's breaker."""
+        self._failures.pop(step, None)
+
+    def failures(self, step: str) -> int:
+        return self._failures.get(step, 0)
+
+    def is_open(self, step: str) -> bool:
+        return self._failures.get(step, 0) >= self.failure_threshold
+
+    def open_steps(self) -> List[str]:
+        return sorted(step for step, count in self._failures.items()
+                      if count >= self.failure_threshold)
+
+    def check(self, step: str) -> None:
+        """Raise :class:`CircuitOpenError` when the step's breaker is open."""
+        count = self._failures.get(step, 0)
+        if count >= self.failure_threshold:
+            raise CircuitOpenError(
+                f"step {step!r} fast-failed: circuit breaker open after "
+                f"{count} consecutive builder failures",
+                step=step, failures=count)
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(threshold={self.failure_threshold}, "
+                f"open={self.open_steps()})")

@@ -1,0 +1,68 @@
+"""Wall-clock deadline budgets for compiles.
+
+A :class:`Deadline` is a monotonic-clock budget threaded through the
+build engine, the flows and the compile cluster.  Checks are explicit
+and cheap (one ``perf_counter`` read); when the budget is gone the
+checker raises :class:`repro.errors.DeadlineExceeded` *carrying the
+partial results* — what already completed (and therefore sits in the
+artifact store) and what was pending — so the CLI can tell the user
+exactly what a ``--resume`` will skip.
+
+Checks sit *between* units of work, never inside them: a builder that
+has started is allowed to finish (its artefact is then banked in the
+store), so an expired deadline loses at most the in-flight step.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.errors import DeadlineExceeded
+
+
+class Deadline:
+    """A wall-clock budget of ``seconds`` starting at construction.
+
+    Args:
+        seconds: total budget; must be positive.
+        clock: injectable time source (tests pass a fake; defaults to
+            :func:`time.monotonic`).
+    """
+
+    def __init__(self, seconds: float, clock=None):
+        if seconds <= 0:
+            raise ValueError(f"deadline must be positive, got {seconds}")
+        self.seconds = float(seconds)
+        self._clock = clock if clock is not None else time.monotonic
+        self._start = self._clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        return self.seconds - self.elapsed()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, label: str, completed: Optional[List[str]] = None,
+              pending: Optional[List[str]] = None) -> None:
+        """Raise :class:`DeadlineExceeded` when the budget is spent.
+
+        ``label`` names the unit of work about to run; ``completed`` and
+        ``pending`` ride on the exception as the partial results.
+        """
+        if not self.expired:
+            return
+        elapsed = self.elapsed()
+        raise DeadlineExceeded(
+            f"deadline of {self.seconds:g}s expired after "
+            f"{elapsed:.2f}s, before {label}",
+            seconds=self.seconds, elapsed=elapsed,
+            completed=completed, pending=pending or [label])
+
+    def __repr__(self) -> str:
+        return (f"Deadline({self.seconds:.1f}s, "
+                f"{max(0.0, self.remaining()):.1f}s remaining)")

@@ -1,0 +1,104 @@
+"""Cross-process advisory locking for a shared artifact store.
+
+Two ``pld`` processes pointed at one ``cache_dir`` are safe for plain
+get/put traffic by construction (writes publish atomically via
+``os.replace`` after an fsync, reads degrade torn or deleted files to
+misses), but *maintenance* — ``prune`` sweeping unreferenced objects,
+``pld fsck`` healing the directory — must not race a concurrent sweep.
+:class:`StoreLock` is a small ``fcntl.flock`` advisory lock on
+``cache_dir/store.lock``: maintenance takes it exclusively, and any
+process that wants to keep the store stable under its feet may hold it
+shared.
+
+On platforms without ``fcntl`` (Windows) the lock degrades to a no-op —
+the store's atomic-publish invariants still hold; only concurrent
+maintenance loses mutual exclusion.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+from typing import Optional
+
+from repro.errors import StoreError
+
+try:                                   # POSIX only; no-op elsewhere
+    import fcntl
+except ImportError:                    # pragma: no cover - non-POSIX
+    fcntl = None
+
+#: Lock file name inside the store's ``cache_dir``.
+LOCK_NAME = "store.lock"
+
+#: Default seconds to wait for a contended lock before giving up.
+DEFAULT_TIMEOUT = 30.0
+
+
+class StoreLock:
+    """An advisory file lock over one store directory (context manager).
+
+    Args:
+        cache_dir: the store directory; the lock file is created inside.
+        exclusive: exclusive (maintenance) vs. shared (reader) mode.
+        timeout: seconds to wait for a contended lock; raises
+            :class:`StoreError` when it cannot be acquired in time.
+    """
+
+    def __init__(self, cache_dir, exclusive: bool = True,
+                 timeout: float = DEFAULT_TIMEOUT):
+        self.path = pathlib.Path(cache_dir) / LOCK_NAME
+        self.exclusive = exclusive
+        self.timeout = timeout
+        self._fd: Optional[int] = None
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def acquire(self) -> "StoreLock":
+        if self._fd is not None:
+            return self
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(str(self.path), os.O_RDWR | os.O_CREAT, 0o644)
+        if fcntl is None:              # pragma: no cover - non-POSIX
+            self._fd = fd
+            return self
+        flag = fcntl.LOCK_EX if self.exclusive else fcntl.LOCK_SH
+        give_up = time.monotonic() + self.timeout
+        while True:
+            try:
+                fcntl.flock(fd, flag | fcntl.LOCK_NB)
+                self._fd = fd
+                return self
+            except OSError:
+                if time.monotonic() >= give_up:
+                    os.close(fd)
+                    raise StoreError(
+                        f"could not acquire store lock {self.path} "
+                        f"within {self.timeout:.0f}s (another pld "
+                        f"process is doing store maintenance)")
+                time.sleep(0.02)
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+        finally:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "StoreLock":
+        return self.acquire()
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False
+
+    def __repr__(self) -> str:
+        mode = "exclusive" if self.exclusive else "shared"
+        state = "held" if self.held else "free"
+        return f"StoreLock({str(self.path)!r}, {mode}, {state})"

@@ -119,11 +119,15 @@ class ArtifactStore:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         data = encode_artifact(key, artifact)
-        # Atomic publish: a reader never sees a half-written artefact.
+        # Atomic, durable publish: fsync before the rename so a crash
+        # right after os.replace can't leave an empty file behind the
+        # final name, and a reader never sees a half-written artefact.
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except OSError:
             try:
@@ -152,13 +156,30 @@ class ArtifactStore:
         return artifact_kind(artifact) if artifact is not None else ""
 
     def prune(self, keep) -> int:
-        """Delete on-disk artefacts whose key is not in ``keep``."""
+        """Delete on-disk artefacts whose key is not in ``keep``.
+
+        Also reaps *stale* orphaned ``.tmp`` staging files (the residue
+        of a writer killed between ``mkstemp`` and ``os.replace``); a
+        concurrent writer's in-flight staging file is young and
+        survives the sweep.  Runs under the store's exclusive advisory
+        lock so two maintenance passes never race each other.
+        """
         if self.cache_dir is None:
             return 0
+        from repro.resilience.fsck import stale_tmps
+        from repro.resilience.lock import StoreLock
+
         keep = set(keep)
         removed = 0
-        for path in self._objects.glob("*/*.art"):
-            if path.stem not in keep:
+        with StoreLock(self.cache_dir, exclusive=True):
+            for path in self._objects.glob("*/*.art"):
+                if path.stem not in keep:
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+            for path in stale_tmps(self._objects):
                 try:
                     path.unlink()
                     removed += 1

@@ -111,3 +111,147 @@ class TestDeterminism:
                     [str(e) for e in plan.log])
 
         assert once() == once()
+
+
+class TestNodeLossBookkeeping:
+    def test_failed_job_excluded_from_assignments(self):
+        """Regression: a job whose final attempt took its node down must
+        land in ``failed`` and must NOT claim a node in ``assignments``
+        (it never produced a result anywhere)."""
+        plan = FaultPlan(1, node_fail_rate=1.0)
+        cluster = CompileCluster(nodes=3, max_attempts=2)
+        schedule = cluster.schedule(_jobs(1), faults=plan.compile_faults())
+        assert schedule.failed == ["op_0"]
+        assert "op_0" not in schedule.assignments
+        assert schedule.attempts["op_0"] == 2
+        # Both dead nodes were retired; the third is untouched.
+        assert sorted(schedule.lost_nodes) == [0, 1]
+
+    def test_final_node_death_emits_failed_segment(self):
+        """The job's closing trace span says 'failed', not 'node-lost'."""
+        from repro.trace import Tracer
+
+        plan = FaultPlan(1, node_fail_rate=1.0)
+        cluster = CompileCluster(nodes=3, max_attempts=2)
+        tracer = Tracer()
+        cluster.schedule(_jobs(1), faults=plan.compile_faults(),
+                         tracer=tracer)
+        outcomes = [e.attrs.get("outcome") for e in tracer.events
+                    if e.name == "job:op_0" and e.kind == "span"]
+        assert outcomes                 # a segment was emitted at all
+        assert outcomes[-1] == "failed"
+
+    def test_mixed_failed_and_ok_jobs_assignments_are_consistent(self):
+        plan = FaultPlan(0, kill_jobs=["op_1"])
+        cluster = CompileCluster(nodes=2, max_attempts=2)
+        jobs = _jobs(4)
+        schedule = cluster.schedule(jobs, faults=plan.compile_faults())
+        assert schedule.failed == ["op_1"]
+        assert set(schedule.assignments) \
+            == {j.name for j in jobs} - {"op_1"}
+        assert set(schedule.attempts) == {j.name for j in jobs}
+
+
+def _straggler_jobs():
+    """Six quick jobs plus one straggler dominating the makespan."""
+    return _jobs(6, seconds=10.0) + [Job("huge", StageTimes(pnr=1000.0))]
+
+
+class TestHedgedRetries:
+    #: A seed (found by search, stable under the pure-hash draws) where
+    #: the straggler's primary attempt times out but its hedge runs
+    #: clean — the case hedging exists for.
+    SEED = 18
+
+    def _plans(self):
+        return (FaultPlan(self.SEED, compile_timeout_rate=0.4),
+                FaultPlan(self.SEED, compile_timeout_rate=0.4))
+
+    def test_hedge_strictly_reduces_straggler_makespan(self):
+        base_plan, hedge_plan = self._plans()
+        jobs = _straggler_jobs()
+        base = CompileCluster(nodes=4, max_attempts=3).schedule(
+            jobs, faults=base_plan.compile_faults())
+        hedged = CompileCluster(nodes=4, max_attempts=3,
+                                hedge_quantile=0.9).schedule(
+            jobs, faults=hedge_plan.compile_faults())
+        assert hedged.hedged == ["huge"]
+        assert hedged.makespan < base.makespan          # strictly better
+        assert not hedged.failed
+        # The loser's burned time is accounted as hedge, not retry.
+        assert hedged.hedge_seconds > 0
+        assert hedged.hedge_seconds != hedged.retry_seconds
+
+    def test_hedged_schedule_is_deterministic(self):
+        def once():
+            plan = FaultPlan(self.SEED, compile_timeout_rate=0.4,
+                             node_fail_rate=0.05)
+            cluster = CompileCluster(nodes=4, max_attempts=3,
+                                     hedge_quantile=0.75)
+            s = cluster.schedule(_straggler_jobs(),
+                                 faults=plan.compile_faults())
+            return (s.makespan, s.assignments, s.attempts, s.failed,
+                    s.hedged, s.hedge_seconds, s.retry_seconds)
+
+        assert once() == once()
+
+    def test_hedge_disabled_is_bit_identical_to_legacy(self):
+        """hedge_quantile=None must not perturb the existing schedule."""
+        plan_a = FaultPlan(42, compile_fail_rate=0.3,
+                           compile_timeout_rate=0.1)
+        plan_b = FaultPlan(42, compile_fail_rate=0.3,
+                           compile_timeout_rate=0.1)
+        jobs = _jobs(12)
+        a = CompileCluster(nodes=4, max_attempts=4).schedule(
+            jobs, faults=plan_a.compile_faults())
+        b = CompileCluster(nodes=4, max_attempts=4,
+                           hedge_quantile=None).schedule(
+            jobs, faults=plan_b.compile_faults())
+        assert (a.makespan, a.assignments, a.attempts, a.retry_seconds) \
+            == (b.makespan, b.assignments, b.attempts, b.retry_seconds)
+        assert b.hedged == [] and b.hedge_seconds == 0.0
+
+    def test_fault_free_hedge_charges_nothing(self):
+        """Without faults the primary wins instantly: zero hedge cost
+        (the backup node never gets to start) and an unchanged makespan."""
+        jobs = _straggler_jobs()
+        plain = CompileCluster(nodes=4).schedule(jobs)
+        hedged = CompileCluster(nodes=4, hedge_quantile=0.9).schedule(jobs)
+        assert hedged.makespan == pytest.approx(plain.makespan)
+        assert hedged.hedge_seconds == pytest.approx(0.0)
+        assert hedged.hedged == ["huge"]
+
+    def test_kill_job_fails_both_ladders(self):
+        """A deterministically-broken job fails its hedge too — hedging
+        must not mask real breakage."""
+        plan = FaultPlan(0, kill_jobs=["huge"])
+        cluster = CompileCluster(nodes=4, max_attempts=2,
+                                 hedge_quantile=0.9)
+        schedule = cluster.schedule(_straggler_jobs(),
+                                    faults=plan.compile_faults())
+        assert schedule.failed == ["huge"]
+        assert "huge" not in schedule.assignments
+        assert schedule.hedge_seconds > 0       # the backup burned time
+
+    def test_invalid_quantile_rejected(self):
+        cluster = CompileCluster(hedge_quantile=1.5)
+        with pytest.raises(FlowError, match="hedge_quantile"):
+            cluster.schedule(_jobs(2))
+
+    def test_hedge_span_appears_in_trace(self):
+        from repro.trace import Tracer
+
+        tracer = Tracer()
+        CompileCluster(nodes=4, hedge_quantile=0.9).schedule(
+            _straggler_jobs(), tracer=tracer)
+        names = {e.name for e in tracer.events}
+        assert "job:huge" in names
+        # Fault-free, the backup never starts, so no hedge span; with a
+        # timed-out primary it must appear.
+        plan = FaultPlan(self.SEED, compile_timeout_rate=0.4)
+        tracer2 = Tracer()
+        CompileCluster(nodes=4, max_attempts=3,
+                       hedge_quantile=0.9).schedule(
+            _straggler_jobs(), faults=plan.compile_faults(),
+            tracer=tracer2)
+        assert any(e.name == "hedge:huge" for e in tracer2.events)
