@@ -93,8 +93,24 @@ def _write_trace(tracer, args) -> None:
               f"{args.trace}' or load into Perfetto)")
 
 
+def _store_client(args, tracer=None):
+    """A :class:`ShardedStoreClient` for ``--store tcp://…``.
+
+    ``--cache-dir`` doubles as the local fallback/hot tier (and hosts
+    the journal); without it the fallback is memory-only, so degraded
+    artefacts live only as long as the process.
+    """
+    from repro.store import ArtifactStore
+    from repro.store.remote import ShardedStoreClient, parse_store_urls
+
+    urls = parse_store_urls(args.store)
+    fallback = ArtifactStore(cache_dir=getattr(args, "cache_dir", None))
+    return ShardedStoreClient(urls, fallback=fallback, tracer=tracer)
+
+
 def _engine(args, tracer=None) -> BuildEngine:
-    """A build engine, persistent when ``--cache-dir`` was given and
+    """A build engine, persistent when ``--cache-dir`` was given,
+    remote-backed when ``--store`` names shard servers, and
     process-parallel when ``--workers`` asks for more than one.
 
     With a persistent store the engine also carries a build journal
@@ -105,10 +121,13 @@ def _engine(args, tracer=None) -> BuildEngine:
     cache = None
     journal = None
     cache_dir = getattr(args, "cache_dir", None)
-    if cache_dir:
+    if getattr(args, "store", None):
+        cache = _store_client(args, tracer)
+    elif cache_dir:
         from repro.store import ArtifactStore
-        from repro.resilience import BuildJournal
         cache = ArtifactStore(cache_dir=cache_dir)
+    if cache_dir:
+        from repro.resilience import BuildJournal
         journal = BuildJournal(cache_dir,
                                resume=bool(getattr(args, "resume", False)))
         if journal.resuming and journal.interrupted:
@@ -182,6 +201,14 @@ def cmd_compile(args) -> int:
         print(f"cache: {stats.get('hits', 0)} hits, "
               f"{stats.get('misses', 0)} misses, "
               f"{stats.get('evictions', 0)} evictions")
+        if "remote_hits" in stats:
+            print(f"store: {stats['remote_hits']} remote hits, "
+                  f"{stats.get('degraded_gets', 0) + stats.get('degraded_puts', 0)}"
+                  f" degraded ops, "
+                  f"{len(stats.get('quarantined', []))} shard(s) "
+                  f"quarantined, "
+                  f"{sum(stats.get('pending', {}).values())} write(s) "
+                  f"owed")
     if getattr(args, "manifest", None):
         import json
         with open(args.manifest, "w") as handle:
@@ -195,12 +222,54 @@ def cmd_compile(args) -> int:
 
 
 def cmd_fsck(args) -> int:
-    """Check and repair an artifact store directory."""
+    """Check and repair an artifact store (local dir or remote shards)."""
+    from repro.resilience import TMP_GRACE_SECONDS
+
+    if args.fsck_grace is None:
+        args.fsck_grace = TMP_GRACE_SECONDS
+    if getattr(args, "shard", None):
+        return _fsck_shards(args)
+    if not args.cache_dir:
+        raise SystemExit("fsck needs a store directory or --shard URLS")
     from repro.resilience import fsck_store
 
-    report = fsck_store(args.cache_dir)
+    report = fsck_store(args.cache_dir, grace=args.fsck_grace)
     print(report.summary())
     return 0
+
+
+def _fsck_shards(args) -> int:
+    """Run the store doctor on every remote shard backend."""
+    from repro.store.remote import ShardClient, parse_store_urls
+
+    failures = 0
+    for url in parse_store_urls(args.shard):
+        client = ShardClient(url)
+        try:
+            response, _ = client.request(
+                "fsck", extra={"grace": args.fsck_grace})
+        except PLDError as exc:
+            print(f"fsck {url}: UNREACHABLE ({exc})")
+            failures += 1
+            continue
+        finally:
+            client.close()
+        report = response.get("report", {})
+        state = "clean" if report.get("clean") else "healed defects"
+        print(f"fsck {url} ({report.get('cache_dir', '?')}): {state}, "
+              f"{report.get('objects_checked', 0)} objects verified")
+        for action in report.get("actions", []):
+            print(f"  - {action}")
+    return 2 if failures else 0
+
+
+def cmd_store(args) -> int:
+    """``pld store serve`` — run one shard backend in the foreground."""
+    if args.store_command == "serve":
+        from repro.store.remote import serve_forever
+        serve_forever(args.cache_dir, host=args.host, port=args.port)
+        return 0
+    raise SystemExit(f"unknown store command {args.store_command!r}")
 
 
 def cmd_edit(args) -> int:
@@ -211,8 +280,11 @@ def cmd_edit(args) -> int:
 
     app = _app(args.app)
     tracer = _tracer(args)
-    store = ArtifactStore(cache_dir=args.cache_dir) \
-        if args.cache_dir else ArtifactStore()
+    if getattr(args, "store", None):
+        store = _store_client(args, tracer)
+    else:
+        store = ArtifactStore(cache_dir=args.cache_dir) \
+            if args.cache_dir else ArtifactStore()
     session = IncrementalSession(store=store, effort=args.effort,
                                  tracer=tracer)
     build = session.compile(app.project)
@@ -239,6 +311,7 @@ def cmd_edit(args) -> int:
     print(format_incremental_report(result))
     if args.timeline:
         print(host.timeline.summarize())
+    session.close()
     _write_trace(tracer, args)
     return 0
 
@@ -352,6 +425,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="persistent artifact store; a second "
                                 "compile over the same directory "
                                 "rebuilds nothing")
+    compile_p.add_argument("--store", metavar="URLS", default=None,
+                           help="comma-separated shard servers "
+                                "(tcp://host:port,...) started with "
+                                "'pld store serve'; --cache-dir "
+                                "becomes the local fallback tier")
     compile_p.add_argument("--workers", "-j", type=int, default=None,
                            help="run independent build steps on this "
                                 "many worker processes (modeled compile "
@@ -390,6 +468,9 @@ def build_parser() -> argparse.ArgumentParser:
     edit_p.add_argument("--cache-dir", default=None,
                         help="persistent artifact store shared with "
                              "'compile'")
+    edit_p.add_argument("--store", metavar="URLS", default=None,
+                        help="comma-separated shard servers "
+                             "(tcp://host:port,...)")
     edit_p.add_argument("--timeline", action="store_true",
                         help="print the host reload timeline")
     edit_p.add_argument("--trace", metavar="FILE", default=None,
@@ -405,6 +486,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--cache-dir", default=None,
                        help="persistent artifact store shared with "
                             "'compile'")
+    run_p.add_argument("--store", metavar="URLS", default=None,
+                       help="comma-separated shard servers "
+                            "(tcp://host:port,...)")
     run_p.add_argument("--workers", "-j", type=int, default=None,
                        help="run independent build steps on this many "
                             "worker processes")
@@ -429,9 +513,31 @@ def build_parser() -> argparse.ArgumentParser:
     fsck_p = sub.add_parser(
         "fsck", help="check and repair an artifact store (orphan tmp "
                      "files, corrupt objects, torn journal tail)")
-    fsck_p.add_argument("cache_dir",
+    fsck_p.add_argument("cache_dir", nargs="?", default=None,
                         help="store directory (the --cache-dir of "
                              "compile/edit)")
+    fsck_p.add_argument("--shard", metavar="URLS", default=None,
+                        help="run the doctor on remote shard backends "
+                             "instead (tcp://host:port,...)")
+    fsck_p.add_argument("--fsck-grace", type=float, default=None,
+                        metavar="SECONDS",
+                        help="age threshold before an orphan .tmp "
+                             "staging file is reaped (default 60; "
+                             "fast CI passes 0)")
+
+    store_p = sub.add_parser(
+        "store", help="remote artifact-store administration")
+    store_sub = store_p.add_subparsers(dest="store_command",
+                                       required=True)
+    serve_p = store_sub.add_parser(
+        "serve", help="serve one store directory as a shard backend "
+                      "(blocks; ^C stops)")
+    serve_p.add_argument("cache_dir",
+                         help="store directory this shard owns")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=0,
+                         help="bind port (0 picks a free one and "
+                              "prints it)")
 
     trace_p = sub.add_parser(
         "trace", help="render a saved --trace file as a text tree")
@@ -465,6 +571,7 @@ def main(argv: Optional[list] = None) -> int:
         "bench": cmd_bench,
         "trace": cmd_trace,
         "fsck": cmd_fsck,
+        "store": cmd_store,
     }[args.command]
     try:
         return handler(args)

@@ -325,3 +325,23 @@ class BuildEngine:
     def fresh_record(self) -> None:
         """Start a new invocation record (same cache)."""
         self.record = BuildRecord()
+
+    def close(self) -> None:
+        """Release engine resources (idempotent).
+
+        The base engine only owns its cache; a cache with a ``close``
+        of its own — the remote :class:`repro.store.remote.
+        ShardedStoreClient` and its socket pools — is shut down here,
+        so every CLI path that closes its engine also closes the
+        store's connections.
+        """
+        close = getattr(self.cache, "close", None)
+        if callable(close):
+            close()
+
+    def __enter__(self) -> "BuildEngine":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -78,10 +78,12 @@ class ParallelBuildEngine(BuildEngine):
             self._pool = None
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent); also closes a
+        closeable cache via the base engine."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        super().close()
 
     def __enter__(self) -> "ParallelBuildEngine":
         return self

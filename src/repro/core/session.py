@@ -135,7 +135,26 @@ class IncrementalSession:
             span.set(pages_rebuilt=len(self.build.recompiled_pages),
                      reused=len(self.build.reused))
         self.project = project
+        self._reconcile_store()
         return self.build
+
+    def _reconcile_store(self) -> None:
+        """Drain a remote store's write-behind queue between compiles.
+
+        With a :class:`repro.store.remote.ShardedStoreClient` backing
+        the session, artefacts written while a shard was quarantined
+        sit in the local fallback; the end of a compile is the natural
+        moment to try pushing them out (the shard may have healed
+        mid-build).  A plain local store has no ``reconcile`` and this
+        is a no-op.
+        """
+        reconcile = getattr(self.store, "reconcile", None)
+        if callable(reconcile):
+            drained = reconcile()
+            if drained:
+                self.tracer.instant("session:store-reconciled",
+                                    category="session", lane="session",
+                                    drained=drained)
 
     def apply_edit(self, op_name: str, new_spec: OperatorSpec,
                    sample_spec: Optional[OperatorSpec] = None) -> EditResult:
@@ -211,6 +230,21 @@ class IncrementalSession:
         out = dict(self.store.stats())
         out["edits"] = len(self.history)
         return out
+
+    def close(self) -> None:
+        """Release session resources: journal, engine, and — for a
+        remote store — its socket pools (after one last reconcile)."""
+        self._reconcile_store()
+        if self.journal is not None:
+            self.journal.close()
+        self.engine.close()
+
+    def __enter__(self) -> "IncrementalSession":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
 
 def touch_spec(spec: OperatorSpec, tag: str = "edit") -> OperatorSpec:

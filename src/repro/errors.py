@@ -100,6 +100,41 @@ class StoreError(BuildError):
     """The artifact store hit a serialization or integrity problem."""
 
 
+class TransportError(StoreError):
+    """A remote-store request failed at the transport layer.
+
+    Covers connection refusal/reset, request deadline expiry, a
+    half-closed peer (short read mid-frame) and malformed frames.
+    Carries the shard address and the operation so retry layers and
+    reports can name the failure domain.
+    """
+
+    def __init__(self, message: str, *, shard: str = "", op: str = "",
+                 attempt: int = 0):
+        super().__init__(message)
+        self.shard = shard
+        self.op = op
+        self.attempt = attempt
+
+
+class FrameError(TransportError):
+    """A remote-store frame failed to parse (corrupt or truncated).
+
+    Distinct from :class:`TransportError` proper so tests can pin down
+    *where* a byte stream went bad: framing errors mean the connection
+    delivered something, just not a valid frame.
+    """
+
+
+class StoreUnavailableError(TransportError):
+    """A shard stayed unreachable past its whole retry budget.
+
+    The sharded client catches this internally and degrades to the
+    local fallback store; it only escapes to callers that asked for
+    strict (no-fallback) behaviour.
+    """
+
+
 class DeadlineExceeded(PLDError):
     """A compile ran out of its wall-clock budget.
 

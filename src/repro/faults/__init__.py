@@ -35,6 +35,7 @@ from repro.faults.plan import (
     InjectedCrash,
     NoCFaultInjector,
     SoftcoreFaultInjector,
+    TransportFaultInjector,
 )
 
 __all__ = [
@@ -47,4 +48,5 @@ __all__ = [
     "BitstreamFaultInjector",
     "DMAFaultInjector",
     "SoftcoreFaultInjector",
+    "TransportFaultInjector",
 ]

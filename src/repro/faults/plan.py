@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 
 class InjectedCrash(BaseException):
@@ -134,6 +134,22 @@ class FaultPlan:
         dma_fail_rate: probability a DMA transfer attempt errors.
         softcore_trap_rate: probability a softcore run takes one
             spurious (transient) trap.
+        transport_drop_rate: probability a remote-store request is
+            dropped on the floor (the client sees a deadline expiry).
+        transport_delay_rate: probability a request is delayed by the
+            injector's deterministic stall before being served.
+        transport_corrupt_rate: probability a response frame arrives
+            bit-flipped (the client sees a framing/integrity error).
+        transport_half_close_rate: probability the peer half-closes
+            mid-frame (the client sees a short read).
+        kill_shards: shards that are *dead* — either an iterable of
+            shard addresses (dead from the first request) or a mapping
+            ``{shard: from_request_index}`` (the shard serves requests
+            ``0..n-1`` then dies, modelling a SIGKILL mid-build).  A
+            killed shard fails every request from its kill point on:
+            unlike the rate faults it never heals on retry, which is
+            what forces the client through breaker quarantine into
+            degraded mode.
     """
 
     def __init__(self, seed: int, *,
@@ -146,7 +162,13 @@ class FaultPlan:
                  noc_corrupt_rate: float = 0.0,
                  noc_drop_rate: float = 0.0,
                  dma_fail_rate: float = 0.0,
-                 softcore_trap_rate: float = 0.0):
+                 softcore_trap_rate: float = 0.0,
+                 transport_drop_rate: float = 0.0,
+                 transport_delay_rate: float = 0.0,
+                 transport_corrupt_rate: float = 0.0,
+                 transport_half_close_rate: float = 0.0,
+                 kill_shards: Union[Iterable[str],
+                                    Mapping[str, int]] = ()):
         rates = {
             "compile_fail_rate": compile_fail_rate,
             "compile_timeout_rate": compile_timeout_rate,
@@ -157,6 +179,10 @@ class FaultPlan:
             "noc_drop_rate": noc_drop_rate,
             "dma_fail_rate": dma_fail_rate,
             "softcore_trap_rate": softcore_trap_rate,
+            "transport_drop_rate": transport_drop_rate,
+            "transport_delay_rate": transport_delay_rate,
+            "transport_corrupt_rate": transport_corrupt_rate,
+            "transport_half_close_rate": transport_half_close_rate,
         }
         for name, rate in rates.items():
             if not (0.0 <= rate <= 1.0):
@@ -172,6 +198,16 @@ class FaultPlan:
         self.noc_drop_rate = noc_drop_rate
         self.dma_fail_rate = dma_fail_rate
         self.softcore_trap_rate = softcore_trap_rate
+        self.transport_drop_rate = transport_drop_rate
+        self.transport_delay_rate = transport_delay_rate
+        self.transport_corrupt_rate = transport_corrupt_rate
+        self.transport_half_close_rate = transport_half_close_rate
+        if isinstance(kill_shards, Mapping):
+            self.kill_shards: Dict[str, int] = {
+                str(shard): int(index)
+                for shard, index in kill_shards.items()}
+        else:
+            self.kill_shards = {str(shard): 0 for shard in kill_shards}
         self.log: List[FaultEvent] = []
 
     def record(self, domain: str, kind: str, target: str,
@@ -201,6 +237,16 @@ class FaultPlan:
 
     def softcore_faults(self) -> "SoftcoreFaultInjector":
         return SoftcoreFaultInjector(self)
+
+    def transport_faults(self) -> "TransportFaultInjector":
+        return TransportFaultInjector(self)
+
+    @property
+    def any_transport_faults(self) -> bool:
+        return bool(self.kill_shards) or self.transport_drop_rate > 0 \
+            or self.transport_delay_rate > 0 \
+            or self.transport_corrupt_rate > 0 \
+            or self.transport_half_close_rate > 0
 
     @property
     def any_compile_faults(self) -> bool:
@@ -359,3 +405,76 @@ class SoftcoreFaultInjector:
                      point: int) -> None:
         self.plan.record("softcore", "trap", core_id,
                          f"attempt {attempt} @ instruction {point}")
+
+
+class TransportFaultInjector:
+    """Decides the fate of each remote-store request.
+
+    The sharded store client (:mod:`repro.store.remote.client`) calls
+    :meth:`on_request` once per attempt with the shard address and a
+    per-shard monotone request index.  Draws are keyed by
+    ``(shard, index, attempt)``, so a retry re-draws — transient drops
+    clear on retry — while a shard in :attr:`FaultPlan.kill_shards`
+    fails *every* request past its kill index, forcing the client all
+    the way through its retry budget into breaker quarantine and
+    degraded mode.
+
+    ``"delay"`` outcomes carry a deterministic stall via
+    :meth:`delay_seconds` so delayed-but-successful requests exercise
+    hedged reads without real nondeterminism.
+    """
+
+    #: Injected delays land in (0, MAX_DELAY_SECONDS] — long enough to
+    #: trip a hedge threshold in tests, short enough not to stall CI.
+    MAX_DELAY_SECONDS = 0.05
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._request_index: Dict[str, int] = {}
+
+    def next_request(self, shard: str) -> int:
+        """The per-shard monotone request index (0-based)."""
+        index = self._request_index.get(shard, 0)
+        self._request_index[shard] = index + 1
+        return index
+
+    def shard_dead(self, shard: str, index: int) -> bool:
+        """True when ``shard`` is killed at or before request ``index``."""
+        kill_at = self.plan.kill_shards.get(shard)
+        return kill_at is not None and index >= kill_at
+
+    def on_request(self, shard: str, index: int, attempt: int = 1) -> str:
+        """``"ok" | "drop" | "delay" | "corrupt" | "half-close" | "kill"``
+        for one request attempt."""
+        plan = self.plan
+        if self.shard_dead(shard, index):
+            plan.record("transport", "shard-kill", shard,
+                        f"request #{index} attempt {attempt}")
+            return "kill"
+        roll = _draw(plan.seed, "transport", shard, index, attempt)
+        edge = plan.transport_drop_rate
+        if roll < edge:
+            plan.record("transport", "drop", shard,
+                        f"request #{index} attempt {attempt}")
+            return "drop"
+        edge += plan.transport_corrupt_rate
+        if roll < edge:
+            plan.record("transport", "corrupt-frame", shard,
+                        f"request #{index} attempt {attempt}")
+            return "corrupt"
+        edge += plan.transport_half_close_rate
+        if roll < edge:
+            plan.record("transport", "half-close", shard,
+                        f"request #{index} attempt {attempt}")
+            return "half-close"
+        edge += plan.transport_delay_rate
+        if roll < edge:
+            plan.record("transport", "delay", shard,
+                        f"request #{index} attempt {attempt}")
+            return "delay"
+        return "ok"
+
+    def delay_seconds(self, shard: str, index: int) -> float:
+        """Deterministic stall for a ``"delay"`` outcome (never zero)."""
+        frac = _draw(self.plan.seed, "transport", "stall", shard, index)
+        return self.MAX_DELAY_SECONDS * (0.2 + 0.8 * frac)

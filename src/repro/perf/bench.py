@@ -214,6 +214,90 @@ def bench_incremental(quick: bool = False,
                        len(result.build.recompiled_pages)}
 
 
+def bench_store_sharded(quick: bool = False,
+                        registry: Optional[PerfRegistry] = None):
+    """8 concurrent writers against a 3-shard fleet, then warm reads.
+
+    Measures what the remote store exists for: concurrent writers
+    deduplicating through content addressing (a cold client finds every
+    artefact another client compiled), and the warm-hit read latency a
+    recompile actually pays per reused step.
+    """
+    import hashlib
+    import statistics
+    import threading
+
+    from repro.store import ArtifactStore
+    from repro.store.remote import ShardedStoreClient, StoreServer
+
+    registry = registry if registry is not None else PerfRegistry()
+    writers = 8
+    per_writer = 10 if quick else 40
+    #: half the key space is shared across writers — overlapping puts
+    #: of identical content, the cross-client dedup case.
+    shared = per_writer // 2
+
+    def key_of(writer, i):
+        tag = "shared" if i < shared else f"w{writer}"
+        return hashlib.sha256(f"{tag}:{i}".encode()).hexdigest()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with registry.timer("setup"):
+            servers = [
+                StoreServer(ArtifactStore(
+                    cache_dir=f"{tmp}/shard{i}")).start()
+                for i in range(3)]
+            urls = [server.url for server in servers]
+
+        def write(writer):
+            client = ShardedStoreClient(urls)
+            for i in range(per_writer):
+                client.put(key_of(writer, i),
+                           {"writer": "any", "index": i,
+                            "payload": list(range(64))})
+            client.close()
+
+        def write_all():
+            threads = [threading.Thread(target=write, args=(w,))
+                       for w in range(writers)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        with registry.timer("write"):
+            write_wall, _ = _timed(write_all)
+
+        unique = {key_of(w, i) for w in range(writers)
+                  for i in range(per_writer)}
+        # A cold client (empty local tier) must find every artefact
+        # remotely — that is the cross-process dedup guarantee.
+        reader = ShardedStoreClient(urls)
+        latencies = []
+        with registry.timer("read"):
+            def read_all():
+                for key in sorted(unique):
+                    start = time.perf_counter()
+                    hit = reader.get(key)
+                    latencies.append(time.perf_counter() - start)
+                    assert hit is not None
+            read_wall, _ = _timed(read_all)
+        dedup_hits = reader.stats()["remote_hits"]
+        reader.close()
+        for server in servers:
+            server.stop()
+
+    registry.count("writers", writers)
+    registry.count("keys_unique", len(unique))
+    warm_p50_us = statistics.median(latencies) * 1e6
+    return write_wall + read_wall, {
+        "keys_unique": len(unique),
+        "writes_total": writers * per_writer,
+        "dedup_remote_hits": dedup_hits,
+        "warm_hit_p50_us": round(warm_p50_us, 1),
+    }
+
+
 #: suite name -> callable(quick, registry) -> (wall_seconds, metrics)
 SUITES: Dict[str, Callable] = {
     "noc_drain": bench_noc_drain,
@@ -223,6 +307,7 @@ SUITES: Dict[str, Callable] = {
     "rosetta_o3": bench_o3,
     "cycle_sim": bench_cycle_sim,
     "incremental_edit": bench_incremental,
+    "store_sharded": bench_store_sharded,
 }
 
 

@@ -84,12 +84,18 @@ class FsckReport:
         return "\n".join(lines)
 
 
-def fsck_store(cache_dir, lock_timeout: float = 30.0) -> FsckReport:
+def fsck_store(cache_dir, lock_timeout: float = 30.0,
+               grace: float = TMP_GRACE_SECONDS) -> FsckReport:
     """Check and heal one store directory (under the exclusive lock).
 
     Safe to run at any time — concurrent builds in *other* processes
     wait on the advisory lock for maintenance, and every repair either
     deletes something unreferenced or rewrites the journal atomically.
+
+    ``grace`` is the orphan-``.tmp`` age threshold (seconds): staging
+    files younger than this survive the sweep as presumed in-flight
+    writes.  The CLI exposes it as ``pld fsck --fsck-grace``; tests and
+    fast CI pass 0 instead of spoofing mtimes.
     """
     # Imported lazily: repro.store pulls in repro.core.build, and fsck
     # must stay importable from the bare resilience package.
@@ -107,7 +113,7 @@ def fsck_store(cache_dir, lock_timeout: float = 30.0) -> FsckReport:
         # Only *stale* staging files are reaped — a concurrent writer's
         # in-flight tmp (milliseconds old) must survive the sweep.
         if objects.is_dir():
-            for tmp in stale_tmps(objects):
+            for tmp in stale_tmps(objects, grace=grace):
                 try:
                     tmp.unlink()
                     report.orphan_tmps_removed += 1

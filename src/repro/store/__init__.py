@@ -7,6 +7,15 @@ two-tier store — an in-memory LRU front plus an on-disk backend with
 versioned, integrity-checked serialization — so cache hits survive
 across processes and an edit-compile-run loop only ever pays for what
 changed.
+
+:mod:`repro.store.remote` extends the same contract across machines:
+:class:`~repro.store.remote.StoreServer` serves any ArtifactStore as a
+shard backend over a framed TCP protocol, and
+:class:`~repro.store.remote.ShardedStoreClient` routes keys across N
+shards by rendezvous hashing with per-request deadlines, retries,
+circuit-breaker quarantine, hedged reads, and degraded-mode fallback
+to a local store.  It is imported lazily (``repro.store.remote``) so
+the local store stays free of socket machinery.
 """
 
 from repro.store.artifact import ArtifactStore, DEFAULT_MEMORY_ENTRIES

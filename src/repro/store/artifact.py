@@ -117,24 +117,40 @@ class ArtifactStore:
         if self.cache_dir is None:
             return
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StoreError(
+                f"store backend cannot create {path.parent}: "
+                f"{exc}") from exc
         data = encode_artifact(key, artifact)
         # Atomic, durable publish: fsync before the rename so a crash
         # right after os.replace can't leave an empty file behind the
         # final name, and a reader never sees a half-written artefact.
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                                       suffix=".tmp")
+        except OSError as exc:
+            raise StoreError(
+                f"store backend cannot stage artifact {key!r} in "
+                f"{path.parent}: {exc}") from exc
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(data)
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp, path)
-        except OSError:
+        except OSError as exc:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
-            raise
+            # A full disk or a permission flip mid-compile is a store
+            # failure the CLI reports as exit 2, not a raw OSError
+            # traceback.
+            raise StoreError(
+                f"store backend failed writing artifact {key!r} to "
+                f"{path}: {exc}") from exc
         self.disk_writes += 1
 
     # -- introspection ----------------------------------------------------------

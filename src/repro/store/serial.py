@@ -89,6 +89,12 @@ def decode_artifact(data: bytes, expect_key: str = "") -> Tuple[str, Any]:
         header = json.loads(head.decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise StoreError(f"corrupt artifact header: {exc}") from exc
+    if not isinstance(header, dict):
+        # json.loads happily returns scalars/lists; garbage input must
+        # surface as the structured error, never an AttributeError.
+        raise StoreError(
+            f"corrupt artifact header: {type(header).__name__}, "
+            f"expected object")
     if header.get("version") != STORE_VERSION:
         raise StoreError(
             f"store version mismatch: file has "

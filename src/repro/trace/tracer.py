@@ -189,6 +189,22 @@ class Tracer:
         self.events.append(TraceEvent("instant", name, category, clock,
                                       lane, ts, 0.0, dict(attrs)))
 
+    def shard_health(self, shard: str, state: str, **attrs) -> None:
+        """A remote-store shard health transition, in canonical shape.
+
+        The sharded store client reports every failure-domain event —
+        ``breaker-open`` (quarantine entry), ``degraded`` (first
+        fallback-served request), ``healed`` (half-open probe
+        succeeded), ``reconciled`` (write-behind queue drained) — as
+        ``shard:<state>:<address>`` instants on the ``store`` lane, so
+        one Perfetto query (category ``store``) tells the whole
+        availability story of a build.
+        """
+        if not self.enabled:
+            return
+        self.instant(f"shard:{state}:{shard}", category="store",
+                     lane="store", shard=shard, state=state, **attrs)
+
     def counter(self, name: str, value, category: str = "",
                 lane: str = "main", clock: str = WALL,
                 ts: Optional[float] = None) -> None:

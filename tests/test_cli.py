@@ -178,3 +178,41 @@ class TestEngineRouting:
                      "--cache-dir", str(cache)]) == 0
         capsys.readouterr()
         assert any(cache.iterdir())   # artefacts persisted
+
+
+class TestRemoteStoreCLI:
+    def test_compile_with_store_urls(self, tmp_path, capsys):
+        from repro.store import ArtifactStore
+        from repro.store.remote import StoreServer
+
+        servers = [
+            StoreServer(ArtifactStore(
+                cache_dir=tmp_path / f"shard{i}")).start()
+            for i in range(2)]
+        urls = ",".join(server.url for server in servers)
+        try:
+            assert main(["compile", "digit-recognition",
+                         "--effort", "0.1", "--store", urls]) == 0
+            out = capsys.readouterr().out
+            assert "store:" in out
+            assert "0 shard(s) quarantined" in out
+
+            # A second invocation has a cold local tier but a warm
+            # fleet: every step is a remote hit, nothing rebuilds.
+            assert main(["compile", "digit-recognition",
+                         "--effort", "0.1", "--store", urls]) == 0
+            out = capsys.readouterr().out
+            assert "pages rebuilt: 0" in out
+            import re
+            match = re.search(r"store: (\d+) remote hits", out)
+            assert match and int(match.group(1)) > 0
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_bad_store_urls_exit_2(self, capsys):
+        assert main(["compile", "digit-recognition",
+                     "--store", "nonsense"]) == 2
+        assert main(["compile", "digit-recognition",
+                     "--store", "tcp://host:notaport"]) == 2
+        capsys.readouterr()

@@ -143,3 +143,39 @@ class TestStoreHygiene:
         for i in range(5):
             store.put(f"{i:02x}" + "e" * 22, {"i": i})
         assert list((tmp_path / "objects").glob("*/*.tmp")) == []
+
+class TestGraceParameter:
+    """The orphan-.tmp grace window is a parameter, not a constant."""
+
+    def _plant_fresh_tmp(self, cache_dir):
+        _warm_store(cache_dir)
+        objects = cache_dir / "objects"
+        arts = sorted(objects.glob("*/*.art"))
+        tmp = arts[0].parent / "inflight456.tmp"
+        tmp.write_bytes(b"still being written")
+        return tmp
+
+    def test_default_grace_protects_inflight_writers(self, tmp_path):
+        tmp = self._plant_fresh_tmp(tmp_path)
+        report = fsck_store(tmp_path)            # default: 60 s window
+        assert report.orphan_tmps_removed == 0
+        assert tmp.exists()
+
+    def test_zero_grace_reaps_immediately(self, tmp_path):
+        tmp = self._plant_fresh_tmp(tmp_path)
+        report = fsck_store(tmp_path, grace=0)
+        assert report.orphan_tmps_removed == 1
+        assert not tmp.exists()
+
+    def test_cli_fsck_grace_flag(self, tmp_path, capsys):
+        tmp = self._plant_fresh_tmp(tmp_path)
+        assert cli_main(["fsck", str(tmp_path)]) == 0
+        assert tmp.exists()                      # default window held
+        assert cli_main(["fsck", str(tmp_path),
+                         "--fsck-grace", "0"]) == 0
+        assert not tmp.exists()
+        capsys.readouterr()
+
+    def test_cli_fsck_needs_a_target(self):
+        with pytest.raises(SystemExit):
+            cli_main(["fsck"])

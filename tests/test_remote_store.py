@@ -1,0 +1,522 @@
+"""Unit tests for the sharded remote artifact store.
+
+Framing, routing, the server/client protocol, and every robustness
+layer in isolation: retry budgets with backoff, transport fault
+injection, breaker quarantine with half-open probes, degraded-mode
+fallback with write-behind reconciliation, and hedged reads.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import (
+    FrameError,
+    StoreError,
+    StoreUnavailableError,
+    TransportError,
+)
+from repro.faults import FaultPlan
+from repro.store import ArtifactStore
+from repro.store.remote import (
+    ShardClient,
+    ShardedStoreClient,
+    StoreServer,
+    parse_store_urls,
+    recv_frame,
+    rendezvous_shard,
+    send_frame,
+)
+from repro.trace import Tracer
+
+KEYS = [f"{i:04x}" + "ab" * 10 for i in range(64)]
+
+
+def art(i):
+    return {"index": i, "payload": list(range(8))}
+
+
+@pytest.fixture
+def shard(tmp_path):
+    server = StoreServer(ArtifactStore(cache_dir=tmp_path / "shard0"))
+    server.start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    servers = [
+        StoreServer(ArtifactStore(cache_dir=tmp_path / f"shard{i}"))
+        for i in range(3)]
+    for server in servers:
+        server.start()
+    yield servers
+    for server in servers:
+        server.stop()
+
+
+def fast_client(urls, **kwargs):
+    kwargs.setdefault("retries", 2)
+    kwargs.setdefault("backoff_base", 0.001)
+    kwargs.setdefault("timeout", 2.0)
+    return ShardedStoreClient(urls, **kwargs)
+
+
+# --------------------------------------------------------------------------
+# framing
+# --------------------------------------------------------------------------
+
+
+class TestFraming:
+    def _pair(self):
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        client = socket.create_connection(server.getsockname(),
+                                          timeout=2.0)
+        conn, _ = server.accept()
+        server.close()
+        return client, conn
+
+    def test_roundtrip(self):
+        a, b = self._pair()
+        send_frame(a, {"op": "get", "key": "k"}, b"payload bytes")
+        header, payload = recv_frame(b)
+        assert header == {"key": "k", "op": "get"}
+        assert payload == b"payload bytes"
+        a.close(), b.close()
+
+    def test_empty_payload(self):
+        a, b = self._pair()
+        send_frame(a, {"op": "ping"})
+        header, payload = recv_frame(b)
+        assert header["op"] == "ping" and payload == b""
+        a.close(), b.close()
+
+    def test_half_close_mid_frame_is_frame_error(self):
+        a, b = self._pair()
+        # One complete frame, then the peer dies: EOF must surface as
+        # a structured FrameError, not a hang or a bare OSError.
+        send_frame(a, {"op": "put"}, b"x" * 1000)
+        a.close()
+        header, payload = recv_frame(b)     # the complete frame is fine
+        assert payload == b"x" * 1000
+        with pytest.raises(FrameError, match="half-closed"):
+            recv_frame(b)                   # EOF at a frame boundary
+        b.close()
+
+    def test_truncated_frame_is_frame_error(self):
+        a, b = self._pair()
+        a.sendall(b"\x00\x00\x00\x05{}")    # promises 5 header bytes
+        a.close()
+        with pytest.raises(FrameError):
+            recv_frame(b)
+        b.close()
+
+    def test_garbage_header_is_frame_error(self):
+        a, b = self._pair()
+        head = b"not json!!"
+        import struct
+        a.sendall(struct.pack(">I", len(head)) + head
+                  + struct.pack(">Q", 0))
+        with pytest.raises(FrameError, match="corrupt frame header"):
+            recv_frame(b)
+        a.close(), b.close()
+
+    def test_non_dict_header_is_frame_error(self):
+        a, b = self._pair()
+        import struct
+        head = b"[1, 2]"
+        a.sendall(struct.pack(">I", len(head)) + head
+                  + struct.pack(">Q", 0))
+        with pytest.raises(FrameError, match="expected object"):
+            recv_frame(b)
+        a.close(), b.close()
+
+    def test_oversized_header_length_rejected(self):
+        a, b = self._pair()
+        a.sendall(b"\xff\xff\xff\xff")
+        with pytest.raises(FrameError, match="exceeds"):
+            recv_frame(b)
+        a.close(), b.close()
+
+    def test_timeout_is_transport_error(self):
+        a, b = self._pair()
+        b.settimeout(0.05)
+        with pytest.raises(TransportError, match="deadline"):
+            recv_frame(b)
+        a.close(), b.close()
+
+
+# --------------------------------------------------------------------------
+# routing
+# --------------------------------------------------------------------------
+
+
+class TestRendezvous:
+    URLS = [f"tcp://10.0.0.{i}:7000" for i in range(1, 6)]
+
+    def test_deterministic_and_order_independent(self):
+        for key in KEYS:
+            owner = rendezvous_shard(key, self.URLS)
+            assert owner == rendezvous_shard(key, list(reversed(self.URLS)))
+
+    def test_shard_loss_only_remaps_that_shards_keys(self):
+        before = {key: rendezvous_shard(key, self.URLS) for key in KEYS}
+        lost = self.URLS[2]
+        survivors = [u for u in self.URLS if u != lost]
+        for key in KEYS:
+            after = rendezvous_shard(key, survivors)
+            if before[key] != lost:
+                assert after == before[key]     # untouched keys stay put
+            else:
+                assert after in survivors
+
+    def test_spreads_keys(self):
+        owners = {rendezvous_shard(key, self.URLS) for key in KEYS}
+        assert len(owners) == len(self.URLS)
+
+    def test_parse_store_urls(self):
+        assert parse_store_urls("tcp://a:1, tcp://b:2") \
+            == ["tcp://a:1", "tcp://b:2"]
+        with pytest.raises(StoreError):
+            parse_store_urls("")
+        with pytest.raises(StoreError):
+            parse_store_urls("tcp://nohost")
+        with pytest.raises(StoreError):
+            parse_store_urls("tcp://h:notaport")
+
+
+# --------------------------------------------------------------------------
+# server protocol
+# --------------------------------------------------------------------------
+
+
+class TestServerProtocol:
+    def test_put_get_roundtrip(self, shard):
+        client = ShardClient(shard.url)
+        from repro.store.serial import decode_artifact, encode_artifact
+        key = KEYS[0]
+        client.request("put", key, encode_artifact(key, art(1)))
+        response, payload = client.request("get", key)
+        assert response["found"]
+        _kind, got = decode_artifact(payload, expect_key=key)
+        assert got == art(1)
+        client.close()
+
+    def test_get_miss(self, shard):
+        client = ShardClient(shard.url)
+        response, payload = client.request("get", KEYS[1])
+        assert response["ok"] and not response["found"]
+        assert payload == b""
+        client.close()
+
+    def test_ping_keys_stats(self, shard):
+        client = ShardClient(shard.url)
+        response, _ = client.request("ping")
+        assert response["ok"] and response["shard"]
+        from repro.store.serial import encode_artifact
+        client.request("put", KEYS[2], encode_artifact(KEYS[2], art(2)))
+        response, _ = client.request("keys")
+        assert KEYS[2] in response["keys"]
+        response, _ = client.request("stats")
+        assert response["stats"]["server_requests"] >= 3
+        client.close()
+
+    def test_corrupt_put_rejected_before_store(self, shard):
+        client = ShardClient(shard.url, retries=1)
+        with pytest.raises(StoreError, match="rejected put"):
+            client.request("put", KEYS[3], b"garbage payload")
+        response, _ = client.request("get", KEYS[3])
+        assert not response["found"]        # nothing landed
+        client.close()
+
+    def test_remote_fsck(self, shard, tmp_path):
+        client = ShardClient(shard.url)
+        response, _ = client.request("fsck", extra={"grace": 0})
+        assert response["ok"] and response["report"]["clean"]
+        client.close()
+
+    def test_unknown_op(self, shard):
+        client = ShardClient(shard.url, retries=1)
+        with pytest.raises(StoreError, match="unknown op"):
+            client.request("frobnicate")
+        client.close()
+
+
+# --------------------------------------------------------------------------
+# retry ladder
+# --------------------------------------------------------------------------
+
+
+class TestRetries:
+    def test_unreachable_shard_exhausts_budget(self):
+        sleeps = []
+        client = ShardClient("tcp://127.0.0.1:1", retries=3,
+                             backoff_base=0.01, timeout=0.2,
+                             sleep=sleeps.append)
+        with pytest.raises(StoreUnavailableError, match="3 attempt"):
+            client.request("ping")
+        assert client.attempts == 3
+        # Exponential backoff between attempts (2 gaps for 3 tries),
+        # each with nonnegative jitter on the doubling base.
+        assert len(sleeps) == 2
+        assert 0.01 <= sleeps[0] <= 0.02
+        assert 0.02 <= sleeps[1] <= 0.04
+
+    def test_backoff_jitter_is_deterministic(self):
+        def run():
+            sleeps = []
+            client = ShardClient("tcp://127.0.0.1:1", retries=3,
+                                 backoff_base=0.01, timeout=0.2,
+                                 seed=42, sleep=sleeps.append)
+            with pytest.raises(StoreUnavailableError):
+                client.request("ping")
+            return sleeps
+        assert run() == run()
+
+    def test_transient_drop_clears_on_retry(self, shard):
+        # 40% drop rate: some requests lose an attempt, but every one
+        # lands within the retry budget at this rate and seed.
+        plan = FaultPlan(seed=3, transport_drop_rate=0.4)
+        client = ShardClient(shard.url, retries=8, backoff_base=0.0001,
+                             faults=plan.transport_faults())
+        for _ in range(20):
+            response, _ = client.request("ping")
+            assert response["ok"]
+        assert client.failures > 0          # faults actually fired
+        assert plan.events("transport")
+        client.close()
+
+    def test_corrupt_frame_fault_retries(self, shard):
+        plan = FaultPlan(seed=5, transport_corrupt_rate=0.3)
+        client = ShardClient(shard.url, retries=8, backoff_base=0.0001,
+                             faults=plan.transport_faults())
+        from repro.store.serial import encode_artifact
+        for i in range(10):
+            client.request("put", KEYS[i], encode_artifact(KEYS[i],
+                                                           art(i)))
+        kinds = {e.kind for e in plan.events("transport")}
+        assert "corrupt-frame" in kinds
+        client.close()
+
+
+# --------------------------------------------------------------------------
+# breaker quarantine + degraded mode + reconciliation
+# --------------------------------------------------------------------------
+
+
+class TestDegradedMode:
+    def test_dead_shard_degrades_reads_to_local_miss(self, fleet):
+        urls = [server.url for server in fleet]
+        seed_client = fast_client(urls)
+        for i, key in enumerate(KEYS[:24]):
+            seed_client.put(key, art(i))
+        seed_client.close()
+
+        fleet[0].stop()
+        client = fast_client(urls, quarantine_seconds=3600)
+        dead_keys = [k for k in KEYS[:24]
+                     if client.shard_for(k) == urls[0]]
+        assert dead_keys                   # the fixture spreads keys
+        hits = sum(1 for k in KEYS[:24] if client.get(k) is not None)
+        assert hits == 24 - len(dead_keys)
+        stats = client.stats()
+        assert stats["breaker_trips"] == 1
+        assert stats["quarantined"] == [urls[0]]
+        assert stats["degraded_gets"] > 0
+        # Quarantine caps the cost: only breaker_threshold requests
+        # ever burned a retry ladder on the dead shard.
+        assert client.shards[urls[0]].attempts \
+            <= client.breaker.failure_threshold * 2
+        client.close()
+
+    def test_degraded_puts_land_locally_and_reconcile(self, fleet,
+                                                      tmp_path):
+        urls = [server.url for server in fleet]
+        clock = [0.0]
+        client = fast_client(
+            urls, quarantine_seconds=10.0, clock=lambda: clock[0],
+            fallback=ArtifactStore(cache_dir=tmp_path / "local"))
+        victim_keys = [k for k in KEYS if client.shard_for(k) == urls[1]]
+        assert len(victim_keys) >= 4
+
+        host, port = fleet[1].address
+        fleet[1].stop()
+        for i, key in enumerate(victim_keys[:6]):
+            client.put(key, art(i))
+        stats = client.stats()
+        assert stats["degraded_puts"] >= 4
+        assert stats["pending"][urls[1]] == 6
+        # Degraded reads still serve from the local fallback.
+        assert client.get(victim_keys[0]) == art(0)
+
+        # While quarantined, reconcile is a cheap no-op.
+        assert client.reconcile() == 0
+
+        # Heal the shard on the same port, advance past the cooldown.
+        healed = StoreServer(
+            ArtifactStore(cache_dir=tmp_path / "healed"),
+            host=host, port=port).start()
+        try:
+            clock[0] += 11.0               # cooldown admits the probe
+            drained = client.reconcile()
+            assert drained == 6
+            assert client.stats()["pending"] == {}
+            assert not client.breaker.is_open(urls[1])
+            # A cold client now finds the artefacts remotely.
+            fresh = fast_client(urls)
+            assert fresh.get(victim_keys[0]) == art(0)
+            assert fresh.stats()["remote_hits"] == 1
+            fresh.close()
+        finally:
+            healed.stop()
+        client.close()
+
+    def test_half_open_probe_failure_rearms_quarantine(self, fleet):
+        urls = [server.url for server in fleet]
+        clock = [0.0]
+        client = fast_client(urls, quarantine_seconds=5.0,
+                             clock=lambda: clock[0])
+        victim = [k for k in KEYS if client.shard_for(k) == urls[2]][0]
+        fleet[2].stop()
+        for _ in range(4):
+            client.get(victim)
+        assert client.breaker.is_open(urls[2])
+        clock[0] += 6.0                    # half-open: one probe admitted
+        assert client.get(victim) is None  # probe fails, re-arms
+        assert client.breaker.is_open(urls[2])
+        # Immediately after the failed probe, no new probe until the
+        # cooldown elapses again.
+        attempts_before = client.shards[urls[2]].attempts
+        client.get(victim)
+        assert client.shards[urls[2]].attempts == attempts_before
+        client.close()
+
+    def test_strict_mode_propagates(self, fleet):
+        urls = [server.url for server in fleet]
+        client = fast_client(urls, strict=True)
+        victim = [k for k in KEYS if client.shard_for(k) == urls[0]][0]
+        fleet[0].stop()
+        with pytest.raises(StoreUnavailableError):
+            client.get(victim)
+        client.close()
+
+    def test_health_transitions_traced(self, fleet, tmp_path):
+        urls = [server.url for server in fleet]
+        tracer = Tracer()
+        clock = [0.0]
+        client = fast_client(
+            urls, tracer=tracer, quarantine_seconds=2.0,
+            clock=lambda: clock[0],
+            fallback=ArtifactStore(cache_dir=tmp_path / "local"))
+        victim_keys = [k for k in KEYS if client.shard_for(k) == urls[0]]
+        host, port = fleet[0].address
+        fleet[0].stop()
+        for i, key in enumerate(victim_keys[:5]):
+            client.put(key, art(i))
+        healed = StoreServer(
+            ArtifactStore(cache_dir=tmp_path / "h"),
+            host=host, port=port).start()
+        try:
+            clock[0] += 3.0
+            client.reconcile()
+        finally:
+            healed.stop()
+        names = [e.name for e in tracer.events]
+        assert f"shard:breaker-open:{urls[0]}" in names
+        assert f"shard:degraded:{urls[0]}" in names
+        assert f"shard:healed:{urls[0]}" in names
+        assert f"shard:reconciled:{urls[0]}" in names
+        client.close()
+
+    def test_background_reconciler_drains(self, fleet, tmp_path):
+        urls = [server.url for server in fleet]
+        clock = [0.0]
+        client = fast_client(
+            urls, quarantine_seconds=0.0, clock=lambda: clock[0],
+            fallback=ArtifactStore(cache_dir=tmp_path / "local"))
+        victim = [k for k in KEYS if client.shard_for(k) == urls[0]][0]
+        host, port = fleet[0].address
+        fleet[0].stop()
+        client.put(victim, art(9))
+        assert client.stats()["pending"][urls[0]] == 1
+        healed = StoreServer(ArtifactStore(cache_dir=tmp_path / "h"),
+                             host=host, port=port).start()
+        client.start_reconciler(interval=0.05)
+        try:
+            deadline = threading.Event()
+            for _ in range(100):
+                if not client.stats()["pending"]:
+                    break
+                deadline.wait(0.05)
+            assert client.stats()["pending"] == {}
+        finally:
+            healed.stop()
+            client.close()
+
+
+# --------------------------------------------------------------------------
+# hedged reads
+# --------------------------------------------------------------------------
+
+
+class TestHedgedReads:
+    def test_straggler_read_is_hedged(self, fleet):
+        urls = [server.url for server in fleet]
+        seed_client = fast_client(urls)
+        for i, key in enumerate(KEYS[:8]):
+            seed_client.put(key, art(i))
+        seed_client.close()
+
+        client = ShardedStoreClient(urls, retries=2,
+                                    backoff_base=0.001,
+                                    hedge_quantile=0.0)
+        # Prefill the latency window with near-zero samples so the
+        # hedge threshold collapses to its 0.1ms floor — every real
+        # loopback read (thread dispatch + framing round trip) counts
+        # as a straggler and must take the hedged path.
+        client._latencies.extend([1e-9] * 8)
+        for i, key in enumerate(KEYS[:8]):
+            assert client.get(key) == art(i)
+        assert client.stats()["remote_hits"] == 8
+        assert client.hedged_reads >= 1
+        client.close()
+
+    def test_hedging_disabled_by_default(self, fleet):
+        urls = [server.url for server in fleet]
+        client = fast_client(urls)
+        assert client._hedge_threshold() is None
+        client.close()
+
+
+# --------------------------------------------------------------------------
+# engine integration
+# --------------------------------------------------------------------------
+
+
+class TestEngineContract:
+    def test_sharded_client_backs_a_build_engine(self, fleet):
+        from repro.core.build import BuildEngine
+
+        urls = [server.url for server in fleet]
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return {"value": 42}
+
+        engine_a = BuildEngine(cache=fast_client(urls))
+        engine_a.step("step:x", ("inputs",), builder)
+        engine_a.close()
+
+        # A second engine with a *cold local tier* hits the shards.
+        engine_b = BuildEngine(cache=fast_client(urls))
+        out = engine_b.step("step:x", ("inputs",), builder)
+        assert out == {"value": 42}
+        assert len(calls) == 1             # cross-engine dedup
+        assert engine_b.record.reused == ["step:x"]
+        assert engine_b.cache_stats()["remote_hits"] == 1
+        engine_b.close()

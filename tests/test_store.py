@@ -238,3 +238,87 @@ class TestContentKeyProperties:
         edited = make_spec("op", factor + 1)
         assert content_key(base) != content_key(edited)
         assert content_key(base) != content_key(make_spec("op", factor, 1))
+
+
+class TestDiskWriteFailure:
+    """OSError during the disk publish surfaces as a structured
+    StoreError (CLI exit 2), never a raw OSError traceback.
+
+    Before the fix, a full disk or permission flip mid-`os.replace`
+    escaped `_disk_write` as a bare OSError.
+    """
+
+    def test_replace_failure_is_store_error(self, tmp_path, monkeypatch):
+        store = ArtifactStore(cache_dir=tmp_path)
+        key = content_key("enospc")
+
+        def full_disk(src, dst):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr("repro.store.artifact.os.replace", full_disk)
+        with pytest.raises(StoreError, match="failed writing artifact"):
+            store.put(key, {"payload": 1})
+        monkeypatch.undo()
+
+        # No .tmp litter left behind the failed publish.
+        assert not list(tmp_path.rglob("*.tmp"))
+        # The store still works once the condition clears.
+        store.put(key, {"payload": 1})
+        assert ArtifactStore(cache_dir=tmp_path).get(key) == {"payload": 1}
+
+    def test_mkstemp_failure_is_store_error(self, tmp_path, monkeypatch):
+        store = ArtifactStore(cache_dir=tmp_path)
+
+        def no_stage(*args, **kwargs):
+            raise OSError(13, "Permission denied")
+
+        monkeypatch.setattr("repro.store.artifact.tempfile.mkstemp",
+                            no_stage)
+        with pytest.raises(StoreError, match="cannot stage artifact"):
+            store.put(content_key("eacces"), {"payload": 2})
+
+    def test_store_error_is_a_build_error(self):
+        """StoreError stays inside the PLD error taxonomy: the CLI's
+        `except PLDError` turns it into exit code 2."""
+        from repro.errors import BuildError, PLDError
+        assert issubclass(StoreError, BuildError)
+        assert issubclass(StoreError, PLDError)
+
+
+class TestSerialFuzz:
+    """decode_artifact must refuse arbitrary bytes with StoreError only —
+    never KeyError, AttributeError, struct.error or a raw pickle crash."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(max_size=512))
+    def test_arbitrary_bytes_raise_store_error_only(self, data):
+        try:
+            decode_artifact(data)
+        except StoreError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=200), st.binary(max_size=8))
+    def test_mutated_valid_encoding(self, cut, extra):
+        """Truncations/suffixes of a real encoding decode fully or fail
+        structurally — no exception outside StoreError."""
+        data = encode_artifact("k" * 16, {"a": [1, 2, 3]})
+        mutated = data[:cut] + extra + data[cut:cut] + data[cut + len(extra):]
+        try:
+            kind, artifact = decode_artifact(mutated)
+        except StoreError:
+            return
+        assert kind == "object"
+        assert artifact == {"a": [1, 2, 3]}
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=64))
+    def test_json_scalars_and_lists_as_header(self, line):
+        """Any JSON-decodable header that is not an object must fail
+        as a corrupt header, not an AttributeError (the pre-fix bug)."""
+        for head in (b"5", b"[1]", b'"s"', b"null", b"true",
+                     line.encode("utf-8", "replace")):
+            try:
+                decode_artifact(head + b"\n" + b"payload")
+            except StoreError:
+                pass

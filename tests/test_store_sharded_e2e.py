@@ -1,0 +1,245 @@
+"""End-to-end failure-domain tests for the sharded remote store.
+
+The acceptance property: with a seeded transport fault plan killing any
+single shard at any point during the build, ``pld compile`` still
+completes and produces a manifest bit-identical to a fault-free build,
+while the trace records the breaker trip and the degraded-mode
+transition.  A second tier exercises real processes: shard servers run
+as subprocesses, one is SIGKILLed, and a later reconcile pushes the
+write-behind queue out once the shard is restarted.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core import IncrementalSession
+from repro.faults import FaultPlan
+from repro.rosetta.digit_recognition import build as build_digit_app
+from repro.store import ArtifactStore
+from repro.store.remote import (
+    ShardedStoreClient,
+    StoreServer,
+)
+from repro.trace import Tracer
+
+EFFORT = 0.1
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_digit_app()
+
+
+@pytest.fixture(scope="module")
+def baseline_manifest(app):
+    """The fault-free manifest every killed-shard build must match."""
+    session = IncrementalSession(effort=EFFORT)
+    build = session.compile(app.project)
+    session.close()
+    return build.manifest()
+
+
+def compile_against(app, client, tracer=None):
+    session = IncrementalSession(store=client, effort=EFFORT,
+                                 tracer=tracer)
+    try:
+        return session.compile(app.project)
+    finally:
+        session.close()
+
+
+class TestKillOneShard:
+    """The ISSUE acceptance property, over shard × kill-point."""
+
+    @pytest.mark.parametrize("shard_index", [0, 1, 2])
+    @pytest.mark.parametrize("kill_at", [0, 4])
+    def test_manifest_identical_under_shard_kill(
+            self, app, baseline_manifest, tmp_path, shard_index,
+            kill_at):
+        servers = [
+            StoreServer(ArtifactStore(
+                cache_dir=tmp_path / f"shard{i}")).start()
+            for i in range(3)]
+        urls = [server.url for server in servers]
+        victim = urls[shard_index]
+        plan = FaultPlan(seed=11, kill_shards={victim: kill_at})
+        tracer = Tracer()
+        client = ShardedStoreClient(
+            urls, faults=plan.transport_faults(), retries=2,
+            backoff_base=0.0001, quarantine_seconds=3600.0,
+            tracer=tracer)
+        try:
+            build = compile_against(app, client, tracer)
+        finally:
+            client.close()
+            for server in servers:
+                server.stop()
+
+        # The build completed and is bit-identical to fault-free.
+        assert build.manifest() == baseline_manifest
+
+        # The failure domain was isolated and recorded: the victim
+        # tripped its breaker and the client entered degraded mode —
+        # and only the victim did.
+        names = {event.name for event in tracer.events
+                 if event.kind == "instant"}
+        assert f"shard:breaker-open:{victim}" in names
+        assert f"shard:degraded:{victim}" in names
+        for url in urls:
+            if url != victim:
+                assert f"shard:breaker-open:{url}" not in names
+
+        # The fault plan actually fired (the kill is not hypothetical).
+        kills = [e for e in plan.events("transport")
+                 if e.kind == "shard-kill"]
+        assert kills and all(e.target == victim for e in kills)
+
+        # Writes owed to the dead shard were queued, not dropped.
+        stats = client.stats()
+        assert stats["quarantined"] == [victim]
+        assert stats["breaker_trips"] == 1
+
+    def test_survivor_shards_hold_their_keys(self, app, tmp_path):
+        """After a killed-shard build, the two survivors hold exactly
+        the keys rendezvous hashing routes to them — failure of one
+        domain never corrupts the others."""
+        servers = [
+            StoreServer(ArtifactStore(
+                cache_dir=tmp_path / f"shard{i}")).start()
+            for i in range(3)]
+        urls = [server.url for server in servers]
+        victim = urls[1]
+        plan = FaultPlan(seed=13, kill_shards={victim: 2})
+        client = ShardedStoreClient(urls,
+                                    faults=plan.transport_faults(),
+                                    retries=2, backoff_base=0.0001,
+                                    quarantine_seconds=3600.0)
+        try:
+            compile_against(app, client)
+            for i, server in enumerate(servers):
+                if urls[i] == victim:
+                    continue
+                for key in server.store.keys():
+                    assert client.shard_for(key) == urls[i]
+        finally:
+            client.close()
+            for server in servers:
+                server.stop()
+
+
+def _spawn_shard(tmp_path, name):
+    """Start ``pld store serve`` as a real subprocess; return
+    (process, url)."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-c",
+         "import sys; from repro.cli import main; "
+         "sys.exit(main(sys.argv[1:]))",
+         "store", "serve", str(tmp_path / name), "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+    line = proc.stdout.readline()
+    assert "serving" in line, f"shard failed to start: {line!r}"
+    url = line.rsplit(" on ", 1)[1].strip()
+    return proc, url
+
+
+@pytest.mark.slow
+class TestSigkillSubprocess:
+    def test_sigkill_one_shard_mid_session(self, app, tmp_path):
+        procs, urls = [], []
+        try:
+            for i in range(3):
+                proc, url = _spawn_shard(tmp_path, f"shard{i}")
+                procs.append(proc)
+                urls.append(url)
+
+            # Warm build against the live fleet.
+            warm = ShardedStoreClient(urls, retries=2,
+                                      backoff_base=0.001, timeout=2.0)
+            build_a = compile_against(app, warm)
+            assert warm.stats()["pending"] == {}
+            warm.close()
+
+            # SIGKILL one shard — no shutdown handler runs.
+            os.kill(procs[0].pid, signal.SIGKILL)
+            procs[0].wait(timeout=10)
+
+            # A fresh client (cold local tier) still completes the
+            # build, degraded on the dead shard.
+            tracer = Tracer()
+            client = ShardedStoreClient(
+                urls, retries=2, backoff_base=0.001, timeout=2.0,
+                quarantine_seconds=3600.0, tracer=tracer)
+            build_b = compile_against(app, client, tracer)
+            assert build_b.manifest() == build_a.manifest()
+            stats = client.stats()
+            assert stats["quarantined"] == [urls[0]]
+            names = {e.name for e in tracer.events}
+            assert f"shard:breaker-open:{urls[0]}" in names
+            client.close()
+
+            # Restart the shard (same directory, new port) and verify
+            # a reconcile pushes the owed writes out.
+            proc, new_url = _spawn_shard(tmp_path, "shard0")
+            procs.append(proc)
+            healed_urls = [new_url] + urls[1:]
+            late = ShardedStoreClient(healed_urls, retries=2,
+                                      backoff_base=0.001, timeout=2.0)
+            compile_against(app, late)       # warm remote, misses refill
+            assert late.stats()["pending"] == {}
+            late.close()
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+                    try:
+                        proc.wait(timeout=5)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+
+    def test_remote_fsck_over_subprocess_fleet(self, app, tmp_path,
+                                               capsys):
+        from repro.cli import main
+
+        procs, urls = [], []
+        try:
+            for i in range(2):
+                proc, url = _spawn_shard(tmp_path, f"fsck{i}")
+                procs.append(proc)
+                urls.append(url)
+            client = ShardedStoreClient(urls, retries=2,
+                                        backoff_base=0.001,
+                                        timeout=2.0)
+            compile_against(app, client)
+            client.close()
+
+            assert main(["fsck", "--shard", ",".join(urls),
+                         "--fsck-grace", "0"]) == 0
+            out = capsys.readouterr().out
+            assert out.count("clean") == 2
+
+            # An unreachable shard is reported, not a crash.
+            os.kill(procs[1].pid, signal.SIGKILL)
+            procs[1].wait(timeout=10)
+            time.sleep(0.1)
+            assert main(["fsck", "--shard", ",".join(urls),
+                         "--fsck-grace", "0"]) == 2
+            out = capsys.readouterr().out
+            assert "UNREACHABLE" in out
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+                    try:
+                        proc.wait(timeout=5)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
