@@ -25,6 +25,7 @@ open stays open until a success is recorded.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List, Optional
 
@@ -56,53 +57,65 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown_seconds = cooldown_seconds
         self._clock = clock if clock is not None else time.monotonic
+        # One breaker is shared by the engine thread, hedge workers
+        # and the store reconciler; the half-open admission in
+        # is_open() is check-then-act, so all state lives under a lock.
+        self._lock = threading.Lock()
         self._failures: Dict[str, int] = {}
         self._last_failure: Dict[str, float] = {}
         self._probing: Dict[str, bool] = {}
 
     def record_failure(self, step: str) -> int:
         """Count one builder failure; returns the new count."""
-        self._failures[step] = self._failures.get(step, 0) + 1
-        self._last_failure[step] = self._clock()
-        self._probing.pop(step, None)
-        return self._failures[step]
+        with self._lock:
+            self._failures[step] = self._failures.get(step, 0) + 1
+            self._last_failure[step] = self._clock()
+            self._probing.pop(step, None)
+            return self._failures[step]
 
     def record_success(self, step: str) -> None:
         """A completed build closes the step's breaker."""
-        self._failures.pop(step, None)
-        self._last_failure.pop(step, None)
-        self._probing.pop(step, None)
+        with self._lock:
+            self._failures.pop(step, None)
+            self._last_failure.pop(step, None)
+            self._probing.pop(step, None)
 
     def failures(self, step: str) -> int:
-        return self._failures.get(step, 0)
+        with self._lock:
+            return self._failures.get(step, 0)
 
     def is_open(self, step: str) -> bool:
-        if self._failures.get(step, 0) < self.failure_threshold:
-            return False
-        if self.cooldown_seconds is None:
+        with self._lock:
+            if self._failures.get(step, 0) < self.failure_threshold:
+                return False
+            if self.cooldown_seconds is None:
+                return True
+            # Quarantine mode: after the cooldown, half-open — admit
+            # one probe request (is_open -> False once); further
+            # requests stay blocked until the probe's outcome is
+            # recorded.
+            if self._probing.get(step, False):
+                return True
+            last = self._last_failure.get(step, 0.0)
+            if self._clock() - last >= self.cooldown_seconds:
+                self._probing[step] = True
+                return False
             return True
-        # Quarantine mode: after the cooldown, half-open — admit one
-        # probe request (is_open -> False once); further requests stay
-        # blocked until the probe's outcome is recorded.
-        if self._probing.get(step, False):
-            return True
-        last = self._last_failure.get(step, 0.0)
-        if self._clock() - last >= self.cooldown_seconds:
-            self._probing[step] = True
-            return False
-        return True
 
     def half_open(self, step: str) -> bool:
         """True while one probe request is in flight for ``step``."""
-        return self._probing.get(step, False)
+        with self._lock:
+            return self._probing.get(step, False)
 
     def open_steps(self) -> List[str]:
-        return sorted(step for step, count in self._failures.items()
-                      if count >= self.failure_threshold)
+        with self._lock:
+            return sorted(step for step, count in self._failures.items()
+                          if count >= self.failure_threshold)
 
     def check(self, step: str) -> None:
         """Raise :class:`CircuitOpenError` when the step's breaker is open."""
-        count = self._failures.get(step, 0)
+        with self._lock:
+            count = self._failures.get(step, 0)
         if count >= self.failure_threshold:
             raise CircuitOpenError(
                 f"step {step!r} fast-failed: circuit breaker open after "

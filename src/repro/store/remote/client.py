@@ -278,7 +278,7 @@ class ShardedStoreClient:
             seeded failure testing.
         tracer: a :class:`repro.trace.Tracer`; shard health transitions
             become instants on the ``store`` lane.
-        strict: propagate :class:`StoreUnavailableError` instead of
+        strict: propagate shard :class:`StoreError`\\ s instead of
             degrading (diagnostics; never the build path).
     """
 
@@ -317,7 +317,14 @@ class ShardedStoreClient:
         self._reconciler: Optional[threading.Thread] = None
         self._stop = threading.Event()
         #: Per-shard write-behind queue: keys whose remote put is owed.
+        #: Mutated from the engine thread (put), the reconciler thread
+        #: and close() — every access goes through _pending_lock.
         self.pending: Dict[str, List[str]] = {url: [] for url in self.urls}
+        self._pending_lock = threading.Lock()
+        # Serializes whole reconcile passes (reconciler thread vs.
+        # close() vs. an explicit call) so two drains never interleave
+        # over the same shard's queue.
+        self._reconcile_lock = threading.Lock()
         self._degraded_seen: set = set()
         # Engine-contract counters (hits/misses like ArtifactStore).
         self.hits = 0
@@ -384,7 +391,12 @@ class ShardedStoreClient:
             return None
         try:
             artifact = self._remote_get(url, key)
-        except StoreUnavailableError:
+        except StoreError:
+            # StoreError covers the whole failure family: the retry
+            # budget exhausting (StoreUnavailableError), but also a
+            # shard that *responds* with an error — disk full, a
+            # corrupt stored artifact failing decode — which is more
+            # dangerous than a dead one and must degrade just the same.
             if self.strict:
                 raise
             self._record_failure(url)
@@ -415,7 +427,10 @@ class ShardedStoreClient:
         try:
             payload = encode_artifact(key, artifact)
             self.shards[url].request("put", key, payload)
-        except StoreUnavailableError:
+        except StoreError:
+            # Same family-wide catch as get(): a shard rejecting the
+            # put (ok:false — e.g. its disk is full) degrades exactly
+            # like an unreachable one.
             if self.strict:
                 raise
             self._record_failure(url)
@@ -425,9 +440,10 @@ class ShardedStoreClient:
         self._record_success(url)
 
     def _owe(self, url: str, key: str) -> None:
-        queue = self.pending.setdefault(url, [])
-        if key not in queue:
-            queue.append(key)
+        with self._pending_lock:
+            queue = self.pending.setdefault(url, [])
+            if key not in queue:
+                queue.append(key)
 
     # -- remote reads (with hedging) -----------------------------------------
 
@@ -499,37 +515,53 @@ class ShardedStoreClient:
         the owed puts from the local fallback.  Returns the number of
         artefacts pushed.
         """
+        with self._reconcile_lock:
+            return self._reconcile_once()
+
+    def _reconcile_once(self) -> int:
         drained = 0
-        for url, owed in list(self.pending.items()):
-            if not owed:
-                continue
+        with self._pending_lock:
+            owing = [url for url, owed in self.pending.items() if owed]
+        for url in owing:
             if self.breaker.is_open(url):
                 continue
             try:
                 self.shards[url].request("ping", retries=1)
-            except (StoreUnavailableError, StoreError):
+            except StoreError:
                 self._record_failure(url)
                 continue
             self._record_success(url)
+            # Swap the owed list out atomically: puts that land while
+            # this drain is in flight append to a fresh list and are
+            # picked up by the next pass instead of being dropped.
+            with self._pending_lock:
+                owed = self.pending.get(url, [])
+                self.pending[url] = []
             still_owed: List[str] = []
-            for key in owed:
+            pushed = 0
+            for pos, key in enumerate(owed):
                 artifact = self.fallback.get(key)
                 if artifact is None:
                     continue           # evicted locally; nothing to push
                 try:
                     payload = encode_artifact(key, artifact)
                     self.shards[url].request("put", key, payload)
-                    drained += 1
-                except (StoreUnavailableError, StoreError):
+                    pushed += 1
+                except StoreError:
                     self._record_failure(url)
-                    still_owed.append(key)
-                    still_owed.extend(
-                        k for k in owed[owed.index(key) + 1:])
+                    still_owed.extend(owed[pos:])
                     break
-            self.pending[url] = still_owed
-            if drained and not still_owed:
+            if still_owed:
+                # Merge the leftovers back ahead of anything owed
+                # since the swap, preserving FIFO drain order.
+                with self._pending_lock:
+                    queue = self.pending.setdefault(url, [])
+                    queue[:0] = [k for k in still_owed
+                                 if k not in queue]
+            drained += pushed
+            if pushed and not still_owed:
                 self.tracer.shard_health(url, "reconciled",
-                                         drained=drained)
+                                         drained=pushed)
         self.reconciled += drained
         return drained
 
@@ -558,11 +590,14 @@ class ShardedStoreClient:
             try:
                 shard.request("ping", retries=1)
                 health[url] = True
-            except (StoreUnavailableError, StoreError):
+            except StoreError:
                 health[url] = False
         return health
 
     def stats(self) -> Dict[str, Any]:
+        with self._pending_lock:
+            pending = {url: len(owed)
+                       for url, owed in self.pending.items() if owed}
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -573,8 +608,7 @@ class ShardedStoreClient:
             "remote_misses": self.remote_misses,
             "degraded_gets": self.degraded_gets,
             "degraded_puts": self.degraded_puts,
-            "pending": {url: len(owed)
-                        for url, owed in self.pending.items() if owed},
+            "pending": pending,
             "reconciled": self.reconciled,
             "breaker_trips": self.breaker_trips,
             "quarantined": self.breaker.open_steps(),

@@ -121,10 +121,13 @@ class StoreServer:
             except OSError:
                 return                       # listener closed by stop()
             self._conns.append(conn)
+            # Workers are daemonic and not retained: a long-running
+            # serve process would otherwise grow the list without
+            # bound, and shutdown only needs self._conns (closing a
+            # connection unblocks its worker).
             worker = threading.Thread(target=self._serve_connection,
                                       args=(conn,), daemon=True)
             worker.start()
-            self._threads.append(worker)
 
     def _serve_connection(self, conn: socket.socket) -> None:
         try:

@@ -432,6 +432,72 @@ class TestDegradedMode:
         assert f"shard:reconciled:{urls[0]}" in names
         client.close()
 
+    def test_put_landing_mid_reconcile_is_not_dropped(self, fleet,
+                                                      tmp_path):
+        """A degraded put racing a reconcile pass must survive to the
+        next pass, not vanish when reconcile() replaces the queue."""
+        urls = [server.url for server in fleet]
+        client = fast_client(
+            urls, quarantine_seconds=0.0,
+            fallback=ArtifactStore(cache_dir=tmp_path / "local"))
+        victims = [k for k in KEYS if client.shard_for(k) == urls[0]]
+        host, port = fleet[0].address
+        fleet[0].stop()
+        client.put(victims[0], art(0))
+        assert client.stats()["pending"][urls[0]] == 1
+
+        healed = StoreServer(ArtifactStore(cache_dir=tmp_path / "h"),
+                             host=host, port=port).start()
+        try:
+            # While reconcile is pushing the first owed key, another
+            # thread's degraded put lands — simulated by hooking the
+            # shard's request() at exactly that moment.
+            real_request = client.shards[urls[0]].request
+
+            def racing_request(op, key="", payload=b"", **kwargs):
+                if op == "put":
+                    client.fallback.put(victims[1], art(1))
+                    client._owe(urls[0], victims[1])
+                return real_request(op, key=key, payload=payload,
+                                    **kwargs)
+
+            client.shards[urls[0]].request = racing_request
+            assert client.reconcile() == 1
+            client.shards[urls[0]].request = real_request
+            # The racing key is still owed, and the next pass pushes it.
+            assert client.stats()["pending"][urls[0]] == 1
+            assert client.reconcile() == 1
+            assert client.stats()["pending"] == {}
+        finally:
+            healed.stop()
+        client.close()
+
+    def test_reconciled_trace_fires_per_shard(self, fleet, tmp_path):
+        """A shard that drained nothing (all owed keys locally evicted)
+        must not emit a 'reconciled' instant just because an earlier
+        shard in the same pass drained something."""
+        urls = [server.url for server in fleet]
+        tracer = Tracer()
+        client = fast_client(
+            urls, tracer=tracer, quarantine_seconds=0.0,
+            fallback=ArtifactStore(cache_dir=tmp_path / "local"))
+        key_a = [k for k in KEYS if client.shard_for(k) == urls[0]][0]
+        key_b = [k for k in KEYS if client.shard_for(k) == urls[1]][0]
+        host, port = fleet[0].address
+        fleet[0].stop()
+        client.put(key_a, art(0))
+        client._owe(urls[1], key_b)    # owed, but never banked locally
+        healed = StoreServer(ArtifactStore(cache_dir=tmp_path / "h"),
+                             host=host, port=port).start()
+        try:
+            assert client.reconcile() == 1
+        finally:
+            healed.stop()
+        names = [e.name for e in tracer.events]
+        assert f"shard:reconciled:{urls[0]}" in names
+        assert f"shard:reconciled:{urls[1]}" not in names
+        client.close()
+
     def test_background_reconciler_drains(self, fleet, tmp_path):
         urls = [server.url for server in fleet]
         clock = [0.0]
@@ -456,6 +522,82 @@ class TestDegradedMode:
         finally:
             healed.stop()
             client.close()
+
+
+# --------------------------------------------------------------------------
+# responding-but-erroring shards
+# --------------------------------------------------------------------------
+
+
+class ExplodingStore:
+    """A shard backend whose disk has failed: every store access
+    raises, so the server answers requests with ``ok: false`` instead
+    of dropping the connection."""
+
+    cache_dir = None
+
+    def get(self, key):
+        raise OSError("injected disk read failure")
+
+    def put(self, key, artifact):
+        raise StoreError("injected disk full")
+
+    def keys(self):
+        return []
+
+    def stats(self):
+        return {}
+
+
+class TestErroringShardDegrades:
+    """A shard that *responds* with errors (disk full, corrupt object)
+    is more dangerous than a dead one — it must degrade exactly the
+    same way, never fail the build."""
+
+    @pytest.fixture
+    def sick_shard(self):
+        server = StoreServer(ExplodingStore())
+        server.start()
+        yield server
+        server.stop()
+
+    def test_put_degrades_to_write_behind(self, sick_shard):
+        client = fast_client([sick_shard.url])
+        client.put(KEYS[0], art(0))        # must not raise
+        stats = client.stats()
+        assert stats["degraded_puts"] == 1
+        assert stats["pending"][sick_shard.url] == 1
+        # The artefact still serves from the local tier.
+        assert client.get(KEYS[0]) == art(0)
+        client.close()
+
+    def test_get_degrades_to_miss(self, sick_shard):
+        client = fast_client([sick_shard.url])
+        assert client.get(KEYS[1]) is None  # a miss, not a crash
+        stats = client.stats()
+        assert stats["degraded_gets"] == 1
+        assert stats["misses"] == 1
+        client.close()
+
+    def test_repeated_errors_trip_the_breaker(self, sick_shard):
+        client = fast_client([sick_shard.url],
+                             quarantine_seconds=3600.0)
+        for i in range(6):
+            assert client.get(KEYS[i]) is None
+        assert client.stats()["quarantined"] == [sick_shard.url]
+        # Once quarantined, requests stop reaching the sick shard.
+        attempts = client.shards[sick_shard.url].attempts
+        client.get(KEYS[7])
+        assert client.shards[sick_shard.url].attempts == attempts
+        client.close()
+
+    def test_strict_mode_propagates_shard_errors(self, sick_shard):
+        client = fast_client([sick_shard.url], strict=True)
+        with pytest.raises(StoreError, match="rejected put"):
+            client.put(KEYS[2], art(2))
+        with pytest.raises(StoreError, match="rejected get"):
+            client.get(KEYS[3])
+        client.close()
 
 
 # --------------------------------------------------------------------------

@@ -181,6 +181,37 @@ class TestCircuitBreaker:
             breaker.check("impl:a")
         assert exc_info.value.failures == 3
 
+    def test_half_open_admits_exactly_one_probe_across_threads(self):
+        """The client shares one breaker between the engine thread,
+        hedge workers and the reconciler; after a cooldown, exactly one
+        of them may be admitted as the half-open probe."""
+        import threading
+
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1,
+                                 cooldown_seconds=1.0,
+                                 clock=lambda: clock[0])
+        breaker.record_failure("shard")
+        assert breaker.is_open("shard")
+        clock[0] += 2.0                     # cooldown elapsed
+        barrier = threading.Barrier(8)
+        admitted = []
+
+        def probe():
+            barrier.wait()
+            if not breaker.is_open("shard"):
+                admitted.append(1)
+
+        threads = [threading.Thread(target=probe) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 1
+        assert breaker.half_open("shard")
+        # The losing threads stay blocked until the probe resolves.
+        assert breaker.is_open("shard")
+
     def test_engine_fast_fails_open_step(self):
         breaker = CircuitBreaker(failure_threshold=2)
         engine = BuildEngine(breaker=breaker)
