@@ -11,17 +11,16 @@ paper's Makefile targets are used day to day:
     $ python -m repro.cli edit optical-flow --cache-dir .pld-cache
     $ python -m repro.cli run optical-flow --flow o0
     $ python -m repro.cli tables --apps 3d-rendering,bnn
-    $ python -m repro.cli floorplan
-    $ python -m repro.cli compile optical-flow --cache-dir .pld-cache \
-          --resume
+    $ python -m repro.cli serve .pld-state --port 7411
+    $ python -m repro.cli submit optical-flow --server 127.0.0.1:7411
     $ python -m repro.cli fsck .pld-cache
 
-``compile --cache-dir`` persists every build artefact in a
-content-addressed store, so a second invocation over the same
-directory rebuilds nothing.  ``edit`` demonstrates the incremental
-loop: it compiles warm from the store, applies a one-operator edit,
-and reports the pages recompiled, the partial-reconfig reload and the
-delta link packets.
+Every compile verb is a thin frontend over
+:class:`repro.service.CompileService` — the session-manager layer that
+owns engine/store/journal/tracer wiring.  ``compile``/``run``/``tables``
+construct a private in-process service; ``serve`` exposes a shared one
+over TCP so many tenants multiplex one store and one worker pool, and
+``submit``/``status``/``result`` are the matching client verbs.
 """
 
 from __future__ import annotations
@@ -32,7 +31,6 @@ from typing import Dict, Optional
 
 from repro.errors import DeadlineExceeded, DeadlockError, PLDError
 from repro.core import (
-    BuildEngine,
     O0Flow,
     O1Flow,
     O3Flow,
@@ -41,14 +39,10 @@ from repro.core import (
     format_compile_table,
     format_performance_table,
 )
+from repro.core.flows import FLOWS
 from repro.platform import HostProgram
 
-FLOWS = {
-    "o0": O0Flow,
-    "o1": O1Flow,
-    "o3": O3Flow,
-    "vitis": VitisFlow,
-}
+DEFAULT_SERVER = "127.0.0.1:7411"
 
 
 def _flow(name: str, effort: float):
@@ -93,90 +87,47 @@ def _write_trace(tracer, args) -> None:
               f"{args.trace}' or load into Perfetto)")
 
 
-def _store_client(args, tracer=None):
-    """A :class:`ShardedStoreClient` for ``--store tcp://…``.
+def _service(args, tracer=None):
+    """An in-process :class:`CompileService` wired from the CLI flags.
 
-    ``--cache-dir`` doubles as the local fallback/hot tier (and hosts
-    the journal); without it the fallback is memory-only, so degraded
-    artefacts live only as long as the process.
+    This is the whole of the CLI's build orchestration now: stores,
+    journals, deadlines and crash plans are the service's job (the
+    same layer ``pld serve`` runs shared), so one-shot verbs just
+    submit a request and print the outcome.
     """
-    from repro.store import ArtifactStore
-    from repro.store.remote import ShardedStoreClient, parse_store_urls
+    from repro.service import CompileService, ServiceConfig
+    return CompileService(ServiceConfig(
+        cache_dir=getattr(args, "cache_dir", None),
+        store_urls=getattr(args, "store", None),
+        workers=getattr(args, "workers", None),
+        tracer=tracer, notify=print))
 
-    urls = parse_store_urls(args.store)
-    fallback = ArtifactStore(cache_dir=getattr(args, "cache_dir", None))
-    return ShardedStoreClient(urls, fallback=fallback, tracer=tracer)
 
-
-def _engine(args, tracer=None) -> BuildEngine:
-    """A build engine, persistent when ``--cache-dir`` was given,
-    remote-backed when ``--store`` names shard servers, and
-    process-parallel when ``--workers`` asks for more than one.
-
-    With a persistent store the engine also carries a build journal
-    (``--resume`` replays it), an optional ``--deadline`` budget and —
-    for the crash-injection smoke tests — a hidden ``--crash-at-step``
-    plan.
-    """
-    cache = None
-    journal = None
-    cache_dir = getattr(args, "cache_dir", None)
-    if getattr(args, "store", None):
-        cache = _store_client(args, tracer)
-    elif cache_dir:
-        from repro.store import ArtifactStore
-        cache = ArtifactStore(cache_dir=cache_dir)
-    if cache_dir:
-        from repro.resilience import BuildJournal
-        journal = BuildJournal(cache_dir,
-                               resume=bool(getattr(args, "resume", False)))
-        if journal.resuming and journal.interrupted:
-            print(f"resuming interrupted build: "
-                  f"{len(journal.completed)} journaled step(s) "
-                  f"already banked in {cache_dir}")
-    elif getattr(args, "resume", False):
-        raise SystemExit("--resume needs --cache-dir (the journal lives "
-                         "in the store)")
-    deadline = None
-    seconds = getattr(args, "deadline", None)
-    if seconds is not None:
-        from repro.resilience import Deadline
-        deadline = Deadline(seconds)
-    crash_plan = None
-    crash_at = getattr(args, "crash_at_step", None)
-    if crash_at is not None:
-        from repro.faults import CrashPlan
-        crash_plan = CrashPlan(crash_at,
-                               point=getattr(args, "crash_point", "mid"),
-                               mode="sigkill")
-    workers = getattr(args, "workers", None)
-    if workers is not None and workers > 1:
-        from repro.core import ParallelBuildEngine
-        return ParallelBuildEngine(cache=cache, workers=workers,
-                                   tracer=tracer, journal=journal,
-                                   deadline=deadline,
-                                   crash_plan=crash_plan)
-    return BuildEngine(cache=cache, tracer=tracer, journal=journal,
-                       deadline=deadline, crash_plan=crash_plan)
+def _request(args):
+    """A :class:`CompileRequest` from the compile-verb flags."""
+    from repro.service import CompileRequest
+    return CompileRequest(
+        app=args.app,
+        flow=getattr(args, "flow", "o1"),
+        effort=args.effort,
+        resume=bool(getattr(args, "resume", False)),
+        deadline=getattr(args, "deadline", None),
+        crash_at_step=getattr(args, "crash_at_step", None),
+        crash_point=getattr(args, "crash_point", "mid"))
 
 
 def cmd_compile(args) -> int:
-    app = _app(args.app)
+    if getattr(args, "resume", False) \
+            and not getattr(args, "cache_dir", None):
+        raise SystemExit("--resume needs --cache-dir (the journal lives "
+                         "in the store)")
     tracer = _tracer(args)
-    engine = _engine(args, tracer)
-    journal = getattr(engine, "journal", None)
+    service = _service(args, tracer)
     try:
-        if journal is not None:
-            journal.begin_build(args.flow, args.app)
-        build = _flow(args.flow, args.effort).compile(app.project, engine)
-        if journal is not None:
-            journal.end_build()
+        outcome = service.compile(_request(args))
     finally:
-        close = getattr(engine, "close", None)
-        if callable(close):
-            close()
-        if journal is not None:
-            journal.close()
+        service.close()
+    build = outcome.build
     times = build.compile_times
     if args.flow == "o0":
         print(f"compiled {args.app} with -O0 in "
@@ -209,6 +160,13 @@ def cmd_compile(args) -> int:
                   f"quarantined, "
                   f"{sum(stats.get('pending', {}).values())} write(s) "
                   f"owed")
+    dedup = outcome.dedup
+    if (getattr(args, "cache_dir", None) or getattr(args, "store", None)) \
+            and dedup.get("steps"):
+        print(f"dedup: {dedup['hits']}/{dedup['steps']} step(s) served "
+              f"from the store ({100 * dedup['ratio']:.0f}%), "
+              f"impl {dedup['impl_hits']}/{dedup['impl_steps']} "
+              f"({100 * dedup['impl_ratio']:.0f}%)")
     if getattr(args, "manifest", None):
         import json
         with open(args.manifest, "w") as handle:
@@ -274,61 +232,54 @@ def cmd_store(args) -> int:
 
 def cmd_edit(args) -> int:
     """The incremental loop demo: warm compile, one edit, delta reload."""
-    from repro.core import (IncrementalSession, touch_spec,
-                            format_incremental_report)
-    from repro.store import ArtifactStore
+    from repro.core import touch_spec, format_incremental_report
 
     app = _app(args.app)
     tracer = _tracer(args)
-    if getattr(args, "store", None):
-        store = _store_client(args, tracer)
-    else:
-        store = ArtifactStore(cache_dir=args.cache_dir) \
-            if args.cache_dir else ArtifactStore()
-    session = IncrementalSession(store=store, effort=args.effort,
-                                 tracer=tracer)
-    build = session.compile(app.project)
-    print(f"baseline: {build.describe()}; "
-          f"{len(build.recompiled_pages)} page(s) rebuilt")
+    service = _service(args, tracer)
+    session = service.open_session(effort=args.effort)
+    try:
+        build = session.compile(app.project)
+        print(f"baseline: {build.describe()}; "
+              f"{len(build.recompiled_pages)} page(s) rebuilt")
 
-    operator = args.operator
-    if operator is None:
-        # Default to the first HW operator so the demo touches a page.
-        hw = [name for name, op in app.project.graph.operators.items()
-              if op.target == "HW"]
-        if not hw:
-            raise SystemExit(f"{args.app} has no HW operators to edit")
-        operator = hw[0]
-    op = app.project.graph.operators.get(operator)
-    if op is None:
-        raise SystemExit(f"no operator {operator!r} in {args.app}")
+        operator = args.operator
+        if operator is None:
+            # Default to the first HW operator so the demo touches a page.
+            hw = [name for name, op in app.project.graph.operators.items()
+                  if op.target == "HW"]
+            if not hw:
+                raise SystemExit(f"{args.app} has no HW operators to edit")
+            operator = hw[0]
+        op = app.project.graph.operators.get(operator)
+        if op is None:
+            raise SystemExit(f"no operator {operator!r} in {args.app}")
 
-    host = HostProgram(build, tracer=tracer)
-    host.configure()
-    result = session.apply_edit(operator, touch_spec(op.hls_spec),
-                                op.sample_spec)
-    session.reload(host, result)
-    print(format_incremental_report(result))
-    if args.timeline:
-        print(host.timeline.summarize())
-    session.close()
+        host = HostProgram(build, tracer=tracer)
+        host.configure()
+        result = session.apply_edit(operator, touch_spec(op.hls_spec),
+                                    op.sample_spec)
+        session.reload(host, result)
+        print(format_incremental_report(result))
+        if args.timeline:
+            print(host.timeline.summarize())
+    finally:
+        session.close()
+        service.close()
     _write_trace(tracer, args)
     return 0
 
 
 def cmd_run(args) -> int:
-    app = _app(args.app)
     tracer = _tracer(args)
-    engine = _engine(args, tracer)
+    service = _service(args, tracer)
     try:
-        build = _flow(args.flow, args.effort).compile(app.project,
-                                                      engine)
+        outcome = service.compile(_request(args))
     finally:
-        close = getattr(engine, "close", None)
-        if callable(close):
-            close()
+        service.close()
+    build = outcome.build
     host = HostProgram(build, tracer=tracer)
-    outputs = host.run(app.project.sample_inputs)
+    outputs = host.run(_app(args.app).project.sample_inputs)
     for name, tokens in outputs.items():
         preview = tokens[:8]
         suffix = " ..." if len(tokens) > 8 else ""
@@ -342,7 +293,10 @@ def cmd_run(args) -> int:
 def cmd_tables(args) -> int:
     from repro.rosetta import all_apps
     chosen = args.apps.split(",") if args.apps else None
-    engine = _engine(args)
+    # One engine from the service factory, shared across every flow and
+    # app, so repeated front-end steps hit the in-memory cache.
+    service = _service(args)
+    engine = service.build_engine()
     builds: Dict[str, Dict[str, object]] = {}
     try:
         for name, app in all_apps().items():
@@ -359,15 +313,100 @@ def cmd_tables(args) -> int:
                     app.project, engine),
             }
     finally:
-        close = getattr(engine, "close", None)
-        if callable(close):
-            close()
+        engine.close()
+        journal = getattr(engine, "journal", None)
+        if journal is not None:
+            journal.close()
+        service.close()
     print("== compile time (Tab. 2) ==")
     print(format_compile_table(builds))
     print("\n== performance (Tab. 3) ==")
     print(format_performance_table(builds))
     print("\n== area (Tab. 4) ==")
     print(format_area_table(builds))
+    return 0
+
+
+# -- the daemon and its client verbs -----------------------------------------
+
+def cmd_serve(args) -> int:
+    """``pld serve`` — run the compile service as a TCP daemon."""
+    from repro.service.daemon import serve
+
+    quotas = {}
+    for spec in args.quota or []:
+        tenant, _, workers = spec.partition("=")
+        if not tenant or not workers.isdigit():
+            raise SystemExit(f"bad --quota {spec!r} (want TENANT=N)")
+        quotas[tenant] = int(workers)
+    return serve(args.state, host=args.host, port=args.port,
+                 workers=args.workers, slots=args.slots,
+                 quotas=quotas, default_quota=args.default_quota,
+                 trace=args.trace)
+
+
+def _service_client(args):
+    from repro.service import ServiceClient
+
+    server = getattr(args, "server", DEFAULT_SERVER)
+    host, _, port = server.rpartition(":")
+    try:
+        return ServiceClient(host or "127.0.0.1", int(port))
+    except ValueError:
+        raise SystemExit(f"bad --server {server!r} (want HOST:PORT)")
+
+
+def cmd_submit(args) -> int:
+    """Enqueue a compile/edit on a ``pld serve`` daemon."""
+    with _service_client(args) as client:
+        ticket = client.submit(
+            args.app, flow=args.flow, effort=args.effort,
+            tenant=args.tenant, session=args.session,
+            priority=args.priority, deadline=args.deadline,
+            cost=args.cost, edit_operator=args.edit_operator,
+            crash_at_step=getattr(args, "crash_at_step", None))
+    print(ticket)
+    return 0
+
+
+def cmd_status(args) -> int:
+    with _service_client(args) as client:
+        status = client.status(args.ticket)
+    position = status.get("position")
+    queue = f" (queue position {position})" if position is not None else ""
+    print(f"{status['ticket']}: {status['state']}{queue} "
+          f"[tenant {status.get('tenant')}, app {status.get('app')}]")
+    return 0
+
+
+def cmd_result(args) -> int:
+    """Wait for a daemon-side build and print its summary."""
+    with _service_client(args) as client:
+        summary, manifest = client.result(args.ticket,
+                                          timeout=args.timeout)
+    print(f"{summary['ticket']}: {summary['kind']} done "
+          f"in {summary['wall_seconds']:.2f}s wall")
+    if summary.get("describe"):
+        print(f"build: {summary['describe']}; "
+              f"{summary.get('pages_rebuilt', 0)} page(s) rebuilt")
+    dedup = summary.get("dedup") or {}
+    if dedup.get("steps"):
+        print(f"dedup: {dedup['hits']}/{dedup['steps']} step(s) served "
+              f"from the store ({100 * dedup['ratio']:.0f}%), "
+              f"impl {dedup['impl_hits']}/{dedup['impl_steps']} "
+              f"({100 * dedup['impl_ratio']:.0f}%)")
+    if summary.get("resumed"):
+        print(f"resume: skipped {summary['resumed']} journaled step(s) "
+              f"from the interrupted build")
+    if summary.get("edit"):
+        edit = summary["edit"]
+        print(f"edit: {edit['operator']} -> {edit['dirty_steps']} dirty "
+              f"step(s), pages {edit['pages_reloaded']}, "
+              f"{edit['speedup']:.1f}x vs cold")
+    if getattr(args, "manifest", None) and manifest:
+        with open(args.manifest, "wb") as handle:
+            handle.write(manifest)
+        print(f"wrote build manifest {args.manifest}")
     return 0
 
 
@@ -510,6 +549,81 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("floorplan", help="print the page floorplan")
 
+    serve_p = sub.add_parser(
+        "serve", help="run the compile service as a TCP daemon "
+                      "(multi-tenant; blocks until SIGTERM/shutdown)")
+    serve_p.add_argument("state", nargs="?", default=".pld-state",
+                         help="state directory: shared artifact store "
+                              "plus per-session journals and leases "
+                              "(default .pld-state)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=0,
+                         help="bind port (0 picks a free one and "
+                              "prints it)")
+    serve_p.add_argument("--workers", "-j", type=int, default=None,
+                         help="share one pool of this many worker "
+                              "processes across all tenants")
+    serve_p.add_argument("--slots", type=int, default=4,
+                         help="concurrent requests the scheduler may "
+                              "run (default 4)")
+    serve_p.add_argument("--quota", action="append", metavar="TENANT=N",
+                         help="cap one tenant at N of the scheduler "
+                              "slots (repeatable)")
+    serve_p.add_argument("--default-quota", type=int, default=None,
+                         help="slot cap for tenants without an "
+                              "explicit --quota")
+    serve_p.add_argument("--trace", metavar="FILE", default=None,
+                         help="write a Chrome trace-event JSON of all "
+                              "served requests (per-tenant lanes) on "
+                              "shutdown")
+
+    submit_p = sub.add_parser(
+        "submit", help="enqueue a compile on a pld serve daemon; "
+                       "prints the ticket id")
+    submit_p.add_argument("app")
+    submit_p.add_argument("--server", default=DEFAULT_SERVER,
+                          metavar="HOST:PORT")
+    submit_p.add_argument("--flow", default="o1",
+                          choices=sorted(FLOWS))
+    submit_p.add_argument("--effort", type=float, default=0.3)
+    submit_p.add_argument("--tenant", default="default")
+    submit_p.add_argument("--session", default=None,
+                          help="named leased session: compiles reuse "
+                               "one incremental session and journal, "
+                               "and resume after a daemon crash")
+    submit_p.add_argument("--priority", default="interactive",
+                          choices=("interactive", "batch"))
+    submit_p.add_argument("--deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="wall-clock budget; also schedules the "
+                               "request in the deadline class")
+    submit_p.add_argument("--cost", type=int, default=1,
+                          help="scheduler slots this request occupies")
+    submit_p.add_argument("--edit-operator", default=None,
+                          metavar="OP",
+                          help="submit an incremental edit of this "
+                               "operator ('first-hw' picks one) "
+                               "instead of a compile (needs --session)")
+    submit_p.add_argument("--crash-at-step", type=int, default=None,
+                          help=argparse.SUPPRESS)
+
+    status_p = sub.add_parser(
+        "status", help="queue state of a submitted ticket")
+    status_p.add_argument("ticket")
+    status_p.add_argument("--server", default=DEFAULT_SERVER,
+                          metavar="HOST:PORT")
+
+    result_p = sub.add_parser(
+        "result", help="wait for a ticket and print its summary")
+    result_p.add_argument("ticket")
+    result_p.add_argument("--server", default=DEFAULT_SERVER,
+                          metavar="HOST:PORT")
+    result_p.add_argument("--timeout", type=float, default=None,
+                          metavar="SECONDS")
+    result_p.add_argument("--manifest", metavar="FILE", default=None,
+                          help="write the build manifest (step -> "
+                               "content key) as JSON, for diffing")
+
     fsck_p = sub.add_parser(
         "fsck", help="check and repair an artifact store (orphan tmp "
                      "files, corrupt objects, torn journal tail)")
@@ -529,15 +643,15 @@ def build_parser() -> argparse.ArgumentParser:
         "store", help="remote artifact-store administration")
     store_sub = store_p.add_subparsers(dest="store_command",
                                        required=True)
-    serve_p = store_sub.add_parser(
+    serve_store_p = store_sub.add_parser(
         "serve", help="serve one store directory as a shard backend "
                       "(blocks; ^C stops)")
-    serve_p.add_argument("cache_dir",
-                         help="store directory this shard owns")
-    serve_p.add_argument("--host", default="127.0.0.1")
-    serve_p.add_argument("--port", type=int, default=0,
-                         help="bind port (0 picks a free one and "
-                              "prints it)")
+    serve_store_p.add_argument("cache_dir",
+                               help="store directory this shard owns")
+    serve_store_p.add_argument("--host", default="127.0.0.1")
+    serve_store_p.add_argument("--port", type=int, default=0,
+                               help="bind port (0 picks a free one and "
+                                    "prints it)")
 
     trace_p = sub.add_parser(
         "trace", help="render a saved --trace file as a text tree")
@@ -568,6 +682,10 @@ def main(argv: Optional[list] = None) -> int:
         "run": cmd_run,
         "tables": cmd_tables,
         "floorplan": cmd_floorplan,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "status": cmd_status,
+        "result": cmd_result,
         "bench": cmd_bench,
         "trace": cmd_trace,
         "fsck": cmd_fsck,

@@ -214,14 +214,20 @@ class BuildEngine:
     """
 
     def __init__(self, cache=None, tracer=None, journal=None,
-                 deadline=None, breaker=None, crash_plan=None):
+                 deadline=None, breaker=None, crash_plan=None,
+                 owns_cache: bool = True):
         self.cache = cache if cache is not None else BuildCache()
+        #: Whether close() may close the cache.  A service sharing one
+        #: store across many per-request engines passes False so a
+        #: request ending never tears down the shared store.
+        self.owns_cache = owns_cache
         self.record = BuildRecord()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.journal = journal
         self.deadline = deadline
         self.breaker = breaker
         self.crash_plan = crash_plan
+        self._closed = False
 
     def _hit(self, name: str, key: str, artefact):
         """Bookkeeping for one cache hit (shared with the parallel
@@ -333,8 +339,14 @@ class BuildEngine:
         of its own — the remote :class:`repro.store.remote.
         ShardedStoreClient` and its socket pools — is shut down here,
         so every CLI path that closes its engine also closes the
-        store's connections.
+        store's connections.  A second close is a strict no-op (a
+        long-running service opens and closes engines per request).
         """
+        if self._closed:
+            return
+        self._closed = True
+        if not self.owns_cache:
+            return
         close = getattr(self.cache, "close", None)
         if callable(close):
             close()

@@ -1137,3 +1137,13 @@ class VitisFlow(O3Flow):
         seconds = cycles / (fmax * 1e6)
         return PerformanceSummary(self.name, round(fmax, 0), cycles,
                                   seconds, base.bottleneck)
+
+
+#: The flow registry: one canonical name -> flow class map, shared by
+#: the CLI and the compile service (both construct ``cls(effort=...)``).
+FLOWS = {
+    "o0": O0Flow,
+    "o1": O1Flow,
+    "o3": O3Flow,
+    "vitis": VitisFlow,
+}

@@ -55,33 +55,42 @@ class ParallelBuildEngine(BuildEngine):
 
     def __init__(self, cache=None, workers: Optional[int] = None,
                  tracer=None, journal=None, deadline=None, breaker=None,
-                 crash_plan=None):
+                 crash_plan=None, pool: Optional[ProcessPoolExecutor] = None,
+                 owns_cache: bool = True):
         super().__init__(cache, tracer=tracer, journal=journal,
                          deadline=deadline, breaker=breaker,
-                         crash_plan=crash_plan)
+                         crash_plan=crash_plan, owns_cache=owns_cache)
         self.workers = workers if workers is not None \
             else (os.cpu_count() or 1)
         #: Steps that failed on a worker and were re-run in-process.
         self.worker_retries = 0
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool: Optional[ProcessPoolExecutor] = pool
+        #: A pool passed in is *borrowed* (the compile service shares
+        #: one pool across per-request engines): close() leaves it
+        #: running, and a poisoned borrowed pool is dropped without a
+        #: shutdown wait (the owner reaps it).
+        self._owns_pool = pool is None
 
     # -- pool lifecycle ----------------------------------------------------
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._owns_pool = True
         return self._pool
 
     def _drop_pool(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+            if self._owns_pool:
+                self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent); also closes a
-        closeable cache via the base engine."""
+        """Shut the worker pool down if owned (idempotent); also closes
+        a closeable cache via the base engine."""
         if self._pool is not None:
-            self._pool.shutdown()
+            if self._owns_pool:
+                self._pool.shutdown()
             self._pool = None
         super().close()
 

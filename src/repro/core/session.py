@@ -88,12 +88,29 @@ class IncrementalSession:
             bounding each compile; expiry raises
             :class:`repro.errors.DeadlineExceeded` while every finished
             artefact stays banked in the store.
+        journal_dir: where the build journal lives (defaults to the
+            store's ``cache_dir``).  The compile service gives every
+            leased session its own journal directory while all sessions
+            share one store, so a restart can resume each session
+            independently.
+        engine: an existing :class:`BuildEngine` to drive compiles
+            (the service passes a pool-sharing
+            :class:`~repro.core.parallel.ParallelBuildEngine`); the
+            session attaches its journal to it.  Default: a private
+            serial engine.
+        owns_store: whether :meth:`close` may close the store.  None
+            (default) means "owns it unless it was passed in shared" —
+            kept True for a passed-in store too, for backward
+            compatibility with the CLI edit path; the service passes
+            False explicitly.
     """
 
     def __init__(self, cache_dir=None, store=None,
                  flow: Optional[O1Flow] = None, effort: float = 1.0,
                  seed: int = 1, cluster: Optional[CompileCluster] = None,
-                 tracer=None, resume: bool = False, deadline=None):
+                 tracer=None, resume: bool = False, deadline=None,
+                 journal_dir=None, engine: Optional[BuildEngine] = None,
+                 owns_store: Optional[bool] = None):
         # Imported here, not at module top: repro.store itself imports
         # repro.core.build, and this module is pulled in by the
         # repro.core package init — a top-level import would make
@@ -103,9 +120,11 @@ class IncrementalSession:
 
         self.store = store if store is not None \
             else ArtifactStore(cache_dir=cache_dir)
+        self.owns_store = True if owns_store is None else owns_store
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.journal = None
-        store_dir = getattr(self.store, "cache_dir", None)
+        store_dir = journal_dir if journal_dir is not None \
+            else getattr(self.store, "cache_dir", None)
         if store_dir is not None:
             from repro.resilience import BuildJournal
             self.journal = BuildJournal(store_dir, resume=resume)
@@ -113,8 +132,17 @@ class IncrementalSession:
             raise FlowError("--resume needs a disk-backed store "
                             "(cache_dir); an in-memory session has no "
                             "journal to replay")
-        self.engine = BuildEngine(cache=self.store, tracer=self.tracer,
-                                  journal=self.journal, deadline=deadline)
+        if engine is not None:
+            self.engine = engine
+            self.engine.journal = self.journal
+            if deadline is not None:
+                self.engine.deadline = deadline
+        else:
+            self.engine = BuildEngine(cache=self.store,
+                                      tracer=self.tracer,
+                                      journal=self.journal,
+                                      deadline=deadline,
+                                      owns_cache=self.owns_store)
         self.flow = flow if flow is not None \
             else O1Flow(effort=effort, seed=seed, cluster=cluster)
         self.project: Optional[Project] = None

@@ -135,6 +135,21 @@ class StoreUnavailableError(TransportError):
     """
 
 
+class ServiceError(PLDError):
+    """Compile-service errors (unknown ticket, closed service, a
+    daemon rejecting a request).
+
+    Raised by :mod:`repro.service` on the server side and re-raised by
+    the service client when a daemon answers ``ok: false``; carries the
+    server-reported error kind so clients can special-case deadline
+    expiries vs. plain failures.
+    """
+
+    def __init__(self, message: str, *, kind: str = ""):
+        super().__init__(message)
+        self.kind = kind
+
+
 class DeadlineExceeded(PLDError):
     """A compile ran out of its wall-clock budget.
 

@@ -298,6 +298,120 @@ def bench_store_sharded(quick: bool = False,
     }
 
 
+def bench_serve_loadgen(quick: bool = False,
+                        registry: Optional[PerfRegistry] = None):
+    """N simulated tenants hammering one ``pld serve`` daemon.
+
+    Each tenant opens a leased session on the shared daemon, compiles
+    the same application (so every tenant after the first dedups its
+    impl steps through the shared store), then submits a stream of
+    zipf-distributed operator edits — a few hot operators take most of
+    the edits, the tail is cold — which is what an interactive fleet
+    looks like.  Reports client-observed p50/p99 request latency and
+    the cross-tenant dedup ratio the shared store achieved.
+    """
+    import statistics
+    import threading
+
+    from repro.rosetta import get_app
+    from repro.service.client import ServiceClient
+    from repro.service.daemon import serve
+
+    registry = registry if registry is not None else PerfRegistry()
+    tenants = 2 if quick else 4
+    edits_per_tenant = 2 if quick else 5
+    effort = 0.1 if quick else 0.3
+    app_name = "digit-recognition"
+
+    hw_ops = [name for name, op in
+              get_app(app_name).project.graph.operators.items()
+              if op.target == "HW"]
+    # Zipf-ish edit mix: operator at popularity rank r drawn with
+    # weight 1/(r+1)^1.1.
+    weights = [1.0 / (rank + 1) ** 1.1 for rank in range(len(hw_ops))]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        address = {}
+        ready = threading.Event()
+        with registry.timer("setup"):
+            server = threading.Thread(
+                target=serve,
+                kwargs=dict(cache_dir=tmp, workers=None,
+                            slots=max(2, tenants), notify=None,
+                            ready=lambda h, p: (
+                                address.update(host=h, port=p),
+                                ready.set())),
+                daemon=True)
+            server.start()
+            if not ready.wait(timeout=30):
+                raise RuntimeError("pld serve did not come up")
+
+        latencies: List[float] = []
+        baselines: Dict[str, Dict] = {}
+        lock = threading.Lock()
+
+        def tenant_load(index: int) -> None:
+            rng = random.Random(1000 + index)
+            name = f"tenant{index}"
+            with ServiceClient(address["host"],
+                               address["port"]) as client:
+                start = time.perf_counter()
+                summary, _ = client.compile(
+                    app_name, tenant=name, session=f"s-{name}",
+                    effort=effort, timeout=300)
+                first = time.perf_counter() - start
+                with lock:
+                    latencies.append(first)
+                    baselines[name] = summary["dedup"]
+                for _ in range(edits_per_tenant):
+                    op = rng.choices(hw_ops, weights=weights)[0]
+                    start = time.perf_counter()
+                    client.compile(app_name, tenant=name,
+                                   session=f"s-{name}", effort=effort,
+                                   edit_operator=op, timeout=300)
+                    with lock:
+                        latencies.append(time.perf_counter() - start)
+
+        def run_fleet() -> None:
+            threads = [threading.Thread(target=tenant_load, args=(i,))
+                       for i in range(tenants)]
+            # Stagger tenant 0 so one tenant's cold compile seeds the
+            # store before the rest arrive (the steady-state shape).
+            threads[0].start()
+            threads[0].join()
+            for t in threads[1:]:
+                t.start()
+            for t in threads[1:]:
+                t.join()
+
+        with registry.timer("load"):
+            wall, _ = _timed(run_fleet)
+
+        with ServiceClient(address["host"], address["port"]) as client:
+            stats = client.stats()
+            client.shutdown()
+        server.join(timeout=30)
+
+    registry.count("tenants", tenants)
+    registry.count("requests", len(latencies))
+    ordered = sorted(latencies)
+    p50 = statistics.median(ordered)
+    p99 = ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+    # Every tenant after the seeder should find its impl steps already
+    # in the shared store — the cross-tenant dedup guarantee.
+    follower_impl = [d["impl_ratio"] for name, d in baselines.items()
+                     if name != "tenant0"]
+    return wall, {
+        "tenants": tenants,
+        "requests": len(latencies),
+        "p50_ms": round(p50 * 1e3, 1),
+        "p99_ms": round(p99 * 1e3, 1),
+        "dedup_ratio": round(stats["dedup_ratio"], 4),
+        "cross_tenant_impl_dedup": round(min(follower_impl), 4)
+        if follower_impl else 1.0,
+    }
+
+
 #: suite name -> callable(quick, registry) -> (wall_seconds, metrics)
 SUITES: Dict[str, Callable] = {
     "noc_drain": bench_noc_drain,
@@ -308,6 +422,7 @@ SUITES: Dict[str, Callable] = {
     "cycle_sim": bench_cycle_sim,
     "incremental_edit": bench_incremental,
     "store_sharded": bench_store_sharded,
+    "serve_loadgen": bench_serve_loadgen,
 }
 
 

@@ -1,0 +1,36 @@
+"""The compile service: one session-manager layer behind every frontend.
+
+``repro.service`` extracts the orchestration that used to live in the
+CLI — engine/store/tracer wiring, journals, teardown — into
+:class:`CompileService`, then puts two thin frontends over it: the
+``pld`` CLI calls it in-process, and the ``pld serve`` daemon exposes
+it over TCP to many tenants at once (see DESIGN.md §13).
+"""
+
+from repro.service.core import (
+    CompileRequest,
+    CompileService,
+    RequestOutcome,
+    ServiceConfig,
+    dedup_summary,
+)
+from repro.service.scheduler import (
+    AGING_ROUNDS,
+    PRIORITY_CLASSES,
+    RequestScheduler,
+    ScheduledRequest,
+)
+from repro.service.client import ServiceClient
+
+__all__ = [
+    "AGING_ROUNDS",
+    "CompileRequest",
+    "CompileService",
+    "PRIORITY_CLASSES",
+    "RequestOutcome",
+    "RequestScheduler",
+    "ScheduledRequest",
+    "ServiceClient",
+    "ServiceConfig",
+    "dedup_summary",
+]

@@ -1,0 +1,143 @@
+"""Synchronous client for the ``pld serve`` daemon.
+
+The CLI verbs ``pld submit``/``pld status``/``pld result`` (and the
+``serve_loadgen`` benchmark's simulated tenants) talk to the daemon
+through this class.  One :class:`ServiceClient` holds one TCP
+connection and issues request/response frames in
+:mod:`repro.store.remote.framing`'s wire format; a server answer with
+``ok: false`` re-raises as :class:`~repro.errors.ServiceError`
+carrying the server-reported ``kind``, so callers can tell a deadline
+expiry (``kind == "deadline"``) from a rejected request.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ServiceError, TransportError
+from repro.store.remote.framing import recv_frame, send_frame
+
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServiceClient:
+    """One connection to a compile-service daemon.
+
+    Args:
+        host/port: where ``pld serve`` listens.
+        timeout: socket timeout for connect and for every response
+            *except* ``result``, which blocks server-side for up to the
+            caller-supplied wait and gets a correspondingly larger
+            socket timeout.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = DEFAULT_TIMEOUT):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+
+    # -- transport -----------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout)
+            except OSError as exc:
+                raise TransportError(
+                    f"cannot reach pld serve at "
+                    f"{self.host}:{self.port}: {exc}",
+                    op="connect") from exc
+        return self._sock
+
+    def call(self, header: Dict[str, Any],
+             timeout: Optional[float] = None
+             ) -> Tuple[Dict[str, Any], bytes]:
+        """One request/response round trip; raises on ``ok: false``."""
+        sock = self._connect()
+        sock.settimeout(timeout if timeout is not None
+                        else self.timeout)
+        try:
+            send_frame(sock, header)
+            response, payload = recv_frame(sock)
+        except TransportError:
+            # The connection is in an unknown state; drop it so the
+            # next call dials fresh.
+            self.close()
+            raise
+        if not response.get("ok", False):
+            raise ServiceError(
+                response.get("error", "service request failed"),
+                kind=str(response.get("kind", "")))
+        return response, payload
+
+    # -- verbs ---------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        response, _ = self.call({"op": "ping"})
+        return response
+
+    def submit(self, app: str, **fields) -> str:
+        """Enqueue a compile/edit; returns the ticket id."""
+        header = {"op": "submit", "app": app}
+        header.update({k: v for k, v in fields.items()
+                       if v is not None})
+        response, _ = self.call(header)
+        return str(response["ticket"])
+
+    def status(self, ticket: str) -> Dict[str, Any]:
+        response, _ = self.call({"op": "status", "ticket": ticket})
+        return response
+
+    def result(self, ticket: str,
+               timeout: Optional[float] = None
+               ) -> Tuple[Dict[str, Any], bytes]:
+        """Block until the ticket finishes.
+
+        Returns ``(summary, manifest_bytes)``; the manifest payload is
+        the build's step→content-key map as sorted JSON, so two clients
+        can diff byte-for-byte.
+        """
+        header: Dict[str, Any] = {"op": "result", "ticket": ticket}
+        if timeout is not None:
+            header["timeout"] = timeout
+        # The server blocks until done; give the socket headroom past
+        # the server-side wait so we fail with the server's timeout
+        # error, not a raw socket timeout.
+        sock_timeout = (timeout + self.timeout) if timeout is not None \
+            else None
+        return self.call(header, timeout=sock_timeout)
+
+    def compile(self, app: str, timeout: Optional[float] = None,
+                **fields) -> Tuple[Dict[str, Any], bytes]:
+        """Submit + result in one call (the loadgen's inner loop)."""
+        return self.result(self.submit(app, **fields), timeout=timeout)
+
+    def stats(self) -> Dict[str, Any]:
+        response, _ = self.call({"op": "stats"})
+        return response
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to drain and exit (graceful stop)."""
+        response, _ = self.call({"op": "shutdown"})
+        return response
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,721 @@
+"""The compile-service core: one session manager behind every frontend.
+
+Before this package existed, ``repro/cli.py`` wired flows, engines,
+stores, journals and tracers together inline, once per invocation.
+:class:`CompileService` owns that orchestration instead, so the CLI
+(in-process) and the ``pld serve`` daemon (over TCP) are thin frontends
+over the same layer:
+
+* **submit/status/result** — requests enter a fair-share
+  :class:`~repro.service.scheduler.RequestScheduler` (per-tenant
+  quotas, priority/deadline classes) and run on dispatcher-managed
+  worker threads; ``result`` blocks until done and re-raises the
+  request's failure exactly as an inline call would.
+* **Named, leased sessions** — a request naming ``session=`` gets a
+  long-lived :class:`~repro.core.IncrementalSession` whose journal
+  lives in its own ``sessions/<name>/`` directory next to a
+  ``lease.json``.  A killed daemon restarts, finds the lease with an
+  interrupted journal, and the next compile into that session resumes
+  bit-identically (content keys make correctness; the journal makes
+  the bookkeeping).
+* **Cross-tenant dedup** — every session and request shares one
+  content-addressed store, so two tenants compiling the same operator
+  pay once; the second request's steps are store hits, reported as a
+  dedup ratio per request and aggregated per tenant.
+* **Shared engine workers** — with ``workers > 1`` the service owns a
+  single process pool that every request's
+  :class:`~repro.core.ParallelBuildEngine` borrows, so concurrent
+  requests multiplex one set of engine workers (what the scheduler's
+  quotas meter).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.core import (
+    BuildEngine,
+    IncrementalSession,
+    ParallelBuildEngine,
+    touch_spec,
+)
+from repro.core.flows import FLOWS
+from repro.service.scheduler import RequestScheduler
+from repro.trace import NULL_TRACER
+
+#: Subdirectory of the state dir holding one directory per leased
+#: session (journal + lease file).
+SESSIONS_DIR = "sessions"
+#: Lease record inside a session directory.
+LEASE_NAME = "lease.json"
+
+
+@dataclass
+class CompileRequest:
+    """One unit of work for the service (a compile or a session edit)."""
+
+    app: str
+    flow: str = "o1"
+    effort: float = 0.3
+    tenant: str = "default"
+    #: Named leased session; None is a one-shot request.
+    session: Optional[str] = None
+    priority: str = "interactive"
+    #: Wall-clock budget in seconds (also promotes the request into
+    #: the ``deadline`` scheduling class).
+    deadline: Optional[float] = None
+    #: Engine workers this request claims against its tenant's quota.
+    cost: int = 1
+    resume: bool = False
+    seed: int = 1
+    #: When set, the request is an *edit*: touch this operator in the
+    #: named session and recompile incrementally ("first-hw" picks the
+    #: first hardware operator).
+    edit_operator: Optional[str] = None
+    edit_tag: str = "edit"
+    # Crash-injection hooks (the resume smoke tests; undocumented).
+    crash_at_step: Optional[int] = None
+    crash_point: str = "mid"
+
+
+@dataclass
+class RequestOutcome:
+    """What one finished request produced."""
+
+    ticket: str
+    kind: str                     # "compile" | "edit"
+    build: Any = None             # FlowBuild
+    edit: Any = None              # EditResult for edit requests
+    #: Cache-dedup accounting for this request's compile: total steps,
+    #: store hits, overall ratio, and the impl-step ratio the
+    #: acceptance gate watches.
+    dedup: Dict[str, float] = field(default_factory=dict)
+    resumed: List[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    tenant: str = "default"
+    session: Optional[str] = None
+
+
+def dedup_summary(record) -> Dict[str, float]:
+    """Cache-dedup ratios from one engine invocation's BuildRecord."""
+    steps = len(record.keys)
+    built = len(record.built)
+    hits = max(0, steps - built)
+    impl = [name for name in record.keys if name.startswith("impl:")]
+    impl_built = [name for name in record.built
+                  if name.startswith("impl:")]
+    return {
+        "steps": steps,
+        "hits": hits,
+        "ratio": (hits / steps) if steps else 1.0,
+        "impl_steps": len(impl),
+        "impl_hits": len(impl) - len(impl_built),
+        "impl_ratio": (1.0 - len(impl_built) / len(impl))
+        if impl else 1.0,
+    }
+
+
+class Ticket:
+    """Internal per-request record (the public handle is its id)."""
+
+    def __init__(self, ticket_id: str, request: CompileRequest,
+                 sched_seq: int):
+        self.id = ticket_id
+        self.request = request
+        self.sched_seq = sched_seq
+        self.state = "queued"        # queued|running|done|failed
+        self.outcome: Optional[RequestOutcome] = None
+        self.error: Optional[BaseException] = None
+        self.done = threading.Event()
+        self.submitted = time.monotonic()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+
+
+@dataclass
+class ServiceConfig:
+    """How a :class:`CompileService` is wired.
+
+    ``shared=False`` (the CLI) reproduces the old per-invocation
+    wiring exactly: each request builds its own cache/journal from
+    ``cache_dir``/``store_urls``, so manifests and printed stats are
+    bit-identical to the pre-service CLI.  ``shared=True`` (the
+    daemon, the load generator) pools one store, one process pool and
+    per-session journals across every request — the multi-tenant mode.
+    """
+
+    cache_dir: Optional[str] = None
+    store_urls: Optional[str] = None
+    workers: Optional[int] = None
+    shared: bool = False
+    #: Concurrent requests the scheduler may run (the worker pool the
+    #: per-tenant quotas meter).  CLI frontends keep the default 1.
+    slots: int = 1
+    quotas: Dict[str, int] = field(default_factory=dict)
+    default_quota: Optional[int] = None
+    tracer: Any = None
+    #: Human-facing progress notes (the CLI passes ``print``).
+    notify: Optional[Callable[[str], None]] = None
+    seed: int = 1
+
+
+class _SessionState:
+    """A leased session held open by the service."""
+
+    def __init__(self, name: str, session: IncrementalSession,
+                 directory: pathlib.Path):
+        self.name = name
+        self.session = session
+        self.directory = directory
+        self.lock = threading.Lock()
+        self.tenant = ""
+        self.app = ""
+        self.edits = 0
+        self.resumed_last = 0
+
+
+class CompileService:
+    """The session manager the CLI and the daemon both talk to."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None, **kwargs):
+        self.config = config if config is not None \
+            else ServiceConfig(**kwargs)
+        self.tracer = self.config.tracer \
+            if self.config.tracer is not None else NULL_TRACER
+        self.shared = self.config.shared
+        self.store = self._build_store() if self.shared else None
+        self.scheduler = RequestScheduler(
+            total_workers=max(1, self.config.slots),
+            default_quota=self.config.default_quota,
+            quotas=self.config.quotas)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._tickets: Dict[str, Ticket] = {}
+        self._by_seq: Dict[int, Ticket] = {}
+        self._sessions: Dict[str, _SessionState] = {}
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._counter = 0
+        self._closed = False
+        self._stopping = False
+        self._active: List[threading.Thread] = []
+        self._tenant_totals: Dict[str, Dict[str, float]] = {}
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="pld-dispatch", daemon=True)
+        self._dispatcher.start()
+
+    # -- wiring (the orchestration that used to live in cli.py) -------------
+
+    def _notify(self, message: str) -> None:
+        if self.config.notify is not None:
+            self.config.notify(message)
+
+    def _build_store(self):
+        """The service-owned store (daemon mode): every request and
+        session shares it, which is where cross-tenant dedup comes
+        from."""
+        from repro.store import ArtifactStore
+
+        if self.config.store_urls:
+            from repro.store.remote import ShardedStoreClient
+            fallback = ArtifactStore(cache_dir=self.config.cache_dir)
+            return ShardedStoreClient(self.config.store_urls,
+                                      fallback=fallback,
+                                      tracer=self.tracer)
+        return ArtifactStore(cache_dir=self.config.cache_dir)
+
+    def _shared_pool(self) -> Optional[ProcessPoolExecutor]:
+        if not self.config.workers or self.config.workers <= 1:
+            return None
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.config.workers)
+            return self._pool
+
+    def build_engine(self, request: Optional[CompileRequest] = None,
+                     tracer=None) -> BuildEngine:
+        """One request's engine: cache, journal, deadline, crash plan.
+
+        In CLI mode this is byte-for-byte the old ``cli._engine``
+        wiring (private cache and root journal per invocation); in
+        shared mode the engine borrows the service store and process
+        pool and skips the root journal (leased sessions journal in
+        their own directories instead).
+        """
+        req = request if request is not None else CompileRequest(app="")
+        tracer = tracer if tracer is not None else self.tracer
+        cache = None
+        journal = None
+        owns_cache = True
+        if self.shared:
+            cache = self.store
+            owns_cache = False
+        elif self.config.store_urls:
+            from repro.store import ArtifactStore
+            from repro.store.remote import ShardedStoreClient
+            fallback = ArtifactStore(cache_dir=self.config.cache_dir)
+            cache = ShardedStoreClient(self.config.store_urls,
+                                       fallback=fallback, tracer=tracer)
+        elif self.config.cache_dir:
+            from repro.store import ArtifactStore
+            cache = ArtifactStore(cache_dir=self.config.cache_dir)
+        if not self.shared and self.config.cache_dir:
+            from repro.resilience import BuildJournal
+            journal = BuildJournal(self.config.cache_dir,
+                                   resume=bool(req.resume))
+            if journal.resuming and journal.interrupted:
+                self._notify(
+                    f"resuming interrupted build: "
+                    f"{len(journal.completed)} journaled step(s) "
+                    f"already banked in {self.config.cache_dir}")
+        deadline = None
+        if req.deadline is not None:
+            from repro.resilience import Deadline
+            deadline = Deadline(req.deadline)
+        crash_plan = None
+        if req.crash_at_step is not None:
+            from repro.faults import CrashPlan
+            crash_plan = CrashPlan(req.crash_at_step,
+                                   point=req.crash_point,
+                                   mode="sigkill")
+        workers = self.config.workers
+        if workers is not None and workers > 1:
+            return ParallelBuildEngine(
+                cache=cache, workers=workers, tracer=tracer,
+                journal=journal, deadline=deadline,
+                crash_plan=crash_plan,
+                pool=self._shared_pool() if self.shared else None,
+                owns_cache=owns_cache)
+        return BuildEngine(cache=cache, tracer=tracer, journal=journal,
+                           deadline=deadline, crash_plan=crash_plan,
+                           owns_cache=owns_cache)
+
+    def make_flow(self, name: str, effort: float, seed: int = 1):
+        try:
+            cls = FLOWS[name]
+        except KeyError:
+            raise ServiceError(f"unknown flow {name!r}; choose from "
+                               f"{sorted(FLOWS)}", kind="bad-request")
+        return cls(effort=effort)
+
+    def open_session(self, effort: float = 0.3, cache_dir=None,
+                     store_urls=None, tracer=None) -> IncrementalSession:
+        """A CLI-mode :class:`IncrementalSession` wired like the old
+        ``pld edit`` path (the session owns its store)."""
+        from repro.store import ArtifactStore
+
+        tracer = tracer if tracer is not None else self.tracer
+        cache_dir = cache_dir if cache_dir is not None \
+            else self.config.cache_dir
+        store_urls = store_urls if store_urls is not None \
+            else self.config.store_urls
+        if store_urls:
+            from repro.store.remote import ShardedStoreClient
+            store = ShardedStoreClient(
+                store_urls,
+                fallback=ArtifactStore(cache_dir=cache_dir),
+                tracer=tracer)
+        else:
+            store = ArtifactStore(cache_dir=cache_dir) if cache_dir \
+                else ArtifactStore()
+        return IncrementalSession(store=store, effort=effort,
+                                  tracer=tracer)
+
+    # -- session leases ------------------------------------------------------
+
+    def _sessions_root(self) -> Optional[pathlib.Path]:
+        if not self.config.cache_dir:
+            return None
+        return pathlib.Path(self.config.cache_dir) / SESSIONS_DIR
+
+    def _write_lease(self, directory: pathlib.Path,
+                     lease: Dict[str, Any]) -> None:
+        directory.mkdir(parents=True, exist_ok=True)
+        tmp = directory / (LEASE_NAME + ".tmp")
+        tmp.write_text(json.dumps(lease, sort_keys=True, indent=2))
+        os.replace(tmp, directory / LEASE_NAME)
+
+    def _read_lease(self, directory: pathlib.Path) -> Dict[str, Any]:
+        try:
+            return json.loads((directory / LEASE_NAME).read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def interrupted_sessions(self) -> List[str]:
+        """Leased sessions whose journal shows a build that began but
+        never ended — what a killed daemon left behind.  The next
+        compile submitted into such a session resumes automatically."""
+        root = self._sessions_root()
+        if root is None or not root.is_dir():
+            return []
+        from repro.resilience.journal import journal_path, load_journal
+        interrupted = []
+        for directory in sorted(root.iterdir()):
+            if not directory.is_dir():
+                continue
+            records, _ = load_journal(journal_path(directory))
+            began = sum(1 for r in records if r.get("t") == "build-begin")
+            ended = sum(1 for r in records if r.get("t") == "build-end")
+            if began > ended:
+                interrupted.append(directory.name)
+        return interrupted
+
+    def _session_state(self, req: CompileRequest) -> _SessionState:
+        if not self.shared:
+            raise ServiceError("named sessions need a shared-mode "
+                               "service (the daemon)", kind="bad-request")
+        name = str(req.session)
+        if not name or "/" in name or name.startswith("."):
+            raise ServiceError(f"bad session name {name!r}",
+                               kind="bad-request")
+        with self._lock:
+            state = self._sessions.get(name)
+            if state is not None:
+                return state
+        root = self._sessions_root()
+        directory = root / name if root is not None else None
+        resume = False
+        if directory is not None:
+            from repro.resilience.journal import (journal_path,
+                                                  load_journal)
+            records, _ = load_journal(journal_path(directory))
+            began = sum(1 for r in records if r.get("t") == "build-begin")
+            ended = sum(1 for r in records if r.get("t") == "build-end")
+            resume = began > ended
+            if resume:
+                self._notify(f"session {name!r}: resuming interrupted "
+                             f"build from its journal")
+        engine = None
+        if self.config.workers is not None and self.config.workers > 1:
+            engine = ParallelBuildEngine(
+                cache=self.store, workers=self.config.workers,
+                tracer=self.tracer, pool=self._shared_pool(),
+                owns_cache=False)
+        session = IncrementalSession(
+            store=self.store, effort=req.effort, seed=req.seed,
+            tracer=self.tracer, resume=resume,
+            journal_dir=directory, engine=engine, owns_store=False)
+        state = _SessionState(name, session,
+                              directory if directory is not None
+                              else pathlib.Path("."))
+        state.tenant = req.tenant
+        with self._lock:
+            clash = self._sessions.get(name)
+            if clash is not None:
+                session.close()
+                return clash
+            self._sessions[name] = state
+        if directory is not None:
+            self._write_lease(directory, {
+                "session": name, "tenant": req.tenant,
+                "app": req.app, "effort": req.effort,
+                "status": "idle", "pid": os.getpid()})
+        return state
+
+    # -- the request lifecycle ----------------------------------------------
+
+    def submit(self, request: CompileRequest) -> str:
+        """Enqueue a request; returns its ticket id immediately."""
+        if self._closed or self._stopping:
+            raise ServiceError("service is shut down", kind="closed")
+        if request.flow not in FLOWS:
+            raise ServiceError(f"unknown flow {request.flow!r}; choose "
+                               f"from {sorted(FLOWS)}", kind="bad-request")
+        deadline_at = None
+        if request.deadline is not None:
+            deadline_at = time.monotonic() + float(request.deadline)
+        entry = self.scheduler.submit(
+            request.tenant, cost=request.cost,
+            priority=request.priority, deadline_at=deadline_at)
+        with self._lock:
+            self._counter += 1
+            ticket = Ticket(f"t{self._counter:04d}", request, entry.seq)
+            self._tickets[ticket.id] = ticket
+            self._by_seq[entry.seq] = ticket
+            self._wake.notify_all()
+        self.tracer.instant(f"submit:{ticket.id}", category="service",
+                            lane=f"tenant:{request.tenant}",
+                            app=request.app, flow=request.flow,
+                            session=request.session or "")
+        return ticket.id
+
+    def _ticket(self, ticket_id: str) -> Ticket:
+        with self._lock:
+            ticket = self._tickets.get(ticket_id)
+        if ticket is None:
+            raise ServiceError(f"unknown ticket {ticket_id!r}",
+                               kind="unknown-ticket")
+        return ticket
+
+    def status(self, ticket_id: str) -> Dict[str, Any]:
+        ticket = self._ticket(ticket_id)
+        position = self.scheduler.queue_position(ticket.sched_seq)
+        return {
+            "ticket": ticket.id,
+            "state": ticket.state,
+            "position": position,
+            "tenant": ticket.request.tenant,
+            "app": ticket.request.app,
+            "flow": ticket.request.flow,
+            "session": ticket.request.session,
+        }
+
+    def result(self, ticket_id: str,
+               timeout: Optional[float] = None) -> RequestOutcome:
+        """Block until the request finishes; re-raise its failure."""
+        ticket = self._ticket(ticket_id)
+        if not ticket.done.wait(timeout):
+            raise ServiceError(
+                f"request {ticket_id} still {ticket.state} after "
+                f"{timeout:g}s", kind="timeout")
+        if ticket.error is not None:
+            raise ticket.error
+        assert ticket.outcome is not None
+        return ticket.outcome
+
+    def compile(self, request: CompileRequest,
+                timeout: Optional[float] = None) -> RequestOutcome:
+        """Submit + result: the synchronous frontend the CLI uses."""
+        return self.result(self.submit(request), timeout=timeout)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            entry = self.scheduler.acquire()
+            if entry is None:
+                with self._lock:
+                    if self._stopping:
+                        return
+                    self._wake.wait(timeout=0.2)
+                    if self._stopping:
+                        return
+                continue
+            with self._lock:
+                ticket = self._by_seq.get(entry.seq)
+            if ticket is None:           # cancelled under our feet
+                self.scheduler.release(entry.seq)
+                continue
+            thread = threading.Thread(
+                target=self._run_ticket, args=(ticket,),
+                name=f"pld-request-{ticket.id}", daemon=True)
+            with self._lock:
+                self._active.append(thread)
+            thread.start()
+
+    def _run_ticket(self, ticket: Ticket) -> None:
+        ticket.state = "running"
+        ticket.started = time.monotonic()
+        try:
+            outcome = self._execute(ticket)
+            ticket.outcome = outcome
+            ticket.state = "done"
+        except BaseException as exc:     # noqa: B036 — re-raised in result()
+            ticket.error = exc
+            ticket.state = "failed"
+        finally:
+            ticket.finished = time.monotonic()
+            self.scheduler.release(ticket.sched_seq)
+            with self._lock:
+                self._active = [t for t in self._active
+                                if t is not threading.current_thread()]
+                self._wake.notify_all()
+            ticket.done.set()
+
+    # -- execution -----------------------------------------------------------
+
+    def _app(self, name: str):
+        from repro.rosetta import get_app
+        return get_app(name)
+
+    def _execute(self, ticket: Ticket) -> RequestOutcome:
+        req = ticket.request
+        start = time.perf_counter()
+        with self.tracer.span(f"request:{ticket.id}",
+                              category="service",
+                              lane=f"tenant:{req.tenant}",
+                              tenant=req.tenant, app=req.app,
+                              flow=req.flow,
+                              session=req.session or ""):
+            if req.session is not None:
+                outcome = self._execute_session(ticket)
+            else:
+                outcome = self._execute_oneshot(ticket)
+        outcome.wall_seconds = time.perf_counter() - start
+        self._charge(req.tenant, outcome)
+        return outcome
+
+    def _charge(self, tenant: str, outcome: RequestOutcome) -> None:
+        with self._lock:
+            totals = self._tenant_totals.setdefault(
+                tenant, {"requests": 0, "steps": 0, "hits": 0})
+            totals["requests"] += 1
+            totals["steps"] += outcome.dedup.get("steps", 0)
+            totals["hits"] += outcome.dedup.get("hits", 0)
+
+    def _execute_oneshot(self, ticket: Ticket) -> RequestOutcome:
+        req = ticket.request
+        app = self._app(req.app)
+        engine = self.build_engine(req)
+        journal = getattr(engine, "journal", None)
+        try:
+            if journal is not None:
+                journal.begin_build(req.flow, req.app)
+            flow = self.make_flow(req.flow, req.effort, req.seed)
+            build = flow.compile(app.project, engine)
+            if journal is not None:
+                journal.end_build()
+        finally:
+            engine.close()
+            if journal is not None:
+                journal.close()
+        return RequestOutcome(
+            ticket=ticket.id, kind="compile", build=build,
+            dedup=dedup_summary(engine.record),
+            resumed=list(build.resumed), tenant=req.tenant)
+
+    def _execute_session(self, ticket: Ticket) -> RequestOutcome:
+        req = ticket.request
+        if req.flow != "o1":
+            raise ServiceError(
+                f"leased sessions compile with the o1 flow, not "
+                f"{req.flow!r}", kind="bad-request")
+        app = self._app(req.app)
+        state = self._session_state(req)
+        with state.lock:
+            lease = {"session": state.name, "tenant": req.tenant,
+                     "app": req.app, "effort": req.effort,
+                     "status": "active", "pid": os.getpid(),
+                     "edits": state.edits}
+            if state.directory.name:
+                self._write_lease(state.directory, lease)
+            if req.crash_at_step is not None:
+                # The crash-resume smoke: SIGKILL this daemon at the
+                # Nth cache-miss step of the session's next compile.
+                from repro.faults import CrashPlan
+                state.session.engine.crash_plan = CrashPlan(
+                    req.crash_at_step, point=req.crash_point,
+                    mode="sigkill")
+            try:
+                if req.edit_operator is not None:
+                    outcome = self._session_edit(ticket, state, app)
+                else:
+                    build = state.session.compile(app.project)
+                    state.app = req.app
+                    outcome = RequestOutcome(
+                        ticket=ticket.id, kind="compile", build=build,
+                        dedup=dedup_summary(state.session.engine.record),
+                        resumed=list(build.resumed),
+                        tenant=req.tenant, session=state.name)
+            finally:
+                lease["status"] = "idle"
+                lease["edits"] = state.edits
+                if state.directory.name:
+                    self._write_lease(state.directory, lease)
+        return outcome
+
+    def _session_edit(self, ticket: Ticket, state: _SessionState,
+                      app) -> RequestOutcome:
+        req = ticket.request
+        if state.session.build is None:
+            raise ServiceError(
+                f"session {state.name!r} has no baseline build to "
+                f"edit; submit a compile first", kind="bad-request")
+        operator = req.edit_operator
+        if operator in (None, "", "first-hw"):
+            hw = [name for name, op in
+                  state.session.project.graph.operators.items()
+                  if op.target == "HW"]
+            if not hw:
+                raise ServiceError(f"{req.app} has no HW operators "
+                                   f"to edit", kind="bad-request")
+            operator = hw[0]
+        op = state.session.project.graph.operators.get(operator)
+        if op is None:
+            raise ServiceError(f"no operator {operator!r} in "
+                               f"session {state.name!r}",
+                               kind="bad-request")
+        result = state.session.apply_edit(
+            operator, touch_spec(op.hls_spec, tag=req.edit_tag),
+            op.sample_spec)
+        state.edits += 1
+        return RequestOutcome(
+            ticket=ticket.id, kind="edit", build=result.build,
+            edit=result,
+            dedup=dedup_summary(state.session.engine.record),
+            resumed=list(result.build.resumed),
+            tenant=req.tenant, session=state.name)
+
+    # -- introspection / lifecycle -------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            tenants = {t: dict(v) for t, v in
+                       self._tenant_totals.items()}
+            tickets = len(self._tickets)
+            sessions = sorted(self._sessions)
+        steps = sum(v["steps"] for v in tenants.values())
+        hits = sum(v["hits"] for v in tenants.values())
+        out = {
+            "tickets": tickets,
+            "sessions": sessions,
+            "tenants": tenants,
+            "dedup_ratio": (hits / steps) if steps else 1.0,
+            "scheduler": self.scheduler.stats(),
+        }
+        if self.store is not None:
+            out["store"] = dict(self.store.stats())
+        return out
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain running requests, close sessions, pool and store
+        (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            self._stopping = True
+            self._wake.notify_all()
+            active = list(self._active)
+        self._dispatcher.join(timeout=5.0)
+        deadline = time.monotonic() + timeout
+        for thread in active:
+            thread.join(timeout=max(0.1, deadline - time.monotonic()))
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions = {}
+        for state in sessions:
+            with state.lock:
+                state.session.close()
+            if state.directory.name:
+                lease = self._read_lease(state.directory)
+                lease["status"] = "released"
+                self._write_lease(state.directory, lease)
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        if self.store is not None:
+            close = getattr(self.store, "close", None)
+            if callable(close):
+                close()
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"CompileService({state}, "
+                f"{len(self._tickets)} ticket(s), "
+                f"{len(self._sessions)} session(s))")

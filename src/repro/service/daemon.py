@@ -1,0 +1,299 @@
+"""The ``pld serve`` daemon: a TCP frontend over :class:`CompileService`.
+
+One asyncio server speaks the remote-store wire format (length-prefixed
+JSON header + opaque payload, :mod:`repro.store.remote.framing`) and
+maps each request header onto the service:
+
+========  ===================================================
+op        effect
+========  ===================================================
+ping      liveness probe (also reports pid and uptime)
+submit    enqueue a compile/edit; returns a ticket id
+status    queue state and position for a ticket
+result    block until a ticket finishes; manifest as payload
+stats     service-wide dedup / scheduler / store counters
+shutdown  graceful stop: drain, close the service, exit
+========  ===================================================
+
+Errors travel as ``{"ok": false, "error": ..., "kind": ...}`` so the
+client can re-raise a typed :class:`~repro.errors.ServiceError`; a
+``DeadlineExceeded`` inside a build maps to ``kind="deadline"`` with
+the completed/pending step counts, mirroring the CLI's exit-2 report.
+
+The blocking calls (``service.result``) run in the loop's default
+executor, so one tenant waiting on a long build never stalls another
+tenant's submit.  State (store, session journals, leases) lives under
+``--state DIR``; a daemon killed mid-build and restarted over the same
+directory finds the interrupted session journals and resumes them on
+the next submit — the bit-identical-restart contract the CI smoke job
+enforces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import sys
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import DeadlineExceeded, PLDError, ServiceError
+from repro.store.remote.framing import (recv_frame_async,
+                                        send_frame_async)
+from repro.service.core import (CompileRequest, CompileService,
+                                RequestOutcome, ServiceConfig)
+
+#: Fields a submit header may carry, with coercions applied server-side
+#: (everything arrives as JSON scalars).
+_SUBMIT_FIELDS = {
+    "app": str, "flow": str, "effort": float, "tenant": str,
+    "session": str, "priority": str, "deadline": float, "cost": int,
+    "resume": bool, "seed": int, "edit_operator": str,
+    "edit_tag": str, "crash_at_step": int, "crash_point": str,
+}
+
+
+def request_from_header(header: Dict[str, Any]) -> CompileRequest:
+    """Build a :class:`CompileRequest` from a submit frame header."""
+    app = header.get("app")
+    if not app or not isinstance(app, str):
+        raise ServiceError("submit needs an 'app' field",
+                           kind="bad-request")
+    kwargs: Dict[str, Any] = {}
+    for name, coerce in _SUBMIT_FIELDS.items():
+        if name == "app":
+            continue
+        value = header.get(name)
+        if value is None:
+            continue
+        try:
+            kwargs[name] = coerce(value)
+        except (TypeError, ValueError):
+            raise ServiceError(f"bad {name!r} value {value!r}",
+                               kind="bad-request")
+    return CompileRequest(app=app, **kwargs)
+
+
+def outcome_to_wire(outcome: RequestOutcome
+                    ) -> Tuple[Dict[str, Any], bytes]:
+    """Flatten an outcome into a JSON-safe header + manifest payload."""
+    build = outcome.build
+    header: Dict[str, Any] = {
+        "ok": True,
+        "ticket": outcome.ticket,
+        "kind": outcome.kind,
+        "tenant": outcome.tenant,
+        "session": outcome.session,
+        "dedup": dict(outcome.dedup),
+        "resumed": len(outcome.resumed),
+        "wall_seconds": outcome.wall_seconds,
+    }
+    payload = b""
+    if build is not None:
+        header["describe"] = build.describe()
+        header["pages_rebuilt"] = len(build.recompiled_pages)
+        payload = json.dumps(build.manifest(), indent=2,
+                             sort_keys=True).encode()
+    if outcome.edit is not None:
+        header["edit"] = {
+            "operator": outcome.edit.operator,
+            "dirty_steps": len(outcome.edit.dirty_steps),
+            "pages_reloaded": list(outcome.edit.pages_reloaded),
+            "speedup": outcome.edit.speedup,
+        }
+    return header, payload
+
+
+def error_to_wire(exc: BaseException) -> Dict[str, Any]:
+    """One wire shape for every failure the service can raise."""
+    header = {
+        "ok": False,
+        "error": f"{type(exc).__name__}: {exc}",
+        "kind": getattr(exc, "kind", "") or type(exc).__name__,
+    }
+    if isinstance(exc, DeadlineExceeded):
+        header["kind"] = "deadline"
+        header["completed"] = len(exc.completed)
+        header["pending"] = len(exc.pending)
+        header["hint"] = ("resubmit the same session to resume from "
+                          "its journal")
+    return header
+
+
+class ServeDaemon:
+    """The asyncio server; one instance per ``pld serve`` process."""
+
+    def __init__(self, service: CompileService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopping = asyncio.Event()
+        self._started = time.monotonic()
+        self.connections = 0
+        self.requests = 0
+
+    # -- per-op handlers -----------------------------------------------------
+
+    async def _op_ping(self, header, payload):
+        return {"ok": True, "pid": os.getpid(),
+                "uptime": time.monotonic() - self._started}, b""
+
+    async def _op_submit(self, header, payload):
+        request = request_from_header(header)
+        ticket = self.service.submit(request)
+        position = self.service.status(ticket)["position"]
+        return {"ok": True, "ticket": ticket,
+                "position": position}, b""
+
+    async def _op_status(self, header, payload):
+        status = self.service.status(str(header.get("ticket", "")))
+        status["ok"] = True
+        return status, b""
+
+    async def _op_result(self, header, payload):
+        ticket = str(header.get("ticket", ""))
+        timeout = header.get("timeout")
+        loop = asyncio.get_running_loop()
+        outcome = await loop.run_in_executor(
+            None, lambda: self.service.result(
+                ticket, timeout=float(timeout)
+                if timeout is not None else None))
+        return outcome_to_wire(outcome)
+
+    async def _op_stats(self, header, payload):
+        stats = self.service.stats()
+        stats["ok"] = True
+        stats["pid"] = os.getpid()
+        stats["uptime"] = time.monotonic() - self._started
+        return stats, b""
+
+    async def _op_shutdown(self, header, payload):
+        self._stopping.set()
+        return {"ok": True, "stopping": True}, b""
+
+    # -- connection loop -----------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        try:
+            while True:
+                try:
+                    header, payload = await recv_frame_async(reader)
+                except PLDError:
+                    break                 # client went away / bad frame
+                except asyncio.CancelledError:
+                    break                 # server closing this connection
+                self.requests += 1
+                op = header.get("op", "")
+                handler = getattr(self, f"_op_{op}", None)
+                if handler is None:
+                    response: Dict[str, Any] = {
+                        "ok": False,
+                        "error": f"unknown op {op!r}",
+                        "kind": "bad-request"}
+                    body = b""
+                else:
+                    try:
+                        response, body = await handler(header, payload)
+                    except PLDError as exc:
+                        response, body = error_to_wire(exc), b""
+                try:
+                    await send_frame_async(writer, response, body)
+                except PLDError:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError,
+                    asyncio.CancelledError):
+                pass
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.port = sockname[1]
+        return sockname[0], sockname[1]
+
+    async def serve_until_stopped(self) -> None:
+        await self._stopping.wait()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def request_stop(self) -> None:
+        self._stopping.set()
+
+
+def serve(cache_dir: str, host: str = "127.0.0.1", port: int = 0,
+          workers: Optional[int] = None, slots: int = 4,
+          quotas: Optional[Dict[str, int]] = None,
+          default_quota: Optional[int] = None,
+          trace: Optional[str] = None,
+          notify=print, ready=None) -> int:
+    """Run the daemon in the foreground until SIGTERM/SIGINT/shutdown.
+
+    Args:
+        cache_dir: the state directory — shared artifact store plus
+            one journal + lease per leased session under ``sessions/``.
+        ready: optional callback invoked with ``(host, port)`` once the
+            listener is bound (tests use it instead of scraping stdout).
+
+    Returns the process exit code (0 on a clean stop).
+    """
+    tracer = None
+    if trace:
+        from repro.trace import Tracer
+        tracer = Tracer()
+    service = CompileService(ServiceConfig(
+        cache_dir=cache_dir, shared=True, workers=workers,
+        slots=slots, quotas=dict(quotas or {}),
+        default_quota=default_quota, tracer=tracer))
+    interrupted = service.interrupted_sessions()
+    if interrupted and notify is not None:
+        notify(f"found {len(interrupted)} interrupted session(s): "
+               f"{', '.join(interrupted)} — they resume on next submit")
+    daemon = ServeDaemon(service, host=host, port=port)
+
+    async def _main() -> None:
+        bound_host, bound_port = await daemon.start()
+        if notify is not None:
+            notify(f"pld serve listening on {bound_host}:{bound_port} "
+                   f"(state: {cache_dir}, pid {os.getpid()})")
+        if ready is not None:
+            ready(bound_host, bound_port)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, daemon.request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass                       # non-main thread / platform
+        await daemon.serve_until_stopped()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+        if tracer is not None and trace:
+            tracer.write_chrome_trace(trace)
+            if notify is not None:
+                notify(f"wrote server trace {trace} "
+                       f"({len(tracer)} events)")
+    if notify is not None:
+        notify(f"pld serve stopped after {daemon.requests} request(s) "
+               f"on {daemon.connections} connection(s)")
+    return 0
+
+
+if __name__ == "__main__":               # pragma: no cover
+    sys.exit(serve(sys.argv[1] if len(sys.argv) > 1 else ".pld-state"))

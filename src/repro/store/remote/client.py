@@ -53,7 +53,12 @@ from repro.errors import (
     TransportError,
 )
 from repro.store.remote.framing import recv_frame, send_frame
-from repro.store.serial import decode_artifact, encode_artifact
+from repro.store.serial import (
+    decode_artifact,
+    encode_artifact,
+    pack_artifacts,
+    unpack_artifacts,
+)
 from repro.trace import NULL_TRACER
 
 #: Per-attempt socket deadline (seconds).
@@ -66,6 +71,8 @@ DEFAULT_BACKOFF_BASE = 0.02
 DEFAULT_QUARANTINE_SECONDS = 1.0
 #: Latency window for the hedge threshold.
 LATENCY_WINDOW = 64
+#: Artefacts per multi_put frame when draining write-behind queues.
+RECONCILE_BATCH = 32
 
 
 def parse_store_urls(spec: str) -> List[str]:
@@ -316,6 +323,7 @@ class ShardedStoreClient:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._reconciler: Optional[threading.Thread] = None
         self._stop = threading.Event()
+        self._closed = False
         #: Per-shard write-behind queue: keys whose remote put is owed.
         #: Mutated from the engine thread (put), the reconciler thread
         #: and close() — every access goes through _pending_lock.
@@ -445,6 +453,91 @@ class ShardedStoreClient:
             if key not in queue:
                 queue.append(key)
 
+    # -- batched traffic -----------------------------------------------------
+
+    def multi_get(self, keys) -> Dict[str, Any]:
+        """Fetch many keys in one frame per owning shard.
+
+        Local hot-tier hits are served first; the remainder groups by
+        rendezvous owner and each shard sees a single ``multi_get``
+        round-trip.  A quarantined or failing shard degrades exactly
+        like :meth:`get` — its keys just come back absent.  Returns
+        ``{key: artifact}`` for everything found.
+        """
+        found: Dict[str, Any] = {}
+        by_shard: Dict[str, List[str]] = {}
+        for key in dict.fromkeys(keys):     # dedup, order-preserving
+            artifact = self.fallback.get(key)
+            if artifact is not None:
+                self.hits += 1
+                self.local_hits += 1
+                found[key] = artifact
+            else:
+                by_shard.setdefault(self.shard_for(key), []).append(key)
+        for url, shard_keys in by_shard.items():
+            if self.breaker.is_open(url):
+                self._degraded(url, "get")
+                self.misses += len(shard_keys)
+                continue
+            try:
+                response, payload = self.shards[url].request(
+                    "multi_get", extra={"keys": shard_keys})
+                items = unpack_artifacts(
+                    list(response.get("found", [])),
+                    [int(s) for s in response.get("sizes", [])], payload)
+            except StoreError:
+                if self.strict:
+                    raise
+                self._record_failure(url)
+                self._degraded(url, "get")
+                self.misses += len(shard_keys)
+                continue
+            self._record_success(url)
+            for key, artifact in items:
+                self.remote_hits += 1
+                self.hits += 1
+                self.fallback.put(key, artifact)
+                found[key] = artifact
+            absent = len(shard_keys) - len(items)
+            self.remote_misses += absent
+            self.misses += absent
+        return found
+
+    def prefetch(self, keys) -> int:
+        """Warm the local tier for a session attach; returns the number
+        of keys now locally available."""
+        return len(self.multi_get(keys))
+
+    def multi_put(self, items: Dict[str, Any]) -> None:
+        """Write many artefacts: local write-through, then one
+        ``multi_put`` frame per owning shard; a failing shard owes all
+        of its batch to the write-behind queue."""
+        by_shard: Dict[str, List[str]] = {}
+        for key, artifact in items.items():
+            self.fallback.put(key, artifact)
+            by_shard.setdefault(self.shard_for(key), []).append(key)
+        for url, shard_keys in by_shard.items():
+            if self.breaker.is_open(url):
+                self._degraded(url, "put")
+                for key in shard_keys:
+                    self._owe(url, key)
+                continue
+            try:
+                keys, sizes, payload = pack_artifacts(
+                    (key, items[key]) for key in shard_keys)
+                self.shards[url].request(
+                    "multi_put", extra={"keys": keys, "sizes": sizes},
+                    payload=payload)
+            except StoreError:
+                if self.strict:
+                    raise
+                self._record_failure(url)
+                self._degraded(url, "put")
+                for key in shard_keys:
+                    self._owe(url, key)
+                continue
+            self._record_success(url)
+
     # -- remote reads (with hedging) -----------------------------------------
 
     def _remote_get(self, url: str, key: str):
@@ -539,17 +632,28 @@ class ShardedStoreClient:
                 self.pending[url] = []
             still_owed: List[str] = []
             pushed = 0
-            for pos, key in enumerate(owed):
-                artifact = self.fallback.get(key)
-                if artifact is None:
-                    continue           # evicted locally; nothing to push
+            # Drain in multi_put batches: one frame per RECONCILE_BATCH
+            # keys instead of one round-trip per key.
+            for base in range(0, len(owed), RECONCILE_BATCH):
+                chunk = owed[base:base + RECONCILE_BATCH]
+                items = []
+                for key in chunk:
+                    artifact = self.fallback.get(key)
+                    if artifact is not None:
+                        items.append((key, artifact))
+                    # else: evicted locally; nothing to push
+                if not items:
+                    continue
                 try:
-                    payload = encode_artifact(key, artifact)
-                    self.shards[url].request("put", key, payload)
-                    pushed += 1
+                    keys, sizes, payload = pack_artifacts(items)
+                    self.shards[url].request(
+                        "multi_put",
+                        extra={"keys": keys, "sizes": sizes},
+                        payload=payload)
+                    pushed += len(items)
                 except StoreError:
                     self._record_failure(url)
-                    still_owed.extend(owed[pos:])
+                    still_owed.extend(owed[base:])
                     break
             if still_owed:
                 # Merge the leftovers back ahead of anything owed
@@ -567,7 +671,7 @@ class ShardedStoreClient:
 
     def start_reconciler(self, interval: float = 2.0) -> None:
         """Background thread draining write-behind queues periodically."""
-        if self._reconciler is not None:
+        if self._reconciler is not None or self._closed:
             return
 
         def loop() -> None:
@@ -618,6 +722,19 @@ class ShardedStoreClient:
         }
 
     def close(self) -> None:
+        """Settle debts, stop the reconciler, release every socket.
+
+        Idempotent — a second close returns immediately.  The stop
+        event is set *before* the final reconcile so the background
+        reconciler drops out of its wait at once and joins even while
+        a shard is quarantined (a quarantined shard's drain is gated by
+        the breaker, so its pass costs nothing and cannot wedge the
+        join).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
         try:
             # Last chance to settle debts — costs nothing when every
             # owing shard is still quarantined (the breaker gates the
@@ -625,7 +742,6 @@ class ShardedStoreClient:
             self.reconcile()
         except StoreError:
             pass
-        self._stop.set()
         if self._reconciler is not None:
             self._reconciler.join(timeout=5.0)
             self._reconciler = None

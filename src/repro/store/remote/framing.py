@@ -59,16 +59,33 @@ def _recv_exact(sock: socket.socket, n: int, what: str) -> bytes:
     return b"".join(chunks)
 
 
-def send_frame(sock: socket.socket, header: Dict[str, Any],
-               payload: bytes = b"") -> None:
-    """Serialize and send one frame (a single ``sendall``)."""
+def encode_frame(header: Dict[str, Any], payload: bytes = b"") -> bytes:
+    """Serialize one frame to bytes (shared by sync and async I/O)."""
     head = json.dumps(header, sort_keys=True).encode()
     if len(head) > MAX_HEADER_BYTES:
         raise FrameError(f"header too large ({len(head)} bytes)")
     if len(payload) > MAX_PAYLOAD_BYTES:
         raise FrameError(f"payload too large ({len(payload)} bytes)")
-    frame = (_HEADER_LEN.pack(len(head)) + head
-             + _PAYLOAD_LEN.pack(len(payload)) + payload)
+    return (_HEADER_LEN.pack(len(head)) + head
+            + _PAYLOAD_LEN.pack(len(payload)) + payload)
+
+
+def decode_header(head: bytes) -> Dict[str, Any]:
+    """Parse and validate frame-header bytes (shared sync/async)."""
+    try:
+        header = json.loads(head.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"corrupt frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise FrameError(
+            f"frame header is {type(header).__name__}, expected object")
+    return header
+
+
+def send_frame(sock: socket.socket, header: Dict[str, Any],
+               payload: bytes = b"") -> None:
+    """Serialize and send one frame (a single ``sendall``)."""
+    frame = encode_frame(header, payload)
     try:
         sock.sendall(frame)
     except socket.timeout as exc:
@@ -94,13 +111,7 @@ def recv_frame(sock: socket.socket) -> Tuple[Dict[str, Any], bytes]:
         raise FrameError(f"header length {head_len} exceeds "
                          f"{MAX_HEADER_BYTES}")
     head = _recv_exact(sock, head_len, "header")
-    try:
-        header = json.loads(head.decode())
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise FrameError(f"corrupt frame header: {exc}") from exc
-    if not isinstance(header, dict):
-        raise FrameError(
-            f"frame header is {type(header).__name__}, expected object")
+    header = decode_header(head)
     raw = _recv_exact(sock, _PAYLOAD_LEN.size, "payload length")
     (payload_len,) = _PAYLOAD_LEN.unpack(raw)
     if payload_len > MAX_PAYLOAD_BYTES:
@@ -108,3 +119,46 @@ def recv_frame(sock: socket.socket) -> Tuple[Dict[str, Any], bytes]:
                          f"{MAX_PAYLOAD_BYTES}")
     payload = _recv_exact(sock, payload_len, "payload")
     return header, payload
+
+
+# -- asyncio transport (the pld serve daemon) --------------------------------
+#
+# Byte-for-byte the same frames over an asyncio StreamReader/Writer, so
+# the daemon shares this wire format with the shard fleet.  asyncio's
+# IncompleteReadError is an EOFError subclass, so nothing here needs to
+# import asyncio.
+
+async def recv_frame_async(reader) -> Tuple[Dict[str, Any], bytes]:
+    """Receive one frame from an ``asyncio.StreamReader``."""
+    try:
+        raw = await reader.readexactly(_HEADER_LEN.size)
+        (head_len,) = _HEADER_LEN.unpack(raw)
+        if head_len > MAX_HEADER_BYTES:
+            raise FrameError(f"header length {head_len} exceeds "
+                             f"{MAX_HEADER_BYTES}")
+        head = await reader.readexactly(head_len)
+        header = decode_header(head)
+        raw = await reader.readexactly(_PAYLOAD_LEN.size)
+        (payload_len,) = _PAYLOAD_LEN.unpack(raw)
+        if payload_len > MAX_PAYLOAD_BYTES:
+            raise FrameError(f"payload length {payload_len} exceeds "
+                             f"{MAX_PAYLOAD_BYTES}")
+        payload = await reader.readexactly(payload_len)
+    except EOFError as exc:              # IncompleteReadError
+        raise FrameError(f"peer half-closed mid-frame: {exc}") from exc
+    except (ConnectionError, OSError) as exc:
+        raise TransportError(f"connection error reading frame: "
+                             f"{exc}") from exc
+    return header, payload
+
+
+async def send_frame_async(writer, header: Dict[str, Any],
+                           payload: bytes = b"") -> None:
+    """Send one frame over an ``asyncio.StreamWriter``."""
+    frame = encode_frame(header, payload)
+    try:
+        writer.write(frame)
+        await writer.drain()
+    except (ConnectionError, OSError) as exc:
+        raise TransportError(f"connection error sending frame: "
+                             f"{exc}") from exc

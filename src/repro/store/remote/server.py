@@ -31,7 +31,12 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import FrameError, StoreError, TransportError
 from repro.store.remote.framing import recv_frame, send_frame
-from repro.store.serial import decode_artifact, encode_artifact
+from repro.store.serial import (
+    decode_artifact,
+    encode_artifact,
+    pack_artifacts,
+    unpack_artifacts,
+)
 
 
 class StoreServer:
@@ -93,17 +98,24 @@ class StoreServer:
         return self
 
     def stop(self) -> None:
+        """Stop accepting, close every connection, join the accept
+        thread (idempotent — a double stop is a no-op)."""
         self._running = False
         if self._listener is not None:
             try:
                 self._listener.close()
             except OSError:
                 pass
+            self._listener = None
         for conn in list(self._conns):
             try:
                 conn.close()
             except OSError:
                 pass
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=2.0)
+        self._threads = []
 
     def __enter__(self) -> "StoreServer":
         return self.start()
@@ -163,6 +175,10 @@ class StoreServer:
                 return self._handle_get(key)
             if op == "put":
                 return self._handle_put(key, payload)
+            if op == "multi_get":
+                return self._handle_multi_get(header)
+            if op == "multi_put":
+                return self._handle_multi_put(header, payload)
             if op == "keys":
                 with self._lock:
                     keys = sorted(self.store.keys())
@@ -202,6 +218,45 @@ class StoreServer:
         with self._lock:
             self.store.put(key, artifact)
         return {"ok": True, "stored": True}, b""
+
+    def _handle_multi_get(self, header: Dict[str, Any]
+                          ) -> Tuple[Dict[str, Any], bytes]:
+        """Batched get: one frame in, every found artefact back.
+
+        The response header carries parallel ``found``/``sizes`` lists
+        and the payload is the encodings concatenated in that order;
+        keys the shard does not hold are simply absent from ``found``.
+        """
+        keys = header.get("keys", [])
+        if not isinstance(keys, list):
+            raise StoreError("multi_get needs a 'keys' list")
+        items = []
+        with self._lock:
+            for key in keys:
+                artifact = self.store.get(str(key))
+                if artifact is not None:
+                    items.append((str(key), artifact))
+        found, sizes, payload = pack_artifacts(items)
+        return {"ok": True, "found": found, "sizes": sizes}, payload
+
+    def _handle_multi_put(self, header: Dict[str, Any], payload: bytes
+                          ) -> Tuple[Dict[str, Any], bytes]:
+        """Batched put: decode the whole batch first, then store it.
+
+        Decode-before-store keeps the trust boundary of the single
+        ``put``: one corrupt item rejects the frame and nothing from
+        the batch lands, so the client's retry replays it whole.
+        """
+        keys = header.get("keys", [])
+        sizes = header.get("sizes", [])
+        if not isinstance(keys, list) or not isinstance(sizes, list):
+            raise StoreError("multi_put needs 'keys' and 'sizes' lists")
+        items = unpack_artifacts([str(k) for k in keys],
+                                 [int(s) for s in sizes], payload)
+        with self._lock:
+            for key, artifact in items:
+                self.store.put(key, artifact)
+        return {"ok": True, "stored": len(items)}, b""
 
     def _handle_fsck(self, header: Dict[str, Any]
                      ) -> Tuple[Dict[str, Any], bytes]:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import hashlib
 import json
 import pickle
-from typing import Any, Tuple
+from typing import Any, Iterable, List, Tuple
 
 from repro.errors import StoreError
 
@@ -115,3 +115,52 @@ def decode_artifact(data: bytes, expect_key: str = "") -> Tuple[str, Any]:
             f"artifact {header.get('key')!r} failed to deserialize: "
             f"{exc}") from exc
     return header.get("kind", "object"), artifact
+
+
+def pack_artifacts(items: Iterable[Tuple[str, Any]]
+                   ) -> Tuple[List[str], List[int], bytes]:
+    """Concatenate encodings for a batched (multi_get/multi_put) frame.
+
+    Returns ``(keys, sizes, payload)``: the frame header carries the
+    parallel ``keys``/``sizes`` lists and the payload is the encodings
+    back to back, so one frame moves a whole batch while each artefact
+    keeps its own header and digest (the per-item trust boundary is
+    unchanged).
+    """
+    keys: List[str] = []
+    sizes: List[int] = []
+    chunks: List[bytes] = []
+    for key, artifact in items:
+        blob = encode_artifact(key, artifact)
+        keys.append(key)
+        sizes.append(len(blob))
+        chunks.append(blob)
+    return keys, sizes, b"".join(chunks)
+
+
+def unpack_artifacts(keys: List[str], sizes: List[int], payload: bytes
+                     ) -> List[Tuple[str, Any]]:
+    """Split and verify a batched payload back into ``(key, artifact)``.
+
+    Every item goes through :func:`decode_artifact` (re-hash included);
+    mismatched keys/sizes lists or a payload whose length disagrees
+    with ``sizes`` raise :class:`StoreError` before anything decodes.
+    """
+    if len(keys) != len(sizes):
+        raise StoreError(
+            f"batched frame is torn: {len(keys)} keys vs "
+            f"{len(sizes)} sizes")
+    if sum(sizes) != len(payload):
+        raise StoreError(
+            f"batched frame is torn: sizes sum to {sum(sizes)} but "
+            f"payload is {len(payload)} bytes")
+    out: List[Tuple[str, Any]] = []
+    offset = 0
+    for key, size in zip(keys, sizes):
+        if size < 0:
+            raise StoreError(f"batched frame has negative size {size}")
+        blob = payload[offset:offset + size]
+        offset += size
+        _kind, artifact = decode_artifact(blob, expect_key=key)
+        out.append((key, artifact))
+    return out

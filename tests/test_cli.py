@@ -125,7 +125,8 @@ class TestFlowLookup:
 
 class TestEngineRouting:
     """'run' and 'tables' honour --cache-dir/--workers and close
-    their engine (they used to construct a bare BuildEngine)."""
+    their engine — now via the CompileService engine factory, the
+    single place every frontend gets its engines from."""
 
     def test_run_parser_accepts_engine_flags(self):
         args = build_parser().parse_args(
@@ -141,8 +142,8 @@ class TestEngineRouting:
 
     @staticmethod
     def _tracking_engine(monkeypatch):
-        import repro.cli as cli
         from repro.core import BuildEngine
+        from repro.service import CompileService
 
         class ClosingEngine(BuildEngine):
             closed = False
@@ -152,7 +153,8 @@ class TestEngineRouting:
 
         engine = ClosingEngine()
         monkeypatch.setattr(
-            cli, "_engine", lambda args, tracer=None: engine)
+            CompileService, "build_engine",
+            lambda self, request=None, tracer=None: engine)
         return engine
 
     def test_run_routes_through_engine_and_closes(self, capsys,

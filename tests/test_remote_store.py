@@ -455,7 +455,7 @@ class TestDegradedMode:
             real_request = client.shards[urls[0]].request
 
             def racing_request(op, key="", payload=b"", **kwargs):
-                if op == "put":
+                if op == "multi_put":
                     client.fallback.put(victims[1], art(1))
                     client._owe(urls[0], victims[1])
                 return real_request(op, key=key, payload=payload,
@@ -662,3 +662,130 @@ class TestEngineContract:
         assert engine_b.record.reused == ["step:x"]
         assert engine_b.cache_stats()["remote_hits"] == 1
         engine_b.close()
+
+
+# --------------------------------------------------------------------------
+# batched frames (multi_get / multi_put)
+# --------------------------------------------------------------------------
+
+
+class TestBatchedFrames:
+    """Round trips of the batched protocol ops, wire-level and client."""
+
+    def test_pack_unpack_roundtrip(self):
+        from repro.store.serial import pack_artifacts, unpack_artifacts
+
+        items = [(KEYS[i], art(i)) for i in range(5)]
+        keys, sizes, payload = pack_artifacts(items)
+        assert keys == [k for k, _ in items]
+        assert sum(sizes) == len(payload)
+        out = unpack_artifacts(keys, sizes, payload)
+        assert [(k, a) for k, a in out] == items
+
+    def test_unpack_size_mismatch_rejected(self):
+        from repro.store.serial import pack_artifacts, unpack_artifacts
+
+        keys, sizes, payload = pack_artifacts([(KEYS[0], art(0))])
+        with pytest.raises(StoreError):
+            unpack_artifacts(keys, [sizes[0] + 1], payload)
+        with pytest.raises(StoreError):
+            unpack_artifacts(keys, sizes, payload[:-1])
+        with pytest.raises(StoreError):
+            unpack_artifacts(keys + [KEYS[1]], sizes, payload)
+
+    def test_unpack_checks_each_item_digest(self):
+        from repro.store.serial import pack_artifacts, unpack_artifacts
+
+        keys, sizes, payload = pack_artifacts(
+            [(KEYS[0], art(0)), (KEYS[1], art(1))])
+        corrupt = payload[:sizes[0]] + b"\x00" * sizes[1]
+        with pytest.raises(StoreError):
+            unpack_artifacts(keys, sizes, corrupt)
+
+    def test_multi_get_wire_roundtrip(self, shard):
+        from repro.store.serial import unpack_artifacts
+
+        client = ShardClient(shard.url, retries=2, backoff_base=0.001)
+        for i in range(4):
+            shard.store.put(KEYS[i], art(i))
+        header, payload = client.request(
+            "multi_get", extra={"keys": KEYS[:4] + [KEYS[60]]})
+        assert header["ok"]
+        assert header["found"] == KEYS[:4]        # missing key absent
+        out = dict(unpack_artifacts(header["found"], header["sizes"],
+                                    payload))
+        assert out == {KEYS[i]: art(i) for i in range(4)}
+        client.close()
+
+    def test_multi_put_wire_roundtrip(self, shard):
+        from repro.store.serial import pack_artifacts
+
+        client = ShardClient(shard.url, retries=2, backoff_base=0.001)
+        keys, sizes, payload = pack_artifacts(
+            [(KEYS[i], art(i)) for i in range(3)])
+        header, _ = client.request(
+            "multi_put", extra={"keys": keys, "sizes": sizes},
+            payload=payload)
+        assert header["ok"] and header["stored"] == 3
+        for i in range(3):
+            assert shard.store.get(KEYS[i]) == art(i)
+        client.close()
+
+    def test_multi_put_rejects_corrupt_batch_atomically(self, shard):
+        from repro.store.serial import pack_artifacts
+
+        client = ShardClient(shard.url, retries=1, backoff_base=0.001)
+        keys, sizes, payload = pack_artifacts(
+            [(KEYS[i], art(i)) for i in range(2)])
+        corrupt = payload[:sizes[0]] + b"\x00" * sizes[1]
+        with pytest.raises(StoreError, match="rejected multi_put"):
+            client.request(
+                "multi_put", extra={"keys": keys, "sizes": sizes},
+                payload=corrupt, retries=1)
+        # Nothing from the bad frame landed — not even the intact item.
+        assert shard.store.get(KEYS[0]) is None
+        assert shard.store.get(KEYS[1]) is None
+        client.close()
+
+    def test_client_multi_roundtrip_across_shards(self, fleet):
+        urls = [server.url for server in fleet]
+        writer = fast_client(urls)
+        writer.multi_put({KEYS[i]: art(i) for i in range(16)})
+        writer.close()
+
+        # A cold reader pulls every key in one frame per owning shard.
+        reader = fast_client(urls)
+        out = reader.multi_get(KEYS[:16] + KEYS[60:62])
+        assert out == {KEYS[i]: art(i) for i in range(16)}
+        stats = reader.stats()
+        assert stats["remote_hits"] == 16
+        assert stats["remote_misses"] == 2
+        # The batch banked in the local tier: a re-read is all local.
+        again = reader.multi_get(KEYS[:16])
+        assert len(again) == 16
+        assert reader.stats()["local_hits"] >= 16
+        reader.close()
+
+    def test_prefetch_warms_local_tier(self, fleet):
+        urls = [server.url for server in fleet]
+        writer = fast_client(urls)
+        writer.multi_put({KEYS[i]: art(i) for i in range(8)})
+        writer.close()
+
+        reader = fast_client(urls)
+        assert reader.prefetch(KEYS[:8]) == 8
+        for server in fleet:
+            server.stop()                  # fleet gone; local tier holds
+        assert reader.get(KEYS[3]) == art(3)
+        reader.close()
+
+    def test_multi_get_degrades_when_fleet_down(self, fleet):
+        urls = [server.url for server in fleet]
+        client = fast_client(urls, retries=1)
+        client.put(KEYS[0], art(0))        # banked locally + remotely
+        for server in fleet:
+            server.stop()
+        out = client.multi_get(KEYS[:4])
+        assert out == {KEYS[0]: art(0)}    # local tier still serves
+        assert client.stats()["degraded_gets"] >= 1
+        client.close()

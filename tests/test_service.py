@@ -1,0 +1,336 @@
+"""Tests for the compile-service core (repro.service).
+
+The session-manager layer every frontend shares: ticket lifecycle,
+CLI-parity manifests, cross-tenant dedup through the shared store,
+leased-session resume from the journal, and resource lifecycle
+(idempotent close, no thread/fd leaks under repeated open/close).
+"""
+
+import json
+import pathlib
+import threading
+import time
+
+import pytest
+
+from repro.errors import FlowError, ServiceError
+from repro.service import (
+    CompileRequest,
+    CompileService,
+    ServiceConfig,
+)
+
+APP = "digit-recognition"
+EFFORT = 0.1
+
+
+def manifest_bytes(build) -> bytes:
+    return json.dumps(build.manifest(), indent=2,
+                      sort_keys=True).encode()
+
+
+# --------------------------------------------------------------------------
+# ticket lifecycle
+# --------------------------------------------------------------------------
+
+
+class TestTickets:
+    def test_submit_status_result(self):
+        with CompileService(ServiceConfig()) as service:
+            ticket = service.submit(
+                CompileRequest(app=APP, effort=EFFORT))
+            assert ticket.startswith("t")
+            outcome = service.result(ticket, timeout=120)
+            assert outcome.kind == "compile"
+            assert outcome.build is not None
+            status = service.status(ticket)
+            assert status["state"] == "done"
+            assert status["position"] is None
+
+    def test_unknown_ticket_rejected(self):
+        with CompileService(ServiceConfig()) as service:
+            with pytest.raises(ServiceError, match="unknown ticket"):
+                service.status("t9999")
+
+    def test_unknown_flow_rejected_at_submit(self):
+        with CompileService(ServiceConfig()) as service:
+            with pytest.raises(ServiceError, match="unknown flow"):
+                service.submit(CompileRequest(app=APP, flow="gpu"))
+
+    def test_failure_reraised_by_result(self):
+        with CompileService(ServiceConfig()) as service:
+            ticket = service.submit(
+                CompileRequest(app="not-an-app", effort=EFFORT))
+            with pytest.raises(FlowError, match="not-an-app"):
+                service.result(ticket, timeout=60)
+            assert service.status(ticket)["state"] == "failed"
+
+    def test_submit_after_close_rejected(self):
+        service = CompileService(ServiceConfig())
+        service.close()
+        with pytest.raises(ServiceError, match="shut down"):
+            service.submit(CompileRequest(app=APP))
+
+
+# --------------------------------------------------------------------------
+# CLI parity: the service produces the manifests the old inline
+# orchestration did
+# --------------------------------------------------------------------------
+
+
+class TestManifestParity:
+    def test_oneshot_matches_inline_engine(self, tmp_path):
+        # The pre-service CLI wiring, spelled out by hand.
+        from repro.core import BuildEngine
+        from repro.core.flows import FLOWS
+        from repro.store import ArtifactStore
+
+        engine = BuildEngine(
+            cache=ArtifactStore(cache_dir=tmp_path / "inline"))
+        inline = FLOWS["o1"](effort=EFFORT).compile(
+            __import__("repro.rosetta", fromlist=["get_app"])
+            .get_app(APP).project, engine)
+        engine.close()
+
+        with CompileService(ServiceConfig(
+                cache_dir=str(tmp_path / "svc"))) as service:
+            outcome = service.compile(
+                CompileRequest(app=APP, effort=EFFORT), timeout=120)
+        assert manifest_bytes(outcome.build) == manifest_bytes(inline)
+
+    def test_session_compile_matches_oneshot(self, tmp_path):
+        with CompileService(ServiceConfig()) as service:
+            oneshot = service.compile(
+                CompileRequest(app=APP, effort=EFFORT), timeout=120)
+        with CompileService(ServiceConfig(
+                cache_dir=str(tmp_path), shared=True)) as service:
+            leased = service.compile(
+                CompileRequest(app=APP, effort=EFFORT, session="s1"),
+                timeout=120)
+        assert manifest_bytes(leased.build) \
+            == manifest_bytes(oneshot.build)
+
+
+# --------------------------------------------------------------------------
+# cross-tenant dedup through the shared store
+# --------------------------------------------------------------------------
+
+
+class TestCrossTenantDedup:
+    def test_second_tenant_hits_store(self, tmp_path):
+        with CompileService(ServiceConfig(
+                cache_dir=str(tmp_path), shared=True,
+                slots=2)) as service:
+            first = service.compile(
+                CompileRequest(app=APP, effort=EFFORT, tenant="alice",
+                               session="s-alice"), timeout=120)
+            second = service.compile(
+                CompileRequest(app=APP, effort=EFFORT, tenant="bob",
+                               session="s-bob"), timeout=120)
+            assert first.dedup["impl_ratio"] == 0.0
+            # The acceptance bar: >= 90% of the second tenant's impl
+            # steps come from the shared store, not a rebuild.
+            assert second.dedup["impl_ratio"] >= 0.9
+            assert second.dedup["ratio"] >= 0.9
+            stats = service.stats()
+            assert stats["dedup_ratio"] > 0.0
+            assert stats["store"]["hits"] > 0
+
+    def test_edit_only_dirties_one_operator(self, tmp_path):
+        with CompileService(ServiceConfig(
+                cache_dir=str(tmp_path), shared=True)) as service:
+            service.compile(
+                CompileRequest(app=APP, effort=EFFORT, session="s1"),
+                timeout=120)
+            edited = service.compile(
+                CompileRequest(app=APP, effort=EFFORT, session="s1",
+                               edit_operator="first-hw"), timeout=120)
+            assert edited.kind == "edit"
+            assert len(edited.edit.dirty_operators) == 1
+            assert edited.dedup["impl_ratio"] > 0.5
+
+    def test_edit_without_baseline_rejected(self, tmp_path):
+        with CompileService(ServiceConfig(
+                cache_dir=str(tmp_path), shared=True)) as service:
+            ticket = service.submit(
+                CompileRequest(app=APP, effort=EFFORT, session="s1",
+                               edit_operator="first-hw"))
+            with pytest.raises(ServiceError, match="no baseline"):
+                service.result(ticket, timeout=60)
+
+    def test_sessions_need_shared_mode(self):
+        with CompileService(ServiceConfig()) as service:
+            ticket = service.submit(
+                CompileRequest(app=APP, effort=EFFORT, session="s1"))
+            with pytest.raises(ServiceError, match="shared-mode"):
+                service.result(ticket, timeout=60)
+
+
+# --------------------------------------------------------------------------
+# leased sessions: leases on disk, resume from the journal
+# --------------------------------------------------------------------------
+
+
+class TestSessionLeases:
+    def test_lease_written_and_released(self, tmp_path):
+        service = CompileService(ServiceConfig(
+            cache_dir=str(tmp_path), shared=True))
+        service.compile(CompileRequest(app=APP, effort=EFFORT,
+                                       tenant="alice", session="s1"),
+                        timeout=120)
+        lease_path = tmp_path / "sessions" / "s1" / "lease.json"
+        lease = json.loads(lease_path.read_text())
+        assert lease["tenant"] == "alice"
+        assert lease["status"] == "idle"
+        service.close()
+        lease = json.loads(lease_path.read_text())
+        assert lease["status"] == "released"
+
+    def test_bad_session_names_rejected(self, tmp_path):
+        with CompileService(ServiceConfig(
+                cache_dir=str(tmp_path), shared=True)) as service:
+            for bad in ("../escape", ".hidden", "a/b"):
+                ticket = service.submit(
+                    CompileRequest(app=APP, effort=EFFORT, session=bad))
+                with pytest.raises(ServiceError,
+                                   match="bad session name"):
+                    service.result(ticket, timeout=60)
+
+    def test_interrupted_session_resumes_bit_identical(self, tmp_path):
+        # A clean run, whose journal we then truncate to look as if
+        # the daemon died after the steps landed but before build-end
+        # — exactly what SIGKILL mid-final-step leaves behind.
+        service = CompileService(ServiceConfig(
+            cache_dir=str(tmp_path), shared=True))
+        clean = service.compile(
+            CompileRequest(app=APP, effort=EFFORT, session="s1"),
+            timeout=120)
+        service.close()
+        clean_manifest = manifest_bytes(clean.build)
+
+        journal = tmp_path / "sessions" / "s1" / "journal.jsonl"
+        lines = [line for line in journal.read_text().splitlines()
+                 if json.loads(line).get("t") != "build-end"]
+        journal.write_text("\n".join(lines) + "\n")
+
+        restarted = CompileService(ServiceConfig(
+            cache_dir=str(tmp_path), shared=True))
+        assert restarted.interrupted_sessions() == ["s1"]
+        resumed = restarted.compile(
+            CompileRequest(app=APP, effort=EFFORT, session="s1"),
+            timeout=120)
+        restarted.close()
+        assert resumed.resumed            # journal replay skipped steps
+        assert manifest_bytes(resumed.build) == clean_manifest
+
+    def test_clean_restart_not_interrupted(self, tmp_path):
+        service = CompileService(ServiceConfig(
+            cache_dir=str(tmp_path), shared=True))
+        service.compile(
+            CompileRequest(app=APP, effort=EFFORT, session="s1"),
+            timeout=120)
+        service.close()
+        restarted = CompileService(ServiceConfig(
+            cache_dir=str(tmp_path), shared=True))
+        assert restarted.interrupted_sessions() == []
+        restarted.close()
+
+
+# --------------------------------------------------------------------------
+# lifecycle: idempotent close, no thread/fd growth
+# --------------------------------------------------------------------------
+
+
+def open_fds() -> int:
+    return len(list(pathlib.Path("/proc/self/fd").iterdir()))
+
+
+class TestLifecycle:
+    def test_service_close_idempotent(self, tmp_path):
+        service = CompileService(ServiceConfig(
+            cache_dir=str(tmp_path), shared=True))
+        service.compile(CompileRequest(app=APP, effort=EFFORT),
+                        timeout=120)
+        service.close()
+        service.close()                    # second close is a no-op
+        assert repr(service).startswith("CompileService(closed")
+
+    def test_engine_close_idempotent(self):
+        from repro.core import BuildEngine
+        engine = BuildEngine()
+        engine.close()
+        engine.close()
+
+    def test_borrowed_cache_survives_engine_close(self, tmp_path):
+        from repro.core import BuildEngine
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(cache_dir=tmp_path)
+        engine = BuildEngine(cache=store, owns_cache=False)
+        engine.step("step:a", ("x",), lambda: {"v": 1})
+        engine.close()
+        # The store is still usable: the service owns it, not the
+        # per-request engine.
+        assert store.get(engine.record.keys["step:a"]) == {"v": 1}
+
+    def test_service_soak_no_thread_or_fd_growth(self, tmp_path):
+        # Warm-up pass so lazily-created singletons don't count.
+        for cycle in range(2):
+            service = CompileService(ServiceConfig(
+                cache_dir=str(tmp_path / "soak"), shared=True))
+            service.compile(CompileRequest(app=APP, effort=EFFORT,
+                                           session="s1"), timeout=120)
+            service.close()
+        threads_before = threading.active_count()
+        fds_before = open_fds()
+        for cycle in range(5):
+            service = CompileService(ServiceConfig(
+                cache_dir=str(tmp_path / "soak"), shared=True))
+            service.compile(CompileRequest(app=APP, effort=EFFORT,
+                                           session="s1"), timeout=120)
+            service.close()
+        assert threading.active_count() <= threads_before
+        assert open_fds() <= fds_before + 1   # tolerate /proc jitter
+
+    def test_sharded_client_soak_with_quarantined_shard(self, tmp_path):
+        # close() must join the reconciler even while a shard is
+        # quarantined, across repeated open/close cycles.
+        from repro.store import ArtifactStore
+        from repro.store.remote import ShardedStoreClient, StoreServer
+
+        server = StoreServer(
+            ArtifactStore(cache_dir=tmp_path / "shard")).start()
+        dead_url = "tcp://127.0.0.1:1"     # nothing listens here
+        urls = [server.url, dead_url]
+        try:
+            threads_before = threading.active_count()
+            fds_before = open_fds()
+            for cycle in range(4):
+                client = ShardedStoreClient(
+                    urls, retries=1, backoff_base=0.001, timeout=1.0)
+                client.start_reconciler(interval=0.05)
+                for i in range(8):
+                    client.put(f"{i:02d}" + "cd" * 11, {"i": i})
+                assert client.breaker.is_open(dead_url) \
+                    or client.stats()["pending"]
+                client.close()
+                client.close()             # idempotent
+            # The shard's per-connection threads exit asynchronously
+            # once the client hangs up; give them a moment to drain.
+            deadline = time.monotonic() + 5.0
+            while (threading.active_count() > threads_before
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+            assert threading.active_count() <= threads_before
+            assert open_fds() <= fds_before + 2
+        finally:
+            server.stop()
+
+    def test_store_server_stop_idempotent(self, tmp_path):
+        from repro.store import ArtifactStore
+        from repro.store.remote import StoreServer
+
+        server = StoreServer(
+            ArtifactStore(cache_dir=tmp_path / "s")).start()
+        server.stop()
+        server.stop()                      # second stop is a no-op

@@ -1,0 +1,192 @@
+"""End-to-end tests for the ``pld serve`` daemon and its client.
+
+Two layers: an in-process daemon (``serve`` in a thread, real TCP
+sockets, real wire frames) for the protocol tests, and a genuine
+subprocess daemon for the crash contract — SIGKILL mid-build, restart
+over the same state directory, resume from the session journal,
+bit-identical manifest.  The subprocess test is the same scenario the
+CI serve-smoke job runs.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ServiceError, TransportError
+from repro.service import ServiceClient
+from repro.service.daemon import serve
+
+APP = "digit-recognition"
+EFFORT = 0.1
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    """An in-process daemon on an OS-assigned port, plus a client."""
+    bound = {}
+    ready = threading.Event()
+
+    def on_ready(host, port):
+        bound["host"], bound["port"] = host, port
+        ready.set()
+
+    thread = threading.Thread(
+        target=serve,
+        args=(str(tmp_path / "state"),),
+        kwargs={"port": 0, "notify": None, "ready": on_ready},
+        daemon=True)
+    thread.start()
+    assert ready.wait(timeout=30), "daemon never bound its socket"
+    client = ServiceClient(bound["host"], bound["port"], timeout=120.0)
+    yield client
+    try:
+        client.shutdown()
+    except (ServiceError, TransportError):
+        pass
+    client.close()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+class TestProtocol:
+    def test_ping(self, daemon):
+        reply = daemon.ping()
+        assert reply["ok"] and reply["pid"] == os.getpid()
+
+    def test_submit_status_result(self, daemon):
+        ticket = daemon.submit(APP, effort=EFFORT)
+        assert ticket.startswith("t")
+        status = daemon.status(ticket)
+        assert status["state"] in ("queued", "running", "done")
+        summary, manifest = daemon.result(ticket, timeout=120)
+        assert summary["ok"] and summary["kind"] == "compile"
+        assert summary["ticket"] == ticket
+        parsed = json.loads(manifest)
+        assert parsed and summary["pages_rebuilt"] >= 0
+        assert daemon.status(ticket)["state"] == "done"
+
+    def test_two_tenants_dedup_and_identical_manifests(self, daemon):
+        _, first = daemon.compile(APP, effort=EFFORT, tenant="alice",
+                                  timeout=120)
+        summary, second = daemon.compile(APP, effort=EFFORT,
+                                         tenant="bob", timeout=120)
+        assert second == first          # bit-identical across tenants
+        dedup = summary["dedup"]
+        assert dedup["impl_ratio"] >= 0.9
+        stats = daemon.stats()
+        assert set(stats["tenants"]) >= {"alice", "bob"}
+
+    def test_unknown_op_is_bad_request(self, daemon):
+        with pytest.raises(ServiceError, match="unknown op"):
+            daemon.call({"op": "frobnicate"})
+
+    def test_unknown_ticket_is_bad_request(self, daemon):
+        with pytest.raises(ServiceError, match="unknown ticket"):
+            daemon.status("t9999")
+
+    def test_bad_submit_field_rejected(self, daemon):
+        with pytest.raises(ServiceError, match="bad 'effort'"):
+            daemon.call({"op": "submit", "app": APP,
+                         "effort": "not-a-number"})
+        with pytest.raises(ServiceError, match="needs an 'app'"):
+            daemon.call({"op": "submit"})
+
+    def test_flow_error_travels_as_typed_failure(self, daemon):
+        ticket = daemon.submit("not-an-app", effort=EFFORT)
+        with pytest.raises(ServiceError, match="FlowError"):
+            daemon.result(ticket, timeout=120)
+
+    def test_session_edit_over_the_wire(self, daemon):
+        daemon.compile(APP, effort=EFFORT, session="dev",
+                       tenant="alice", timeout=120)
+        summary, manifest = daemon.compile(
+            APP, effort=EFFORT, session="dev", tenant="alice",
+            edit_operator="first-hw", timeout=120)
+        assert summary["kind"] == "edit"
+        assert summary["edit"]["dirty_steps"] >= 1
+        assert json.loads(manifest)
+
+
+def _spawn_daemon(state_dir):
+    """Start ``pld serve`` as a real subprocess; returns (proc, port)."""
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", "serve",
+         str(state_dir), "--port", "0"],
+        cwd=str(REPO), env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    deadline = time.monotonic() + 60
+    port = None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if "listening on" in line:
+            port = int(line.split("listening on ")[1]
+                       .split()[0].rsplit(":", 1)[1])
+            break
+    if port is None:
+        proc.kill()
+        raise RuntimeError("daemon subprocess never reported its port")
+    return proc, port
+
+
+@pytest.mark.slow
+class TestCrashResume:
+    def test_sigkill_restart_resumes_bit_identical(self, tmp_path):
+        state = tmp_path / "state"
+
+        # Reference: the same session compiled on a never-crashed
+        # daemon in a separate state directory.
+        proc, port = _spawn_daemon(tmp_path / "clean")
+        try:
+            client = ServiceClient("127.0.0.1", port, timeout=120.0)
+            _, reference = client.compile(
+                APP, effort=EFFORT, session="dev", timeout=120)
+            client.shutdown()
+            client.close()
+        finally:
+            proc.wait(timeout=30)
+
+        # Round 1: the hidden crash_at_step field makes the engine
+        # SIGKILL its own process mid-build — no cleanup, no atexit.
+        proc, port = _spawn_daemon(state)
+        client = ServiceClient("127.0.0.1", port, timeout=120.0)
+        ticket = client.submit(APP, effort=EFFORT, session="dev",
+                               crash_at_step=3)
+        with pytest.raises((ServiceError, TransportError)):
+            client.result(ticket, timeout=120)
+        client.close()
+        assert proc.wait(timeout=60) in (-signal.SIGKILL, 137)
+
+        # The journal recorded the interruption durably.
+        journal = state / "sessions" / "dev" / "journal.jsonl"
+        records = [json.loads(line)
+                   for line in journal.read_text().splitlines()]
+        begins = sum(r.get("t") == "build-begin" for r in records)
+        ends = sum(r.get("t") == "build-end" for r in records)
+        assert begins > ends
+
+        # Round 2: restart over the same state directory; the daemon
+        # reports the interrupted session and the resubmit resumes
+        # from the journal to a bit-identical manifest.
+        proc, port = _spawn_daemon(state)
+        try:
+            client = ServiceClient("127.0.0.1", port, timeout=120.0)
+            summary, manifest = client.compile(
+                APP, effort=EFFORT, session="dev", timeout=120)
+            assert summary["resumed"] > 0, \
+                "restart did not resume journaled steps"
+            assert manifest == reference
+            client.shutdown()
+            client.close()
+        finally:
+            assert proc.wait(timeout=30) == 0
