@@ -39,6 +39,7 @@ from repro.dataflow.simulator import FunctionalSimulator
 from repro.dataflow.cycle_sim import CycleSimulator
 from repro.fabric.bitstream import Bitstream
 from repro.fabric.device import XCU50
+from repro.simengine import resolve_engine
 from repro.fabric.page import Page
 from repro.fabric.shell import Overlay
 from repro.hls import tech
@@ -469,14 +470,16 @@ def _softcore_page_image(page: Page, compiled: CompiledOperator,
 def _build_exec_graph(project: Project,
                       riscv_builds: Dict[str, CompiledOperator],
                       telemetry: Dict[str, object],
-                      cycle_profile=None) -> DataflowGraph:
+                      cycle_profile=None,
+                      sim_engine: Optional[str] = None) -> DataflowGraph:
     """Graph whose bodies reflect the mapping (interpreter vs. ISS)."""
     graph = project.graph
     out = DataflowGraph(graph.name)
     for name, op in graph.operators.items():
         if name in riscv_builds:
             body = riscv_builds[name].make_body(telemetry=telemetry,
-                                                cycles=cycle_profile)
+                                                cycles=cycle_profile,
+                                                engine=sim_engine)
         else:
             body = op.body           # sample-scale interpreter body
         out.add(Operator(name, body, op.inputs, op.outputs, op.target,
@@ -532,7 +535,7 @@ class O1Flow:
                  model: CompileTimeModel = DEFAULT_MODEL,
                  effort: float = 1.0, seed: int = 1,
                  softcore_cycles: Optional[Dict[str, int]] = None,
-                 faults=None):
+                 faults=None, sim_engine: Optional[str] = None):
         self.overlay = overlay or Overlay()
         self.cluster = cluster or CompileCluster()
         self.model = model
@@ -542,6 +545,11 @@ class O1Flow:
         #: unpipelined PicoRV32; see ``softcore.cpu.PIPELINED_CYCLES``).
         self.softcore_cycles = softcore_cycles
         self.faults = faults
+        #: Simulation engine (``scalar``/``vector``) for the placer and
+        #: ISS; ``None`` resolves ambient state at compile time.  Both
+        #: engines are bit-identical, so this is deliberately *not*
+        #: part of any step content key.
+        self.sim_engine = sim_engine
 
     def compile(self, project: Project,
                 engine: Optional[BuildEngine] = None) -> FlowBuild:
@@ -551,6 +559,10 @@ class O1Flow:
         tracer = _engine_tracer(engine)
         wall_t0 = tracer.now() if tracer.enabled else 0.0
         flow_base = tracer.modeled_time()
+        # Resolve once so the choice survives the pickle boundary into
+        # ParallelBuildEngine workers (which have their own ambient
+        # engine state) and body execution on scheduler threads.
+        sim_engine = resolve_engine(self.sim_engine)
 
         artifacts: Dict[str, OperatorArtifacts] = {}
         estimates: Dict[str, ResourceEstimate] = {}
@@ -641,7 +653,8 @@ class O1Flow:
                 (artifacts[name].netlist, page.page_type.grid()),
                 {"context_luts": shell.context_luts,
                  "threads": self.cluster.threads_per_node,
-                 "seed": self.seed, "effort": self.effort}))
+                 "seed": self.seed, "effort": self.effort,
+                 "engine": sim_engine}))
         impls = dict(zip((s.name for s in impl_steps),
                          engine.step_batch(impl_steps)))
 
@@ -739,7 +752,8 @@ class O1Flow:
         config = build_link_configuration(graph, page_of)
         telemetry: Dict[str, object] = {}
         exec_graph = _build_exec_graph(project, riscv_builds, telemetry,
-                                       self.softcore_cycles)
+                                       self.softcore_cycles,
+                                       sim_engine=sim_engine)
 
         performance = self._estimate_performance(
             project, schedules, config, riscv_builds, exec_graph,
@@ -907,12 +921,15 @@ class O3Flow:
 
     def __init__(self, model: CompileTimeModel = DEFAULT_MODEL,
                  effort: float = 1.0, seed: int = 1,
-                 device=XCU50, relay_stations: bool = False):
+                 device=XCU50, relay_stations: bool = False,
+                 sim_engine: Optional[str] = None):
         self.model = model
         self.effort = effort
         self.seed = seed
         self.device = device
         self.relay_stations = relay_stations
+        #: See :attr:`O1Flow.sim_engine` — same knob, same contract.
+        self.sim_engine = sim_engine
 
     def compile(self, project: Project,
                 engine: Optional[BuildEngine] = None) -> FlowBuild:
@@ -946,17 +963,19 @@ class O3Flow:
         if merged is None:
             raise FlowError(f"project {project.name!r} has no operators")
 
+        sim_engine = resolve_engine(self.sim_engine)
         impl = engine.step(
             "impl:monolithic",
             tuple(op.hls_spec for op in graph.operators.values())
-            + (self.effort, self.seed, "o3"),
+            + (self.effort, self.seed, "o3", self.device.name),
             lambda: implement_design(
                 merged, self.device.grid(),
                 context_luts=self.device.luts,
                 threads=self.monolithic_threads, monolithic=True,
                 seed=self.seed, effort=self.effort, spans_slrs=True,
                 channel_capacity=self.channel_capacity,
-                route_iterations=self.route_iterations))
+                route_iterations=self.route_iterations,
+                engine=sim_engine))
 
         n_links = len(graph.links)
         if self.relay_stations:

@@ -14,13 +14,21 @@ Models the paper's target hardware (Sec. 2.5, 4.2, 7.1):
   configuration-load timing.
 """
 
-from repro.fabric.device import Device, TileGrid, Site, XCU50
+from repro.fabric.device import (
+    Device,
+    TileGrid,
+    Site,
+    XCU50,
+    XCU280,
+    XCVU19P,
+)
 from repro.fabric.page import (
     FLOORPLAN,
     Page,
     PageType,
     PAGE_TYPES,
     page_efficiency,
+    scaled_floorplan,
 )
 from repro.fabric.shell import AbstractShell, DFXRegion, StaticShell, Overlay
 from repro.fabric.bitstream import Bitstream, CONFIG_BANDWIDTH_BYTES_PER_S
@@ -30,11 +38,14 @@ __all__ = [
     "TileGrid",
     "Site",
     "XCU50",
+    "XCU280",
+    "XCVU19P",
     "FLOORPLAN",
     "Page",
     "PageType",
     "PAGE_TYPES",
     "page_efficiency",
+    "scaled_floorplan",
     "AbstractShell",
     "DFXRegion",
     "StaticShell",

@@ -173,3 +173,37 @@ XCU50 = Device(
         SLR(1, 375_897, 1_150, 2_968),
     ),
 )
+
+#: The Alveo U280's XCU280, post-shell: three SLRs, ~1.08M usable LUTs
+#: (of 1,303,680 raw; the gen3x16 shell plus HBM/DDR controllers take
+#: ~220k).  The scaling target for the 40-page overlay.
+XCU280 = Device(
+    name="xcu280",
+    luts=1_080_000,
+    ffs=2_160_000,
+    brams=3_600,
+    dsps=8_600,
+    slrs=(
+        SLR(0, 360_000, 1_200, 2_866),
+        SLR(1, 360_000, 1_200, 2_867),
+        SLR(2, 360_000, 1_200, 2_867),
+    ),
+)
+
+#: The VU19P: four SLRs, ~3.8M usable LUTs (of 4,086,000 raw; a
+#: prototyping part, so only a thin configuration shell is reserved).
+#: The big-device stress target for the 80-page overlay — an order of
+#: magnitude more pages than the paper's 22-page U50 floorplan.
+XCVU19P = Device(
+    name="xcvu19p",
+    luts=3_800_000,
+    ffs=7_600_000,
+    brams=4_300,
+    dsps=3_840,
+    slrs=(
+        SLR(0, 950_000, 1_075, 960),
+        SLR(1, 950_000, 1_075, 960),
+        SLR(2, 950_000, 1_075, 960),
+        SLR(3, 950_000, 1_075, 960),
+    ),
+)

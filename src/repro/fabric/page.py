@@ -129,6 +129,57 @@ def _build_floorplan() -> List[Page]:
 FLOORPLAN: Tuple[Page, ...] = tuple(_build_floorplan())
 
 
+def scaled_floorplan(device, n_pages: int,
+                     lut_utilization: float = 0.72,
+                     ram_utilization: float = 0.90) -> Tuple[Page, ...]:
+    """Scale the Tab. 1 page mix to ``n_pages`` pages on ``device``.
+
+    The big-device floorplans (40 pages on the U280, 80 on the VU19P)
+    keep the paper's heterogeneous four-type flavour — pages cycle
+    Type-1/2/3 with a single Type-4 closing the sequence, exactly like
+    :data:`FLOORPLAN` — but each budget is rescaled so the whole set
+    fits the target device:
+
+    * LUT/FF budgets scale by one common factor chosen so the pages
+      consume ``lut_utilization`` of the device (the rest is the
+      linking network, DFX routing margin, and spare columns).  On a
+      LUT-rich part like the VU19P this makes pages *bigger* than
+      Tab. 1, which is the right trade by Eq. 1 — the per-page
+      interface overhead amortises better.
+    * BRAM/DSP budgets scale by ``min(1, fit)`` — the VU19P has 5x the
+      LUTs of the U50 but roughly the *same* BRAM count, so its pages
+      must be RAM-leaner than Tab. 1.
+
+    Pages are dealt round-robin across the device's SLRs in contiguous
+    number ranges (page ``i`` sits on SLR ``i * n_slrs // n_pages``),
+    matching how :class:`~repro.noc.bft.BFTopology` subtrees nest.
+    """
+    if n_pages < 2:
+        raise FabricError(f"a scaled floorplan needs >= 2 pages, "
+                          f"got {n_pages}")
+    sequence = [("Type-1", "Type-2", "Type-3")[i % 3]
+                for i in range(n_pages - 1)] + ["Type-4"]
+    base_luts = sum(PAGE_TYPES[t].luts for t in sequence)
+    base_brams = sum(PAGE_TYPES[t].brams for t in sequence)
+    base_dsps = sum(PAGE_TYPES[t].dsps for t in sequence)
+    lut_scale = (device.luts * lut_utilization) / base_luts
+    bram_scale = min(1.0, device.brams * ram_utilization / base_brams)
+    dsp_scale = min(1.0, device.dsps * ram_utilization / base_dsps)
+    scaled_types = {
+        name: PageType(
+            f"{name}@{device.name}",
+            luts=int(ptype.luts * lut_scale),
+            ffs=int(ptype.ffs * lut_scale),
+            brams=max(4, int(ptype.brams * bram_scale)),
+            dsps=max(4, int(ptype.dsps * dsp_scale)))
+        for name, ptype in PAGE_TYPES.items()}
+    n_slrs = len(device.slrs)
+    return tuple(
+        Page(index + 1, scaled_types[type_name],
+             index * n_slrs // n_pages)
+        for index, type_name in enumerate(sequence))
+
+
 def page_by_number(number: int) -> Page:
     """Look up a floorplan page by its number (1-based)."""
     for page in FLOORPLAN:

@@ -15,8 +15,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.errors import FabricError
-from repro.fabric.device import Device, XCU50
-from repro.fabric.page import FLOORPLAN, Page, PageType
+from repro.fabric.device import Device, XCU50, XCU280, XCVU19P
+from repro.fabric.page import FLOORPLAN, Page, PageType, scaled_floorplan
 from repro.hls import tech
 from repro.hls.estimate import ResourceEstimate
 
@@ -179,3 +179,33 @@ class Overlay:
             for number in range(1, n_pages + 1))
         return cls(f"pld-uniform-{page_luts // 1000}k-{n_pages}p",
                    device, pages)
+
+    @classmethod
+    def for_device(cls, device: Device,
+                   n_pages: Optional[int] = None) -> "Overlay":
+        """The standard overlay preset for a device.
+
+        The XCU50 gets the paper's 22-page Tab. 1 floorplan verbatim;
+        bigger parts get a :func:`~repro.fabric.page.scaled_floorplan`
+        — 40 pages across the U280's three SLRs, 80 across the VU19P's
+        four — sized by the same Eq. 1 reasoning (big-device scaling
+        suite).
+        """
+        if n_pages is None:
+            n_pages = _DEFAULT_PAGE_COUNTS.get(device.name)
+        if n_pages is None:
+            raise FabricError(
+                f"no default page count for device {device.name!r}; "
+                f"pass n_pages explicitly")
+        if device is XCU50 and n_pages == len(FLOORPLAN):
+            return cls()
+        return cls(f"pld-overlay-{device.name}-{n_pages}p", device,
+                   scaled_floorplan(device, n_pages))
+
+
+#: Default page counts for :meth:`Overlay.for_device`.
+_DEFAULT_PAGE_COUNTS = {
+    XCU50.name: len(FLOORPLAN),
+    XCU280.name: 40,
+    XCVU19P.name: 80,
+}

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import NoCError
 
@@ -29,17 +29,83 @@ class SwitchId:
 
 
 class BFTopology:
-    """Geometry helpers for a binary fat tree over ``n_leaves`` leaves."""
+    """Geometry helpers for a binary fat tree over ``n_leaves`` leaves.
 
-    def __init__(self, n_leaves: int, up_links: int = 1):
+    Args:
+        n_leaves: leaves (pages + the DMA interface leaf).
+        up_links: parent links per switch (tree fatness).
+        leaf_slr: optional SLR number per leaf (index = leaf number).
+            Big multi-die devices route inter-SLR traffic through a
+            limited set of interposer wires, so the analytic model (and
+            floorplanning sanity checks) need to know which tree links
+            cross a die boundary.  Leaves beyond ``len(leaf_slr)`` —
+            the power-of-two padding — inherit the last entry.
+    """
+
+    def __init__(self, n_leaves: int, up_links: int = 1,
+                 leaf_slr: Optional[Tuple[int, ...]] = None):
         if n_leaves < 2:
             raise NoCError("a linking network needs at least 2 leaves")
         if up_links < 1:
             raise NoCError("up_links must be >= 1")
+        if leaf_slr is not None and len(leaf_slr) != n_leaves:
+            raise NoCError(
+                f"leaf_slr has {len(leaf_slr)} entries for "
+                f"{n_leaves} leaves")
         self.n_leaves = n_leaves
         self.up_links = up_links
+        self.leaf_slr = tuple(leaf_slr) if leaf_slr is not None else None
         self.levels = max(1, math.ceil(math.log2(n_leaves)))
         self.size = 1 << self.levels       # leaves padded to a power of 2
+
+    @classmethod
+    def for_overlay(cls, overlay, up_links: int = 1) -> "BFTopology":
+        """Topology for an overlay: leaf 0 = DMA, leaf *n* = page *n*.
+
+        The DMA interface sits with SLR 0 (it lives next to the static
+        shell's PCIe endpoint); every page leaf carries its floorplan
+        SLR, so :meth:`slr_crossings` prices interposer hops on the
+        multi-die scaling targets (U280: 3 SLRs, VU19P: 4).
+        """
+        by_number = {p.number: p.slr for p in overlay.pages}
+        n_leaves = max(by_number) + 1
+        leaf_slr = tuple(by_number.get(leaf, 0)
+                         for leaf in range(n_leaves))
+        return cls(n_leaves, up_links=up_links, leaf_slr=leaf_slr)
+
+    def slr_of(self, leaf: int) -> int:
+        """The SLR a leaf sits on (0 when no SLR map was given)."""
+        self._check_leaf(leaf)
+        if not self.leaf_slr:
+            return 0
+        return self.leaf_slr[min(leaf, len(self.leaf_slr) - 1)]
+
+    def slr_crossings(self, src: int, dst: int) -> int:
+        """Die boundaries a packet crosses between two leaves.
+
+        SLRs tile the device in order, so a route between dies ``a``
+        and ``b`` crosses ``|a - b|`` interposer boundaries.
+        """
+        return abs(self.slr_of(src) - self.slr_of(dst))
+
+    def slr_cut_links(self) -> List[Tuple[SwitchId, int]]:
+        """Tree up-links whose subtree spans more than one SLR.
+
+        Returns (switch, distinct-SLR-count) pairs.  These are the
+        links that physically map onto interposer wires; the scaling
+        suite checks the floorplan keeps them near the tree root,
+        where the fat tree concentrates bandwidth anyway.
+        """
+        if not self.leaf_slr:
+            return []
+        cuts: List[Tuple[SwitchId, int]] = []
+        for switch in self.switches():
+            lo, hi = self.subtree_range(switch)
+            spanned = {self.slr_of(min(leaf, self.n_leaves - 1))
+                       for leaf in range(lo, hi)}
+            if len(spanned) > 1:
+                cuts.append((switch, len(spanned)))
+        return cuts
 
     def switches(self) -> Iterator[SwitchId]:
         for level in range(1, self.levels + 1):

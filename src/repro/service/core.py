@@ -76,6 +76,11 @@ class CompileRequest:
     cost: int = 1
     resume: bool = False
     seed: int = 1
+    #: Simulation engine (``scalar``/``vector``) for this request's
+    #: placer/ISS kernels.  Bit-identical by contract, so it never
+    #: enters content keys: a vector daemon and scalar clients share
+    #: one artifact store.  ``None`` keeps the daemon's default.
+    sim_engine: Optional[str] = None
     #: When set, the request is an *edit*: touch this operator in the
     #: named session and recompile incrementally ("first-hw" picks the
     #: first hardware operator).
@@ -298,13 +303,20 @@ class CompileService:
                            deadline=deadline, crash_plan=crash_plan,
                            owns_cache=owns_cache)
 
-    def make_flow(self, name: str, effort: float, seed: int = 1):
+    def make_flow(self, name: str, effort: float, seed: int = 1,
+                  sim_engine: Optional[str] = None):
         try:
             cls = FLOWS[name]
         except KeyError:
             raise ServiceError(f"unknown flow {name!r}; choose from "
                                f"{sorted(FLOWS)}", kind="bad-request")
-        return cls(effort=effort)
+        if sim_engine is not None:
+            from repro.simengine import ENGINES
+            if sim_engine not in ENGINES:
+                raise ServiceError(
+                    f"unknown sim engine {sim_engine!r}; choose from "
+                    f"{list(ENGINES)}", kind="bad-request")
+        return cls(effort=effort, sim_engine=sim_engine)
 
     def open_session(self, effort: float = 0.3, cache_dir=None,
                      store_urls=None, tracer=None) -> IncrementalSession:
@@ -401,6 +413,7 @@ class CompileService:
                 owns_cache=False)
         session = IncrementalSession(
             store=self.store, effort=req.effort, seed=req.seed,
+            sim_engine=req.sim_engine,
             tracer=self.tracer, resume=resume,
             journal_dir=directory, engine=engine, owns_store=False)
         state = _SessionState(name, session,
@@ -569,7 +582,8 @@ class CompileService:
         try:
             if journal is not None:
                 journal.begin_build(req.flow, req.app)
-            flow = self.make_flow(req.flow, req.effort, req.seed)
+            flow = self.make_flow(req.flow, req.effort, req.seed,
+                                  sim_engine=req.sim_engine)
             build = flow.compile(app.project, engine)
             if journal is not None:
                 journal.end_build()

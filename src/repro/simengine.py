@@ -1,0 +1,101 @@
+"""Simulation-engine selection: the ``sim_engine`` knob.
+
+Two engines exist for the three hottest simulation kernels (the
+deflection-routed NoC, the annealing placer and the softcore ISS):
+
+* ``scalar`` — the original per-packet / per-move / per-instruction
+  interpreters.  These stay the golden reference.
+* ``vector`` — numpy-backed twins (batched NoC router, bounding-box
+  delta-HPWL annealer, basic-block-cached ISS) that produce
+  **bit-identical** deterministic outputs (cycles, delivered,
+  deflections, placements, HPWL, architectural state) while running
+  substantially faster at scale.  ``tests/test_perf_equivalence.py``
+  and ``tests/test_vector_engines.py`` pin the equivalence.
+
+Because the engines are bit-identical, the knob is *not* part of any
+build content key: artefacts compiled under either engine share one
+cache entry, and a vector daemon can serve scalar clients (and vice
+versa) from the same store.
+
+Selection is layered:
+
+1. an explicit ``engine=`` argument on the kernel entry points
+   (``place``, ``NetworkSimulator``, ``PicoRV32``, ``implement_design``)
+   always wins — this is how flows ship the knob into
+   :class:`~repro.core.parallel.ParallelBuildEngine` worker processes,
+   where ambient state would not survive the pickle boundary;
+2. otherwise a thread-local override set by :func:`engine_scope` /
+   :func:`set_thread_engine` — the compile service runs concurrent
+   requests on executor threads, so per-request engines must not race;
+3. otherwise the process-wide default set by
+   :func:`set_default_engine` (the CLI sets this from ``--sim-engine``);
+4. otherwise ``scalar``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: The recognised engine names, in documentation order.
+ENGINES = ("scalar", "vector")
+
+SCALAR = "scalar"
+VECTOR = "vector"
+
+_process_default = SCALAR
+_thread_state = threading.local()
+
+
+def validate_engine(name: str) -> str:
+    """Return ``name`` if it is a known engine, else raise ValueError."""
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown sim engine {name!r}; expected one of {ENGINES}")
+    return name
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve the effective engine for one kernel instantiation.
+
+    ``engine`` (when given) > thread-local override > process default.
+    """
+    if engine is not None:
+        return validate_engine(engine)
+    local = getattr(_thread_state, "engine", None)
+    if local is not None:
+        return local
+    return _process_default
+
+
+def set_default_engine(name: str) -> str:
+    """Set the process-wide default; returns the previous default."""
+    global _process_default
+    previous = _process_default
+    _process_default = validate_engine(name)
+    return previous
+
+
+def set_thread_engine(name: Optional[str]) -> None:
+    """Set (or with ``None`` clear) this thread's engine override."""
+    _thread_state.engine = validate_engine(name) if name is not None \
+        else None
+
+
+@contextmanager
+def engine_scope(name: Optional[str]) -> Iterator[str]:
+    """Thread-local engine override for a ``with`` block.
+
+    ``None`` is a no-op scope (resolves to whatever was in effect),
+    so call sites can pass an optional knob straight through.
+    """
+    if name is None:
+        yield resolve_engine()
+        return
+    previous = getattr(_thread_state, "engine", None)
+    _thread_state.engine = validate_engine(name)
+    try:
+        yield name
+    finally:
+        _thread_state.engine = previous

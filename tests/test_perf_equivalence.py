@@ -323,11 +323,12 @@ class TestReferenceEquivalence:
 
 
 def _golden_drain(n_leaves, n_ports, per_leaf, seed, reliable=False,
-                  fault_plan=None):
+                  fault_plan=None, engine=None):
     leaves = _make_leaves(n_leaves, n_ports, per_leaf, seed, reliable)
     sim = NetworkSimulator(
         BFTopology(n_leaves), leaves,
-        faults=fault_plan.noc_faults() if fault_plan else None)
+        faults=fault_plan.noc_faults() if fault_plan else None,
+        engine=engine)
     cycles = sim.run(max_cycles=2_000_000)
     records = [(r.payload, r.latency, r.hops) for r in sim.delivered]
     stats = {leaf: (iface.received, iface.bounced, iface.sent,
@@ -338,31 +339,42 @@ def _golden_drain(n_leaves, n_ports, per_leaf, seed, reliable=False,
     return cycles, sim.total_deflections, records, stats
 
 
+#: Both engines must reproduce every pinned golden — the bit-identical
+#: contract behind sharing one artifact cache across engines.
+_ENGINES = ["scalar", "vector"]
+
+
 class TestGoldenNoC:
     """Frozen outputs captured from the pre-optimisation simulator."""
 
-    def test_drain_small(self):
-        cycles, deflections, records, stats = _golden_drain(16, 4, 60, 7)
+    @pytest.mark.parametrize("engine", _ENGINES)
+    def test_drain_small(self, engine):
+        cycles, deflections, records, stats = _golden_drain(
+            16, 4, 60, 7, engine=engine)
         assert cycles == 312
         assert deflections == 3817
         assert len(records) == 960
         assert _sha16(records) == "e7f0e5fb5c963eae"
         assert _sha16(sorted(stats.items())) == "2790e17254d99daf"
 
-    def test_drain_mid(self):
-        cycles, deflections, records, stats = _golden_drain(32, 4, 100, 3)
+    @pytest.mark.parametrize("engine", _ENGINES)
+    def test_drain_mid(self, engine):
+        cycles, deflections, records, stats = _golden_drain(
+            32, 4, 100, 3, engine=engine)
         assert cycles == 1161
         assert deflections == 43348
         assert len(records) == 3200
         assert _sha16(records) == "8f18c85aca854d47"
         assert _sha16(sorted(stats.items())) == "52b695d1fabe0a2a"
 
-    def test_reliable_drain(self):
+    @pytest.mark.parametrize("engine", _ENGINES)
+    def test_reliable_drain(self, engine):
         from repro.faults import FaultPlan
         plan = FaultPlan(seed=11, noc_drop_rate=0.01,
                          noc_corrupt_rate=0.005)
         cycles, deflections, records, stats = _golden_drain(
-            16, 2, 50, 11, reliable=True, fault_plan=plan)
+            16, 2, 50, 11, reliable=True, fault_plan=plan,
+            engine=engine)
         assert cycles == 1206
         assert deflections == 20694
         assert len(records) == 800
@@ -393,13 +405,15 @@ class TestGoldenCycleSim:
 
 
 class TestGoldenSoftcore:
-    def test_o0_execution(self):
+    @pytest.mark.parametrize("engine", _ENGINES)
+    def test_o0_execution(self, engine):
         """The table-driven decode must replay the original ISS run."""
         from repro.core import BuildEngine, O0Flow
         from repro.rosetta import get_app
 
         app = get_app("digit-recognition")
-        build = O0Flow(effort=0.1).compile(app.project, BuildEngine())
+        build = O0Flow(effort=0.1, sim_engine=engine).compile(
+            app.project, BuildEngine())
         outputs = build.execute(app.project.sample_inputs)
         cycles = build.softcore_cycles()
         assert outputs == {"Output_1": [7, 9, 5]}
@@ -408,7 +422,8 @@ class TestGoldenSoftcore:
 
 
 class TestGoldenPnR:
-    def test_place_and_route_case(self):
+    @pytest.mark.parametrize("engine", _ENGINES)
+    def test_place_and_route_case(self, engine):
         """One pinned annealer + PathFinder run (seeded RNG stream)."""
         from repro.fabric.shell import Overlay
         from repro.hls.estimate import estimate_operator
@@ -427,7 +442,7 @@ class TestGoldenPnR:
         grid = list(Overlay().pages)[0].page_type.grid()
 
         placement = place(pack_netlist(netlist), grid, seed=2,
-                          effort=0.15)
+                          effort=0.15, engine=engine)
         stats = placement.stats
         assert (stats.moves_evaluated, stats.moves_accepted,
                 stats.temperatures, stats.initial_cost,

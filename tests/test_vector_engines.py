@@ -1,0 +1,420 @@
+"""Scalar/vector engine equivalence and big-device scaling tests.
+
+The ``sim_engine`` knob (:mod:`repro.simengine`) selects between the
+original scalar interpreters — the golden reference — and their
+numpy-backed vector twins for the three hottest simulation kernels:
+the deflection-routed NoC, the annealing placer and the softcore ISS.
+The contract is **bit identity**: same cycles, same delivered records,
+same placements, same architectural state, under any seed.  These
+tests sweep that contract with hypothesis and pin the new scaled
+multi-SLR fabrics (U280, VU19P) with content digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import simengine
+from repro.errors import FabricError, NoCError
+from repro.fabric import (Overlay, XCU50, XCU280, XCVU19P,
+                          scaled_floorplan)
+from repro.noc.bft import BFTopology
+from repro.noc.leaf import LeafInterface
+from repro.noc.netsim import NetworkSimulator
+from repro.simengine import (engine_scope, resolve_engine,
+                             set_default_engine, set_thread_engine)
+
+
+def _sha16(value) -> str:
+    return hashlib.sha256(repr(value).encode()).hexdigest()[:16]
+
+
+# --------------------------------------------------------------------------
+# knob resolution layering
+# --------------------------------------------------------------------------
+
+
+class TestEngineResolution:
+    def test_default_is_scalar(self):
+        assert resolve_engine() == "scalar"
+
+    def test_explicit_wins(self):
+        with engine_scope("scalar"):
+            assert resolve_engine("vector") == "vector"
+
+    def test_thread_scope_beats_process_default(self):
+        previous = set_default_engine("scalar")
+        try:
+            with engine_scope("vector"):
+                assert resolve_engine() == "vector"
+            assert resolve_engine() == "scalar"
+        finally:
+            set_default_engine(previous)
+
+    def test_process_default(self):
+        previous = set_default_engine("vector")
+        try:
+            assert resolve_engine() == "vector"
+        finally:
+            set_default_engine(previous)
+        assert resolve_engine() == "scalar"
+
+    def test_none_scope_is_noop(self):
+        with engine_scope("vector"):
+            with engine_scope(None) as resolved:
+                assert resolved == "vector"
+            assert resolve_engine() == "vector"
+
+    def test_scope_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with engine_scope("vector"):
+                raise RuntimeError("boom")
+        assert resolve_engine() == "scalar"
+
+    def test_nested_scopes(self):
+        with engine_scope("vector"):
+            with engine_scope("scalar"):
+                assert resolve_engine() == "scalar"
+            assert resolve_engine() == "vector"
+
+    def test_set_thread_engine_clear(self):
+        set_thread_engine("vector")
+        try:
+            assert resolve_engine() == "vector"
+        finally:
+            set_thread_engine(None)
+        assert resolve_engine() == "scalar"
+
+    @pytest.mark.parametrize("bad", ["numpy", "", "SCALAR"])
+    def test_unknown_engine_rejected(self, bad):
+        with pytest.raises(ValueError):
+            resolve_engine(bad)
+        with pytest.raises(ValueError):
+            set_default_engine(bad)
+        with pytest.raises(ValueError):
+            set_thread_engine(bad)
+
+    def test_service_rejects_unknown_engine(self, tmp_path):
+        from repro.errors import ServiceError
+        from repro.service.core import CompileService, ServiceConfig
+
+        service = CompileService(ServiceConfig(cache_dir=str(tmp_path)))
+        try:
+            with pytest.raises(ServiceError) as err:
+                service.make_flow("o1", 0.1, sim_engine="numpy")
+            assert err.value.kind == "bad-request"
+            flow = service.make_flow("o1", 0.1, sim_engine="vector")
+            assert flow.sim_engine == "vector"
+        finally:
+            service.close()
+
+
+# --------------------------------------------------------------------------
+# NoC: scalar vs vector
+# --------------------------------------------------------------------------
+
+
+def _drain_observables(engine: str, n_leaves: int, n_ports: int,
+                       per_leaf: int, seed: int,
+                       reliable: bool = False, faults=None) -> Dict:
+    rng = random.Random(seed)
+    kwargs = dict(reliable=True, retransmit_timeout=32) if reliable else {}
+    leaves = {i: LeafInterface(i, n_ports=n_ports, **kwargs)
+              for i in range(n_leaves)}
+    sim = NetworkSimulator(BFTopology(n_leaves), leaves, faults=faults,
+                           engine=engine)
+    for i in range(n_leaves):
+        for p in range(n_ports):
+            leaves[i].bind(p, rng.randrange(n_leaves), p)
+    for i in range(n_leaves):
+        for k in range(per_leaf):
+            leaves[i].send(k % n_ports, (i * 1000 + k) & 0xFFFFFFFF)
+    cycles = sim.run(max_cycles=500_000)
+    records = sim.delivered
+    if records and not isinstance(records[0], tuple):
+        records = [(r.payload, r.latency, r.hops) for r in records]
+    return {
+        "cycles": cycles,
+        "records": list(records),
+        "deflections": sim.total_deflections,
+        "dropped": sim.faults_dropped,
+        "tokens": {(leaf, p): leaves[leaf].tokens(p)
+                   for leaf in sorted(leaves) for p in range(n_ports)},
+        "stats": {leaf: (iface.received, iface.bounced, iface.sent,
+                         iface.retransmissions, iface.acks_sent)
+                  for leaf, iface in sorted(leaves.items())},
+    }
+
+
+class TestNoCEngineEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(n_leaves=st.sampled_from([4, 8, 16]),
+           n_ports=st.integers(min_value=1, max_value=4),
+           per_leaf=st.integers(min_value=1, max_value=25),
+           seed=st.integers(min_value=0, max_value=9999))
+    def test_drain_bit_identical(self, n_leaves, n_ports, per_leaf, seed):
+        scalar = _drain_observables("scalar", n_leaves, n_ports,
+                                    per_leaf, seed)
+        vector = _drain_observables("vector", n_leaves, n_ports,
+                                    per_leaf, seed)
+        assert scalar == vector
+        assert len(scalar["records"]) == n_leaves * per_leaf
+
+    def test_reliable_drain_bit_identical(self):
+        from repro.faults import FaultPlan
+
+        def plan():
+            return FaultPlan(seed=13, noc_drop_rate=0.02,
+                             noc_corrupt_rate=0.01).noc_faults()
+
+        scalar = _drain_observables("scalar", 8, 2, 15, seed=13,
+                                    reliable=True, faults=plan())
+        vector = _drain_observables("vector", 8, 2, 15, seed=13,
+                                    reliable=True, faults=plan())
+        assert scalar == vector
+        assert len(scalar["records"]) == 8 * 15
+
+    def test_ambient_engine_used(self):
+        with engine_scope("vector"):
+            sim = NetworkSimulator(BFTopology(4),
+                                   {0: LeafInterface(0, 1)})
+        assert sim.engine == "vector"
+
+
+# --------------------------------------------------------------------------
+# placer: scalar vs vector
+# --------------------------------------------------------------------------
+
+
+def _placement_fixture():
+    from repro.hls.estimate import estimate_operator
+    from repro.hls.netlist import synthesize_netlist
+    from repro.pnr.pack import pack_netlist
+    from repro.rosetta import get_app
+
+    app = get_app("digit-recognition")
+    op_name, op = next(iter(app.project.graph.operators.items()))
+    estimate = estimate_operator(op.hls_spec)
+    netlist = synthesize_netlist(
+        op_name, estimate, n_ports=len(op.inputs) + len(op.outputs))
+    grid = list(Overlay().pages)[0].page_type.grid()
+    return netlist, grid
+
+
+class TestPlacerEngineEquivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500),
+           effort=st.sampled_from([0.05, 0.15, 0.3]))
+    def test_placements_bit_identical(self, seed, effort):
+        from repro.pnr.pack import pack_netlist
+        from repro.pnr.placer import place
+
+        netlist, grid = _placement_fixture()
+        runs = {}
+        for engine in simengine.ENGINES:
+            placement = place(pack_netlist(netlist), grid, seed=seed,
+                              effort=effort, engine=engine)
+            stats = placement.stats
+            runs[engine] = (list(placement.locations),
+                            stats.moves_evaluated, stats.moves_accepted,
+                            stats.temperatures,
+                            round(stats.initial_cost, 9),
+                            round(stats.final_cost, 9))
+        assert runs["scalar"] == runs["vector"]
+
+
+# --------------------------------------------------------------------------
+# softcore ISS: scalar vs vector
+# --------------------------------------------------------------------------
+
+
+def _iss_spec(tokens: int):
+    from repro.hls import OperatorBuilder
+
+    b = OperatorBuilder("vmix", inputs=[("a", 32), ("b", 32)],
+                        outputs=[("o", 32)])
+    with b.loop("L", tokens, pipeline=True):
+        x = b.read("a")
+        y = b.read("b")
+        s = b.add(x, y)
+        d = b.sub(x, y)
+        p = b.mul(b.cast(x, 16), b.cast(y, 16))
+        q = b.div(x, b.or_(y, 1))
+        r = b.mod(x, b.or_(y, 3))
+        b.write("o", b.cast(b.xor(b.and_(s, d), b.add(b.or_(p, q), r)),
+                            32))
+    return b.build()
+
+
+def _iss_observables(engine: str, spec, inputs) -> Dict:
+    from repro.dataflow import DataflowGraph, Operator, run_graph
+    from repro.softcore import compile_operator
+
+    compiled = compile_operator(spec)
+    telemetry: Dict[str, object] = {}
+    op = Operator(spec.name,
+                  compiled.make_body(telemetry=telemetry, engine=engine),
+                  spec.input_ports, spec.output_ports)
+    g = DataflowGraph(f"eq_{spec.name}")
+    g.add(op)
+    for port in spec.input_ports:
+        g.expose_input(port, f"{spec.name}.{port}")
+    for port in spec.output_ports:
+        g.expose_output(port, f"{spec.name}.{port}")
+    outputs = run_graph(g, inputs)
+    cpu = telemetry[spec.name]
+    return {"outputs": outputs,
+            "retired": cpu.instructions_retired,
+            "regs": list(cpu.regs),
+            "pc": cpu.pc}
+
+
+class TestISSEngineEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(data=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=0xFFFFFFFF),
+                  st.integers(min_value=0, max_value=0xFFFFFFFF)),
+        min_size=1, max_size=6))
+    def test_architectural_state_bit_identical(self, data):
+        spec = _iss_spec(len(data))
+        inputs = {"a": [a for a, _ in data], "b": [b for _, b in data]}
+        scalar = _iss_observables("scalar", spec, inputs)
+        vector = _iss_observables("vector", spec, inputs)
+        assert scalar == vector
+        assert len(scalar["outputs"]["o"]) == len(data)
+
+
+# --------------------------------------------------------------------------
+# scaled fabrics: U280 / VU19P
+# --------------------------------------------------------------------------
+
+
+class TestScaledFabrics:
+    def test_u280_floorplan_pinned(self):
+        overlay = Overlay.for_device(XCU280)
+        plan = [(p.number, p.page_type.name, p.page_type.luts,
+                 p.page_type.ffs, p.page_type.brams, p.page_type.dsps,
+                 p.slr) for p in overlay.pages]
+        assert len(plan) == 40
+        assert _sha16(plan) == "d979ce7d3a0c36c6"
+
+    def test_vu19p_floorplan_pinned(self):
+        overlay = Overlay.for_device(XCVU19P)
+        plan = [(p.number, p.page_type.name, p.page_type.luts,
+                 p.page_type.ffs, p.page_type.brams, p.page_type.dsps,
+                 p.slr) for p in overlay.pages]
+        assert len(plan) == 80
+        assert _sha16(plan) == "f113107a1e39a3f1"
+
+    def test_vu19p_pages_bigger_but_ram_lean(self):
+        # Eq. 1: bigger devices amortise per-page interface overhead,
+        # so the VU19P floorplan picks *larger* pages; its BRAM budget
+        # is proportionally tighter than the U50's, so pages carry
+        # fewer RAMs.
+        u50 = Overlay().pages[0].page_type
+        vu = Overlay.for_device(XCVU19P).pages[0].page_type
+        assert vu.luts > u50.luts
+        assert vu.brams < u50.brams
+
+    def test_floorplans_fit_their_device(self):
+        for device in (XCU280, XCVU19P):
+            overlay = Overlay.for_device(device)
+            total = overlay.total_page_resources()
+            assert device.fits(total.luts, total.brams, total.dsps)
+
+    def test_slrs_contiguous_and_complete(self):
+        for device in (XCU280, XCVU19P):
+            slrs = [p.slr for p in Overlay.for_device(device).pages]
+            assert slrs == sorted(slrs)
+            assert set(slrs) == set(range(len(device.slrs)))
+
+    def test_for_device_u50_is_default_overlay(self):
+        assert Overlay.for_device(XCU50).name == Overlay().name
+
+    def test_for_device_unknown_needs_page_count(self):
+        from repro.fabric.device import Device, SLR
+        mystery = Device(name="mystery", luts=500_000, ffs=1_000_000,
+                         brams=1_000, dsps=1_000,
+                         slrs=(SLR(0, 500_000, 1_000, 1_000),))
+        with pytest.raises(FabricError):
+            Overlay.for_device(mystery)
+        overlay = Overlay.for_device(mystery, n_pages=10)
+        assert len(overlay.pages) == 10
+
+    def test_scaled_floorplan_rejects_tiny_page_count(self):
+        with pytest.raises(FabricError):
+            scaled_floorplan(XCU280, 1)
+
+
+class TestMultiSLRTopology:
+    def test_u280_cut_links_pinned(self):
+        topo = BFTopology.for_overlay(Overlay.for_device(XCU280))
+        assert topo.n_leaves == 41
+        cuts = topo.slr_cut_links()
+        assert len(cuts) == 8
+        assert _sha16([(c.level, c.index, n)
+                       for c, n in cuts]) == "93714429e25d0c80"
+
+    def test_vu19p_cut_links_pinned(self):
+        topo = BFTopology.for_overlay(Overlay.for_device(XCVU19P))
+        assert topo.n_leaves == 81
+        cuts = topo.slr_cut_links()
+        assert len(cuts) == 16
+        assert _sha16([(c.level, c.index, n)
+                       for c, n in cuts]) == "99d3014ecc682a35"
+
+    def test_dma_leaf_sits_on_slr0(self):
+        topo = BFTopology.for_overlay(Overlay.for_device(XCU280))
+        assert topo.slr_of(0) == 0
+
+    def test_crossings_are_absolute_die_distance(self):
+        topo = BFTopology.for_overlay(Overlay.for_device(XCVU19P))
+        first = topo.slr_of(1)
+        last = topo.slr_of(topo.n_leaves - 1)
+        assert topo.slr_crossings(1, topo.n_leaves - 1) == last - first
+        assert topo.slr_crossings(5, 5) == 0
+
+    def test_padding_leaves_inherit_last_slr(self):
+        topo = BFTopology.for_overlay(Overlay.for_device(XCU280))
+        # Tree is padded to 64 leaves; the padding inherits SLR 2.
+        assert topo.slr_of(topo.size - 1) == topo.slr_of(topo.n_leaves - 1)
+
+    def test_no_slr_map_means_one_die(self):
+        topo = BFTopology(8)
+        assert topo.slr_of(3) == 0
+        assert topo.slr_cut_links() == []
+
+    def test_slr_map_length_validated(self):
+        with pytest.raises(NoCError):
+            BFTopology(8, leaf_slr=(0, 0, 1))
+
+    def test_scaled_drain_on_overlay_topology(self):
+        # End-to-end: a non-power-of-two leaf count (41) drains cleanly
+        # under both engines with identical observables.
+        topo = BFTopology.for_overlay(Overlay.for_device(XCU280))
+        results = {}
+        for engine in simengine.ENGINES:
+            rng = random.Random(7)
+            leaves = {i: LeafInterface(i, n_ports=2)
+                      for i in range(topo.n_leaves)}
+            sim = NetworkSimulator(topo, leaves, engine=engine)
+            for i in range(topo.n_leaves):
+                for p in range(2):
+                    leaves[i].bind(p, rng.randrange(topo.n_leaves), p)
+            for i in range(topo.n_leaves):
+                for k in range(5):
+                    leaves[i].send(k % 2, (i * 100 + k) & 0xFFFFFFFF)
+            cycles = sim.run(max_cycles=200_000)
+            records = sim.delivered
+            if records and not isinstance(records[0], tuple):
+                records = [(r.payload, r.latency, r.hops)
+                           for r in records]
+            results[engine] = (cycles, list(records),
+                               sim.total_deflections)
+        assert results["scalar"] == results["vector"]
+        assert len(results["scalar"][1]) == topo.n_leaves * 5
