@@ -350,10 +350,18 @@ def cmd_serve(args) -> int:
         if not tenant or not workers.isdigit():
             raise SystemExit(f"bad --quota {spec!r} (want TENANT=N)")
         quotas[tenant] = int(workers)
+    tokens = {}
+    for spec in args.token or []:
+        tenant, sep, secret = spec.partition("=")
+        if not tenant or not sep or not secret:
+            raise SystemExit(f"bad --token {spec!r} "
+                             f"(want TENANT=SECRET)")
+        tokens[tenant] = secret
     return serve(args.state, host=args.host, port=args.port,
                  workers=args.workers, slots=args.slots,
                  quotas=quotas, default_quota=args.default_quota,
-                 trace=args.trace)
+                 trace=args.trace, store_urls=args.store,
+                 tokens=tokens)
 
 
 def _service_client(args):
@@ -362,7 +370,8 @@ def _service_client(args):
     server = getattr(args, "server", DEFAULT_SERVER)
     host, _, port = server.rpartition(":")
     try:
-        return ServiceClient(host or "127.0.0.1", int(port))
+        return ServiceClient(host or "127.0.0.1", int(port),
+                             token=getattr(args, "token", None))
     except ValueError:
         raise SystemExit(f"bad --server {server!r} (want HOST:PORT)")
 
@@ -599,6 +608,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a Chrome trace-event JSON of all "
                               "served requests (per-tenant lanes) on "
                               "shutdown")
+    serve_p.add_argument("--store", metavar="URLS", default=None,
+                         help="comma-separated shard URLs "
+                              "(tcp://host:port,...): front this "
+                              "store fleet — shared dedup plane and "
+                              "cross-daemon session adoption")
+    serve_p.add_argument("--token", action="append",
+                         metavar="TENANT=SECRET",
+                         help="require this shared secret on submits "
+                              "for TENANT (repeatable; any --token "
+                              "switches auth on for all tenants)")
 
     submit_p = sub.add_parser(
         "submit", help="enqueue a compile on a pld serve daemon; "
@@ -610,6 +629,9 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=sorted(FLOWS))
     submit_p.add_argument("--effort", type=float, default=0.3)
     submit_p.add_argument("--tenant", default="default")
+    submit_p.add_argument("--token", default=None, metavar="SECRET",
+                          help="tenant shared secret (daemons started "
+                               "with --token require it)")
     submit_p.add_argument("--session", default=None,
                           help="named leased session: compiles reuse "
                                "one incremental session and journal, "

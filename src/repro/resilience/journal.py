@@ -162,6 +162,12 @@ class BuildJournal:
         else:
             self.path.write_text("")
         self._handle = open(self.path, "a", encoding="utf-8")
+        #: Optional post-append hook.  The compile service points this
+        #: at its session-meta publication when a shard fleet is
+        #: attached, so every fsynced record is also visible to peer
+        #: daemons — a SIGKILL mid-build then leaves the *fleet*, not
+        #: just the local disk, holding the steps a peer can resume.
+        self.publish: Optional[Callable[[], None]] = None
 
     # -- record appends ----------------------------------------------------
 
@@ -171,6 +177,11 @@ class BuildJournal:
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        if self.publish is not None:
+            try:
+                self.publish()
+            except Exception:
+                pass          # publication is best-effort bookkeeping
 
     def begin_build(self, flow: str = "", project: str = "") -> None:
         self._append({"t": "build-begin", "v": JOURNAL_VERSION,

@@ -30,13 +30,18 @@ class ServiceClient:
             *except* ``result``, which blocks server-side for up to the
             caller-supplied wait and gets a correspondingly larger
             socket timeout.
+        token: tenant shared secret, attached to every ``submit``
+            header (daemons started with ``--token`` reject submits
+            without it, ``kind="auth"``).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 timeout: float = DEFAULT_TIMEOUT):
+                 timeout: float = DEFAULT_TIMEOUT,
+                 token: Optional[str] = None):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.token = token
         self._sock: Optional[socket.socket] = None
 
     # -- transport -----------------------------------------------------------
@@ -83,6 +88,8 @@ class ServiceClient:
     def submit(self, app: str, **fields) -> str:
         """Enqueue a compile/edit; returns the ticket id."""
         header = {"op": "submit", "app": app}
+        if self.token is not None:
+            header["token"] = self.token
         header.update({k: v for k, v in fields.items()
                        if v is not None})
         response, _ = self.call(header)

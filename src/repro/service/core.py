@@ -34,13 +34,14 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import socket
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, StoreError
 from repro.core import (
     BuildEngine,
     IncrementalSession,
@@ -56,6 +57,9 @@ from repro.trace import NULL_TRACER
 SESSIONS_DIR = "sessions"
 #: Lease record inside a session directory.
 LEASE_NAME = "lease.json"
+#: Store-key prefix for published session metadata (lease + journal),
+#: the shared-plane record another daemon adopts a session from.
+SESSION_META_PREFIX = "session-meta:"
 
 
 @dataclass
@@ -140,6 +144,10 @@ class Ticket:
         self.outcome: Optional[RequestOutcome] = None
         self.error: Optional[BaseException] = None
         self.done = threading.Event()
+        #: Invoked (with the ticket) when the request finishes; the
+        #: daemon registers loop.call_soon_threadsafe wakeups here so
+        #: a waiting client costs an asyncio.Event, not a thread.
+        self.callbacks: List[Callable[["Ticket"], None]] = []
         self.submitted = time.monotonic()
         self.started: Optional[float] = None
         self.finished: Optional[float] = None
@@ -170,6 +178,9 @@ class ServiceConfig:
     #: Human-facing progress notes (the CLI passes ``print``).
     notify: Optional[Callable[[str], None]] = None
     seed: int = 1
+    #: Stable identity for lease-epoch fencing across daemons sharing
+    #: a store fleet; defaults to ``host:pid``.
+    daemon_id: Optional[str] = None
 
 
 class _SessionState:
@@ -185,6 +196,11 @@ class _SessionState:
         self.app = ""
         self.edits = 0
         self.resumed_last = 0
+        #: Fencing epoch: bumped past the published epoch every time a
+        #: daemon (re)opens the session, so exactly one daemon's writes
+        #: are current and a stale owner fences itself off.
+        self.epoch = 0
+        self.owner = ""
 
 
 class CompileService:
@@ -196,6 +212,8 @@ class CompileService:
         self.tracer = self.config.tracer \
             if self.config.tracer is not None else NULL_TRACER
         self.shared = self.config.shared
+        self.daemon_id = self.config.daemon_id or \
+            f"{socket.gethostname()}:{os.getpid()}"
         self.store = self._build_store() if self.shared else None
         self.scheduler = RequestScheduler(
             total_workers=max(1, self.config.slots),
@@ -329,15 +347,17 @@ class CompileService:
             else self.config.cache_dir
         store_urls = store_urls if store_urls is not None \
             else self.config.store_urls
+        # One local store either way: cache_dir=None is the documented
+        # memory-only mode of ArtifactStore, so both branches share the
+        # same construction — with a fleet it becomes the client's
+        # hot tier / degraded fallback, without one it *is* the store.
+        local = ArtifactStore(cache_dir=cache_dir)
         if store_urls:
             from repro.store.remote import ShardedStoreClient
-            store = ShardedStoreClient(
-                store_urls,
-                fallback=ArtifactStore(cache_dir=cache_dir),
-                tracer=tracer)
+            store = ShardedStoreClient(store_urls, fallback=local,
+                                       tracer=tracer)
         else:
-            store = ArtifactStore(cache_dir=cache_dir) if cache_dir \
-                else ArtifactStore()
+            store = local
         return IncrementalSession(store=store, effort=effort,
                                   tracer=tracer)
 
@@ -360,6 +380,112 @@ class CompileService:
             return json.loads((directory / LEASE_NAME).read_text())
         except (OSError, json.JSONDecodeError):
             return {}
+
+    # -- shared-plane session metadata (cross-daemon migration) --------------
+
+    def _session_meta_key(self, name: str) -> str:
+        return SESSION_META_PREFIX + name
+
+    def _journal_text(self, directory: pathlib.Path) -> str:
+        from repro.resilience.journal import journal_path
+        try:
+            return journal_path(directory).read_text()
+        except OSError:
+            return ""
+
+    def _published_meta(self, name: str) -> Optional[Dict[str, Any]]:
+        """The session metadata another daemon last published to the
+        shard fleet, or None without a fleet / publication.  Read
+        remote-first (``fresh_get``): the local hot tier would shadow
+        a peer's newer epoch forever."""
+        store = self.store
+        if store is None or not hasattr(store, "fresh_get"):
+            return None
+        try:
+            meta = store.fresh_get(self._session_meta_key(name))
+        except StoreError:
+            return None
+        return meta if isinstance(meta, dict) else None
+
+    def _publish_session(self, state: _SessionState,
+                         lease: Dict[str, Any]) -> None:
+        """Push the session's lease + journal to the shared store so a
+        peer daemon can adopt it.  No-op without a shard fleet; a
+        quarantined shard turns this into an owed write-behind put,
+        drained by the next reconcile — publication is best-effort
+        bookkeeping, the content-addressed artefacts are what make a
+        cross-daemon resume bit-identical."""
+        store = self.store
+        if store is None or not hasattr(store, "fresh_get"):
+            return
+        if not state.directory.name:
+            return
+        meta = {"lease": dict(lease),
+                "journal": self._journal_text(state.directory)}
+        try:
+            store.put(self._session_meta_key(state.name), meta)
+        except StoreError:
+            pass
+
+    def _adopt_session(self, name: str,
+                       directory: Optional[pathlib.Path]) -> int:
+        """Reconcile local lease state with the fleet's published copy
+        before opening ``name``; returns the fencing epoch this daemon
+        now owns.
+
+        When a peer's published epoch exceeds the local lease's, the
+        peer owned the session more recently (possibly on a different
+        machine): replay its lease + journal into our session
+        directory, then claim ownership by bumping past every epoch
+        seen.  Two daemons racing this protocol converge on
+        last-adopter-wins — the loser's next build trips
+        :meth:`_check_fence`, so at most one daemon's session writes
+        stay current.
+        """
+        local_lease = self._read_lease(directory) \
+            if directory is not None else {}
+        local_epoch = int(local_lease.get("epoch", 0) or 0)
+        published = self._published_meta(name)
+        pub_lease = published.get("lease", {}) if published else {}
+        pub_epoch = int(pub_lease.get("epoch", 0) or 0)
+        if directory is not None and pub_epoch > local_epoch:
+            from repro.resilience.journal import journal_path
+            directory.mkdir(parents=True, exist_ok=True)
+            journal_path(directory).write_text(
+                str(published.get("journal", "")))
+            self._write_lease(directory, dict(pub_lease))
+            self._notify(
+                f"session {name!r}: adopted from "
+                f"{pub_lease.get('owner', 'unknown daemon')} "
+                f"(epoch {pub_epoch})")
+        return max(local_epoch, pub_epoch) + 1
+
+    def _check_fence(self, state: _SessionState) -> None:
+        """Refuse to build into a session a peer daemon has adopted.
+
+        A published epoch above ours means another daemon ran
+        :meth:`_adopt_session` after we did; our lease is stale.  Evict
+        the local session state (a later submit re-adopts at a higher
+        epoch) and surface the refusal as ``kind="fenced"``.
+        """
+        published = self._published_meta(state.name)
+        if not published:
+            return
+        pub_lease = published.get("lease", {})
+        pub_epoch = int(pub_lease.get("epoch", 0) or 0)
+        if pub_epoch <= state.epoch:
+            return
+        with self._lock:
+            if self._sessions.get(state.name) is state:
+                del self._sessions[state.name]
+        with state.lock:
+            state.session.close()
+        raise ServiceError(
+            f"session {state.name!r} adopted by "
+            f"{pub_lease.get('owner', 'another daemon')} at epoch "
+            f"{pub_epoch} (ours: {state.epoch}); lease fenced — "
+            f"resubmit there, or resubmit here to re-adopt",
+            kind="fenced")
 
     def interrupted_sessions(self) -> List[str]:
         """Leased sessions whose journal shows a build that began but
@@ -394,6 +520,10 @@ class CompileService:
                 return state
         root = self._sessions_root()
         directory = root / name if root is not None else None
+        # Adoption first: a peer daemon's published journal must land
+        # on disk *before* the interrupted-build scan, so a session
+        # killed mid-build on daemon A resumes on daemon B.
+        epoch = self._adopt_session(name, directory)
         resume = False
         if directory is not None:
             from repro.resilience.journal import (journal_path,
@@ -420,6 +550,8 @@ class CompileService:
                               directory if directory is not None
                               else pathlib.Path("."))
         state.tenant = req.tenant
+        state.epoch = epoch
+        state.owner = self.daemon_id
         with self._lock:
             clash = self._sessions.get(name)
             if clash is not None:
@@ -427,10 +559,21 @@ class CompileService:
                 return clash
             self._sessions[name] = state
         if directory is not None:
-            self._write_lease(directory, {
+            lease = {
                 "session": name, "tenant": req.tenant,
                 "app": req.app, "effort": req.effort,
-                "status": "idle", "pid": os.getpid()})
+                "status": "idle", "pid": os.getpid(),
+                "epoch": state.epoch, "owner": state.owner}
+            self._write_lease(directory, lease)
+            self._publish_session(state, lease)
+            # Republish on every journal append: the pre-build publish
+            # alone would leave the fleet with a journal from *before*
+            # any step ran, so a daemon SIGKILLed mid-build would hand
+            # its adopter nothing to resume.
+            if session.journal is not None and self.store is not None \
+                    and hasattr(self.store, "fresh_get"):
+                session.journal.publish = lambda: self._publish_session(
+                    state, self._read_lease(state.directory))
         return state
 
     # -- the request lifecycle ----------------------------------------------
@@ -480,6 +623,21 @@ class CompileService:
             "flow": ticket.request.flow,
             "session": ticket.request.session,
         }
+
+    def add_done_callback(self, ticket_id: str,
+                          fn: Callable[[Ticket], None]) -> None:
+        """Invoke ``fn(ticket)`` once the request finishes —
+        immediately if it already has.  This is the daemon's
+        completion-notification hook: one registered callback per
+        waiting client instead of one parked executor thread, which is
+        what lets 64+ concurrent ``result`` waiters coexist with a
+        default executor of ~32 threads."""
+        ticket = self._ticket(ticket_id)
+        with self._lock:
+            if not ticket.done.is_set():
+                ticket.callbacks.append(fn)
+                return
+        fn(ticket)
 
     def result(self, ticket_id: str,
                timeout: Optional[float] = None) -> RequestOutcome:
@@ -541,7 +699,16 @@ class CompileService:
                 self._active = [t for t in self._active
                                 if t is not threading.current_thread()]
                 self._wake.notify_all()
-            ticket.done.set()
+                # done + callback swap under the lock, so a concurrent
+                # add_done_callback either enqueues before the swap or
+                # sees done set and fires immediately — never neither.
+                ticket.done.set()
+                callbacks, ticket.callbacks = ticket.callbacks, []
+            for fn in callbacks:
+                try:
+                    fn(ticket)
+                except Exception:
+                    pass                 # a waiter's bug is its own
 
     # -- execution -----------------------------------------------------------
 
@@ -604,13 +771,16 @@ class CompileService:
                 f"{req.flow!r}", kind="bad-request")
         app = self._app(req.app)
         state = self._session_state(req)
+        self._check_fence(state)
         with state.lock:
             lease = {"session": state.name, "tenant": req.tenant,
                      "app": req.app, "effort": req.effort,
                      "status": "active", "pid": os.getpid(),
-                     "edits": state.edits}
+                     "edits": state.edits,
+                     "epoch": state.epoch, "owner": state.owner}
             if state.directory.name:
                 self._write_lease(state.directory, lease)
+                self._publish_session(state, lease)
             if req.crash_at_step is not None:
                 # The crash-resume smoke: SIGKILL this daemon at the
                 # Nth cache-miss step of the session's next compile.
@@ -634,6 +804,7 @@ class CompileService:
                 lease["edits"] = state.edits
                 if state.directory.name:
                     self._write_lease(state.directory, lease)
+                    self._publish_session(state, lease)
         return outcome
 
     def _session_edit(self, ticket: Ticket, state: _SessionState,
@@ -713,6 +884,7 @@ class CompileService:
                 lease = self._read_lease(state.directory)
                 lease["status"] = "released"
                 self._write_lease(state.directory, lease)
+                self._publish_session(state, lease)
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None

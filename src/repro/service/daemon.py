@@ -19,19 +19,43 @@ Errors travel as ``{"ok": false, "error": ..., "kind": ...}`` so the
 client can re-raise a typed :class:`~repro.errors.ServiceError`; a
 ``DeadlineExceeded`` inside a build maps to ``kind="deadline"`` with
 the completed/pending step counts, mirroring the CLI's exit-2 report.
+A hostile or malformed header is *never* allowed to kill the
+connection: every handler runs under a guard that maps non-PLD
+``ValueError``/``TypeError``/``KeyError`` to ``kind="bad-request"``
+and anything else to ``kind="internal"``, and the loop answers with an
+error frame and reads the next request.
 
-The blocking calls (``service.result``) run in the loop's default
-executor, so one tenant waiting on a long build never stalls another
-tenant's submit.  State (store, session journals, leases) lives under
-``--state DIR``; a daemon killed mid-build and restarted over the same
-directory finds the interrupted session journals and resumes them on
-the next submit — the bit-identical-restart contract the CI smoke job
-enforces.
+The event loop does no service work itself.  ``submit``/``status``/
+``stats`` run in the default executor (they take service locks and
+touch lease/journal files on disk); ``result`` parks **no** thread at
+all — each waiter registers a :meth:`CompileService.add_done_callback`
+that fires an ``asyncio.Event`` via ``call_soon_threadsafe``, so 64+
+concurrent waiters cost 64 events, not 64 of the executor's ~32
+threads.
+
+With ``--store`` the daemon fronts a shard fleet: the service's
+:class:`~repro.store.remote.ShardedStoreClient` is shared with build
+workers, while the daemon's own traffic — periodic write-behind
+reconciles, the final reconcile-on-close, per-shard health probes for
+``stats`` — rides an :class:`~repro.store.remote.AsyncShardedStoreClient`
+facade natively on the loop.  Tenant tokens (``--token T=SECRET``)
+gate ``submit`` with ``kind="auth"`` errors so per-tenant quotas
+cannot be bypassed by lying about the tenant field.
+
+State (store, session journals, leases) lives under ``--state DIR``; a
+daemon killed mid-build and restarted over the same directory finds
+the interrupted session journals and resumes them on the next submit.
+Over a shared fleet the same contract extends across machines: each
+leased session's lease + journal is published to the store under a
+fenced epoch, so a *different* daemon can adopt and resume it — the
+bit-identical-restart contract the CI smoke jobs enforce.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
+import hmac
 import json
 import os
 import signal
@@ -39,7 +63,9 @@ import sys
 import time
 from typing import Any, Dict, Optional, Tuple
 
-from repro.errors import DeadlineExceeded, PLDError, ServiceError
+from repro.errors import (DeadlineExceeded, PLDError, ServiceError,
+                          StoreError)
+from repro.store.remote.aio import AsyncShardedStoreClient
 from repro.store.remote.framing import (recv_frame_async,
                                         send_frame_async)
 from repro.service.core import (CompileRequest, CompileService,
@@ -54,6 +80,10 @@ _SUBMIT_FIELDS = {
     "edit_operator": str,
     "edit_tag": str, "crash_at_step": int, "crash_point": str,
 }
+
+#: Seconds between background write-behind reconcile passes when the
+#: daemon fronts a shard fleet.
+DEFAULT_RECONCILE_INTERVAL = 2.0
 
 
 def request_from_header(header: Dict[str, Any]) -> CompileRequest:
@@ -127,15 +157,52 @@ class ServeDaemon:
     """The asyncio server; one instance per ``pld serve`` process."""
 
     def __init__(self, service: CompileService,
-                 host: str = "127.0.0.1", port: int = 0):
+                 host: str = "127.0.0.1", port: int = 0,
+                 tokens: Optional[Dict[str, str]] = None,
+                 reconcile_interval: float = DEFAULT_RECONCILE_INTERVAL):
         self.service = service
         self.host = host
         self.port = port
+        #: Per-tenant shared secrets; empty means auth is off.
+        self.tokens = dict(tokens or {})
+        self.reconcile_interval = reconcile_interval
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopping = asyncio.Event()
         self._started = time.monotonic()
+        self._store_async: Optional[AsyncShardedStoreClient] = None
+        self._reconcile_task: Optional[asyncio.Task] = None
         self.connections = 0
         self.requests = 0
+        self.reconciled = 0
+        #: Clients currently parked in ``result`` (and the high-water
+        #: mark) — each costs one asyncio.Event, never a thread.
+        self.waiters = 0
+        self.peak_waiters = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    async def _call(self, fn, *args, **kwargs):
+        """Run a blocking service call off-loop (default executor)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, functools.partial(fn, *args, **kwargs))
+
+    def _check_auth(self, header: Dict[str, Any]) -> None:
+        """Shared-secret tenant auth; no tokens configured = open."""
+        if not self.tokens:
+            return
+        tenant = str(header.get("tenant") or "default")
+        expected = self.tokens.get(tenant)
+        if expected is None:
+            raise ServiceError(
+                f"tenant {tenant!r} is not provisioned on this daemon",
+                kind="auth")
+        token = header.get("token")
+        if not isinstance(token, str) or \
+                not hmac.compare_digest(expected, token):
+            raise ServiceError(
+                f"bad or missing token for tenant {tenant!r}",
+                kind="auth")
 
     # -- per-op handlers -----------------------------------------------------
 
@@ -144,32 +211,63 @@ class ServeDaemon:
                 "uptime": time.monotonic() - self._started}, b""
 
     async def _op_submit(self, header, payload):
+        self._check_auth(header)
         request = request_from_header(header)
-        ticket = self.service.submit(request)
-        position = self.service.status(ticket)["position"]
+        # submit takes service locks and writes lease/journal files —
+        # never on the event loop.
+        ticket = await self._call(self.service.submit, request)
+        status = await self._call(self.service.status, ticket)
         return {"ok": True, "ticket": ticket,
-                "position": position}, b""
+                "position": status["position"]}, b""
 
     async def _op_status(self, header, payload):
-        status = self.service.status(str(header.get("ticket", "")))
+        status = await self._call(self.service.status,
+                                  str(header.get("ticket", "")))
         status["ok"] = True
         return status, b""
 
     async def _op_result(self, header, payload):
         ticket = str(header.get("ticket", ""))
-        timeout = header.get("timeout")
+        raw_timeout = header.get("timeout")
+        try:
+            timeout = float(raw_timeout) \
+                if raw_timeout is not None else None
+        except (TypeError, ValueError):
+            raise ServiceError(f"bad 'timeout' value {raw_timeout!r}",
+                               kind="bad-request")
         loop = asyncio.get_running_loop()
-        outcome = await loop.run_in_executor(
-            None, lambda: self.service.result(
-                ticket, timeout=float(timeout)
-                if timeout is not None else None))
-        return outcome_to_wire(outcome)
+        event = asyncio.Event()
+        # Validates the ticket (kind="unknown-ticket") and fires
+        # immediately when it is already done.
+        self.service.add_done_callback(
+            ticket, lambda _t: loop.call_soon_threadsafe(event.set))
+        self.waiters += 1
+        self.peak_waiters = max(self.peak_waiters, self.waiters)
+        try:
+            await asyncio.wait_for(event.wait(), timeout)
+        except asyncio.TimeoutError:
+            status = await self._call(self.service.status, ticket)
+            raise ServiceError(
+                f"request {ticket} still {status['state']} after "
+                f"{timeout:g}s", kind="timeout")
+        finally:
+            self.waiters -= 1
+        # The ticket is done: this re-raise/fetch returns immediately.
+        outcome = await self._call(self.service.result, ticket,
+                                   timeout=0)
+        return await self._call(outcome_to_wire, outcome)
 
     async def _op_stats(self, header, payload):
-        stats = self.service.stats()
+        stats = await self._call(self.service.stats)
         stats["ok"] = True
         stats["pid"] = os.getpid()
         stats["uptime"] = time.monotonic() - self._started
+        stats["waiters"] = {"active": self.waiters,
+                            "peak": self.peak_waiters}
+        if self._store_async is not None:
+            health = await self._store_async.ping_all()
+            stats["shard_health"] = health
+            stats["shards_up"] = sum(1 for up in health.values() if up)
         return stats, b""
 
     async def _op_shutdown(self, header, payload):
@@ -191,7 +289,8 @@ class ServeDaemon:
                     break                 # server closing this connection
                 self.requests += 1
                 op = header.get("op", "")
-                handler = getattr(self, f"_op_{op}", None)
+                handler = getattr(self, f"_op_{op}", None) \
+                    if isinstance(op, str) else None
                 if handler is None:
                     response: Dict[str, Any] = {
                         "ok": False,
@@ -203,6 +302,23 @@ class ServeDaemon:
                         response, body = await handler(header, payload)
                     except PLDError as exc:
                         response, body = error_to_wire(exc), b""
+                    except asyncio.CancelledError:
+                        raise
+                    except (ValueError, TypeError, KeyError) as exc:
+                        # A malformed header the op-specific coercions
+                        # missed: the *request* is bad, the connection
+                        # is fine — answer and keep serving it.
+                        response = {
+                            "ok": False,
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "kind": "bad-request"}
+                        body = b""
+                    except Exception as exc:
+                        response = {
+                            "ok": False,
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "kind": "internal"}
+                        body = b""
                 try:
                     await send_frame_async(writer, response, body)
                 except PLDError:
@@ -215,9 +331,38 @@ class ServeDaemon:
                     asyncio.CancelledError):
                 pass
 
+    # -- the async store path ------------------------------------------------
+
+    async def _reconcile_loop(self) -> None:
+        """Background write-behind drain over asyncio sockets — owed
+        puts reach a healed shard without parking executor threads."""
+        assert self._store_async is not None
+        while not self._stopping.is_set():
+            await asyncio.sleep(self.reconcile_interval)
+            try:
+                self.reconciled += await self._store_async.reconcile()
+            except StoreError:
+                pass                      # next pass retries
+
+    async def _close_store_async(self) -> None:
+        """Reconcile-on-close: settle write-behind debts before the
+        streams go away.  The sync client underneath stays open — the
+        service's own close() runs its final sync reconcile too."""
+        if self._store_async is None:
+            return
+        try:
+            self.reconciled += await self._store_async.reconcile()
+        except StoreError:
+            pass
+        await self._store_async.close()
+        self._store_async = None
+
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> Tuple[str, int]:
+        store = self.service.store
+        if store is not None and hasattr(store, "fresh_get"):
+            self._store_async = AsyncShardedStoreClient.over(store)
         self._server = await asyncio.start_server(
             self._handle, host=self.host, port=self.port)
         sockname = self._server.sockets[0].getsockname()
@@ -225,7 +370,18 @@ class ServeDaemon:
         return sockname[0], sockname[1]
 
     async def serve_until_stopped(self) -> None:
+        if self._store_async is not None and self.reconcile_interval:
+            self._reconcile_task = asyncio.create_task(
+                self._reconcile_loop())
         await self._stopping.wait()
+        if self._reconcile_task is not None:
+            self._reconcile_task.cancel()
+            try:
+                await self._reconcile_task
+            except asyncio.CancelledError:
+                pass
+            self._reconcile_task = None
+        await self._close_store_async()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -239,12 +395,21 @@ def serve(cache_dir: str, host: str = "127.0.0.1", port: int = 0,
           quotas: Optional[Dict[str, int]] = None,
           default_quota: Optional[int] = None,
           trace: Optional[str] = None,
+          store_urls: Optional[str] = None,
+          tokens: Optional[Dict[str, str]] = None,
+          reconcile_interval: float = DEFAULT_RECONCILE_INTERVAL,
+          daemon_id: Optional[str] = None,
           notify=print, ready=None) -> int:
     """Run the daemon in the foreground until SIGTERM/SIGINT/shutdown.
 
     Args:
         cache_dir: the state directory — shared artifact store plus
             one journal + lease per leased session under ``sessions/``.
+        store_urls: comma-separated shard URLs; the daemon then fronts
+            the fleet (shared dedup plane, cross-daemon session
+            adoption) instead of a purely local store.
+        tokens: per-tenant shared secrets gating ``submit``.
+        daemon_id: identity for lease-epoch fencing (host:pid default).
         ready: optional callback invoked with ``(host, port)`` once the
             listener is bound (tests use it instead of scraping stdout).
 
@@ -255,20 +420,27 @@ def serve(cache_dir: str, host: str = "127.0.0.1", port: int = 0,
         from repro.trace import Tracer
         tracer = Tracer()
     service = CompileService(ServiceConfig(
-        cache_dir=cache_dir, shared=True, workers=workers,
-        slots=slots, quotas=dict(quotas or {}),
-        default_quota=default_quota, tracer=tracer))
+        cache_dir=cache_dir, store_urls=store_urls, shared=True,
+        workers=workers, slots=slots, quotas=dict(quotas or {}),
+        default_quota=default_quota, tracer=tracer,
+        daemon_id=daemon_id, notify=notify))
+    if store_urls and notify is not None:
+        urls = list(getattr(service.store, "urls", []) or [])
+        notify(f"store: {len(urls)} shard(s): {', '.join(urls)}")
     interrupted = service.interrupted_sessions()
     if interrupted and notify is not None:
         notify(f"found {len(interrupted)} interrupted session(s): "
                f"{', '.join(interrupted)} — they resume on next submit")
-    daemon = ServeDaemon(service, host=host, port=port)
+    daemon = ServeDaemon(service, host=host, port=port, tokens=tokens,
+                         reconcile_interval=reconcile_interval)
 
     async def _main() -> None:
         bound_host, bound_port = await daemon.start()
         if notify is not None:
+            auth = f", {len(daemon.tokens)} tenant token(s)" \
+                if daemon.tokens else ""
             notify(f"pld serve listening on {bound_host}:{bound_port} "
-                   f"(state: {cache_dir}, pid {os.getpid()})")
+                   f"(state: {cache_dir}, pid {os.getpid()}{auth})")
         if ready is not None:
             ready(bound_host, bound_port)
         loop = asyncio.get_running_loop()

@@ -1,0 +1,419 @@
+"""Asyncio-native access to the sharded remote store.
+
+The sync :class:`~repro.store.remote.client.ShardedStoreClient` is the
+right shape for build workers (threads that block on store I/O anyway),
+but the ``pld serve`` daemon lives on an asyncio event loop: every
+store round-trip it makes through the sync client parks one
+default-executor thread for the duration.  Health probes, write-behind
+reconciles and session-metadata reads are exactly the traffic a busy
+daemon generates continuously, so they get a native path here instead.
+
+Two layers, mirroring the sync module:
+
+* :class:`AsyncShardClient` — one shard's connection manager over
+  ``asyncio.open_connection``: pooled streams, per-attempt deadlines
+  via ``asyncio.wait_for``, and the *same* retry ladder (exponential
+  backoff, deterministic keyed jitter) as the sync
+  :class:`~repro.store.remote.client.ShardClient`, so a seed replays
+  the same schedule on either transport.
+* :class:`AsyncShardedStoreClient` — a facade built **over** an
+  existing sync client (:meth:`AsyncShardedStoreClient.over`).  It
+  owns no policy state of its own: the circuit breaker, local
+  fallback store, write-behind queues and counters are the sync
+  client's, shared by reference, so a failure observed on either
+  transport trips the same breaker and a put owed by either side is
+  drained exactly once.  Only the socket work changes transport.
+
+Local-fallback reads/writes stay inline (they are memory or local-disk
+operations, microseconds not round-trips); the event loop is only ever
+released across *remote* I/O.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    FrameError,
+    StoreError,
+    StoreUnavailableError,
+    TransportError,
+)
+from repro.store.remote.client import (
+    RECONCILE_BATCH,
+    ShardedStoreClient,
+    _jitter,
+)
+from repro.store.remote.framing import recv_frame_async, send_frame_async
+from repro.store.serial import decode_artifact, encode_artifact, pack_artifacts
+
+
+class AsyncShardClient:
+    """One shard's asyncio connection manager: deadlines, retries.
+
+    The wire format, retry budget, backoff schedule and error mapping
+    are byte-for-byte and second-for-second the sync
+    :class:`~repro.store.remote.client.ShardClient`'s — only the
+    transport primitive differs.  Streams are pooled; an attempt that
+    fails at the transport layer closes its stream and redials.
+    """
+
+    def __init__(self, url: str, host: str, port: int, *,
+                 timeout: float, retries: int, backoff_base: float,
+                 seed: int = 0):
+        self.url = url
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = max(1, retries)
+        self.backoff_base = backoff_base
+        self.seed = seed
+        #: Pooled ``(loop, reader, writer)`` streams.  The loop is
+        #: recorded because asyncio streams are bound to the loop that
+        #: created them: a stream pooled under one ``asyncio.run`` is
+        #: poison to the next (tests and CLI tools run many short
+        #: loops), so checkout discards any stream from a foreign loop.
+        self._pool: deque = deque()
+        self.attempts = 0
+        self.failures = 0
+
+    # -- connections ---------------------------------------------------------
+
+    @staticmethod
+    def _discard(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+        except (RuntimeError, ConnectionError, OSError):
+            pass                # its loop may already be closed
+
+    async def _checkout(self) -> Tuple[asyncio.StreamReader,
+                                       asyncio.StreamWriter]:
+        loop = asyncio.get_running_loop()
+        while self._pool:
+            pool_loop, reader, writer = self._pool.popleft()
+            if pool_loop is loop:
+                return reader, writer
+            self._discard(writer)
+        try:
+            return await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                timeout=self.timeout)
+        except asyncio.TimeoutError as exc:
+            raise TransportError(
+                f"deadline expired connecting to shard {self.url}",
+                shard=self.url) from exc
+        except OSError as exc:
+            raise TransportError(
+                f"cannot connect to shard {self.url}: {exc}",
+                shard=self.url) from exc
+
+    def _checkin(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._pool.append((asyncio.get_running_loop(), reader, writer))
+
+    async def close(self) -> None:
+        loop = asyncio.get_running_loop()
+        while self._pool:
+            pool_loop, _reader, writer = self._pool.popleft()
+            if pool_loop is not loop:
+                self._discard(writer)
+                continue
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- the request ladder --------------------------------------------------
+
+    async def request(self, op: str, key: str = "", payload: bytes = b"",
+                      extra: Optional[Dict[str, Any]] = None,
+                      retries: Optional[int] = None
+                      ) -> Tuple[Dict[str, Any], bytes]:
+        """One logical request: up to ``retries`` attempts with
+        exponential backoff + keyed jitter between them.  Raises
+        :class:`StoreUnavailableError` once the budget is spent."""
+        budget = self.retries if retries is None else max(1, retries)
+        last: Optional[Exception] = None
+        for attempt in range(1, budget + 1):
+            self.attempts += 1
+            try:
+                return await self._attempt(op, key, payload, extra)
+            except (TransportError, FrameError) as exc:
+                self.failures += 1
+                last = exc
+                if attempt < budget:
+                    delay = self.backoff_base * (2 ** (attempt - 1))
+                    delay *= 1.0 + _jitter(self.seed, self.url, op, key,
+                                           attempt)
+                    await asyncio.sleep(delay)
+        raise StoreUnavailableError(
+            f"shard {self.url} unreachable after {budget} attempt(s) "
+            f"({op} {key[:12]}...): {last}",
+            shard=self.url, op=op, attempt=budget)
+
+    async def _attempt(self, op: str, key: str, payload: bytes,
+                       extra: Optional[Dict[str, Any]]
+                       ) -> Tuple[Dict[str, Any], bytes]:
+        header = {"op": op}
+        if key:
+            header["key"] = key
+        if extra:
+            header.update(extra)
+        reader, writer = await self._checkout()
+        try:
+            await asyncio.wait_for(
+                send_frame_async(writer, header, payload),
+                timeout=self.timeout)
+            response, out_payload = await asyncio.wait_for(
+                recv_frame_async(reader), timeout=self.timeout)
+        except asyncio.TimeoutError as exc:
+            writer.close()
+            raise TransportError(
+                f"deadline expired on {op} to shard {self.url}",
+                shard=self.url, op=op) from exc
+        except (TransportError, FrameError):
+            writer.close()
+            raise
+        self._checkin(reader, writer)
+        if not response.get("ok", False):
+            raise StoreError(f"shard {self.url} rejected {op}: "
+                             f"{response.get('error', 'unknown error')}")
+        return response, out_payload
+
+    def __repr__(self) -> str:
+        return f"AsyncShardClient({self.url}, {self.attempts} attempts)"
+
+
+class AsyncShardedStoreClient:
+    """Asyncio facade over a sync :class:`ShardedStoreClient`.
+
+    Shares the sync client's breaker, fallback store, write-behind
+    queues and counters by reference — it is an alternate *transport*
+    for the same logical client, not a second client.  Safe to use
+    concurrently with the sync client from worker threads: queue
+    mutations go through the sync client's ``_pending_lock`` and whole
+    reconcile passes are serialized by its ``_reconcile_lock`` (taken
+    non-blockingly here, so the event loop never waits on a thread).
+    """
+
+    def __init__(self, sync: ShardedStoreClient):
+        self.sync = sync
+        self.shards: Dict[str, AsyncShardClient] = {}
+        for url, shard in sync.shards.items():
+            self.shards[url] = AsyncShardClient(
+                url, shard.host, shard.port, timeout=shard.timeout,
+                retries=shard.retries, backoff_base=shard.backoff_base,
+                seed=shard.seed)
+        self._closed = False
+
+    @classmethod
+    def over(cls, sync: ShardedStoreClient) -> "AsyncShardedStoreClient":
+        """The canonical constructor: wrap an existing sync client."""
+        return cls(sync)
+
+    # -- delegated state -----------------------------------------------------
+
+    @property
+    def urls(self) -> List[str]:
+        return self.sync.urls
+
+    @property
+    def breaker(self):
+        return self.sync.breaker
+
+    @property
+    def fallback(self):
+        return self.sync.fallback
+
+    def stats(self) -> Dict[str, Any]:
+        return self.sync.stats()
+
+    # -- the engine-cache contract, async ------------------------------------
+
+    async def get(self, key: str):
+        """Local hot tier, then the owning shard, then degraded-local —
+        the sync :meth:`ShardedStoreClient.get` semantics verbatim."""
+        sync = self.sync
+        artifact = sync.fallback.get(key)
+        if artifact is not None:
+            sync.hits += 1
+            sync.local_hits += 1
+            return artifact
+        url = sync.shard_for(key)
+        if sync.breaker.is_open(url):
+            sync._degraded(url, "get")
+            sync.misses += 1
+            return None
+        try:
+            artifact = await self._remote_get(url, key)
+        except StoreError:
+            if sync.strict:
+                raise
+            sync._record_failure(url)
+            sync._degraded(url, "get")
+            sync.misses += 1
+            return None
+        sync._record_success(url)
+        if artifact is None:
+            sync.remote_misses += 1
+            sync.misses += 1
+            return None
+        sync.remote_hits += 1
+        sync.hits += 1
+        sync.fallback.put(key, artifact)
+        return artifact
+
+    async def fresh_get(self, key: str):
+        """Remote-first read for *mutable* keys — async twin of
+        :meth:`ShardedStoreClient.fresh_get`."""
+        sync = self.sync
+        url = sync.shard_for(key)
+        if sync.breaker.is_open(url):
+            sync._degraded(url, "get")
+            return sync.fallback.get(key)
+        try:
+            artifact = await self._remote_get(url, key)
+        except StoreError:
+            if sync.strict:
+                raise
+            sync._record_failure(url)
+            sync._degraded(url, "get")
+            return sync.fallback.get(key)
+        sync._record_success(url)
+        if artifact is not None:
+            sync.fallback.put(key, artifact)
+        return artifact
+
+    async def put(self, key: str, artifact) -> None:
+        """Write-through local, then the owning shard; a failing shard
+        owes the key to the shared write-behind queue."""
+        sync = self.sync
+        sync.fallback.put(key, artifact)
+        url = sync.shard_for(key)
+        if sync.breaker.is_open(url):
+            sync._degraded(url, "put")
+            sync._owe(url, key)
+            return
+        try:
+            payload = encode_artifact(key, artifact)
+            await self.shards[url].request("put", key, payload)
+        except StoreError:
+            if sync.strict:
+                raise
+            sync._record_failure(url)
+            sync._degraded(url, "put")
+            sync._owe(url, key)
+            return
+        sync._record_success(url)
+
+    async def _remote_get(self, url: str, key: str):
+        response, payload = await self.shards[url].request("get", key)
+        if not response.get("found", False):
+            return None
+        _kind, artifact = decode_artifact(payload, expect_key=key)
+        return artifact
+
+    # -- degraded-mode recovery ----------------------------------------------
+
+    async def reconcile(self) -> int:
+        """Drain the shared write-behind queues over asyncio sockets.
+
+        Same pass structure as the sync :meth:`reconcile` — probe each
+        owing shard through the breaker, swap its queue out atomically,
+        replay owed puts from the local fallback in
+        :data:`RECONCILE_BATCH` chunks — but no executor thread is
+        parked for the round-trips.  If a sync-side pass already holds
+        the reconcile lock this returns 0 immediately; the other pass
+        is draining the same queues.
+        """
+        sync = self.sync
+        if not sync._reconcile_lock.acquire(blocking=False):
+            return 0
+        try:
+            return await self._reconcile_once()
+        finally:
+            sync._reconcile_lock.release()
+
+    async def _reconcile_once(self) -> int:
+        sync = self.sync
+        drained = 0
+        with sync._pending_lock:
+            owing = [url for url, owed in sync.pending.items() if owed]
+        for url in owing:
+            if sync.breaker.is_open(url):
+                continue
+            try:
+                await self.shards[url].request("ping", retries=1)
+            except StoreError:
+                sync._record_failure(url)
+                continue
+            sync._record_success(url)
+            with sync._pending_lock:
+                owed = sync.pending.get(url, [])
+                sync.pending[url] = []
+            still_owed: List[str] = []
+            pushed = 0
+            for base in range(0, len(owed), RECONCILE_BATCH):
+                chunk = owed[base:base + RECONCILE_BATCH]
+                items = []
+                for key in chunk:
+                    artifact = sync.fallback.get(key)
+                    if artifact is not None:
+                        items.append((key, artifact))
+                if not items:
+                    continue
+                try:
+                    keys, sizes, payload = pack_artifacts(items)
+                    await self.shards[url].request(
+                        "multi_put",
+                        extra={"keys": keys, "sizes": sizes},
+                        payload=payload)
+                    pushed += len(items)
+                except StoreError:
+                    sync._record_failure(url)
+                    still_owed.extend(owed[base:])
+                    break
+            if still_owed:
+                with sync._pending_lock:
+                    queue = sync.pending.setdefault(url, [])
+                    queue[:0] = [k for k in still_owed
+                                 if k not in queue]
+            drained += pushed
+            if pushed and not still_owed:
+                sync.tracer.shard_health(url, "reconciled",
+                                         drained=pushed)
+        sync.reconciled += drained
+        return drained
+
+    # -- introspection / lifecycle -------------------------------------------
+
+    async def ping_all(self) -> Dict[str, bool]:
+        """Liveness of every shard, probed concurrently (one attempt
+        each, no retries) — the daemon's shard-health line."""
+        async def probe(url: str) -> bool:
+            try:
+                await self.shards[url].request("ping", retries=1)
+                return True
+            except StoreError:
+                return False
+
+        urls = list(self.shards)
+        results = await asyncio.gather(*(probe(url) for url in urls))
+        return dict(zip(urls, results))
+
+    async def close(self) -> None:
+        """Release the asyncio streams.  Does **not** close the sync
+        client underneath — it is owned by whoever built it (the
+        service), and its close performs the final sync reconcile."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards.values():
+            await shard.close()
+
+    def __repr__(self) -> str:
+        return (f"AsyncShardedStoreClient(over {len(self.shards)} "
+                f"shards)")

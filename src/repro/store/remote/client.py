@@ -447,6 +447,35 @@ class ShardedStoreClient:
             return
         self._record_success(url)
 
+    def fresh_get(self, key: str):
+        """Remote-first read for *mutable* keys (session metadata).
+
+        :meth:`get` serves the local hot tier first, which is correct
+        for content-addressed artefacts (immutable by construction) but
+        wrong for keys another client republishes — a stale local copy
+        would shadow the new value forever.  This skips the hot tier:
+        ask the owning shard, bank the result locally, and only fall
+        back to the local copy when the shard is quarantined or
+        unreachable.  Engine hit/miss counters are deliberately left
+        untouched — metadata traffic is not build dedup.
+        """
+        url = self.shard_for(key)
+        if self.breaker.is_open(url):
+            self._degraded(url, "get")
+            return self.fallback.get(key)
+        try:
+            artifact = self._remote_get(url, key)
+        except StoreError:
+            if self.strict:
+                raise
+            self._record_failure(url)
+            self._degraded(url, "get")
+            return self.fallback.get(key)
+        self._record_success(url)
+        if artifact is not None:
+            self.fallback.put(key, artifact)
+        return artifact
+
     def _owe(self, url: str, key: str) -> None:
         with self._pending_lock:
             queue = self.pending.setdefault(url, [])

@@ -102,6 +102,17 @@ class StoreServer:
         thread (idempotent — a double stop is a no-op)."""
         self._running = False
         if self._listener is not None:
+            # A thread blocked in accept() is not reliably woken by
+            # close() on Linux; poke it with a throwaway connection so
+            # the join below returns immediately instead of timing out.
+            try:
+                host, port = self._listener.getsockname()[:2]
+                if host == "0.0.0.0":
+                    host = "127.0.0.1"
+                socket.create_connection((host, port),
+                                         timeout=0.5).close()
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:

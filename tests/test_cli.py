@@ -212,6 +212,28 @@ class TestRemoteStoreCLI:
             for server in servers:
                 server.stop()
 
+    def test_edit_with_store_and_no_cache_dir(self, tmp_path, capsys):
+        """Regression (satellite): ``pld edit --store`` with no
+        ``--cache-dir`` must run with a memory-only local tier — both
+        ``open_session`` branches now share the one
+        ``ArtifactStore(cache_dir=None)`` construction instead of only
+        the storeless branch guarding the None."""
+        from repro.store import ArtifactStore
+        from repro.store.remote import StoreServer
+
+        server = StoreServer(ArtifactStore(
+            cache_dir=tmp_path / "shard0")).start()
+        try:
+            assert main(["edit", "digit-recognition",
+                         "--effort", "0.1",
+                         "--store", server.url]) == 0
+            out = capsys.readouterr().out
+            assert "baseline:" in out
+            # The fleet, not a local disk tier, holds the artefacts.
+            assert list(server.store.keys())
+        finally:
+            server.stop()
+
     def test_bad_store_urls_exit_2(self, capsys):
         assert main(["compile", "digit-recognition",
                      "--store", "nonsense"]) == 2

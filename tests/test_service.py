@@ -334,3 +334,162 @@ class TestLifecycle:
             ArtifactStore(cache_dir=tmp_path / "s")).start()
         server.stop()
         server.stop()                      # second stop is a no-op
+
+
+# --------------------------------------------------------------------------
+# cross-daemon session migration (shared shard fleet)
+# --------------------------------------------------------------------------
+
+
+class TestCrossDaemonAdoption:
+    """Tentpole: session migration between daemons over a shared shard
+    fleet, with lease-epoch fencing so two daemons never both own a
+    session."""
+
+    @staticmethod
+    def _service(tmp_path, urls, name):
+        return CompileService(ServiceConfig(
+            cache_dir=str(tmp_path / name),
+            store_urls=",".join(urls), shared=True, slots=2,
+            daemon_id=name))
+
+    @staticmethod
+    def _compile(service, session="dev"):
+        ticket = service.submit(CompileRequest(
+            app=APP, effort=EFFORT, session=session))
+        return service.result(ticket)
+
+    def test_session_migrates_and_stale_owner_is_fenced(self, tmp_path):
+        from repro.store import ArtifactStore
+        from repro.store.remote import StoreServer
+
+        servers = [StoreServer(ArtifactStore(cache_dir=None)).start()
+                   for _ in range(3)]
+        a = b = None
+        try:
+            urls = [s.url for s in servers]
+            a = self._service(tmp_path, urls, "daemon-a")
+            manifest = self._compile(a).build.manifest()
+
+            # Daemon B (separate state dir, same fleet) adopts the
+            # published session: warm compile, bit-identical manifest.
+            b = self._service(tmp_path, urls, "daemon-b")
+            outcome_b = self._compile(b)
+            assert outcome_b.build.manifest() == manifest
+            lease_b = json.loads(
+                (tmp_path / "daemon-b" / "sessions" / "dev" /
+                 "lease.json").read_text())
+            assert lease_b["owner"] == "daemon-b"
+
+            # A's lease is now stale: its next build is fenced off.
+            ticket = a.submit(CompileRequest(
+                app=APP, effort=EFFORT, session="dev"))
+            with pytest.raises(ServiceError, match="fenced") as exc:
+                a.result(ticket)
+            assert exc.value.kind == "fenced"
+
+            # Resubmitting on A re-adopts at a higher epoch...
+            outcome_a = self._compile(a)
+            assert outcome_a.build.manifest() == manifest
+            lease_a = json.loads(
+                (tmp_path / "daemon-a" / "sessions" / "dev" /
+                 "lease.json").read_text())
+            assert lease_a["epoch"] > lease_b["epoch"]
+
+            # ...which fences B in turn: last adopter wins.
+            ticket = b.submit(CompileRequest(
+                app=APP, effort=EFFORT, session="dev"))
+            with pytest.raises(ServiceError, match="fenced"):
+                b.result(ticket)
+        finally:
+            for service in (a, b):
+                if service is not None:
+                    service.close()
+            for server in servers:
+                server.stop()
+
+    def test_adoption_replays_interrupted_journal(self, tmp_path):
+        """A session whose owner died mid-build (journal shows
+        build-begin > build-end) resumes on the adopting daemon."""
+        from repro.resilience.journal import journal_path
+        from repro.store import ArtifactStore
+        from repro.store.remote import StoreServer
+
+        servers = [StoreServer(ArtifactStore(cache_dir=None)).start()
+                   for _ in range(3)]
+        a = b = None
+        try:
+            urls = [s.url for s in servers]
+            a = self._service(tmp_path, urls, "daemon-a")
+            manifest = self._compile(a).build.manifest()
+
+            # Forge the interruption daemon A would leave behind if
+            # SIGKILLed mid-build: an unmatched build-begin appended to
+            # the journal, republished to the fleet.
+            directory = tmp_path / "daemon-a" / "sessions" / "dev"
+            with journal_path(directory).open("a") as fh:
+                fh.write(json.dumps({"t": "build-begin"}) + "\n")
+            state = a._sessions["dev"]
+            a._publish_session(state, a._read_lease(directory))
+
+            b = self._service(tmp_path, urls, "daemon-b")
+            assert "dev" not in b.interrupted_sessions()  # not adopted yet
+            outcome_b = self._compile(b)
+            assert outcome_b.build.manifest() == manifest
+            # The adopted journal marked the build interrupted, so B's
+            # compile resumed the journaled steps rather than starting
+            # a fresh journal.
+            assert outcome_b.resumed
+        finally:
+            for service in (a, b):
+                if service is not None:
+                    service.close()
+            for server in servers:
+                server.stop()
+
+    def test_journal_appends_republish_mid_build(self, tmp_path):
+        """Every journal append republishes session-meta to the fleet.
+
+        Regression: publication only happened at lease transitions, so
+        a daemon SIGKILLed mid-build published a journal from *before*
+        any step ran — its adopter found nothing to resume (the
+        subprocess variant is
+        TestCrossDaemonMigration.test_sigkill_daemon_a_resume_on_daemon_b).
+        """
+        from repro.store import ArtifactStore
+        from repro.store.remote import StoreServer
+
+        servers = [StoreServer(ArtifactStore(cache_dir=None)).start()
+                   for _ in range(3)]
+        a = None
+        try:
+            urls = [s.url for s in servers]
+            a = self._service(tmp_path, urls, "daemon-a")
+            self._compile(a)
+            state = a._sessions["dev"]
+            journal = state.session.journal
+            assert journal is not None and journal.publish is not None
+
+            # An append mid-build (no lease transition) must be
+            # visible to a peer's fresh_get immediately.
+            journal.end_step("forged-step", "key:forged")
+            meta = a._published_meta("dev")
+            assert meta is not None
+            assert '"forged-step"' in meta["journal"]
+        finally:
+            if a is not None:
+                a.close()
+            for server in servers:
+                server.stop()
+
+    def test_no_fleet_means_no_adoption_machinery(self, tmp_path):
+        """Without store_urls the shared plane is off: publication and
+        fencing are no-ops and plain sessions behave as before."""
+        service = CompileService(ServiceConfig(
+            cache_dir=str(tmp_path / "state"), shared=True, slots=2))
+        try:
+            outcome = self._compile(service)
+            assert outcome.build is not None
+            assert service._published_meta("dev") is None
+        finally:
+            service.close()

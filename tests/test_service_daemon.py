@@ -8,6 +8,7 @@ bit-identical manifest.  The subprocess test is the same scenario the
 CI serve-smoke job runs.
 """
 
+import asyncio
 import json
 import os
 import signal
@@ -21,7 +22,11 @@ import pytest
 
 from repro.errors import ServiceError, TransportError
 from repro.service import ServiceClient
-from repro.service.daemon import serve
+from repro.service.core import (CompileService, RequestOutcome,
+                                ServiceConfig)
+from repro.service.daemon import ServeDaemon, serve
+from repro.store import ArtifactStore
+from repro.store.remote import StoreServer
 
 APP = "digit-recognition"
 EFFORT = 0.1
@@ -115,12 +120,402 @@ class TestProtocol:
         assert json.loads(manifest)
 
 
-def _spawn_daemon(state_dir):
+class TestHostileFrames:
+    """Satellite bugfix: a malformed header answers an error frame and
+    the connection keeps serving.
+
+    Pre-fix, a non-numeric ``timeout`` on ``result`` raised
+    ``ValueError`` from ``float(timeout)`` past the ``except PLDError``
+    guard in ``_handle`` and the daemon dropped the socket (the client
+    saw a ``TransportError``, not a typed error); a non-string ``op``
+    blew up ``getattr`` the same way.
+    """
+
+    def test_nonnumeric_result_timeout_is_bad_request(self, daemon):
+        with pytest.raises(ServiceError, match="bad 'timeout'") as exc:
+            daemon.call({"op": "result", "ticket": "t0001",
+                         "timeout": "soonish"})
+        assert exc.value.kind == "bad-request"
+        assert daemon.ping()["ok"]       # same socket still serves
+
+    def test_object_result_timeout_is_bad_request(self, daemon):
+        with pytest.raises(ServiceError) as exc:
+            daemon.call({"op": "result", "ticket": "t0001",
+                         "timeout": {"seconds": 5}})
+        assert exc.value.kind == "bad-request"
+        assert daemon.ping()["ok"]
+
+    def test_nonstring_op_is_bad_request(self, daemon):
+        with pytest.raises(ServiceError, match="unknown op"):
+            daemon.call({"op": 7})
+        assert daemon.ping()["ok"]
+
+    def test_submit_survives_hostile_field_barrage(self, daemon):
+        hostile = [
+            {"op": "submit"},                             # no app
+            {"op": "submit", "app": ["digit"]},           # non-string app
+            {"op": "submit", "app": APP, "effort": {"x": 1}},
+            {"op": "submit", "app": APP, "crash_at_step": "NaN"},
+            {"op": "submit", "app": APP, "deadline": "never"},
+            {"op": "submit", "app": APP, "flow": "o9"},
+        ]
+        for header in hostile:
+            with pytest.raises(ServiceError) as exc:
+                daemon.call(header)
+            assert exc.value.kind == "bad-request", header
+        # The connection survived the whole barrage and still compiles.
+        summary, manifest = daemon.compile(APP, effort=EFFORT,
+                                           timeout=120)
+        assert summary["ok"] and json.loads(manifest)
+
+
+class TestEventLoopOffload:
+    """Satellite bugfix: ``submit``/``status``/``stats`` run off-loop.
+
+    Pre-fix they called the service synchronously on the event loop —
+    submit takes service locks and writes lease/journal files, so one
+    slow disk stalled every connection, including ``ping``.
+    """
+
+    def test_blocked_submit_does_not_stall_ping(self, daemon,
+                                                monkeypatch):
+        entered = threading.Event()
+        release = threading.Event()
+        orig = CompileService.submit
+
+        def slow_submit(self, request):
+            entered.set()
+            release.wait(timeout=30)      # a stalled lease/store write
+            return orig(self, request)
+
+        monkeypatch.setattr(CompileService, "submit", slow_submit)
+        submitter = ServiceClient(daemon.host, daemon.port,
+                                  timeout=60.0)
+        try:
+            thread = threading.Thread(
+                target=lambda: submitter.submit(APP, effort=EFFORT),
+                daemon=True)
+            thread.start()
+            assert entered.wait(timeout=10)
+            start = time.monotonic()
+            assert daemon.ping()["ok"]
+            elapsed = time.monotonic() - start
+            release.set()
+            thread.join(timeout=30)
+            assert elapsed < 1.0, (
+                f"ping took {elapsed:.2f}s behind a stalled submit — "
+                f"the handler is back on the event loop")
+        finally:
+            release.set()
+            submitter.close()
+
+
+# ---------------------------------------------------------------------------
+# Direct ServeDaemon harness (custom service, fleet access)
+
+def _start_daemon(service, tokens=None, reconcile_interval=0.0):
+    """Run a :class:`ServeDaemon` over *service* on a thread's loop."""
+    holder = {}
+    ready = threading.Event()
+
+    def target():
+        async def main():
+            daemon = ServeDaemon(service, tokens=tokens,
+                                 reconcile_interval=reconcile_interval)
+            holder["daemon"] = daemon
+            holder["loop"] = asyncio.get_running_loop()
+            holder["addr"] = await daemon.start()
+            ready.set()
+            await daemon.serve_until_stopped()
+        asyncio.run(main())
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=30), "daemon never bound its socket"
+    holder["thread"] = thread
+    return holder
+
+
+def _stop_daemon(holder):
+    try:
+        holder["loop"].call_soon_threadsafe(
+            holder["daemon"].request_stop)
+    except RuntimeError:
+        pass                              # loop already gone
+    holder["thread"].join(timeout=30)
+    assert not holder["thread"].is_alive()
+
+
+class _TicketBoard:
+    """A minimal CompileService stand-in whose tickets complete only
+    when the test says so — makes waiter-vs-executor behaviour
+    observable and deterministic."""
+
+    def __init__(self, count):
+        self._lock = threading.Lock()
+        self._entries = {
+            f"t{i:04d}": {"done": False, "callbacks": []}
+            for i in range(count)}
+        self.store = None
+
+    @property
+    def tickets(self):
+        return sorted(self._entries)
+
+    def add_done_callback(self, ticket, fn):
+        with self._lock:
+            entry = self._entries[ticket]
+            if not entry["done"]:
+                entry["callbacks"].append(fn)
+                return
+        fn(None)
+
+    def complete(self, ticket):
+        with self._lock:
+            entry = self._entries[ticket]
+            entry["done"] = True
+            callbacks, entry["callbacks"] = entry["callbacks"], []
+        for fn in callbacks:
+            fn(None)
+
+    def result(self, ticket, timeout=None):
+        assert self._entries[ticket]["done"]
+        return RequestOutcome(ticket=ticket, kind="compile")
+
+    def status(self, ticket):
+        done = self._entries[ticket]["done"]
+        return {"state": "done" if done else "queued", "position": 0}
+
+    def stats(self):
+        return {}
+
+
+WAITERS = 72
+
+
+class TestResultWaiterScaling:
+    """Acceptance: ≥64 concurrent ``result`` waiters on one daemon.
+
+    Pre-fix, every waiter parked one default-executor thread inside
+    ``service.result()``; the executor caps at ``min(32, cpus + 4)``
+    threads, so waiter #33+ was not waiting on its ticket at all — it
+    was queued behind an executor slot held by another waiter, which
+    deadlocks whenever early tickets finish last.  Post-fix a waiter
+    costs one ``asyncio.Event`` (this test's registration poll watches
+    ``daemon.waiters`` reach 72, which the executor could never do).
+    """
+
+    def test_72_concurrent_waiters_complete(self):
+        board = _TicketBoard(WAITERS)
+        holder = _start_daemon(board)
+        host, port = holder["addr"]
+        daemon = holder["daemon"]
+        results = {}
+        errors = []
+
+        def wait_for(ticket):
+            client = ServiceClient(host, port, timeout=120.0)
+            try:
+                summary, _ = client.result(ticket, timeout=60)
+                results[ticket] = summary["ticket"]
+            except Exception as exc:           # noqa: BLE001
+                errors.append((ticket, exc))
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=wait_for, args=(t,),
+                                    daemon=True)
+                   for t in board.tickets]
+        try:
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 30
+            while daemon.waiters < WAITERS:
+                assert time.monotonic() < deadline, (
+                    f"only {daemon.waiters}/{WAITERS} waiters "
+                    f"registered — result is parking threads again")
+                time.sleep(0.01)
+            # Every waiter is parked, yet the loop's executor is idle:
+            # no thread-per-waiter.
+            executor_threads = [t for t in threading.enumerate()
+                                if t.name.startswith("asyncio_")]
+            assert len(executor_threads) < 10, (
+                f"{len(executor_threads)} executor threads while all "
+                f"waiters should cost only asyncio events")
+            # Finish in *reverse* arrival order — the ordering that
+            # starved under the thread-per-waiter scheme.
+            for ticket in reversed(board.tickets):
+                board.complete(ticket)
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not [t for t in threads if t.is_alive()]
+            assert not errors, errors[:3]
+            assert results == {t: t for t in board.tickets}
+            assert daemon.peak_waiters >= WAITERS
+        finally:
+            _stop_daemon(holder)
+
+
+SECRET = "open-sesame"
+
+
+@pytest.fixture()
+def auth_daemon(tmp_path):
+    """A daemon requiring a shared secret for tenant ``alice``."""
+    bound = {}
+    ready = threading.Event()
+
+    def on_ready(host, port):
+        bound["host"], bound["port"] = host, port
+        ready.set()
+
+    thread = threading.Thread(
+        target=serve,
+        args=(str(tmp_path / "state"),),
+        kwargs={"port": 0, "notify": None, "ready": on_ready,
+                "tokens": {"alice": SECRET}},
+        daemon=True)
+    thread.start()
+    assert ready.wait(timeout=30), "daemon never bound its socket"
+    client = ServiceClient(bound["host"], bound["port"], timeout=120.0)
+    yield client
+    try:
+        client.shutdown()
+    except (ServiceError, TransportError):
+        pass
+    client.close()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+class TestTenantAuth:
+    """Tentpole: per-tenant shared-secret auth on the submit header, so
+    quotas cannot be bypassed by lying about the tenant field."""
+
+    def test_ping_and_stats_need_no_token(self, auth_daemon):
+        assert auth_daemon.ping()["ok"]
+        assert auth_daemon.stats()["ok"]
+
+    def test_unauthenticated_submits_rejected(self, auth_daemon):
+        cases = [
+            dict(tenant="alice"),                  # no token at all
+            dict(tenant="alice", token="wrong"),   # bad secret
+            dict(tenant="alice", token=42),        # non-string secret
+            dict(tenant="mallory", token=SECRET),  # unprovisioned
+            dict(),                                # implied default tenant
+        ]
+        for fields in cases:
+            with pytest.raises(ServiceError) as exc:
+                auth_daemon.call(dict({"op": "submit", "app": APP},
+                                      **fields))
+            assert exc.value.kind == "auth", fields
+        # Nothing was enqueued by the rejected submits.
+        assert auth_daemon.stats()["tickets"] == 0
+
+    def test_good_token_compiles(self, auth_daemon):
+        client = ServiceClient(auth_daemon.host, auth_daemon.port,
+                               timeout=120.0, token=SECRET)
+        try:
+            summary, manifest = client.compile(
+                APP, effort=EFFORT, tenant="alice", timeout=120)
+            assert summary["ok"] and json.loads(manifest)
+        finally:
+            client.close()
+
+
+@pytest.fixture()
+def fleet():
+    """Three in-process shard servers; stopped on teardown."""
+    servers = [StoreServer(ArtifactStore(cache_dir=None)).start()
+               for _ in range(3)]
+    yield servers
+    for server in servers:
+        server.stop()
+
+
+def _fleet_service(tmp_path, urls, **overrides):
+    config = dict(cache_dir=str(tmp_path / "state"),
+                  store_urls=",".join(urls), shared=True, slots=2)
+    config.update(overrides)
+    return CompileService(ServiceConfig(**config))
+
+
+class TestFleetDaemon:
+    """Tentpole: the daemon fronting a shard fleet — shard health in
+    ``stats`` and the reconcile-on-close contract."""
+
+    def test_stats_reports_shard_health(self, tmp_path, fleet):
+        urls = [s.url for s in fleet]
+        service = _fleet_service(tmp_path, urls)
+        holder = _start_daemon(service)
+        try:
+            client = ServiceClient(*holder["addr"], timeout=30.0)
+            stats = client.stats()
+            assert stats["shards_up"] == 3
+            assert all(stats["shard_health"].values())
+            victim_url = fleet[0].url
+            fleet[0].stop()
+            stats = client.stats()
+            assert stats["shards_up"] == 2
+            assert stats["shard_health"][victim_url] is False
+            client.close()
+        finally:
+            _stop_daemon(holder)
+            service.close()
+
+    def test_graceful_stop_reconciles_and_closes_store(self, tmp_path,
+                                                       fleet):
+        """Satellite coverage: ``shutdown`` with a quarantined shard —
+        the daemon's close path drains the write-behind debt once the
+        shard heals, and the service close closes the sync client."""
+        urls = [s.url for s in fleet]
+        service = _fleet_service(tmp_path, urls)
+        store = service.store
+        store.breaker.cooldown_seconds = 0.2
+        # Background reconciler off: the *shutdown* path must drain.
+        holder = _start_daemon(service, reconcile_interval=0.0)
+        victim = fleet[0]
+        victim_url = victim.url
+        host, port = victim.address
+        victim.stop()
+        revived = None
+        try:
+            client = ServiceClient(*holder["addr"], timeout=120.0)
+            summary, manifest = client.compile(APP, effort=EFFORT,
+                                               timeout=120)
+            assert json.loads(manifest)      # degraded, not failed
+            with store._pending_lock:
+                owed = list(store.pending.get(victim_url, []))
+            assert owed, "no write-behind debt accrued to dead shard"
+            revived = StoreServer(ArtifactStore(cache_dir=None),
+                                  host=host, port=port).start()
+            time.sleep(0.3)                  # quarantine cooldown
+            client.shutdown()
+            client.close()
+            holder["thread"].join(timeout=30)
+            assert not holder["thread"].is_alive()
+            # The daemon's close-path reconcile settled the debt...
+            assert holder["daemon"].reconciled >= len(owed)
+            with store._pending_lock:
+                assert not store.pending.get(victim_url)
+            assert set(owed) <= set(revived.store.keys())
+            # ...and left the sync client to its owner, the service.
+            assert not store._closed
+            service.close()
+            assert store._closed
+        finally:
+            if revived is not None:
+                revived.stop()
+            _stop_daemon(holder)
+            service.close()
+
+
+def _spawn_daemon(state_dir, *extra):
     """Start ``pld serve`` as a real subprocess; returns (proc, port)."""
     env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
     proc = subprocess.Popen(
         [sys.executable, "-u", "-m", "repro.cli", "serve",
-         str(state_dir), "--port", "0"],
+         str(state_dir), "--port", "0", *extra],
         cwd=str(REPO), env=env, stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT, text=True)
     deadline = time.monotonic() + 60
@@ -189,4 +584,94 @@ class TestCrashResume:
             client.shutdown()
             client.close()
         finally:
-            assert proc.wait(timeout=30) == 0
+            assert _reap_daemon(proc) == 0
+
+
+def _reap_daemon(proc, timeout=30):
+    """Wait for a daemon subprocess; on timeout (e.g. an assertion
+    earlier in the test skipped the shutdown request) kill it so the
+    real failure surfaces instead of a TimeoutExpired in a finally."""
+    try:
+        return proc.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=10)
+        return None
+
+
+def _spawn_shard(state_dir):
+    """Start ``pld store serve`` as a real subprocess; returns
+    (process, url)."""
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", "store", "serve",
+         str(state_dir), "--port", "0"],
+        cwd=str(REPO), env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    line = proc.stdout.readline()
+    assert "serving" in line, f"shard failed to start: {line!r}"
+    return proc, line.rsplit(" on ", 1)[1].strip()
+
+
+@pytest.mark.slow
+class TestCrossDaemonMigration:
+    """Acceptance: a session SIGKILLed mid-build on daemon A resumes
+    bit-identically on daemon B over the shared shard fleet — the
+    same scenario the CI serve-fleet smoke job runs."""
+
+    def test_sigkill_daemon_a_resume_on_daemon_b(self, tmp_path):
+        shards, urls = [], []
+        try:
+            for i in range(3):
+                proc, url = _spawn_shard(tmp_path / f"shard{i}")
+                shards.append(proc)
+                urls.append(url)
+            store_arg = ("--store", ",".join(urls))
+
+            # Reference: the same session compiled on a never-crashed
+            # *storeless* daemon.  Manifests are deterministic, so it
+            # is still the bit-identity baseline — and the fleet stays
+            # cold, so daemon A's build below actually executes steps
+            # (a warm fleet would serve every step from the store and
+            # the crash plan would never fire).
+            proc, port = _spawn_daemon(tmp_path / "clean")
+            try:
+                client = ServiceClient("127.0.0.1", port, timeout=120.0)
+                _, reference = client.compile(
+                    APP, effort=EFFORT, session="dev", timeout=120)
+                client.shutdown()
+                client.close()
+            finally:
+                _reap_daemon(proc)
+
+            # Daemon A: SIGKILL itself mid-build via the hidden
+            # crash_at_step submit field.
+            proc, port = _spawn_daemon(tmp_path / "a", *store_arg)
+            client = ServiceClient("127.0.0.1", port, timeout=120.0)
+            ticket = client.submit(APP, effort=EFFORT, session="dev",
+                                   crash_at_step=3)
+            with pytest.raises((ServiceError, TransportError)):
+                client.result(ticket, timeout=120)
+            client.close()
+            assert proc.wait(timeout=60) in (-signal.SIGKILL, 137)
+
+            # Daemon B: a *different* state directory over the same
+            # fleet.  The published lease + journal let it adopt the
+            # interrupted session and resume to a bit-identical
+            # manifest.
+            proc, port = _spawn_daemon(tmp_path / "b", *store_arg)
+            try:
+                client = ServiceClient("127.0.0.1", port, timeout=120.0)
+                summary, manifest = client.compile(
+                    APP, effort=EFFORT, session="dev", timeout=120)
+                assert summary["resumed"] > 0, \
+                    "daemon B did not adopt the interrupted journal"
+                assert manifest == reference
+                client.shutdown()
+                client.close()
+            finally:
+                assert _reap_daemon(proc) == 0
+        finally:
+            for proc in shards:
+                proc.kill()
+                proc.wait(timeout=10)
