@@ -357,11 +357,30 @@ def cmd_serve(args) -> int:
             raise SystemExit(f"bad --token {spec!r} "
                              f"(want TENANT=SECRET)")
         tokens[tenant] = secret
+    rates = {}
+    for spec in args.rate or []:
+        tenant, sep, rate = spec.partition("=")
+        rate = rate[:-2] if rate.endswith("/s") else rate
+        try:
+            rates[tenant] = float(rate)
+        except ValueError:
+            rate = ""
+        if not tenant or not sep or not rate or rates[tenant] <= 0:
+            raise SystemExit(f"bad --rate {spec!r} (want TENANT=N/s)")
     return serve(args.state, host=args.host, port=args.port,
                  workers=args.workers, slots=args.slots,
                  quotas=quotas, default_quota=args.default_quota,
                  trace=args.trace, store_urls=args.store,
-                 tokens=tokens)
+                 tokens=tokens,
+                 max_queued=args.max_queued,
+                 max_queued_per_tenant=args.max_queued_per_tenant,
+                 rates=rates, default_rate=args.default_rate,
+                 brownout_high=args.brownout_high,
+                 brownout_low=args.brownout_low,
+                 hedge_quantile=args.hedge_quantile,
+                 peers=args.peer or [],
+                 max_connections=args.max_connections,
+                 frame_timeout=args.frame_timeout)
 
 
 def _service_client(args):
@@ -378,16 +397,57 @@ def _service_client(args):
 
 def cmd_submit(args) -> int:
     """Enqueue a compile/edit on a ``pld serve`` daemon."""
+    from repro.errors import ServiceError
+
     with _service_client(args) as client:
-        ticket = client.submit(
-            args.app, flow=args.flow, effort=args.effort,
-            tenant=args.tenant, session=args.session,
-            priority=args.priority, deadline=args.deadline,
-            cost=args.cost, edit_operator=args.edit_operator,
-            sim_engine=args.sim_engine,
-            crash_at_step=getattr(args, "crash_at_step", None))
+        try:
+            ticket = client.submit(
+                args.app, wait=getattr(args, "wait", None),
+                flow=args.flow, effort=args.effort,
+                tenant=args.tenant, session=args.session,
+                priority=args.priority, deadline=args.deadline,
+                cost=args.cost, edit_operator=args.edit_operator,
+                sim_engine=args.sim_engine,
+                crash_at_step=getattr(args, "crash_at_step", None))
+        except ServiceError as exc:
+            if exc.kind not in ("overloaded", "draining"):
+                raise
+            hints = []
+            if exc.retry_after:
+                hints.append(f"retry in ~{exc.retry_after:g}s "
+                             f"(or pass --wait to retry here)")
+            if exc.peers:
+                hints.append(f"peers: {', '.join(exc.peers)}")
+            suffix = f" — {'; '.join(hints)}" if hints else ""
+            raise SystemExit(f"{exc.kind}: {exc}{suffix}")
+        if client.retries:
+            print(f"admitted after {client.retries} overload "
+                  f"retry(ies)", flush=True)
     print(ticket)
     return 0
+
+
+def cmd_drain(args) -> int:
+    """Start a zero-downtime drain on a ``pld serve`` daemon."""
+    with _service_client(args) as client:
+        response = client.drain()
+    peers = response.get("peers") or []
+    suffix = f"; peers: {', '.join(peers)}" if peers else ""
+    print(f"draining: running builds finish, new submits answer "
+          f"kind=draining{suffix}")
+    return 0
+
+
+def cmd_health(args) -> int:
+    """Print a daemon's liveness/readiness; exit 1 when not ready."""
+    with _service_client(args) as client:
+        health = client.health()
+    print(f"live={health['live']} ready={health['ready']} "
+          f"draining={health['draining']} "
+          f"brownout={health['brownout']} "
+          f"queued={health['queued']} running={health['running']} "
+          f"connections={health['connections']}")
+    return 0 if health.get("ready") else 1
 
 
 def cmd_status(args) -> int:
@@ -618,6 +678,52 @@ def build_parser() -> argparse.ArgumentParser:
                          help="require this shared secret on submits "
                               "for TENANT (repeatable; any --token "
                               "switches auth on for all tenants)")
+    serve_p.add_argument("--max-queued", type=int, default=None,
+                         metavar="N",
+                         help="admission control: bound the queue at N "
+                              "requests; past 50%% of N batch-class "
+                              "submits shed, past 80%% interactive "
+                              "too (kind=overloaded + retry_after)")
+    serve_p.add_argument("--max-queued-per-tenant", type=int,
+                         default=None, metavar="N",
+                         help="per-tenant queued-request bound")
+    serve_p.add_argument("--rate", action="append",
+                         metavar="TENANT=N/s",
+                         help="token-bucket rate limit for one tenant "
+                              "(repeatable)")
+    serve_p.add_argument("--default-rate", type=float, default=None,
+                         metavar="N",
+                         help="requests/second for tenants without an "
+                              "explicit --rate")
+    serve_p.add_argument("--brownout-high", type=float, default=None,
+                         metavar="DEPTH",
+                         help="queue-depth EWMA above which brownout "
+                              "starts: new compiles route to -O0 and "
+                              "hedged retries pause (default 0.75 x "
+                              "--max-queued)")
+    serve_p.add_argument("--brownout-low", type=float, default=None,
+                         metavar="DEPTH",
+                         help="EWMA below which brownout ends "
+                              "(default half of --brownout-high)")
+    serve_p.add_argument("--hedge-quantile", type=float, default=None,
+                         metavar="Q",
+                         help="hedge store reads / o1 page jobs past "
+                              "this latency quantile (disabled during "
+                              "brownout)")
+    serve_p.add_argument("--peer", action="append",
+                         metavar="HOST:PORT",
+                         help="peer daemon suggested to clients when "
+                              "this one is draining (repeatable)")
+    serve_p.add_argument("--max-connections", type=int, default=None,
+                         metavar="N",
+                         help="concurrent-connection cap; excess "
+                              "connections get one overloaded error "
+                              "frame and are closed")
+    serve_p.add_argument("--frame-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-frame read/write budget once a "
+                              "frame starts (slow-loris guard; idle "
+                              "keep-alives are unaffected)")
 
     submit_p = sub.add_parser(
         "submit", help="enqueue a compile on a pld serve daemon; "
@@ -655,6 +761,25 @@ def build_parser() -> argparse.ArgumentParser:
                                "instead of a compile (needs --session)")
     submit_p.add_argument("--crash-at-step", type=int, default=None,
                           help=argparse.SUPPRESS)
+    submit_p.add_argument("--wait", type=float, nargs="?",
+                          const=60.0, default=None, metavar="SECONDS",
+                          help="on an overloaded/draining rejection, "
+                               "back off by the server's retry_after "
+                               "hint (plus jitter) and retry for up "
+                               "to this long (default 60)")
+
+    drain_p = sub.add_parser(
+        "drain", help="zero-downtime stop of a pld serve daemon: new "
+                      "submits bounce to peers, running builds "
+                      "finish, sessions republish, then it exits")
+    drain_p.add_argument("--server", default=DEFAULT_SERVER,
+                         metavar="HOST:PORT")
+
+    health_p = sub.add_parser(
+        "health", help="daemon liveness/readiness (ready=false while "
+                       "draining)")
+    health_p.add_argument("--server", default=DEFAULT_SERVER,
+                          metavar="HOST:PORT")
 
     status_p = sub.add_parser(
         "status", help="queue state of a submitted ticket")
@@ -733,6 +858,8 @@ def main(argv: Optional[list] = None) -> int:
         "floorplan": cmd_floorplan,
         "serve": cmd_serve,
         "submit": cmd_submit,
+        "drain": cmd_drain,
+        "health": cmd_health,
         "status": cmd_status,
         "result": cmd_result,
         "bench": cmd_bench,

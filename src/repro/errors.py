@@ -145,9 +145,35 @@ class ServiceError(PLDError):
     expiries vs. plain failures.
     """
 
-    def __init__(self, message: str, *, kind: str = ""):
+    def __init__(self, message: str, *, kind: str = "",
+                 retry_after: float = None, peers: tuple = ()):
         super().__init__(message)
         self.kind = kind
+        #: Server-computed backoff hint in seconds (set on overload /
+        #: draining rejections; clients add their own jitter).
+        self.retry_after = retry_after
+        #: Alternate daemon addresses a draining server suggests.
+        self.peers = tuple(peers)
+
+
+class OverloadedError(ServiceError):
+    """The service shed this request to protect itself.
+
+    Raised at *submit* — before the scheduler ever sees the request —
+    when admission control rejects it: the global or per-tenant queue
+    bound is exceeded, the tenant's token-bucket rate limit is dry, or
+    a shed watermark was crossed for the request's priority class
+    (``batch`` sheds first, ``interactive`` next, ``deadline`` last).
+    ``retry_after`` is the server's drain estimate; well-behaved
+    clients (``pld submit --wait``) back off by it plus jitter.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0,
+                 reason: str = "", kind: str = "overloaded"):
+        super().__init__(message, kind=kind, retry_after=retry_after)
+        #: What tripped: "queue-full" | "tenant-queue-full" |
+        #: "rate-limit" | "shed-batch" | "shed-interactive" | ...
+        self.reason = reason
 
 
 class DeadlineExceeded(PLDError):

@@ -18,7 +18,10 @@ per-domain injector at its natural decision points:
   mismatch, bounded retries);
 * :meth:`FaultPlan.dma_faults` → ``DMAEngine`` (bounded retries);
 * :meth:`FaultPlan.softcore_faults` → ``PicoRV32`` (watchdog restart
-  from the loaded image on injected traps).
+  from the loaded image on injected traps);
+* :meth:`FaultPlan.overload_faults` → the serve-daemon chaos tests
+  (a deterministic submit flood that drives admission control past
+  its watermarks; the service sheds, brownouts and recovers).
 
 Every injected fault lands in :attr:`FaultPlan.log`;
 :func:`repro.core.reports.format_failure_report` renders the log plus
@@ -34,6 +37,7 @@ from repro.faults.plan import (
     FaultPlan,
     InjectedCrash,
     NoCFaultInjector,
+    OverloadFaultInjector,
     SoftcoreFaultInjector,
     TransportFaultInjector,
 )
@@ -47,6 +51,7 @@ __all__ = [
     "NoCFaultInjector",
     "BitstreamFaultInjector",
     "DMAFaultInjector",
+    "OverloadFaultInjector",
     "SoftcoreFaultInjector",
     "TransportFaultInjector",
 ]

@@ -150,6 +150,16 @@ class FaultPlan:
             unlike the rate faults it never heals on retry, which is
             what forces the client through breaker quarantine into
             degraded mode.
+        overload_bursts: number of submit-flood bursts the overload
+            injector generates (0 = overload domain off).
+        overload_burst_size: requests per burst.
+        overload_tenants: tenant names the flood draws from (defaults
+            to ``("flood",)``).
+        overload_deadline_fraction: probability a flood request is
+            deadline-class; the rest split batch/interactive by a
+            further draw.  Everything — tenant, class, cost — is a pure
+            function of ``(seed, burst, index)``, so a chaos test's
+            flood replays identically.
     """
 
     def __init__(self, seed: int, *,
@@ -168,7 +178,11 @@ class FaultPlan:
                  transport_corrupt_rate: float = 0.0,
                  transport_half_close_rate: float = 0.0,
                  kill_shards: Union[Iterable[str],
-                                    Mapping[str, int]] = ()):
+                                    Mapping[str, int]] = (),
+                 overload_bursts: int = 0,
+                 overload_burst_size: int = 8,
+                 overload_tenants: Iterable[str] = ("flood",),
+                 overload_deadline_fraction: float = 0.0):
         rates = {
             "compile_fail_rate": compile_fail_rate,
             "compile_timeout_rate": compile_timeout_rate,
@@ -187,6 +201,13 @@ class FaultPlan:
         for name, rate in rates.items():
             if not (0.0 <= rate <= 1.0):
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if not (0.0 <= overload_deadline_fraction <= 1.0):
+            raise ValueError(
+                f"overload_deadline_fraction must be in [0, 1], got "
+                f"{overload_deadline_fraction}")
+        if overload_bursts < 0 or overload_burst_size < 1:
+            raise ValueError("overload_bursts must be >= 0 and "
+                             "overload_burst_size >= 1")
         self.seed = int(seed)
         self.kill_jobs = frozenset(kill_jobs)
         self.compile_fail_rate = compile_fail_rate
@@ -208,6 +229,10 @@ class FaultPlan:
                 for shard, index in kill_shards.items()}
         else:
             self.kill_shards = {str(shard): 0 for shard in kill_shards}
+        self.overload_bursts = int(overload_bursts)
+        self.overload_burst_size = int(overload_burst_size)
+        self.overload_tenants = tuple(overload_tenants) or ("flood",)
+        self.overload_deadline_fraction = overload_deadline_fraction
         self.log: List[FaultEvent] = []
 
     def record(self, domain: str, kind: str, target: str,
@@ -240,6 +265,13 @@ class FaultPlan:
 
     def transport_faults(self) -> "TransportFaultInjector":
         return TransportFaultInjector(self)
+
+    def overload_faults(self) -> "OverloadFaultInjector":
+        return OverloadFaultInjector(self)
+
+    @property
+    def any_overload_faults(self) -> bool:
+        return self.overload_bursts > 0
 
     @property
     def any_transport_faults(self) -> bool:
@@ -478,3 +510,68 @@ class TransportFaultInjector:
         """Deterministic stall for a ``"delay"`` outcome (never zero)."""
         frac = _draw(self.plan.seed, "transport", "stall", shard, index)
         return self.MAX_DELAY_SECONDS * (0.2 + 0.8 * frac)
+
+
+class OverloadFaultInjector:
+    """Generates a deterministic submit flood (the overload domain).
+
+    Chaos tests point this at a daemon (or an in-process
+    :class:`~repro.service.CompileService`) to drive it past its
+    admission watermarks: :meth:`burst` yields ``(tenant, priority,
+    cost)`` tuples that are a pure function of ``(seed, burst,
+    index)``, so the exact shed/admit split replays on every run.
+    The injector only *describes* the flood — the caller owns the
+    submission (sync, async, threaded) and records what came back via
+    :meth:`record_shed` / :meth:`record_admitted`.
+    """
+
+    #: A flood request's scheduler cost is 1..MAX_COST.
+    MAX_COST = 2
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.shed = 0
+        self.admitted = 0
+
+    def request(self, burst: int, index: int
+                ) -> Tuple[str, str, int]:
+        """The ``(tenant, priority, cost)`` of one flood request."""
+        plan = self.plan
+        tenants = plan.overload_tenants
+        tenant = tenants[int(_draw(plan.seed, "overload", "tenant",
+                                   burst, index) * len(tenants))
+                         % len(tenants)]
+        roll = _draw(plan.seed, "overload", "class", burst, index)
+        if roll < plan.overload_deadline_fraction:
+            priority = "deadline"
+        elif _draw(plan.seed, "overload", "batch", burst, index) < 0.5:
+            priority = "batch"
+        else:
+            priority = "interactive"
+        cost = 1 + int(_draw(plan.seed, "overload", "cost", burst,
+                             index) * self.MAX_COST) % self.MAX_COST
+        return tenant, priority, cost
+
+    def burst(self, burst: int) -> List[Tuple[str, str, int]]:
+        """All requests of burst ``burst`` (0-based), in order."""
+        if not (0 <= burst < self.plan.overload_bursts):
+            raise ValueError(
+                f"burst must be in [0, {self.plan.overload_bursts}), "
+                f"got {burst}")
+        return [self.request(burst, i)
+                for i in range(self.plan.overload_burst_size)]
+
+    def bursts(self) -> List[List[Tuple[str, str, int]]]:
+        """The whole flood, burst by burst."""
+        return [self.burst(b)
+                for b in range(self.plan.overload_bursts)]
+
+    def record_shed(self, tenant: str, reason: str,
+                    burst: int, index: int) -> None:
+        self.shed += 1
+        self.plan.record("overload", f"shed:{reason}", tenant,
+                         f"burst {burst} request {index}")
+
+    def record_admitted(self, tenant: str, burst: int,
+                        index: int) -> None:
+        self.admitted += 1

@@ -427,6 +427,124 @@ def bench_serve_loadgen(quick: bool = False,
     }
 
 
+def bench_serve_overload(quick: bool = False,
+                         registry: Optional[PerfRegistry] = None):
+    """A deterministic submit flood against a bounded daemon.
+
+    One ``pld serve`` daemon with a single slot and a small
+    ``--max-queued`` takes a burst flood from the fault plan's
+    overload injector (pure function of the seed, so the admit/shed
+    split replays).  Reports the shed rate, the p99 client-observed
+    latency of the *admitted* requests, and whether every admitted
+    deadline-class request completed — the load-shedding contract:
+    under flood, cheap work sheds so important work stays fast.
+    """
+    import statistics
+    import threading
+
+    from repro.errors import OverloadedError
+    from repro.faults import FaultPlan
+    from repro.service.client import ServiceClient
+    from repro.service.daemon import serve
+
+    registry = registry if registry is not None else PerfRegistry()
+    bursts = 2 if quick else 4
+    burst_size = 8 if quick else 16
+    max_queued = 4 if quick else 8
+    effort = 0.05
+    app_name = "digit-recognition"
+
+    plan = FaultPlan(7, overload_bursts=bursts,
+                     overload_burst_size=burst_size,
+                     overload_tenants=("flood-a", "flood-b"),
+                     overload_deadline_fraction=0.25)
+    injector = plan.overload_faults()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        address = {}
+        ready = threading.Event()
+        with registry.timer("setup"):
+            server = threading.Thread(
+                target=serve,
+                kwargs=dict(cache_dir=tmp, workers=None, slots=1,
+                            max_queued=max_queued, notify=None,
+                            ready=lambda h, p: (
+                                address.update(host=h, port=p),
+                                ready.set())),
+                daemon=True)
+            server.start()
+            if not ready.wait(timeout=30):
+                raise RuntimeError("pld serve did not come up")
+
+        admitted: List[Dict] = []
+        retry_afters: List[float] = []
+        with registry.timer("flood"), \
+                ServiceClient(address["host"],
+                              address["port"]) as client:
+            flood_wall, _ = _timed(lambda: None)
+            start_flood = time.perf_counter()
+            for b in range(bursts):
+                for i, (tenant, priority, cost) in \
+                        enumerate(injector.burst(b)):
+                    fields = dict(flow="o0", effort=effort,
+                                  tenant=tenant, cost=cost)
+                    if priority == "deadline":
+                        fields["deadline"] = 120.0
+                    else:
+                        fields["priority"] = priority
+                    t0 = time.perf_counter()
+                    try:
+                        ticket = client.submit(app_name, **fields)
+                    except OverloadedError as exc:
+                        injector.record_shed(tenant, exc.reason, b, i)
+                        if exc.retry_after:
+                            retry_afters.append(exc.retry_after)
+                        continue
+                    injector.record_admitted(tenant, b, i)
+                    admitted.append({"ticket": ticket,
+                                     "priority": priority,
+                                     "submitted": t0})
+            # Collect every admitted result; latency is client-observed
+            # submit→done wall (queueing included — that is the point).
+            latencies = []
+            deadline_done = 0
+            deadline_total = 0
+            for entry in admitted:
+                summary, _ = client.result(entry["ticket"],
+                                           timeout=300)
+                latencies.append(time.perf_counter()
+                                 - entry["submitted"])
+                if entry["priority"] == "deadline":
+                    deadline_total += 1
+                    deadline_done += 1 if summary.get("ok") else 0
+            flood_wall = time.perf_counter() - start_flood
+            stats = client.stats()
+            client.shutdown()
+        server.join(timeout=30)
+
+    flood = bursts * burst_size
+    registry.count("flood_submits", flood)
+    registry.count("shed", injector.shed)
+    ordered = sorted(latencies) or [0.0]
+    p99 = ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+    counters = stats["admission"]["counters"]
+    return flood_wall, {
+        "flood_submits": flood,
+        "admitted": injector.admitted,
+        "shed": injector.shed,
+        "shed_rate": round(injector.shed / flood, 4),
+        "admitted_p50_ms": round(
+            statistics.median(ordered) * 1e3, 1),
+        "admitted_p99_ms": round(p99 * 1e3, 1),
+        "mean_retry_after_s": round(
+            statistics.mean(retry_afters), 3) if retry_afters else 0.0,
+        "deadline_admitted": deadline_total,
+        "deadline_completed": deadline_done,
+        "shed_batch": counters.get("shed_batch", 0),
+        "shed_interactive": counters.get("shed_interactive", 0),
+    }
+
+
 def bench_scaling(quick: bool = False,
                   registry: Optional[PerfRegistry] = None):
     """Big-device end-to-end: -O1 on a scaled multi-SLR overlay.
@@ -644,6 +762,7 @@ SUITES: Dict[str, Callable] = {
     "incremental_edit": bench_incremental,
     "store_sharded": bench_store_sharded,
     "serve_loadgen": bench_serve_loadgen,
+    "serve_overload": bench_serve_overload,
     "scaling": bench_scaling,
 }
 

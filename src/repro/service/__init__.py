@@ -4,7 +4,10 @@
 CLI — engine/store/tracer wiring, journals, teardown — into
 :class:`CompileService`, then puts two thin frontends over it: the
 ``pld`` CLI calls it in-process, and the ``pld serve`` daemon exposes
-it over TCP to many tenants at once (see DESIGN.md §13).
+it over TCP to many tenants at once (see DESIGN.md §13).  The
+:mod:`~repro.service.overload` layer keeps the daemon alive under a
+tenant flood: admission control, class-aware shedding, brownout and
+zero-downtime drain (DESIGN.md §16).
 """
 
 from repro.service.core import (
@@ -13,6 +16,12 @@ from repro.service.core import (
     RequestOutcome,
     ServiceConfig,
     dedup_summary,
+)
+from repro.service.overload import (
+    SHED_BATCH_FRACTION,
+    SHED_INTERACTIVE_FRACTION,
+    AdmissionController,
+    TokenBucket,
 )
 from repro.service.scheduler import (
     AGING_ROUNDS,
@@ -24,13 +33,17 @@ from repro.service.client import ServiceClient
 
 __all__ = [
     "AGING_ROUNDS",
+    "AdmissionController",
     "CompileRequest",
     "CompileService",
     "PRIORITY_CLASSES",
     "RequestOutcome",
     "RequestScheduler",
+    "SHED_BATCH_FRACTION",
+    "SHED_INTERACTIVE_FRACTION",
     "ScheduledRequest",
     "ServiceClient",
     "ServiceConfig",
+    "TokenBucket",
     "dedup_summary",
 ]

@@ -12,13 +12,19 @@ expiry (``kind == "deadline"``) from a rejected request.
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from typing import Any, Dict, Optional, Tuple
 
-from repro.errors import ServiceError, TransportError
+from repro.errors import OverloadedError, ServiceError, TransportError
 from repro.store.remote.framing import recv_frame, send_frame
 
 DEFAULT_TIMEOUT = 30.0
+#: Default total budget (seconds) for ``submit(..., wait=True)``.
+DEFAULT_SUBMIT_WAIT = 60.0
+#: Backoff used when an overload rejection carries no ``retry_after``.
+FALLBACK_RETRY_AFTER = 0.5
 
 
 class ServiceClient:
@@ -37,11 +43,19 @@ class ServiceClient:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  timeout: float = DEFAULT_TIMEOUT,
-                 token: Optional[str] = None):
+                 token: Optional[str] = None,
+                 rng: Optional[random.Random] = None,
+                 sleep=time.sleep):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.token = token
+        #: Jitter source and sleep for overload backoff — injectable so
+        #: tests exercise the retry loop deterministically and instantly.
+        self.rng = rng if rng is not None else random.Random()
+        self.sleep = sleep
+        #: Overload rejections retried by the last waiting submit.
+        self.retries = 0
         self._sock: Optional[socket.socket] = None
 
     # -- transport -----------------------------------------------------------
@@ -74,9 +88,20 @@ class ServiceClient:
             self.close()
             raise
         if not response.get("ok", False):
+            kind = str(response.get("kind", ""))
+            message = response.get("error", "service request failed")
+            retry_after = response.get("retry_after")
+            if kind == "overloaded":
+                raise OverloadedError(
+                    message,
+                    retry_after=float(retry_after)
+                    if retry_after is not None else 0.0,
+                    reason=str(response.get("reason", "")))
             raise ServiceError(
-                response.get("error", "service request failed"),
-                kind=str(response.get("kind", "")))
+                message, kind=kind,
+                retry_after=float(retry_after)
+                if retry_after is not None else None,
+                peers=tuple(response.get("peers", ()) or ()))
         return response, payload
 
     # -- verbs ---------------------------------------------------------------
@@ -85,15 +110,41 @@ class ServiceClient:
         response, _ = self.call({"op": "ping"})
         return response
 
-    def submit(self, app: str, **fields) -> str:
-        """Enqueue a compile/edit; returns the ticket id."""
+    def submit(self, app: str, wait: Optional[float] = None,
+               **fields) -> str:
+        """Enqueue a compile/edit; returns the ticket id.
+
+        ``wait`` is the well-behaved-client knob (``pld submit
+        --wait``): on an ``overloaded``/``draining`` rejection, back
+        off by the server's ``retry_after`` hint plus up to the hint
+        again in jitter (so a shed thundering herd de-synchronizes)
+        and retry, up to ``wait`` total seconds.  ``wait=True`` means
+        :data:`DEFAULT_SUBMIT_WAIT`; ``None``/``0`` raises immediately
+        (the pre-overload behaviour).
+        """
         header = {"op": "submit", "app": app}
         if self.token is not None:
             header["token"] = self.token
         header.update({k: v for k, v in fields.items()
                        if v is not None})
-        response, _ = self.call(header)
-        return str(response["ticket"])
+        if wait is True:
+            wait = DEFAULT_SUBMIT_WAIT
+        budget = float(wait) if wait else 0.0
+        self.retries = 0
+        while True:
+            try:
+                response, _ = self.call(dict(header))
+                return str(response["ticket"])
+            except ServiceError as exc:
+                if exc.kind not in ("overloaded", "draining"):
+                    raise
+                hint = exc.retry_after or FALLBACK_RETRY_AFTER
+                delay = hint * (1.0 + self.rng.random())
+                if delay > budget:
+                    raise
+                budget -= delay
+                self.retries += 1
+                self.sleep(delay)
 
     def status(self, ticket: str) -> Dict[str, Any]:
         response, _ = self.call({"op": "status", "ticket": ticket})
@@ -125,6 +176,16 @@ class ServiceClient:
 
     def stats(self) -> Dict[str, Any]:
         response, _ = self.call({"op": "stats"})
+        return response
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness + readiness (``ready`` is False while draining)."""
+        response, _ = self.call({"op": "health"})
+        return response
+
+    def drain(self) -> Dict[str, Any]:
+        """Start a zero-downtime drain; returns peer hints."""
+        response, _ = self.call({"op": "drain"})
         return response
 
     def shutdown(self) -> Dict[str, Any]:

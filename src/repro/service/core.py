@@ -38,7 +38,7 @@ import socket
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ServiceError, StoreError
@@ -49,6 +49,7 @@ from repro.core import (
     touch_spec,
 )
 from repro.core.flows import FLOWS
+from repro.service.overload import AdmissionController
 from repro.service.scheduler import RequestScheduler
 from repro.trace import NULL_TRACER
 
@@ -111,6 +112,8 @@ class RequestOutcome:
     wall_seconds: float = 0.0
     tenant: str = "default"
     session: Optional[str] = None
+    #: True when brownout rerouted this compile to the -O0 path.
+    brownout: bool = False
 
 
 def dedup_summary(record) -> Dict[str, float]:
@@ -151,6 +154,11 @@ class Ticket:
         self.submitted = time.monotonic()
         self.started: Optional[float] = None
         self.finished: Optional[float] = None
+        #: Set once result() handed the outcome to a caller — such
+        #: tickets are the first the GC evicts under count pressure.
+        self.delivered = False
+        #: Brownout rerouted this request's flow to -O0 at submit.
+        self.brownout = False
 
 
 @dataclass
@@ -181,6 +189,30 @@ class ServiceConfig:
     #: Stable identity for lease-epoch fencing across daemons sharing
     #: a store fleet; defaults to ``host:pid``.
     daemon_id: Optional[str] = None
+    # -- overload protection (all off by default: None = unbounded,
+    # -- the pre-admission-control behaviour) --------------------------
+    #: Global bound on queued (not yet running) requests.
+    max_queued: Optional[int] = None
+    #: Per-tenant bound on queued requests.
+    max_queued_per_tenant: Optional[int] = None
+    #: Per-tenant token-bucket rates, requests/second (``--rate``).
+    rates: Dict[str, float] = field(default_factory=dict)
+    #: Rate for tenants without an explicit entry (None = unlimited).
+    default_rate: Optional[float] = None
+    #: Queue-depth EWMA watermarks for brownout enter/exit; defaults
+    #: derive from ``max_queued`` (see :mod:`repro.service.overload`).
+    brownout_high: Optional[float] = None
+    brownout_low: Optional[float] = None
+    #: Hedged-retry quantile for the shared store and o1 page-compile
+    #: cluster; brownout disables it until the EWMA recovers.
+    hedge_quantile: Optional[float] = None
+    #: Peer daemon addresses suggested to clients on drain rejections.
+    peers: List[str] = field(default_factory=list)
+    #: Finished-ticket GC: evict tickets this long after they finish.
+    ticket_ttl: Optional[float] = 900.0
+    #: Finished-ticket GC: hard cap on retained tickets (delivered
+    #: results evict first, queued/running never).
+    max_tickets: Optional[int] = 4096
 
 
 class _SessionState:
@@ -219,6 +251,19 @@ class CompileService:
             total_workers=max(1, self.config.slots),
             default_quota=self.config.default_quota,
             quotas=self.config.quotas)
+        self.admission = AdmissionController(
+            max_queued=self.config.max_queued,
+            max_queued_per_tenant=self.config.max_queued_per_tenant,
+            rates=self.config.rates,
+            default_rate=self.config.default_rate,
+            slots=max(1, self.config.slots),
+            brownout_high=self.config.brownout_high,
+            brownout_low=self.config.brownout_low,
+            on_brownout=self._on_brownout,
+            tracer=self.tracer)
+        self._admit_lock = threading.Lock()
+        self._draining = False
+        self.peers: List[str] = list(self.config.peers)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._tickets: Dict[str, Ticket] = {}
         self._by_seq: Dict[int, Ticket] = {}
@@ -249,9 +294,10 @@ class CompileService:
         if self.config.store_urls:
             from repro.store.remote import ShardedStoreClient
             fallback = ArtifactStore(cache_dir=self.config.cache_dir)
-            return ShardedStoreClient(self.config.store_urls,
-                                      fallback=fallback,
-                                      tracer=self.tracer)
+            return ShardedStoreClient(
+                self.config.store_urls, fallback=fallback,
+                hedge_quantile=self.config.hedge_quantile,
+                tracer=self.tracer)
         return ArtifactStore(cache_dir=self.config.cache_dir)
 
     def _shared_pool(self) -> Optional[ProcessPoolExecutor]:
@@ -334,7 +380,17 @@ class CompileService:
                 raise ServiceError(
                     f"unknown sim engine {sim_engine!r}; choose from "
                     f"{list(ENGINES)}", kind="bad-request")
-        return cls(effort=effort, sim_engine=sim_engine)
+        kwargs: Dict[str, Any] = {"effort": effort,
+                                  "sim_engine": sim_engine}
+        # Hedged page-compile retries for the o1 cluster — but not
+        # during brownout, when speculation is the wrong spend.
+        if name in ("o0", "o1") \
+                and self.config.hedge_quantile is not None \
+                and not self.admission.brownout:
+            from repro.core.cluster import CompileCluster
+            kwargs["cluster"] = CompileCluster(
+                hedge_quantile=self.config.hedge_quantile)
+        return cls(**kwargs)
 
     def open_session(self, effort: float = 0.3, cache_dir=None,
                      store_urls=None, tracer=None) -> IncrementalSession:
@@ -579,29 +635,96 @@ class CompileService:
     # -- the request lifecycle ----------------------------------------------
 
     def submit(self, request: CompileRequest) -> str:
-        """Enqueue a request; returns its ticket id immediately."""
+        """Enqueue a request; returns its ticket id immediately.
+
+        Admission control runs here, *before* the scheduler ever sees
+        the request: bounded queue depths, per-tenant rate limits and
+        class-aware shedding reject with
+        :class:`~repro.errors.OverloadedError` (``kind="overloaded"``,
+        ``retry_after`` drain estimate).  A draining service rejects
+        everything with ``kind="draining"`` plus peer hints.  During
+        brownout, new one-shot compiles reroute to the -O0 degradation
+        path (seconds of work instead of minutes).
+        """
         if self._closed or self._stopping:
             raise ServiceError("service is shut down", kind="closed")
+        if self._draining:
+            raise ServiceError(
+                "daemon is draining; resubmit to a peer",
+                kind="draining", retry_after=1.0,
+                peers=tuple(self.peers))
         if request.flow not in FLOWS:
             raise ServiceError(f"unknown flow {request.flow!r}; choose "
                                f"from {sorted(FLOWS)}", kind="bad-request")
         deadline_at = None
         if request.deadline is not None:
             deadline_at = time.monotonic() + float(request.deadline)
-        entry = self.scheduler.submit(
-            request.tenant, cost=request.cost,
-            priority=request.priority, deadline_at=deadline_at)
+        # A deadline promotes the request into the deadline scheduling
+        # class (scheduler behaviour); shed decisions must agree.
+        shed_class = "deadline" if deadline_at is not None \
+            else request.priority
+        brownout = False
+        # One lock around sample-depths → admit → enqueue: a barrage of
+        # concurrent submits must not all sample the same (stale) depth
+        # and overshoot the bound.
+        with self._admit_lock:
+            queued, per_tenant = self.scheduler.queued_counts()
+            self.admission.admit(
+                request.tenant, priority=shed_class, queued=queued,
+                queued_tenant=per_tenant.get(request.tenant, 0))
+            if self.admission.brownout and request.session is None \
+                    and request.edit_operator is None \
+                    and request.flow in ("o1", "o3"):
+                request = replace(request, flow="o0")
+                brownout = True
+                self.admission.note_routed()
+            entry = self.scheduler.submit(
+                request.tenant, cost=request.cost,
+                priority=request.priority, deadline_at=deadline_at)
         with self._lock:
             self._counter += 1
             ticket = Ticket(f"t{self._counter:04d}", request, entry.seq)
+            ticket.brownout = brownout
             self._tickets[ticket.id] = ticket
             self._by_seq[entry.seq] = ticket
             self._wake.notify_all()
+        self._gc_tickets()
         self.tracer.instant(f"submit:{ticket.id}", category="service",
                             lane=f"tenant:{request.tenant}",
                             app=request.app, flow=request.flow,
-                            session=request.session or "")
+                            session=request.session or "",
+                            brownout=brownout)
         return ticket.id
+
+    def _gc_tickets(self) -> None:
+        """Evict finished tickets so the registry stays bounded.
+
+        Two policies compose: a TTL on finished tickets (an abandoned
+        result eventually goes away even if nobody collects it) and a
+        hard count cap, under which delivered results evict first,
+        then oldest-finished.  Queued/running tickets never evict.
+        """
+        ttl = self.config.ticket_ttl
+        cap = self.config.max_tickets
+        if ttl is None and cap is None:
+            return
+        now = time.monotonic()
+        with self._lock:
+            finished = [t for t in self._tickets.values()
+                        if t.finished is not None]
+            doomed = [t for t in finished
+                      if ttl is not None and now - t.finished >= ttl]
+            if cap is not None \
+                    and len(self._tickets) - len(doomed) > cap:
+                doomed_ids = {t.id for t in doomed}
+                spare = [t for t in finished
+                         if t.id not in doomed_ids]
+                spare.sort(key=lambda t: (not t.delivered, t.finished))
+                excess = len(self._tickets) - len(doomed) - cap
+                doomed.extend(spare[:excess])
+            for t in doomed:
+                self._tickets.pop(t.id, None)
+                self._by_seq.pop(t.sched_seq, None)
 
     def _ticket(self, ticket_id: str) -> Ticket:
         with self._lock:
@@ -639,6 +762,22 @@ class CompileService:
                 return
         fn(ticket)
 
+    def remove_done_callback(self, ticket_id: str,
+                             fn: Callable[[Ticket], None]) -> bool:
+        """Unregister a pending done-callback (client disconnected
+        before its ticket finished).  False when the callback already
+        fired, was never registered, or the ticket is gone — all fine:
+        the caller only cares that it will not be invoked later."""
+        with self._lock:
+            ticket = self._tickets.get(ticket_id)
+            if ticket is None:
+                return False
+            try:
+                ticket.callbacks.remove(fn)
+                return True
+            except ValueError:
+                return False
+
     def result(self, ticket_id: str,
                timeout: Optional[float] = None) -> RequestOutcome:
         """Block until the request finishes; re-raise its failure."""
@@ -647,6 +786,8 @@ class CompileService:
             raise ServiceError(
                 f"request {ticket_id} still {ticket.state} after "
                 f"{timeout:g}s", kind="timeout")
+        ticket.delivered = True
+        self._gc_tickets()
         if ticket.error is not None:
             raise ticket.error
         assert ticket.outcome is not None
@@ -695,6 +836,11 @@ class CompileService:
         finally:
             ticket.finished = time.monotonic()
             self.scheduler.release(ticket.sched_seq)
+            if ticket.started is not None:
+                self.admission.note_done(ticket.finished - ticket.started)
+            # Feed the post-release queue depth to the brownout EWMA so
+            # it decays — and brownout exits — as the backlog drains.
+            self.admission.observe(self.scheduler.queued_counts()[0])
             with self._lock:
                 self._active = [t for t in self._active
                                 if t is not threading.current_thread()]
@@ -730,6 +876,7 @@ class CompileService:
             else:
                 outcome = self._execute_oneshot(ticket)
         outcome.wall_seconds = time.perf_counter() - start
+        outcome.brownout = ticket.brownout
         self._charge(req.tenant, outcome)
         return outcome
 
@@ -839,6 +986,56 @@ class CompileService:
             resumed=list(result.build.resumed),
             tenant=req.tenant, session=state.name)
 
+    # -- overload / drain -----------------------------------------------------
+
+    def _on_brownout(self, active: bool) -> None:
+        """Brownout transition hook: hedged retries are speculation,
+        and speculation is the wrong spend when the pool is already
+        saturated — disable store-read hedging on enter, restore the
+        configured quantile on exit.  (Cluster-job hedging is decided
+        per flow in :meth:`make_flow`, which checks the live brownout
+        flag.)"""
+        store = self.store
+        if store is not None and hasattr(store, "hedge_quantile"):
+            store.hedge_quantile = None if active \
+                else self.config.hedge_quantile
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Flip to draining: new submits reject with ``kind="draining"``
+        (plus peer hints); queued and running work continues.  Pair
+        with :meth:`wait_idle` then :meth:`close` for a zero-downtime
+        handoff — close republishes every session lease so a peer
+        adopts them."""
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+        self.tracer.instant("drain:begin", category="service",
+                            lane="service")
+        self._notify("draining: rejecting new submits, finishing "
+                     "running builds")
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until nothing is queued or running (True), or the
+        timeout passes (False)."""
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        while True:
+            if self._closed:
+                return False
+            s = self.scheduler.stats()
+            with self._lock:
+                active = len(self._active)
+            if s["queued"] == 0 and s["running"] == 0 and active == 0:
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.05)
+
     # -- introspection / lifecycle -------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
@@ -855,6 +1052,8 @@ class CompileService:
             "tenants": tenants,
             "dedup_ratio": (hits / steps) if steps else 1.0,
             "scheduler": self.scheduler.stats(),
+            "admission": self.admission.snapshot(),
+            "draining": self._draining,
         }
         if self.store is not None:
             out["store"] = dict(self.store.stats())

@@ -12,6 +12,8 @@ submit    enqueue a compile/edit; returns a ticket id
 status    queue state and position for a ticket
 result    block until a ticket finishes; manifest as payload
 stats     service-wide dedup / scheduler / store counters
+health    liveness *and* readiness (draining, brownout, depths)
+drain     zero-downtime stop: reject new work, finish running
 shutdown  graceful stop: drain, close the service, exit
 ========  ===================================================
 
@@ -85,6 +87,16 @@ _SUBMIT_FIELDS = {
 #: daemon fronts a shard fleet.
 DEFAULT_RECONCILE_INTERVAL = 2.0
 
+#: How often a parked ``result`` waiter polls its connection for EOF,
+#: so a vanished client's done-callback unregisters instead of
+#: accumulating (completion itself still wakes the waiter instantly).
+DISCONNECT_POLL_SECONDS = 0.1
+
+
+class _ClientDisconnected(Exception):
+    """Internal: a ``result`` waiter's client hung up mid-wait; the
+    connection loop tears the connection down without answering."""
+
 
 def request_from_header(header: Dict[str, Any]) -> CompileRequest:
     """Build a :class:`CompileRequest` from a submit frame header."""
@@ -150,6 +162,15 @@ def error_to_wire(exc: BaseException) -> Dict[str, Any]:
         header["pending"] = len(exc.pending)
         header["hint"] = ("resubmit the same session to resume from "
                           "its journal")
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        header["retry_after"] = retry_after
+    peers = getattr(exc, "peers", ())
+    if peers:
+        header["peers"] = list(peers)
+    reason = getattr(exc, "reason", "")
+    if reason:
+        header["reason"] = reason
     return header
 
 
@@ -159,19 +180,30 @@ class ServeDaemon:
     def __init__(self, service: CompileService,
                  host: str = "127.0.0.1", port: int = 0,
                  tokens: Optional[Dict[str, str]] = None,
-                 reconcile_interval: float = DEFAULT_RECONCILE_INTERVAL):
+                 reconcile_interval: float = DEFAULT_RECONCILE_INTERVAL,
+                 max_connections: Optional[int] = None,
+                 frame_timeout: Optional[float] = None):
         self.service = service
         self.host = host
         self.port = port
         #: Per-tenant shared secrets; empty means auth is off.
         self.tokens = dict(tokens or {})
         self.reconcile_interval = reconcile_interval
+        #: Concurrent-connection cap; the over-limit connection gets
+        #: one ``kind="overloaded"`` error frame and is closed.
+        self.max_connections = max_connections
+        #: Per-frame read/write budget (seconds) once a frame starts —
+        #: the slow-loris guard.  Idle keep-alive waits stay unbounded.
+        self.frame_timeout = frame_timeout
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopping = asyncio.Event()
         self._started = time.monotonic()
         self._store_async: Optional[AsyncShardedStoreClient] = None
         self._reconcile_task: Optional[asyncio.Task] = None
+        self._drain_task: Optional[asyncio.Task] = None
         self.connections = 0
+        self.active_connections = 0
+        self.rejected_connections = 0
         self.requests = 0
         self.reconciled = 0
         #: Clients currently parked in ``result`` (and the high-water
@@ -206,11 +238,33 @@ class ServeDaemon:
 
     # -- per-op handlers -----------------------------------------------------
 
-    async def _op_ping(self, header, payload):
+    async def _op_ping(self, header, payload, reader=None):
         return {"ok": True, "pid": os.getpid(),
                 "uptime": time.monotonic() - self._started}, b""
 
-    async def _op_submit(self, header, payload):
+    async def _op_health(self, header, payload, reader=None):
+        """Liveness vs. readiness: a live daemon answers; a *ready*
+        one is also accepting new submits (not draining/stopping).
+        Load balancers route on ``ready``, watchdogs on ``live``."""
+        sched = self.service.scheduler.stats()
+        draining = self.service.draining
+        return {"ok": True, "live": True,
+                "ready": not draining and not self._stopping.is_set(),
+                "draining": draining,
+                "brownout": self.service.admission.brownout,
+                "queued": sched["queued"],
+                "running": sched["running"],
+                "connections": self.active_connections,
+                "pid": os.getpid()}, b""
+
+    async def _op_submit(self, header, payload, reader=None):
+        if self.service.draining:
+            # Fast path: no auth, no executor hop — a draining daemon
+            # answers every submit with its peer hints immediately.
+            return {"ok": False, "kind": "draining",
+                    "error": "daemon is draining; resubmit to a peer",
+                    "retry_after": 1.0,
+                    "peers": list(self.service.peers)}, b""
         self._check_auth(header)
         request = request_from_header(header)
         # submit takes service locks and writes lease/journal files —
@@ -220,13 +274,13 @@ class ServeDaemon:
         return {"ok": True, "ticket": ticket,
                 "position": status["position"]}, b""
 
-    async def _op_status(self, header, payload):
+    async def _op_status(self, header, payload, reader=None):
         status = await self._call(self.service.status,
                                   str(header.get("ticket", "")))
         status["ok"] = True
         return status, b""
 
-    async def _op_result(self, header, payload):
+    async def _op_result(self, header, payload, reader=None):
         ticket = str(header.get("ticket", ""))
         raw_timeout = header.get("timeout")
         try:
@@ -237,19 +291,39 @@ class ServeDaemon:
                                kind="bad-request")
         loop = asyncio.get_running_loop()
         event = asyncio.Event()
+
+        def _wake(_ticket) -> None:
+            loop.call_soon_threadsafe(event.set)
+
         # Validates the ticket (kind="unknown-ticket") and fires
         # immediately when it is already done.
-        self.service.add_done_callback(
-            ticket, lambda _t: loop.call_soon_threadsafe(event.set))
+        self.service.add_done_callback(ticket, _wake)
         self.waiters += 1
         self.peak_waiters = max(self.peak_waiters, self.waiters)
+        deadline = None if timeout is None else loop.time() + timeout
         try:
-            await asyncio.wait_for(event.wait(), timeout)
-        except asyncio.TimeoutError:
-            status = await self._call(self.service.status, ticket)
-            raise ServiceError(
-                f"request {ticket} still {status['state']} after "
-                f"{timeout:g}s", kind="timeout")
+            # Completion wakes the event instantly; the short wait_for
+            # slices only bound how long a *disconnect* goes unnoticed,
+            # so a client that hung up unregisters its callback instead
+            # of accumulating one per abandoned wait.
+            while not event.is_set():
+                if reader is not None and reader.at_eof():
+                    self.service.remove_done_callback(ticket, _wake)
+                    raise _ClientDisconnected()
+                if deadline is not None and loop.time() >= deadline:
+                    self.service.remove_done_callback(ticket, _wake)
+                    status = await self._call(self.service.status,
+                                              ticket)
+                    raise ServiceError(
+                        f"request {ticket} still {status['state']} "
+                        f"after {timeout:g}s", kind="timeout")
+                step = DISCONNECT_POLL_SECONDS
+                if deadline is not None:
+                    step = min(step, max(0.01, deadline - loop.time()))
+                try:
+                    await asyncio.wait_for(event.wait(), step)
+                except asyncio.TimeoutError:
+                    pass
         finally:
             self.waiters -= 1
         # The ticket is done: this re-raise/fetch returns immediately.
@@ -257,20 +331,33 @@ class ServeDaemon:
                                    timeout=0)
         return await self._call(outcome_to_wire, outcome)
 
-    async def _op_stats(self, header, payload):
+    async def _op_stats(self, header, payload, reader=None):
         stats = await self._call(self.service.stats)
         stats["ok"] = True
         stats["pid"] = os.getpid()
         stats["uptime"] = time.monotonic() - self._started
         stats["waiters"] = {"active": self.waiters,
                             "peak": self.peak_waiters}
+        stats["connections"] = {
+            "active": self.active_connections,
+            "total": self.connections,
+            "rejected": self.rejected_connections,
+            "max": self.max_connections}
         if self._store_async is not None:
             health = await self._store_async.ping_all()
             stats["shard_health"] = health
             stats["shards_up"] = sum(1 for up in health.values() if up)
         return stats, b""
 
-    async def _op_shutdown(self, header, payload):
+    async def _op_drain(self, header, payload, reader=None):
+        """Zero-downtime stop: flip to draining (submits answer
+        ``kind="draining"`` with peer hints), let queued + running
+        builds finish, republish session leases on close, exit."""
+        self.request_drain()
+        return {"ok": True, "draining": True,
+                "peers": list(self.service.peers)}, b""
+
+    async def _op_shutdown(self, header, payload, reader=None):
         self._stopping.set()
         return {"ok": True, "stopping": True}, b""
 
@@ -279,10 +366,34 @@ class ServeDaemon:
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         self.connections += 1
+        if self.max_connections is not None \
+                and self.active_connections >= self.max_connections:
+            # One error frame, then hang up: the cap protects the
+            # daemon's memory and loop, not the client's feelings.
+            self.rejected_connections += 1
+            try:
+                await send_frame_async(
+                    writer,
+                    {"ok": False, "kind": "overloaded",
+                     "error": f"connection limit "
+                              f"({self.max_connections}) reached",
+                     "retry_after": 1.0},
+                    timeout=self.frame_timeout or 5.0)
+            except PLDError:
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError,
+                    asyncio.CancelledError):
+                pass
+            return
+        self.active_connections += 1
         try:
             while True:
                 try:
-                    header, payload = await recv_frame_async(reader)
+                    header, payload = await recv_frame_async(
+                        reader, frame_timeout=self.frame_timeout)
                 except PLDError:
                     break                 # client went away / bad frame
                 except asyncio.CancelledError:
@@ -299,7 +410,10 @@ class ServeDaemon:
                     body = b""
                 else:
                     try:
-                        response, body = await handler(header, payload)
+                        response, body = await handler(header, payload,
+                                                       reader)
+                    except _ClientDisconnected:
+                        break
                     except PLDError as exc:
                         response, body = error_to_wire(exc), b""
                     except asyncio.CancelledError:
@@ -320,10 +434,12 @@ class ServeDaemon:
                             "kind": "internal"}
                         body = b""
                 try:
-                    await send_frame_async(writer, response, body)
+                    await send_frame_async(writer, response, body,
+                                           timeout=self.frame_timeout)
                 except PLDError:
                     break
         finally:
+            self.active_connections -= 1
             writer.close()
             try:
                 await writer.wait_closed()
@@ -374,6 +490,14 @@ class ServeDaemon:
             self._reconcile_task = asyncio.create_task(
                 self._reconcile_loop())
         await self._stopping.wait()
+        if self._drain_task is not None and not self._drain_task.done():
+            # A shutdown op raced an in-progress drain; the stop wins.
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                pass
+            self._drain_task = None
         if self._reconcile_task is not None:
             self._reconcile_task.cancel()
             try:
@@ -389,6 +513,24 @@ class ServeDaemon:
     def request_stop(self) -> None:
         self._stopping.set()
 
+    async def _drain_then_stop(self) -> None:
+        await self._call(self.service.wait_idle)
+        self._stopping.set()
+
+    def request_drain(self) -> None:
+        """Flip to draining and stop once the backlog is empty.  The
+        SIGTERM handler — so rolling restarts are zero-downtime: new
+        submits bounce to peers, running builds finish, session leases
+        republish for adoption on close, exit 0."""
+        self.service.begin_drain()
+        if self._drain_task is None:
+            try:
+                loop = asyncio.get_running_loop()
+            except RuntimeError:
+                self._stopping.set()
+                return
+            self._drain_task = loop.create_task(self._drain_then_stop())
+
 
 def serve(cache_dir: str, host: str = "127.0.0.1", port: int = 0,
           workers: Optional[int] = None, slots: int = 4,
@@ -399,6 +541,16 @@ def serve(cache_dir: str, host: str = "127.0.0.1", port: int = 0,
           tokens: Optional[Dict[str, str]] = None,
           reconcile_interval: float = DEFAULT_RECONCILE_INTERVAL,
           daemon_id: Optional[str] = None,
+          max_queued: Optional[int] = None,
+          max_queued_per_tenant: Optional[int] = None,
+          rates: Optional[Dict[str, float]] = None,
+          default_rate: Optional[float] = None,
+          brownout_high: Optional[float] = None,
+          brownout_low: Optional[float] = None,
+          hedge_quantile: Optional[float] = None,
+          peers: Optional[list] = None,
+          max_connections: Optional[int] = None,
+          frame_timeout: Optional[float] = None,
           notify=print, ready=None) -> int:
     """Run the daemon in the foreground until SIGTERM/SIGINT/shutdown.
 
@@ -410,10 +562,19 @@ def serve(cache_dir: str, host: str = "127.0.0.1", port: int = 0,
             adoption) instead of a purely local store.
         tokens: per-tenant shared secrets gating ``submit``.
         daemon_id: identity for lease-epoch fencing (host:pid default).
+        max_queued / max_queued_per_tenant / rates / default_rate:
+            admission control (see :mod:`repro.service.overload`).
+        brownout_high / brownout_low: queue-depth EWMA watermarks.
+        hedge_quantile: hedged-retry quantile for store reads and o1
+            page jobs (brownout disables it).
+        peers: alternate daemon addresses handed to clients on drain.
+        max_connections / frame_timeout: connection hardening.
         ready: optional callback invoked with ``(host, port)`` once the
             listener is bound (tests use it instead of scraping stdout).
 
-    Returns the process exit code (0 on a clean stop).
+    Returns the process exit code (0 on a clean stop).  SIGTERM drains
+    (running builds finish, sessions republish for peer adoption);
+    SIGINT stops immediately.
     """
     tracer = None
     if trace:
@@ -423,7 +584,12 @@ def serve(cache_dir: str, host: str = "127.0.0.1", port: int = 0,
         cache_dir=cache_dir, store_urls=store_urls, shared=True,
         workers=workers, slots=slots, quotas=dict(quotas or {}),
         default_quota=default_quota, tracer=tracer,
-        daemon_id=daemon_id, notify=notify))
+        daemon_id=daemon_id, notify=notify,
+        max_queued=max_queued,
+        max_queued_per_tenant=max_queued_per_tenant,
+        rates=dict(rates or {}), default_rate=default_rate,
+        brownout_high=brownout_high, brownout_low=brownout_low,
+        hedge_quantile=hedge_quantile, peers=list(peers or [])))
     if store_urls and notify is not None:
         urls = list(getattr(service.store, "urls", []) or [])
         notify(f"store: {len(urls)} shard(s): {', '.join(urls)}")
@@ -432,7 +598,9 @@ def serve(cache_dir: str, host: str = "127.0.0.1", port: int = 0,
         notify(f"found {len(interrupted)} interrupted session(s): "
                f"{', '.join(interrupted)} — they resume on next submit")
     daemon = ServeDaemon(service, host=host, port=port, tokens=tokens,
-                         reconcile_interval=reconcile_interval)
+                         reconcile_interval=reconcile_interval,
+                         max_connections=max_connections,
+                         frame_timeout=frame_timeout)
 
     async def _main() -> None:
         bound_host, bound_port = await daemon.start()
@@ -444,9 +612,12 @@ def serve(cache_dir: str, host: str = "127.0.0.1", port: int = 0,
         if ready is not None:
             ready(bound_host, bound_port)
         loop = asyncio.get_running_loop()
-        for sig in (signal.SIGTERM, signal.SIGINT):
+        # SIGTERM = the rolling-restart signal: drain, don't drop.
+        # SIGINT (^C at a terminal) keeps the immediate stop.
+        for sig, action in ((signal.SIGTERM, daemon.request_drain),
+                            (signal.SIGINT, daemon.request_stop)):
             try:
-                loop.add_signal_handler(sig, daemon.request_stop)
+                loop.add_signal_handler(sig, action)
             except (NotImplementedError, RuntimeError):
                 pass                       # non-main thread / platform
         await daemon.serve_until_stopped()

@@ -197,6 +197,16 @@ class RequestScheduler:
 
     # -- introspection -------------------------------------------------------
 
+    def queued_counts(self) -> "tuple[int, Dict[str, int]]":
+        """(total queued, per-tenant queued) — what admission control
+        samples before letting a submit enter the queue."""
+        with self._lock:
+            per_tenant: Dict[str, int] = {}
+            for entry in self._queued:
+                per_tenant[entry.tenant] = \
+                    per_tenant.get(entry.tenant, 0) + 1
+            return len(self._queued), per_tenant
+
     def queue_position(self, seq: int) -> Optional[int]:
         """0-based position in the queue, or None once dequeued."""
         with self._lock:

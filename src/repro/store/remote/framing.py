@@ -128,22 +128,44 @@ def recv_frame(sock: socket.socket) -> Tuple[Dict[str, Any], bytes]:
 # IncompleteReadError is an EOFError subclass, so nothing here needs to
 # import asyncio.
 
-async def recv_frame_async(reader) -> Tuple[Dict[str, Any], bytes]:
-    """Receive one frame from an ``asyncio.StreamReader``."""
+async def recv_frame_async(reader, frame_timeout=None
+                           ) -> Tuple[Dict[str, Any], bytes]:
+    """Receive one frame from an ``asyncio.StreamReader``.
+
+    ``frame_timeout`` (seconds) bounds how long the *remainder* of a
+    frame may take once its first bytes arrive — the slow-loris guard.
+    The initial wait for the 4-byte header length is deliberately
+    unbounded: an idle keep-alive connection between requests is
+    normal, a peer that starts a frame and then trickles it is not.
+    Expiry raises :class:`~repro.errors.TransportError`.
+    """
+    import asyncio
+
+    async def _read(n: int, first: bool = False) -> bytes:
+        coro = reader.readexactly(n)
+        if frame_timeout is None or first:
+            return await coro
+        try:
+            return await asyncio.wait_for(coro, frame_timeout)
+        except asyncio.TimeoutError as exc:
+            raise TransportError(
+                f"frame read exceeded {frame_timeout:g}s "
+                f"(slow peer)") from exc
+
     try:
-        raw = await reader.readexactly(_HEADER_LEN.size)
+        raw = await _read(_HEADER_LEN.size, first=True)
         (head_len,) = _HEADER_LEN.unpack(raw)
         if head_len > MAX_HEADER_BYTES:
             raise FrameError(f"header length {head_len} exceeds "
                              f"{MAX_HEADER_BYTES}")
-        head = await reader.readexactly(head_len)
+        head = await _read(head_len)
         header = decode_header(head)
-        raw = await reader.readexactly(_PAYLOAD_LEN.size)
+        raw = await _read(_PAYLOAD_LEN.size)
         (payload_len,) = _PAYLOAD_LEN.unpack(raw)
         if payload_len > MAX_PAYLOAD_BYTES:
             raise FrameError(f"payload length {payload_len} exceeds "
                              f"{MAX_PAYLOAD_BYTES}")
-        payload = await reader.readexactly(payload_len)
+        payload = await _read(payload_len)
     except EOFError as exc:              # IncompleteReadError
         raise FrameError(f"peer half-closed mid-frame: {exc}") from exc
     except (ConnectionError, OSError) as exc:
@@ -153,12 +175,28 @@ async def recv_frame_async(reader) -> Tuple[Dict[str, Any], bytes]:
 
 
 async def send_frame_async(writer, header: Dict[str, Any],
-                           payload: bytes = b"") -> None:
-    """Send one frame over an ``asyncio.StreamWriter``."""
+                           payload: bytes = b"",
+                           timeout=None) -> None:
+    """Send one frame over an ``asyncio.StreamWriter``.
+
+    ``timeout`` bounds the drain (a peer that stops reading cannot pin
+    the handler on a full send buffer); expiry raises
+    :class:`~repro.errors.TransportError`.
+    """
+    import asyncio
+
     frame = encode_frame(header, payload)
     try:
         writer.write(frame)
-        await writer.drain()
+        if timeout is None:
+            await writer.drain()
+        else:
+            try:
+                await asyncio.wait_for(writer.drain(), timeout)
+            except asyncio.TimeoutError as exc:
+                raise TransportError(
+                    f"frame write exceeded {timeout:g}s "
+                    f"(peer not reading)") from exc
     except (ConnectionError, OSError) as exc:
         raise TransportError(f"connection error sending frame: "
                              f"{exc}") from exc

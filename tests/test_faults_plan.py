@@ -108,3 +108,71 @@ class TestPlanAPI:
         assert not injector.plan.log
         injector.record_fired("core0", 1, point)
         assert len(injector.plan.events("softcore")) == 1
+
+
+class TestOverloadDomain:
+    """The submit-flood generator: pure draws, deterministic bursts,
+    shed/admit bookkeeping in the shared chaos log."""
+
+    def test_same_seed_same_bursts(self):
+        def bursts(seed):
+            plan = FaultPlan(seed, overload_bursts=4,
+                             overload_burst_size=12,
+                             overload_tenants=("x", "y"),
+                             overload_deadline_fraction=0.2)
+            return plan.overload_faults().bursts()
+
+        assert bursts(9) == bursts(9)
+        assert bursts(9) != bursts(10)
+
+    def test_draws_are_pure_until_recorded(self):
+        plan = FaultPlan(2, overload_bursts=1, overload_burst_size=8)
+        injector = plan.overload_faults()
+        injector.bursts()
+        injector.bursts()                 # re-drawing logs nothing
+        assert not plan.log
+        injector.record_shed("flood", "shed-batch", 0, 3)
+        injector.record_admitted("flood", 0, 4)
+        assert injector.shed == 1 and injector.admitted == 1
+        events = plan.events("overload")
+        assert len(events) == 1           # only sheds are faults
+        assert events[0].kind == "shed:shed-batch"
+
+    def test_request_fields_within_spec(self):
+        plan = FaultPlan(5, overload_bursts=2, overload_burst_size=32,
+                         overload_tenants=("a", "b"),
+                         overload_deadline_fraction=0.5)
+        injector = plan.overload_faults()
+        for burst in injector.bursts():
+            for tenant, priority, cost in burst:
+                assert tenant in ("a", "b")
+                assert priority in ("batch", "interactive", "deadline")
+                assert 1 <= cost <= injector.MAX_COST
+
+    def test_deadline_fraction_extremes(self):
+        all_deadline = FaultPlan(1, overload_bursts=1,
+                                 overload_burst_size=16,
+                                 overload_deadline_fraction=1.0)
+        classes = {p for _, p, _ in
+                   all_deadline.overload_faults().burst(0)}
+        assert classes == {"deadline"}
+        none_deadline = FaultPlan(1, overload_bursts=1,
+                                  overload_burst_size=16)
+        classes = {p for _, p, _ in
+                   none_deadline.overload_faults().burst(0)}
+        assert "deadline" not in classes
+
+    def test_overload_params_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(0, overload_bursts=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(0, overload_deadline_fraction=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(0, overload_bursts=1, overload_burst_size=0)
+
+    def test_any_overload_faults_gate(self):
+        assert not FaultPlan(0).any_overload_faults
+        assert FaultPlan(0, overload_bursts=1).any_overload_faults
+        injector = FaultPlan(0).overload_faults()
+        with pytest.raises(ValueError):
+            injector.burst(0)             # no bursts configured
